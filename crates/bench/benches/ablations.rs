@@ -1,0 +1,42 @@
+//! Ablations: per-CPU knode lists (§4.3) and KLOC-aware prefetching
+//! (§7.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kloc_bench::{bench_scale, timing_scale};
+use kloc_sim::experiments::ablations;
+use kloc_workloads::WorkloadKind;
+
+fn print_tables() {
+    let scale = bench_scale();
+    let a = ablations::percpu(&scale).expect("percpu ablation");
+    println!("{}", ablations::percpu_table(&a));
+    let a = ablations::prefetch(&scale, WorkloadKind::Spark).expect("prefetch ablation");
+    println!("{}", ablations::prefetch_table(&a));
+    let a = ablations::thp(&scale, &[WorkloadKind::RocksDb, WorkloadKind::Redis])
+        .expect("thp ablation");
+    println!("{}", ablations::thp_table(&a));
+    let a = ablations::granularity(&scale, &WorkloadKind::EVALUATED)
+        .expect("granularity ablation");
+    println!("{}", ablations::granularity_table(&a));
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let scale = timing_scale();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("percpu", |b| {
+        b.iter(|| ablations::percpu(&scale).expect("percpu"))
+    });
+    group.bench_function("prefetch_spark", |b| {
+        b.iter(|| ablations::prefetch(&scale, WorkloadKind::Spark).expect("prefetch"))
+    });
+    group.bench_function("granularity_rocksdb", |b| {
+        b.iter(|| ablations::granularity(&scale, &[WorkloadKind::RocksDb]).expect("granularity"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig. 2 — the motivation study (footprints, allocation shares,
+//! reference shares, lifetimes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kloc_bench::{bench_scale, timing_scale};
+use kloc_sim::experiments::fig2;
+
+fn print_figures() {
+    let large = bench_scale();
+    let mut small = large.clone();
+    small.data_bytes /= 4;
+    small.label = "Small".to_owned();
+
+    let large_reports = fig2::run_all(&large).expect("fig2 large");
+    let small_reports = fig2::run_all(&small).expect("fig2 small");
+
+    println!("{}", fig2::fig2a_table(&fig2::fig2a(&large_reports)));
+    println!(
+        "{}",
+        fig2::fig2b_table(&fig2::fig2b(&small_reports, &large_reports))
+    );
+    println!("{}", fig2::fig2c_table(&fig2::fig2c(&large_reports)));
+    println!("{}", fig2::fig2d_table(&fig2::fig2d(&large_reports)));
+}
+
+fn bench(c: &mut Criterion) {
+    print_figures();
+    let scale = timing_scale();
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("motivation_characterization", |b| {
+        b.iter(|| fig2::run_all(&scale).expect("fig2 runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig. 4 — two-tier speedups vs All-Slow.
+//!
+//! Prints the regenerated figure at bench scale, then times single runs
+//! of the KLOC policy and the All-Slow baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kloc_bench::{bench_scale, timing_scale};
+use kloc_policy::PolicyKind;
+use kloc_sim::engine::{self, Platform, RunConfig};
+use kloc_sim::experiments::fig4;
+use kloc_workloads::WorkloadKind;
+
+fn print_figure() {
+    let scale = bench_scale();
+    let platform = Platform::TwoTier {
+        fast_bytes: scale.fast_bytes,
+        bw_ratio: 8,
+    };
+    let rows = fig4::run(&scale, platform, &WorkloadKind::ALL).expect("fig4 runs");
+    println!("{}", fig4::table(&rows));
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let scale = timing_scale();
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for policy in [PolicyKind::AllSlow, PolicyKind::Naive, PolicyKind::Kloc] {
+        group.bench_function(format!("rocksdb/{policy}"), |b| {
+            b.iter(|| {
+                engine::run(&RunConfig::two_tier(
+                    WorkloadKind::RocksDb,
+                    policy,
+                    scale.clone(),
+                ))
+                .expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Fig. 5 — Optane Memory Mode (5a), sources of improvement (5b), and
+//! per-object-class sensitivity (5c).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kloc_bench::{bench_scale, timing_scale};
+use kloc_policy::AutoNuma;
+use kloc_sim::engine::{self, OptaneScenario, Platform, RunConfig};
+use kloc_sim::experiments::fig5;
+use kloc_workloads::WorkloadKind;
+
+fn print_figures() {
+    let scale = bench_scale();
+    let platform = Platform::TwoTier {
+        fast_bytes: scale.fast_bytes,
+        bw_ratio: 8,
+    };
+    let rows = fig5::fig5a(&scale, &WorkloadKind::EVALUATED).expect("fig5a");
+    println!("{}", fig5::fig5a_table(&rows));
+    let rows = fig5::fig5b(&scale, platform).expect("fig5b");
+    println!("{}", fig5::fig5b_table(&rows));
+    let rows = fig5::fig5c(&scale, platform, &WorkloadKind::EVALUATED).expect("fig5c");
+    println!("{}", fig5::fig5c_table(&rows));
+}
+
+fn bench(c: &mut Criterion) {
+    print_figures();
+    let scale = timing_scale();
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("optane_interfered_redis_kloc", |b| {
+        b.iter(|| {
+            engine::run_with(
+                &RunConfig {
+                    workload: WorkloadKind::Redis,
+                    policy: kloc_policy::PolicyKind::AutoNumaKloc,
+                    scale: scale.clone(),
+                    platform: Platform::Optane {
+                        l4_bytes: 1 << 20,
+                        scenario: OptaneScenario::Interfered { contention: 1.8 },
+                    },
+                    kernel_params: None,
+                },
+                Box::new(kloc_policy::AutoNumaKloc::new()),
+            )
+            .expect("run")
+        })
+    });
+    group.bench_function("optane_interfered_redis_autonuma", |b| {
+        b.iter(|| {
+            engine::run_with(
+                &RunConfig {
+                    workload: WorkloadKind::Redis,
+                    policy: kloc_policy::PolicyKind::AutoNuma,
+                    scale: scale.clone(),
+                    platform: Platform::Optane {
+                        l4_bytes: 1 << 20,
+                        scenario: OptaneScenario::Interfered { contention: 1.8 },
+                    },
+                    kernel_params: None,
+                },
+                Box::new(AutoNuma::new()),
+            )
+            .expect("run")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 6 — capacity x bandwidth sensitivity sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kloc_bench::{bench_scale, timing_scale};
+use kloc_sim::experiments::fig6;
+use kloc_workloads::WorkloadKind;
+
+fn print_figure() {
+    let scale = bench_scale();
+    let cells = fig6::run(
+        &scale,
+        &WorkloadKind::EVALUATED,
+        &fig6::CAPACITIES,
+        &fig6::RATIOS,
+    )
+    .expect("fig6 runs");
+    println!("{}", fig6::table(&cells));
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let scale = timing_scale();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("one_cell_rocksdb", |b| {
+        b.iter(|| {
+            fig6::run(&scale, &[WorkloadKind::RocksDb], &[512 << 10], &[8]).expect("cell")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

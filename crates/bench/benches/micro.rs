@@ -1,0 +1,142 @@
+//! Substrate microbenchmarks: the host-side cost of the core data
+//! structures (these measure simulator performance, not virtual time).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use kloc_core::{KlocConfig, KlocRegistry};
+use kloc_kernel::hooks::{CpuId, Ctx, NullHooks};
+use kloc_kernel::slab::PackedAllocator;
+use kloc_kernel::vfs::InodeId;
+use kloc_kernel::{Kernel, KernelObjectType, KernelParams, ObjectId, ObjectInfo};
+use kloc_mem::{FrameId, MemorySystem, Nanos, PageKind, TierId};
+use kloc_workloads::Zipfian;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem");
+    group.bench_function("allocate_free", |b| {
+        let mut mem = MemorySystem::two_tier(u64::MAX, 8);
+        b.iter(|| {
+            let f = mem.allocate(TierId::FAST, PageKind::AppData).unwrap();
+            mem.free(black_box(f)).unwrap();
+        })
+    });
+    group.bench_function("access", |b| {
+        let mut mem = MemorySystem::two_tier(u64::MAX, 8);
+        let f = mem.allocate(TierId::FAST, PageKind::AppData).unwrap();
+        b.iter(|| mem.read(black_box(f), 4096))
+    });
+    group.bench_function("migrate_round_trip", |b| {
+        let mut mem = MemorySystem::two_tier(u64::MAX, 8);
+        let f = mem.allocate(TierId::FAST, PageKind::PageCache).unwrap();
+        b.iter(|| {
+            mem.migrate(f, TierId::SLOW).unwrap();
+            mem.migrate(f, TierId::FAST).unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_slab(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slab");
+    group.bench_function("alloc_free_dentry", |b| {
+        let mut mem = MemorySystem::two_tier(u64::MAX, 8);
+        let mut hooks = NullHooks::fast_first();
+        let mut slab = PackedAllocator::new(PageKind::Slab, None);
+        b.iter(|| {
+            let mut ctx = Ctx::new(&mut mem, &mut hooks);
+            let f = slab
+                .alloc(&mut ctx, KernelObjectType::Dentry, None, false)
+                .unwrap();
+            slab.free(&mut ctx, KernelObjectType::Dentry, None, black_box(f))
+                .unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_kloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kloc");
+    group.bench_function("knode_track_untrack", |b| {
+        let mut reg = KlocRegistry::new(KlocConfig::default());
+        reg.inode_created(InodeId(1), CpuId(0), Nanos::ZERO);
+        let info = ObjectInfo {
+            ty: KernelObjectType::PageCache,
+            size: 4096,
+            inode: Some(InodeId(1)),
+        };
+        let mut n = 0u64;
+        b.iter(|| {
+            let id = ObjectId(n);
+            n += 1;
+            reg.object_allocated(id, &info, FrameId(n), CpuId(0), Nanos::ZERO);
+            reg.object_freed(id, &info);
+        })
+    });
+    group.bench_function("percpu_fast_path_hit", |b| {
+        let mut reg = KlocRegistry::new(KlocConfig::default());
+        reg.inode_created(InodeId(1), CpuId(0), Nanos::ZERO);
+        let info = ObjectInfo {
+            ty: KernelObjectType::PageCache,
+            size: 4096,
+            inode: Some(InodeId(1)),
+        };
+        b.iter(|| reg.object_accessed(black_box(&info), CpuId(0), Nanos::ZERO))
+    });
+    group.finish();
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+    group.bench_function("write_read_4k", |b| {
+        let mut mem = MemorySystem::two_tier(u64::MAX, 8);
+        let mut hooks = NullHooks::fast_first();
+        let mut k = Kernel::new(KernelParams::default());
+        let fd = {
+            let mut ctx = Ctx::new(&mut mem, &mut hooks);
+            k.create(&mut ctx, "/bench").unwrap()
+        };
+        b.iter(|| {
+            let mut ctx = Ctx::new(&mut mem, &mut hooks);
+            k.write(&mut ctx, fd, 0, 4096).unwrap();
+            k.read(&mut ctx, fd, 0, 4096).unwrap();
+        })
+    });
+    group.bench_function("socket_round_trip", |b| {
+        let mut mem = MemorySystem::two_tier(u64::MAX, 8);
+        let mut hooks = NullHooks::fast_first();
+        let mut k = Kernel::new(KernelParams::default());
+        let fd = {
+            let mut ctx = Ctx::new(&mut mem, &mut hooks);
+            k.socket(&mut ctx).unwrap()
+        };
+        b.iter(|| {
+            let mut ctx = Ctx::new(&mut mem, &mut hooks);
+            k.deliver(&mut ctx, fd, 256).unwrap();
+            k.recv(&mut ctx, fd, 256).unwrap();
+            k.send(&mut ctx, fd, 512).unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_keygen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keygen");
+    group.bench_function("zipfian_draw", |b| {
+        let z = Zipfian::new(1_000_000);
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(z.next_key(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mem,
+    bench_slab,
+    bench_kloc,
+    bench_kernel,
+    bench_keygen
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table 6 — KLOC metadata memory increase.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kloc_bench::{bench_scale, timing_scale};
+use kloc_sim::experiments::table6;
+use kloc_workloads::WorkloadKind;
+
+fn print_table() {
+    let scale = bench_scale();
+    let rows = table6::run(&scale, &WorkloadKind::ALL).expect("table6 runs");
+    println!("{}", table6::table(&rows));
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let scale = timing_scale();
+    let mut group = c.benchmark_group("table6");
+    group.sample_size(10);
+    group.bench_function("overhead_rocksdb", |b| {
+        b.iter(|| table6::run(&scale, &[WorkloadKind::RocksDb]).expect("row"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

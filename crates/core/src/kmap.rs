@@ -1,0 +1,160 @@
+//! The global kmap: registry of all knodes (paper Fig. 1).
+//!
+//! The kmap is implemented as an ordered map keyed by inode (the paper
+//! uses an RCU-friendly red-black tree). The hot path avoids it via the
+//! per-CPU lists in [`crate::percpu`]; cold paths — LRU selection and
+//! teardown — traverse it here.
+
+use std::collections::BTreeMap;
+
+use kloc_kernel::vfs::InodeId;
+
+use crate::knode::Knode;
+
+/// The global knode registry.
+#[derive(Debug, Clone, Default)]
+pub struct Kmap {
+    knodes: BTreeMap<InodeId, Knode>,
+    /// Accesses that had to traverse the kmap tree (misses of the
+    /// per-CPU fast path); feeds the §4.3 ablation.
+    tree_accesses: u64,
+}
+
+impl Kmap {
+    /// Creates an empty kmap.
+    pub fn new() -> Self {
+        Kmap::default()
+    }
+
+    /// Number of registered knodes.
+    pub fn len(&self) -> usize {
+        self.knodes.len()
+    }
+
+    /// Whether no knodes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.knodes.is_empty()
+    }
+
+    /// Accesses that traversed the tree (per-CPU fast-path misses).
+    pub fn tree_accesses(&self) -> u64 {
+        self.tree_accesses
+    }
+
+    /// Registers a knode (`map_knode` / `add_to_kmap` in Table 2).
+    ///
+    /// # Panics
+    /// Panics if the inode already has a knode.
+    pub fn map_knode(&mut self, knode: Knode) {
+        let inode = knode.inode();
+        let prev = self.knodes.insert(inode, knode);
+        assert!(prev.is_none(), "{inode} already has a knode");
+    }
+
+    /// Removes and returns the knode of `inode`.
+    pub fn unmap(&mut self, inode: InodeId) -> Option<Knode> {
+        self.knodes.remove(&inode)
+    }
+
+    /// Looks up a knode without counting a tree access (bookkeeping
+    /// paths).
+    pub fn get(&self, inode: InodeId) -> Option<&Knode> {
+        self.knodes.get(&inode)
+    }
+
+    /// Mutable lookup without counting a tree access.
+    pub fn get_mut(&mut self, inode: InodeId) -> Option<&mut Knode> {
+        self.knodes.get_mut(&inode)
+    }
+
+    /// Hot-path lookup that *counts* a tree traversal — used when the
+    /// per-CPU fast path missed.
+    pub fn lookup_counted(&mut self, inode: InodeId) -> Option<&mut Knode> {
+        self.tree_accesses += 1;
+        self.knodes.get_mut(&inode)
+    }
+
+    /// Iterates all knodes.
+    pub fn iter(&self) -> impl Iterator<Item = &Knode> {
+        self.knodes.values()
+    }
+
+    /// Iterates all knodes mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Knode> {
+        self.knodes.values_mut()
+    }
+
+    /// Returns up to `n` LRU knode inodes (`get_LRU_knodes` in Table 2):
+    /// inactive knodes first, oldest activity first, then the oldest
+    /// active ones.
+    pub fn lru_knodes(&self, n: usize) -> Vec<InodeId> {
+        let mut all: Vec<&Knode> = self.knodes.values().collect();
+        all.sort_by_key(|k| (k.inuse(), k.last_active()));
+        all.into_iter().take(n).map(|k| k.inode()).collect()
+    }
+
+    /// Inodes of all currently inactive knodes, oldest first.
+    pub fn inactive_knodes(&self) -> Vec<InodeId> {
+        let mut v: Vec<&Knode> = self.knodes.values().filter(|k| !k.inuse()).collect();
+        v.sort_by_key(|k| k.last_active());
+        v.into_iter().map(|k| k.inode()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kloc_mem::Nanos;
+
+    fn knode_at(ino: u64, t: u64, inuse: bool) -> Knode {
+        let mut k = Knode::new(InodeId(ino), Nanos::from_micros(t));
+        k.set_inuse(inuse);
+        k
+    }
+
+    #[test]
+    fn map_and_unmap() {
+        let mut m = Kmap::new();
+        m.map_knode(knode_at(1, 0, true));
+        assert_eq!(m.len(), 1);
+        assert!(m.get(InodeId(1)).is_some());
+        let k = m.unmap(InodeId(1)).unwrap();
+        assert_eq!(k.inode(), InodeId(1));
+        assert!(m.is_empty());
+        assert!(m.unmap(InodeId(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a knode")]
+    fn double_map_panics() {
+        let mut m = Kmap::new();
+        m.map_knode(knode_at(1, 0, true));
+        m.map_knode(knode_at(1, 0, true));
+    }
+
+    #[test]
+    fn lru_prefers_inactive_then_oldest() {
+        let mut m = Kmap::new();
+        m.map_knode(knode_at(1, 30, true)); // active, old
+        m.map_knode(knode_at(2, 20, false)); // inactive, newer
+        m.map_knode(knode_at(3, 10, false)); // inactive, oldest
+        assert_eq!(
+            m.lru_knodes(3),
+            vec![InodeId(3), InodeId(2), InodeId(1)]
+        );
+        assert_eq!(m.lru_knodes(1), vec![InodeId(3)]);
+        assert_eq!(m.inactive_knodes(), vec![InodeId(3), InodeId(2)]);
+    }
+
+    #[test]
+    fn counted_lookup_tracks_tree_accesses() {
+        let mut m = Kmap::new();
+        m.map_knode(knode_at(1, 0, true));
+        assert!(m.lookup_counted(InodeId(1)).is_some());
+        assert!(m.lookup_counted(InodeId(2)).is_none());
+        assert_eq!(m.tree_accesses(), 2);
+        // Plain get does not count.
+        m.get(InodeId(1));
+        assert_eq!(m.tree_accesses(), 2);
+    }
+}

@@ -1,0 +1,228 @@
+//! The per-inode knode.
+//!
+//! Every file/socket inode gets a knode — a "table of contents" naming
+//! every kernel object associated with that inode (paper Fig. 1). The
+//! members are split across two ordered trees, mirroring the paper's
+//! `rbtree-cache` / `rbtree-slab` split (§4.2.3): a single tree over
+//! millions of objects costs ~10 memory references per traversal; two
+//! smaller trees also separate page-cache pages from small slab objects
+//! organizationally.
+
+use std::collections::BTreeMap;
+
+use kloc_mem::{FrameId, Nanos};
+
+use kloc_kernel::hooks::CpuId;
+use kloc_kernel::{Backing, KernelObjectType, ObjectId};
+use kloc_kernel::vfs::InodeId;
+
+/// Which member tree an object landed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberTree {
+    /// `rbtree-cache`: page-backed objects (page-cache pages, data
+    /// buffers, journal blocks).
+    Cache,
+    /// `rbtree-slab`: small slab-class objects (inodes, dentries, …).
+    Slab,
+}
+
+/// A knode: the KLOC bookkeeping attached to one inode.
+#[derive(Debug, Clone)]
+pub struct Knode {
+    inode: InodeId,
+    /// Whether the inode is currently open/active.
+    inuse: bool,
+    /// LRU age: reset on access, incremented by policy scans (§4.3).
+    age: u32,
+    /// CPU that last touched this knode (`find_cpu` in Table 2).
+    last_cpu: CpuId,
+    /// Last access time.
+    last_active: Nanos,
+    /// Page-backed members: object -> backing frame.
+    rbtree_cache: BTreeMap<ObjectId, FrameId>,
+    /// Slab-class members: object -> backing frame.
+    rbtree_slab: BTreeMap<ObjectId, FrameId>,
+}
+
+impl Knode {
+    /// Creates a knode for `inode`, initially in use.
+    pub fn new(inode: InodeId, now: Nanos) -> Self {
+        Knode {
+            inode,
+            inuse: true,
+            age: 0,
+            last_cpu: CpuId(0),
+            last_active: now,
+            rbtree_cache: BTreeMap::new(),
+            rbtree_slab: BTreeMap::new(),
+        }
+    }
+
+    /// The inode this knode belongs to.
+    pub fn inode(&self) -> InodeId {
+        self.inode
+    }
+
+    /// Whether the inode is active (open).
+    pub fn inuse(&self) -> bool {
+        self.inuse
+    }
+
+    /// Marks the knode active/inactive.
+    pub fn set_inuse(&mut self, inuse: bool) {
+        self.inuse = inuse;
+    }
+
+    /// Current LRU age.
+    pub fn age(&self) -> u32 {
+        self.age
+    }
+
+    /// Increments the age (called by LRU scans that skip this knode).
+    pub fn bump_age(&mut self) {
+        self.age = self.age.saturating_add(1);
+    }
+
+    /// CPU that last accessed the knode (paper's `find_cpu`).
+    pub fn last_cpu(&self) -> CpuId {
+        self.last_cpu
+    }
+
+    /// Last access time.
+    pub fn last_active(&self) -> Nanos {
+        self.last_active
+    }
+
+    /// Records an access: resets the age, stamps time and CPU.
+    pub fn touch(&mut self, cpu: CpuId, now: Nanos) {
+        self.age = 0;
+        self.last_cpu = cpu;
+        self.last_active = now;
+    }
+
+    /// Adds a member object (`knode_add_obj` in Table 2); routed to the
+    /// cache or slab tree by the object's backing. Returns the tree used.
+    pub fn add_obj(&mut self, obj: ObjectId, ty: KernelObjectType, frame: FrameId) -> MemberTree {
+        match ty.backing() {
+            Backing::Page(_) => {
+                self.rbtree_cache.insert(obj, frame);
+                MemberTree::Cache
+            }
+            Backing::Slab => {
+                self.rbtree_slab.insert(obj, frame);
+                MemberTree::Slab
+            }
+        }
+    }
+
+    /// Removes a member. Returns whether it was tracked.
+    pub fn remove_obj(&mut self, obj: ObjectId) -> bool {
+        self.rbtree_cache.remove(&obj).is_some() || self.rbtree_slab.remove(&obj).is_some()
+    }
+
+    /// Number of members across both trees.
+    pub fn member_count(&self) -> usize {
+        self.rbtree_cache.len() + self.rbtree_slab.len()
+    }
+
+    /// Whether the knode tracks no objects.
+    pub fn is_empty(&self) -> bool {
+        self.rbtree_cache.is_empty() && self.rbtree_slab.is_empty()
+    }
+
+    /// Iterates page-backed members (`itr_knode_cache`).
+    pub fn iter_cache(&self) -> impl Iterator<Item = (ObjectId, FrameId)> + '_ {
+        self.rbtree_cache.iter().map(|(o, f)| (*o, *f))
+    }
+
+    /// Iterates slab-class members (`itr_knode_slab`).
+    pub fn iter_slab(&self) -> impl Iterator<Item = (ObjectId, FrameId)> + '_ {
+        self.rbtree_slab.iter().map(|(o, f)| (*o, *f))
+    }
+
+    /// Deduplicated frames backing all members — the unit of en-masse
+    /// migration (paper §4.4: "kernel objects pointed to by a knode
+    /// subtree are migrated" together).
+    pub fn member_frames(&self) -> Vec<FrameId> {
+        let mut frames: Vec<FrameId> = self
+            .rbtree_cache
+            .values()
+            .chain(self.rbtree_slab.values())
+            .copied()
+            .collect();
+        frames.sort();
+        frames.dedup();
+        frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knode() -> Knode {
+        Knode::new(InodeId(1), Nanos::ZERO)
+    }
+
+    #[test]
+    fn members_route_by_backing() {
+        let mut k = knode();
+        let t1 = k.add_obj(ObjectId(1), KernelObjectType::PageCache, FrameId(10));
+        let t2 = k.add_obj(ObjectId(2), KernelObjectType::Dentry, FrameId(11));
+        assert_eq!(t1, MemberTree::Cache);
+        assert_eq!(t2, MemberTree::Slab);
+        assert_eq!(k.iter_cache().count(), 1);
+        assert_eq!(k.iter_slab().count(), 1);
+        assert_eq!(k.member_count(), 2);
+    }
+
+    #[test]
+    fn remove_from_either_tree() {
+        let mut k = knode();
+        k.add_obj(ObjectId(1), KernelObjectType::PageCache, FrameId(10));
+        k.add_obj(ObjectId(2), KernelObjectType::Extent, FrameId(11));
+        assert!(k.remove_obj(ObjectId(1)));
+        assert!(k.remove_obj(ObjectId(2)));
+        assert!(!k.remove_obj(ObjectId(3)));
+        assert!(k.is_empty());
+    }
+
+    #[test]
+    fn member_frames_deduplicate_shared_slab_pages() {
+        let mut k = knode();
+        // Two dentries packed on the same slab frame.
+        k.add_obj(ObjectId(1), KernelObjectType::Dentry, FrameId(7));
+        k.add_obj(ObjectId(2), KernelObjectType::Dentry, FrameId(7));
+        k.add_obj(ObjectId(3), KernelObjectType::PageCache, FrameId(8));
+        assert_eq!(k.member_frames(), vec![FrameId(7), FrameId(8)]);
+    }
+
+    #[test]
+    fn age_and_touch() {
+        let mut k = knode();
+        k.bump_age();
+        k.bump_age();
+        assert_eq!(k.age(), 2);
+        k.touch(CpuId(3), Nanos::from_micros(5));
+        assert_eq!(k.age(), 0);
+        assert_eq!(k.last_cpu(), CpuId(3));
+        assert_eq!(k.last_active(), Nanos::from_micros(5));
+    }
+
+    #[test]
+    fn inuse_toggles() {
+        let mut k = knode();
+        assert!(k.inuse());
+        k.set_inuse(false);
+        assert!(!k.inuse());
+    }
+
+    #[test]
+    fn age_saturates() {
+        let mut k = knode();
+        for _ in 0..100 {
+            k.bump_age();
+        }
+        assert_eq!(k.age(), 100);
+    }
+}

@@ -1,0 +1,209 @@
+//! Per-CPU knode fast-path lists (paper §4.3).
+//!
+//! The global kmap is a contended shared structure; the paper adds
+//! per-CPU lists of recently touched knodes — a software cache in the
+//! spirit of other kernel fast paths — with per-entry age tracking. The
+//! paper reports these lists cut `rbtree-cache`/`rbtree-slab` accesses
+//! by 54 %; this module's hit/miss counters reproduce that ablation.
+
+use std::collections::VecDeque;
+
+use kloc_kernel::hooks::CpuId;
+use kloc_kernel::vfs::InodeId;
+
+/// One entry on a per-CPU list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    inode: InodeId,
+    /// Reset to zero on access; incremented by LRU scans (§4.3).
+    age: u32,
+}
+
+/// Per-CPU lists of recently used knodes.
+#[derive(Debug, Clone)]
+pub struct PerCpuKnodeLists {
+    lists: Vec<VecDeque<Entry>>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl PerCpuKnodeLists {
+    /// Creates lists for `cpus` CPUs, each holding at most `capacity`
+    /// entries (bounded so traversal stays fast, §4.3).
+    ///
+    /// # Panics
+    /// Panics if `cpus` or `capacity` is zero.
+    pub fn new(cpus: usize, capacity: usize) -> Self {
+        assert!(cpus > 0, "need at least one cpu");
+        assert!(capacity > 0, "capacity must be non-zero");
+        PerCpuKnodeLists {
+            lists: vec![VecDeque::new(); cpus],
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Fast-path hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Fast-path misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fraction of lookups served by the fast path (the §4.3 "54 %
+    /// reduction" is `hit_ratio` here).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn list_mut(&mut self, cpu: CpuId) -> &mut VecDeque<Entry> {
+        let n = self.lists.len();
+        &mut self.lists[cpu.0 as usize % n]
+    }
+
+    /// Looks up `inode` on `cpu`'s list and refreshes it on hit (moved to
+    /// front, age reset). On miss the caller consults the kmap and should
+    /// then call [`PerCpuKnodeLists::touch`]. Returns whether it hit.
+    pub fn lookup(&mut self, cpu: CpuId, inode: InodeId) -> bool {
+        let list = self.list_mut(cpu);
+        if let Some(pos) = list.iter().position(|e| e.inode == inode) {
+            let mut e = list.remove(pos).expect("position just found");
+            e.age = 0;
+            list.push_front(e);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts `inode` at the front of `cpu`'s list (after a kmap
+    /// lookup), evicting the coldest entry if full. The same knode may
+    /// appear on several CPUs' lists — the paper leans on existing
+    /// per-CPU coherence APIs for that (§4.3).
+    pub fn touch(&mut self, cpu: CpuId, inode: InodeId) {
+        let capacity = self.capacity;
+        let list = self.list_mut(cpu);
+        if let Some(pos) = list.iter().position(|e| e.inode == inode) {
+            let mut e = list.remove(pos).expect("position just found");
+            e.age = 0;
+            list.push_front(e);
+            return;
+        }
+        if list.len() >= capacity {
+            list.pop_back();
+        }
+        list.push_front(Entry { inode, age: 0 });
+    }
+
+    /// Removes `inode` from every CPU's list (knode destroyed).
+    pub fn purge(&mut self, inode: InodeId) {
+        for list in &mut self.lists {
+            list.retain(|e| e.inode != inode);
+        }
+    }
+
+    /// Ages every entry by one (called by policy LRU scans).
+    pub fn age_all(&mut self) {
+        for list in &mut self.lists {
+            for e in list.iter_mut() {
+                e.age = e.age.saturating_add(1);
+            }
+        }
+    }
+
+    /// Inodes whose age on some CPU list is at least `min_age` — cold
+    /// candidates for the policy to consider.
+    pub fn cold_candidates(&self, min_age: u32) -> Vec<InodeId> {
+        let mut out = Vec::new();
+        for list in &self.lists {
+            for e in list {
+                if e.age >= min_age && !out.contains(&e.inode) {
+                    out.push(e.inode);
+                }
+            }
+        }
+        out
+    }
+
+    /// Total entries across all lists (for overhead accounting).
+    pub fn total_entries(&self) -> usize {
+        self.lists.iter().map(|l| l.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut p = PerCpuKnodeLists::new(2, 4);
+        assert!(!p.lookup(CpuId(0), InodeId(1)));
+        p.touch(CpuId(0), InodeId(1));
+        assert!(p.lookup(CpuId(0), InodeId(1)));
+        assert_eq!(p.hits(), 1);
+        assert_eq!(p.misses(), 1);
+        assert!((p.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lists_are_per_cpu() {
+        let mut p = PerCpuKnodeLists::new(2, 4);
+        p.touch(CpuId(0), InodeId(1));
+        assert!(!p.lookup(CpuId(1), InodeId(1)), "other cpu misses");
+        assert!(p.lookup(CpuId(0), InodeId(1)));
+    }
+
+    #[test]
+    fn capacity_evicts_coldest() {
+        let mut p = PerCpuKnodeLists::new(1, 2);
+        p.touch(CpuId(0), InodeId(1));
+        p.touch(CpuId(0), InodeId(2));
+        p.touch(CpuId(0), InodeId(3)); // evicts 1 (back of list)
+        assert!(!p.lookup(CpuId(0), InodeId(1)));
+        assert!(p.lookup(CpuId(0), InodeId(2)));
+        assert!(p.lookup(CpuId(0), InodeId(3)));
+        assert_eq!(p.total_entries(), 2);
+    }
+
+    #[test]
+    fn aging_and_cold_candidates() {
+        let mut p = PerCpuKnodeLists::new(1, 4);
+        p.touch(CpuId(0), InodeId(1));
+        p.touch(CpuId(0), InodeId(2));
+        p.age_all();
+        p.age_all();
+        // Access 2: its age resets.
+        assert!(p.lookup(CpuId(0), InodeId(2)));
+        assert_eq!(p.cold_candidates(2), vec![InodeId(1)]);
+        assert!(p.cold_candidates(3).is_empty());
+    }
+
+    #[test]
+    fn purge_removes_everywhere() {
+        let mut p = PerCpuKnodeLists::new(2, 4);
+        p.touch(CpuId(0), InodeId(1));
+        p.touch(CpuId(1), InodeId(1));
+        p.purge(InodeId(1));
+        assert_eq!(p.total_entries(), 0);
+    }
+
+    #[test]
+    fn cpu_ids_wrap_onto_lists() {
+        let mut p = PerCpuKnodeLists::new(2, 4);
+        p.touch(CpuId(4), InodeId(1)); // 4 % 2 == list 0
+        assert!(p.lookup(CpuId(0), InodeId(1)));
+    }
+}

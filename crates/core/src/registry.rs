@@ -1,0 +1,609 @@
+//! The KLOC registry: event engine + en-masse migration mechanism.
+//!
+//! [`KlocRegistry`] is the machinery the paper adds to the kernel: it
+//! reacts to inode/object lifecycle events (forwarded by a policy that
+//! implements `kloc_kernel::hooks::KernelHooks`), maintains the kmap,
+//! knodes, and per-CPU fast paths, and offers the headline mechanism —
+//! migrate *all* kernel objects of a cold knode in one shot, rather than
+//! discovering them via LRU scans slower than the objects' lifetimes
+//! (§3.3, §4.4).
+
+use std::collections::BTreeSet;
+
+use kloc_mem::{FrameId, MemorySystem, Nanos, TierId};
+
+use kloc_kernel::hooks::CpuId;
+use kloc_kernel::vfs::InodeId;
+use kloc_kernel::{KernelObjectType, ObjectId, ObjectInfo};
+
+use crate::kmap::Kmap;
+use crate::knode::Knode;
+use crate::percpu::PerCpuKnodeLists;
+
+/// Configuration of the KLOC subsystem (the `sys_enable_kloc` /
+/// `sys_kloc_memsize` administrative surface of paper Table 2).
+#[derive(Debug, Clone)]
+pub struct KlocConfig {
+    /// Master switch (`sys_enable_kloc`).
+    pub enabled: bool,
+    /// Number of per-CPU fast-path lists.
+    pub cpus: usize,
+    /// Capacity of each per-CPU list.
+    pub percpu_capacity: usize,
+    /// Object types included in KLOC management (paper Fig. 5c ablates
+    /// this set). Excluded types are not tracked in knodes.
+    pub included: BTreeSet<KernelObjectType>,
+    /// Optional cap on fast-memory frames KLOC-managed objects may use
+    /// (`sys_kloc_memsize`).
+    pub fast_budget_frames: Option<u64>,
+    /// Whether the per-CPU fast path is used (ablation of §4.3).
+    pub use_percpu: bool,
+    /// Skip demoting frames that already migrated at least this many
+    /// times (the paper's 8-bit anti-ping-pong counter, §4.5).
+    pub max_migrations: u8,
+}
+
+impl Default for KlocConfig {
+    fn default() -> Self {
+        KlocConfig {
+            enabled: true,
+            cpus: 4,
+            percpu_capacity: 8,
+            included: KernelObjectType::ALL.into_iter().collect(),
+            fast_budget_frames: None,
+            use_percpu: true,
+            max_migrations: 4,
+        }
+    }
+}
+
+/// Counters describing KLOC activity.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize,
+)]
+pub struct KlocStats {
+    /// Knodes created.
+    pub knodes_created: u64,
+    /// Knodes destroyed.
+    pub knodes_destroyed: u64,
+    /// Objects added to knodes.
+    pub objects_tracked: u64,
+    /// Objects removed from knodes.
+    pub objects_untracked: u64,
+    /// En-masse demotions performed (knodes).
+    pub knode_demotions: u64,
+    /// Pages moved to slow memory by demotions.
+    pub pages_demoted: u64,
+    /// En-masse promotions performed (knodes).
+    pub knode_promotions: u64,
+    /// Pages moved to fast memory by promotions.
+    pub pages_promoted: u64,
+    /// Demotions skipped by the anti-ping-pong counter.
+    pub pingpong_skips: u64,
+}
+
+/// The KLOC engine.
+#[derive(Debug)]
+pub struct KlocRegistry {
+    config: KlocConfig,
+    kmap: Kmap,
+    percpu: PerCpuKnodeLists,
+    stats: KlocStats,
+}
+
+impl KlocRegistry {
+    /// Creates a registry with the given configuration.
+    pub fn new(config: KlocConfig) -> Self {
+        let percpu = PerCpuKnodeLists::new(config.cpus.max(1), config.percpu_capacity.max(1));
+        KlocRegistry {
+            percpu,
+            kmap: Kmap::new(),
+            stats: KlocStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &KlocConfig {
+        &self.config
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &KlocStats {
+        &self.stats
+    }
+
+    /// The global kmap.
+    pub fn kmap(&self) -> &Kmap {
+        &self.kmap
+    }
+
+    /// The per-CPU fast-path lists.
+    pub fn percpu(&self) -> &PerCpuKnodeLists {
+        &self.percpu
+    }
+
+    /// Whether `ty` participates in KLOC management.
+    pub fn includes(&self, ty: KernelObjectType) -> bool {
+        self.config.included.contains(&ty)
+    }
+
+    // ------------------------------------------------------------------
+    // Event reactions (forwarded from KernelHooks by the policy)
+    // ------------------------------------------------------------------
+
+    /// Inode created: allocate its knode (the paper binds knode lifetime
+    /// to inode lifetime, §4.2.2).
+    pub fn inode_created(&mut self, inode: InodeId, cpu: CpuId, now: Nanos) {
+        if !self.config.enabled {
+            return;
+        }
+        let mut k = Knode::new(inode, now);
+        k.touch(cpu, now);
+        self.kmap.map_knode(k);
+        if self.config.use_percpu {
+            self.percpu.touch(cpu, inode);
+        }
+        self.stats.knodes_created += 1;
+    }
+
+    /// Inode (re)opened: mark the knode active.
+    pub fn inode_opened(&mut self, inode: InodeId, cpu: CpuId, now: Nanos) {
+        if let Some(k) = self.kmap.get_mut(inode) {
+            k.set_inuse(true);
+            k.touch(cpu, now);
+        }
+        if self.config.enabled && self.config.use_percpu {
+            self.percpu.touch(cpu, inode);
+        }
+    }
+
+    /// Last handle closed: the knode is now inactive — the "definitely
+    /// cold" signal (§3.2).
+    pub fn inode_closed(&mut self, inode: InodeId) {
+        if let Some(k) = self.kmap.get_mut(inode) {
+            k.set_inuse(false);
+        }
+    }
+
+    /// Inode destroyed: tear the knode down (objects are *freed*, not
+    /// migrated, §3.2).
+    pub fn inode_destroyed(&mut self, inode: InodeId) {
+        if self.kmap.unmap(inode).is_some() {
+            self.stats.knodes_destroyed += 1;
+        }
+        self.percpu.purge(inode);
+    }
+
+    /// Object allocated: add it to its inode's knode (when the type is
+    /// included), going through the per-CPU fast path.
+    pub fn object_allocated(
+        &mut self,
+        obj: ObjectId,
+        info: &ObjectInfo,
+        frame: FrameId,
+        cpu: CpuId,
+        now: Nanos,
+    ) {
+        if !self.config.enabled || !self.includes(info.ty) {
+            return;
+        }
+        let Some(inode) = info.inode else { return };
+        if let Some(k) = self.knode_fast(cpu, inode) {
+            k.add_obj(obj, info.ty, frame);
+            k.touch(cpu, now);
+            self.stats.objects_tracked += 1;
+        }
+    }
+
+    /// Late socket association (ingress without early demux): identical
+    /// to allocation tracking but arriving from the TCP layer.
+    pub fn object_associated(
+        &mut self,
+        obj: ObjectId,
+        info: &ObjectInfo,
+        frame: FrameId,
+        cpu: CpuId,
+        now: Nanos,
+    ) {
+        self.object_allocated(obj, info, frame, cpu, now);
+    }
+
+    /// Object freed: drop it from its knode.
+    pub fn object_freed(&mut self, obj: ObjectId, info: &ObjectInfo) {
+        let Some(inode) = info.inode else { return };
+        if let Some(k) = self.kmap.get_mut(inode) {
+            if k.remove_obj(obj) {
+                self.stats.objects_untracked += 1;
+            }
+        }
+    }
+
+    /// Object accessed: refresh its knode's recency via the fast path.
+    pub fn object_accessed(&mut self, info: &ObjectInfo, cpu: CpuId, now: Nanos) {
+        if !self.config.enabled || !self.includes(info.ty) {
+            return;
+        }
+        let Some(inode) = info.inode else { return };
+        if let Some(k) = self.knode_fast(cpu, inode) {
+            k.touch(cpu, now);
+        }
+    }
+
+    /// Hot-path knode lookup: per-CPU list first, then a counted kmap
+    /// traversal on miss (this split is what the §4.3 ablation measures).
+    fn knode_fast(&mut self, cpu: CpuId, inode: InodeId) -> Option<&mut Knode> {
+        if self.config.use_percpu {
+            if self.percpu.lookup(cpu, inode) {
+                return self.kmap.get_mut(inode);
+            }
+            let found = self.kmap.lookup_counted(inode).is_some();
+            if found {
+                self.percpu.touch(cpu, inode);
+                return self.kmap.get_mut(inode);
+            }
+            None
+        } else {
+            self.kmap.lookup_counted(inode)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Policy queries + migration mechanism
+    // ------------------------------------------------------------------
+
+    /// Whether the inode's knode is currently in use. `None` when no
+    /// knode exists.
+    pub fn is_active(&self, inode: InodeId) -> Option<bool> {
+        self.kmap.get(inode).map(Knode::inuse)
+    }
+
+    /// Inactive knodes whose last activity is older than `min_idle`
+    /// before `now`, oldest first.
+    pub fn cold_knodes(&self, now: Nanos, min_idle: Nanos) -> Vec<InodeId> {
+        self.kmap
+            .inactive_knodes()
+            .into_iter()
+            .filter(|i| {
+                self.kmap
+                    .get(*i)
+                    .map(|k| now.saturating_sub(k.last_active()) >= min_idle)
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Ages all knodes and per-CPU entries by one scan epoch (§4.3: age
+    /// increments when the LRU policy scans without evicting).
+    pub fn age_epoch(&mut self) {
+        for k in self.kmap.iter_mut() {
+            if !k.inuse() {
+                k.bump_age();
+            }
+        }
+        self.percpu.age_all();
+    }
+
+    /// Migrates every member frame of `inode`'s knode to `to` — the
+    /// en-masse mechanism (paper §4.4). Pinned frames and frames that
+    /// exceeded the anti-ping-pong counter are skipped. Returns pages
+    /// moved.
+    pub fn migrate_knode(
+        &mut self,
+        inode: InodeId,
+        mem: &mut MemorySystem,
+        to: TierId,
+    ) -> u64 {
+        self.migrate_knode_limited(inode, mem, to, u64::MAX)
+    }
+
+    /// Like [`KlocRegistry::migrate_knode`] but moves at most
+    /// `max_pages` (partial promotion into limited fast-memory room).
+    pub fn migrate_knode_limited(
+        &mut self,
+        inode: InodeId,
+        mem: &mut MemorySystem,
+        to: TierId,
+        max_pages: u64,
+    ) -> u64 {
+        let Some(k) = self.kmap.get(inode) else { return 0 };
+        let frames = k.member_frames();
+        let demoting = to != TierId::FAST;
+        let mut moved = 0;
+        for frame in frames {
+            if moved >= max_pages {
+                break;
+            }
+            let Ok(f) = mem.frame(frame) else { continue };
+            if f.tier() == to || f.pinned() {
+                continue;
+            }
+            if demoting && f.migrations() >= self.config.max_migrations {
+                self.stats.pingpong_skips += 1;
+                continue;
+            }
+            if mem.migrate(frame, to).is_ok() {
+                moved += 1;
+            }
+        }
+        if moved > 0 {
+            if demoting {
+                self.stats.knode_demotions += 1;
+                self.stats.pages_demoted += moved;
+            } else {
+                self.stats.knode_promotions += 1;
+                self.stats.pages_promoted += moved;
+            }
+        }
+        moved
+    }
+
+    /// Demotes member frames of `inode` that have not been accessed for
+    /// `older_than` — the knode's "table of contents" makes this a direct
+    /// walk over exactly the relevant frames, no page-table scan (§4.1).
+    /// Used for partially-cold active knodes (an append-only log's old
+    /// pages). Returns pages moved.
+    pub fn demote_cold_members(
+        &mut self,
+        inode: InodeId,
+        mem: &mut MemorySystem,
+        older_than: Nanos,
+        max_pages: u64,
+    ) -> u64 {
+        let Some(k) = self.kmap.get(inode) else { return 0 };
+        let now = mem.now();
+        let frames = k.member_frames();
+        let mut moved = 0;
+        for frame in frames {
+            if moved >= max_pages {
+                break;
+            }
+            let Ok(f) = mem.frame(frame) else { continue };
+            if f.tier() == TierId::FAST
+                && !f.pinned()
+                && f.migrations() < self.config.max_migrations
+                && now.saturating_sub(f.last_access()) >= older_than
+                && mem.migrate(frame, TierId::SLOW).is_ok()
+            {
+                moved += 1;
+            }
+        }
+        if moved > 0 {
+            self.stats.pages_demoted += moved;
+        }
+        moved
+    }
+
+    /// Promotes member frames of `inode` that were accessed within
+    /// `newer_than` but reside in slow memory — per-page hotness through
+    /// the knode shortcut (the paper's slow-to-fast "retrieval" path,
+    /// 4-12 % of migrations, §4.4). Returns pages moved.
+    pub fn promote_hot_members(
+        &mut self,
+        inode: InodeId,
+        mem: &mut MemorySystem,
+        newer_than: Nanos,
+        max_pages: u64,
+    ) -> u64 {
+        let Some(k) = self.kmap.get(inode) else { return 0 };
+        let now = mem.now();
+        let frames = k.member_frames();
+        let mut moved = 0;
+        for frame in frames {
+            if moved >= max_pages {
+                break;
+            }
+            let Ok(f) = mem.frame(frame) else { continue };
+            if f.tier() != TierId::FAST
+                && !f.pinned()
+                && now.saturating_sub(f.last_access()) <= newer_than
+                && mem.migrate(frame, TierId::FAST).is_ok()
+            {
+                moved += 1;
+            }
+        }
+        if moved > 0 {
+            self.stats.pages_promoted += moved;
+        }
+        moved
+    }
+
+    /// Frames backing all members of `inode`'s knode (deduplicated).
+    pub fn member_frames(&self, inode: InodeId) -> Vec<FrameId> {
+        self.kmap
+            .get(inode)
+            .map(Knode::member_frames)
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kloc_mem::{PageKind, PAGE_SIZE};
+
+    fn info(ty: KernelObjectType, ino: u64) -> ObjectInfo {
+        ObjectInfo {
+            ty,
+            size: ty.size(),
+            inode: Some(InodeId(ino)),
+        }
+    }
+
+    #[test]
+    fn lifecycle_creates_and_destroys_knodes() {
+        let mut r = KlocRegistry::new(KlocConfig::default());
+        r.inode_created(InodeId(1), CpuId(0), Nanos::ZERO);
+        assert_eq!(r.kmap().len(), 1);
+        assert_eq!(r.is_active(InodeId(1)), Some(true));
+        r.inode_closed(InodeId(1));
+        assert_eq!(r.is_active(InodeId(1)), Some(false));
+        r.inode_destroyed(InodeId(1));
+        assert_eq!(r.kmap().len(), 0);
+        assert_eq!(r.stats().knodes_created, 1);
+        assert_eq!(r.stats().knodes_destroyed, 1);
+    }
+
+    #[test]
+    fn objects_tracked_and_untracked() {
+        let mut r = KlocRegistry::new(KlocConfig::default());
+        r.inode_created(InodeId(1), CpuId(0), Nanos::ZERO);
+        let i = info(KernelObjectType::PageCache, 1);
+        r.object_allocated(ObjectId(5), &i, FrameId(9), CpuId(0), Nanos::ZERO);
+        assert_eq!(r.member_frames(InodeId(1)), vec![FrameId(9)]);
+        r.object_freed(ObjectId(5), &i);
+        assert!(r.member_frames(InodeId(1)).is_empty());
+        assert_eq!(r.stats().objects_tracked, 1);
+        assert_eq!(r.stats().objects_untracked, 1);
+    }
+
+    #[test]
+    fn excluded_types_not_tracked() {
+        let mut cfg = KlocConfig::default();
+        cfg.included.remove(&KernelObjectType::SkBuff);
+        let mut r = KlocRegistry::new(cfg);
+        r.inode_created(InodeId(1), CpuId(0), Nanos::ZERO);
+        r.object_allocated(
+            ObjectId(5),
+            &info(KernelObjectType::SkBuff, 1),
+            FrameId(9),
+            CpuId(0),
+            Nanos::ZERO,
+        );
+        assert!(r.member_frames(InodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn disabled_registry_tracks_nothing() {
+        let mut r = KlocRegistry::new(KlocConfig {
+            enabled: false,
+            ..KlocConfig::default()
+        });
+        r.inode_created(InodeId(1), CpuId(0), Nanos::ZERO);
+        assert_eq!(r.kmap().len(), 0);
+    }
+
+    #[test]
+    fn cold_knodes_respect_idle_threshold() {
+        let mut r = KlocRegistry::new(KlocConfig::default());
+        r.inode_created(InodeId(1), CpuId(0), Nanos::ZERO);
+        r.inode_created(InodeId(2), CpuId(0), Nanos::from_millis(10));
+        r.inode_closed(InodeId(1));
+        r.inode_closed(InodeId(2));
+        let now = Nanos::from_millis(11);
+        // Only inode 1 has been idle >= 5ms.
+        assert_eq!(
+            r.cold_knodes(now, Nanos::from_millis(5)),
+            vec![InodeId(1)]
+        );
+        // Reopening makes it hot again.
+        r.inode_opened(InodeId(1), CpuId(0), now);
+        assert!(r.cold_knodes(now, Nanos::ZERO).is_empty() || {
+            // inode 2 is still inactive with 1ms idle; with zero threshold
+            // it is cold.
+            r.cold_knodes(now, Nanos::ZERO) == vec![InodeId(2)]
+        });
+    }
+
+    #[test]
+    fn migrate_knode_moves_members_en_masse() {
+        let mut mem = MemorySystem::two_tier(64 * PAGE_SIZE, 8);
+        let mut r = KlocRegistry::new(KlocConfig::default());
+        r.inode_created(InodeId(1), CpuId(0), Nanos::ZERO);
+        // Three relocatable member pages + one pinned slab page.
+        let mut frames = Vec::new();
+        for i in 0..3u64 {
+            let f = mem.allocate(TierId::FAST, PageKind::PageCache).unwrap();
+            r.object_allocated(
+                ObjectId(i),
+                &info(KernelObjectType::PageCache, 1),
+                f,
+                CpuId(0),
+                Nanos::ZERO,
+            );
+            frames.push(f);
+        }
+        let pinned = mem.allocate(TierId::FAST, PageKind::Slab).unwrap();
+        r.object_allocated(
+            ObjectId(99),
+            &info(KernelObjectType::Dentry, 1),
+            pinned,
+            CpuId(0),
+            Nanos::ZERO,
+        );
+
+        let moved = r.migrate_knode(InodeId(1), &mut mem, TierId::SLOW);
+        assert_eq!(moved, 3, "pinned page skipped");
+        for f in &frames {
+            assert_eq!(mem.tier_of(*f), TierId::SLOW);
+        }
+        assert_eq!(mem.tier_of(pinned), TierId::FAST);
+        assert_eq!(r.stats().knode_demotions, 1);
+        assert_eq!(r.stats().pages_demoted, 3);
+
+        // Promote back.
+        let back = r.migrate_knode(InodeId(1), &mut mem, TierId::FAST);
+        assert_eq!(back, 3);
+        assert_eq!(r.stats().pages_promoted, 3);
+    }
+
+    #[test]
+    fn pingpong_guard_skips_hot_movers() {
+        let mut mem = MemorySystem::two_tier(64 * PAGE_SIZE, 8);
+        let mut r = KlocRegistry::new(KlocConfig {
+            max_migrations: 2,
+            ..KlocConfig::default()
+        });
+        r.inode_created(InodeId(1), CpuId(0), Nanos::ZERO);
+        let f = mem.allocate(TierId::FAST, PageKind::PageCache).unwrap();
+        r.object_allocated(
+            ObjectId(1),
+            &info(KernelObjectType::PageCache, 1),
+            f,
+            CpuId(0),
+            Nanos::ZERO,
+        );
+        // Bounce twice: 2 migrations on the frame.
+        r.migrate_knode(InodeId(1), &mut mem, TierId::SLOW);
+        r.migrate_knode(InodeId(1), &mut mem, TierId::FAST);
+        // Third demotion attempt is skipped by the guard.
+        let moved = r.migrate_knode(InodeId(1), &mut mem, TierId::SLOW);
+        assert_eq!(moved, 0);
+        assert_eq!(r.stats().pingpong_skips, 1);
+        assert_eq!(mem.tier_of(f), TierId::FAST, "page retained in fast memory");
+    }
+
+    #[test]
+    fn fast_path_reduces_tree_accesses() {
+        // With per-CPU lists, repeated accesses to the same knode hit the
+        // fast path; without them, every access traverses the kmap. This
+        // is the §4.3 ablation in miniature.
+        let mk = |use_percpu: bool| {
+            let mut r = KlocRegistry::new(KlocConfig {
+                use_percpu,
+                ..KlocConfig::default()
+            });
+            r.inode_created(InodeId(1), CpuId(0), Nanos::ZERO);
+            let i = info(KernelObjectType::PageCache, 1);
+            for n in 0..100u64 {
+                r.object_allocated(ObjectId(n), &i, FrameId(n), CpuId(0), Nanos::ZERO);
+            }
+            r.kmap().tree_accesses()
+        };
+        let with = mk(true);
+        let without = mk(false);
+        assert!(with * 2 < without, "fast path must cut tree accesses >50%: {with} vs {without}");
+    }
+
+    #[test]
+    fn age_epoch_only_ages_inactive() {
+        let mut r = KlocRegistry::new(KlocConfig::default());
+        r.inode_created(InodeId(1), CpuId(0), Nanos::ZERO);
+        r.inode_created(InodeId(2), CpuId(0), Nanos::ZERO);
+        r.inode_closed(InodeId(2));
+        r.age_epoch();
+        r.age_epoch();
+        assert_eq!(r.kmap().get(InodeId(1)).unwrap().age(), 0);
+        assert_eq!(r.kmap().get(InodeId(2)).unwrap().age(), 2);
+    }
+}

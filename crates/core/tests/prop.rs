@@ -1,0 +1,168 @@
+//! Property tests: knode member sets must always equal the set of live
+//! objects of that inode, under arbitrary event interleavings.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+
+use kloc_core::{KlocConfig, KlocRegistry};
+use kloc_kernel::hooks::CpuId;
+use kloc_kernel::vfs::InodeId;
+use kloc_kernel::{KernelObjectType, ObjectId, ObjectInfo};
+use kloc_mem::{FrameId, Nanos};
+
+#[derive(Debug, Clone)]
+enum Ev {
+    CreateInode(u8),
+    OpenInode(u8),
+    CloseInode(u8),
+    DestroyInode(u8),
+    AllocObj(u8, u8),
+    FreeObj(usize),
+    AccessObj(usize, u8),
+}
+
+fn ev_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (0u8..6).prop_map(Ev::CreateInode),
+        (0u8..6).prop_map(Ev::OpenInode),
+        (0u8..6).prop_map(Ev::CloseInode),
+        (0u8..6).prop_map(Ev::DestroyInode),
+        (0u8..6, 0u8..14).prop_map(|(i, t)| Ev::AllocObj(i, t)),
+        (0usize..64).prop_map(Ev::FreeObj),
+        (0usize..64, 0u8..4).prop_map(|(o, c)| Ev::AccessObj(o, c)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn knode_members_match_live_objects(evs in proptest::collection::vec(ev_strategy(), 1..250)) {
+        let mut r = KlocRegistry::new(KlocConfig::default());
+        // Model: live inodes, and live objects (id -> (inode, info, frame)).
+        let mut inodes: BTreeSet<InodeId> = BTreeSet::new();
+        let mut objects: Vec<(ObjectId, ObjectInfo, FrameId)> = Vec::new();
+        let mut next_obj = 0u64;
+        let mut now = Nanos::ZERO;
+
+        for ev in evs {
+            now += Nanos::from_micros(1);
+            match ev {
+                Ev::CreateInode(n) => {
+                    let ino = InodeId(n as u64);
+                    if inodes.insert(ino) {
+                        r.inode_created(ino, CpuId(0), now);
+                    }
+                }
+                Ev::OpenInode(n) => {
+                    let ino = InodeId(n as u64);
+                    if inodes.contains(&ino) {
+                        r.inode_opened(ino, CpuId(1), now);
+                        prop_assert_eq!(r.is_active(ino), Some(true));
+                    }
+                }
+                Ev::CloseInode(n) => {
+                    let ino = InodeId(n as u64);
+                    if inodes.contains(&ino) {
+                        r.inode_closed(ino);
+                        prop_assert_eq!(r.is_active(ino), Some(false));
+                    }
+                }
+                Ev::DestroyInode(n) => {
+                    let ino = InodeId(n as u64);
+                    if inodes.remove(&ino) {
+                        // Kernel frees objects before/around destroy.
+                        let dead: Vec<_> = objects
+                            .iter()
+                            .filter(|(_, i, _)| i.inode == Some(ino))
+                            .cloned()
+                            .collect();
+                        for (id, info, _) in &dead {
+                            r.object_freed(*id, info);
+                        }
+                        objects.retain(|(_, i, _)| i.inode != Some(ino));
+                        r.inode_destroyed(ino);
+                        prop_assert!(r.is_active(ino).is_none());
+                    }
+                }
+                Ev::AllocObj(n, t) => {
+                    let ino = InodeId(n as u64);
+                    if !inodes.contains(&ino) {
+                        continue;
+                    }
+                    let ty = KernelObjectType::ALL[t as usize % KernelObjectType::ALL.len()];
+                    let info = ObjectInfo { ty, size: ty.size(), inode: Some(ino) };
+                    let id = ObjectId(next_obj);
+                    next_obj += 1;
+                    let frame = FrameId(1000 + id.0);
+                    r.object_allocated(id, &info, frame, CpuId((n % 4) as u16), now);
+                    objects.push((id, info, frame));
+                }
+                Ev::FreeObj(i) => {
+                    if objects.is_empty() { continue; }
+                    let (id, info, _) = objects.remove(i % objects.len());
+                    r.object_freed(id, &info);
+                }
+                Ev::AccessObj(i, c) => {
+                    if objects.is_empty() { continue; }
+                    let (_, info, _) = objects[i % objects.len()];
+                    r.object_accessed(&info, CpuId(c as u16), now);
+                }
+            }
+
+            // Invariant: per-inode member frames == model's frames.
+            let mut model: BTreeMap<InodeId, BTreeSet<FrameId>> = BTreeMap::new();
+            for &(_, info, frame) in &objects {
+                if let Some(ino) = info.inode {
+                    if inodes.contains(&ino) {
+                        model.entry(ino).or_default().insert(frame);
+                    }
+                }
+            }
+            for &ino in &inodes {
+                let got: BTreeSet<FrameId> = r.member_frames(ino).into_iter().collect();
+                let want = model.get(&ino).cloned().unwrap_or_default();
+                prop_assert_eq!(got, want, "member mismatch for {}", ino);
+            }
+            prop_assert_eq!(r.kmap().len(), inodes.len());
+        }
+    }
+
+    /// Tracked/untracked counters balance on full teardown.
+    #[test]
+    fn counters_balance(evs in proptest::collection::vec(ev_strategy(), 1..150)) {
+        let mut r = KlocRegistry::new(KlocConfig::default());
+        let mut inodes: BTreeSet<InodeId> = BTreeSet::new();
+        let mut objects: Vec<(ObjectId, ObjectInfo)> = Vec::new();
+        let mut next_obj = 0u64;
+        for ev in evs {
+            match ev {
+                Ev::CreateInode(n) => {
+                    let ino = InodeId(n as u64);
+                    if inodes.insert(ino) {
+                        r.inode_created(ino, CpuId(0), Nanos::ZERO);
+                    }
+                }
+                Ev::AllocObj(n, t) => {
+                    let ino = InodeId(n as u64);
+                    if !inodes.contains(&ino) { continue; }
+                    let ty = KernelObjectType::ALL[t as usize % KernelObjectType::ALL.len()];
+                    let info = ObjectInfo { ty, size: ty.size(), inode: Some(ino) };
+                    let id = ObjectId(next_obj);
+                    next_obj += 1;
+                    r.object_allocated(id, &info, FrameId(id.0), CpuId(0), Nanos::ZERO);
+                    objects.push((id, info));
+                }
+                _ => {}
+            }
+        }
+        for (id, info) in objects.drain(..) {
+            r.object_freed(id, &info);
+        }
+        assert_eq!(r.stats().objects_tracked, r.stats().objects_untracked);
+        for &ino in &inodes {
+            assert!(r.member_frames(ino).is_empty());
+        }
+    }
+}

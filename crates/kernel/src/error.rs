@@ -1,0 +1,77 @@
+//! Error type for the simulated kernel.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::obj::ObjectId;
+use crate::vfs::{Fd, InodeId};
+
+/// Errors returned by the simulated kernel's syscall layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// Path does not exist.
+    NoEntry(String),
+    /// Path already exists (create of an existing file).
+    Exists(String),
+    /// File descriptor is not open.
+    BadFd(Fd),
+    /// Inode id is stale or unknown.
+    BadInode(InodeId),
+    /// Object id is stale or unknown.
+    BadObject(ObjectId),
+    /// Operation not valid for this inode kind (e.g. `send` on a file).
+    WrongKind(InodeId),
+    /// Receive would block: no data queued on the socket.
+    WouldBlock(Fd),
+    /// The memory substrate failed the request.
+    Mem(kloc_mem::MemError),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::NoEntry(p) => write!(f, "no such file: {p}"),
+            KernelError::Exists(p) => write!(f, "file exists: {p}"),
+            KernelError::BadFd(fd) => write!(f, "bad file descriptor {fd}"),
+            KernelError::BadInode(i) => write!(f, "unknown inode {i}"),
+            KernelError::BadObject(o) => write!(f, "unknown kernel object {o}"),
+            KernelError::WrongKind(i) => write!(f, "operation not valid for inode {i}"),
+            KernelError::WouldBlock(fd) => write!(f, "no data ready on {fd}"),
+            KernelError::Mem(e) => write!(f, "memory error: {e}"),
+        }
+    }
+}
+
+impl Error for KernelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KernelError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kloc_mem::MemError> for KernelError {
+    fn from(e: kloc_mem::MemError) -> Self {
+        KernelError::Mem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_mem_errors() {
+        let e: KernelError = kloc_mem::MemError::OutOfMemory.into();
+        assert!(matches!(e, KernelError::Mem(_)));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KernelError>();
+    }
+}

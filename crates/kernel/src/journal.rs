@@ -1,0 +1,133 @@
+//! Filesystem journal (jbd2-style).
+//!
+//! Metadata-dirtying operations attach a **journal head** slab object to
+//! the running transaction; when the transaction fills (or on `fsync`)
+//! the kernel commits it: **journal block** pages are written sequentially
+//! to the journal area and the heads are released. Both object types are
+//! in the paper's Table 1 ("journal - filesystem journal buffers") and
+//! show up prominently in the Fig. 2a footprint breakdown.
+//!
+//! This module tracks transaction state; the kernel facade allocates the
+//! actual objects and performs the disk writes.
+
+use crate::obj::ObjectId;
+use crate::vfs::InodeId;
+
+/// A journal head pending in the running transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingHead {
+    /// The journal-head slab object.
+    pub obj: ObjectId,
+    /// Inode whose metadata this head journals, when known.
+    pub inode: Option<InodeId>,
+}
+
+/// Description of a commit the kernel must perform: which heads to free
+/// and how many journal blocks to write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitSpec {
+    /// Heads released by this commit.
+    pub heads: Vec<PendingHead>,
+    /// Number of 4 KB journal blocks to write sequentially (descriptor +
+    /// data + commit blocks; one block per 8 heads, minimum 2).
+    pub blocks: usize,
+}
+
+/// The running journal.
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    txn_max: usize,
+    pending: Vec<PendingHead>,
+    commits: u64,
+    heads_journaled: u64,
+}
+
+impl Journal {
+    /// Creates a journal that forces a commit at `txn_max` pending heads.
+    ///
+    /// # Panics
+    /// Panics if `txn_max` is zero.
+    pub fn new(txn_max: usize) -> Self {
+        assert!(txn_max > 0, "transaction size must be non-zero");
+        Journal {
+            txn_max,
+            ..Journal::default()
+        }
+    }
+
+    /// Heads in the running transaction.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total commits performed.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Total heads ever journaled.
+    pub fn heads_journaled(&self) -> u64 {
+        self.heads_journaled
+    }
+
+    /// Adds a head to the running transaction. Returns `true` when the
+    /// transaction is now full and the caller must commit.
+    pub fn add(&mut self, obj: ObjectId, inode: Option<InodeId>) -> bool {
+        self.pending.push(PendingHead { obj, inode });
+        self.heads_journaled += 1;
+        self.pending.len() >= self.txn_max
+    }
+
+    /// Commits the running transaction. Returns `None` when empty.
+    pub fn commit(&mut self) -> Option<CommitSpec> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        self.commits += 1;
+        let heads = std::mem::take(&mut self.pending);
+        let blocks = (heads.len().div_ceil(8)).max(2);
+        Some(CommitSpec { heads, blocks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_signals_at_txn_max() {
+        let mut j = Journal::new(3);
+        assert!(!j.add(ObjectId(1), None));
+        assert!(!j.add(ObjectId(2), Some(InodeId(9))));
+        assert!(j.add(ObjectId(3), None), "third head fills the txn");
+        let spec = j.commit().unwrap();
+        assert_eq!(spec.heads.len(), 3);
+        assert_eq!(spec.blocks, 2, "minimum two blocks");
+        assert_eq!(j.pending(), 0);
+        assert_eq!(j.commits(), 1);
+    }
+
+    #[test]
+    fn empty_commit_is_none() {
+        let mut j = Journal::new(4);
+        assert!(j.commit().is_none());
+        assert_eq!(j.commits(), 0);
+    }
+
+    #[test]
+    fn blocks_scale_with_heads() {
+        let mut j = Journal::new(100);
+        for i in 0..33 {
+            j.add(ObjectId(i), None);
+        }
+        let spec = j.commit().unwrap();
+        assert_eq!(spec.blocks, 5, "ceil(33/8) = 5");
+        assert_eq!(j.heads_journaled(), 33);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_txn_rejected() {
+        Journal::new(0);
+    }
+}

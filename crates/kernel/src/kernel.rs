@@ -1,0 +1,1628 @@
+//! The kernel facade: syscall layer tying all subsystems together.
+//!
+//! [`Kernel`] owns the VFS, allocators, journal, block layer, disk,
+//! network state, and readahead, and exposes the syscall-like API that
+//! workloads drive. Every operation charges a calibrated CPU cost plus
+//! the memory accesses of the kernel objects it touches — which is how
+//! tier placement of those objects turns into end-to-end performance
+//! differences (the paper's central effect).
+//!
+//! The per-operation object choreography follows paper Fig. 3(b):
+//! `create` allocates an inode + dentry and journals the metadata;
+//! `write` allocates page-cache pages, radix nodes, extents, and journal
+//! heads; writeback allocates bios and blk-mq requests; `fsync` commits
+//! the journal; socket I/O allocates socks, skbuffs, data buffers, and
+//! RX ring pages.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use kloc_mem::{FrameId, PageKind};
+
+use crate::block::BlockLayer;
+use crate::disk::{Disk, IoPattern};
+use crate::error::KernelError;
+use crate::extent::ExtentTree;
+use crate::hooks::{Ctx, PageRequest};
+use crate::journal::Journal;
+use crate::lru::{List, PageLru};
+use crate::net::{NetStats, Packet, RxQueue};
+use crate::obj::{Backing, KernelObjectType, ObjectId, ObjectInfo, ObjectTable};
+use crate::pagecache::PageCache;
+use crate::params::KernelParams;
+use crate::readahead::Readahead;
+use crate::slab::PackedAllocator;
+use crate::stats::{KernelStats, Syscall};
+use crate::vfs::{Fd, Inode, InodeId, InodeKind, Vfs};
+
+/// The simulated kernel.
+#[derive(Debug)]
+pub struct Kernel {
+    params: KernelParams,
+    vfs: Vfs,
+    objects: ObjectTable,
+    slab: PackedAllocator,
+    kvma: PackedAllocator,
+    journal: Journal,
+    disk: Disk,
+    block: BlockLayer,
+    readahead: Readahead,
+    /// LRU of page-cache frames, for the cache-budget shrinker.
+    cache_lru: PageLru,
+    /// frame -> (inode, page index) for cached file pages.
+    cache_index: HashMap<FrameId, (InodeId, u64)>,
+    /// Live file page-cache pages (budget accounting).
+    cache_pages: u64,
+    /// Globally dirty pages and their flush order.
+    dirty_pages: u64,
+    dirty_list: VecDeque<(InodeId, u64)>,
+    /// Frames brought in by readahead, awaiting first real use.
+    prefetched: HashSet<FrameId>,
+    stats: KernelStats,
+    net_stats: NetStats,
+}
+
+impl Kernel {
+    /// Creates a kernel with the given parameters.
+    pub fn new(params: KernelParams) -> Self {
+        Kernel {
+            vfs: Vfs::new(),
+            objects: ObjectTable::new(),
+            slab: PackedAllocator::new(PageKind::Slab, None),
+            // Sharded arenas: objects of related inodes share relocatable
+            // frames. Sharding bounds internal fragmentation (the paper's
+            // <1% Table-6 overhead implies no per-inode page blow-up)
+            // while keeping unrelated contexts mostly apart so en-masse
+            // knode migration drags little collateral.
+            kvma: PackedAllocator::new(PageKind::KernelVma, Some(64)),
+            journal: Journal::new(params.journal_txn_max),
+            disk: Disk::nvme(),
+            block: BlockLayer::new(),
+            readahead: Readahead::new(params.readahead_max),
+            cache_lru: PageLru::new(),
+            cache_index: HashMap::new(),
+            cache_pages: 0,
+            dirty_pages: 0,
+            dirty_list: VecDeque::new(),
+            prefetched: HashSet::new(),
+            stats: KernelStats::default(),
+            net_stats: NetStats::default(),
+            params,
+        }
+    }
+
+    /// Kernel parameters.
+    pub fn params(&self) -> &KernelParams {
+        &self.params
+    }
+
+    /// Kernel statistics.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// Network statistics.
+    pub fn net_stats(&self) -> &NetStats {
+        &self.net_stats
+    }
+
+    /// The storage device.
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// The block layer.
+    pub fn block(&self) -> &BlockLayer {
+        &self.block
+    }
+
+    /// The journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The readahead engine.
+    pub fn readahead(&self) -> &Readahead {
+        &self.readahead
+    }
+
+    /// Live kernel objects.
+    pub fn objects(&self) -> &ObjectTable {
+        &self.objects
+    }
+
+    /// The VFS tables.
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// Live file page-cache pages.
+    pub fn cache_pages(&self) -> u64 {
+        self.cache_pages
+    }
+
+    /// Globally dirty pages.
+    pub fn dirty_pages(&self) -> u64 {
+        self.dirty_pages
+    }
+
+    // ------------------------------------------------------------------
+    // Object helpers
+    // ------------------------------------------------------------------
+
+    /// Allocates a kernel object, charging CPU cost and firing hooks.
+    fn alloc_object(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        ty: KernelObjectType,
+        inode: Option<InodeId>,
+        readahead: bool,
+    ) -> Result<ObjectId, KernelError> {
+        let frame = match ty.backing() {
+            Backing::Slab => {
+                if ctx.hooks.relocatable_kernel_alloc() {
+                    ctx.mem.charge(self.params.kvma_alloc_cpu);
+                    self.kvma.alloc(ctx, ty, inode, readahead)?
+                } else {
+                    ctx.mem.charge(self.params.slab_alloc_cpu);
+                    self.slab.alloc(ctx, ty, inode, readahead)?
+                }
+            }
+            Backing::Page(kind) => {
+                ctx.mem.charge(self.params.page_alloc_cpu);
+                let req = PageRequest {
+                    kind,
+                    ty: Some(ty),
+                    inode,
+                    readahead,
+                    cpu: ctx.cpu,
+                };
+                let placement = ctx.hooks.place_page(&req, ctx.mem);
+                ctx.mem.allocate_preferring(&placement.preference, kind)?
+            }
+        };
+        let info = ObjectInfo {
+            ty,
+            size: ty.size(),
+            inode,
+        };
+        let obj = self.objects.insert(info, frame, ctx.mem.now());
+        self.stats.on_alloc(ty);
+        ctx.hooks.on_object_alloc(obj, &info, frame, ctx.cpu, ctx.mem);
+        Ok(obj)
+    }
+
+    /// Frees a kernel object, charging CPU cost and firing hooks.
+    fn free_object(&mut self, ctx: &mut Ctx<'_>, obj: ObjectId) -> Result<(), KernelError> {
+        let kobj = self.objects.remove(obj).ok_or(KernelError::BadObject(obj))?;
+        let lifetime = ctx.mem.now().saturating_sub(kobj.allocated_at);
+        self.stats.on_free(kobj.info.ty, lifetime);
+        ctx.mem.charge(self.params.free_cpu);
+        ctx.hooks
+            .on_object_free(obj, &kobj.info, kobj.frame, ctx.mem);
+        match kobj.info.ty.backing() {
+            Backing::Slab => {
+                let kind = ctx.mem.frame(kobj.frame)?.kind();
+                if kind == PageKind::KernelVma {
+                    self.kvma.free(ctx, kobj.info.ty, kobj.info.inode, kobj.frame)?;
+                } else {
+                    self.slab.free(ctx, kobj.info.ty, kobj.info.inode, kobj.frame)?;
+                }
+            }
+            Backing::Page(_) => {
+                if self.cache_index.remove(&kobj.frame).is_some() {
+                    self.cache_pages -= 1;
+                }
+                self.cache_lru.remove(kobj.frame);
+                self.prefetched.remove(&kobj.frame);
+                ctx.hooks.on_page_free(kobj.frame, ctx.mem);
+                ctx.mem.free(kobj.frame)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges a memory access to a kernel object and fires hooks.
+    fn access_object(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        obj: ObjectId,
+        bytes: u64,
+        write: bool,
+    ) -> Result<(), KernelError> {
+        let kobj = *self.objects.get(obj).ok_or(KernelError::BadObject(obj))?;
+        if write {
+            ctx.mem.write_from(ctx.socket, kobj.frame, bytes);
+        } else {
+            ctx.mem.read_from(ctx.socket, kobj.frame, bytes);
+        }
+        self.cache_lru.mark_accessed(kobj.frame);
+        ctx.hooks
+            .on_object_access(obj, &kobj.info, kobj.frame, ctx.cpu, ctx.mem);
+        Ok(())
+    }
+
+    /// Re-associates an object with a socket inode after late demux and
+    /// fires the association hook (paper §4.2.3 ingress path).
+    fn associate_object(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        obj: ObjectId,
+        inode: InodeId,
+    ) -> Result<(), KernelError> {
+        let kobj = *self
+            .objects
+            .set_inode(obj, inode)
+            .ok_or(KernelError::BadObject(obj))?;
+        ctx.hooks
+            .on_object_associate(obj, &kobj.info, kobj.frame, ctx.cpu, ctx.mem);
+        Ok(())
+    }
+
+    /// Adds a journal head for a metadata update; commits if the
+    /// transaction fills.
+    fn journal_add(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        inode: Option<InodeId>,
+    ) -> Result<(), KernelError> {
+        let head = self.alloc_object(ctx, KernelObjectType::JournalHead, inode, false)?;
+        self.access_object(ctx, head, KernelObjectType::JournalHead.size(), true)?;
+        if self.journal.add(head, inode) {
+            self.commit_journal(ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Commits the running journal transaction: writes journal blocks
+    /// sequentially to disk and releases the heads.
+    pub fn commit_journal(&mut self, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
+        let Some(spec) = self.journal.commit() else {
+            return Ok(());
+        };
+        let mut blocks = Vec::with_capacity(spec.blocks);
+        for _ in 0..spec.blocks {
+            let b = self.alloc_object(ctx, KernelObjectType::JournalBlock, None, false)?;
+            self.access_object(ctx, b, kloc_mem::PAGE_SIZE, true)?;
+            blocks.push(b);
+        }
+        self.disk.submit_write(
+            ctx.mem.now(),
+            spec.blocks as u64 * kloc_mem::PAGE_SIZE,
+            IoPattern::Sequential,
+        );
+        for head in spec.heads {
+            self.free_object(ctx, head.obj)?;
+        }
+        for b in blocks {
+            self.free_object(ctx, b)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Filesystem syscalls
+    // ------------------------------------------------------------------
+
+    /// Creates and opens a new file.
+    ///
+    /// # Errors
+    /// [`KernelError::Exists`] if the path is taken.
+    pub fn create(&mut self, ctx: &mut Ctx<'_>, path: &str) -> Result<Fd, KernelError> {
+        self.stats.on_syscall(Syscall::Create);
+        ctx.mem.charge(self.params.syscall_base);
+        if self.vfs.lookup_path(path).is_some() {
+            return Err(KernelError::Exists(path.to_owned()));
+        }
+        let ino = self.vfs.next_inode_id();
+        ctx.hooks.on_inode_create(ino, ctx.cpu, ctx.mem);
+
+        let inode_obj = self.alloc_object(ctx, KernelObjectType::Inode, Some(ino), false)?;
+        self.access_object(ctx, inode_obj, KernelObjectType::Inode.size(), true)?;
+        let dentry_obj = self.alloc_object(ctx, KernelObjectType::Dentry, Some(ino), false)?;
+        self.access_object(ctx, dentry_obj, KernelObjectType::Dentry.size(), true)?;
+        self.journal_add(ctx, Some(ino))?;
+
+        let inode = Inode {
+            id: ino,
+            kind: InodeKind::RegularFile,
+            size: 0,
+            nlink: 1,
+            open_count: 1,
+            inode_obj,
+            dentry_obj: Some(dentry_obj),
+            sock_obj: None,
+            cache: PageCache::new(self.params.radix_fanout),
+            extents: ExtentTree::new(self.params.extent_span),
+            rx: RxQueue::new(),
+            created_at: ctx.mem.now(),
+            last_activity: ctx.mem.now(),
+        };
+        self.vfs.insert_inode(inode);
+        self.vfs.bind_path(path, ino);
+        let file_obj = self.alloc_object(ctx, KernelObjectType::FileHandle, Some(ino), false)?;
+        let fd = self.vfs.open_fd(ino, file_obj);
+        ctx.hooks.on_inode_open(ino, ctx.cpu, ctx.mem);
+        Ok(fd)
+    }
+
+    /// Opens an existing file.
+    ///
+    /// # Errors
+    /// [`KernelError::NoEntry`] if the path does not resolve.
+    pub fn open(&mut self, ctx: &mut Ctx<'_>, path: &str) -> Result<Fd, KernelError> {
+        self.stats.on_syscall(Syscall::Open);
+        ctx.mem.charge(self.params.syscall_base);
+        let ino = self
+            .vfs
+            .lookup_path(path)
+            .ok_or_else(|| KernelError::NoEntry(path.to_owned()))?;
+
+        // Dentry-cache lookup.
+        let dentry = self
+            .vfs
+            .inode(ino)
+            .ok_or(KernelError::BadInode(ino))?
+            .dentry_obj;
+        match dentry {
+            Some(d) => {
+                self.stats.dentry_hits += 1;
+                self.access_object(ctx, d, KernelObjectType::Dentry.size(), false)?;
+            }
+            None => {
+                // Cold lookup: read the directory block, repopulate.
+                self.stats.dentry_misses += 1;
+                let stall =
+                    self.disk
+                        .read_sync(ctx.mem.now(), kloc_mem::PAGE_SIZE, IoPattern::Random);
+                ctx.mem.charge(stall);
+                let d = self.alloc_object(ctx, KernelObjectType::Dentry, Some(ino), false)?;
+                self.access_object(ctx, d, KernelObjectType::Dentry.size(), true)?;
+                self.vfs
+                    .inode_mut(ino)
+                    .ok_or(KernelError::BadInode(ino))?
+                    .dentry_obj = Some(d);
+            }
+        }
+
+        let inode_obj = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?.inode_obj;
+        self.access_object(ctx, inode_obj, KernelObjectType::Inode.size(), false)?;
+        let file_obj = self.alloc_object(ctx, KernelObjectType::FileHandle, Some(ino), false)?;
+        let fd = self.vfs.open_fd(ino, file_obj);
+        let inode = self.vfs.inode_mut(ino).ok_or(KernelError::BadInode(ino))?;
+        inode.open_count += 1;
+        inode.last_activity = ctx.mem.now();
+        if inode.open_count == 1 {
+            ctx.hooks.on_inode_open(ino, ctx.cpu, ctx.mem);
+        }
+        Ok(fd)
+    }
+
+    fn resolve(&self, fd: Fd) -> Result<(InodeId, ObjectId), KernelError> {
+        let of = self.vfs.fd(fd).ok_or(KernelError::BadFd(fd))?;
+        Ok((of.inode, of.file_obj))
+    }
+
+    /// Writes `len` bytes at `offset`. Returns bytes written.
+    ///
+    /// # Errors
+    /// [`KernelError::BadFd`] for closed descriptors;
+    /// [`KernelError::WrongKind`] for sockets.
+    pub fn write(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        fd: Fd,
+        offset: u64,
+        len: u64,
+    ) -> Result<u64, KernelError> {
+        self.stats.on_syscall(Syscall::Write);
+        ctx.mem.charge(self.params.syscall_base);
+        let (ino, file_obj) = self.resolve(fd)?;
+        self.access_object(ctx, file_obj, 64, false)?;
+        if len == 0 {
+            return Ok(0);
+        }
+        {
+            let inode = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?;
+            if inode.kind != InodeKind::RegularFile {
+                return Err(KernelError::WrongKind(ino));
+            }
+        }
+
+        // Growth: extents + journaled metadata update.
+        let new_size = {
+            let inode = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?;
+            inode.size.max(offset + len)
+        };
+        let grew = {
+            let inode = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?;
+            new_size > inode.size
+        };
+        if grew {
+            let missing = {
+                let inode = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?;
+                inode.extents.missing_spans(new_size)
+            };
+            for start in missing {
+                let e = self.alloc_object(ctx, KernelObjectType::Extent, Some(ino), false)?;
+                self.access_object(ctx, e, KernelObjectType::Extent.size(), true)?;
+                self.vfs
+                    .inode_mut(ino)
+                    .ok_or(KernelError::BadInode(ino))?
+                    .extents
+                    .insert(start, e);
+            }
+            let inode_obj = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?.inode_obj;
+            self.access_object(ctx, inode_obj, KernelObjectType::Inode.size(), true)?;
+            self.journal_add(ctx, Some(ino))?;
+            self.vfs
+                .inode_mut(ino)
+                .ok_or(KernelError::BadInode(ino))?
+                .size = new_size;
+        }
+
+        // Per-page cache writes.
+        let first = offset / kloc_mem::PAGE_SIZE;
+        let last = (offset + len - 1) / kloc_mem::PAGE_SIZE;
+        for idx in first..=last {
+            let page_off = idx * kloc_mem::PAGE_SIZE;
+            let lo = offset.max(page_off);
+            let hi = (offset + len).min(page_off + kloc_mem::PAGE_SIZE);
+            let bytes = hi - lo;
+            self.write_cache_page(ctx, ino, idx, bytes)?;
+        }
+        self.vfs
+            .inode_mut(ino)
+            .ok_or(KernelError::BadInode(ino))?
+            .last_activity = ctx.mem.now();
+
+        // Background writeback + cache budget.
+        if self.dirty_pages as usize >= self.params.writeback_threshold {
+            let flush = self.params.writeback_threshold / 2;
+            self.writeback(ctx, flush)?;
+        }
+        self.shrink_cache(ctx)?;
+        Ok(len)
+    }
+
+    /// Writes `bytes` into page `idx` of `ino`, allocating cache
+    /// structures as needed.
+    fn write_cache_page(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        ino: InodeId,
+        idx: u64,
+        bytes: u64,
+    ) -> Result<(), KernelError> {
+        // Radix traversal.
+        let node = self
+            .vfs
+            .inode(ino)
+            .ok_or(KernelError::BadInode(ino))?
+            .cache
+            .node_for(idx);
+        if let Some(n) = node {
+            self.access_object(ctx, n, 64, false)?;
+        }
+        let cached = self
+            .vfs
+            .inode(ino)
+            .ok_or(KernelError::BadInode(ino))?
+            .cache
+            .get(idx)
+            .copied();
+        match cached {
+            Some(page) => {
+                self.stats.cache_hits += 1;
+                ctx.mem.write_from(ctx.socket, page.frame, bytes);
+                self.cache_lru.mark_accessed(page.frame);
+                self.note_prefetch_hit(page.frame);
+                let inode = self.vfs.inode_mut(ino).ok_or(KernelError::BadInode(ino))?;
+                let was_dirty = inode.cache.get(idx).map(|p| p.dirty).unwrap_or(false);
+                inode.cache.mark_dirty(idx);
+                if !was_dirty {
+                    self.dirty_pages += 1;
+                    self.dirty_list.push_back((ino, idx));
+                }
+                if let Some(kobj) = self.objects.get(page.obj) {
+                    let info = kobj.info;
+                    let frame = kobj.frame;
+                    ctx.hooks.on_object_access(page.obj, &info, frame, ctx.cpu, ctx.mem);
+                }
+            }
+            None => {
+                self.stats.cache_misses += 1;
+                self.insert_cache_page(ctx, ino, idx, true, false)?;
+                let frame = self
+                    .vfs
+                    .inode(ino)
+                    .ok_or(KernelError::BadInode(ino))?
+                    .cache
+                    .get(idx)
+                    .expect("just inserted")
+                    .frame;
+                ctx.mem.write_from(ctx.socket, frame, bytes);
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocates a page-cache page (and radix node if needed) for
+    /// (`ino`, `idx`) and inserts it into the inode's cache and the
+    /// global cache LRU.
+    fn insert_cache_page(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        ino: InodeId,
+        idx: u64,
+        dirty: bool,
+        readahead: bool,
+    ) -> Result<FrameId, KernelError> {
+        let needs_node = self
+            .vfs
+            .inode(ino)
+            .ok_or(KernelError::BadInode(ino))?
+            .cache
+            .needs_node(idx);
+        if needs_node {
+            let n = self.alloc_object(ctx, KernelObjectType::RadixNode, Some(ino), readahead)?;
+            self.access_object(ctx, n, KernelObjectType::RadixNode.size(), true)?;
+            self.vfs
+                .inode_mut(ino)
+                .ok_or(KernelError::BadInode(ino))?
+                .cache
+                .install_node(idx, n);
+        }
+        let obj = self.alloc_object(ctx, KernelObjectType::PageCache, Some(ino), readahead)?;
+        let frame = self.objects.get(obj).expect("just allocated").frame;
+        self.vfs
+            .inode_mut(ino)
+            .ok_or(KernelError::BadInode(ino))?
+            .cache
+            .insert(idx, obj, frame, dirty);
+        self.cache_lru.insert(frame, List::Inactive);
+        self.cache_lru.mark_accessed(frame);
+        self.cache_index.insert(frame, (ino, idx));
+        self.cache_pages += 1;
+        if dirty {
+            self.dirty_pages += 1;
+            self.dirty_list.push_back((ino, idx));
+        }
+        Ok(frame)
+    }
+
+    fn note_prefetch_hit(&mut self, frame: FrameId) {
+        if self.prefetched.remove(&frame) {
+            self.readahead.record_useful();
+        }
+    }
+
+    /// Reads `len` bytes at `offset`. Returns bytes actually read
+    /// (clamped to the file size).
+    ///
+    /// # Errors
+    /// [`KernelError::BadFd`] / [`KernelError::WrongKind`] as for
+    /// [`Kernel::write`].
+    pub fn read(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        fd: Fd,
+        offset: u64,
+        len: u64,
+    ) -> Result<u64, KernelError> {
+        self.stats.on_syscall(Syscall::Read);
+        ctx.mem.charge(self.params.syscall_base);
+        let (ino, file_obj) = self.resolve(fd)?;
+        self.access_object(ctx, file_obj, 64, false)?;
+        let size = {
+            let inode = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?;
+            if inode.kind != InodeKind::RegularFile {
+                return Err(KernelError::WrongKind(ino));
+            }
+            inode.size
+        };
+        if offset >= size || len == 0 {
+            return Ok(0);
+        }
+        let len = len.min(size - offset);
+
+        let first = offset / kloc_mem::PAGE_SIZE;
+        let last = (offset + len - 1) / kloc_mem::PAGE_SIZE;
+        for idx in first..=last {
+            let page_off = idx * kloc_mem::PAGE_SIZE;
+            let lo = offset.max(page_off);
+            let hi = (offset + len).min(page_off + kloc_mem::PAGE_SIZE);
+            let bytes = hi - lo;
+            self.read_cache_page(ctx, ino, idx, bytes)?;
+
+            // Adaptive readahead.
+            let window = self.readahead.on_read(ino, idx);
+            if window > 0 {
+                self.prefetch(ctx, ino, idx + 1, window, size)?;
+            }
+        }
+        self.vfs
+            .inode_mut(ino)
+            .ok_or(KernelError::BadInode(ino))?
+            .last_activity = ctx.mem.now();
+        self.shrink_cache(ctx)?;
+        Ok(len)
+    }
+
+    fn read_cache_page(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        ino: InodeId,
+        idx: u64,
+        bytes: u64,
+    ) -> Result<(), KernelError> {
+        let node = self
+            .vfs
+            .inode(ino)
+            .ok_or(KernelError::BadInode(ino))?
+            .cache
+            .node_for(idx);
+        if let Some(n) = node {
+            self.access_object(ctx, n, 64, false)?;
+        }
+        let cached = self
+            .vfs
+            .inode(ino)
+            .ok_or(KernelError::BadInode(ino))?
+            .cache
+            .get(idx)
+            .copied();
+        match cached {
+            Some(page) => {
+                self.stats.cache_hits += 1;
+                ctx.mem.read_from(ctx.socket, page.frame, bytes);
+                self.cache_lru.mark_accessed(page.frame);
+                self.note_prefetch_hit(page.frame);
+                if let Some(kobj) = self.objects.get(page.obj) {
+                    let info = kobj.info;
+                    let frame = kobj.frame;
+                    ctx.hooks.on_object_access(page.obj, &info, frame, ctx.cpu, ctx.mem);
+                }
+            }
+            None => {
+                // Major fault: synchronous disk read.
+                self.stats.cache_misses += 1;
+                let stall =
+                    self.disk
+                        .read_sync(ctx.mem.now(), kloc_mem::PAGE_SIZE, IoPattern::Random);
+                ctx.mem.charge(stall);
+                let frame = self.insert_cache_page(ctx, ino, idx, false, false)?;
+                ctx.mem.write_from(ctx.socket, frame, kloc_mem::PAGE_SIZE); // fill
+                ctx.mem.read_from(ctx.socket, frame, bytes);
+            }
+        }
+        Ok(())
+    }
+
+    /// Prefetches up to `window` pages starting at `start` (bounded by
+    /// the file size). Disk reads are asynchronous.
+    fn prefetch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        ino: InodeId,
+        start: u64,
+        window: u64,
+        size: u64,
+    ) -> Result<(), KernelError> {
+        let max_idx = if size == 0 { 0 } else { (size - 1) / kloc_mem::PAGE_SIZE };
+        let mut issued = 0;
+        for idx in start..(start + window).min(max_idx + 1) {
+            let present = self
+                .vfs
+                .inode(ino)
+                .ok_or(KernelError::BadInode(ino))?
+                .cache
+                .get(idx)
+                .is_some();
+            if present {
+                continue;
+            }
+            let frame = self.insert_cache_page(ctx, ino, idx, false, true)?;
+            self.disk
+                .submit_read(ctx.mem.now(), kloc_mem::PAGE_SIZE, IoPattern::Sequential);
+            self.prefetched.insert(frame);
+            issued += 1;
+        }
+        if issued > 0 {
+            self.readahead.record_issued(issued);
+        }
+        Ok(())
+    }
+
+    /// Flushes `fd`'s dirty pages and commits the journal, waiting for
+    /// the device.
+    pub fn fsync(&mut self, ctx: &mut Ctx<'_>, fd: Fd) -> Result<(), KernelError> {
+        self.stats.on_syscall(Syscall::Fsync);
+        ctx.mem.charge(self.params.syscall_base);
+        let (ino, _) = self.resolve(fd)?;
+        let dirty = {
+            let inode = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?;
+            inode.cache.dirty_indices()
+        };
+        self.flush_pages(ctx, ino, &dirty)?;
+        self.commit_journal(ctx)?;
+        let stall = self.disk.drain(ctx.mem.now());
+        ctx.mem.charge(stall);
+        Ok(())
+    }
+
+    /// Writes back up to `max_pages` from the global dirty list
+    /// (background writeback).
+    pub fn writeback(&mut self, ctx: &mut Ctx<'_>, max_pages: usize) -> Result<(), KernelError> {
+        let mut batch: Vec<(InodeId, u64)> = Vec::new();
+        while batch.len() < max_pages {
+            let Some((ino, idx)) = self.dirty_list.pop_front() else {
+                break;
+            };
+            let still_dirty = self
+                .vfs
+                .inode(ino)
+                .and_then(|i| i.cache.get(idx))
+                .map(|p| p.dirty)
+                .unwrap_or(false);
+            if still_dirty {
+                batch.push((ino, idx));
+            }
+        }
+        // Group by inode for flushing.
+        let mut by_inode: HashMap<InodeId, Vec<u64>> = HashMap::new();
+        for (ino, idx) in batch {
+            by_inode.entry(ino).or_default().push(idx);
+        }
+        for (ino, idxs) in by_inode {
+            self.flush_pages(ctx, ino, &idxs)?;
+        }
+        Ok(())
+    }
+
+    /// Writes back the given dirty pages of one inode: reads the page
+    /// data (DMA), allocates bio/blk-mq objects per batch, submits the
+    /// write, and marks pages clean.
+    fn flush_pages(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        ino: InodeId,
+        idxs: &[u64],
+    ) -> Result<(), KernelError> {
+        if idxs.is_empty() {
+            return Ok(());
+        }
+        let mut flushed = 0usize;
+        for chunk in idxs.chunks(self.params.pages_per_bio.max(1)) {
+            let mut pages_in_bio = 0;
+            for &idx in chunk {
+                let page = {
+                    let inode = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?;
+                    inode.cache.get(idx).copied()
+                };
+                let Some(page) = page else { continue };
+                if !page.dirty {
+                    continue;
+                }
+                // DMA read of the page from wherever it lives: this is
+                // where dirty pages stranded in slow memory hurt.
+                ctx.mem.read(page.frame, kloc_mem::PAGE_SIZE);
+                let inode = self.vfs.inode_mut(ino).ok_or(KernelError::BadInode(ino))?;
+                inode.cache.mark_clean(idx);
+                self.dirty_pages -= 1;
+                pages_in_bio += 1;
+            }
+            if pages_in_bio == 0 {
+                continue;
+            }
+            let bio = self.alloc_object(ctx, KernelObjectType::Bio, Some(ino), false)?;
+            self.access_object(ctx, bio, KernelObjectType::Bio.size(), true)?;
+            let req = self.alloc_object(ctx, KernelObjectType::BlkMqRequest, Some(ino), false)?;
+            self.access_object(ctx, req, KernelObjectType::BlkMqRequest.size(), true)?;
+            self.disk.submit_write(
+                ctx.mem.now(),
+                pages_in_bio as u64 * kloc_mem::PAGE_SIZE,
+                IoPattern::Sequential,
+            );
+            self.block.record_dispatch(pages_in_bio, 1);
+            self.free_object(ctx, req)?;
+            self.free_object(ctx, bio)?;
+            flushed += pages_in_bio;
+        }
+        self.stats.writeback_pages += flushed as u64;
+        Ok(())
+    }
+
+    /// Enforces the page-cache budget: reclaims clean cold pages
+    /// (writing back dirty ones first), oldest-first, charging LRU scan
+    /// costs.
+    fn shrink_cache(&mut self, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
+        let mut guard = 0;
+        while self.cache_pages > self.params.page_cache_budget && guard < 64 {
+            guard += 1;
+            let out = self.cache_lru.scan_inactive(32);
+            ctx.mem
+                .charge(self.params.lru_scan_per_page * out.scanned as u64);
+            if out.scanned == 0 {
+                // Everything is active: age some pages and retry.
+                let target = (self.cache_lru.active_len() / 4).max(32);
+                self.cache_lru.age_active(target);
+                continue;
+            }
+            for frame in out.evict {
+                let Some(&(ino, idx)) = self.cache_index.get(&frame) else {
+                    continue;
+                };
+                let dirty = self
+                    .vfs
+                    .inode(ino)
+                    .and_then(|i| i.cache.get(idx))
+                    .map(|p| p.dirty)
+                    .unwrap_or(false);
+                if dirty {
+                    self.flush_pages(ctx, ino, &[idx])?;
+                }
+                self.drop_cache_page(ctx, ino, idx)?;
+                self.stats.reclaimed_pages += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes one page from an inode's cache, freeing the page object
+    /// and any emptied radix node.
+    fn drop_cache_page(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        ino: InodeId,
+        idx: u64,
+    ) -> Result<(), KernelError> {
+        let removed = {
+            let inode = self.vfs.inode_mut(ino).ok_or(KernelError::BadInode(ino))?;
+            let was_dirty = inode.cache.get(idx).map(|p| p.dirty).unwrap_or(false);
+            if was_dirty {
+                self.dirty_pages -= 1;
+            }
+            inode.cache.remove(idx)
+        };
+        let Some(removed) = removed else {
+            return Ok(());
+        };
+        self.free_object(ctx, removed.page.obj)?;
+        if let Some(node) = removed.freed_node {
+            self.free_object(ctx, node)?;
+        }
+        Ok(())
+    }
+
+    /// Closes a descriptor. When the last handle drops, the inode goes
+    /// inactive (firing `on_inode_close`) or is destroyed if unlinked.
+    pub fn close(&mut self, ctx: &mut Ctx<'_>, fd: Fd) -> Result<(), KernelError> {
+        self.stats.on_syscall(Syscall::Close);
+        ctx.mem.charge(self.params.syscall_base);
+        let of = self.vfs.close_fd(fd).ok_or(KernelError::BadFd(fd))?;
+        self.free_object(ctx, of.file_obj)?;
+        let ino = of.inode;
+        let (open_count, nlink, kind) = {
+            let inode = self.vfs.inode_mut(ino).ok_or(KernelError::BadInode(ino))?;
+            inode.open_count -= 1;
+            (inode.open_count, inode.nlink, inode.kind)
+        };
+        if open_count == 0 {
+            self.readahead.forget(ino);
+            if nlink == 0 || kind == InodeKind::Socket {
+                self.destroy_inode(ctx, ino)?;
+            } else {
+                ctx.hooks.on_inode_close(ino, ctx.mem);
+            }
+        }
+        Ok(())
+    }
+
+    /// Unlinks a path. The inode is destroyed once no handles remain.
+    pub fn unlink(&mut self, ctx: &mut Ctx<'_>, path: &str) -> Result<(), KernelError> {
+        self.stats.on_syscall(Syscall::Unlink);
+        ctx.mem.charge(self.params.syscall_base);
+        let ino = self
+            .vfs
+            .unbind_path(path)
+            .ok_or_else(|| KernelError::NoEntry(path.to_owned()))?;
+        self.journal_add(ctx, Some(ino))?;
+        let open_count = {
+            let inode = self.vfs.inode_mut(ino).ok_or(KernelError::BadInode(ino))?;
+            inode.nlink = 0;
+            inode.open_count
+        };
+        if open_count == 0 {
+            self.destroy_inode(ctx, ino)?;
+        }
+        Ok(())
+    }
+
+    /// Frees every object belonging to an inode (paper §3.2: deleted
+    /// files' objects are *deallocated*, never migrated).
+    fn destroy_inode(&mut self, ctx: &mut Ctx<'_>, ino: InodeId) -> Result<(), KernelError> {
+        ctx.hooks.on_inode_destroy(ino, ctx.mem);
+        let mut inode = self.vfs.remove_inode(ino).ok_or(KernelError::BadInode(ino))?;
+        self.dirty_pages -= inode.cache.dirty_pages();
+        let (pages, nodes) = inode.cache.take_all();
+        for p in pages {
+            self.free_object(ctx, p.obj)?;
+        }
+        for n in nodes {
+            self.free_object(ctx, n)?;
+        }
+        for e in inode.extents.drain() {
+            self.free_object(ctx, e)?;
+        }
+        for packet in inode.rx.drain() {
+            self.free_object(ctx, packet.skb)?;
+            for d in packet.data {
+                self.free_object(ctx, d)?;
+            }
+        }
+        if let Some(d) = inode.dentry_obj {
+            self.free_object(ctx, d)?;
+        }
+        if let Some(s) = inode.sock_obj {
+            self.free_object(ctx, s)?;
+        }
+        self.free_object(ctx, inode.inode_obj)?;
+        self.readahead.forget(ino);
+        Ok(())
+    }
+
+    /// Creates a directory.
+    ///
+    /// # Errors
+    /// [`KernelError::Exists`] if the path is taken.
+    pub fn mkdir(&mut self, ctx: &mut Ctx<'_>, path: &str) -> Result<InodeId, KernelError> {
+        self.stats.on_syscall(Syscall::Mkdir);
+        ctx.mem.charge(self.params.syscall_base);
+        if self.vfs.lookup_path(path).is_some() {
+            return Err(KernelError::Exists(path.to_owned()));
+        }
+        let ino = self.vfs.next_inode_id();
+        ctx.hooks.on_inode_create(ino, ctx.cpu, ctx.mem);
+        let inode_obj = self.alloc_object(ctx, KernelObjectType::Inode, Some(ino), false)?;
+        self.access_object(ctx, inode_obj, KernelObjectType::Inode.size(), true)?;
+        let dentry_obj = self.alloc_object(ctx, KernelObjectType::Dentry, Some(ino), false)?;
+        self.access_object(ctx, dentry_obj, KernelObjectType::Dentry.size(), true)?;
+        self.journal_add(ctx, Some(ino))?;
+        let inode = Inode {
+            id: ino,
+            kind: InodeKind::Directory,
+            size: 0,
+            nlink: 1,
+            open_count: 0,
+            inode_obj,
+            dentry_obj: Some(dentry_obj),
+            sock_obj: None,
+            cache: PageCache::new(self.params.radix_fanout),
+            extents: ExtentTree::new(self.params.extent_span),
+            rx: RxQueue::new(),
+            created_at: ctx.mem.now(),
+            last_activity: ctx.mem.now(),
+        };
+        self.vfs.insert_inode(inode);
+        self.vfs.bind_path(path, ino);
+        // Directories are long-lived caches, not held open: mark the
+        // knode inactive right away.
+        ctx.hooks.on_inode_close(ino, ctx.mem);
+        Ok(ino)
+    }
+
+    /// Lists a directory: allocates transient dir-buffer objects (one
+    /// per `entries_per_buffer` entries), reads them, and frees them —
+    /// the short-lived "dir buffers" of paper §3.3.
+    ///
+    /// # Errors
+    /// [`KernelError::NoEntry`] if the path does not name a directory.
+    pub fn readdir(&mut self, ctx: &mut Ctx<'_>, path: &str, entries: u64) -> Result<u64, KernelError> {
+        self.stats.on_syscall(Syscall::Readdir);
+        ctx.mem.charge(self.params.syscall_base);
+        let ino = self
+            .vfs
+            .lookup_path(path)
+            .ok_or_else(|| KernelError::NoEntry(path.to_owned()))?;
+        {
+            let inode = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?;
+            if inode.kind != InodeKind::Directory {
+                return Err(KernelError::WrongKind(ino));
+            }
+        }
+        let inode_obj = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?.inode_obj;
+        self.access_object(ctx, inode_obj, KernelObjectType::Inode.size(), false)?;
+        // ~6 directory entries fit one 680 B buffer.
+        let buffers = entries.div_ceil(6).max(1);
+        for _ in 0..buffers {
+            let b = self.alloc_object(ctx, KernelObjectType::DirBuffer, Some(ino), false)?;
+            self.access_object(ctx, b, KernelObjectType::DirBuffer.size(), true)?;
+            self.access_object(ctx, b, KernelObjectType::DirBuffer.size(), false)?;
+            self.free_object(ctx, b)?;
+        }
+        self.vfs
+            .inode_mut(ino)
+            .ok_or(KernelError::BadInode(ino))?
+            .last_activity = ctx.mem.now();
+        Ok(entries)
+    }
+
+    // ------------------------------------------------------------------
+    // Network syscalls
+    // ------------------------------------------------------------------
+
+    /// Creates a socket (with its sockfs inode).
+    pub fn socket(&mut self, ctx: &mut Ctx<'_>) -> Result<Fd, KernelError> {
+        self.stats.on_syscall(Syscall::Socket);
+        ctx.mem.charge(self.params.syscall_base);
+        let ino = self.vfs.next_inode_id();
+        ctx.hooks.on_inode_create(ino, ctx.cpu, ctx.mem);
+        let inode_obj = self.alloc_object(ctx, KernelObjectType::Inode, Some(ino), false)?;
+        self.access_object(ctx, inode_obj, KernelObjectType::Inode.size(), true)?;
+        let sock_obj = self.alloc_object(ctx, KernelObjectType::Sock, Some(ino), false)?;
+        self.access_object(ctx, sock_obj, KernelObjectType::Sock.size(), true)?;
+        let inode = Inode {
+            id: ino,
+            kind: InodeKind::Socket,
+            size: 0,
+            nlink: 1,
+            open_count: 1,
+            inode_obj,
+            dentry_obj: None,
+            sock_obj: Some(sock_obj),
+            cache: PageCache::new(self.params.radix_fanout),
+            extents: ExtentTree::new(self.params.extent_span),
+            rx: RxQueue::new(),
+            created_at: ctx.mem.now(),
+            last_activity: ctx.mem.now(),
+        };
+        self.vfs.insert_inode(inode);
+        let file_obj = self.alloc_object(ctx, KernelObjectType::FileHandle, Some(ino), false)?;
+        let fd = self.vfs.open_fd(ino, file_obj);
+        ctx.hooks.on_inode_open(ino, ctx.cpu, ctx.mem);
+        Ok(fd)
+    }
+
+    /// Sends `bytes` on a socket (egress path: skbuff + data buffer per
+    /// packet, freed after transmission).
+    pub fn send(&mut self, ctx: &mut Ctx<'_>, fd: Fd, bytes: u64) -> Result<u64, KernelError> {
+        self.stats.on_syscall(Syscall::Send);
+        ctx.mem.charge(self.params.syscall_base);
+        let (ino, _) = self.resolve(fd)?;
+        let (kind, sock_obj) = {
+            let inode = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?;
+            (inode.kind, inode.sock_obj)
+        };
+        if kind != InodeKind::Socket {
+            return Err(KernelError::WrongKind(ino));
+        }
+        let sock_obj = sock_obj.ok_or(KernelError::WrongKind(ino))?;
+        self.access_object(ctx, sock_obj, 128, true)?;
+
+        let packets = bytes.div_ceil(self.params.packet_bytes).max(1);
+        for p in 0..packets {
+            let payload = if p == packets - 1 {
+                bytes - p * self.params.packet_bytes
+            } else {
+                self.params.packet_bytes
+            };
+            let skb = self.alloc_object(ctx, KernelObjectType::SkBuff, Some(ino), false)?;
+            self.access_object(ctx, skb, KernelObjectType::SkBuff.size(), true)?;
+            let data = self.alloc_object(ctx, KernelObjectType::SkBuffData, Some(ino), false)?;
+            self.access_object(ctx, data, payload.max(1), true)?;
+            ctx.mem.charge(
+                self.params.net_tcp_cpu + self.params.net_ip_cpu + self.params.net_driver_cpu,
+            );
+            // Transmitted: egress buffers are freed immediately.
+            self.free_object(ctx, data)?;
+            self.free_object(ctx, skb)?;
+            self.net_stats.tx_packets += 1;
+        }
+        self.net_stats.tx_bytes += bytes;
+        self.vfs
+            .inode_mut(ino)
+            .ok_or(KernelError::BadInode(ino))?
+            .last_activity = ctx.mem.now();
+        Ok(bytes)
+    }
+
+    /// Delivers `bytes` of ingress traffic to a socket (the asynchronous
+    /// receive path: driver RX buffer + skbuff, demuxed up the stack and
+    /// queued until [`Kernel::recv`]).
+    pub fn deliver(&mut self, ctx: &mut Ctx<'_>, fd: Fd, bytes: u64) -> Result<(), KernelError> {
+        let (ino, _) = self.resolve(fd)?;
+        {
+            let inode = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?;
+            if inode.kind != InodeKind::Socket {
+                return Err(KernelError::WrongKind(ino));
+            }
+        }
+        let early = ctx.hooks.early_socket_demux();
+        let packets = bytes.div_ceil(self.params.packet_bytes).max(1);
+        for p in 0..packets {
+            let payload = if p == packets - 1 {
+                bytes - p * self.params.packet_bytes
+            } else {
+                self.params.packet_bytes
+            };
+            // Driver: allocate the RX buffer and skbuff. With early demux
+            // the socket is known here; otherwise it is discovered at the
+            // TCP layer and associated late.
+            let alloc_inode = if early { Some(ino) } else { None };
+            ctx.mem.charge(self.params.net_driver_cpu);
+            let rx = self.alloc_object(ctx, KernelObjectType::RxBuf, alloc_inode, false)?;
+            // DMA fill: the NIC writes a whole ring buffer page.
+            ctx.mem
+                .write(self.objects.get(rx).expect("just allocated").frame, kloc_mem::PAGE_SIZE);
+            let skb = self.alloc_object(ctx, KernelObjectType::SkBuff, alloc_inode, false)?;
+            self.access_object(ctx, skb, KernelObjectType::SkBuff.size(), true)?;
+
+            // IP + TCP layers.
+            ctx.mem.charge(self.params.net_ip_cpu);
+            let tcp_cpu = if early {
+                self.params
+                    .net_tcp_cpu
+                    .saturating_sub(self.params.net_early_demux_saving)
+            } else {
+                self.params.net_tcp_cpu
+            };
+            ctx.mem.charge(tcp_cpu);
+            if early {
+                self.net_stats.early_demuxed += 1;
+            } else {
+                // Late demux: associate the objects with the socket now.
+                self.associate_object(ctx, rx, ino)?;
+                self.associate_object(ctx, skb, ino)?;
+            }
+
+            // Queue on the socket.
+            let sock_obj = self
+                .vfs
+                .inode(ino)
+                .ok_or(KernelError::BadInode(ino))?
+                .sock_obj
+                .ok_or(KernelError::WrongKind(ino))?;
+            self.access_object(ctx, sock_obj, 128, true)?;
+            self.vfs
+                .inode_mut(ino)
+                .ok_or(KernelError::BadInode(ino))?
+                .rx
+                .push(Packet {
+                    skb,
+                    data: vec![rx],
+                    bytes: payload,
+                });
+            self.net_stats.rx_packets += 1;
+        }
+        self.net_stats.rx_bytes += bytes;
+        Ok(())
+    }
+
+    /// Receives up to `max_bytes` from a socket's queue.
+    ///
+    /// # Errors
+    /// [`KernelError::WouldBlock`] when nothing is queued.
+    pub fn recv(&mut self, ctx: &mut Ctx<'_>, fd: Fd, max_bytes: u64) -> Result<u64, KernelError> {
+        self.stats.on_syscall(Syscall::Recv);
+        ctx.mem.charge(self.params.syscall_base);
+        let (ino, _) = self.resolve(fd)?;
+        {
+            let inode = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?;
+            if inode.kind != InodeKind::Socket {
+                return Err(KernelError::WrongKind(ino));
+            }
+            if inode.rx.is_empty() {
+                return Err(KernelError::WouldBlock(fd));
+            }
+        }
+        let mut got = 0;
+        while got < max_bytes {
+            let packet = {
+                let inode = self.vfs.inode_mut(ino).ok_or(KernelError::BadInode(ino))?;
+                inode.rx.pop()
+            };
+            let Some(packet) = packet else { break };
+            self.access_object(ctx, packet.skb, KernelObjectType::SkBuff.size(), false)?;
+            for &d in &packet.data {
+                // Copy to userspace: read the kernel buffer.
+                self.access_object(ctx, d, packet.bytes.max(1), false)?;
+            }
+            got += packet.bytes;
+            self.free_object(ctx, packet.skb)?;
+            for d in packet.data {
+                self.free_object(ctx, d)?;
+            }
+        }
+        self.vfs
+            .inode_mut(ino)
+            .ok_or(KernelError::BadInode(ino))?
+            .last_activity = ctx.mem.now();
+        Ok(got)
+    }
+
+    // ------------------------------------------------------------------
+    // Application memory
+    // ------------------------------------------------------------------
+
+    /// Allocates one application (anonymous) page — a transparent huge
+    /// page when [`KernelParams::thp_app`] is set.
+    pub fn alloc_app_page(&mut self, ctx: &mut Ctx<'_>) -> Result<FrameId, KernelError> {
+        ctx.mem.charge(self.params.page_alloc_cpu);
+        let kind = if self.params.thp_app {
+            PageKind::AppHuge
+        } else {
+            PageKind::AppData
+        };
+        let req = PageRequest {
+            kind,
+            ty: None,
+            inode: None,
+            readahead: false,
+            cpu: ctx.cpu,
+        };
+        let placement = ctx.hooks.place_page(&req, ctx.mem);
+        let frame = ctx
+            .mem
+            .allocate_preferring(&placement.preference, kind)?;
+        self.stats.app_pages_allocated += 1;
+        ctx.hooks.on_app_page_alloc(frame, ctx.cpu, ctx.mem);
+        Ok(frame)
+    }
+
+    /// Frees an application page.
+    pub fn free_app_page(&mut self, ctx: &mut Ctx<'_>, frame: FrameId) -> Result<(), KernelError> {
+        ctx.mem.charge(self.params.free_cpu);
+        ctx.hooks.on_page_free(frame, ctx.mem);
+        ctx.mem.free(frame)?;
+        self.stats.app_pages_freed += 1;
+        Ok(())
+    }
+
+    /// Application access to its own page.
+    pub fn app_access(&mut self, ctx: &mut Ctx<'_>, frame: FrameId, bytes: u64, write: bool) {
+        if write {
+            ctx.mem.write_from(ctx.socket, frame, bytes);
+        } else {
+            ctx.mem.read_from(ctx.socket, frame, bytes);
+        }
+        ctx.hooks.on_app_page_access(frame, ctx.cpu, ctx.mem);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NullHooks;
+    use kloc_mem::{MemorySystem, Nanos, TierId};
+
+    fn setup() -> (MemorySystem, NullHooks, Kernel) {
+        (
+            MemorySystem::two_tier(1024 * kloc_mem::PAGE_SIZE, 8),
+            NullHooks::fast_first(),
+            Kernel::new(KernelParams::default()),
+        )
+    }
+
+    #[test]
+    fn create_allocates_fig3b_objects() {
+        let (mut mem, mut hooks, mut k) = setup();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        k.create(&mut ctx, "/f").unwrap();
+        let s = k.stats();
+        assert_eq!(s.ty(KernelObjectType::Inode).allocated, 1);
+        assert_eq!(s.ty(KernelObjectType::Dentry).allocated, 1);
+        assert_eq!(s.ty(KernelObjectType::JournalHead).allocated, 1);
+        assert_eq!(s.ty(KernelObjectType::FileHandle).allocated, 1);
+        assert_eq!(k.vfs().inode_count(), 1);
+        assert_eq!(k.vfs().open_fds(), 1);
+    }
+
+    #[test]
+    fn create_existing_path_fails() {
+        let (mut mem, mut hooks, mut k) = setup();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        k.create(&mut ctx, "/f").unwrap();
+        assert!(matches!(
+            k.create(&mut ctx, "/f"),
+            Err(KernelError::Exists(_))
+        ));
+    }
+
+    #[test]
+    fn write_populates_page_cache_and_extents() {
+        let (mut mem, mut hooks, mut k) = setup();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let fd = k.create(&mut ctx, "/f").unwrap();
+        k.write(&mut ctx, fd, 0, 3 * 4096).unwrap();
+        assert_eq!(k.cache_pages(), 3);
+        assert_eq!(k.dirty_pages(), 3);
+        assert_eq!(k.stats().ty(KernelObjectType::PageCache).allocated, 3);
+        assert_eq!(k.stats().ty(KernelObjectType::RadixNode).allocated, 1);
+        assert_eq!(k.stats().ty(KernelObjectType::Extent).allocated, 1);
+        let ino = k.vfs().fd(fd).unwrap().inode;
+        assert_eq!(k.vfs().inode(ino).unwrap().size, 3 * 4096);
+    }
+
+    #[test]
+    fn rewrite_hits_cache() {
+        let (mut mem, mut hooks, mut k) = setup();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let fd = k.create(&mut ctx, "/f").unwrap();
+        k.write(&mut ctx, fd, 0, 4096).unwrap();
+        let misses = k.stats().cache_misses;
+        k.write(&mut ctx, fd, 0, 4096).unwrap();
+        assert_eq!(k.stats().cache_misses, misses, "rewrite should hit");
+        assert!(k.stats().cache_hits > 0);
+        assert_eq!(k.cache_pages(), 1);
+    }
+
+    #[test]
+    fn read_after_write_hits_cache_and_clamps() {
+        let (mut mem, mut hooks, mut k) = setup();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let fd = k.create(&mut ctx, "/f").unwrap();
+        k.write(&mut ctx, fd, 0, 8192).unwrap();
+        let n = k.read(&mut ctx, fd, 0, 100_000).unwrap();
+        assert_eq!(n, 8192, "read clamps to file size");
+        assert_eq!(k.read(&mut ctx, fd, 9000, 10).unwrap(), 0);
+    }
+
+    #[test]
+    fn fsync_cleans_dirty_pages_and_commits() {
+        let (mut mem, mut hooks, mut k) = setup();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let fd = k.create(&mut ctx, "/f").unwrap();
+        k.write(&mut ctx, fd, 0, 4 * 4096).unwrap();
+        assert_eq!(k.dirty_pages(), 4);
+        k.fsync(&mut ctx, fd).unwrap();
+        assert_eq!(k.dirty_pages(), 0);
+        assert_eq!(k.journal().pending(), 0);
+        assert!(k.journal().commits() >= 1);
+        assert!(k.stats().ty(KernelObjectType::Bio).allocated >= 1);
+        assert!(k.stats().ty(KernelObjectType::JournalBlock).allocated >= 2);
+        // Bios and journal blocks are short-lived.
+        assert_eq!(k.stats().ty(KernelObjectType::Bio).live(), 0);
+        assert_eq!(k.stats().ty(KernelObjectType::JournalBlock).live(), 0);
+        // Device went idle.
+        assert!(k.disk().busy_until() <= ctx.mem.now());
+    }
+
+    #[test]
+    fn close_fires_inactive_unlink_destroys() {
+        let (mut mem, mut hooks, mut k) = setup();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let fd = k.create(&mut ctx, "/f").unwrap();
+        k.write(&mut ctx, fd, 0, 4096).unwrap();
+        k.close(&mut ctx, fd).unwrap();
+        // Inode still cached after close.
+        assert_eq!(k.vfs().inode_count(), 1);
+        assert_eq!(k.stats().ty(KernelObjectType::Inode).live(), 1);
+        k.unlink(&mut ctx, "/f").unwrap();
+        assert_eq!(k.vfs().inode_count(), 0);
+        assert_eq!(k.stats().ty(KernelObjectType::Inode).live(), 0);
+        assert_eq!(k.stats().ty(KernelObjectType::PageCache).live(), 0);
+        assert_eq!(k.stats().ty(KernelObjectType::Dentry).live(), 0);
+        assert_eq!(k.cache_pages(), 0);
+        // Only the uncommitted journal heads remain; after a commit the
+        // system holds no frames at all.
+        k.commit_journal(&mut ctx).unwrap();
+        assert_eq!(ctx.mem.live_frames(), 0, "no leaked frames");
+    }
+
+    #[test]
+    fn unlink_while_open_defers_destroy() {
+        let (mut mem, mut hooks, mut k) = setup();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let fd = k.create(&mut ctx, "/f").unwrap();
+        k.unlink(&mut ctx, "/f").unwrap();
+        assert_eq!(k.vfs().inode_count(), 1, "still open");
+        k.close(&mut ctx, fd).unwrap();
+        assert_eq!(k.vfs().inode_count(), 0);
+    }
+
+    #[test]
+    fn reopen_uses_dentry_cache() {
+        let (mut mem, mut hooks, mut k) = setup();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let fd = k.create(&mut ctx, "/f").unwrap();
+        k.close(&mut ctx, fd).unwrap();
+        let fd2 = k.open(&mut ctx, "/f").unwrap();
+        assert_eq!(k.stats().dentry_hits, 1);
+        assert_eq!(k.stats().dentry_misses, 0);
+        k.close(&mut ctx, fd2).unwrap();
+    }
+
+    #[test]
+    fn sequential_reads_trigger_readahead() {
+        let (mut mem, mut hooks, mut k) = setup();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let fd = k.create(&mut ctx, "/f").unwrap();
+        k.write(&mut ctx, fd, 0, 64 * 4096).unwrap();
+        k.fsync(&mut ctx, fd).unwrap();
+        k.close(&mut ctx, fd).unwrap();
+        // Drop the cache so reads must fault.
+        let ino = k.vfs().lookup_path("/f").unwrap();
+        let idxs: Vec<u64> = k.vfs().inode(ino).unwrap().cache.iter().map(|(i, _)| i).collect();
+        let fd = k.open(&mut ctx, "/f").unwrap();
+        for idx in idxs {
+            k.drop_cache_page(&mut ctx, ino, idx).unwrap();
+        }
+        for i in 0..8u64 {
+            k.read(&mut ctx, fd, i * 4096, 4096).unwrap();
+        }
+        assert!(k.readahead().stats().issued > 0, "prefetch should fire");
+        assert!(k.readahead().stats().useful > 0, "prefetched pages get used");
+        k.close(&mut ctx, fd).unwrap();
+    }
+
+    #[test]
+    fn cache_budget_reclaims() {
+        let (mut mem, mut hooks, mut k) = setup();
+        // Tiny budget: 8 pages.
+        k.params.page_cache_budget = 8;
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let fd = k.create(&mut ctx, "/f").unwrap();
+        k.write(&mut ctx, fd, 0, 32 * 4096).unwrap();
+        assert!(k.cache_pages() <= 8, "budget enforced, got {}", k.cache_pages());
+        assert!(k.stats().reclaimed_pages > 0);
+        k.close(&mut ctx, fd).unwrap();
+    }
+
+    #[test]
+    fn socket_send_recv_round_trip() {
+        let (mut mem, mut hooks, mut k) = setup();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let fd = k.socket(&mut ctx).unwrap();
+        assert_eq!(k.stats().ty(KernelObjectType::Sock).allocated, 1);
+        k.send(&mut ctx, fd, 3000).unwrap();
+        assert_eq!(k.net_stats().tx_packets, 3, "3000B at 1448B MTU = 3 packets");
+        assert_eq!(k.stats().ty(KernelObjectType::SkBuff).live(), 0, "egress skbs freed");
+
+        assert!(matches!(k.recv(&mut ctx, fd, 100), Err(KernelError::WouldBlock(_))));
+        k.deliver(&mut ctx, fd, 3000).unwrap();
+        assert_eq!(k.stats().ty(KernelObjectType::RxBuf).live(), 3);
+        let got = k.recv(&mut ctx, fd, 10_000).unwrap();
+        assert_eq!(got, 3000);
+        assert_eq!(k.stats().ty(KernelObjectType::RxBuf).live(), 0);
+        k.close(&mut ctx, fd).unwrap();
+        assert_eq!(k.stats().ty(KernelObjectType::Sock).live(), 0);
+        assert_eq!(k.vfs().inode_count(), 0, "sockets destroyed on close");
+    }
+
+    #[test]
+    fn socket_close_frees_queued_packets() {
+        let (mut mem, mut hooks, mut k) = setup();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let fd = k.socket(&mut ctx).unwrap();
+        k.deliver(&mut ctx, fd, 5000).unwrap();
+        k.close(&mut ctx, fd).unwrap();
+        assert_eq!(k.stats().ty(KernelObjectType::SkBuff).live(), 0);
+        assert_eq!(k.stats().ty(KernelObjectType::RxBuf).live(), 0);
+        assert_eq!(ctx.mem.live_frames(), 0);
+    }
+
+    #[test]
+    fn file_ops_on_socket_rejected() {
+        let (mut mem, mut hooks, mut k) = setup();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let fd = k.socket(&mut ctx).unwrap();
+        assert!(matches!(
+            k.write(&mut ctx, fd, 0, 10),
+            Err(KernelError::WrongKind(_))
+        ));
+        let ffd = k.create(&mut ctx, "/f").unwrap();
+        assert!(matches!(
+            k.send(&mut ctx, ffd, 10),
+            Err(KernelError::WrongKind(_))
+        ));
+    }
+
+    #[test]
+    fn mkdir_and_readdir_allocate_dir_buffers() {
+        let (mut mem, mut hooks, mut k) = setup();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let ino = k.mkdir(&mut ctx, "/dir").unwrap();
+        assert_eq!(k.vfs().inode(ino).unwrap().kind, InodeKind::Directory);
+        assert!(matches!(
+            k.mkdir(&mut ctx, "/dir"),
+            Err(KernelError::Exists(_))
+        ));
+        let n = k.readdir(&mut ctx, "/dir", 20).unwrap();
+        assert_eq!(n, 20);
+        let t = k.stats().ty(KernelObjectType::DirBuffer);
+        assert_eq!(t.allocated, 4, "ceil(20/6) = 4 buffers");
+        assert_eq!(t.live(), 0, "dir buffers are transient");
+        // Directories reject file I/O.
+        assert!(matches!(
+            k.readdir(&mut ctx, "/nope", 5),
+            Err(KernelError::NoEntry(_))
+        ));
+        let fd = k.create(&mut ctx, "/f").unwrap();
+        k.close(&mut ctx, fd).unwrap();
+        assert!(matches!(
+            k.readdir(&mut ctx, "/f", 5),
+            Err(KernelError::WrongKind(_))
+        ));
+    }
+
+    #[test]
+    fn app_pages_counted() {
+        let (mut mem, mut hooks, mut k) = setup();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let f = k.alloc_app_page(&mut ctx).unwrap();
+        k.app_access(&mut ctx, f, 4096, true);
+        assert_eq!(k.stats().app_pages_allocated, 1);
+        assert_eq!(ctx.mem.tier_of(f), TierId::FAST);
+        k.free_app_page(&mut ctx, f).unwrap();
+        assert_eq!(k.stats().app_pages_freed, 1);
+    }
+
+    #[test]
+    fn slab_objects_have_short_lifetimes_vs_files() {
+        // Reproduces the shape of paper Fig. 2d at micro scale: bio and
+        // journal objects die in microseconds while inodes live on.
+        let (mut mem, mut hooks, mut k) = setup();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let fd = k.create(&mut ctx, "/f").unwrap();
+        k.write(&mut ctx, fd, 0, 16 * 4096).unwrap();
+        k.fsync(&mut ctx, fd).unwrap();
+        let bio_life = k.stats().ty(KernelObjectType::Bio).mean_lifetime();
+        assert!(bio_life < Nanos::from_millis(1));
+        assert_eq!(k.stats().ty(KernelObjectType::Inode).freed, 0);
+        k.close(&mut ctx, fd).unwrap();
+    }
+
+    #[test]
+    fn early_demux_saves_tcp_cpu() {
+        struct EarlyHooks;
+        impl crate::hooks::KernelHooks for EarlyHooks {
+            fn place_page(
+                &mut self,
+                _req: &PageRequest,
+                _mem: &MemorySystem,
+            ) -> crate::hooks::Placement {
+                crate::hooks::Placement::fast_then_slow()
+            }
+            fn early_socket_demux(&self) -> bool {
+                true
+            }
+        }
+        // Early demux path.
+        let mut mem1 = MemorySystem::two_tier(1024 * 4096, 8);
+        let mut h1 = EarlyHooks;
+        let mut k1 = Kernel::new(KernelParams::default());
+        let mut ctx1 = Ctx::new(&mut mem1, &mut h1);
+        let fd1 = k1.socket(&mut ctx1).unwrap();
+        let t0 = ctx1.mem.now();
+        k1.deliver(&mut ctx1, fd1, 1448).unwrap();
+        let early_cost = ctx1.mem.now() - t0;
+
+        // Late demux path.
+        let (mut mem2, mut h2, mut k2) = setup();
+        let mut ctx2 = Ctx::new(&mut mem2, &mut h2);
+        let fd2 = k2.socket(&mut ctx2).unwrap();
+        let t0 = ctx2.mem.now();
+        k2.deliver(&mut ctx2, fd2, 1448).unwrap();
+        let late_cost = ctx2.mem.now() - t0;
+
+        assert!(early_cost < late_cost, "early demux must be cheaper");
+        assert_eq!(k1.net_stats().early_demuxed, 1);
+        assert_eq!(k2.net_stats().early_demuxed, 0);
+    }
+
+    #[test]
+    fn deliver_then_objects_carry_socket_inode() {
+        let (mut mem, mut hooks, mut k) = setup();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let fd = k.socket(&mut ctx).unwrap();
+        let ino = k.vfs().fd(fd).unwrap().inode;
+        k.deliver(&mut ctx, fd, 100).unwrap();
+        // After late demux, the queued objects are associated.
+        let assoc = k
+            .objects()
+            .iter()
+            .filter(|o| o.info.inode == Some(ino))
+            .count();
+        assert!(assoc >= 3, "sock + skb + rxbuf associated, got {assoc}");
+    }
+}

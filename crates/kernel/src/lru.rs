@@ -1,0 +1,281 @@
+//! Active/inactive page LRU lists.
+//!
+//! Linux tracks reclaimable pages on per-zone active and inactive lists;
+//! pages are promoted on reference and demoted by aging, and reclaim
+//! scans the inactive tail. Policies in `kloc-policy` reuse this
+//! structure for hotness detection of application pages (Nimble-style),
+//! and the kernel itself uses one instance for page-cache reclaim.
+//!
+//! Scanning is *not free*: the paper measures 2 s per million pages
+//! (§3.3) — callers charge [`crate::KernelParams::lru_scan_per_page`] per
+//! scanned page, which is exactly why scan-based tiering cannot keep up
+//! with short-lived kernel objects.
+
+use std::collections::{BTreeMap, HashMap};
+
+use kloc_mem::FrameId;
+
+/// Which list a page is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum List {
+    /// Recently used pages.
+    Active,
+    /// Aging pages; reclaim candidates live at the tail.
+    Inactive,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    list: List,
+    seq: u64,
+    referenced: bool,
+}
+
+/// Result of one inactive-list scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanOutcome {
+    /// Pages examined (each costs scan time).
+    pub scanned: usize,
+    /// Unreferenced pages removed from the list — eviction/demotion
+    /// candidates, now owned by the caller.
+    pub evict: Vec<FrameId>,
+    /// Referenced pages rescued to the active list.
+    pub promoted: usize,
+}
+
+/// Two-list page LRU.
+#[derive(Debug, Clone, Default)]
+pub struct PageLru {
+    active: BTreeMap<u64, FrameId>,
+    inactive: BTreeMap<u64, FrameId>,
+    slots: HashMap<FrameId, Slot>,
+    next_seq: u64,
+}
+
+impl PageLru {
+    /// Creates empty lists.
+    pub fn new() -> Self {
+        PageLru::default()
+    }
+
+    /// Pages on the active list.
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Pages on the inactive list.
+    pub fn inactive_len(&self) -> usize {
+        self.inactive.len()
+    }
+
+    /// Total tracked pages.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no pages are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether `frame` is tracked.
+    pub fn contains(&self, frame: FrameId) -> bool {
+        self.slots.contains_key(&frame)
+    }
+
+    fn push(&mut self, frame: FrameId, list: List, referenced: bool) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match list {
+            List::Active => self.active.insert(seq, frame),
+            List::Inactive => self.inactive.insert(seq, frame),
+        };
+        self.slots.insert(
+            frame,
+            Slot {
+                list,
+                seq,
+                referenced,
+            },
+        );
+    }
+
+    /// Adds a new page to a list (most-recent end).
+    ///
+    /// # Panics
+    /// Panics if the frame is already tracked.
+    pub fn insert(&mut self, frame: FrameId, list: List) {
+        assert!(
+            !self.slots.contains_key(&frame),
+            "{frame} already on an LRU list"
+        );
+        self.push(frame, list, false);
+    }
+
+    /// Records a reference to `frame`. First touch sets the referenced
+    /// bit; a second touch on the inactive list promotes to active
+    /// (Linux's two-touch promotion). Unknown frames are ignored.
+    pub fn mark_accessed(&mut self, frame: FrameId) {
+        let Some(slot) = self.slots.get_mut(&frame) else {
+            return;
+        };
+        if slot.referenced && slot.list == List::Inactive {
+            let seq = slot.seq;
+            self.inactive.remove(&seq);
+            self.slots.remove(&frame);
+            self.push(frame, List::Active, false);
+        } else {
+            slot.referenced = true;
+        }
+    }
+
+    /// Stops tracking `frame` (freed or migrated away). Returns whether
+    /// it was tracked.
+    pub fn remove(&mut self, frame: FrameId) -> bool {
+        match self.slots.remove(&frame) {
+            Some(slot) => {
+                match slot.list {
+                    List::Active => self.active.remove(&slot.seq),
+                    List::Inactive => self.inactive.remove(&slot.seq),
+                };
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Scans up to `n` pages from the inactive tail (oldest first):
+    /// referenced pages are rescued to the active list; unreferenced
+    /// pages are removed and returned as eviction candidates.
+    pub fn scan_inactive(&mut self, n: usize) -> ScanOutcome {
+        let mut out = ScanOutcome::default();
+        for _ in 0..n {
+            let Some((&seq, &frame)) = self.inactive.iter().next() else {
+                break;
+            };
+            self.inactive.remove(&seq);
+            let slot = self.slots.remove(&frame).expect("slot missing for listed frame");
+            out.scanned += 1;
+            if slot.referenced {
+                self.push(frame, List::Active, false);
+                out.promoted += 1;
+            } else {
+                out.evict.push(frame);
+            }
+        }
+        out
+    }
+
+    /// Ages up to `n` pages from the active tail to the inactive list
+    /// (clearing their referenced bit).
+    pub fn age_active(&mut self, n: usize) -> usize {
+        let mut moved = 0;
+        for _ in 0..n {
+            let Some((&seq, &frame)) = self.active.iter().next() else {
+                break;
+            };
+            self.active.remove(&seq);
+            self.slots.remove(&frame);
+            self.push(frame, List::Inactive, false);
+            moved += 1;
+        }
+        moved
+    }
+
+    /// Iterates inactive frames oldest-first without removing them.
+    pub fn inactive_iter(&self) -> impl Iterator<Item = FrameId> + '_ {
+        self.inactive.values().copied()
+    }
+
+    /// Iterates active frames oldest-first without removing them.
+    pub fn active_iter(&self) -> impl Iterator<Item = FrameId> + '_ {
+        self.active.values().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_counts() {
+        let mut lru = PageLru::new();
+        lru.insert(FrameId(1), List::Inactive);
+        lru.insert(FrameId(2), List::Active);
+        assert_eq!(lru.inactive_len(), 1);
+        assert_eq!(lru.active_len(), 1);
+        assert!(lru.contains(FrameId(1)));
+        assert!(!lru.contains(FrameId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already on an LRU list")]
+    fn double_insert_panics() {
+        let mut lru = PageLru::new();
+        lru.insert(FrameId(1), List::Inactive);
+        lru.insert(FrameId(1), List::Active);
+    }
+
+    #[test]
+    fn two_touch_promotion() {
+        let mut lru = PageLru::new();
+        lru.insert(FrameId(1), List::Inactive);
+        lru.mark_accessed(FrameId(1)); // sets referenced
+        assert_eq!(lru.inactive_len(), 1);
+        lru.mark_accessed(FrameId(1)); // promotes
+        assert_eq!(lru.active_len(), 1);
+        assert_eq!(lru.inactive_len(), 0);
+    }
+
+    #[test]
+    fn scan_rescues_referenced_and_evicts_cold() {
+        let mut lru = PageLru::new();
+        lru.insert(FrameId(1), List::Inactive);
+        lru.insert(FrameId(2), List::Inactive);
+        lru.mark_accessed(FrameId(1));
+        let out = lru.scan_inactive(10);
+        assert_eq!(out.scanned, 2);
+        assert_eq!(out.promoted, 1);
+        assert_eq!(out.evict, vec![FrameId(2)]);
+        assert!(lru.contains(FrameId(1)));
+        assert!(!lru.contains(FrameId(2)));
+    }
+
+    #[test]
+    fn scan_is_oldest_first() {
+        let mut lru = PageLru::new();
+        for i in 0..5 {
+            lru.insert(FrameId(i), List::Inactive);
+        }
+        let out = lru.scan_inactive(2);
+        assert_eq!(out.evict, vec![FrameId(0), FrameId(1)]);
+    }
+
+    #[test]
+    fn aging_moves_active_to_inactive() {
+        let mut lru = PageLru::new();
+        lru.insert(FrameId(1), List::Active);
+        lru.insert(FrameId(2), List::Active);
+        assert_eq!(lru.age_active(1), 1);
+        assert_eq!(lru.inactive_len(), 1);
+        assert_eq!(lru.active_len(), 1);
+        // Oldest active page (frame 1) moved first.
+        assert_eq!(lru.inactive_iter().next(), Some(FrameId(1)));
+    }
+
+    #[test]
+    fn remove_untracks() {
+        let mut lru = PageLru::new();
+        lru.insert(FrameId(1), List::Active);
+        assert!(lru.remove(FrameId(1)));
+        assert!(!lru.remove(FrameId(1)));
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn mark_accessed_unknown_frame_is_noop() {
+        let mut lru = PageLru::new();
+        lru.mark_accessed(FrameId(99));
+        assert!(lru.is_empty());
+    }
+}

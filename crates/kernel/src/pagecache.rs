@@ -1,0 +1,310 @@
+//! Per-inode page cache (radix tree).
+//!
+//! Each inode's cached pages are tracked in a radix-tree-like structure:
+//! pages are grouped into chunks of [`fanout`](PageCache::fanout) page
+//! indices, and each populated chunk is backed by one **radix-node slab
+//! object** — those nodes are themselves kernel objects that the paper's
+//! Fig. 2a accounts for and that KLOCs tier.
+//!
+//! This module is a pure data structure: the caller (the [`crate::Kernel`]
+//! facade) allocates/frees the radix-node and page objects and charges
+//! access costs; the page cache only records the mapping.
+
+use std::collections::BTreeMap;
+
+use kloc_mem::FrameId;
+
+use crate::obj::ObjectId;
+
+/// One cached page of a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedPage {
+    /// Page-cache object backing this page.
+    pub obj: ObjectId,
+    /// Frame the page lives on.
+    pub frame: FrameId,
+    /// Whether the page has unwritten (dirty) data.
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Chunk {
+    node_obj: ObjectId,
+    pages: u32,
+}
+
+/// Outcome of removing a page: the page record, plus the radix-node
+/// object to free if its chunk became empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Removed {
+    /// The removed page.
+    pub page: CachedPage,
+    /// Radix node freed because its chunk emptied, if any.
+    pub freed_node: Option<ObjectId>,
+}
+
+/// Radix-tree page cache of one inode.
+#[derive(Debug, Clone, Default)]
+pub struct PageCache {
+    fanout: u64,
+    pages: BTreeMap<u64, CachedPage>,
+    chunks: BTreeMap<u64, Chunk>,
+    dirty: u64,
+}
+
+impl PageCache {
+    /// Creates a cache whose radix nodes each cover `fanout` page indices.
+    ///
+    /// # Panics
+    /// Panics if `fanout` is zero.
+    pub fn new(fanout: u64) -> Self {
+        assert!(fanout > 0, "radix fanout must be non-zero");
+        PageCache {
+            fanout,
+            ..PageCache::default()
+        }
+    }
+
+    /// Page indices per radix node.
+    pub fn fanout(&self) -> u64 {
+        self.fanout
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether no pages are cached.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Number of dirty pages.
+    pub fn dirty_pages(&self) -> u64 {
+        self.dirty
+    }
+
+    /// Number of live radix nodes.
+    pub fn node_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    fn chunk_of(&self, idx: u64) -> u64 {
+        idx / self.fanout
+    }
+
+    /// Whether inserting page `idx` requires a new radix node first.
+    pub fn needs_node(&self, idx: u64) -> bool {
+        !self.chunks.contains_key(&self.chunk_of(idx))
+    }
+
+    /// The radix-node object covering page `idx`, if populated. The
+    /// caller charges a memory access to it on every lookup (tree
+    /// traversal cost, paper §4.2.3 measures ~10 references per lookup
+    /// on a single big tree).
+    pub fn node_for(&self, idx: u64) -> Option<ObjectId> {
+        self.chunks.get(&self.chunk_of(idx)).map(|c| c.node_obj)
+    }
+
+    /// Installs a freshly allocated radix node for the chunk covering
+    /// `idx`.
+    ///
+    /// # Panics
+    /// Panics if the chunk already has a node.
+    pub fn install_node(&mut self, idx: u64, node_obj: ObjectId) {
+        let chunk = self.chunk_of(idx);
+        let prev = self.chunks.insert(
+            chunk,
+            Chunk {
+                node_obj,
+                pages: 0,
+            },
+        );
+        assert!(prev.is_none(), "chunk {chunk} already has a radix node");
+    }
+
+    /// Inserts a page.
+    ///
+    /// # Panics
+    /// Panics if the page is already present or the chunk has no node
+    /// (call [`PageCache::install_node`] first).
+    pub fn insert(&mut self, idx: u64, obj: ObjectId, frame: FrameId, dirty: bool) {
+        let chunk = self.chunk_of(idx);
+        let c = self
+            .chunks
+            .get_mut(&chunk)
+            .expect("insert before install_node");
+        let prev = self.pages.insert(idx, CachedPage { obj, frame, dirty });
+        assert!(prev.is_none(), "page {idx} already cached");
+        c.pages += 1;
+        if dirty {
+            self.dirty += 1;
+        }
+    }
+
+    /// Looks up a page.
+    pub fn get(&self, idx: u64) -> Option<&CachedPage> {
+        self.pages.get(&idx)
+    }
+
+    /// Marks a page dirty (no-op if already dirty). Returns whether the
+    /// page exists.
+    pub fn mark_dirty(&mut self, idx: u64) -> bool {
+        match self.pages.get_mut(&idx) {
+            Some(p) => {
+                if !p.dirty {
+                    p.dirty = true;
+                    self.dirty += 1;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Marks a page clean. Returns whether the page exists.
+    pub fn mark_clean(&mut self, idx: u64) -> bool {
+        match self.pages.get_mut(&idx) {
+            Some(p) => {
+                if p.dirty {
+                    p.dirty = false;
+                    self.dirty -= 1;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a page, reporting any radix node that must be freed.
+    pub fn remove(&mut self, idx: u64) -> Option<Removed> {
+        let page = self.pages.remove(&idx)?;
+        if page.dirty {
+            self.dirty -= 1;
+        }
+        let chunk = self.chunk_of(idx);
+        let c = self.chunks.get_mut(&chunk).expect("page without chunk");
+        c.pages -= 1;
+        let freed_node = if c.pages == 0 {
+            let node = c.node_obj;
+            self.chunks.remove(&chunk);
+            Some(node)
+        } else {
+            None
+        };
+        Some(Removed { page, freed_node })
+    }
+
+    /// Empties the cache, returning all pages and all radix-node objects
+    /// (inode teardown). Dirty accounting is reset.
+    pub fn take_all(&mut self) -> (Vec<CachedPage>, Vec<ObjectId>) {
+        let pages = std::mem::take(&mut self.pages).into_values().collect();
+        let nodes = std::mem::take(&mut self.chunks)
+            .into_values()
+            .map(|c| c.node_obj)
+            .collect();
+        self.dirty = 0;
+        (pages, nodes)
+    }
+
+    /// Iterates `(index, page)` in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &CachedPage)> {
+        self.pages.iter().map(|(i, p)| (*i, p))
+    }
+
+    /// Indices of all dirty pages, in order.
+    pub fn dirty_indices(&self) -> Vec<u64> {
+        self.pages
+            .iter()
+            .filter(|(_, p)| p.dirty)
+            .map(|(i, _)| *i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(n: u64) -> (ObjectId, FrameId) {
+        (ObjectId(n), FrameId(n + 1000))
+    }
+
+    #[test]
+    fn insert_requires_node_once_per_chunk() {
+        let mut pc = PageCache::new(64);
+        assert!(pc.needs_node(0));
+        pc.install_node(0, ObjectId(900));
+        assert!(!pc.needs_node(63), "same chunk");
+        assert!(pc.needs_node(64), "next chunk");
+        let (o, f) = page(1);
+        pc.insert(0, o, f, false);
+        assert_eq!(pc.node_for(0), Some(ObjectId(900)));
+        assert_eq!(pc.node_count(), 1);
+    }
+
+    #[test]
+    fn dirty_accounting() {
+        let mut pc = PageCache::new(64);
+        pc.install_node(0, ObjectId(900));
+        let (o, f) = page(1);
+        pc.insert(0, o, f, true);
+        assert_eq!(pc.dirty_pages(), 1);
+        assert!(pc.mark_clean(0));
+        assert_eq!(pc.dirty_pages(), 0);
+        assert!(pc.mark_dirty(0));
+        assert!(pc.mark_dirty(0), "idempotent");
+        assert_eq!(pc.dirty_pages(), 1);
+        assert!(!pc.mark_dirty(99), "missing page");
+        assert_eq!(pc.dirty_indices(), vec![0]);
+    }
+
+    #[test]
+    fn remove_frees_node_when_chunk_empties() {
+        let mut pc = PageCache::new(2);
+        pc.install_node(0, ObjectId(900));
+        let (o0, f0) = page(0);
+        let (o1, f1) = page(1);
+        pc.insert(0, o0, f0, false);
+        pc.insert(1, o1, f1, true);
+        let r = pc.remove(0).unwrap();
+        assert_eq!(r.page.obj, o0);
+        assert_eq!(r.freed_node, None, "chunk still has page 1");
+        let r = pc.remove(1).unwrap();
+        assert_eq!(r.freed_node, Some(ObjectId(900)));
+        assert!(pc.is_empty());
+        assert_eq!(pc.dirty_pages(), 0);
+        assert!(pc.remove(1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already cached")]
+    fn double_insert_panics() {
+        let mut pc = PageCache::new(64);
+        pc.install_node(0, ObjectId(900));
+        let (o, f) = page(1);
+        pc.insert(0, o, f, false);
+        pc.insert(0, o, f, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "insert before install_node")]
+    fn insert_without_node_panics() {
+        let mut pc = PageCache::new(64);
+        let (o, f) = page(1);
+        pc.insert(0, o, f, false);
+    }
+
+    #[test]
+    fn iteration_in_index_order() {
+        let mut pc = PageCache::new(64);
+        pc.install_node(0, ObjectId(900));
+        for i in [5u64, 1, 3] {
+            let (o, f) = page(i);
+            pc.insert(i, o, f, false);
+        }
+        let order: Vec<u64> = pc.iter().map(|(i, _)| i).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+}

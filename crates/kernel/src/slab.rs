@@ -1,0 +1,346 @@
+//! Slab-style packed object allocation.
+//!
+//! Small kernel objects are packed many-per-frame. Two instances exist in
+//! the kernel:
+//!
+//! * the **slab allocator** proper — frames of [`PageKind::Slab`], fast
+//!   but pinned (non-relocatable), shared across all inodes, exactly like
+//!   `kmem_cache_alloc` (paper §3.3); and
+//! * the **KLOC relocatable interface** — frames of
+//!   [`PageKind::KernelVma`], slightly slower to allocate but migratable,
+//!   with objects grouped into inode-sharded arenas so related contexts
+//!   co-locate (the paper's new allocation interface, §4.4, that 400+
+//!   allocation sites are redirected to).
+//!
+//! The allocator only manages frames and slot counts; CPU cost charging
+//! and object-table bookkeeping are done by the [`crate::Kernel`] facade.
+
+use std::collections::HashMap;
+
+use kloc_mem::{FrameId, PageKind};
+
+use crate::error::KernelError;
+use crate::hooks::{Ctx, PageRequest};
+use crate::obj::KernelObjectType;
+use crate::vfs::InodeId;
+
+/// Cache key. Shared (slab) mode keys by object type — classic
+/// `kmem_cache` behaviour where objects of many files pack together.
+/// Sharded (KLOC kvma) mode keys by `inode % shards` — one context's
+/// small objects share an arena of frames with at most a shard's worth
+/// of co-residents, so en-masse migration mostly moves related objects
+/// and internal fragmentation stays bounded by the shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    ty: Option<KernelObjectType>,
+    inode: Option<InodeId>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FrameUse {
+    used_bytes: u64,
+    live_objects: u32,
+}
+
+#[derive(Debug, Default)]
+struct Cache {
+    /// Frames with at least one free slot.
+    partial: Vec<FrameId>,
+    frames: HashMap<FrameId, FrameUse>,
+}
+
+/// A packed (slab-like) allocator over one [`PageKind`].
+#[derive(Debug)]
+pub struct PackedAllocator {
+    kind: PageKind,
+    /// Inode sharding: objects of inodes in the same shard share arena
+    /// frames. `None` = classic type-keyed slab packing; `Some(1)` =
+    /// one global arena; a moderate shard count groups related contexts
+    /// while bounding internal fragmentation to one partial frame per
+    /// shard.
+    inode_shards: Option<u64>,
+    caches: HashMap<CacheKey, Cache>,
+    /// Reverse map frame -> cache key, for diagnostics and invariants.
+    frame_key: HashMap<FrameId, CacheKey>,
+    frames_allocated: u64,
+    frames_freed: u64,
+}
+
+impl PackedAllocator {
+    /// Creates an allocator handing out frames of `kind`. With
+    /// `inode_shards = Some(n)`, objects are grouped into `n` arenas by
+    /// inode; with `None`, classic per-type slab packing is used.
+    pub fn new(kind: PageKind, inode_shards: Option<u64>) -> Self {
+        PackedAllocator {
+            kind,
+            inode_shards,
+            caches: HashMap::new(),
+            frame_key: HashMap::new(),
+            frames_allocated: 0,
+            frames_freed: 0,
+        }
+    }
+
+    /// Page kind of frames handed out by this allocator.
+    pub fn kind(&self) -> PageKind {
+        self.kind
+    }
+
+    /// Number of live frames currently owned.
+    pub fn live_frames(&self) -> usize {
+        self.frame_key.len()
+    }
+
+    /// Cumulative frames ever allocated.
+    pub fn frames_allocated(&self) -> u64 {
+        self.frames_allocated
+    }
+
+    fn key(&self, ty: KernelObjectType, inode: Option<InodeId>) -> CacheKey {
+        match (self.inode_shards, inode) {
+            (Some(shards), Some(i)) => CacheKey {
+                ty: None,
+                inode: Some(InodeId(i.0 % shards.max(1))),
+            },
+            _ => CacheKey {
+                ty: Some(ty),
+                inode: None,
+            },
+        }
+    }
+
+    /// Allocates one slot for an object of `ty` (owned by `inode`),
+    /// returning the frame the object lives on. Allocates a new frame via
+    /// the placement hooks when no partial frame has room.
+    ///
+    /// # Errors
+    /// Propagates allocation failure from the memory system (only
+    /// possible if every tier in the placement preference is full).
+    pub fn alloc(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        ty: KernelObjectType,
+        inode: Option<InodeId>,
+        readahead: bool,
+    ) -> Result<FrameId, KernelError> {
+        let key = self.key(ty, inode);
+        let size = ty.size().min(kloc_mem::PAGE_SIZE);
+        let cache = self.caches.entry(key).or_default();
+
+        // Reuse a partial frame if one has room.
+        while let Some(&frame) = cache.partial.last() {
+            let Some(u) = cache.frames.get_mut(&frame) else {
+                // Stale entry (frame emptied and freed).
+                cache.partial.pop();
+                continue;
+            };
+            if u.used_bytes + size <= kloc_mem::PAGE_SIZE {
+                u.used_bytes += size;
+                u.live_objects += 1;
+                if u.used_bytes + size > kloc_mem::PAGE_SIZE {
+                    cache.partial.pop();
+                }
+                return Ok(frame);
+            }
+            cache.partial.pop();
+        }
+
+        // Grab a new frame, placed by the policy.
+        let req = PageRequest {
+            kind: self.kind,
+            ty: Some(ty),
+            inode,
+            readahead,
+            cpu: ctx.cpu,
+        };
+        let placement = ctx.hooks.place_page(&req, ctx.mem);
+        let frame = ctx
+            .mem
+            .allocate_preferring(&placement.preference, self.kind)?;
+        self.frames_allocated += 1;
+        cache.frames.insert(
+            frame,
+            FrameUse {
+                used_bytes: size,
+                live_objects: 1,
+            },
+        );
+        if size * 2 <= kloc_mem::PAGE_SIZE {
+            cache.partial.push(frame);
+        }
+        self.frame_key.insert(frame, key);
+        Ok(frame)
+    }
+
+    /// Releases one slot on `frame` for an object of `ty`/`inode`. When
+    /// the frame becomes empty it is returned to the memory system (and
+    /// the policy is notified via `on_page_free`).
+    ///
+    /// # Errors
+    /// [`KernelError::Mem`] if the frame is unknown to the memory system
+    /// (indicates a double free).
+    pub fn free(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        ty: KernelObjectType,
+        inode: Option<InodeId>,
+        frame: FrameId,
+    ) -> Result<(), KernelError> {
+        let key = self.key(ty, inode);
+        let size = ty.size().min(kloc_mem::PAGE_SIZE);
+        let cache = self
+            .caches
+            .get_mut(&key)
+            .ok_or(KernelError::Mem(kloc_mem::MemError::BadFrame(frame)))?;
+        let u = cache
+            .frames
+            .get_mut(&frame)
+            .ok_or(KernelError::Mem(kloc_mem::MemError::BadFrame(frame)))?;
+        let was_full = u.used_bytes + size > kloc_mem::PAGE_SIZE;
+        debug_assert!(u.live_objects > 0, "slot underflow on {frame}");
+        u.live_objects -= 1;
+        u.used_bytes = u.used_bytes.saturating_sub(size);
+        if u.live_objects == 0 {
+            cache.frames.remove(&frame);
+            if let Some(pos) = cache.partial.iter().position(|&f| f == frame) {
+                cache.partial.swap_remove(pos);
+            }
+            self.frame_key.remove(&frame);
+            self.frames_freed += 1;
+            ctx.hooks.on_page_free(frame, ctx.mem);
+            ctx.mem.free(frame)?;
+        } else if was_full && !cache.partial.contains(&frame) {
+            cache.partial.push(frame);
+        }
+        Ok(())
+    }
+
+    /// Iterates the live frames owned by this allocator.
+    pub fn frames(&self) -> impl Iterator<Item = FrameId> + '_ {
+        self.frame_key.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NullHooks;
+    use kloc_mem::{MemorySystem, TierId};
+
+    fn ctx_parts() -> (MemorySystem, NullHooks) {
+        (MemorySystem::two_tier(64 * kloc_mem::PAGE_SIZE, 8), NullHooks::fast_first())
+    }
+
+    #[test]
+    fn objects_pack_into_one_frame() {
+        let (mut mem, mut hooks) = ctx_parts();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let mut slab = PackedAllocator::new(PageKind::Slab, None);
+        // Dentries are 192 B -> 21 per frame.
+        let frames: Vec<_> = (0..21)
+            .map(|_| slab.alloc(&mut ctx, KernelObjectType::Dentry, None, false).unwrap())
+            .collect();
+        assert!(frames.iter().all(|&f| f == frames[0]), "all in one frame");
+        let next = slab.alloc(&mut ctx, KernelObjectType::Dentry, None, false).unwrap();
+        assert_ne!(next, frames[0], "22nd dentry needs a second frame");
+        assert_eq!(slab.live_frames(), 2);
+    }
+
+    #[test]
+    fn page_sized_objects_get_own_frame() {
+        let (mut mem, mut hooks) = ctx_parts();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let mut slab = PackedAllocator::new(PageKind::PageCache, None);
+        let a = slab.alloc(&mut ctx, KernelObjectType::PageCache, None, false).unwrap();
+        let b = slab.alloc(&mut ctx, KernelObjectType::PageCache, None, false).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn frame_freed_when_empty() {
+        let (mut mem, mut hooks) = ctx_parts();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let mut slab = PackedAllocator::new(PageKind::Slab, None);
+        let f1 = slab.alloc(&mut ctx, KernelObjectType::Extent, None, false).unwrap();
+        let f2 = slab.alloc(&mut ctx, KernelObjectType::Extent, None, false).unwrap();
+        assert_eq!(f1, f2);
+        slab.free(&mut ctx, KernelObjectType::Extent, None, f1).unwrap();
+        assert!(ctx.mem.is_live(f1), "frame still has one object");
+        slab.free(&mut ctx, KernelObjectType::Extent, None, f1).unwrap();
+        assert!(!ctx.mem.is_live(f1), "empty frame returned to the system");
+        assert_eq!(slab.live_frames(), 0);
+    }
+
+    #[test]
+    fn freed_slots_are_reused() {
+        let (mut mem, mut hooks) = ctx_parts();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let mut slab = PackedAllocator::new(PageKind::Slab, None);
+        // Fill a frame of inodes (1080 B -> 3 per frame).
+        let f = slab.alloc(&mut ctx, KernelObjectType::Inode, None, false).unwrap();
+        slab.alloc(&mut ctx, KernelObjectType::Inode, None, false).unwrap();
+        slab.alloc(&mut ctx, KernelObjectType::Inode, None, false).unwrap();
+        // Frame is full; free one slot and the next alloc reuses it.
+        slab.free(&mut ctx, KernelObjectType::Inode, None, f).unwrap();
+        let again = slab.alloc(&mut ctx, KernelObjectType::Inode, None, false).unwrap();
+        assert_eq!(again, f);
+    }
+
+    #[test]
+    fn per_inode_mode_segregates_inodes() {
+        let (mut mem, mut hooks) = ctx_parts();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let mut kvma = PackedAllocator::new(PageKind::KernelVma, Some(1024));
+        let a = kvma
+            .alloc(&mut ctx, KernelObjectType::Dentry, Some(InodeId(1)), false)
+            .unwrap();
+        let b = kvma
+            .alloc(&mut ctx, KernelObjectType::Dentry, Some(InodeId(2)), false)
+            .unwrap();
+        assert_ne!(a, b, "different inodes must not share a kvma frame");
+        // Same inode co-locates.
+        let a2 = kvma
+            .alloc(&mut ctx, KernelObjectType::Dentry, Some(InodeId(1)), false)
+            .unwrap();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn shared_mode_ignores_inode() {
+        let (mut mem, mut hooks) = ctx_parts();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let mut slab = PackedAllocator::new(PageKind::Slab, None);
+        let a = slab
+            .alloc(&mut ctx, KernelObjectType::Dentry, Some(InodeId(1)), false)
+            .unwrap();
+        let b = slab
+            .alloc(&mut ctx, KernelObjectType::Dentry, Some(InodeId(2)), false)
+            .unwrap();
+        assert_eq!(a, b, "vanilla slab packs across inodes");
+    }
+
+    #[test]
+    fn kvma_frames_are_relocatable_slab_frames_are_not() {
+        let (mut mem, mut hooks) = ctx_parts();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let mut slab = PackedAllocator::new(PageKind::Slab, None);
+        let mut kvma = PackedAllocator::new(PageKind::KernelVma, Some(1024));
+        let fs = slab.alloc(&mut ctx, KernelObjectType::Dentry, None, false).unwrap();
+        let fk = kvma.alloc(&mut ctx, KernelObjectType::Dentry, None, false).unwrap();
+        assert!(ctx.mem.frame(fs).unwrap().pinned());
+        assert!(!ctx.mem.frame(fk).unwrap().pinned());
+        assert!(ctx.mem.migrate(fk, TierId::SLOW).is_ok());
+        assert!(ctx.mem.migrate(fs, TierId::SLOW).is_err());
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let (mut mem, mut hooks) = ctx_parts();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let mut slab = PackedAllocator::new(PageKind::Slab, None);
+        let f = slab.alloc(&mut ctx, KernelObjectType::Bio, None, false).unwrap();
+        slab.free(&mut ctx, KernelObjectType::Bio, None, f).unwrap();
+        // Frame is gone; a second free must error, not panic.
+        assert!(slab.free(&mut ctx, KernelObjectType::Bio, None, f).is_err());
+    }
+}

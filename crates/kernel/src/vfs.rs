@@ -1,0 +1,283 @@
+//! Virtual filesystem layer: inodes, paths, dentries, file descriptors.
+//!
+//! In Unix "everything is a file": both regular files and sockets get an
+//! inode, which is exactly why the paper anchors KLOCs to inodes — one
+//! KLOC per inode groups all related kernel objects (§1, Fig. 1).
+//!
+//! This module holds the naming and lifetime bookkeeping; object
+//! allocation and cost charging happen in the [`crate::Kernel`] facade.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use kloc_mem::Nanos;
+
+use crate::extent::ExtentTree;
+use crate::net::RxQueue;
+use crate::obj::ObjectId;
+use crate::pagecache::PageCache;
+
+/// Identifier of an inode (file or socket). Never reused.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct InodeId(pub u64);
+
+impl fmt::Display for InodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inode{}", self.0)
+    }
+}
+
+/// A file descriptor.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Fd(pub u64);
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd{}", self.0)
+    }
+}
+
+/// What an inode names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InodeKind {
+    /// A regular file on the filesystem.
+    RegularFile,
+    /// A directory.
+    Directory,
+    /// A network socket.
+    Socket,
+}
+
+/// One inode and all per-inode kernel state.
+#[derive(Debug)]
+pub struct Inode {
+    /// Inode id.
+    pub id: InodeId,
+    /// File or socket.
+    pub kind: InodeKind,
+    /// File size in bytes (0 for sockets).
+    pub size: u64,
+    /// Link count; 0 means unlinked (destroyed when last handle closes).
+    pub nlink: u32,
+    /// Open file handles.
+    pub open_count: u32,
+    /// The inode slab object.
+    pub inode_obj: ObjectId,
+    /// The dentry slab object (files only; evictable).
+    pub dentry_obj: Option<ObjectId>,
+    /// The sock object (sockets only).
+    pub sock_obj: Option<ObjectId>,
+    /// Page cache of this inode.
+    pub cache: PageCache,
+    /// Extent map (files only).
+    pub extents: ExtentTree,
+    /// Receive queue (sockets only).
+    pub rx: RxQueue,
+    /// Creation time.
+    pub created_at: Nanos,
+    /// Last syscall activity on this inode.
+    pub last_activity: Nanos,
+}
+
+impl Inode {
+    /// Whether any process holds the inode open.
+    pub fn is_open(&self) -> bool {
+        self.open_count > 0
+    }
+}
+
+/// An open file description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenFile {
+    /// Inode this handle points at.
+    pub inode: InodeId,
+    /// The `struct file` slab object.
+    pub file_obj: ObjectId,
+}
+
+/// The VFS tables: path namespace, inode table, fd table.
+#[derive(Debug, Default)]
+pub struct Vfs {
+    inodes: HashMap<InodeId, Inode>,
+    paths: HashMap<String, InodeId>,
+    fds: HashMap<Fd, OpenFile>,
+    next_inode: u64,
+    next_fd: u64,
+}
+
+impl Vfs {
+    /// Creates empty tables.
+    pub fn new() -> Self {
+        Vfs::default()
+    }
+
+    /// Number of live inodes (open, cached, or unlinked-but-open).
+    pub fn inode_count(&self) -> usize {
+        self.inodes.len()
+    }
+
+    /// Number of open file descriptors.
+    pub fn open_fds(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Allocates the next inode id.
+    pub fn next_inode_id(&mut self) -> InodeId {
+        let id = InodeId(self.next_inode);
+        self.next_inode += 1;
+        id
+    }
+
+    /// Registers a new inode.
+    ///
+    /// # Panics
+    /// Panics if the id is already present.
+    pub fn insert_inode(&mut self, inode: Inode) {
+        let id = inode.id;
+        let prev = self.inodes.insert(id, inode);
+        assert!(prev.is_none(), "{id} already registered");
+    }
+
+    /// Removes an inode record.
+    pub fn remove_inode(&mut self, id: InodeId) -> Option<Inode> {
+        self.inodes.remove(&id)
+    }
+
+    /// Looks up an inode.
+    pub fn inode(&self, id: InodeId) -> Option<&Inode> {
+        self.inodes.get(&id)
+    }
+
+    /// Looks up an inode mutably.
+    pub fn inode_mut(&mut self, id: InodeId) -> Option<&mut Inode> {
+        self.inodes.get_mut(&id)
+    }
+
+    /// Iterates all live inodes.
+    pub fn inodes(&self) -> impl Iterator<Item = &Inode> {
+        self.inodes.values()
+    }
+
+    /// Resolves a path.
+    pub fn lookup_path(&self, path: &str) -> Option<InodeId> {
+        self.paths.get(path).copied()
+    }
+
+    /// Binds a path to an inode.
+    ///
+    /// # Panics
+    /// Panics if the path is already bound.
+    pub fn bind_path(&mut self, path: &str, inode: InodeId) {
+        let prev = self.paths.insert(path.to_owned(), inode);
+        assert!(prev.is_none(), "path {path} already bound");
+    }
+
+    /// Unbinds a path, returning the inode it named.
+    pub fn unbind_path(&mut self, path: &str) -> Option<InodeId> {
+        self.paths.remove(path)
+    }
+
+    /// Opens a new descriptor on `inode` backed by `file_obj`.
+    pub fn open_fd(&mut self, inode: InodeId, file_obj: ObjectId) -> Fd {
+        let fd = Fd(self.next_fd);
+        self.next_fd += 1;
+        self.fds.insert(fd, OpenFile { inode, file_obj });
+        fd
+    }
+
+    /// Resolves a descriptor.
+    pub fn fd(&self, fd: Fd) -> Option<&OpenFile> {
+        self.fds.get(&fd)
+    }
+
+    /// Closes a descriptor, returning its description.
+    pub fn close_fd(&mut self, fd: Fd) -> Option<OpenFile> {
+        self.fds.remove(&fd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj::ObjectId;
+
+    fn mk_inode(id: InodeId, kind: InodeKind) -> Inode {
+        Inode {
+            id,
+            kind,
+            size: 0,
+            nlink: 1,
+            open_count: 0,
+            inode_obj: ObjectId(0),
+            dentry_obj: None,
+            sock_obj: None,
+            cache: PageCache::new(64),
+            extents: ExtentTree::new(1 << 20),
+            rx: RxQueue::new(),
+            created_at: Nanos::ZERO,
+            last_activity: Nanos::ZERO,
+        }
+    }
+
+    #[test]
+    fn inode_registration_round_trip() {
+        let mut vfs = Vfs::new();
+        let id = vfs.next_inode_id();
+        let id2 = vfs.next_inode_id();
+        assert_ne!(id, id2);
+        vfs.insert_inode(mk_inode(id, InodeKind::RegularFile));
+        assert_eq!(vfs.inode_count(), 1);
+        assert!(vfs.inode(id).is_some());
+        let inode = vfs.remove_inode(id).unwrap();
+        assert_eq!(inode.id, id);
+        assert!(vfs.inode(id).is_none());
+    }
+
+    #[test]
+    fn path_binding() {
+        let mut vfs = Vfs::new();
+        let id = vfs.next_inode_id();
+        vfs.bind_path("/a/b", id);
+        assert_eq!(vfs.lookup_path("/a/b"), Some(id));
+        assert_eq!(vfs.lookup_path("/a/c"), None);
+        assert_eq!(vfs.unbind_path("/a/b"), Some(id));
+        assert_eq!(vfs.lookup_path("/a/b"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already bound")]
+    fn double_bind_panics() {
+        let mut vfs = Vfs::new();
+        let id = vfs.next_inode_id();
+        vfs.bind_path("/x", id);
+        vfs.bind_path("/x", id);
+    }
+
+    #[test]
+    fn fd_lifecycle() {
+        let mut vfs = Vfs::new();
+        let ino = vfs.next_inode_id();
+        let fd = vfs.open_fd(ino, ObjectId(5));
+        assert_eq!(vfs.open_fds(), 1);
+        let of = vfs.fd(fd).copied().unwrap();
+        assert_eq!(of.inode, ino);
+        assert_eq!(of.file_obj, ObjectId(5));
+        assert!(vfs.close_fd(fd).is_some());
+        assert!(vfs.close_fd(fd).is_none());
+        assert_eq!(vfs.open_fds(), 0);
+    }
+
+    #[test]
+    fn is_open_tracks_count() {
+        let mut i = mk_inode(InodeId(1), InodeKind::Socket);
+        assert!(!i.is_open());
+        i.open_count = 2;
+        assert!(i.is_open());
+    }
+}

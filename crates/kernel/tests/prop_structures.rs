@@ -1,0 +1,260 @@
+//! Model-based property tests for the kernel's core data structures:
+//! the page-cache radix tree against a `BTreeMap` model, the LRU lists
+//! against a recency model, and the packed allocator against byte
+//! accounting.
+
+use std::collections::{BTreeMap, HashMap};
+
+use proptest::prelude::*;
+
+use kloc_kernel::hooks::{Ctx, NullHooks};
+use kloc_kernel::lru::{List, PageLru};
+use kloc_kernel::pagecache::PageCache;
+use kloc_kernel::slab::PackedAllocator;
+use kloc_kernel::vfs::InodeId;
+use kloc_kernel::{KernelObjectType, ObjectId};
+use kloc_mem::{FrameId, MemorySystem, PageKind};
+
+// ---------------------------------------------------------------------
+// Page cache vs BTreeMap model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum PcOp {
+    Insert(u64, bool),
+    Remove(u64),
+    MarkDirty(u64),
+    MarkClean(u64),
+}
+
+fn pc_op() -> impl Strategy<Value = PcOp> {
+    prop_oneof![
+        (0u64..256, any::<bool>()).prop_map(|(i, d)| PcOp::Insert(i, d)),
+        (0u64..256).prop_map(PcOp::Remove),
+        (0u64..256).prop_map(PcOp::MarkDirty),
+        (0u64..256).prop_map(PcOp::MarkClean),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The radix tree agrees with a flat map on membership, dirtiness,
+    /// dirty counts, and node bookkeeping (one node per populated chunk).
+    #[test]
+    fn pagecache_matches_model(fanout in 1u64..70, ops in proptest::collection::vec(pc_op(), 1..250)) {
+        let mut pc = PageCache::new(fanout);
+        let mut model: BTreeMap<u64, bool> = BTreeMap::new(); // idx -> dirty
+        let mut next_obj = 0u64;
+
+        for op in ops {
+            match op {
+                PcOp::Insert(idx, dirty) => {
+                    if model.contains_key(&idx) { continue; }
+                    if pc.needs_node(idx) {
+                        pc.install_node(idx, ObjectId(1_000_000 + idx / fanout));
+                    }
+                    pc.insert(idx, ObjectId(next_obj), FrameId(next_obj), dirty);
+                    next_obj += 1;
+                    model.insert(idx, dirty);
+                }
+                PcOp::Remove(idx) => {
+                    let removed = pc.remove(idx);
+                    prop_assert_eq!(removed.is_some(), model.remove(&idx).is_some());
+                    if let Some(r) = removed {
+                        // Node freed iff the chunk emptied.
+                        let chunk = idx / fanout;
+                        let chunk_live = model.keys().any(|k| k / fanout == chunk);
+                        prop_assert_eq!(r.freed_node.is_some(), !chunk_live);
+                    }
+                }
+                PcOp::MarkDirty(idx) => {
+                    let ok = pc.mark_dirty(idx);
+                    prop_assert_eq!(ok, model.contains_key(&idx));
+                    if let Some(d) = model.get_mut(&idx) { *d = true; }
+                }
+                PcOp::MarkClean(idx) => {
+                    let ok = pc.mark_clean(idx);
+                    prop_assert_eq!(ok, model.contains_key(&idx));
+                    if let Some(d) = model.get_mut(&idx) { *d = false; }
+                }
+            }
+
+            prop_assert_eq!(pc.len(), model.len());
+            prop_assert_eq!(
+                pc.dirty_pages(),
+                model.values().filter(|d| **d).count() as u64
+            );
+            let chunks: std::collections::BTreeSet<u64> =
+                model.keys().map(|k| k / fanout).collect();
+            prop_assert_eq!(pc.node_count(), chunks.len());
+            for (&idx, &dirty) in &model {
+                let page = pc.get(idx).expect("model page present");
+                prop_assert_eq!(page.dirty, dirty);
+                prop_assert!(pc.node_for(idx).is_some());
+            }
+            let listed: Vec<u64> = pc.iter().map(|(i, _)| i).collect();
+            let expect: Vec<u64> = model.keys().copied().collect();
+            prop_assert_eq!(listed, expect, "iteration order is index order");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// LRU vs recency model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum LruOp {
+    Insert(u64, bool),
+    Access(u64),
+    Remove(u64),
+    Scan(u8),
+    Age(u8),
+}
+
+fn lru_op() -> impl Strategy<Value = LruOp> {
+    prop_oneof![
+        (0u64..64, any::<bool>()).prop_map(|(f, a)| LruOp::Insert(f, a)),
+        (0u64..64).prop_map(LruOp::Access),
+        (0u64..64).prop_map(LruOp::Remove),
+        (1u8..16).prop_map(LruOp::Scan),
+        (1u8..16).prop_map(LruOp::Age),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Membership never drifts, scans only evict unreferenced pages, and
+    /// counts always balance.
+    #[test]
+    fn lru_membership_and_counts(ops in proptest::collection::vec(lru_op(), 1..300)) {
+        let mut lru = PageLru::new();
+        let mut member: HashMap<u64, ()> = HashMap::new();
+
+        for op in ops {
+            match op {
+                LruOp::Insert(f, active) => {
+                    if member.contains_key(&f) { continue; }
+                    lru.insert(
+                        FrameId(f),
+                        if active { List::Active } else { List::Inactive },
+                    );
+                    member.insert(f, ());
+                }
+                LruOp::Access(f) => {
+                    lru.mark_accessed(FrameId(f)); // no-op when untracked
+                }
+                LruOp::Remove(f) => {
+                    prop_assert_eq!(lru.remove(FrameId(f)), member.remove(&f).is_some());
+                }
+                LruOp::Scan(n) => {
+                    let before_inactive = lru.inactive_len();
+                    let out = lru.scan_inactive(n as usize);
+                    prop_assert!(out.scanned <= n as usize);
+                    prop_assert!(out.scanned <= before_inactive);
+                    prop_assert_eq!(out.scanned, out.evict.len() + out.promoted);
+                    // Evicted frames left the structure entirely.
+                    for f in &out.evict {
+                        prop_assert!(!lru.contains(*f));
+                        member.remove(&f.0);
+                    }
+                }
+                LruOp::Age(n) => {
+                    let before_active = lru.active_len();
+                    let moved = lru.age_active(n as usize);
+                    prop_assert!(moved <= before_active.min(n as usize));
+                }
+            }
+
+            prop_assert_eq!(lru.len(), member.len());
+            prop_assert_eq!(lru.active_len() + lru.inactive_len(), lru.len());
+            for f in member.keys() {
+                prop_assert!(lru.contains(FrameId(*f)));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Packed allocator vs byte accounting
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum SlabOp {
+    Alloc(u8, u8),
+    Free(usize),
+}
+
+fn slab_op() -> impl Strategy<Value = SlabOp> {
+    prop_oneof![
+        (0u8..14, 0u8..6).prop_map(|(t, i)| SlabOp::Alloc(t, i)),
+        (0usize..128).prop_map(SlabOp::Free),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Live bytes never exceed frame capacity; the allocator never leaks
+    /// frames; freeing everything returns every frame.
+    #[test]
+    fn packed_allocator_conserves_frames(
+        sharded in any::<bool>(),
+        ops in proptest::collection::vec(slab_op(), 1..250),
+    ) {
+        let mut mem = MemorySystem::two_tier(u64::MAX, 8);
+        let mut hooks = NullHooks::fast_first();
+        let kind = if sharded { PageKind::KernelVma } else { PageKind::Slab };
+        let mut alloc = PackedAllocator::new(kind, if sharded { Some(4) } else { None });
+        // Live objects: (ty, inode, frame).
+        let mut live: Vec<(KernelObjectType, Option<InodeId>, FrameId)> = Vec::new();
+
+        for op in ops {
+            let mut ctx = Ctx::new(&mut mem, &mut hooks);
+            match op {
+                SlabOp::Alloc(t, i) => {
+                    let ty = KernelObjectType::ALL[t as usize % KernelObjectType::ALL.len()];
+                    if !matches!(ty.backing(), kloc_kernel::Backing::Slab) {
+                        continue;
+                    }
+                    let inode = if i == 0 { None } else { Some(InodeId(i as u64)) };
+                    let f = alloc.alloc(&mut ctx, ty, inode, false).unwrap();
+                    prop_assert!(ctx.mem.is_live(f));
+                    live.push((ty, inode, f));
+                }
+                SlabOp::Free(i) => {
+                    if live.is_empty() { continue; }
+                    let (ty, inode, f) = live.remove(i % live.len());
+                    alloc.free(&mut ctx, ty, inode, f).unwrap();
+                }
+            }
+            let _ = ctx;
+
+            // Frame count bounded by object count (packing can only help),
+            // and bytes fit: per live frame, sum of resident object sizes
+            // cannot exceed a page.
+            prop_assert!(alloc.live_frames() <= live.len());
+            let mut per_frame: HashMap<FrameId, u64> = HashMap::new();
+            for (ty, _, f) in &live {
+                *per_frame.entry(*f).or_default() += ty.size();
+            }
+            for (f, bytes) in &per_frame {
+                prop_assert!(
+                    *bytes <= kloc_mem::PAGE_SIZE,
+                    "frame {f} overpacked: {bytes} bytes"
+                );
+            }
+            prop_assert_eq!(per_frame.len(), alloc.live_frames());
+        }
+
+        // Full teardown: no leaked frames.
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        for (ty, inode, f) in live.drain(..) {
+            alloc.free(&mut ctx, ty, inode, f).unwrap();
+        }
+        prop_assert_eq!(alloc.live_frames(), 0);
+        prop_assert_eq!(ctx.mem.live_frames(), 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the memory substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::frame::FrameId;
+use crate::tier::TierId;
+
+/// Errors returned by the memory substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// The requested tier has no free frames left.
+    TierFull(TierId),
+    /// No tier in the system could satisfy the allocation.
+    OutOfMemory,
+    /// The frame id does not name a live (allocated) frame.
+    BadFrame(FrameId),
+    /// The tier id does not exist in this topology.
+    BadTier(TierId),
+    /// A migration was requested to the tier the frame already lives on.
+    AlreadyResident(FrameId, TierId),
+    /// The frame is pinned and cannot be migrated.
+    Pinned(FrameId),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::TierFull(t) => write!(f, "memory tier {t} is full"),
+            MemError::OutOfMemory => write!(f, "no memory tier can satisfy the allocation"),
+            MemError::BadFrame(id) => write!(f, "frame {id} is not allocated"),
+            MemError::BadTier(t) => write!(f, "tier {t} does not exist in this topology"),
+            MemError::AlreadyResident(id, t) => {
+                write!(f, "frame {id} already resides on tier {t}")
+            }
+            MemError::Pinned(id) => write!(f, "frame {id} is pinned and cannot be migrated"),
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let msg = MemError::OutOfMemory.to_string();
+        assert!(msg.starts_with("no memory tier"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemError>();
+    }
+}

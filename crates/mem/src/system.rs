@@ -1,0 +1,627 @@
+//! The tiered memory system.
+//!
+//! [`MemorySystem`] owns the tiers, the frame table, the virtual clock,
+//! and the migration engine. Every allocation, access, and migration in
+//! the simulation is charged here, which makes the reported virtual run
+//! time of a workload a function of *where its pages live* — exactly the
+//! quantity the paper's tiering policies compete on.
+
+use std::collections::HashMap;
+
+use crate::allocator::TierAllocator;
+use crate::clock::{Clock, Nanos};
+use crate::error::MemError;
+use crate::frame::{Frame, FrameId, PageKind};
+use crate::l4cache::L4Cache;
+use crate::migrate::{MigrationCost, MigrationStats};
+use crate::stats::MemStats;
+use crate::tier::{TierId, TierSpec};
+
+/// Interconnect latency added to cross-socket accesses in NUMA
+/// topologies (QPI/UPI hop).
+pub const REMOTE_ACCESS_PENALTY: Nanos = Nanos::new(60);
+
+/// A complete tiered memory system: tiers + frames + clock + migration.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug)]
+pub struct MemorySystem {
+    tiers: Vec<TierAllocator>,
+    /// NUMA socket each tier belongs to (0 for non-NUMA topologies).
+    tier_socket: Vec<u8>,
+    /// Optional hardware-managed DRAM cache in front of a tier
+    /// (Optane Memory Mode).
+    l4: Vec<Option<L4Cache>>,
+    /// Per-tier contention multiplier (x1000; 1000 = no contention).
+    contention_milli: Vec<u64>,
+    frames: HashMap<FrameId, Frame>,
+    next_frame: u64,
+    clock: Clock,
+    stats: MemStats,
+    migration_cost: MigrationCost,
+    migration_stats: MigrationStats,
+    /// Number of workload threads whose CPU time overlaps. The virtual
+    /// clock models the bottleneck-resource timeline: memory-bus time is
+    /// shared (charged fully), while per-thread CPU work and I/O stalls
+    /// overlap across threads (charged divided by this factor).
+    cpu_parallelism: u64,
+}
+
+impl MemorySystem {
+    /// Builds a system from explicit tier specs. Tier ids are assigned in
+    /// order; by convention faster tiers come first.
+    ///
+    /// # Panics
+    /// Panics if `specs` is empty or has more than 255 entries.
+    pub fn with_tiers(specs: Vec<TierSpec>) -> Self {
+        assert!(!specs.is_empty(), "at least one tier is required");
+        assert!(specs.len() <= 255, "at most 255 tiers supported");
+        let tiers: Vec<TierAllocator> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| TierAllocator::new(TierId(i as u8), s))
+            .collect();
+        let n = tiers.len();
+        MemorySystem {
+            tier_socket: vec![0; n],
+            l4: (0..n).map(|_| None).collect(),
+            contention_milli: vec![1000; n],
+            stats: MemStats::new(n),
+            tiers,
+            frames: HashMap::new(),
+            next_frame: 0,
+            clock: Clock::new(),
+            migration_cost: MigrationCost::default(),
+            migration_stats: MigrationStats::default(),
+            cpu_parallelism: 1,
+        }
+    }
+
+    /// The paper's two-tier platform: a fast DRAM tier of
+    /// `fast_capacity` bytes over an unbounded slow tier whose bandwidth
+    /// is `bw_ratio`x lower (§6.2, Table 4; Fig. 6 sweeps `bw_ratio`
+    /// over {8, 4, 2}).
+    pub fn two_tier(fast_capacity: u64, bw_ratio: u64) -> Self {
+        let fast = TierSpec::fast_dram(fast_capacity);
+        let slow = fast.slow_variant(bw_ratio);
+        MemorySystem::with_tiers(vec![fast, slow])
+    }
+
+    /// Optane Memory Mode: two sockets, each an (effectively unbounded)
+    /// PMEM tier fronted by an `l4_capacity`-byte hardware-managed DRAM
+    /// cache. Tier 0 is socket 0, tier 1 is socket 1.
+    pub fn optane_memory_mode(l4_capacity: u64) -> Self {
+        let pmem = TierSpec::pmem(u64::MAX);
+        let mut sys = MemorySystem::with_tiers(vec![pmem, pmem]);
+        sys.tier_socket = vec![0, 1];
+        let dram = TierSpec::fast_dram(u64::MAX);
+        sys.l4[0] = Some(L4Cache::new(l4_capacity, dram, pmem));
+        sys.l4[1] = Some(L4Cache::new(l4_capacity, dram, pmem));
+        sys
+    }
+
+    /// A three-tier system: a small high-bandwidth tier (die-stacked /
+    /// HBM-class, paper §2) over `dram_capacity` of conventional DRAM
+    /// over an unbounded slow tier at a `bw_ratio` differential to DRAM.
+    pub fn three_tier(hbm_capacity: u64, dram_capacity: u64, bw_ratio: u64) -> Self {
+        let hbm = TierSpec::hbm(hbm_capacity);
+        let dram = TierSpec::fast_dram(dram_capacity);
+        let slow = dram.slow_variant(bw_ratio);
+        MemorySystem::with_tiers(vec![hbm, dram, slow])
+    }
+
+    /// Conventional two-socket NUMA: two equal DRAM tiers on sockets 0/1.
+    pub fn numa_two_socket(capacity_per_socket: u64) -> Self {
+        let local = TierSpec::fast_dram(capacity_per_socket);
+        let mut sys = MemorySystem::with_tiers(vec![local, local]);
+        sys.tier_socket = vec![0, 1];
+        sys
+    }
+
+    /// Number of tiers.
+    pub fn tier_count(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Allocator (capacity view) of a tier.
+    ///
+    /// # Errors
+    /// Returns [`MemError::BadTier`] for unknown tiers.
+    pub fn tier_alloc(&self, tier: TierId) -> Result<&TierAllocator, MemError> {
+        self.tiers.get(tier.index()).ok_or(MemError::BadTier(tier))
+    }
+
+    /// Hardware spec of a tier.
+    ///
+    /// # Panics
+    /// Panics for unknown tiers.
+    pub fn tier_spec(&self, tier: TierId) -> &TierSpec {
+        self.tiers[tier.index()].spec()
+    }
+
+    /// NUMA socket of a tier.
+    pub fn socket_of(&self, tier: TierId) -> u8 {
+        self.tier_socket[tier.index()]
+    }
+
+    /// Sets a contention multiplier on a tier's access costs (1.0 = no
+    /// contention). Used to model the streaming antagonist in the
+    /// AutoNUMA experiment (§6.2).
+    pub fn set_contention(&mut self, tier: TierId, factor: f64) {
+        assert!(factor >= 1.0, "contention factor must be >= 1.0");
+        self.contention_milli[tier.index()] = (factor * 1000.0) as u64;
+    }
+
+    /// Sets the migration cost model (sequential vs Nimble-parallel).
+    pub fn set_migration_cost(&mut self, cost: MigrationCost) {
+        self.migration_cost = cost;
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.clock.now()
+    }
+
+    /// Sets how many workload threads overlap CPU work (see the field
+    /// docs; 1 = fully serialized).
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn set_cpu_parallelism(&mut self, threads: u64) {
+        assert!(threads > 0, "parallelism must be non-zero");
+        self.cpu_parallelism = threads;
+    }
+
+    /// Charges per-thread CPU or I/O-stall time (computation that touches
+    /// no simulated memory: think time, syscall entry, disk waits). With
+    /// `cpu_parallelism` threads this overlaps, so the shared clock
+    /// advances by `dt / parallelism`.
+    pub fn charge(&mut self, dt: Nanos) {
+        self.clock.advance(dt / self.cpu_parallelism);
+    }
+
+    /// Substrate counters.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Migration counters.
+    pub fn migration_stats(&self) -> &MigrationStats {
+        &self.migration_stats
+    }
+
+    /// L4 cache attached to `tier`, if any.
+    pub fn l4_cache(&self, tier: TierId) -> Option<&L4Cache> {
+        self.l4.get(tier.index()).and_then(|c| c.as_ref())
+    }
+
+    /// Allocates one frame of `kind` on `tier`.
+    ///
+    /// # Errors
+    /// [`MemError::TierFull`] if the tier is at capacity,
+    /// [`MemError::BadTier`] for unknown tiers.
+    pub fn allocate(&mut self, tier: TierId, kind: PageKind) -> Result<FrameId, MemError> {
+        let alloc = self
+            .tiers
+            .get_mut(tier.index())
+            .ok_or(MemError::BadTier(tier))?;
+        match alloc.reserve() {
+            Ok(()) => {}
+            Err(e) => {
+                self.stats.tiers[tier.index()].alloc_failures += 1;
+                return Err(e);
+            }
+        }
+        let id = FrameId(self.next_frame);
+        self.next_frame += 1;
+        let frame = Frame::new(id, tier, kind, self.clock.now());
+        self.frames.insert(id, frame);
+        self.stats.tiers[tier.index()].on_alloc(kind);
+        Ok(id)
+    }
+
+    /// Allocates on the first tier in `preference` with room.
+    ///
+    /// # Errors
+    /// [`MemError::OutOfMemory`] if no listed tier has room.
+    pub fn allocate_preferring(
+        &mut self,
+        preference: &[TierId],
+        kind: PageKind,
+    ) -> Result<FrameId, MemError> {
+        for &tier in preference {
+            match self.allocate(tier, kind) {
+                Ok(id) => return Ok(id),
+                Err(MemError::TierFull(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(MemError::OutOfMemory)
+    }
+
+    /// Frees a frame, recording its lifetime (paper Fig. 2d).
+    ///
+    /// # Errors
+    /// [`MemError::BadFrame`] if the frame is not allocated.
+    pub fn free(&mut self, frame: FrameId) -> Result<(), MemError> {
+        let f = self.frames.remove(&frame).ok_or(MemError::BadFrame(frame))?;
+        self.tiers[f.tier.index()].release();
+        self.stats.tiers[f.tier.index()].on_free(f.kind);
+        let lifetime = self.clock.now().saturating_sub(f.allocated_at);
+        self.stats
+            .lifetimes
+            .entry(f.kind)
+            .or_default()
+            .record(lifetime);
+        if let Some(l4) = self.l4[f.tier.index()].as_mut() {
+            l4.invalidate(frame);
+        }
+        Ok(())
+    }
+
+    /// Looks up a frame record.
+    ///
+    /// # Errors
+    /// [`MemError::BadFrame`] if the frame is not allocated.
+    pub fn frame(&self, frame: FrameId) -> Result<&Frame, MemError> {
+        self.frames.get(&frame).ok_or(MemError::BadFrame(frame))
+    }
+
+    /// Tier a frame currently resides on.
+    ///
+    /// # Panics
+    /// Panics if the frame is not allocated.
+    pub fn tier_of(&self, frame: FrameId) -> TierId {
+        self.frames[&frame].tier
+    }
+
+    /// Whether the frame is still allocated.
+    pub fn is_live(&self, frame: FrameId) -> bool {
+        self.frames.contains_key(&frame)
+    }
+
+    /// Number of live frames.
+    pub fn live_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Mean age (now - allocation time) of live frames of `kind`.
+    /// Complements the freed-frame lifetime statistics for long-lived
+    /// allocations (application pages) that outlive the measurement.
+    pub fn mean_live_age(&self, kind: PageKind) -> Nanos {
+        let now = self.clock.now();
+        let (mut total, mut n) = (Nanos::ZERO, 0u64);
+        for f in self.frames.values() {
+            if f.kind == kind {
+                total += now.saturating_sub(f.allocated_at);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            Nanos::ZERO
+        } else {
+            total / n
+        }
+    }
+
+    /// Reads `bytes` from a frame; advances the clock and returns the cost.
+    pub fn read(&mut self, frame: FrameId, bytes: u64) -> Nanos {
+        self.access(frame, bytes, false, None)
+    }
+
+    /// Writes `bytes` to a frame; advances the clock and returns the cost.
+    pub fn write(&mut self, frame: FrameId, bytes: u64) -> Nanos {
+        self.access(frame, bytes, true, None)
+    }
+
+    /// Like [`MemorySystem::read`] but performed by a CPU on `socket`,
+    /// charging the interconnect penalty when the frame is remote.
+    pub fn read_from(&mut self, socket: u8, frame: FrameId, bytes: u64) -> Nanos {
+        self.access(frame, bytes, false, Some(socket))
+    }
+
+    /// Like [`MemorySystem::write`] but performed by a CPU on `socket`.
+    pub fn write_from(&mut self, socket: u8, frame: FrameId, bytes: u64) -> Nanos {
+        self.access(frame, bytes, true, Some(socket))
+    }
+
+    fn access(
+        &mut self,
+        frame: FrameId,
+        bytes: u64,
+        write: bool,
+        from_socket: Option<u8>,
+    ) -> Nanos {
+        let now = self.clock.now();
+        let Some(f) = self.frames.get_mut(&frame) else {
+            // Accessing a freed frame is a simulation bug; make it loud in
+            // debug builds but charge nothing in release.
+            debug_assert!(false, "access to freed {frame}");
+            return Nanos::ZERO;
+        };
+        f.last_access = now;
+        f.accesses += 1;
+        let tier_idx = f.tier.index();
+        let kind = f.kind;
+
+        let mut cost = if let Some(l4) = self.l4[tier_idx].as_mut() {
+            l4.access(frame, bytes, write)
+        } else {
+            let spec = self.tiers[tier_idx].spec();
+            if write {
+                spec.write_cost(bytes)
+            } else {
+                spec.read_cost(bytes)
+            }
+        };
+
+        // Transparent huge pages: larger TLB reach shaves part of the
+        // per-access latency (paper §5's multi-page-size support).
+        if kind == PageKind::AppHuge {
+            let spec = self.tiers[tier_idx].spec();
+            let discount = if write {
+                spec.write_latency / 4
+            } else {
+                spec.read_latency / 4
+            };
+            cost = cost.saturating_sub(discount);
+        }
+
+        // Cross-socket penalty.
+        if let Some(socket) = from_socket {
+            if socket != self.tier_socket[tier_idx] {
+                cost += REMOTE_ACCESS_PENALTY;
+            }
+        }
+
+        // Contention multiplier.
+        let milli = self.contention_milli[tier_idx];
+        if milli != 1000 {
+            cost = Nanos::new(cost.as_nanos() * milli / 1000);
+        }
+
+        let ts = &mut self.stats.tiers[tier_idx];
+        if write {
+            ts.writes += 1;
+            ts.bytes_written += bytes;
+        } else {
+            ts.reads += 1;
+            ts.bytes_read += bytes;
+        }
+        self.stats.total_accesses += 1;
+        if kind.is_kernel() {
+            self.stats.kernel_accesses += 1;
+        }
+        self.clock.advance(cost);
+        cost
+    }
+
+    /// Migrates a frame to `to`, charging the migration cost model.
+    ///
+    /// # Errors
+    /// * [`MemError::BadFrame`] — frame not allocated.
+    /// * [`MemError::BadTier`] — unknown destination.
+    /// * [`MemError::Pinned`] — the frame is not relocatable (slab page).
+    /// * [`MemError::AlreadyResident`] — already on `to`.
+    /// * [`MemError::TierFull`] — no room on `to`.
+    pub fn migrate(&mut self, frame: FrameId, to: TierId) -> Result<Nanos, MemError> {
+        if to.index() >= self.tiers.len() {
+            return Err(MemError::BadTier(to));
+        }
+        let (from, kind, pinned) = {
+            let f = self.frames.get(&frame).ok_or(MemError::BadFrame(frame))?;
+            (f.tier, f.kind, f.pinned)
+        };
+        if pinned {
+            return Err(MemError::Pinned(frame));
+        }
+        if from == to {
+            return Err(MemError::AlreadyResident(frame, to));
+        }
+        self.tiers[to.index()].reserve()?;
+        self.tiers[from.index()].release();
+
+        let (mut cost, mut foreground) = {
+            let src = self.tiers[from.index()].spec();
+            let dst = self.tiers[to.index()].spec();
+            (
+                self.migration_cost.page_cost(src, dst),
+                self.migration_cost
+                    .foreground_cost(src, dst, self.cpu_parallelism),
+            )
+        };
+        // A huge page moves more data per migration decision (scaled 4x
+        // here; 512x in real 2 MB pages before scale compression).
+        if kind == PageKind::AppHuge {
+            cost = cost * 4;
+            foreground = foreground * 4;
+        }
+        self.stats.tiers[from.index()].on_depart(kind);
+        self.stats.tiers[to.index()].on_arrive(kind);
+        if let Some(l4) = self.l4[from.index()].as_mut() {
+            l4.invalidate(frame);
+        }
+        let f = self.frames.get_mut(&frame).expect("checked above");
+        f.tier = to;
+        f.migrations = f.migrations.saturating_add(1);
+        self.migration_stats.record(kind, from, to, cost);
+        self.clock.advance(foreground);
+        Ok(cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MemorySystem {
+        // 4 frames of fast memory over unbounded slow memory, 1:8.
+        MemorySystem::two_tier(4 * crate::frame::PAGE_SIZE, 8)
+    }
+
+    #[test]
+    fn allocate_spills_nothing_by_itself() {
+        let mut m = small();
+        for _ in 0..4 {
+            m.allocate(TierId::FAST, PageKind::AppData).unwrap();
+        }
+        assert_eq!(
+            m.allocate(TierId::FAST, PageKind::AppData),
+            Err(MemError::TierFull(TierId::FAST))
+        );
+        assert_eq!(m.stats().tier(TierId::FAST).alloc_failures, 1);
+    }
+
+    #[test]
+    fn allocate_preferring_falls_through() {
+        let mut m = small();
+        for _ in 0..4 {
+            m.allocate(TierId::FAST, PageKind::AppData).unwrap();
+        }
+        let id = m
+            .allocate_preferring(&[TierId::FAST, TierId::SLOW], PageKind::AppData)
+            .unwrap();
+        assert_eq!(m.tier_of(id), TierId::SLOW);
+    }
+
+    #[test]
+    fn read_costs_more_on_slow_tier() {
+        let mut m = small();
+        let fast = m.allocate(TierId::FAST, PageKind::AppData).unwrap();
+        let slow = m.allocate(TierId::SLOW, PageKind::AppData).unwrap();
+        let cf = m.read(fast, 4096);
+        let cs = m.read(slow, 4096);
+        assert!(cs > cf * 4, "slow tier at 1:8 should be much slower");
+    }
+
+    #[test]
+    fn clock_advances_on_access() {
+        let mut m = small();
+        let f = m.allocate(TierId::FAST, PageKind::AppData).unwrap();
+        let before = m.now();
+        let cost = m.read(f, 64);
+        assert_eq!(m.now(), before + cost);
+    }
+
+    #[test]
+    fn migrate_moves_frame_and_counts() {
+        let mut m = small();
+        let f = m.allocate(TierId::FAST, PageKind::PageCache).unwrap();
+        let cost = m.migrate(f, TierId::SLOW).unwrap();
+        assert!(cost > Nanos::ZERO);
+        assert_eq!(m.tier_of(f), TierId::SLOW);
+        assert_eq!(m.migration_stats().demotions, 1);
+        assert_eq!(m.frame(f).unwrap().migrations(), 1);
+        // Round trip promotes.
+        m.migrate(f, TierId::FAST).unwrap();
+        assert_eq!(m.migration_stats().promotions, 1);
+    }
+
+    #[test]
+    fn slab_pages_cannot_migrate() {
+        let mut m = small();
+        let f = m.allocate(TierId::FAST, PageKind::Slab).unwrap();
+        assert_eq!(m.migrate(f, TierId::SLOW), Err(MemError::Pinned(f)));
+    }
+
+    #[test]
+    fn migrate_to_same_tier_rejected() {
+        let mut m = small();
+        let f = m.allocate(TierId::FAST, PageKind::AppData).unwrap();
+        assert_eq!(
+            m.migrate(f, TierId::FAST),
+            Err(MemError::AlreadyResident(f, TierId::FAST))
+        );
+    }
+
+    #[test]
+    fn free_records_lifetime() {
+        let mut m = small();
+        let f = m.allocate(TierId::FAST, PageKind::Slab).unwrap();
+        m.charge(Nanos::from_millis(36));
+        m.free(f).unwrap();
+        assert_eq!(m.stats().mean_lifetime(PageKind::Slab), Nanos::from_millis(36));
+        assert!(!m.is_live(f));
+        assert_eq!(m.free(f), Err(MemError::BadFrame(f)));
+    }
+
+    #[test]
+    fn free_releases_capacity() {
+        let mut m = small();
+        let ids: Vec<_> = (0..4)
+            .map(|_| m.allocate(TierId::FAST, PageKind::AppData).unwrap())
+            .collect();
+        m.free(ids[0]).unwrap();
+        assert!(m.allocate(TierId::FAST, PageKind::AppData).is_ok());
+    }
+
+    #[test]
+    fn kernel_access_fraction_counts_kinds() {
+        let mut m = small();
+        let app = m.allocate(TierId::FAST, PageKind::AppData).unwrap();
+        let pc = m.allocate(TierId::FAST, PageKind::PageCache).unwrap();
+        m.read(app, 64);
+        m.read(pc, 64);
+        m.write(pc, 64);
+        assert!((m.stats().kernel_access_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remote_access_pays_penalty() {
+        let mut m = MemorySystem::numa_two_socket(1 << 20);
+        let f = m.allocate(TierId(0), PageKind::AppData).unwrap();
+        let local = m.read_from(0, f, 64);
+        let remote = m.read_from(1, f, 64);
+        assert_eq!(remote, local + REMOTE_ACCESS_PENALTY);
+    }
+
+    #[test]
+    fn contention_inflates_cost() {
+        let mut m = small();
+        let f = m.allocate(TierId::FAST, PageKind::AppData).unwrap();
+        let base = m.read(f, 4096);
+        m.set_contention(TierId::FAST, 2.0);
+        let contended = m.read(f, 4096);
+        assert_eq!(contended.as_nanos(), base.as_nanos() * 2);
+    }
+
+    #[test]
+    fn three_tier_orders_by_speed() {
+        let mut m = MemorySystem::three_tier(4 * crate::frame::PAGE_SIZE, 1 << 20, 8);
+        assert_eq!(m.tier_count(), 3);
+        let f0 = m.allocate(TierId(0), PageKind::AppData).unwrap();
+        let f1 = m.allocate(TierId(1), PageKind::AppData).unwrap();
+        let f2 = m.allocate(TierId(2), PageKind::AppData).unwrap();
+        let c0 = m.read(f0, 4096);
+        let c1 = m.read(f1, 4096);
+        let c2 = m.read(f2, 4096);
+        assert!(c0 < c1 && c1 < c2, "hbm < dram < slow: {c0} {c1} {c2}");
+        // Waterfall demotion across all three tiers.
+        m.migrate(f0, TierId(1)).unwrap();
+        m.migrate(f0, TierId(2)).unwrap();
+        assert_eq!(m.migration_stats().demotions, 2);
+    }
+
+    #[test]
+    fn optane_mode_has_l4_caches() {
+        let mut m = MemorySystem::optane_memory_mode(16 * crate::frame::PAGE_SIZE);
+        let f = m.allocate(TierId(0), PageKind::AppData).unwrap();
+        let miss = m.read(f, 64);
+        let hit = m.read(f, 64);
+        assert!(miss > hit);
+        assert_eq!(m.l4_cache(TierId(0)).unwrap().hits(), 1);
+        assert_eq!(m.socket_of(TierId(1)), 1);
+    }
+
+    #[test]
+    fn migration_cost_model_is_configurable() {
+        let mut m = small();
+        m.set_migration_cost(MigrationCost::parallel());
+        let f = m.allocate(TierId::FAST, PageKind::PageCache).unwrap();
+        let par = m.migrate(f, TierId::SLOW).unwrap();
+        let mut m2 = small();
+        let f2 = m2.allocate(TierId::FAST, PageKind::PageCache).unwrap();
+        let seq = m2.migrate(f2, TierId::SLOW).unwrap();
+        assert!(par < seq);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the memory substrate: the frame table and
+//! per-tier capacity accounting must agree under arbitrary interleavings
+//! of allocate / free / migrate / access.
+
+use proptest::prelude::*;
+
+use kloc_mem::{FrameId, MemError, MemorySystem, PageKind, TierId, PAGE_SIZE};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u8, PageKind),
+    Free(usize),
+    Migrate(usize, u8),
+    Read(usize, u16),
+    Write(usize, u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let kind = prop_oneof![
+        Just(PageKind::AppData),
+        Just(PageKind::PageCache),
+        Just(PageKind::Slab),
+        Just(PageKind::KernelVma),
+        Just(PageKind::Vmalloc),
+    ];
+    prop_oneof![
+        (0u8..2, kind).prop_map(|(t, k)| Op::Alloc(t, k)),
+        (0usize..64).prop_map(Op::Free),
+        (0usize..64, 0u8..2).prop_map(|(i, t)| Op::Migrate(i, t)),
+        (0usize..64, 1u16..4096).prop_map(|(i, b)| Op::Read(i, b)),
+        (0usize..64, 1u16..4096).prop_map(|(i, b)| Op::Write(i, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Capacity accounting never drifts from the live-frame model, frames
+    /// are never double-freed, and pinned pages never move.
+    #[test]
+    fn frame_table_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let fast_frames = 8u64;
+        let mut mem = MemorySystem::two_tier(fast_frames * PAGE_SIZE, 8);
+        // Model: (frame, tier, kind) for every live frame.
+        let mut model: Vec<(FrameId, TierId, PageKind)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc(t, kind) => {
+                    let tier = TierId(t);
+                    match mem.allocate(tier, kind) {
+                        Ok(id) => model.push((id, tier, kind)),
+                        Err(MemError::TierFull(f)) => {
+                            prop_assert_eq!(f, tier);
+                            let live_on = model.iter().filter(|(_, mt, _)| *mt == tier).count();
+                            prop_assert_eq!(live_on as u64, fast_frames,
+                                "tier reported full but model disagrees");
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Op::Free(i) => {
+                    if model.is_empty() { continue; }
+                    let (id, _, _) = model.remove(i % model.len());
+                    prop_assert!(mem.free(id).is_ok());
+                    prop_assert_eq!(mem.free(id), Err(MemError::BadFrame(id)));
+                }
+                Op::Migrate(i, t) => {
+                    if model.is_empty() { continue; }
+                    let idx = i % model.len();
+                    let (id, tier, kind) = model[idx];
+                    let to = TierId(t);
+                    match mem.migrate(id, to) {
+                        Ok(_) => {
+                            prop_assert!(kind.relocatable());
+                            prop_assert_ne!(tier, to);
+                            model[idx].1 = to;
+                        }
+                        Err(MemError::Pinned(_)) => prop_assert!(!kind.relocatable()),
+                        Err(MemError::AlreadyResident(_, _)) => prop_assert_eq!(tier, to),
+                        Err(MemError::TierFull(_)) => prop_assert_eq!(to, TierId::FAST),
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Op::Read(i, b) => {
+                    if model.is_empty() { continue; }
+                    let (id, _, _) = model[i % model.len()];
+                    let before = mem.now();
+                    let cost = mem.read(id, b as u64);
+                    prop_assert_eq!(mem.now(), before + cost);
+                }
+                Op::Write(i, b) => {
+                    if model.is_empty() { continue; }
+                    let (id, _, _) = model[i % model.len()];
+                    mem.write(id, b as u64);
+                }
+            }
+
+            // Invariants checked after every step.
+            prop_assert_eq!(mem.live_frames(), model.len());
+            for &(id, tier, kind) in &model {
+                prop_assert_eq!(mem.tier_of(id), tier);
+                prop_assert_eq!(mem.frame(id).unwrap().kind(), kind);
+            }
+            let fast_used = mem.tier_alloc(TierId::FAST).unwrap().used_frames();
+            let model_fast = model.iter().filter(|(_, t, _)| *t == TierId::FAST).count() as u64;
+            prop_assert_eq!(fast_used, model_fast);
+            prop_assert!(fast_used <= fast_frames);
+        }
+    }
+
+    /// Residency statistics always sum to the number of live frames.
+    #[test]
+    fn residency_stats_sum_to_live(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let mut mem = MemorySystem::two_tier(16 * PAGE_SIZE, 4);
+        let mut live: Vec<FrameId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(t, k) => {
+                    if let Ok(id) = mem.allocate(TierId(t), k) {
+                        live.push(id);
+                    }
+                }
+                Op::Free(i)
+                    if !live.is_empty() => {
+                        let id = live.remove(i % live.len());
+                        mem.free(id).unwrap();
+                    }
+                Op::Migrate(i, t)
+                    if !live.is_empty() => {
+                        let id = live[i % live.len()];
+                        let _ = mem.migrate(id, TierId(t));
+                    }
+                _ => {}
+            }
+            let resident: u64 = (0..mem.tier_count())
+                .map(|i| mem.stats().tier(TierId(i as u8)).frames_resident)
+                .sum();
+            prop_assert_eq!(resident as usize, live.len());
+        }
+    }
+
+    /// The clock never runs backwards and costs are monotone in bytes.
+    #[test]
+    fn access_cost_monotone_in_bytes(bytes in 1u64..65536) {
+        let mut mem = MemorySystem::two_tier(16 * PAGE_SIZE, 8);
+        let f = mem.allocate(TierId::FAST, PageKind::AppData).unwrap();
+        let small = mem.read(f, bytes);
+        let big = mem.read(f, bytes * 2);
+        prop_assert!(big >= small);
+    }
+}

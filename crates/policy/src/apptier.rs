@@ -1,0 +1,264 @@
+//! Shared Nimble-style scan-based page tiering mechanism.
+//!
+//! Nimble (ASPLOS '19) tracks page hotness through the kernel's
+//! active/inactive LRU lists and migrates pages between tiers with
+//! parallelized copies. [`AppTier`] packages that mechanism so that
+//! [`crate::Nimble`], [`crate::NimblePlusPlus`], and the KLOC policies
+//! (which reuse "original Nimble policies ... for application pages",
+//! Table 5) can share it.
+//!
+//! Detection latency is explicit: each tick scans a bounded batch and
+//! charges the paper's measured 2 µs/page scan cost (attenuated by an
+//! overlap factor, since scan threads run mostly on spare cores). That
+//! bounded scan rate is exactly why this mechanism cannot keep up with
+//! kernel objects that live for ~36 ms (§3.3).
+
+use kloc_kernel::lru::{List, PageLru};
+use kloc_mem::{FrameId, MemorySystem, Nanos, TierId};
+
+/// Counters of tiering activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppTierStats {
+    /// Pages demoted fast -> slow.
+    pub demoted: u64,
+    /// Pages promoted slow -> fast.
+    pub promoted: u64,
+    /// Pages scanned (detection work).
+    pub scanned: u64,
+}
+
+/// Scan-based two-tier page management.
+#[derive(Debug)]
+pub struct AppTier {
+    lru: PageLru,
+    /// Pages examined per tick.
+    scan_batch: usize,
+    /// Cost charged per scanned page (paper: 2 µs).
+    scan_cost: Nanos,
+    /// Fraction of scan cost charged to the main clock, in percent
+    /// (scan threads overlap with app work on other cores).
+    scan_overlap_pct: u64,
+    /// Start demoting when fast-tier utilization exceeds this (percent).
+    high_watermark_pct: u64,
+    stats: AppTierStats,
+}
+
+impl Default for AppTier {
+    fn default() -> Self {
+        AppTier::new()
+    }
+}
+
+impl AppTier {
+    /// Creates the mechanism with Nimble-like defaults.
+    pub fn new() -> Self {
+        AppTier {
+            lru: PageLru::new(),
+            scan_batch: 512,
+            scan_cost: Nanos::from_micros(2),
+            scan_overlap_pct: 25,
+            high_watermark_pct: 90,
+            stats: AppTierStats::default(),
+        }
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &AppTierStats {
+        &self.stats
+    }
+
+    /// Number of tracked pages.
+    pub fn tracked(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Starts tracking a page.
+    pub fn on_alloc(&mut self, frame: FrameId) {
+        if !self.lru.contains(frame) {
+            self.lru.insert(frame, List::Inactive);
+        }
+    }
+
+    /// Records an access.
+    pub fn on_access(&mut self, frame: FrameId) {
+        self.lru.mark_accessed(frame);
+    }
+
+    /// Stops tracking a freed page.
+    pub fn on_free(&mut self, frame: FrameId) {
+        self.lru.remove(frame);
+    }
+
+    fn charge_scan(&mut self, mem: &mut MemorySystem, scanned: usize) {
+        self.stats.scanned += scanned as u64;
+        let cost = self.scan_cost * scanned as u64 * self.scan_overlap_pct / 100;
+        mem.charge(cost);
+    }
+
+    /// One maintenance round: demote cold pages when the fast tier is
+    /// under pressure; promote hot pages stuck on the slow tier.
+    pub fn tick(&mut self, mem: &mut MemorySystem) {
+        self.demote_cold(mem);
+        self.promote_hot(mem);
+    }
+
+    /// Scans the inactive tail and demotes cold fast-tier pages when the
+    /// fast tier is above the high watermark.
+    fn demote_cold(&mut self, mem: &mut MemorySystem) {
+        let fast = match mem.tier_alloc(TierId::FAST) {
+            Ok(a) => a,
+            Err(_) => return,
+        };
+        let over = fast.utilization() * 100.0 >= self.high_watermark_pct as f64;
+        if !over {
+            return;
+        }
+        let out = self.lru.scan_inactive(self.scan_batch);
+        self.charge_scan(mem, out.scanned);
+        if out.scanned == 0 {
+            let n = self.lru.age_active(self.scan_batch);
+            self.charge_scan(mem, n);
+            return;
+        }
+        for frame in out.evict {
+            if !mem.is_live(frame) {
+                continue;
+            }
+            if mem.tier_of(frame) == TierId::FAST && mem.migrate(frame, TierId::SLOW).is_ok() {
+                self.stats.demoted += 1;
+            }
+            // Keep tracking: a demoted page may become hot again.
+            self.lru.insert(frame, List::Inactive);
+        }
+    }
+
+    /// Walks part of the active list and pulls hot slow-tier pages into
+    /// fast memory (when there is room).
+    fn promote_hot(&mut self, mem: &mut MemorySystem) {
+        let room = mem
+            .tier_alloc(TierId::FAST)
+            .map(|a| a.free_frames())
+            .unwrap_or(0);
+        if room == 0 {
+            return;
+        }
+        let candidates: Vec<FrameId> = self
+            .lru
+            .active_iter()
+            .filter(|f| mem.is_live(*f) && mem.tier_of(*f) == TierId::SLOW)
+            .take((self.scan_batch / 4).min(room as usize))
+            .collect();
+        self.charge_scan(mem, candidates.len());
+        for frame in candidates {
+            if mem.migrate(frame, TierId::FAST).is_ok() {
+                self.stats.promoted += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kloc_mem::{PageKind, PAGE_SIZE};
+
+    fn sys(fast_frames: u64) -> MemorySystem {
+        MemorySystem::two_tier(fast_frames * PAGE_SIZE, 8)
+    }
+
+    #[test]
+    fn demotes_cold_pages_under_pressure() {
+        let mut mem = sys(8);
+        let mut at = AppTier::new();
+        // Fill fast memory with tracked pages.
+        let frames: Vec<FrameId> = (0..8)
+            .map(|_| mem.allocate(TierId::FAST, PageKind::AppData).unwrap())
+            .collect();
+        for &f in &frames {
+            at.on_alloc(f);
+        }
+        // Pages 6 and 7 are hot (two touches -> active).
+        for _ in 0..2 {
+            at.on_access(frames[6]);
+            at.on_access(frames[7]);
+        }
+        at.tick(&mut mem);
+        assert!(at.stats().demoted > 0, "cold pages demoted under pressure");
+        assert_eq!(mem.tier_of(frames[6]), TierId::FAST, "hot page retained");
+        assert_eq!(mem.tier_of(frames[7]), TierId::FAST);
+    }
+
+    #[test]
+    fn no_demotion_below_watermark() {
+        let mut mem = sys(100);
+        let mut at = AppTier::new();
+        let f = mem.allocate(TierId::FAST, PageKind::AppData).unwrap();
+        at.on_alloc(f);
+        at.tick(&mut mem);
+        assert_eq!(at.stats().demoted, 0);
+        assert_eq!(mem.tier_of(f), TierId::FAST);
+    }
+
+    #[test]
+    fn promotes_hot_slow_pages_when_room() {
+        let mut mem = sys(16);
+        let mut at = AppTier::new();
+        let f = mem.allocate(TierId::SLOW, PageKind::AppData).unwrap();
+        at.on_alloc(f);
+        at.on_access(f);
+        at.on_access(f); // promoted to active list
+        at.tick(&mut mem);
+        assert_eq!(mem.tier_of(f), TierId::FAST);
+        assert_eq!(at.stats().promoted, 1);
+    }
+
+    #[test]
+    fn scanning_charges_time() {
+        let mut mem = sys(4);
+        let mut at = AppTier::new();
+        for _ in 0..4 {
+            let f = mem.allocate(TierId::FAST, PageKind::AppData).unwrap();
+            at.on_alloc(f);
+        }
+        let before = mem.now();
+        at.tick(&mut mem);
+        assert!(mem.now() > before, "scan work must cost time");
+        assert!(at.stats().scanned > 0);
+    }
+
+    #[test]
+    fn freed_pages_are_untracked() {
+        let mut mem = sys(4);
+        let mut at = AppTier::new();
+        let f = mem.allocate(TierId::FAST, PageKind::AppData).unwrap();
+        at.on_alloc(f);
+        at.on_free(f);
+        mem.free(f).unwrap();
+        assert_eq!(at.tracked(), 0);
+        at.tick(&mut mem); // must not touch the dead frame
+    }
+
+    #[test]
+    fn demoted_pages_can_return() {
+        let mut mem = sys(4);
+        let mut at = AppTier::new();
+        let frames: Vec<FrameId> = (0..4)
+            .map(|_| mem.allocate(TierId::FAST, PageKind::AppData).unwrap())
+            .collect();
+        for &f in &frames {
+            at.on_alloc(f);
+        }
+        at.tick(&mut mem); // demotes everything (all cold, tier full)
+        let demoted: Vec<FrameId> = frames
+            .iter()
+            .copied()
+            .filter(|&f| mem.tier_of(f) == TierId::SLOW)
+            .collect();
+        assert!(!demoted.is_empty());
+        // Make one demoted page hot again.
+        at.on_access(demoted[0]);
+        at.on_access(demoted[0]);
+        at.tick(&mut mem);
+        assert_eq!(mem.tier_of(demoted[0]), TierId::FAST, "hot page promoted back");
+    }
+}

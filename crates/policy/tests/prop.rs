@@ -1,0 +1,147 @@
+//! Property tests over the policies: every policy must survive arbitrary
+//! kernel activity without panicking, never corrupt capacity accounting,
+//! and never move a pinned page.
+
+use proptest::prelude::*;
+
+use kloc_kernel::hooks::Ctx;
+use kloc_kernel::{Fd, Kernel, KernelError, KernelParams};
+use kloc_mem::{MemorySystem, Nanos, TierId, PAGE_SIZE};
+use kloc_policy::PolicyKind;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8),
+    Write(usize, u8, u16),
+    Read(usize, u8, u16),
+    CloseReopen(u8),
+    Unlink(u8),
+    Socket,
+    NetRoundTrip(usize, u16),
+    Tick(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..10).prop_map(Op::Create),
+        (0usize..8, 0u8..8, 1u16..8192).prop_map(|(f, o, l)| Op::Write(f, o, l)),
+        (0usize..8, 0u8..8, 1u16..8192).prop_map(|(f, o, l)| Op::Read(f, o, l)),
+        (0u8..10).prop_map(Op::CloseReopen),
+        (0u8..10).prop_map(Op::Unlink),
+        Just(Op::Socket),
+        (0usize..8, 1u16..4096).prop_map(|(f, b)| Op::NetRoundTrip(f, b)),
+        (1u8..8).prop_map(Op::Tick),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Naive),
+        Just(PolicyKind::Nimble),
+        Just(PolicyKind::NimblePlusPlus),
+        Just(PolicyKind::KlocNoMigration),
+        Just(PolicyKind::Kloc),
+        Just(PolicyKind::AllSlow),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under any policy and any op sequence: capacity accounting holds,
+    /// pinned pages never leave the tier they were allocated on, and the
+    /// clock is monotone.
+    #[test]
+    fn policies_preserve_substrate_invariants(
+        policy_kind in policy_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        let fast_frames = 64u64;
+        let mut mem = MemorySystem::two_tier(fast_frames * PAGE_SIZE, 8);
+        let mut policy = policy_kind.build();
+        mem.set_migration_cost(policy.migration_cost());
+        let mut kernel = Kernel::new(KernelParams {
+            page_cache_budget: 96,
+            ..KernelParams::default()
+        });
+        let mut fds: Vec<(Fd, bool)> = Vec::new(); // (fd, is_socket)
+        let mut last_now = mem.now();
+
+        for op in ops {
+            {
+                let mut ctx = Ctx::new(&mut mem, policy.as_mut());
+                let r: Result<(), KernelError> = (|| {
+                    match op {
+                        Op::Create(n) => {
+                            match kernel.create(&mut ctx, &format!("/p{n}")) {
+                                Ok(fd) => fds.push((fd, false)),
+                                Err(KernelError::Exists(_)) => {}
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        Op::Write(f, o, l) => {
+                            if let Some(&(fd, false)) = fds.get(f % fds.len().max(1)) {
+                                kernel.write(&mut ctx, fd, o as u64 * 4096, l as u64)?;
+                            }
+                        }
+                        Op::Read(f, o, l) => {
+                            if let Some(&(fd, false)) = fds.get(f % fds.len().max(1)) {
+                                kernel.read(&mut ctx, fd, o as u64 * 4096, l as u64)?;
+                            }
+                        }
+                        Op::CloseReopen(n) => {
+                            let path = format!("/p{n}");
+                            // Close every fd on this path, then reopen once.
+                            if let Some(pos) = fds.iter().position(|&(fd, s)| {
+                                !s && kernel.vfs().fd(fd).map(|of| {
+                                    kernel.vfs().lookup_path(&path) == Some(of.inode)
+                                }).unwrap_or(false)
+                            }) {
+                                let (fd, _) = fds.remove(pos);
+                                kernel.close(&mut ctx, fd)?;
+                                if let Ok(fd) = kernel.open(&mut ctx, &path) {
+                                    fds.push((fd, false));
+                                }
+                            }
+                        }
+                        Op::Unlink(n) => {
+                            match kernel.unlink(&mut ctx, &format!("/p{n}")) {
+                                Ok(()) | Err(KernelError::NoEntry(_)) => {}
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        Op::Socket => {
+                            fds.push((kernel.socket(&mut ctx)?, true));
+                        }
+                        Op::NetRoundTrip(f, b) => {
+                            if let Some(&(fd, true)) = fds.get(f % fds.len().max(1)) {
+                                kernel.deliver(&mut ctx, fd, b as u64)?;
+                                kernel.recv(&mut ctx, fd, b as u64)?;
+                                kernel.send(&mut ctx, fd, b as u64)?;
+                            }
+                        }
+                        Op::Tick(_) => {}
+                    }
+                    Ok(())
+                })();
+                prop_assert!(r.is_ok(), "{policy_kind:?}: kernel error {r:?}");
+            }
+            if let Op::Tick(n) = op {
+                for _ in 0..n {
+                    mem.charge(Nanos::from_micros(300));
+                    policy.tick(&kernel, &mut mem);
+                }
+            }
+
+            // Invariants.
+            let now = mem.now();
+            prop_assert!(now >= last_now, "clock ran backwards");
+            last_now = now;
+            let fast = mem.tier_alloc(TierId::FAST).unwrap();
+            prop_assert!(
+                fast.used_frames() <= fast_frames,
+                "{policy_kind:?}: fast tier overcommitted"
+            );
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--scale tiny|small|large] [--seed N]
+//!
+//! experiments:
+//!   fig2a fig2b fig2c fig2d   motivation study
+//!   fig4                      two-tier speedups
+//!   fig5a fig5b fig5c         Optane / sources / sensitivity
+//!   fig6                      capacity x bandwidth sweep
+//!   table6                    KLOC metadata overhead
+//!   percpu prefetch           ablations (4.3, 7.3)
+//!   thp granularity           future-work extensions (5, 4.4)
+//!   all                       everything above
+//! ```
+
+use std::process::ExitCode;
+
+use kloc_sim::engine::Platform;
+use kloc_sim::experiments::{ablations, fig2, fig4, fig5, fig6, table6};
+use kloc_workloads::{Scale, WorkloadKind};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <fig2a|fig2b|fig2c|fig2d|fig4|fig5a|fig5b|fig5c|fig6|table6|percpu|prefetch|thp|granularity|all> [--scale tiny|small|large] [--seed N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(which) = args.first().cloned() else {
+        return usage();
+    };
+    let mut scale = Scale::large();
+    if let Some(pos) = args.iter().position(|a| a == "--scale") {
+        match args.get(pos + 1).map(String::as_str) {
+            Some("tiny") => scale = Scale::tiny(),
+            Some("small") => scale = Scale::small(),
+            Some("large") => scale = Scale::large(),
+            _ => return usage(),
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        match args.get(pos + 1).and_then(|s| s.parse::<u64>().ok()) {
+            Some(seed) => scale = scale.with_seed(seed),
+            None => return usage(),
+        }
+    }
+    match run(&which, &scale) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn platform_for(scale: &Scale) -> Platform {
+    Platform::TwoTier {
+        fast_bytes: scale.fast_bytes,
+        bw_ratio: 8,
+    }
+}
+
+fn run(which: &str, scale: &Scale) -> Result<(), Box<dyn std::error::Error>> {
+    let all = which == "all";
+    let small_pair = |s: &Scale| {
+        // Fig 2b needs both scales, resized to keep runtime similar.
+        let mut small = Scale::small();
+        small.ops = s.ops / 2;
+        small
+    };
+
+    if all || which.starts_with("fig2") {
+        eprintln!("[motivation runs at scale {}...]", scale.label);
+        let reports = fig2::run_all(scale)?;
+        if all || which == "fig2a" {
+            println!("{}", fig2::fig2a_table(&fig2::fig2a(&reports)));
+            println!("{}", fig2::fig2a_detailed_table(&reports));
+        }
+        if all || which == "fig2b" {
+            let small = fig2::run_all(&small_pair(scale))?;
+            println!("{}", fig2::fig2b_table(&fig2::fig2b(&small, &reports)));
+        }
+        if all || which == "fig2c" {
+            println!("{}", fig2::fig2c_table(&fig2::fig2c(&reports)));
+        }
+        if all || which == "fig2d" {
+            println!("{}", fig2::fig2d_table(&fig2::fig2d(&reports)));
+        }
+        if !all {
+            return Ok(());
+        }
+    }
+
+    if all || which == "fig4" {
+        eprintln!("[fig4: two-tier speedups...]");
+        let rows = fig4::run(scale, platform_for(scale), &WorkloadKind::ALL)?;
+        println!("{}", fig4::table(&rows));
+        if !all {
+            return Ok(());
+        }
+    }
+
+    if all || which == "fig5a" {
+        eprintln!("[fig5a: Optane Memory Mode...]");
+        let rows = fig5::fig5a(scale, &WorkloadKind::EVALUATED)?;
+        println!("{}", fig5::fig5a_table(&rows));
+        if !all {
+            return Ok(());
+        }
+    }
+
+    if all || which == "fig5b" {
+        eprintln!("[fig5b: sources of improvement (RocksDB)...]");
+        let rows = fig5::fig5b(scale, platform_for(scale))?;
+        println!("{}", fig5::fig5b_table(&rows));
+        if !all {
+            return Ok(());
+        }
+    }
+
+    if all || which == "fig5c" {
+        eprintln!("[fig5c: per-object-class sensitivity...]");
+        let rows = fig5::fig5c(scale, platform_for(scale), &WorkloadKind::EVALUATED)?;
+        println!("{}", fig5::fig5c_table(&rows));
+        if !all {
+            return Ok(());
+        }
+    }
+
+    if all || which == "fig6" {
+        eprintln!("[fig6: capacity x bandwidth sweep...]");
+        let cells = fig6::run(
+            scale,
+            &WorkloadKind::EVALUATED,
+            &fig6::CAPACITIES,
+            &fig6::RATIOS,
+        )?;
+        println!("{}", fig6::table(&cells));
+        if !all {
+            return Ok(());
+        }
+    }
+
+    if all || which == "table6" {
+        eprintln!("[table6: KLOC metadata overhead...]");
+        let rows = table6::run(scale, &WorkloadKind::ALL)?;
+        println!("{}", table6::table(&rows));
+        if !all {
+            return Ok(());
+        }
+    }
+
+    if all || which == "percpu" {
+        eprintln!("[ablation: per-CPU knode lists...]");
+        let a = ablations::percpu(scale)?;
+        println!("{}", ablations::percpu_table(&a));
+        if !all {
+            return Ok(());
+        }
+    }
+
+    if all || which == "prefetch" {
+        eprintln!("[ablation: KLOC-aware prefetch...]");
+        let a = ablations::prefetch(scale, WorkloadKind::Spark)?;
+        println!("{}", ablations::prefetch_table(&a));
+        if !all {
+            return Ok(());
+        }
+    }
+
+    if all || which == "thp" {
+        eprintln!("[ablation: transparent huge pages (paper 5 hypothesis)...]");
+        let a = ablations::thp(scale, &[WorkloadKind::RocksDb, WorkloadKind::Redis])?;
+        println!("{}", ablations::thp_table(&a));
+        if !all {
+            return Ok(());
+        }
+    }
+
+    if all || which == "granularity" {
+        eprintln!("[ablation: tracking granularity (paper 4.4 future work)...]");
+        let a = ablations::granularity(scale, &WorkloadKind::EVALUATED)?;
+        println!("{}", ablations::granularity_table(&a));
+        if !all {
+            return Ok(());
+        }
+    }
+
+    if !all
+        && !matches!(
+            which,
+            "fig2a" | "fig2b" | "fig2c" | "fig2d" | "fig4" | "fig5a" | "fig5b" | "fig5c"
+                | "fig6" | "table6" | "percpu" | "prefetch" | "thp" | "granularity"
+        )
+    {
+        return Err(format!("unknown experiment: {which}").into());
+    }
+    Ok(())
+}

@@ -1,0 +1,409 @@
+//! The run engine: one (platform, policy, workload, scale) execution.
+
+use serde::{Deserialize, Serialize};
+
+use kloc_core::overhead::{self, OverheadReport};
+use kloc_core::KlocStats;
+use kloc_kernel::hooks::Ctx;
+use kloc_kernel::{Kernel, KernelError, KernelParams, KernelStats};
+use kloc_mem::{MemorySystem, MemStats, MigrationStats, Nanos, TierId};
+use kloc_policy::{Policy, PolicyKind};
+use kloc_workloads::{Scale, WorkloadKind};
+
+/// Hardware platform of a run (paper Table 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Platform {
+    /// Software-managed two-tier memory: `fast_bytes` of fast DRAM over
+    /// an unbounded slow tier with a `bw_ratio` bandwidth differential.
+    TwoTier {
+        /// Fast-tier capacity in bytes.
+        fast_bytes: u64,
+        /// Fast:slow bandwidth ratio (8 = the paper's default "1:8").
+        bw_ratio: u64,
+    },
+    /// Optane Memory Mode: two sockets of PMEM fronted by DRAM L4
+    /// caches; see [`OptaneScenario`].
+    Optane {
+        /// Per-socket L4 DRAM cache bytes.
+        l4_bytes: u64,
+        /// Scenario staging.
+        scenario: OptaneScenario,
+    },
+}
+
+/// How the Optane/AutoNUMA experiment is staged (paper §6.2: the
+/// workload shares a socket with a streaming co-runner; when interference
+/// begins to hurt, the scheduler moves it to the other socket).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptaneScenario {
+    /// Everything stays local, no interference (the "all local" ideal).
+    AllLocal,
+    /// Data on socket 0 (shared with the interfering streamer), task
+    /// runs on socket 1, nothing migrates — the "all remote" worst case
+    /// used as the Fig. 5a baseline.
+    AllRemote,
+    /// Interference starts mid-run on socket 0; the scheduler moves the
+    /// task to socket 1 and the policy may (or may not) migrate data.
+    Interfered {
+        /// Contention multiplier applied to socket 0's tier.
+        contention: f64,
+    },
+}
+
+impl Platform {
+    /// The paper's default two-tier configuration: 8 GB fast at a 1:8
+    /// bandwidth differential — scaled 1024x like [`Scale::large`].
+    pub fn default_two_tier() -> Self {
+        Platform::TwoTier {
+            fast_bytes: 8 << 20,
+            bw_ratio: 8,
+        }
+    }
+
+    /// Default Optane Memory Mode with the interference scenario.
+    pub fn default_optane() -> Self {
+        Platform::Optane {
+            l4_bytes: 4 << 20,
+            scenario: OptaneScenario::Interfered { contention: 1.8 },
+        }
+    }
+}
+
+/// One run's configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Workload to run.
+    pub workload: WorkloadKind,
+    /// Policy under test.
+    pub policy: PolicyKind,
+    /// Scale.
+    pub scale: Scale,
+    /// Platform.
+    pub platform: Platform,
+    /// Kernel parameter override (None = derived from the scale).
+    pub kernel_params: Option<KernelParams>,
+}
+
+impl RunConfig {
+    /// Config on the default two-tier platform.
+    pub fn two_tier(workload: WorkloadKind, policy: PolicyKind, scale: Scale) -> Self {
+        RunConfig {
+            workload,
+            policy,
+            scale,
+            platform: Platform::default_two_tier(),
+            kernel_params: None,
+        }
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Workload label.
+    pub workload: String,
+    /// Policy label.
+    pub policy: String,
+    /// Operations completed in the measured phase.
+    pub ops: u64,
+    /// Virtual time of the measured phase.
+    pub elapsed: Nanos,
+    /// Virtual time of the setup (load) phase.
+    pub setup_time: Nanos,
+    /// Substrate counters at the end of the run.
+    pub mem: MemStats,
+    /// Kernel counters.
+    pub kernel: KernelStats,
+    /// Migration counters.
+    pub migrations: MigrationStats,
+    /// KLOC counters, when the policy has a registry.
+    pub kloc: Option<KlocStats>,
+    /// KLOC metadata overhead, when applicable.
+    pub overhead: Option<OverheadReport>,
+    /// Per-CPU fast-path hit ratio, when applicable (§4.3 ablation).
+    pub percpu_hit_ratio: Option<f64>,
+    /// Kmap tree traversals, when applicable.
+    pub kmap_tree_accesses: Option<u64>,
+    /// Readahead pages issued / useful.
+    pub readahead_issued: u64,
+    /// Readahead pages that were subsequently used.
+    pub readahead_useful: u64,
+    /// Accesses to each tier during the measured phase only.
+    pub measured_tier_accesses: Vec<u64>,
+    /// Fast-tier frames resident at the end of the measured phase.
+    pub fast_resident: u64,
+    /// Mean age of live application pages at the end of the measured
+    /// phase (app pages outlive the run; Fig. 2d needs their lifetime).
+    pub app_page_age: Nanos,
+}
+
+impl RunReport {
+    /// Fraction of measured-phase accesses served by tier 0 (fast/local).
+    pub fn fast_access_fraction(&self) -> f64 {
+        let total: u64 = self.measured_tier_accesses.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.measured_tier_accesses[0] as f64 / total as f64
+        }
+    }
+
+    /// Measured throughput in operations per virtual second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+
+    /// Speedup of this run over a baseline run of the same workload.
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        let b = baseline.throughput();
+        if b <= 0.0 {
+            0.0
+        } else {
+            self.throughput() / b
+        }
+    }
+}
+
+/// Builds the memory system for a config, giving the bound policies
+/// (All-Fast) an unbounded fast tier as the paper's ideal case does.
+fn build_mem(config: &RunConfig) -> MemorySystem {
+    match config.platform {
+        Platform::TwoTier { fast_bytes, bw_ratio } => {
+            let fast = if config.policy == PolicyKind::AllFast {
+                u64::MAX
+            } else {
+                fast_bytes
+            };
+            MemorySystem::two_tier(fast, bw_ratio)
+        }
+        Platform::Optane { l4_bytes, .. } => MemorySystem::optane_memory_mode(l4_bytes),
+    }
+}
+
+/// Executes one run.
+///
+/// # Errors
+/// Propagates kernel errors (indicating a harness bug; workloads only
+/// issue valid operations).
+pub fn run(config: &RunConfig) -> Result<RunReport, KernelError> {
+    run_with(config, config.policy.build())
+}
+
+/// Executes one run with an explicitly constructed policy (used by the
+/// Fig. 5c inclusion sweep and the ablations, which need custom policy
+/// configurations).
+///
+/// # Errors
+/// Propagates kernel errors.
+pub fn run_with(
+    config: &RunConfig,
+    mut policy: Box<dyn Policy>,
+) -> Result<RunReport, KernelError> {
+    let mut mem = build_mem(config);
+    mem.set_migration_cost(policy.migration_cost());
+    mem.set_cpu_parallelism(config.scale.threads.max(1) as u64);
+
+    let params = config.kernel_params.clone().unwrap_or_else(|| KernelParams {
+        page_cache_budget: config.scale.page_cache_frames,
+        ..KernelParams::default()
+    });
+    let mut kernel = Kernel::new(params);
+    let mut workload = config.workload.build(&config.scale);
+
+    // Optane staging.
+    let (mut task_socket, switch_at_op, scenario) = match config.platform {
+        Platform::Optane { scenario, .. } => match scenario {
+            OptaneScenario::AllLocal => (0u8, u64::MAX, Some(scenario)),
+            OptaneScenario::AllRemote => (0u8, 0, Some(scenario)),
+            OptaneScenario::Interfered { .. } => {
+                (0u8, config.scale.ops / 3, Some(scenario))
+            }
+        },
+        Platform::TwoTier { .. } => (0u8, u64::MAX, None),
+    };
+    policy.set_task_socket(task_socket);
+    if let Some(OptaneScenario::AllRemote) = scenario {
+        // Worst case: the streamer contends on the data's socket for the
+        // whole run, and the task computes from the other socket.
+        mem.set_contention(TierId(0), 1.8);
+    }
+
+    // Setup (load) phase — policies tick during it too.
+    let tick_interval = policy.tick_interval();
+    let mut next_tick = mem.now() + tick_interval;
+    {
+        let mut ctx = Ctx::new(&mut mem, policy.as_mut());
+        ctx.socket = task_socket;
+        workload.setup(&mut kernel, &mut ctx)?;
+    }
+    let setup_time = mem.now();
+    let access_baseline: Vec<u64> = (0..mem.tier_count())
+        .map(|i| {
+            let t = mem.stats().tier(kloc_mem::TierId(i as u8));
+            t.reads + t.writes
+        })
+        .collect();
+
+    // Measured phase.
+    let t0 = mem.now();
+    let mut switched = switch_at_op == 0;
+    if switched {
+        // AllRemote: the task computes on the other socket from the start.
+        task_socket = 1;
+        // Note: the policy is *not* told (nothing migrates).
+    }
+    while !workload.is_done() {
+        if !switched && workload.ops_done() >= switch_at_op {
+            switched = true;
+            if let Some(OptaneScenario::Interfered { contention }) = scenario {
+                // Interference begins on socket 0; scheduler moves the
+                // task to socket 1.
+                mem.set_contention(TierId(0), contention);
+                task_socket = 1;
+                policy.set_task_socket(1);
+            }
+        }
+        {
+            let mut ctx = Ctx::new(&mut mem, policy.as_mut());
+            ctx.socket = task_socket;
+            workload.step(&mut kernel, &mut ctx)?;
+        }
+        if mem.now() >= next_tick {
+            policy.tick(&kernel, &mut mem);
+            next_tick = mem.now() + tick_interval;
+        }
+    }
+    let elapsed = mem.now() - t0;
+    let measured_tier_accesses: Vec<u64> = (0..mem.tier_count())
+        .map(|i| {
+            let t = mem.stats().tier(kloc_mem::TierId(i as u8));
+            t.reads + t.writes - access_baseline[i]
+        })
+        .collect();
+    let fast_resident = mem.stats().tier(TierId(0)).frames_resident;
+    let app_page_age = mem.mean_live_age(kloc_mem::PageKind::AppData);
+    // Snapshot counters before teardown (closing handles and freeing app
+    // memory would otherwise pollute the measurement).
+    let mem_stats = mem.stats().clone();
+    let kernel_stats = kernel.stats().clone();
+    let migrations = mem.migration_stats().clone();
+
+    // Capture KLOC state before teardown destroys knodes.
+    let kloc = policy.kloc_stats();
+    let peak_batch = policy.peak_migration_batch();
+    let (overhead, percpu_hit_ratio, kmap_tree_accesses) = match policy.registry() {
+        Some(r) => (
+            Some(overhead::measure(r, peak_batch)),
+            Some(r.percpu().hit_ratio()),
+            Some(r.kmap().tree_accesses()),
+        ),
+        None => (None, None, None),
+    };
+
+    {
+        let mut ctx = Ctx::new(&mut mem, policy.as_mut());
+        ctx.socket = task_socket;
+        workload.teardown(&mut kernel, &mut ctx)?;
+    }
+
+    Ok(RunReport {
+        workload: config.workload.label().to_owned(),
+        policy: config.policy.label().to_owned(),
+        ops: workload.ops_done(),
+        elapsed,
+        setup_time,
+        mem: mem_stats,
+        kernel: kernel_stats,
+        migrations,
+        kloc,
+        overhead,
+        percpu_hit_ratio,
+        kmap_tree_accesses,
+        readahead_issued: kernel.readahead().stats().issued,
+        readahead_useful: kernel.readahead().stats().useful,
+        measured_tier_accesses,
+        fast_resident,
+        app_page_age,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(policy: PolicyKind) -> RunConfig {
+        RunConfig {
+            workload: WorkloadKind::RocksDb,
+            policy,
+            scale: Scale::tiny(),
+            platform: Platform::TwoTier {
+                fast_bytes: 512 << 10,
+                bw_ratio: 8,
+            },
+            kernel_params: None,
+        }
+    }
+
+    #[test]
+    fn runs_complete_and_count_ops() {
+        let r = run(&cfg(PolicyKind::Naive)).unwrap();
+        assert_eq!(r.ops, Scale::tiny().ops);
+        assert!(r.elapsed > Nanos::ZERO);
+        assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_same_config() {
+        let a = run(&cfg(PolicyKind::Kloc)).unwrap();
+        let b = run(&cfg(PolicyKind::Kloc)).unwrap();
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.migrations, b.migrations);
+    }
+
+    #[test]
+    fn all_fast_beats_all_slow() {
+        let fast = run(&cfg(PolicyKind::AllFast)).unwrap();
+        let slow = run(&cfg(PolicyKind::AllSlow)).unwrap();
+        let speedup = fast.speedup_over(&slow);
+        assert!(
+            speedup > 1.2,
+            "All-Fast must clearly beat All-Slow, got {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn kloc_reports_registry_state() {
+        let r = run(&cfg(PolicyKind::Kloc)).unwrap();
+        assert!(r.kloc.is_some());
+        assert!(r.overhead.is_some());
+        assert!(r.kloc.unwrap().knodes_created > 0);
+        let naive = run(&cfg(PolicyKind::Naive)).unwrap();
+        assert!(naive.kloc.is_none());
+    }
+
+    #[test]
+    fn optane_scenarios_order_correctly() {
+        let mk = |scenario| RunConfig {
+            workload: WorkloadKind::Redis,
+            policy: PolicyKind::AutoNumaKloc,
+            scale: Scale::tiny(),
+            platform: Platform::Optane {
+                l4_bytes: 1 << 20,
+                scenario,
+            },
+            kernel_params: None,
+        };
+        let local = run(&mk(OptaneScenario::AllLocal)).unwrap();
+        let remote = run(&mk(OptaneScenario::AllRemote)).unwrap();
+        assert!(
+            local.throughput() > remote.throughput(),
+            "all-local must beat all-remote"
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! Fig. 2 — motivation study.
+//!
+//! * **2a**: percentage of total memory footprint per kernel-object
+//!   category vs application pages (raw page counts on top of each bar).
+//! * **2b**: OS vs application share of cumulative page allocations at
+//!   Small and Large scale.
+//! * **2c**: percentage of memory references to kernel objects.
+//! * **2d**: mean lifetimes of application pages vs slab objects vs
+//!   page-cache pages (log scale in the paper).
+//!
+//! All collected from instrumented runs with everything placed in fast
+//! memory (placement-independent characterization, like the paper's
+//! VTune/perf measurements).
+
+use kloc_kernel::KernelError;
+use kloc_mem::PageKind;
+use kloc_policy::PolicyKind;
+use kloc_workloads::{Scale, WorkloadKind};
+
+use crate::engine::{self, Platform, RunConfig, RunReport};
+use crate::report::{pct, Table};
+
+/// Runs the characterization for every workload at `scale`.
+///
+/// # Errors
+/// Propagates kernel errors.
+pub fn run_all(scale: &Scale) -> Result<Vec<RunReport>, KernelError> {
+    // Run under realistic memory pressure: the page cache holds only a
+    // third of the dataset, so cache pages are reclaimed and their
+    // lifetimes (Fig. 2d) reflect churn, as on the paper's testbeds.
+    let params = kloc_kernel::KernelParams {
+        page_cache_budget: (scale.data_pages() / 3).max(128),
+        ..kloc_kernel::KernelParams::default()
+    };
+    WorkloadKind::ALL
+        .iter()
+        .map(|&w| {
+            engine::run(&RunConfig {
+                workload: w,
+                policy: PolicyKind::AllFast,
+                scale: scale.clone(),
+                platform: Platform::default_two_tier(),
+                kernel_params: Some(params.clone()),
+            })
+        })
+        .collect()
+}
+
+/// One bar of Fig. 2a.
+#[derive(Debug, Clone)]
+pub struct Fig2aRow {
+    /// Workload label.
+    pub workload: String,
+    /// Fraction of cumulative footprint that is application pages.
+    pub app: f64,
+    /// Fraction that is page-cache pages.
+    pub page_cache: f64,
+    /// Fraction that is journal objects.
+    pub journal: f64,
+    /// Fraction that is other FS slab objects.
+    pub fs_slab: f64,
+    /// Fraction that is network objects.
+    pub network: f64,
+    /// Total pages allocated (the raw count atop each bar), in pages.
+    pub total_pages: u64,
+}
+
+/// Computes Fig. 2a rows from characterization runs.
+pub fn fig2a(reports: &[RunReport]) -> Vec<Fig2aRow> {
+    use kloc_kernel::obj::ObjectCategory;
+    reports
+        .iter()
+        .map(|r| {
+            let by_cat = r.kernel.footprint_by_category();
+            let get = |c: ObjectCategory| by_cat.get(&c).copied().unwrap_or(0) as f64;
+            let app = r.kernel.app_pages_allocated as f64;
+            let total = app + r.kernel.kernel_footprint_pages() as f64;
+            let total = total.max(1.0);
+            Fig2aRow {
+                workload: r.workload.clone(),
+                app: app / total,
+                page_cache: get(ObjectCategory::PageCache) / total,
+                journal: get(ObjectCategory::Journal) / total,
+                fs_slab: get(ObjectCategory::FsSlab) / total,
+                network: get(ObjectCategory::Network) / total,
+                total_pages: total as u64,
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 2a as a table.
+pub fn fig2a_table(rows: &[Fig2aRow]) -> Table {
+    let mut t = Table::new(
+        "Fig 2a: footprint breakdown (app vs kernel object categories)",
+        &["workload", "app", "page-cache", "journal", "fs-slab", "network", "total pages"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.workload.clone(),
+            pct(r.app),
+            pct(r.page_cache),
+            pct(r.journal),
+            pct(r.fs_slab),
+            pct(r.network),
+            r.total_pages.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Detailed per-object-type footprint (the full Table 1 inventory, as a
+/// companion to Fig. 2a's coarse categories).
+pub fn fig2a_detailed_table(reports: &[RunReport]) -> Table {
+    use kloc_kernel::KernelObjectType;
+    let mut header = vec!["object type".to_owned()];
+    header.extend(reports.iter().map(|r| r.workload.clone()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Fig 2a (detail): cumulative page-equivalents per kernel object type",
+        &header_refs,
+    );
+    for ty in KernelObjectType::ALL {
+        let mut cells = vec![ty.to_string()];
+        cells.extend(
+            reports
+                .iter()
+                .map(|r| r.kernel.ty(ty).footprint_pages().to_string()),
+        );
+        t.row(cells);
+    }
+    let mut app = vec!["(app pages)".to_owned()];
+    app.extend(
+        reports
+            .iter()
+            .map(|r| r.kernel.app_pages_allocated.to_string()),
+    );
+    t.row(app);
+    t
+}
+
+/// One row of Fig. 2b: OS allocation share at two scales.
+#[derive(Debug, Clone)]
+pub struct Fig2bRow {
+    /// Workload label.
+    pub workload: String,
+    /// Kernel share of allocations, Small inputs.
+    pub os_small: f64,
+    /// Kernel share of allocations, Large inputs.
+    pub os_large: f64,
+}
+
+/// Computes Fig. 2b from Small- and Large-scale characterization runs
+/// (matched by position).
+pub fn fig2b(small: &[RunReport], large: &[RunReport]) -> Vec<Fig2bRow> {
+    small
+        .iter()
+        .zip(large)
+        .map(|(s, l)| Fig2bRow {
+            workload: l.workload.clone(),
+            os_small: s.kernel.kernel_alloc_fraction(),
+            os_large: l.kernel.kernel_alloc_fraction(),
+        })
+        .collect()
+}
+
+/// Renders Fig. 2b.
+pub fn fig2b_table(rows: &[Fig2bRow]) -> Table {
+    let mut t = Table::new(
+        "Fig 2b: OS share of page allocations (Small vs Large inputs)",
+        &["workload", "OS % (Small)", "OS % (Large)"],
+    );
+    for r in rows {
+        t.row(vec![r.workload.clone(), pct(r.os_small), pct(r.os_large)]);
+    }
+    t
+}
+
+/// One row of Fig. 2c: share of memory references to kernel objects.
+#[derive(Debug, Clone)]
+pub struct Fig2cRow {
+    /// Workload label.
+    pub workload: String,
+    /// Fraction of references to kernel pages.
+    pub kernel_refs: f64,
+}
+
+/// Computes Fig. 2c.
+pub fn fig2c(reports: &[RunReport]) -> Vec<Fig2cRow> {
+    reports
+        .iter()
+        .map(|r| Fig2cRow {
+            workload: r.workload.clone(),
+            kernel_refs: r.mem.kernel_access_fraction(),
+        })
+        .collect()
+}
+
+/// Renders Fig. 2c.
+pub fn fig2c_table(rows: &[Fig2cRow]) -> Table {
+    let mut t = Table::new(
+        "Fig 2c: memory references to kernel objects",
+        &["workload", "kernel refs"],
+    );
+    for r in rows {
+        t.row(vec![r.workload.clone(), pct(r.kernel_refs)]);
+    }
+    t
+}
+
+/// One row of Fig. 2d: mean lifetimes (microseconds).
+#[derive(Debug, Clone)]
+pub struct Fig2dRow {
+    /// Workload label.
+    pub workload: String,
+    /// Mean application page lifetime (us).
+    pub app_us: u64,
+    /// Mean slab (+ kvma) object-page lifetime (us).
+    pub slab_us: u64,
+    /// Mean page-cache page lifetime (us).
+    pub cache_us: u64,
+}
+
+/// Computes Fig. 2d.
+pub fn fig2d(reports: &[RunReport]) -> Vec<Fig2dRow> {
+    reports
+        .iter()
+        .map(|r| {
+            let life = |k: PageKind| r.mem.mean_lifetime(k).as_micros();
+            Fig2dRow {
+                workload: r.workload.clone(),
+                // App pages live for the whole run; their age at the end
+                // of measurement is the observed lifetime.
+                app_us: life(PageKind::AppData).max(r.app_page_age.as_micros()),
+                slab_us: life(PageKind::Slab).max(life(PageKind::KernelVma)),
+                cache_us: life(PageKind::PageCache),
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 2d.
+pub fn fig2d_table(rows: &[Fig2dRow]) -> Table {
+    let mut t = Table::new(
+        "Fig 2d: mean page lifetimes (us; paper plots log scale)",
+        &["workload", "app pages", "slab pages", "page-cache pages"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.workload.clone(),
+            r.app_us.to_string(),
+            r.slab_us.to_string(),
+            r.cache_us.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn motivation_shapes_hold_at_tiny_scale() {
+        let reports = run_all(&Scale::tiny()).unwrap();
+        assert_eq!(reports.len(), WorkloadKind::ALL.len());
+
+        // Fig 2a: kernel objects are a significant share everywhere.
+        let rows = fig2a(&reports);
+        for r in &rows {
+            assert!(
+                r.app < 0.9,
+                "{}: kernel objects must be prevalent (app {:.2})",
+                r.workload,
+                r.app
+            );
+            let sum = r.app + r.page_cache + r.journal + r.fs_slab + r.network;
+            assert!((sum - 1.0).abs() < 0.02, "shares must sum to 1, got {sum}");
+        }
+        // Redis has a visible network share; RocksDB is page-cache heavy.
+        let redis = rows.iter().find(|r| r.workload == "Redis").unwrap();
+        assert!(redis.network > 0.02, "Redis network share {:.3}", redis.network);
+        let rocks = rows.iter().find(|r| r.workload == "RocksDB").unwrap();
+        assert!(
+            rocks.page_cache > rocks.network,
+            "RocksDB should be cache-dominated"
+        );
+
+        // Fig 2c: Filebench is the most kernel-reference-heavy.
+        let c = fig2c(&reports);
+        let fb = c.iter().find(|r| r.workload == "Filebench").unwrap();
+        for other in &c {
+            assert!(fb.kernel_refs >= other.kernel_refs - 0.05);
+        }
+
+        // Fig 2d: kernel object pages are much shorter-lived than app pages.
+        let d = fig2d(&reports);
+        for r in &d {
+            if r.slab_us > 0 {
+                assert!(
+                    r.app_us > r.slab_us,
+                    "{}: app {}us vs slab {}us",
+                    r.workload,
+                    r.app_us,
+                    r.slab_us
+                );
+            }
+        }
+        // Tables render.
+        assert_eq!(fig2a_table(&rows).len(), rows.len());
+        assert!(!fig2c_table(&c).is_empty());
+        assert!(!fig2d_table(&d).is_empty());
+    }
+}

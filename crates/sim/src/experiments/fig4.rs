@@ -1,0 +1,133 @@
+//! Fig. 4 — two-tier platform speedups.
+//!
+//! For each workload, every strategy's throughput normalized to
+//! *All Slow Mem*. The paper's headline shape: `Naive < Nimble <
+//! Nimble++ <= KLOCs-nomigration < KLOCs <= All Fast Mem`, with KLOCs up
+//! to 2.7x over Nimble (Redis) and Cassandra nearly insensitive.
+
+use kloc_kernel::KernelError;
+use kloc_policy::PolicyKind;
+use kloc_workloads::{Scale, WorkloadKind};
+
+use crate::engine::{self, Platform, RunConfig, RunReport};
+use crate::report::{f2, Table};
+
+/// Speedups for one workload.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Workload label.
+    pub workload: String,
+    /// `(policy label, speedup vs All-Slow)` in Fig. 4 bar order.
+    pub speedups: Vec<(String, f64)>,
+    /// The All-Slow baseline run.
+    pub baseline: RunReport,
+    /// The per-policy runs (same order as `speedups`).
+    pub runs: Vec<RunReport>,
+}
+
+impl Fig4Row {
+    /// Speedup of a given policy, if present.
+    pub fn speedup(&self, policy: PolicyKind) -> Option<f64> {
+        self.speedups
+            .iter()
+            .find(|(l, _)| l == policy.label())
+            .map(|(_, s)| *s)
+    }
+}
+
+/// Runs Fig. 4 for the given workloads on a two-tier platform.
+///
+/// # Errors
+/// Propagates kernel errors.
+pub fn run(
+    scale: &Scale,
+    platform: Platform,
+    workloads: &[WorkloadKind],
+) -> Result<Vec<Fig4Row>, KernelError> {
+    let mut rows = Vec::new();
+    for &w in workloads {
+        let baseline = engine::run(&RunConfig {
+            workload: w,
+            policy: PolicyKind::AllSlow,
+            scale: scale.clone(),
+            platform,
+            kernel_params: None,
+        })?;
+        let mut speedups = Vec::new();
+        let mut runs = Vec::new();
+        for policy in PolicyKind::TWO_TIER {
+            let r = engine::run(&RunConfig {
+                workload: w,
+                policy,
+                scale: scale.clone(),
+                platform,
+                kernel_params: None,
+            })?;
+            speedups.push((policy.label().to_owned(), r.speedup_over(&baseline)));
+            runs.push(r);
+        }
+        rows.push(Fig4Row {
+            workload: w.label().to_owned(),
+            speedups,
+            baseline,
+            runs,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the figure as a table (rows = workloads, columns = policies).
+pub fn table(rows: &[Fig4Row]) -> Table {
+    let mut header = vec!["workload"];
+    let labels: Vec<&str> = PolicyKind::TWO_TIER.iter().map(|p| p.label()).collect();
+    header.extend(labels.iter());
+    let mut t = Table::new("Fig 4: two-tier speedup vs All Slow Mem", &header);
+    for r in rows {
+        let mut cells = vec![r.workload.clone()];
+        cells.extend(r.speedups.iter().map(|(_, s)| f2(*s)));
+        t.row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_paper_shape() {
+        let platform = Platform::TwoTier {
+            fast_bytes: 512 << 10,
+            bw_ratio: 8,
+        };
+        let rows = run(
+            &Scale::tiny(),
+            platform,
+            &[WorkloadKind::RocksDb, WorkloadKind::Redis],
+        )
+        .unwrap();
+        for r in &rows {
+            let get = |p| r.speedup(p).unwrap();
+            let kloc = get(PolicyKind::Kloc);
+            let nimble = get(PolicyKind::Nimble);
+            let allfast = get(PolicyKind::AllFast);
+            assert!(
+                kloc > nimble,
+                "{}: KLOCs ({kloc:.2}) must beat Nimble ({nimble:.2})",
+                r.workload
+            );
+            assert!(
+                kloc > 1.0,
+                "{}: KLOCs must beat All-Slow, got {kloc:.2}",
+                r.workload
+            );
+            assert!(
+                allfast >= kloc * 0.9,
+                "{}: All-Fast ({allfast:.2}) should be near-best vs KLOCs ({kloc:.2})",
+                r.workload
+            );
+        }
+        let t = table(&rows);
+        assert_eq!(t.len(), rows.len());
+    }
+}

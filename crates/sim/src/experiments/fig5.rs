@@ -1,0 +1,377 @@
+//! Fig. 5 — Optane Memory Mode speedups (5a), sources of improvement
+//! (5b), and per-object-class sensitivity (5c).
+
+use std::collections::BTreeSet;
+
+use kloc_core::KlocConfig;
+use kloc_kernel::{KernelError, KernelObjectType};
+use kloc_mem::PageKind;
+use kloc_policy::{AutoNuma, KlocPolicy, Policy, PolicyKind};
+use kloc_workloads::{Scale, WorkloadKind};
+
+use crate::engine::{self, OptaneScenario, Platform, RunConfig, RunReport};
+use crate::report::{f2, Table};
+
+// ---------------------------------------------------------------------
+// Fig. 5a — Optane Memory Mode
+// ---------------------------------------------------------------------
+
+/// The strategies compared in Fig. 5a.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptaneStrategy {
+    /// Vanilla AutoNUMA (app pages only).
+    AutoNuma,
+    /// Nimble configured for the platform (app pages, parallel copy).
+    Nimble,
+    /// AutoNUMA + KLOC kernel-object migration.
+    Kloc,
+    /// Ideal: all accesses local, no interference.
+    AllLocal,
+}
+
+impl OptaneStrategy {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptaneStrategy::AutoNuma => "AutoNUMA",
+            OptaneStrategy::Nimble => "Nimble",
+            OptaneStrategy::Kloc => "KLOCs",
+            OptaneStrategy::AllLocal => "All Local (ideal)",
+        }
+    }
+
+    /// All strategies in bar order.
+    pub const ALL: [OptaneStrategy; 4] = [
+        OptaneStrategy::AutoNuma,
+        OptaneStrategy::Nimble,
+        OptaneStrategy::Kloc,
+        OptaneStrategy::AllLocal,
+    ];
+}
+
+/// Fig. 5a speedups for one workload.
+#[derive(Debug, Clone)]
+pub struct Fig5aRow {
+    /// Workload label.
+    pub workload: String,
+    /// `(strategy label, speedup vs all-remote)`.
+    pub speedups: Vec<(String, f64)>,
+}
+
+impl Fig5aRow {
+    /// Speedup of one strategy.
+    pub fn speedup(&self, s: OptaneStrategy) -> Option<f64> {
+        self.speedups
+            .iter()
+            .find(|(l, _)| l == s.label())
+            .map(|(_, v)| *v)
+    }
+}
+
+fn optane_config(w: WorkloadKind, scale: &Scale, scenario: OptaneScenario) -> RunConfig {
+    RunConfig {
+        workload: w,
+        policy: PolicyKind::AutoNuma, // placeholder; run_with overrides
+        scale: scale.clone(),
+        platform: Platform::Optane {
+            l4_bytes: 4 << 20,
+            scenario,
+        },
+        kernel_params: None,
+    }
+}
+
+/// Runs Fig. 5a for the given workloads.
+///
+/// # Errors
+/// Propagates kernel errors.
+pub fn fig5a(scale: &Scale, workloads: &[WorkloadKind]) -> Result<Vec<Fig5aRow>, KernelError> {
+    let interfered = OptaneScenario::Interfered { contention: 1.8 };
+    let mut rows = Vec::new();
+    for &w in workloads {
+        // Worst-case baseline: all accesses remote.
+        let baseline = engine::run_with(
+            &optane_config(w, scale, OptaneScenario::AllRemote),
+            Box::new(AutoNuma::new()),
+        )?;
+        let mut speedups = Vec::new();
+        for strat in OptaneStrategy::ALL {
+            let (policy, scenario): (Box<dyn Policy>, OptaneScenario) = match strat {
+                OptaneStrategy::AutoNuma => (Box::new(AutoNuma::new()), interfered),
+                OptaneStrategy::Nimble => (Box::new(AutoNuma::nimble_flavor()), interfered),
+                OptaneStrategy::Kloc => (
+                    Box::new(kloc_policy::AutoNumaKloc::new()),
+                    interfered,
+                ),
+                OptaneStrategy::AllLocal => (
+                    // Same policy stack as the KLOC bar, but with no
+                    // interference and no task movement: pure upper bound.
+                    Box::new(kloc_policy::AutoNumaKloc::new()),
+                    OptaneScenario::AllLocal,
+                ),
+            };
+            let mut r = engine::run_with(&optane_config(w, scale, scenario), policy)?;
+            r.policy = strat.label().to_owned();
+            speedups.push((strat.label().to_owned(), r.speedup_over(&baseline)));
+        }
+        rows.push(Fig5aRow {
+            workload: w.label().to_owned(),
+            speedups,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders Fig. 5a.
+pub fn fig5a_table(rows: &[Fig5aRow]) -> Table {
+    let mut header = vec!["workload"];
+    header.extend(OptaneStrategy::ALL.iter().map(|s| s.label()));
+    let mut t = Table::new(
+        "Fig 5a: Optane Memory Mode speedup vs all-remote",
+        &header,
+    );
+    for r in rows {
+        let mut cells = vec![r.workload.clone()];
+        cells.extend(r.speedups.iter().map(|(_, s)| f2(*s)));
+        t.row(cells);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Fig. 5b — sources of improvement (RocksDB)
+// ---------------------------------------------------------------------
+
+/// One policy's slow-memory behaviour for RocksDB.
+#[derive(Debug, Clone)]
+pub struct Fig5bRow {
+    /// Policy label.
+    pub policy: String,
+    /// Page-cache pages allocated directly into slow memory.
+    pub slow_cache_allocs: u64,
+    /// Slab-class pages allocated directly into slow memory.
+    pub slow_slab_allocs: u64,
+    /// Pages migrated fast -> slow (demotions).
+    pub demotions: u64,
+    /// Pages migrated slow -> fast (promotions).
+    pub promotions: u64,
+}
+
+/// Runs Fig. 5b (RocksDB on the two-tier platform).
+///
+/// # Errors
+/// Propagates kernel errors.
+pub fn fig5b(scale: &Scale, platform: Platform) -> Result<Vec<Fig5bRow>, KernelError> {
+    let policies = [
+        PolicyKind::Naive,
+        PolicyKind::Nimble,
+        PolicyKind::NimblePlusPlus,
+        PolicyKind::Kloc,
+    ];
+    let mut rows = Vec::new();
+    for p in policies {
+        let r = engine::run(&RunConfig {
+            workload: WorkloadKind::RocksDb,
+            policy: p,
+            scale: scale.clone(),
+            platform,
+            kernel_params: None,
+        })?;
+        rows.push(fig5b_row(&r));
+    }
+    Ok(rows)
+}
+
+/// Extracts a Fig. 5b row from a run report.
+pub fn fig5b_row(r: &RunReport) -> Fig5bRow {
+    let slow = &r.mem.tiers[1];
+    let get = |k: PageKind| slow.allocated_by_kind.get(&k).copied().unwrap_or(0);
+    Fig5bRow {
+        policy: r.policy.clone(),
+        slow_cache_allocs: get(PageKind::PageCache),
+        slow_slab_allocs: get(PageKind::Slab) + get(PageKind::KernelVma),
+        demotions: r.migrations.demotions,
+        promotions: r.migrations.promotions,
+    }
+}
+
+/// Renders Fig. 5b.
+pub fn fig5b_table(rows: &[Fig5bRow]) -> Table {
+    let mut t = Table::new(
+        "Fig 5b: RocksDB slow-memory allocations and migrations",
+        &["policy", "slow cache allocs", "slow slab allocs", "demotions", "promotions"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.policy.clone(),
+            r.slow_cache_allocs.to_string(),
+            r.slow_slab_allocs.to_string(),
+            r.demotions.to_string(),
+            r.promotions.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Fig. 5c — per-object-class sensitivity
+// ---------------------------------------------------------------------
+
+/// The cumulative inclusion stages of Fig. 5c: start by tiering only
+/// application pages (all kernel objects pinned fast), then hand object
+/// classes to the KLOC abstraction one group at a time.
+pub fn inclusion_stages() -> Vec<(&'static str, Vec<KernelObjectType>)> {
+    vec![
+        ("app-only", vec![]),
+        (
+            "+page-cache",
+            vec![KernelObjectType::PageCache, KernelObjectType::RadixNode],
+        ),
+        (
+            "+journal",
+            vec![KernelObjectType::JournalHead, KernelObjectType::JournalBlock],
+        ),
+        (
+            "+fs-slab",
+            vec![
+                KernelObjectType::Inode,
+                KernelObjectType::Dentry,
+                KernelObjectType::Extent,
+                KernelObjectType::FileHandle,
+                KernelObjectType::DirBuffer,
+            ],
+        ),
+        (
+            "+socket-buffers",
+            vec![
+                KernelObjectType::Sock,
+                KernelObjectType::SkBuff,
+                KernelObjectType::SkBuffData,
+                KernelObjectType::RxBuf,
+            ],
+        ),
+        (
+            "+block-io",
+            vec![KernelObjectType::Bio, KernelObjectType::BlkMqRequest],
+        ),
+    ]
+}
+
+/// One workload's sensitivity series.
+#[derive(Debug, Clone)]
+pub struct Fig5cRow {
+    /// Workload label.
+    pub workload: String,
+    /// `(stage label, throughput normalized to the app-only stage)`.
+    pub series: Vec<(String, f64)>,
+}
+
+/// Runs Fig. 5c for the given workloads.
+///
+/// # Errors
+/// Propagates kernel errors.
+pub fn fig5c(
+    scale: &Scale,
+    platform: Platform,
+    workloads: &[WorkloadKind],
+) -> Result<Vec<Fig5cRow>, KernelError> {
+    let stages = inclusion_stages();
+    let mut rows = Vec::new();
+    for &w in workloads {
+        let mut series = Vec::new();
+        let mut included: BTreeSet<KernelObjectType> = BTreeSet::new();
+        let mut base = None;
+        for (label, group) in &stages {
+            included.extend(group.iter().copied());
+            let cfg = KlocConfig {
+                included: included.clone(),
+                ..KlocConfig::default()
+            };
+            let r = engine::run_with(
+                &RunConfig {
+                    workload: w,
+                    policy: PolicyKind::Kloc,
+                    scale: scale.clone(),
+                    platform,
+                    kernel_params: None,
+                },
+                Box::new(KlocPolicy::with_config(cfg, true)),
+            )?;
+            let tput = r.throughput();
+            let base_tput = *base.get_or_insert(tput);
+            series.push(((*label).to_owned(), tput / base_tput));
+        }
+        rows.push(Fig5cRow {
+            workload: w.label().to_owned(),
+            series,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders Fig. 5c.
+pub fn fig5c_table(rows: &[Fig5cRow]) -> Table {
+    let stages = inclusion_stages();
+    let mut header = vec!["workload"];
+    header.extend(stages.iter().map(|(l, _)| *l));
+    let mut t = Table::new(
+        "Fig 5c: throughput as object classes join KLOCs (normalized to app-only)",
+        &header,
+    );
+    for r in rows {
+        let mut cells = vec![r.workload.clone()];
+        cells.extend(r.series.iter().map(|(_, v)| f2(*v)));
+        t.row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5a_kloc_beats_autonuma_and_ideal_bounds_it() {
+        let rows = fig5a(&Scale::tiny(), &[WorkloadKind::Redis]).unwrap();
+        let r = &rows[0];
+        let kloc = r.speedup(OptaneStrategy::Kloc).unwrap();
+        let auto = r.speedup(OptaneStrategy::AutoNuma).unwrap();
+        let ideal = r.speedup(OptaneStrategy::AllLocal).unwrap();
+        assert!(kloc > auto, "KLOCs {kloc:.2} vs AutoNUMA {auto:.2}");
+        assert!(ideal >= kloc * 0.95, "ideal {ideal:.2} bounds KLOCs {kloc:.2}");
+        assert!(auto >= 0.9, "AutoNUMA must beat the all-remote baseline");
+        assert!(!fig5a_table(&rows).is_empty());
+    }
+
+    #[test]
+    fn fig5b_kloc_allocates_less_in_slow_memory_than_nimble() {
+        let platform = Platform::TwoTier {
+            fast_bytes: 512 << 10,
+            bw_ratio: 8,
+        };
+        let rows = fig5b(&Scale::tiny(), platform).unwrap();
+        let by = |name: &str| rows.iter().find(|r| r.policy == name).unwrap().clone();
+        let kloc = by("KLOCs");
+        let nimble = by("Nimble");
+        assert!(
+            kloc.slow_cache_allocs < nimble.slow_cache_allocs,
+            "KLOCs slow cache allocs {} vs Nimble {}",
+            kloc.slow_cache_allocs,
+            nimble.slow_cache_allocs
+        );
+        assert!(kloc.demotions > 0, "KLOCs must demote");
+        assert!(!fig5b_table(&rows).is_empty());
+    }
+
+    #[test]
+    fn fig5c_stages_are_cumulative_and_cover_all_types() {
+        let stages = inclusion_stages();
+        let mut all: BTreeSet<KernelObjectType> = BTreeSet::new();
+        for (_, g) in &stages {
+            for t in g {
+                assert!(all.insert(*t), "{t} listed twice");
+            }
+        }
+        assert_eq!(all.len(), KernelObjectType::ALL.len());
+    }
+}

@@ -1,0 +1,184 @@
+//! Fig. 6 — sensitivity to fast-memory capacity and bandwidth ratio.
+//!
+//! The paper sweeps fast-tier capacity {4, 8, 32} GB x bandwidth
+//! differential {1:8, 1:4, 1:2} and plots, per strategy, the mean
+//! speedup over All-Slow across workloads with min/max whiskers. The
+//! shapes to reproduce: KLOCs win everywhere; gains grow with the
+//! bandwidth differential and shrink as fast capacity grows (everything
+//! converges when the working set fits).
+
+use kloc_kernel::KernelError;
+use kloc_policy::PolicyKind;
+use kloc_workloads::{Scale, WorkloadKind};
+
+use crate::engine::{self, Platform, RunConfig};
+use crate::report::{f2, Table};
+
+/// Capacities swept (scaled analogues of 4/8/32 GB).
+pub const CAPACITIES: [u64; 3] = [4 << 20, 8 << 20, 32 << 20];
+/// Bandwidth ratios swept (1:8, 1:4, 1:2).
+pub const RATIOS: [u64; 3] = [8, 4, 2];
+/// Strategies plotted.
+pub const POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Naive,
+    PolicyKind::Nimble,
+    PolicyKind::NimblePlusPlus,
+    PolicyKind::Kloc,
+];
+
+/// Mean/min/max speedup of one policy at one configuration.
+#[derive(Debug, Clone)]
+pub struct Fig6Cell {
+    /// Fast capacity (bytes).
+    pub fast_bytes: u64,
+    /// Bandwidth ratio.
+    pub bw_ratio: u64,
+    /// Policy label.
+    pub policy: String,
+    /// Mean speedup across workloads.
+    pub mean: f64,
+    /// Minimum across workloads.
+    pub min: f64,
+    /// Maximum across workloads.
+    pub max: f64,
+}
+
+/// Runs the sweep.
+///
+/// # Errors
+/// Propagates kernel errors.
+pub fn run(
+    scale: &Scale,
+    workloads: &[WorkloadKind],
+    capacities: &[u64],
+    ratios: &[u64],
+) -> Result<Vec<Fig6Cell>, KernelError> {
+    let mut cells = Vec::new();
+    for &cap in capacities {
+        for &ratio in ratios {
+            let platform = Platform::TwoTier {
+                fast_bytes: cap,
+                bw_ratio: ratio,
+            };
+            // Per-workload All-Slow baselines for this ratio.
+            let mut baselines = Vec::new();
+            for &w in workloads {
+                baselines.push(engine::run(&RunConfig {
+                    workload: w,
+                    policy: PolicyKind::AllSlow,
+                    scale: scale.clone(),
+                    platform,
+                    kernel_params: None,
+                })?);
+            }
+            for policy in POLICIES {
+                let mut speedups = Vec::new();
+                for (i, &w) in workloads.iter().enumerate() {
+                    let r = engine::run(&RunConfig {
+                        workload: w,
+                        policy,
+                        scale: scale.clone(),
+                        platform,
+                        kernel_params: None,
+                    })?;
+                    speedups.push(r.speedup_over(&baselines[i]));
+                }
+                let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+                let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = speedups.iter().cloned().fold(0.0, f64::max);
+                cells.push(Fig6Cell {
+                    fast_bytes: cap,
+                    bw_ratio: ratio,
+                    policy: policy.label().to_owned(),
+                    mean,
+                    min,
+                    max,
+                });
+            }
+        }
+    }
+    Ok(cells)
+}
+
+/// Renders the sweep.
+pub fn table(cells: &[Fig6Cell]) -> Table {
+    let mut t = Table::new(
+        "Fig 6: speedup vs All Slow across capacity x bandwidth (mean [min,max] over workloads)",
+        &["fast mem", "bw ratio", "policy", "mean", "min", "max"],
+    );
+    for c in cells {
+        t.row(vec![
+            format!("{}MB", c.fast_bytes >> 20),
+            format!("1:{}", c.bw_ratio),
+            c.policy.clone(),
+            f2(c.mean),
+            f2(c.min),
+            f2(c.max),
+        ]);
+    }
+    t
+}
+
+/// Looks up a cell.
+pub fn cell(
+    cells: &[Fig6Cell],
+    fast_bytes: u64,
+    bw_ratio: u64,
+    policy: PolicyKind,
+) -> Option<&Fig6Cell> {
+    cells.iter().find(|c| {
+        c.fast_bytes == fast_bytes && c.bw_ratio == bw_ratio && c.policy == policy.label()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kloc_gains_grow_with_bandwidth_differential() {
+        // Small sweep at tiny scale: two ratios, one capacity.
+        let cells = run(
+            &Scale::tiny(),
+            &[WorkloadKind::RocksDb],
+            &[512 << 10],
+            &[8, 2],
+        )
+        .unwrap();
+        let k8 = cell(&cells, 512 << 10, 8, PolicyKind::Kloc).unwrap();
+        let k2 = cell(&cells, 512 << 10, 2, PolicyKind::Kloc).unwrap();
+        assert!(
+            k8.mean > k2.mean,
+            "1:8 speedup {:.2} should exceed 1:2 speedup {:.2}",
+            k8.mean,
+            k2.mean
+        );
+        // KLOC beats Nimble at the high differential.
+        let n8 = cell(&cells, 512 << 10, 8, PolicyKind::Nimble).unwrap();
+        assert!(k8.mean > n8.mean);
+        assert!(!table(&cells).is_empty());
+    }
+
+    #[test]
+    fn gains_shrink_as_capacity_grows() {
+        let cells = run(
+            &Scale::tiny(),
+            &[WorkloadKind::RocksDb],
+            &[256 << 10, 8 << 20],
+            &[8],
+        )
+        .unwrap();
+        let tight = cell(&cells, 256 << 10, 8, PolicyKind::Kloc).unwrap();
+        let roomy = cell(&cells, 8 << 20, 8, PolicyKind::Kloc).unwrap();
+        // With an 8 MB fast tier a tiny-scale working set fits entirely:
+        // every policy converges, so the *relative advantage* shrinks.
+        let tight_naive = cell(&cells, 256 << 10, 8, PolicyKind::Naive).unwrap();
+        let roomy_naive = cell(&cells, 8 << 20, 8, PolicyKind::Naive).unwrap();
+        let tight_gap = tight.mean / tight_naive.mean;
+        let roomy_gap = roomy.mean / roomy_naive.mean;
+        assert!(
+            tight_gap >= roomy_gap * 0.95,
+            "advantage should not grow with capacity: tight {tight_gap:.2} vs roomy {roomy_gap:.2}"
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! One module per paper figure/table.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig2`] | Fig. 2a-2d (motivation: footprints, references, lifetimes) |
+//! | [`fig4`] | Fig. 4 (two-tier speedups vs All-Slow) |
+//! | [`fig5`] | Fig. 5a (Optane), 5b (sources), 5c (per-object sensitivity) |
+//! | [`fig6`] | Fig. 6 (capacity x bandwidth sweep) |
+//! | [`table6`] | Table 6 (KLOC metadata memory) |
+//! | [`ablations`] | §4.3 per-CPU lists, §7.3 KLOC-aware prefetch |
+
+pub mod ablations;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table6;

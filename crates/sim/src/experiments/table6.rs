@@ -1,0 +1,107 @@
+//! Table 6 — KLOC metadata memory increase per workload.
+//!
+//! The paper reports the average memory increase of KLOCs vs the
+//! All-Fast configuration: 12-101 MB, always <1 % of memory, dominated
+//! by the 8-byte member-tree pointers. We report the measured metadata
+//! breakdown from the registry at end of run, plus its fraction of the
+//! fast tier.
+
+use kloc_core::overhead::OverheadReport;
+use kloc_kernel::KernelError;
+use kloc_policy::PolicyKind;
+use kloc_workloads::{Scale, WorkloadKind};
+
+use crate::engine::{self, Platform, RunConfig};
+use crate::report::{bytes, pct, Table};
+
+/// One workload's overhead row.
+#[derive(Debug, Clone)]
+pub struct Table6Row {
+    /// Workload label.
+    pub workload: String,
+    /// Metadata breakdown.
+    pub overhead: OverheadReport,
+    /// Metadata as a fraction of the workload's data footprint (the
+    /// paper reports <1 % of overall memory usage).
+    pub fraction_of_footprint: f64,
+}
+
+/// Runs Table 6 for the given workloads.
+///
+/// # Errors
+/// Propagates kernel errors.
+pub fn run(scale: &Scale, workloads: &[WorkloadKind]) -> Result<Vec<Table6Row>, KernelError> {
+    let fast_bytes = scale.fast_bytes;
+    let mut rows = Vec::new();
+    for &w in workloads {
+        let r = engine::run(&RunConfig {
+            workload: w,
+            policy: PolicyKind::Kloc,
+            scale: scale.clone(),
+            platform: Platform::TwoTier {
+                fast_bytes,
+                bw_ratio: 8,
+            },
+            kernel_params: None,
+        })?;
+        let overhead = r.overhead.expect("KLOC policy reports overhead");
+        rows.push(Table6Row {
+            workload: w.label().to_owned(),
+            fraction_of_footprint: overhead.fraction_of(scale.data_bytes),
+            overhead,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the table.
+pub fn table(rows: &[Table6Row]) -> Table {
+    let mut t = Table::new(
+        "Table 6: KLOC metadata memory increase",
+        &[
+            "workload",
+            "member ptrs",
+            "per-CPU lists",
+            "knodes",
+            "migrate list",
+            "total",
+            "% of footprint",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.workload.clone(),
+            bytes(r.overhead.member_pointers),
+            bytes(r.overhead.percpu_lists),
+            bytes(r.overhead.knodes),
+            bytes(r.overhead.migrate_list),
+            bytes(r.overhead.total()),
+            pct(r.fraction_of_footprint),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_under_one_percent() {
+        let rows = run(&Scale::tiny(), &[WorkloadKind::RocksDb, WorkloadKind::Redis]).unwrap();
+        for r in &rows {
+            assert!(r.overhead.total() > 0, "{}: no metadata measured", r.workload);
+            assert!(
+                r.fraction_of_footprint < 0.01,
+                "{}: overhead {:.3}% exceeds the paper's <1% claim",
+                r.workload,
+                r.fraction_of_footprint * 100.0
+            );
+            assert!(
+                r.overhead.member_pointers >= r.overhead.knodes,
+                "member pointers should dominate knode structs"
+            );
+        }
+        assert!(!table(&rows).is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Smoke test: every experiment module runs end to end at tiny scale
+//! and produces structurally complete output.
+
+use kloc_sim::engine::Platform;
+use kloc_sim::experiments::{ablations, fig2, fig4, fig5, fig6, table6};
+use kloc_workloads::{Scale, WorkloadKind};
+
+fn platform(scale: &Scale) -> Platform {
+    Platform::TwoTier {
+        fast_bytes: scale.fast_bytes,
+        bw_ratio: 8,
+    }
+}
+
+#[test]
+fn every_experiment_regenerates_at_tiny_scale() {
+    let scale = Scale::tiny();
+    let one = [WorkloadKind::RocksDb];
+
+    // Fig 2 family.
+    let reports = fig2::run_all(&scale).expect("fig2");
+    assert_eq!(reports.len(), WorkloadKind::ALL.len());
+    assert_eq!(fig2::fig2a(&reports).len(), reports.len());
+    assert_eq!(fig2::fig2b(&reports, &reports).len(), reports.len());
+    assert_eq!(fig2::fig2c(&reports).len(), reports.len());
+    assert_eq!(fig2::fig2d(&reports).len(), reports.len());
+    assert!(fig2::fig2a_detailed_table(&reports).len() > 10);
+
+    // Fig 4.
+    let rows = fig4::run(&scale, platform(&scale), &one).expect("fig4");
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].speedups.len(), 6);
+
+    // Fig 5a / 5b / 5c.
+    let rows = fig5::fig5a(&scale, &one).expect("fig5a");
+    assert_eq!(rows[0].speedups.len(), 4);
+    let rows = fig5::fig5b(&scale, platform(&scale)).expect("fig5b");
+    assert_eq!(rows.len(), 4);
+    let rows = fig5::fig5c(&scale, platform(&scale), &one).expect("fig5c");
+    assert_eq!(rows[0].series.len(), fig5::inclusion_stages().len());
+
+    // Fig 6 (single cell).
+    let cells = fig6::run(&scale, &one, &[scale.fast_bytes], &[8]).expect("fig6");
+    assert_eq!(cells.len(), fig6::POLICIES.len());
+
+    // Table 6.
+    let rows = table6::run(&scale, &one).expect("table6");
+    assert_eq!(rows.len(), 1);
+
+    // Ablations.
+    ablations::percpu(&scale).expect("percpu");
+    ablations::prefetch(&scale, WorkloadKind::Spark).expect("prefetch");
+    ablations::thp(&scale, &one).expect("thp");
+    ablations::granularity(&scale, &one).expect("granularity");
+}

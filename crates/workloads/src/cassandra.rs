@@ -1,0 +1,272 @@
+//! Cassandra model (YCSB, paper Table 3).
+//!
+//! A NoSQL store under YCSB's 50/50 read/write mix, accessed through
+//! client sockets, with a *large application-level cache* (512 MB for
+//! 200 K keys in the paper's configuration). That cache absorbs most
+//! reads at the application level, reducing kernel I/O — which is
+//! exactly why Cassandra is the workload where "KLOCs is similar to
+//! Nimble++" and benefits least even from All-Fast placement (§7.1).
+//! Java/GC overhead is modeled as extra per-op think time.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kloc_kernel::hooks::{CpuId, Ctx};
+use kloc_kernel::{Fd, Kernel, KernelError};
+use kloc_mem::{Nanos, PAGE_SIZE};
+
+use crate::keygen::Zipfian;
+use crate::scale::Scale;
+use crate::spec::{AppMemory, Workload};
+
+/// App-cache hit probability (512 MB cache over 200 K keys).
+const APP_CACHE_HIT: f64 = 0.85;
+
+/// YCSB core workload mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbMix {
+    /// Workload A: 50% reads / 50% updates (the paper's configuration).
+    A,
+    /// Workload B: 95% reads / 5% updates.
+    B,
+    /// Workload C: 100% reads.
+    C,
+}
+
+impl YcsbMix {
+    /// Probability that an operation is a read.
+    pub fn read_fraction(self) -> f64 {
+        match self {
+            YcsbMix::A => 0.5,
+            YcsbMix::B => 0.95,
+            YcsbMix::C => 1.0,
+        }
+    }
+}
+/// SSTable size flushed from the memtable.
+const SSTABLE_PAGES: u64 = 32;
+/// Writes per SSTable flush.
+const FLUSH_EVERY: u64 = 512;
+/// Java + YCSB client overhead per op (§7.1: "high Java and language
+/// overheads towards storage access combined with the use of the YCSB
+/// workload generator running in a client-server configuration"). This
+/// part of the op does not overlap with other threads' memory work
+/// (synchronous client round trip + GC), so it is charged serialized —
+/// it is why Cassandra is the least memory-sensitive workload in Fig. 4.
+const SERIAL_OVERHEAD: Nanos = Nanos::new(7_000);
+const REQUEST_BYTES: u64 = 256;
+const RESPONSE_BYTES: u64 = 1024;
+
+/// The Cassandra workload.
+#[derive(Debug)]
+pub struct Cassandra {
+    scale: Scale,
+    zipf: Zipfian,
+    rng: StdRng,
+    mix: YcsbMix,
+    sockets: Vec<Fd>,
+    app_cache: AppMemory,
+    commitlog: Option<Fd>,
+    commitlog_off: u64,
+    sstables: Vec<String>,
+    next_file: u64,
+    writes_since_flush: u64,
+    ops_done: u64,
+}
+
+impl Cassandra {
+    /// Creates the workload at `scale` under YCSB workload A (the
+    /// paper's 50/50 configuration).
+    pub fn new(scale: &Scale) -> Self {
+        Cassandra::with_mix(scale, YcsbMix::A)
+    }
+
+    /// Creates the workload with an explicit YCSB mix.
+    pub fn with_mix(scale: &Scale, mix: YcsbMix) -> Self {
+        let n_keys = (scale.data_bytes / 2048).max(16);
+        Cassandra {
+            zipf: Zipfian::new(n_keys),
+            rng: StdRng::seed_from_u64(scale.seed ^ 0xCA55),
+            mix,
+            sockets: Vec::new(),
+            app_cache: AppMemory::default(),
+            commitlog: None,
+            commitlog_off: 0,
+            sstables: Vec::new(),
+            next_file: 0,
+            writes_since_flush: 0,
+            ops_done: 0,
+            scale: scale.clone(),
+        }
+    }
+
+    /// App-cache pages (paper: 512 MB, scaled with the dataset).
+    fn cache_pages(&self) -> u64 {
+        (self.scale.data_bytes / PAGE_SIZE / 80).max(16)
+    }
+
+    fn flush_sstable(&mut self, k: &mut Kernel, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
+        let path = format!("/cassandra/sst{}", self.next_file);
+        self.next_file += 1;
+        let fd = k.create(ctx, &path)?;
+        k.write(ctx, fd, 0, SSTABLE_PAGES * PAGE_SIZE)?;
+        k.fsync(ctx, fd)?;
+        k.close(ctx, fd)?;
+        self.sstables.push(path);
+        Ok(())
+    }
+}
+
+impl Workload for Cassandra {
+    fn name(&self) -> &'static str {
+        "cassandra"
+    }
+
+    fn setup(&mut self, k: &mut Kernel, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
+        for _ in 0..self.scale.threads {
+            self.sockets.push(k.socket(ctx)?);
+        }
+        self.app_cache = AppMemory::allocate(k, ctx, self.cache_pages())?;
+        self.commitlog = Some(k.create(ctx, "/cassandra/commitlog")?);
+        let files = (self.scale.data_bytes / (SSTABLE_PAGES * PAGE_SIZE)).max(4);
+        for _ in 0..files {
+            self.flush_sstable(k, ctx)?;
+        }
+        Ok(())
+    }
+
+    fn step(&mut self, k: &mut Kernel, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
+        let t = (self.ops_done % self.sockets.len() as u64) as usize;
+        ctx.cpu = CpuId(t as u16);
+        let sock = self.sockets[t];
+        let key = self.zipf.next_key(&mut self.rng);
+
+        // YCSB client request over the socket.
+        k.deliver(ctx, sock, REQUEST_BYTES)?;
+        k.recv(ctx, sock, REQUEST_BYTES)?;
+        // charge() divides by the thread-parallelism factor; scaling by
+        // the thread count makes this overhead effectively serial.
+        ctx.mem
+            .charge(SERIAL_OVERHEAD * self.scale.threads as u64);
+        // Java object churn.
+        self.app_cache.churn(k, ctx, 48)?;
+
+        let is_read = self.rng.gen::<f64>() < self.mix.read_fraction();
+        if is_read {
+            self.app_cache.touch(k, ctx, key, 1024, false);
+            if self.rng.gen::<f64>() >= APP_CACHE_HIT && !self.sstables.is_empty() {
+                // App-cache miss: hit an SSTable (range-partitioned so
+                // key skew concentrates in a hot file subset).
+                let n = self.sstables.len() as u64;
+                let range = ((key * n) / self.zipf.n().max(1)).min(n - 1);
+                // Golden-ratio permutation decorrelates hotness from
+                // file-creation order.
+                let idx = ((range * 2_654_435_761) % n) as usize;
+                let path = self.sstables[idx].clone();
+                let fd = k.open(ctx, &path)?;
+                k.read(ctx, fd, (key % SSTABLE_PAGES) * PAGE_SIZE, 4096)?;
+                k.close(ctx, fd)?;
+            }
+        } else {
+            // Write: commitlog append + memtable (app cache) update.
+            if let Some(cl) = self.commitlog {
+                k.write(ctx, cl, self.commitlog_off, 1024)?;
+                self.commitlog_off += 1024;
+            }
+            self.app_cache.touch(k, ctx, key, 1024, true);
+            self.writes_since_flush += 1;
+            if self.writes_since_flush >= FLUSH_EVERY {
+                self.writes_since_flush = 0;
+                self.flush_sstable(k, ctx)?;
+            }
+        }
+        k.send(ctx, sock, RESPONSE_BYTES)?;
+        self.ops_done += 1;
+        Ok(())
+    }
+
+    fn target_ops(&self) -> u64 {
+        self.scale.ops
+    }
+
+    fn ops_done(&self) -> u64 {
+        self.ops_done
+    }
+
+    fn teardown(&mut self, k: &mut Kernel, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
+        for s in self.sockets.drain(..) {
+            k.close(ctx, s)?;
+        }
+        if let Some(cl) = self.commitlog.take() {
+            k.fsync(ctx, cl)?;
+            k.close(ctx, cl)?;
+        }
+        self.app_cache.free_all(k, ctx)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kloc_kernel::hooks::NullHooks;
+    use kloc_kernel::KernelParams;
+    use kloc_mem::MemorySystem;
+
+    #[test]
+    fn app_cache_absorbs_most_reads() {
+        let mut mem = MemorySystem::two_tier(u64::MAX, 8);
+        let mut hooks = NullHooks::fast_first();
+        let mut k = Kernel::new(KernelParams::default());
+        let scale = Scale::tiny();
+        let mut w = Cassandra::new(&scale);
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        w.setup(&mut k, &mut ctx).unwrap();
+        let opens_after_setup = k.stats().syscalls.get(&kloc_kernel::stats::Syscall::Open).copied().unwrap_or(0);
+        while !w.is_done() {
+            w.step(&mut k, &mut ctx).unwrap();
+        }
+        let opens = k
+            .stats()
+            .syscalls
+            .get(&kloc_kernel::stats::Syscall::Open)
+            .copied()
+            .unwrap_or(0)
+            - opens_after_setup;
+        // Reads are ~50% of ops; only ~15% of reads miss the app cache.
+        assert!(
+            (opens as f64) < scale.ops as f64 * 0.2,
+            "too many sstable opens: {opens}"
+        );
+        w.teardown(&mut k, &mut ctx).unwrap();
+    }
+
+    #[test]
+    fn ycsb_mixes_change_write_volume() {
+        let run_mix = |mix: YcsbMix| {
+            let mut mem = MemorySystem::two_tier(u64::MAX, 8);
+            let mut hooks = NullHooks::fast_first();
+            let mut k = Kernel::new(KernelParams::default());
+            let mut w = Cassandra::with_mix(&Scale::tiny(), mix);
+            let mut ctx = Ctx::new(&mut mem, &mut hooks);
+            w.setup(&mut k, &mut ctx).unwrap();
+            while !w.is_done() {
+                w.step(&mut k, &mut ctx).unwrap();
+            }
+            w.commitlog_off
+        };
+        let a = run_mix(YcsbMix::A);
+        let c = run_mix(YcsbMix::C);
+        assert!(a > 0, "workload A writes the commitlog");
+        assert_eq!(c, 0, "workload C is read-only");
+        assert!(YcsbMix::B.read_fraction() > YcsbMix::A.read_fraction());
+    }
+
+    #[test]
+    fn serial_overhead_dominates_per_op_cost() {
+        // Cassandra's Java/YCSB overhead makes it the least
+        // memory-sensitive workload; sanity-check the constant dominates
+        // the other per-op costs used here.
+        assert!(SERIAL_OVERHEAD > Nanos::new(2_000));
+    }
+}

@@ -1,0 +1,196 @@
+//! Filebench model (paper Table 3).
+//!
+//! Sixteen worker threads issue 4 KB reads (half sequential, half
+//! random) and writes against a fileset, opening a file per operation
+//! burst and closing it afterwards — the classic filebench
+//! webserver/fileserver shape. The paper measures Filebench spending
+//! 86 % of execution time inside the OS (§3.1), making it the most
+//! kernel-object-sensitive workload.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kloc_kernel::hooks::{CpuId, Ctx};
+use kloc_kernel::{Kernel, KernelError};
+use kloc_mem::{Nanos, PAGE_SIZE};
+
+use crate::keygen::Zipfian;
+use crate::scale::Scale;
+use crate::spec::{AppMemory, Workload};
+
+/// Pages per fileset file (256 KB files).
+const FILE_PAGES: u64 = 64;
+/// I/O bursts per open (accesses between open and close).
+const BURST: u64 = 4;
+/// Minimal think time: filebench is almost pure kernel time.
+const THINK: Nanos = Nanos::new(150);
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// The Filebench workload.
+#[derive(Debug)]
+pub struct Filebench {
+    scale: Scale,
+    zipf: Zipfian,
+    rng: StdRng,
+    n_files: u64,
+    /// Multiplier decorrelating file hotness from creation order.
+    perm: u64,
+    /// Per-thread sequential cursor.
+    cursors: Vec<u64>,
+    /// Per-thread I/O buffers (the small application footprint).
+    buffers: AppMemory,
+    ops_done: u64,
+}
+
+impl Filebench {
+    /// Creates the workload at `scale`.
+    pub fn new(scale: &Scale) -> Self {
+        let n_files = (scale.data_bytes / (FILE_PAGES * PAGE_SIZE)).max(8);
+        let mut perm = (2_654_435_761u64 % n_files).max(2);
+        while gcd(perm, n_files) != 1 {
+            perm += 1;
+        }
+        Filebench {
+            zipf: Zipfian::new(n_files),
+            rng: StdRng::seed_from_u64(scale.seed ^ 0xF17E),
+            n_files,
+            perm,
+            cursors: vec![0; scale.threads as usize],
+            buffers: AppMemory::default(),
+            ops_done: 0,
+            scale: scale.clone(),
+        }
+    }
+
+    /// Number of fileset files.
+    pub fn file_count(&self) -> u64 {
+        self.n_files
+    }
+
+    fn path(i: u64) -> String {
+        format!("/fileset/f{i}")
+    }
+}
+
+impl Workload for Filebench {
+    fn name(&self) -> &'static str {
+        "filebench"
+    }
+
+    fn setup(&mut self, k: &mut Kernel, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
+        self.buffers = AppMemory::allocate(k, ctx, 4 * self.scale.threads as u64)?;
+        k.mkdir(ctx, "/fileset")?;
+        // Pre-create the fileset.
+        for i in 0..self.n_files {
+            let fd = k.create(ctx, &Self::path(i))?;
+            k.write(ctx, fd, 0, FILE_PAGES * PAGE_SIZE)?;
+            k.fsync(ctx, fd)?;
+            k.close(ctx, fd)?;
+        }
+        Ok(())
+    }
+
+    fn step(&mut self, k: &mut Kernel, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
+        let t = (self.ops_done % self.scale.threads as u64) as usize;
+        ctx.cpu = CpuId(t as u16);
+        ctx.mem.charge(THINK);
+
+        // Touch the thread's I/O buffer (source/sink of the transfer).
+        self.buffers.churn(k, ctx, 8)?;
+        self.buffers.touch(k, ctx, t as u64, 4096, false);
+        let file = (self.zipf.next_key(&mut self.rng) * self.perm) % self.n_files;
+        let fd = k.open(ctx, &Self::path(file))?;
+        for _ in 0..BURST {
+            let is_read = self.rng.gen::<f64>() < 0.5;
+            if is_read {
+                // Half sequential, half random (Table 3).
+                let idx = if self.rng.gen::<bool>() {
+                    let c = self.cursors[t];
+                    self.cursors[t] = (c + 1) % FILE_PAGES;
+                    c
+                } else {
+                    self.rng.gen_range(0..FILE_PAGES)
+                };
+                k.read(ctx, fd, idx * PAGE_SIZE, 4096)?;
+            } else {
+                let idx = self.rng.gen_range(0..FILE_PAGES);
+                k.write(ctx, fd, idx * PAGE_SIZE, 4096)?;
+            }
+        }
+        k.close(ctx, fd)?;
+        // Periodic directory listing (filebench personalities stat and
+        // list their filesets), allocating transient dir buffers.
+        if self.ops_done.is_multiple_of(64) {
+            k.readdir(ctx, "/fileset", self.n_files.min(64))?;
+        }
+        self.ops_done += 1;
+        Ok(())
+    }
+
+    fn target_ops(&self) -> u64 {
+        self.scale.ops
+    }
+
+    fn ops_done(&self) -> u64 {
+        self.ops_done
+    }
+
+    fn teardown(&mut self, kernel: &mut Kernel, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
+        self.buffers.free_all(kernel, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kloc_kernel::hooks::NullHooks;
+    use kloc_kernel::{KernelObjectType, KernelParams};
+    use kloc_mem::MemorySystem;
+
+    #[test]
+    fn open_close_churn_dominates() {
+        let mut mem = MemorySystem::two_tier(u64::MAX, 8);
+        let mut hooks = NullHooks::fast_first();
+        let mut k = Kernel::new(KernelParams::default());
+        let scale = Scale::tiny();
+        let mut w = Filebench::new(&scale);
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        w.setup(&mut k, &mut ctx).unwrap();
+        while !w.is_done() {
+            w.step(&mut k, &mut ctx).unwrap();
+        }
+        w.teardown(&mut k, &mut ctx).unwrap();
+
+        let s = k.stats();
+        // One open/close per op on top of setup creates.
+        assert!(s.ty(KernelObjectType::FileHandle).allocated >= scale.ops);
+        assert!(s.ty(KernelObjectType::FileHandle).freed >= scale.ops);
+        // Kernel accesses dominate (the 86% characterization).
+        assert!(
+            ctx.mem.stats().kernel_access_fraction() > 0.7,
+            "filebench must be kernel-heavy, got {}",
+            ctx.mem.stats().kernel_access_fraction()
+        );
+    }
+
+    #[test]
+    fn dentry_cache_serves_reopens() {
+        let mut mem = MemorySystem::two_tier(u64::MAX, 8);
+        let mut hooks = NullHooks::fast_first();
+        let mut k = Kernel::new(KernelParams::default());
+        let mut w = Filebench::new(&Scale::tiny());
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        w.setup(&mut k, &mut ctx).unwrap();
+        for _ in 0..50 {
+            w.step(&mut k, &mut ctx).unwrap();
+        }
+        assert!(k.stats().dentry_hits > 0);
+        assert_eq!(k.stats().dentry_misses, 0, "dentries stay cached");
+    }
+}

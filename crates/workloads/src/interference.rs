@@ -1,0 +1,96 @@
+//! Memory-streaming interference antagonist (paper §6.2).
+//!
+//! The Optane Memory Mode experiment runs the workload of interest
+//! "concurrently with another workload that streams through memory and
+//! hence interferes" on one socket, prompting AutoNUMA to migrate the
+//! victim task away. This antagonist is that co-runner: it allocates a
+//! large application buffer and streams writes through it.
+
+use kloc_kernel::hooks::Ctx;
+use kloc_kernel::{Kernel, KernelError};
+use kloc_mem::PAGE_SIZE;
+
+use crate::scale::Scale;
+use crate::spec::{AppMemory, Workload};
+
+/// The streaming antagonist.
+#[derive(Debug)]
+pub struct Interference {
+    scale: Scale,
+    buf: AppMemory,
+    cursor: u64,
+    ops_done: u64,
+}
+
+impl Interference {
+    /// Creates the antagonist; its buffer is sized at a quarter of the
+    /// scale's dataset.
+    pub fn new(scale: &Scale) -> Self {
+        Interference {
+            buf: AppMemory::default(),
+            cursor: 0,
+            ops_done: 0,
+            scale: scale.clone(),
+        }
+    }
+}
+
+impl Workload for Interference {
+    fn name(&self) -> &'static str {
+        "interference"
+    }
+
+    fn setup(&mut self, kernel: &mut Kernel, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
+        let pages = (self.scale.data_bytes / PAGE_SIZE / 4).max(8);
+        self.buf = AppMemory::allocate(kernel, ctx, pages)?;
+        Ok(())
+    }
+
+    fn step(&mut self, kernel: &mut Kernel, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
+        // Stream: touch 16 pages per op, write-heavy.
+        for _ in 0..16 {
+            self.buf.touch(kernel, ctx, self.cursor, PAGE_SIZE, true);
+            self.cursor += 1;
+        }
+        self.ops_done += 1;
+        Ok(())
+    }
+
+    fn target_ops(&self) -> u64 {
+        self.scale.ops
+    }
+
+    fn ops_done(&self) -> u64 {
+        self.ops_done
+    }
+
+    fn teardown(&mut self, kernel: &mut Kernel, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
+        self.buf.free_all(kernel, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kloc_kernel::hooks::NullHooks;
+    use kloc_kernel::KernelParams;
+    use kloc_mem::MemorySystem;
+
+    #[test]
+    fn streams_through_its_buffer() {
+        let mut mem = MemorySystem::two_tier(u64::MAX, 8);
+        let mut hooks = NullHooks::fast_first();
+        let mut k = Kernel::new(KernelParams::default());
+        let mut w = Interference::new(&Scale::tiny().with_ops(50));
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        w.setup(&mut k, &mut ctx).unwrap();
+        let before = ctx.mem.stats().total_accesses;
+        while !w.is_done() {
+            w.step(&mut k, &mut ctx).unwrap();
+        }
+        let after = ctx.mem.stats().total_accesses;
+        assert_eq!(after - before, 50 * 16, "16 page touches per op");
+        w.teardown(&mut k, &mut ctx).unwrap();
+        assert_eq!(ctx.mem.live_frames(), 0);
+    }
+}

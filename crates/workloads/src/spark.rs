@@ -1,0 +1,264 @@
+//! Spark TeraSort model (paper Table 3).
+//!
+//! TeraSort over an HDFS-style file layout: a generation phase writes
+//! the input partitions; the measured phase streams input partitions,
+//! sorts them in application memory, writes shuffle files, then merges
+//! shuffle files into sorted output and deletes the intermediates. The
+//! paper notes Spark/HDFS is heavily filesystem-intensive with
+//! checkpointing behaviour (§3.1); the intermediate-file churn creates
+//! large, quickly-cold page-cache populations.
+
+use kloc_kernel::hooks::{CpuId, Ctx};
+use kloc_kernel::{Kernel, KernelError};
+use kloc_mem::{Nanos, PAGE_SIZE};
+
+use crate::scale::Scale;
+use crate::spec::{AppMemory, Workload};
+
+/// Pages per partition file (1 MB scaled partitions).
+const PARTITION_PAGES: u64 = 64;
+/// Pages processed per operation (one map/reduce chunk).
+const CHUNK_PAGES: u64 = 8;
+/// Sort/serialization CPU per chunk page.
+const THINK_PER_PAGE: Nanos = Nanos::new(700);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Read input partitions, write shuffle files.
+    Map,
+    /// Read shuffle files, write sorted output, delete shuffle files.
+    Reduce,
+}
+
+/// The Spark TeraSort workload.
+#[derive(Debug)]
+pub struct Spark {
+    scale: Scale,
+    n_partitions: u64,
+    sort_buf: AppMemory,
+    phase: Phase,
+    cursor: u64,
+    ops_done: u64,
+    shuffle_written: u64,
+    outputs_written: u64,
+}
+
+impl Spark {
+    /// Creates the workload at `scale`.
+    pub fn new(scale: &Scale) -> Self {
+        let n_partitions = (scale.data_bytes / (PARTITION_PAGES * PAGE_SIZE)).max(4);
+        Spark {
+            n_partitions,
+            sort_buf: AppMemory::default(),
+            phase: Phase::Map,
+            cursor: 0,
+            ops_done: 0,
+            shuffle_written: 0,
+            outputs_written: 0,
+            scale: scale.clone(),
+        }
+    }
+
+    /// Input partitions.
+    pub fn partitions(&self) -> u64 {
+        self.n_partitions
+    }
+
+    fn input(i: u64) -> String {
+        format!("/spark/input{i}")
+    }
+    fn shuffle(i: u64) -> String {
+        format!("/spark/shuffle{i}")
+    }
+    fn output(i: u64) -> String {
+        format!("/spark/output{i}")
+    }
+
+    /// One map chunk: stream part of an input partition, sort in app
+    /// memory, append to a shuffle file.
+    fn map_chunk(&mut self, k: &mut Kernel, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
+        let part = self.cursor / (PARTITION_PAGES / CHUNK_PAGES);
+        let chunk = self.cursor % (PARTITION_PAGES / CHUNK_PAGES);
+        let part = part % self.n_partitions;
+
+        let in_fd = k.open(ctx, &Self::input(part))?;
+        k.read(ctx, in_fd, chunk * CHUNK_PAGES * PAGE_SIZE, CHUNK_PAGES * PAGE_SIZE)?;
+        k.close(ctx, in_fd)?;
+
+        ctx.mem.charge(THINK_PER_PAGE * CHUNK_PAGES);
+        self.sort_buf.churn(k, ctx, 16)?;
+        for p in 0..CHUNK_PAGES {
+            self.sort_buf.touch(k, ctx, p, PAGE_SIZE, true);
+        }
+
+        let sh = Self::shuffle(part);
+        let sh_fd = match k.open(ctx, &sh) {
+            Ok(fd) => fd,
+            Err(KernelError::NoEntry(_)) => k.create(ctx, &sh)?,
+            Err(e) => return Err(e),
+        };
+        k.write(
+            ctx,
+            sh_fd,
+            chunk * CHUNK_PAGES * PAGE_SIZE,
+            CHUNK_PAGES * PAGE_SIZE,
+        )?;
+        k.close(ctx, sh_fd)?;
+        self.shuffle_written += 1;
+
+        self.cursor += 1;
+        if self.cursor >= self.n_partitions * (PARTITION_PAGES / CHUNK_PAGES) {
+            self.phase = Phase::Reduce;
+            self.cursor = 0;
+        }
+        Ok(())
+    }
+
+    /// One reduce chunk: read a shuffle chunk, merge, append to output;
+    /// delete the shuffle file when fully consumed.
+    fn reduce_chunk(&mut self, k: &mut Kernel, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
+        let chunks_per_part = PARTITION_PAGES / CHUNK_PAGES;
+        let part = (self.cursor / chunks_per_part) % self.n_partitions;
+        let chunk = self.cursor % chunks_per_part;
+
+        let sh = Self::shuffle(part);
+        if let Ok(sh_fd) = k.open(ctx, &sh) {
+            k.read(ctx, sh_fd, chunk * CHUNK_PAGES * PAGE_SIZE, CHUNK_PAGES * PAGE_SIZE)?;
+            k.close(ctx, sh_fd)?;
+        }
+
+        ctx.mem.charge(THINK_PER_PAGE * CHUNK_PAGES);
+        self.sort_buf.churn(k, ctx, 16)?;
+        for p in 0..CHUNK_PAGES {
+            self.sort_buf.touch(k, ctx, p, PAGE_SIZE, false);
+        }
+
+        let out = Self::output(part);
+        let out_fd = match k.open(ctx, &out) {
+            Ok(fd) => fd,
+            Err(KernelError::NoEntry(_)) => k.create(ctx, &out)?,
+            Err(e) => return Err(e),
+        };
+        k.write(
+            ctx,
+            out_fd,
+            chunk * CHUNK_PAGES * PAGE_SIZE,
+            CHUNK_PAGES * PAGE_SIZE,
+        )?;
+        if chunk == chunks_per_part - 1 {
+            k.fsync(ctx, out_fd)?;
+        }
+        k.close(ctx, out_fd)?;
+
+        if chunk == chunks_per_part - 1 {
+            // Shuffle partition fully merged: delete the intermediate.
+            match k.unlink(ctx, &sh) {
+                Ok(()) | Err(KernelError::NoEntry(_)) => {}
+                Err(e) => return Err(e),
+            }
+            self.outputs_written += 1;
+        }
+
+        self.cursor += 1;
+        if self.cursor >= self.n_partitions * chunks_per_part {
+            // Wrap around: regenerate shuffle data (steady-state loop).
+            self.phase = Phase::Map;
+            self.cursor = 0;
+        }
+        Ok(())
+    }
+}
+
+impl Workload for Spark {
+    fn name(&self) -> &'static str {
+        "spark"
+    }
+
+    fn setup(&mut self, k: &mut Kernel, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
+        self.sort_buf = AppMemory::allocate(k, ctx, CHUNK_PAGES * 4)?;
+        // TeraGen: write the input partitions.
+        for i in 0..self.n_partitions {
+            let fd = k.create(ctx, &Self::input(i))?;
+            k.write(ctx, fd, 0, PARTITION_PAGES * PAGE_SIZE)?;
+            k.fsync(ctx, fd)?;
+            k.close(ctx, fd)?;
+        }
+        Ok(())
+    }
+
+    fn step(&mut self, k: &mut Kernel, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
+        ctx.cpu = CpuId((self.ops_done % self.scale.threads as u64) as u16);
+        match self.phase {
+            Phase::Map => self.map_chunk(k, ctx)?,
+            Phase::Reduce => self.reduce_chunk(k, ctx)?,
+        }
+        self.ops_done += 1;
+        Ok(())
+    }
+
+    fn target_ops(&self) -> u64 {
+        self.scale.ops
+    }
+
+    fn ops_done(&self) -> u64 {
+        self.ops_done
+    }
+
+    fn teardown(&mut self, k: &mut Kernel, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
+        self.sort_buf.free_all(k, ctx)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kloc_kernel::hooks::NullHooks;
+    use kloc_kernel::{KernelObjectType, KernelParams};
+    use kloc_mem::MemorySystem;
+
+    #[test]
+    fn map_then_reduce_with_intermediate_deletion() {
+        let mut mem = MemorySystem::two_tier(u64::MAX, 8);
+        let mut hooks = NullHooks::fast_first();
+        let mut k = Kernel::new(KernelParams::default());
+        let scale = Scale::tiny().with_ops(600);
+        let mut w = Spark::new(&scale);
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        w.setup(&mut k, &mut ctx).unwrap();
+        while !w.is_done() {
+            w.step(&mut k, &mut ctx).unwrap();
+        }
+        assert!(w.shuffle_written > 0);
+        assert!(w.outputs_written > 0, "reduce phase must have run");
+        // Inodes freed by shuffle deletion.
+        assert!(k.stats().ty(KernelObjectType::Inode).freed > 0);
+        w.teardown(&mut k, &mut ctx).unwrap();
+    }
+
+    #[test]
+    fn streaming_reads_use_readahead() {
+        let mut mem = MemorySystem::two_tier(u64::MAX, 8);
+        let mut hooks = NullHooks::fast_first();
+        let mut k = Kernel::new(KernelParams::default());
+        // Force cache pressure so map-phase reads miss and stream from
+        // disk (tiny cache budget).
+        let params = KernelParams {
+            page_cache_budget: 64,
+            ..KernelParams::default()
+        };
+        let mut k2 = Kernel::new(params);
+        std::mem::swap(&mut k, &mut k2);
+        let scale = Scale::tiny().with_ops(200);
+        let mut w = Spark::new(&scale);
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        w.setup(&mut k, &mut ctx).unwrap();
+        while !w.is_done() {
+            w.step(&mut k, &mut ctx).unwrap();
+        }
+        assert!(
+            k.readahead().stats().issued > 0,
+            "sequential streaming must trigger prefetch"
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Policy shootout: every Table-5 strategy on every workload, printed as
+//! the paper's Fig. 4 table — the repository's headline result.
+//!
+//! ```text
+//! cargo run --release --example policy_shootout [tiny|small|large]
+//! ```
+
+use klocs::sim::engine::Platform;
+use klocs::sim::experiments::fig4;
+use klocs::workloads::{Scale, WorkloadKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("tiny") => Scale::tiny(),
+        Some("small") => Scale::small(),
+        _ => Scale::large(),
+    };
+    let platform = Platform::TwoTier {
+        fast_bytes: scale.fast_bytes,
+        bw_ratio: 8,
+    };
+    eprintln!(
+        "running {} workloads x 7 policies at scale {} ...",
+        WorkloadKind::ALL.len(),
+        scale.label
+    );
+    let rows = fig4::run(&scale, platform, &WorkloadKind::ALL)?;
+    println!("{}", fig4::table(&rows));
+
+    // Highlight the headline comparisons the paper calls out.
+    for row in &rows {
+        let kloc = row.speedup(klocs::policy::PolicyKind::Kloc).unwrap_or(0.0);
+        let nimble = row
+            .speedup(klocs::policy::PolicyKind::Nimble)
+            .unwrap_or(1.0);
+        println!(
+            "{:<10} KLOCs vs Nimble: {:.2}x",
+            row.workload,
+            kloc / nimble
+        );
+    }
+    Ok(())
+}

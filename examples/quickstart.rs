@@ -1,0 +1,65 @@
+//! Quickstart: run one workload under the KLOC policy on the paper's
+//! two-tier platform and print what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use klocs::policy::PolicyKind;
+use klocs::sim::engine::{self, RunConfig};
+use klocs::workloads::{Scale, WorkloadKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's two-tier configuration (8 GB fast over 1:8-bandwidth
+    // slow memory), scaled 1024x down so this runs in milliseconds.
+    let scale = Scale::large();
+
+    println!("RocksDB on the two-tier platform, KLOCs vs All-Slow:\n");
+
+    let baseline = engine::run(&RunConfig::two_tier(
+        WorkloadKind::RocksDb,
+        PolicyKind::AllSlow,
+        scale.clone(),
+    ))?;
+    let kloc = engine::run(&RunConfig::two_tier(
+        WorkloadKind::RocksDb,
+        PolicyKind::Kloc,
+        scale.clone(),
+    ))?;
+
+    println!(
+        "  All-Slow : {:>10.0} ops/s  ({} of virtual time)",
+        baseline.throughput(),
+        baseline.elapsed
+    );
+    println!(
+        "  KLOCs    : {:>10.0} ops/s  ({} of virtual time)",
+        kloc.throughput(),
+        kloc.elapsed
+    );
+    println!(
+        "  speedup  : {:.2}x  (fast-tier accesses: {:.0}%)",
+        kloc.speedup_over(&baseline),
+        kloc.fast_access_fraction() * 100.0
+    );
+
+    let stats = kloc.kloc.expect("KLOC policy reports registry stats");
+    println!("\nKLOC registry activity:");
+    println!("  knodes created    : {}", stats.knodes_created);
+    println!("  objects tracked   : {}", stats.objects_tracked);
+    println!(
+        "  en-masse demotions: {} ({} pages)",
+        stats.knode_demotions, stats.pages_demoted
+    );
+    println!(
+        "  promotions        : {} ({} pages)",
+        stats.knode_promotions, stats.pages_promoted
+    );
+    let overhead = kloc.overhead.expect("overhead measured");
+    println!(
+        "  metadata overhead : {} bytes ({:.2}% of the dataset)",
+        overhead.total(),
+        overhead.fraction_of(scale.data_bytes) * 100.0
+    );
+    Ok(())
+}

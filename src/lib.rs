@@ -1,0 +1,55 @@
+//! # klocs — Kernel-Level Object Contexts for heterogeneous memory
+//!
+//! A full-system, deterministic reproduction of *KLOCs: Kernel-Level
+//! Object Contexts for Heterogeneous Memory Systems* (Kannan, Ren,
+//! Bhattacharjee — ASPLOS 2021), built as a pure-Rust simulation: a
+//! tiered memory substrate, a simulated kernel (VFS, page cache, slab,
+//! journal, block layer, network stack), the KLOC abstraction itself,
+//! every tiering policy the paper evaluates, workload models for the
+//! paper's applications, and an experiment harness that regenerates
+//! every figure and table.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! roof and hosts the runnable examples and cross-crate integration
+//! tests.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`mem`] | `kloc-mem` | tiers, frames, virtual clock, migration |
+//! | [`kernel`] | `kloc-kernel` | syscalls, VFS, page cache, journal, net |
+//! | [`core`] | `kloc-core` | knodes, kmap, per-CPU lists, registry |
+//! | [`policy`] | `kloc-policy` | Naive/Nimble/Nimble++/KLOCs/AutoNUMA |
+//! | [`workloads`] | `kloc-workloads` | RocksDB/Redis/Filebench/Cassandra/Spark |
+//! | [`sim`] | `kloc-sim` | run engine + per-figure experiments |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use klocs::policy::PolicyKind;
+//! use klocs::sim::engine::{self, RunConfig};
+//! use klocs::workloads::{Scale, WorkloadKind};
+//!
+//! # fn main() -> Result<(), klocs::kernel::KernelError> {
+//! let config = RunConfig::two_tier(
+//!     WorkloadKind::RocksDb,
+//!     PolicyKind::Kloc,
+//!     Scale::tiny(),
+//! );
+//! let report = engine::run(&config)?;
+//! assert!(report.throughput() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! To regenerate the paper's evaluation from the command line:
+//!
+//! ```text
+//! cargo run --release -p kloc-sim --bin repro -- all --scale large
+//! ```
+
+pub use kloc_core as core;
+pub use kloc_kernel as kernel;
+pub use kloc_mem as mem;
+pub use kloc_policy as policy;
+pub use kloc_sim as sim;
+pub use kloc_workloads as workloads;

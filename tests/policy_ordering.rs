@@ -1,0 +1,134 @@
+//! Cross-crate integration: the paper's headline orderings must hold on
+//! end-to-end runs (workload -> kernel -> policy -> tiered memory).
+
+use klocs::policy::PolicyKind;
+use klocs::sim::engine::{self, Platform, RunConfig};
+use klocs::workloads::{Scale, WorkloadKind};
+
+fn run(w: WorkloadKind, p: PolicyKind, scale: &Scale) -> engine::RunReport {
+    engine::run(&RunConfig {
+        workload: w,
+        policy: p,
+        scale: scale.clone(),
+        platform: Platform::TwoTier {
+            fast_bytes: scale.fast_bytes,
+            bw_ratio: 8,
+        },
+        kernel_params: None,
+    })
+    .expect("run completes")
+}
+
+#[test]
+fn kloc_beats_every_baseline_on_io_workloads() {
+    let scale = Scale::tiny();
+    for w in [WorkloadKind::RocksDb, WorkloadKind::Redis, WorkloadKind::Filebench] {
+        let slow = run(w, PolicyKind::AllSlow, &scale);
+        let kloc = run(w, PolicyKind::Kloc, &scale);
+        let nimble = run(w, PolicyKind::Nimble, &scale);
+        let naive = run(w, PolicyKind::Naive, &scale);
+        assert!(
+            kloc.throughput() > slow.throughput(),
+            "{w}: KLOCs {:.0} must beat All-Slow {:.0}",
+            kloc.throughput(),
+            slow.throughput()
+        );
+        assert!(
+            kloc.throughput() > nimble.throughput(),
+            "{w}: KLOCs {:.0} must beat Nimble {:.0}",
+            kloc.throughput(),
+            nimble.throughput()
+        );
+        // At tiny scale some filesets are uniformly hot and leave no
+        // placement headroom; KLOCs must still stay within a small margin
+        // of FCFS (the Large-scale benches assert the actual win).
+        assert!(
+            kloc.throughput() >= naive.throughput() * 0.9,
+            "{w}: KLOCs {:.0} must not lose to Naive {:.0}",
+            kloc.throughput(),
+            naive.throughput()
+        );
+    }
+}
+
+#[test]
+fn all_fast_is_the_upper_bound() {
+    let scale = Scale::tiny();
+    for w in WorkloadKind::EVALUATED {
+        let fast = run(w, PolicyKind::AllFast, &scale);
+        for p in [PolicyKind::Naive, PolicyKind::Nimble, PolicyKind::Kloc] {
+            let r = run(w, p, &scale);
+            assert!(
+                fast.throughput() >= r.throughput() * 0.98,
+                "{w}/{p}: All-Fast {:.0} must bound {:.0}",
+                fast.throughput(),
+                r.throughput()
+            );
+        }
+    }
+}
+
+#[test]
+fn nimble_strands_kernel_objects_in_slow_memory() {
+    // The paper's observation about prior art: application-only tiering
+    // leaves kernel pages in slow memory, so its fast-access share stays
+    // tiny on I/O-intensive workloads.
+    let scale = Scale::tiny();
+    let nimble = run(WorkloadKind::Filebench, PolicyKind::Nimble, &scale);
+    let kloc = run(WorkloadKind::Filebench, PolicyKind::Kloc, &scale);
+    assert!(
+        nimble.fast_access_fraction() < 0.2,
+        "Nimble fast-access share should be small, got {:.2}",
+        nimble.fast_access_fraction()
+    );
+    assert!(
+        kloc.fast_access_fraction() > nimble.fast_access_fraction() + 0.1,
+        "KLOCs must serve far more accesses from fast memory"
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let scale = Scale::tiny();
+    let a = run(WorkloadKind::Redis, PolicyKind::Kloc, &scale);
+    let b = run(WorkloadKind::Redis, PolicyKind::Kloc, &scale);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.migrations, b.migrations);
+    assert_eq!(a.kernel.cache_hits, b.kernel.cache_hits);
+    assert_eq!(a.kloc, b.kloc);
+}
+
+#[test]
+fn different_seeds_change_the_run_but_not_the_ordering() {
+    let scale = Scale::tiny();
+    let s1 = scale.clone().with_seed(1);
+    let s2 = scale.clone().with_seed(2);
+    let a = run(WorkloadKind::RocksDb, PolicyKind::Kloc, &s1);
+    let b = run(WorkloadKind::RocksDb, PolicyKind::Kloc, &s2);
+    assert_ne!(a.elapsed, b.elapsed, "seed must matter");
+    // Ordering vs All-Slow holds for both seeds.
+    for (s, r) in [(&s1, &a), (&s2, &b)] {
+        let slow = run(WorkloadKind::RocksDb, PolicyKind::AllSlow, s);
+        assert!(r.throughput() > slow.throughput());
+    }
+}
+
+#[test]
+fn kloc_tracks_and_releases_all_objects() {
+    let scale = Scale::tiny();
+    let r = run(WorkloadKind::RocksDb, PolicyKind::Kloc, &scale);
+    let stats = r.kloc.expect("registry stats");
+    assert!(stats.knodes_created > 0);
+    assert!(stats.objects_tracked > 0);
+    assert!(
+        stats.objects_untracked <= stats.objects_tracked,
+        "cannot untrack more than tracked"
+    );
+    assert!(
+        stats.knodes_destroyed <= stats.knodes_created,
+        "cannot destroy more knodes than created"
+    );
+    // Metadata overhead stays under the paper's 1% claim.
+    let overhead = r.overhead.expect("overhead");
+    assert!(overhead.fraction_of(scale.data_bytes) < 0.01);
+}
