@@ -5,18 +5,24 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use kloc_bench::{bench_scale, timing_scale};
 use kloc_sim::experiments::ablations;
+use kloc_sim::Runner;
 use kloc_workloads::WorkloadKind;
 
 fn print_tables() {
     let scale = bench_scale();
-    let a = ablations::percpu(&scale).expect("percpu ablation");
+    let a = ablations::percpu(&Runner::auto(), &scale).expect("percpu ablation");
     println!("{}", ablations::percpu_table(&a));
-    let a = ablations::prefetch(&scale, WorkloadKind::Spark).expect("prefetch ablation");
+    let a = ablations::prefetch(&Runner::auto(), &scale, WorkloadKind::Spark)
+        .expect("prefetch ablation");
     println!("{}", ablations::prefetch_table(&a));
-    let a = ablations::thp(&scale, &[WorkloadKind::RocksDb, WorkloadKind::Redis])
-        .expect("thp ablation");
+    let a = ablations::thp(
+        &Runner::auto(),
+        &scale,
+        &[WorkloadKind::RocksDb, WorkloadKind::Redis],
+    )
+    .expect("thp ablation");
     println!("{}", ablations::thp_table(&a));
-    let a = ablations::granularity(&scale, &WorkloadKind::EVALUATED)
+    let a = ablations::granularity(&Runner::auto(), &scale, &WorkloadKind::EVALUATED)
         .expect("granularity ablation");
     println!("{}", ablations::granularity_table(&a));
 }
@@ -27,13 +33,18 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);
     group.bench_function("percpu", |b| {
-        b.iter(|| ablations::percpu(&scale).expect("percpu"))
+        b.iter(|| ablations::percpu(&Runner::auto(), &scale).expect("percpu"))
     });
     group.bench_function("prefetch_spark", |b| {
-        b.iter(|| ablations::prefetch(&scale, WorkloadKind::Spark).expect("prefetch"))
+        b.iter(|| {
+            ablations::prefetch(&Runner::auto(), &scale, WorkloadKind::Spark).expect("prefetch")
+        })
     });
     group.bench_function("granularity_rocksdb", |b| {
-        b.iter(|| ablations::granularity(&scale, &[WorkloadKind::RocksDb]).expect("granularity"))
+        b.iter(|| {
+            ablations::granularity(&Runner::auto(), &scale, &[WorkloadKind::RocksDb])
+                .expect("granularity")
+        })
     });
     group.finish();
 }

@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use kloc_bench::{bench_scale, timing_scale};
 use kloc_sim::experiments::fig2;
+use kloc_sim::Runner;
 
 fn print_figures() {
     let large = bench_scale();
@@ -12,8 +13,8 @@ fn print_figures() {
     small.data_bytes /= 4;
     small.label = "Small".to_owned();
 
-    let large_reports = fig2::run_all(&large).expect("fig2 large");
-    let small_reports = fig2::run_all(&small).expect("fig2 small");
+    let large_reports = fig2::run_all(&Runner::auto(), &large).expect("fig2 large");
+    let small_reports = fig2::run_all(&Runner::auto(), &small).expect("fig2 small");
 
     println!("{}", fig2::fig2a_table(&fig2::fig2a(&large_reports)));
     println!(
@@ -30,7 +31,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2");
     group.sample_size(10);
     group.bench_function("motivation_characterization", |b| {
-        b.iter(|| fig2::run_all(&scale).expect("fig2 runs"))
+        b.iter(|| fig2::run_all(&Runner::auto(), &scale).expect("fig2 runs"))
     });
     group.finish();
 }

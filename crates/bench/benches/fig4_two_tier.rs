@@ -9,6 +9,7 @@ use kloc_bench::{bench_scale, timing_scale};
 use kloc_policy::PolicyKind;
 use kloc_sim::engine::{self, Platform, RunConfig};
 use kloc_sim::experiments::fig4;
+use kloc_sim::Runner;
 use kloc_workloads::WorkloadKind;
 
 fn print_figure() {
@@ -17,7 +18,7 @@ fn print_figure() {
         fast_bytes: scale.fast_bytes,
         bw_ratio: 8,
     };
-    let rows = fig4::run(&scale, platform, &WorkloadKind::ALL).expect("fig4 runs");
+    let rows = fig4::run(&Runner::auto(), &scale, platform, &WorkloadKind::ALL).expect("fig4 runs");
     println!("{}", fig4::table(&rows));
 }
 

@@ -7,6 +7,7 @@ use kloc_bench::{bench_scale, timing_scale};
 use kloc_policy::AutoNuma;
 use kloc_sim::engine::{self, OptaneScenario, Platform, RunConfig};
 use kloc_sim::experiments::fig5;
+use kloc_sim::Runner;
 use kloc_workloads::WorkloadKind;
 
 fn print_figures() {
@@ -15,11 +16,12 @@ fn print_figures() {
         fast_bytes: scale.fast_bytes,
         bw_ratio: 8,
     };
-    let rows = fig5::fig5a(&scale, &WorkloadKind::EVALUATED).expect("fig5a");
+    let rows = fig5::fig5a(&Runner::auto(), &scale, &WorkloadKind::EVALUATED).expect("fig5a");
     println!("{}", fig5::fig5a_table(&rows));
-    let rows = fig5::fig5b(&scale, platform).expect("fig5b");
+    let rows = fig5::fig5b(&Runner::auto(), &scale, platform).expect("fig5b");
     println!("{}", fig5::fig5b_table(&rows));
-    let rows = fig5::fig5c(&scale, platform, &WorkloadKind::EVALUATED).expect("fig5c");
+    let rows =
+        fig5::fig5c(&Runner::auto(), &scale, platform, &WorkloadKind::EVALUATED).expect("fig5c");
     println!("{}", fig5::fig5c_table(&rows));
 }
 

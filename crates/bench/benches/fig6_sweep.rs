@@ -4,11 +4,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use kloc_bench::{bench_scale, timing_scale};
 use kloc_sim::experiments::fig6;
+use kloc_sim::Runner;
 use kloc_workloads::WorkloadKind;
 
 fn print_figure() {
     let scale = bench_scale();
     let cells = fig6::run(
+        &Runner::auto(),
         &scale,
         &WorkloadKind::EVALUATED,
         &fig6::CAPACITIES,
@@ -25,7 +27,14 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("one_cell_rocksdb", |b| {
         b.iter(|| {
-            fig6::run(&scale, &[WorkloadKind::RocksDb], &[512 << 10], &[8]).expect("cell")
+            fig6::run(
+                &Runner::auto(),
+                &scale,
+                &[WorkloadKind::RocksDb],
+                &[512 << 10],
+                &[8],
+            )
+            .expect("cell")
         })
     });
     group.finish();

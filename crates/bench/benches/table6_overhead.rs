@@ -4,11 +4,12 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use kloc_bench::{bench_scale, timing_scale};
 use kloc_sim::experiments::table6;
+use kloc_sim::Runner;
 use kloc_workloads::WorkloadKind;
 
 fn print_table() {
     let scale = bench_scale();
-    let rows = table6::run(&scale, &WorkloadKind::ALL).expect("table6 runs");
+    let rows = table6::run(&Runner::auto(), &scale, &WorkloadKind::ALL).expect("table6 runs");
     println!("{}", table6::table(&rows));
 }
 
@@ -18,7 +19,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table6");
     group.sample_size(10);
     group.bench_function("overhead_rocksdb", |b| {
-        b.iter(|| table6::run(&scale, &[WorkloadKind::RocksDb]).expect("row"))
+        b.iter(|| table6::run(&Runner::auto(), &scale, &[WorkloadKind::RocksDb]).expect("row"))
     });
     group.finish();
 }

@@ -138,10 +138,7 @@ mod tests {
         m.map_knode(knode_at(1, 30, true)); // active, old
         m.map_knode(knode_at(2, 20, false)); // inactive, newer
         m.map_knode(knode_at(3, 10, false)); // inactive, oldest
-        assert_eq!(
-            m.lru_knodes(3),
-            vec![InodeId(3), InodeId(2), InodeId(1)]
-        );
+        assert_eq!(m.lru_knodes(3), vec![InodeId(3), InodeId(2), InodeId(1)]);
         assert_eq!(m.lru_knodes(1), vec![InodeId(3)]);
         assert_eq!(m.inactive_knodes(), vec![InodeId(3), InodeId(2)]);
     }

@@ -13,8 +13,8 @@ use std::collections::BTreeMap;
 use kloc_mem::{FrameId, Nanos};
 
 use kloc_kernel::hooks::CpuId;
-use kloc_kernel::{Backing, KernelObjectType, ObjectId};
 use kloc_kernel::vfs::InodeId;
+use kloc_kernel::{Backing, KernelObjectType, ObjectId};
 
 /// Which member tree an object landed in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -8,8 +8,6 @@
 //! open inode (<400 KB). This module computes the same breakdown from
 //! live registry state.
 
-use serde::{Deserialize, Serialize};
-
 use crate::registry::KlocRegistry;
 
 /// Bytes per member-tree pointer (one per tracked object).
@@ -23,7 +21,8 @@ pub const BYTES_PER_KNODE: u64 = 64;
 pub const BYTES_PER_MIGRATE_ENTRY: u64 = 16;
 
 /// Breakdown of KLOC metadata memory.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OverheadReport {
     /// Member-tree pointers (`rb-cache` + `rb-slab`).
     pub member_pointers: u64,

@@ -58,9 +58,8 @@ impl Default for KlocConfig {
 }
 
 /// Counters describing KLOC activity.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KlocStats {
     /// Knodes created.
     pub knodes_created: u64,
@@ -288,12 +287,7 @@ impl KlocRegistry {
     /// en-masse mechanism (paper §4.4). Pinned frames and frames that
     /// exceeded the anti-ping-pong counter are skipped. Returns pages
     /// moved.
-    pub fn migrate_knode(
-        &mut self,
-        inode: InodeId,
-        mem: &mut MemorySystem,
-        to: TierId,
-    ) -> u64 {
+    pub fn migrate_knode(&mut self, inode: InodeId, mem: &mut MemorySystem, to: TierId) -> u64 {
         self.migrate_knode_limited(inode, mem, to, u64::MAX)
     }
 
@@ -306,7 +300,9 @@ impl KlocRegistry {
         to: TierId,
         max_pages: u64,
     ) -> u64 {
-        let Some(k) = self.kmap.get(inode) else { return 0 };
+        let Some(k) = self.kmap.get(inode) else {
+            return 0;
+        };
         let frames = k.member_frames();
         let demoting = to != TierId::FAST;
         let mut moved = 0;
@@ -350,7 +346,9 @@ impl KlocRegistry {
         older_than: Nanos,
         max_pages: u64,
     ) -> u64 {
-        let Some(k) = self.kmap.get(inode) else { return 0 };
+        let Some(k) = self.kmap.get(inode) else {
+            return 0;
+        };
         let now = mem.now();
         let frames = k.member_frames();
         let mut moved = 0;
@@ -385,7 +383,9 @@ impl KlocRegistry {
         newer_than: Nanos,
         max_pages: u64,
     ) -> u64 {
-        let Some(k) = self.kmap.get(inode) else { return 0 };
+        let Some(k) = self.kmap.get(inode) else {
+            return 0;
+        };
         let now = mem.now();
         let frames = k.member_frames();
         let mut moved = 0;
@@ -492,17 +492,16 @@ mod tests {
         r.inode_closed(InodeId(2));
         let now = Nanos::from_millis(11);
         // Only inode 1 has been idle >= 5ms.
-        assert_eq!(
-            r.cold_knodes(now, Nanos::from_millis(5)),
-            vec![InodeId(1)]
-        );
+        assert_eq!(r.cold_knodes(now, Nanos::from_millis(5)), vec![InodeId(1)]);
         // Reopening makes it hot again.
         r.inode_opened(InodeId(1), CpuId(0), now);
-        assert!(r.cold_knodes(now, Nanos::ZERO).is_empty() || {
-            // inode 2 is still inactive with 1ms idle; with zero threshold
-            // it is cold.
-            r.cold_knodes(now, Nanos::ZERO) == vec![InodeId(2)]
-        });
+        assert!(
+            r.cold_knodes(now, Nanos::ZERO).is_empty() || {
+                // inode 2 is still inactive with 1ms idle; with zero threshold
+                // it is cold.
+                r.cold_knodes(now, Nanos::ZERO) == vec![InodeId(2)]
+            }
+        );
     }
 
     #[test]
@@ -592,7 +591,10 @@ mod tests {
         };
         let with = mk(true);
         let without = mk(false);
-        assert!(with * 2 < without, "fast path must cut tree accesses >50%: {with} vs {without}");
+        assert!(
+            with * 2 < without,
+            "fast path must cut tree accesses >50%: {with} vs {without}"
+        );
     }
 
     #[test]

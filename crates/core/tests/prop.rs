@@ -1,15 +1,16 @@
-//! Property tests: knode member sets must always equal the set of live
-//! objects of that inode, under arbitrary event interleavings.
+//! Randomized model tests: knode member sets must always equal the set
+//! of live objects of that inode, under arbitrary event interleavings.
+//!
+//! Sequences come from the in-tree seeded `SplitMix64` PRNG (fixed
+//! seeds, so failures reproduce exactly).
 
 use std::collections::{BTreeMap, BTreeSet};
-
-use proptest::prelude::*;
 
 use kloc_core::{KlocConfig, KlocRegistry};
 use kloc_kernel::hooks::CpuId;
 use kloc_kernel::vfs::InodeId;
 use kloc_kernel::{KernelObjectType, ObjectId, ObjectInfo};
-use kloc_mem::{FrameId, Nanos};
+use kloc_mem::{FrameId, Nanos, SplitMix64};
 
 #[derive(Debug, Clone)]
 enum Ev {
@@ -22,23 +23,28 @@ enum Ev {
     AccessObj(usize, u8),
 }
 
-fn ev_strategy() -> impl Strategy<Value = Ev> {
-    prop_oneof![
-        (0u8..6).prop_map(Ev::CreateInode),
-        (0u8..6).prop_map(Ev::OpenInode),
-        (0u8..6).prop_map(Ev::CloseInode),
-        (0u8..6).prop_map(Ev::DestroyInode),
-        (0u8..6, 0u8..14).prop_map(|(i, t)| Ev::AllocObj(i, t)),
-        (0usize..64).prop_map(Ev::FreeObj),
-        (0usize..64, 0u8..4).prop_map(|(o, c)| Ev::AccessObj(o, c)),
-    ]
+fn gen_ev(rng: &mut SplitMix64) -> Ev {
+    match rng.gen_below(7) {
+        0 => Ev::CreateInode(rng.gen_below(6) as u8),
+        1 => Ev::OpenInode(rng.gen_below(6) as u8),
+        2 => Ev::CloseInode(rng.gen_below(6) as u8),
+        3 => Ev::DestroyInode(rng.gen_below(6) as u8),
+        4 => Ev::AllocObj(rng.gen_below(6) as u8, rng.gen_below(14) as u8),
+        5 => Ev::FreeObj(rng.gen_below(64) as usize),
+        _ => Ev::AccessObj(rng.gen_below(64) as usize, rng.gen_below(4) as u8),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn gen_evs(rng: &mut SplitMix64, min: u64, max: u64) -> Vec<Ev> {
+    (0..rng.gen_range(min..max)).map(|_| gen_ev(rng)).collect()
+}
 
-    #[test]
-    fn knode_members_match_live_objects(evs in proptest::collection::vec(ev_strategy(), 1..250)) {
+#[test]
+fn knode_members_match_live_objects() {
+    for case in 0..128u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x6E0D_0000 + case);
+        let evs = gen_evs(&mut rng, 1, 250);
+
         let mut r = KlocRegistry::new(KlocConfig::default());
         // Model: live inodes, and live objects (id -> (inode, info, frame)).
         let mut inodes: BTreeSet<InodeId> = BTreeSet::new();
@@ -59,14 +65,14 @@ proptest! {
                     let ino = InodeId(n as u64);
                     if inodes.contains(&ino) {
                         r.inode_opened(ino, CpuId(1), now);
-                        prop_assert_eq!(r.is_active(ino), Some(true));
+                        assert_eq!(r.is_active(ino), Some(true));
                     }
                 }
                 Ev::CloseInode(n) => {
                     let ino = InodeId(n as u64);
                     if inodes.contains(&ino) {
                         r.inode_closed(ino);
-                        prop_assert_eq!(r.is_active(ino), Some(false));
+                        assert_eq!(r.is_active(ino), Some(false));
                     }
                 }
                 Ev::DestroyInode(n) => {
@@ -83,7 +89,7 @@ proptest! {
                         }
                         objects.retain(|(_, i, _)| i.inode != Some(ino));
                         r.inode_destroyed(ino);
-                        prop_assert!(r.is_active(ino).is_none());
+                        assert!(r.is_active(ino).is_none());
                     }
                 }
                 Ev::AllocObj(n, t) => {
@@ -92,7 +98,11 @@ proptest! {
                         continue;
                     }
                     let ty = KernelObjectType::ALL[t as usize % KernelObjectType::ALL.len()];
-                    let info = ObjectInfo { ty, size: ty.size(), inode: Some(ino) };
+                    let info = ObjectInfo {
+                        ty,
+                        size: ty.size(),
+                        inode: Some(ino),
+                    };
                     let id = ObjectId(next_obj);
                     next_obj += 1;
                     let frame = FrameId(1000 + id.0);
@@ -100,12 +110,16 @@ proptest! {
                     objects.push((id, info, frame));
                 }
                 Ev::FreeObj(i) => {
-                    if objects.is_empty() { continue; }
+                    if objects.is_empty() {
+                        continue;
+                    }
                     let (id, info, _) = objects.remove(i % objects.len());
                     r.object_freed(id, &info);
                 }
                 Ev::AccessObj(i, c) => {
-                    if objects.is_empty() { continue; }
+                    if objects.is_empty() {
+                        continue;
+                    }
                     let (_, info, _) = objects[i % objects.len()];
                     r.object_accessed(&info, CpuId(c as u16), now);
                 }
@@ -123,15 +137,20 @@ proptest! {
             for &ino in &inodes {
                 let got: BTreeSet<FrameId> = r.member_frames(ino).into_iter().collect();
                 let want = model.get(&ino).cloned().unwrap_or_default();
-                prop_assert_eq!(got, want, "member mismatch for {}", ino);
+                assert_eq!(got, want, "case {case}: member mismatch for {ino}");
             }
-            prop_assert_eq!(r.kmap().len(), inodes.len());
+            assert_eq!(r.kmap().len(), inodes.len());
         }
     }
+}
 
-    /// Tracked/untracked counters balance on full teardown.
-    #[test]
-    fn counters_balance(evs in proptest::collection::vec(ev_strategy(), 1..150)) {
+/// Tracked/untracked counters balance on full teardown.
+#[test]
+fn counters_balance() {
+    for case in 0..128u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xBA1A_0000 + case);
+        let evs = gen_evs(&mut rng, 1, 150);
+
         let mut r = KlocRegistry::new(KlocConfig::default());
         let mut inodes: BTreeSet<InodeId> = BTreeSet::new();
         let mut objects: Vec<(ObjectId, ObjectInfo)> = Vec::new();
@@ -146,9 +165,15 @@ proptest! {
                 }
                 Ev::AllocObj(n, t) => {
                     let ino = InodeId(n as u64);
-                    if !inodes.contains(&ino) { continue; }
+                    if !inodes.contains(&ino) {
+                        continue;
+                    }
                     let ty = KernelObjectType::ALL[t as usize % KernelObjectType::ALL.len()];
-                    let info = ObjectInfo { ty, size: ty.size(), inode: Some(ino) };
+                    let info = ObjectInfo {
+                        ty,
+                        size: ty.size(),
+                        inode: Some(ino),
+                    };
                     let id = ObjectId(next_obj);
                     next_obj += 1;
                     r.object_allocated(id, &info, FrameId(id.0), CpuId(0), Nanos::ZERO);

@@ -6,10 +6,9 @@
 //! This module holds the sizing math and dispatch statistics; the kernel
 //! facade allocates the objects and talks to the [`crate::disk::Disk`].
 
-use serde::{Deserialize, Serialize};
-
 /// Dispatch statistics of the block layer.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockStats {
     /// Bios constructed.
     pub bios: u64,
@@ -20,7 +19,8 @@ pub struct BlockStats {
 }
 
 /// The block layer.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockLayer {
     stats: BlockStats,
 }

@@ -14,7 +14,7 @@
 //! the journal; socket I/O allocates socks, skbuffs, data buffers, and
 //! RX ring pages.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use kloc_mem::{FrameId, PageKind};
 
@@ -187,13 +187,17 @@ impl Kernel {
         };
         let obj = self.objects.insert(info, frame, ctx.mem.now());
         self.stats.on_alloc(ty);
-        ctx.hooks.on_object_alloc(obj, &info, frame, ctx.cpu, ctx.mem);
+        ctx.hooks
+            .on_object_alloc(obj, &info, frame, ctx.cpu, ctx.mem);
         Ok(obj)
     }
 
     /// Frees a kernel object, charging CPU cost and firing hooks.
     fn free_object(&mut self, ctx: &mut Ctx<'_>, obj: ObjectId) -> Result<(), KernelError> {
-        let kobj = self.objects.remove(obj).ok_or(KernelError::BadObject(obj))?;
+        let kobj = self
+            .objects
+            .remove(obj)
+            .ok_or(KernelError::BadObject(obj))?;
         let lifetime = ctx.mem.now().saturating_sub(kobj.allocated_at);
         self.stats.on_free(kobj.info.ty, lifetime);
         ctx.mem.charge(self.params.free_cpu);
@@ -203,9 +207,11 @@ impl Kernel {
             Backing::Slab => {
                 let kind = ctx.mem.frame(kobj.frame)?.kind();
                 if kind == PageKind::KernelVma {
-                    self.kvma.free(ctx, kobj.info.ty, kobj.info.inode, kobj.frame)?;
+                    self.kvma
+                        .free(ctx, kobj.info.ty, kobj.info.inode, kobj.frame)?;
                 } else {
-                    self.slab.free(ctx, kobj.info.ty, kobj.info.inode, kobj.frame)?;
+                    self.slab
+                        .free(ctx, kobj.info.ty, kobj.info.inode, kobj.frame)?;
                 }
             }
             Backing::Page(_) => {
@@ -384,7 +390,11 @@ impl Kernel {
             }
         }
 
-        let inode_obj = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?.inode_obj;
+        let inode_obj = self
+            .vfs
+            .inode(ino)
+            .ok_or(KernelError::BadInode(ino))?
+            .inode_obj;
         self.access_object(ctx, inode_obj, KernelObjectType::Inode.size(), false)?;
         let file_obj = self.alloc_object(ctx, KernelObjectType::FileHandle, Some(ino), false)?;
         let fd = self.vfs.open_fd(ino, file_obj);
@@ -451,7 +461,11 @@ impl Kernel {
                     .extents
                     .insert(start, e);
             }
-            let inode_obj = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?.inode_obj;
+            let inode_obj = self
+                .vfs
+                .inode(ino)
+                .ok_or(KernelError::BadInode(ino))?
+                .inode_obj;
             self.access_object(ctx, inode_obj, KernelObjectType::Inode.size(), true)?;
             self.journal_add(ctx, Some(ino))?;
             self.vfs
@@ -526,7 +540,8 @@ impl Kernel {
                 if let Some(kobj) = self.objects.get(page.obj) {
                     let info = kobj.info;
                     let frame = kobj.frame;
-                    ctx.hooks.on_object_access(page.obj, &info, frame, ctx.cpu, ctx.mem);
+                    ctx.hooks
+                        .on_object_access(page.obj, &info, frame, ctx.cpu, ctx.mem);
                 }
             }
             None => {
@@ -680,7 +695,8 @@ impl Kernel {
                 if let Some(kobj) = self.objects.get(page.obj) {
                     let info = kobj.info;
                     let frame = kobj.frame;
-                    ctx.hooks.on_object_access(page.obj, &info, frame, ctx.cpu, ctx.mem);
+                    ctx.hooks
+                        .on_object_access(page.obj, &info, frame, ctx.cpu, ctx.mem);
                 }
             }
             None => {
@@ -708,7 +724,11 @@ impl Kernel {
         window: u64,
         size: u64,
     ) -> Result<(), KernelError> {
-        let max_idx = if size == 0 { 0 } else { (size - 1) / kloc_mem::PAGE_SIZE };
+        let max_idx = if size == 0 {
+            0
+        } else {
+            (size - 1) / kloc_mem::PAGE_SIZE
+        };
         let mut issued = 0;
         for idx in start..(start + window).min(max_idx + 1) {
             let present = self
@@ -768,8 +788,10 @@ impl Kernel {
                 batch.push((ino, idx));
             }
         }
-        // Group by inode for flushing.
-        let mut by_inode: HashMap<InodeId, Vec<u64>> = HashMap::new();
+        // Group by inode for flushing. BTreeMap: flush order must be
+        // deterministic (inode order), or per-run counters drift between
+        // identically-seeded runs.
+        let mut by_inode: BTreeMap<InodeId, Vec<u64>> = BTreeMap::new();
         for (ino, idx) in batch {
             by_inode.entry(ino).or_default().push(idx);
         }
@@ -942,7 +964,10 @@ impl Kernel {
     /// files' objects are *deallocated*, never migrated).
     fn destroy_inode(&mut self, ctx: &mut Ctx<'_>, ino: InodeId) -> Result<(), KernelError> {
         ctx.hooks.on_inode_destroy(ino, ctx.mem);
-        let mut inode = self.vfs.remove_inode(ino).ok_or(KernelError::BadInode(ino))?;
+        let mut inode = self
+            .vfs
+            .remove_inode(ino)
+            .ok_or(KernelError::BadInode(ino))?;
         self.dirty_pages -= inode.cache.dirty_pages();
         let (pages, nodes) = inode.cache.take_all();
         for p in pages {
@@ -1017,7 +1042,12 @@ impl Kernel {
     ///
     /// # Errors
     /// [`KernelError::NoEntry`] if the path does not name a directory.
-    pub fn readdir(&mut self, ctx: &mut Ctx<'_>, path: &str, entries: u64) -> Result<u64, KernelError> {
+    pub fn readdir(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        path: &str,
+        entries: u64,
+    ) -> Result<u64, KernelError> {
         self.stats.on_syscall(Syscall::Readdir);
         ctx.mem.charge(self.params.syscall_base);
         let ino = self
@@ -1030,7 +1060,11 @@ impl Kernel {
                 return Err(KernelError::WrongKind(ino));
             }
         }
-        let inode_obj = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?.inode_obj;
+        let inode_obj = self
+            .vfs
+            .inode(ino)
+            .ok_or(KernelError::BadInode(ino))?
+            .inode_obj;
         self.access_object(ctx, inode_obj, KernelObjectType::Inode.size(), false)?;
         // ~6 directory entries fit one 680 B buffer.
         let buffers = entries.div_ceil(6).max(1);
@@ -1152,8 +1186,10 @@ impl Kernel {
             ctx.mem.charge(self.params.net_driver_cpu);
             let rx = self.alloc_object(ctx, KernelObjectType::RxBuf, alloc_inode, false)?;
             // DMA fill: the NIC writes a whole ring buffer page.
-            ctx.mem
-                .write(self.objects.get(rx).expect("just allocated").frame, kloc_mem::PAGE_SIZE);
+            ctx.mem.write(
+                self.objects.get(rx).expect("just allocated").frame,
+                kloc_mem::PAGE_SIZE,
+            );
             let skb = self.alloc_object(ctx, KernelObjectType::SkBuff, alloc_inode, false)?;
             self.access_object(ctx, skb, KernelObjectType::SkBuff.size(), true)?;
 
@@ -1261,9 +1297,7 @@ impl Kernel {
             cpu: ctx.cpu,
         };
         let placement = ctx.hooks.place_page(&req, ctx.mem);
-        let frame = ctx
-            .mem
-            .allocate_preferring(&placement.preference, kind)?;
+        let frame = ctx.mem.allocate_preferring(&placement.preference, kind)?;
         self.stats.app_pages_allocated += 1;
         ctx.hooks.on_app_page_alloc(frame, ctx.cpu, ctx.mem);
         Ok(frame)
@@ -1442,7 +1476,14 @@ mod tests {
         k.close(&mut ctx, fd).unwrap();
         // Drop the cache so reads must fault.
         let ino = k.vfs().lookup_path("/f").unwrap();
-        let idxs: Vec<u64> = k.vfs().inode(ino).unwrap().cache.iter().map(|(i, _)| i).collect();
+        let idxs: Vec<u64> = k
+            .vfs()
+            .inode(ino)
+            .unwrap()
+            .cache
+            .iter()
+            .map(|(i, _)| i)
+            .collect();
         let fd = k.open(&mut ctx, "/f").unwrap();
         for idx in idxs {
             k.drop_cache_page(&mut ctx, ino, idx).unwrap();
@@ -1451,7 +1492,10 @@ mod tests {
             k.read(&mut ctx, fd, i * 4096, 4096).unwrap();
         }
         assert!(k.readahead().stats().issued > 0, "prefetch should fire");
-        assert!(k.readahead().stats().useful > 0, "prefetched pages get used");
+        assert!(
+            k.readahead().stats().useful > 0,
+            "prefetched pages get used"
+        );
         k.close(&mut ctx, fd).unwrap();
     }
 
@@ -1463,7 +1507,11 @@ mod tests {
         let mut ctx = Ctx::new(&mut mem, &mut hooks);
         let fd = k.create(&mut ctx, "/f").unwrap();
         k.write(&mut ctx, fd, 0, 32 * 4096).unwrap();
-        assert!(k.cache_pages() <= 8, "budget enforced, got {}", k.cache_pages());
+        assert!(
+            k.cache_pages() <= 8,
+            "budget enforced, got {}",
+            k.cache_pages()
+        );
         assert!(k.stats().reclaimed_pages > 0);
         k.close(&mut ctx, fd).unwrap();
     }
@@ -1475,10 +1523,21 @@ mod tests {
         let fd = k.socket(&mut ctx).unwrap();
         assert_eq!(k.stats().ty(KernelObjectType::Sock).allocated, 1);
         k.send(&mut ctx, fd, 3000).unwrap();
-        assert_eq!(k.net_stats().tx_packets, 3, "3000B at 1448B MTU = 3 packets");
-        assert_eq!(k.stats().ty(KernelObjectType::SkBuff).live(), 0, "egress skbs freed");
+        assert_eq!(
+            k.net_stats().tx_packets,
+            3,
+            "3000B at 1448B MTU = 3 packets"
+        );
+        assert_eq!(
+            k.stats().ty(KernelObjectType::SkBuff).live(),
+            0,
+            "egress skbs freed"
+        );
 
-        assert!(matches!(k.recv(&mut ctx, fd, 100), Err(KernelError::WouldBlock(_))));
+        assert!(matches!(
+            k.recv(&mut ctx, fd, 100),
+            Err(KernelError::WouldBlock(_))
+        ));
         k.deliver(&mut ctx, fd, 3000).unwrap();
         assert_eq!(k.stats().ty(KernelObjectType::RxBuf).live(), 3);
         let got = k.recv(&mut ctx, fd, 10_000).unwrap();

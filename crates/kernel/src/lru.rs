@@ -10,8 +10,14 @@
 //! (§3.3) — callers charge [`crate::KernelParams::lru_scan_per_page`] per
 //! scanned page, which is exactly why scan-based tiering cannot keep up
 //! with short-lived kernel objects.
+//!
+//! Like Linux's `struct lruvec`, the lists are intrusive doubly-linked
+//! lists over an arena of slots: touch, rotate, insert, and remove are
+//! all O(1) pointer splices (the previous implementation kept the
+//! ordering in per-list `BTreeMap`s keyed by timestamp, paying
+//! O(log n) rebalancing on the simulator's hottest path).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 use kloc_mem::FrameId;
 
@@ -22,13 +28,6 @@ pub enum List {
     Active,
     /// Aging pages; reclaim candidates live at the tail.
     Inactive,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    list: List,
-    seq: u64,
-    referenced: bool,
 }
 
 /// Result of one inactive-list scan.
@@ -43,13 +42,44 @@ pub struct ScanOutcome {
     pub promoted: usize,
 }
 
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    frame: FrameId,
+    prev: u32,
+    next: u32,
+    list: List,
+    referenced: bool,
+}
+
+/// Head/tail/length of one intrusive list. Head is the oldest
+/// (least-recently inserted) page, tail the newest.
+#[derive(Debug, Clone, Copy)]
+struct Ends {
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl Default for Ends {
+    fn default() -> Self {
+        Ends {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+}
+
 /// Two-list page LRU.
 #[derive(Debug, Clone, Default)]
 pub struct PageLru {
-    active: BTreeMap<u64, FrameId>,
-    inactive: BTreeMap<u64, FrameId>,
-    slots: HashMap<FrameId, Slot>,
-    next_seq: u64,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    index: HashMap<FrameId, u32>,
+    active: Ends,
+    inactive: Ends,
 }
 
 impl PageLru {
@@ -60,44 +90,103 @@ impl PageLru {
 
     /// Pages on the active list.
     pub fn active_len(&self) -> usize {
-        self.active.len()
+        self.active.len
     }
 
     /// Pages on the inactive list.
     pub fn inactive_len(&self) -> usize {
-        self.inactive.len()
+        self.inactive.len
     }
 
     /// Total tracked pages.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.index.len()
     }
 
     /// Whether no pages are tracked.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.index.is_empty()
     }
 
     /// Whether `frame` is tracked.
     pub fn contains(&self, frame: FrameId) -> bool {
-        self.slots.contains_key(&frame)
+        self.index.contains_key(&frame)
+    }
+
+    fn ends(&mut self, list: List) -> &mut Ends {
+        match list {
+            List::Active => &mut self.active,
+            List::Inactive => &mut self.inactive,
+        }
+    }
+
+    /// Links `node` at the tail (most-recent end) of `list`.
+    fn link_tail(&mut self, node: u32, list: List) {
+        let old_tail = self.ends(list).tail;
+        {
+            let n = &mut self.nodes[node as usize];
+            n.list = list;
+            n.prev = old_tail;
+            n.next = NIL;
+        }
+        if old_tail != NIL {
+            self.nodes[old_tail as usize].next = node;
+        }
+        let ends = self.ends(list);
+        ends.tail = node;
+        if ends.head == NIL {
+            ends.head = node;
+        }
+        ends.len += 1;
+    }
+
+    /// Unlinks `node` from whichever list holds it.
+    fn unlink(&mut self, node: u32) {
+        let (prev, next, list) = {
+            let n = &self.nodes[node as usize];
+            (n.prev, n.next, n.list)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        }
+        let ends = self.ends(list);
+        if ends.head == node {
+            ends.head = next;
+        }
+        if ends.tail == node {
+            ends.tail = prev;
+        }
+        ends.len -= 1;
+    }
+
+    /// Allocates a node slot for `frame` (reusing freed slots).
+    fn alloc_node(&mut self, frame: FrameId, list: List, referenced: bool) -> u32 {
+        let node = Node {
+            frame,
+            prev: NIL,
+            next: NIL,
+            list,
+            referenced,
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
     }
 
     fn push(&mut self, frame: FrameId, list: List, referenced: bool) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        match list {
-            List::Active => self.active.insert(seq, frame),
-            List::Inactive => self.inactive.insert(seq, frame),
-        };
-        self.slots.insert(
-            frame,
-            Slot {
-                list,
-                seq,
-                referenced,
-            },
-        );
+        let node = self.alloc_node(frame, list, referenced);
+        self.link_tail(node, list);
+        self.index.insert(frame, node);
     }
 
     /// Adds a new page to a list (most-recent end).
@@ -106,7 +195,7 @@ impl PageLru {
     /// Panics if the frame is already tracked.
     pub fn insert(&mut self, frame: FrameId, list: List) {
         assert!(
-            !self.slots.contains_key(&frame),
+            !self.index.contains_key(&frame),
             "{frame} already on an LRU list"
         );
         self.push(frame, list, false);
@@ -116,28 +205,26 @@ impl PageLru {
     /// bit; a second touch on the inactive list promotes to active
     /// (Linux's two-touch promotion). Unknown frames are ignored.
     pub fn mark_accessed(&mut self, frame: FrameId) {
-        let Some(slot) = self.slots.get_mut(&frame) else {
+        let Some(&node) = self.index.get(&frame) else {
             return;
         };
-        if slot.referenced && slot.list == List::Inactive {
-            let seq = slot.seq;
-            self.inactive.remove(&seq);
-            self.slots.remove(&frame);
-            self.push(frame, List::Active, false);
+        let n = &mut self.nodes[node as usize];
+        if n.referenced && n.list == List::Inactive {
+            n.referenced = false;
+            self.unlink(node);
+            self.link_tail(node, List::Active);
         } else {
-            slot.referenced = true;
+            n.referenced = true;
         }
     }
 
     /// Stops tracking `frame` (freed or migrated away). Returns whether
     /// it was tracked.
     pub fn remove(&mut self, frame: FrameId) -> bool {
-        match self.slots.remove(&frame) {
-            Some(slot) => {
-                match slot.list {
-                    List::Active => self.active.remove(&slot.seq),
-                    List::Inactive => self.inactive.remove(&slot.seq),
-                };
+        match self.index.remove(&frame) {
+            Some(node) => {
+                self.unlink(node);
+                self.free.push(node);
                 true
             }
             None => false,
@@ -150,16 +237,24 @@ impl PageLru {
     pub fn scan_inactive(&mut self, n: usize) -> ScanOutcome {
         let mut out = ScanOutcome::default();
         for _ in 0..n {
-            let Some((&seq, &frame)) = self.inactive.iter().next() else {
+            let node = self.inactive.head;
+            if node == NIL {
                 break;
-            };
-            self.inactive.remove(&seq);
-            let slot = self.slots.remove(&frame).expect("slot missing for listed frame");
+            }
+            self.unlink(node);
             out.scanned += 1;
-            if slot.referenced {
-                self.push(frame, List::Active, false);
+            let (frame, referenced) = {
+                let n = &self.nodes[node as usize];
+                (n.frame, n.referenced)
+            };
+            if referenced {
+                // Rescue: rotate to the active MRU end, reference cleared.
+                self.nodes[node as usize].referenced = false;
+                self.link_tail(node, List::Active);
                 out.promoted += 1;
             } else {
+                self.index.remove(&frame);
+                self.free.push(node);
                 out.evict.push(frame);
             }
         }
@@ -171,25 +266,51 @@ impl PageLru {
     pub fn age_active(&mut self, n: usize) -> usize {
         let mut moved = 0;
         for _ in 0..n {
-            let Some((&seq, &frame)) = self.active.iter().next() else {
+            let node = self.active.head;
+            if node == NIL {
                 break;
-            };
-            self.active.remove(&seq);
-            self.slots.remove(&frame);
-            self.push(frame, List::Inactive, false);
+            }
+            self.unlink(node);
+            self.nodes[node as usize].referenced = false;
+            self.link_tail(node, List::Inactive);
             moved += 1;
         }
         moved
     }
 
+    fn iter_list(&self, ends: &Ends) -> impl Iterator<Item = FrameId> + '_ {
+        ListIter {
+            lru: self,
+            cursor: ends.head,
+        }
+    }
+
     /// Iterates inactive frames oldest-first without removing them.
     pub fn inactive_iter(&self) -> impl Iterator<Item = FrameId> + '_ {
-        self.inactive.values().copied()
+        self.iter_list(&self.inactive)
     }
 
     /// Iterates active frames oldest-first without removing them.
     pub fn active_iter(&self) -> impl Iterator<Item = FrameId> + '_ {
-        self.active.values().copied()
+        self.iter_list(&self.active)
+    }
+}
+
+struct ListIter<'a> {
+    lru: &'a PageLru,
+    cursor: u32,
+}
+
+impl Iterator for ListIter<'_> {
+    type Item = FrameId;
+
+    fn next(&mut self) -> Option<FrameId> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let n = &self.lru.nodes[self.cursor as usize];
+        self.cursor = n.next;
+        Some(n.frame)
     }
 }
 
@@ -277,5 +398,38 @@ mod tests {
         let mut lru = PageLru::new();
         lru.mark_accessed(FrameId(99));
         assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn aged_page_lands_at_inactive_mru_end() {
+        // Matches the timestamp-ordered implementation: aging re-stamps
+        // the page, so it enters the inactive list as *newest*.
+        let mut lru = PageLru::new();
+        lru.insert(FrameId(1), List::Inactive);
+        lru.insert(FrameId(2), List::Active);
+        lru.age_active(1);
+        let order: Vec<FrameId> = lru.inactive_iter().collect();
+        assert_eq!(order, vec![FrameId(1), FrameId(2)]);
+    }
+
+    #[test]
+    fn promotion_rotates_to_active_mru_end() {
+        let mut lru = PageLru::new();
+        lru.insert(FrameId(1), List::Active);
+        lru.insert(FrameId(2), List::Inactive);
+        lru.mark_accessed(FrameId(2));
+        lru.mark_accessed(FrameId(2)); // promote
+        let order: Vec<FrameId> = lru.active_iter().collect();
+        assert_eq!(order, vec![FrameId(1), FrameId(2)]);
+        // A promoted page needs two fresh touches to promote again.
+        assert_eq!(lru.age_active(2), 2);
+        assert_eq!(
+            lru.inactive_iter().collect::<Vec<_>>(),
+            vec![FrameId(1), FrameId(2)]
+        );
+        lru.mark_accessed(FrameId(2));
+        let out = lru.scan_inactive(2);
+        assert_eq!(out.evict, vec![FrameId(1)]);
+        assert_eq!(out.promoted, 1);
     }
 }

@@ -13,8 +13,6 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use crate::obj::ObjectId;
 
 /// A packet queued on a socket's receive queue.
@@ -77,7 +75,8 @@ impl RxQueue {
 }
 
 /// Network stack statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetStats {
     /// Packets sent (egress).
     pub tx_packets: u64,

@@ -11,16 +11,13 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use kloc_mem::{FrameId, Nanos, PageKind};
 
 use crate::vfs::InodeId;
 
 /// Identifier of a live kernel object. Never reused within a [`crate::Kernel`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ObjectId(pub u64);
 
 impl fmt::Display for ObjectId {
@@ -30,7 +27,8 @@ impl fmt::Display for ObjectId {
 }
 
 /// How a kernel object's memory is obtained (paper §3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Backing {
     /// Small object from a slab cache: fast, physically addressed,
     /// **not relocatable**.
@@ -40,9 +38,8 @@ pub enum Backing {
 }
 
 /// The kernel object types tiered by KLOCs (paper Table 1 + §4.2.3).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum KernelObjectType {
     /// Per-file/per-socket inode (`inode_struct`).
@@ -187,7 +184,8 @@ impl fmt::Display for KernelObjectType {
 
 /// Coarse categories for the footprint breakdown (paper Fig. 2a bars:
 /// application, page cache, journal, other FS slab, network).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ObjectCategory {
     /// Buffer-cache pages.
     PageCache,
@@ -222,7 +220,8 @@ impl fmt::Display for ObjectCategory {
 }
 
 /// Immutable description of a live kernel object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ObjectInfo {
     /// Object type.
     pub ty: KernelObjectType,
@@ -234,7 +233,8 @@ pub struct ObjectInfo {
 }
 
 /// A live kernel object: its description plus where it lives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KObject {
     /// Object id.
     pub id: ObjectId,
@@ -329,10 +329,7 @@ mod tests {
     fn network_types_classified() {
         assert!(KernelObjectType::SkBuff.is_network());
         assert!(!KernelObjectType::Dentry.is_network());
-        assert_eq!(
-            KernelObjectType::Sock.category(),
-            ObjectCategory::Network
-        );
+        assert_eq!(KernelObjectType::Sock.category(), ObjectCategory::Network);
         assert_eq!(
             KernelObjectType::JournalBlock.category(),
             ObjectCategory::Journal

@@ -114,13 +114,7 @@ impl PageCache {
     /// Panics if the chunk already has a node.
     pub fn install_node(&mut self, idx: u64, node_obj: ObjectId) {
         let chunk = self.chunk_of(idx);
-        let prev = self.chunks.insert(
-            chunk,
-            Chunk {
-                node_obj,
-                pages: 0,
-            },
-        );
+        let prev = self.chunks.insert(chunk, Chunk { node_obj, pages: 0 });
         assert!(prev.is_none(), "chunk {chunk} already has a radix node");
     }
 

@@ -6,12 +6,11 @@
 //! right magnitude (kernel-time fractions of Fig. 2c, object lifetimes of
 //! Fig. 2d, LRU scan throughput of §3.3).
 
-use serde::{Deserialize, Serialize};
-
 use kloc_mem::Nanos;
 
 /// Tunable cost and sizing parameters of the kernel model.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KernelParams {
     /// Fixed syscall entry/exit CPU cost.
     pub syscall_base: Nanos,

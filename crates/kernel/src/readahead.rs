@@ -10,8 +10,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::vfs::InodeId;
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -21,7 +19,8 @@ struct RaState {
 }
 
 /// Readahead statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ReadaheadStats {
     /// Pages prefetched.
     pub issued: u64,
@@ -143,6 +142,10 @@ mod tests {
         ra.on_read(InodeId(1), 0);
         ra.on_read(InodeId(1), 1);
         ra.forget(InodeId(1));
-        assert_eq!(ra.on_read(InodeId(1), 2), 0, "state gone; jump to 2 is random");
+        assert_eq!(
+            ra.on_read(InodeId(1), 2),
+            0,
+            "state gone; jump to 2 is random"
+        );
     }
 }

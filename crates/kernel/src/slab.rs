@@ -228,7 +228,10 @@ mod tests {
     use kloc_mem::{MemorySystem, TierId};
 
     fn ctx_parts() -> (MemorySystem, NullHooks) {
-        (MemorySystem::two_tier(64 * kloc_mem::PAGE_SIZE, 8), NullHooks::fast_first())
+        (
+            MemorySystem::two_tier(64 * kloc_mem::PAGE_SIZE, 8),
+            NullHooks::fast_first(),
+        )
     }
 
     #[test]
@@ -238,10 +241,15 @@ mod tests {
         let mut slab = PackedAllocator::new(PageKind::Slab, None);
         // Dentries are 192 B -> 21 per frame.
         let frames: Vec<_> = (0..21)
-            .map(|_| slab.alloc(&mut ctx, KernelObjectType::Dentry, None, false).unwrap())
+            .map(|_| {
+                slab.alloc(&mut ctx, KernelObjectType::Dentry, None, false)
+                    .unwrap()
+            })
             .collect();
         assert!(frames.iter().all(|&f| f == frames[0]), "all in one frame");
-        let next = slab.alloc(&mut ctx, KernelObjectType::Dentry, None, false).unwrap();
+        let next = slab
+            .alloc(&mut ctx, KernelObjectType::Dentry, None, false)
+            .unwrap();
         assert_ne!(next, frames[0], "22nd dentry needs a second frame");
         assert_eq!(slab.live_frames(), 2);
     }
@@ -251,8 +259,12 @@ mod tests {
         let (mut mem, mut hooks) = ctx_parts();
         let mut ctx = Ctx::new(&mut mem, &mut hooks);
         let mut slab = PackedAllocator::new(PageKind::PageCache, None);
-        let a = slab.alloc(&mut ctx, KernelObjectType::PageCache, None, false).unwrap();
-        let b = slab.alloc(&mut ctx, KernelObjectType::PageCache, None, false).unwrap();
+        let a = slab
+            .alloc(&mut ctx, KernelObjectType::PageCache, None, false)
+            .unwrap();
+        let b = slab
+            .alloc(&mut ctx, KernelObjectType::PageCache, None, false)
+            .unwrap();
         assert_ne!(a, b);
     }
 
@@ -261,12 +273,18 @@ mod tests {
         let (mut mem, mut hooks) = ctx_parts();
         let mut ctx = Ctx::new(&mut mem, &mut hooks);
         let mut slab = PackedAllocator::new(PageKind::Slab, None);
-        let f1 = slab.alloc(&mut ctx, KernelObjectType::Extent, None, false).unwrap();
-        let f2 = slab.alloc(&mut ctx, KernelObjectType::Extent, None, false).unwrap();
+        let f1 = slab
+            .alloc(&mut ctx, KernelObjectType::Extent, None, false)
+            .unwrap();
+        let f2 = slab
+            .alloc(&mut ctx, KernelObjectType::Extent, None, false)
+            .unwrap();
         assert_eq!(f1, f2);
-        slab.free(&mut ctx, KernelObjectType::Extent, None, f1).unwrap();
+        slab.free(&mut ctx, KernelObjectType::Extent, None, f1)
+            .unwrap();
         assert!(ctx.mem.is_live(f1), "frame still has one object");
-        slab.free(&mut ctx, KernelObjectType::Extent, None, f1).unwrap();
+        slab.free(&mut ctx, KernelObjectType::Extent, None, f1)
+            .unwrap();
         assert!(!ctx.mem.is_live(f1), "empty frame returned to the system");
         assert_eq!(slab.live_frames(), 0);
     }
@@ -277,12 +295,19 @@ mod tests {
         let mut ctx = Ctx::new(&mut mem, &mut hooks);
         let mut slab = PackedAllocator::new(PageKind::Slab, None);
         // Fill a frame of inodes (1080 B -> 3 per frame).
-        let f = slab.alloc(&mut ctx, KernelObjectType::Inode, None, false).unwrap();
-        slab.alloc(&mut ctx, KernelObjectType::Inode, None, false).unwrap();
-        slab.alloc(&mut ctx, KernelObjectType::Inode, None, false).unwrap();
+        let f = slab
+            .alloc(&mut ctx, KernelObjectType::Inode, None, false)
+            .unwrap();
+        slab.alloc(&mut ctx, KernelObjectType::Inode, None, false)
+            .unwrap();
+        slab.alloc(&mut ctx, KernelObjectType::Inode, None, false)
+            .unwrap();
         // Frame is full; free one slot and the next alloc reuses it.
-        slab.free(&mut ctx, KernelObjectType::Inode, None, f).unwrap();
-        let again = slab.alloc(&mut ctx, KernelObjectType::Inode, None, false).unwrap();
+        slab.free(&mut ctx, KernelObjectType::Inode, None, f)
+            .unwrap();
+        let again = slab
+            .alloc(&mut ctx, KernelObjectType::Inode, None, false)
+            .unwrap();
         assert_eq!(again, f);
     }
 
@@ -325,8 +350,12 @@ mod tests {
         let mut ctx = Ctx::new(&mut mem, &mut hooks);
         let mut slab = PackedAllocator::new(PageKind::Slab, None);
         let mut kvma = PackedAllocator::new(PageKind::KernelVma, Some(1024));
-        let fs = slab.alloc(&mut ctx, KernelObjectType::Dentry, None, false).unwrap();
-        let fk = kvma.alloc(&mut ctx, KernelObjectType::Dentry, None, false).unwrap();
+        let fs = slab
+            .alloc(&mut ctx, KernelObjectType::Dentry, None, false)
+            .unwrap();
+        let fk = kvma
+            .alloc(&mut ctx, KernelObjectType::Dentry, None, false)
+            .unwrap();
         assert!(ctx.mem.frame(fs).unwrap().pinned());
         assert!(!ctx.mem.frame(fk).unwrap().pinned());
         assert!(ctx.mem.migrate(fk, TierId::SLOW).is_ok());
@@ -338,7 +367,9 @@ mod tests {
         let (mut mem, mut hooks) = ctx_parts();
         let mut ctx = Ctx::new(&mut mem, &mut hooks);
         let mut slab = PackedAllocator::new(PageKind::Slab, None);
-        let f = slab.alloc(&mut ctx, KernelObjectType::Bio, None, false).unwrap();
+        let f = slab
+            .alloc(&mut ctx, KernelObjectType::Bio, None, false)
+            .unwrap();
         slab.free(&mut ctx, KernelObjectType::Bio, None, f).unwrap();
         // Frame is gone; a second free must error, not panic.
         assert!(slab.free(&mut ctx, KernelObjectType::Bio, None, f).is_err());

@@ -10,8 +10,6 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use kloc_mem::Nanos;
 
 use crate::extent::ExtentTree;
@@ -20,9 +18,8 @@ use crate::obj::ObjectId;
 use crate::pagecache::PageCache;
 
 /// Identifier of an inode (file or socket). Never reused.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct InodeId(pub u64);
 
 impl fmt::Display for InodeId {
@@ -32,9 +29,8 @@ impl fmt::Display for InodeId {
 }
 
 /// A file descriptor.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Fd(pub u64);
 
 impl fmt::Display for Fd {
@@ -44,7 +40,8 @@ impl fmt::Display for Fd {
 }
 
 /// What an inode names.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum InodeKind {
     /// A regular file on the filesystem.
     RegularFile,

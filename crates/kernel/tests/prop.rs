@@ -1,11 +1,13 @@
-//! Property tests for the kernel: arbitrary syscall sequences must never
-//! leak frames or objects, and object accounting must stay consistent.
-
-use proptest::prelude::*;
+//! Randomized model tests for the kernel: arbitrary syscall sequences
+//! must never leak frames or objects, and object accounting must stay
+//! consistent.
+//!
+//! Sequences come from the in-tree seeded `SplitMix64` PRNG (fixed
+//! seeds, so failures reproduce exactly).
 
 use kloc_kernel::hooks::{Ctx, NullHooks};
 use kloc_kernel::{Fd, Kernel, KernelError, KernelParams};
-use kloc_mem::MemorySystem;
+use kloc_mem::{MemorySystem, SplitMix64};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -22,20 +24,32 @@ enum Op {
     Recv(usize),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..8).prop_map(Op::Create),
-        (0u8..8).prop_map(Op::Open),
-        (0usize..8, 0u8..16, 1u16..16384).prop_map(|(f, o, l)| Op::Write(f, o, l)),
-        (0usize..8, 0u8..16, 1u16..16384).prop_map(|(f, o, l)| Op::Read(f, o, l)),
-        (0usize..8).prop_map(Op::Fsync),
-        (0usize..8).prop_map(Op::Close),
-        (0u8..8).prop_map(Op::Unlink),
-        Just(Op::Socket),
-        (0usize..8, 1u16..8192).prop_map(|(f, b)| Op::Send(f, b)),
-        (0usize..8, 1u16..8192).prop_map(|(f, b)| Op::Deliver(f, b)),
-        (0usize..8).prop_map(Op::Recv),
-    ]
+fn gen_op(rng: &mut SplitMix64) -> Op {
+    match rng.gen_below(11) {
+        0 => Op::Create(rng.gen_below(8) as u8),
+        1 => Op::Open(rng.gen_below(8) as u8),
+        2 => Op::Write(
+            rng.gen_below(8) as usize,
+            rng.gen_below(16) as u8,
+            rng.gen_range(1..16384) as u16,
+        ),
+        3 => Op::Read(
+            rng.gen_below(8) as usize,
+            rng.gen_below(16) as u8,
+            rng.gen_range(1..16384) as u16,
+        ),
+        4 => Op::Fsync(rng.gen_below(8) as usize),
+        5 => Op::Close(rng.gen_below(8) as usize),
+        6 => Op::Unlink(rng.gen_below(8) as u8),
+        7 => Op::Socket,
+        8 => Op::Send(rng.gen_below(8) as usize, rng.gen_range(1..8192) as u16),
+        9 => Op::Deliver(rng.gen_below(8) as usize, rng.gen_range(1..8192) as u16),
+        _ => Op::Recv(rng.gen_below(8) as usize),
+    }
+}
+
+fn gen_ops(rng: &mut SplitMix64, min: u64, max: u64) -> Vec<Op> {
+    (0..rng.gen_range(min..max)).map(|_| gen_op(rng)).collect()
 }
 
 fn pick(fds: &[Fd], i: usize) -> Option<Fd> {
@@ -46,13 +60,14 @@ fn pick(fds: &[Fd], i: usize) -> Option<Fd> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// After closing everything, unlinking every path, and committing the
+/// journal, no frames or kernel objects remain.
+#[test]
+fn no_leaks_after_full_teardown() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x7EA2_0000 + case);
+        let ops = gen_ops(&mut rng, 1, 120);
 
-    /// After closing everything, unlinking every path, and committing the
-    /// journal, no frames or kernel objects remain.
-    #[test]
-    fn no_leaks_after_full_teardown(ops in proptest::collection::vec(op_strategy(), 1..120)) {
         let mut mem = MemorySystem::two_tier(u64::MAX, 8);
         let mut hooks = NullHooks::fast_first();
         let mut k = Kernel::new(KernelParams::default());
@@ -74,17 +89,17 @@ proptest! {
                             Err(e) => return Err(e),
                         }
                     }
-                    Op::Open(n) => {
-                        match k.open(&mut ctx, &format!("/f{n}")) {
-                            Ok(fd) => fds.push(fd),
-                            Err(KernelError::NoEntry(_)) => {}
-                            Err(e) => return Err(e),
-                        }
-                    }
+                    Op::Open(n) => match k.open(&mut ctx, &format!("/f{n}")) {
+                        Ok(fd) => fds.push(fd),
+                        Err(KernelError::NoEntry(_)) => {}
+                        Err(e) => return Err(e),
+                    },
                     Op::Write(f, o, l) => {
                         if let Some(fd) = pick(&fds, f) {
                             match k.write(&mut ctx, fd, o as u64 * 4096, l as u64) {
-                                Ok(_) | Err(KernelError::BadFd(_)) | Err(KernelError::WrongKind(_)) => {}
+                                Ok(_)
+                                | Err(KernelError::BadFd(_))
+                                | Err(KernelError::WrongKind(_)) => {}
                                 Err(e) => return Err(e),
                             }
                         }
@@ -92,7 +107,9 @@ proptest! {
                     Op::Read(f, o, l) => {
                         if let Some(fd) = pick(&fds, f) {
                             match k.read(&mut ctx, fd, o as u64 * 4096, l as u64) {
-                                Ok(_) | Err(KernelError::BadFd(_)) | Err(KernelError::WrongKind(_)) => {}
+                                Ok(_)
+                                | Err(KernelError::BadFd(_))
+                                | Err(KernelError::WrongKind(_)) => {}
                                 Err(e) => return Err(e),
                             }
                         }
@@ -128,7 +145,9 @@ proptest! {
                     Op::Send(f, b) => {
                         if let Some(fd) = pick(&fds, f) {
                             match k.send(&mut ctx, fd, b as u64) {
-                                Ok(_) | Err(KernelError::BadFd(_)) | Err(KernelError::WrongKind(_)) => {}
+                                Ok(_)
+                                | Err(KernelError::BadFd(_))
+                                | Err(KernelError::WrongKind(_)) => {}
                                 Err(e) => return Err(e),
                             }
                         }
@@ -136,7 +155,9 @@ proptest! {
                     Op::Deliver(f, b) => {
                         if let Some(fd) = pick(&fds, f) {
                             match k.deliver(&mut ctx, fd, b as u64) {
-                                Ok(_) | Err(KernelError::BadFd(_)) | Err(KernelError::WrongKind(_)) => {}
+                                Ok(_)
+                                | Err(KernelError::BadFd(_))
+                                | Err(KernelError::WrongKind(_)) => {}
                                 Err(e) => return Err(e),
                             }
                         }
@@ -155,15 +176,15 @@ proptest! {
                 }
                 Ok(())
             })();
-            prop_assert!(r.is_ok(), "unexpected kernel error: {:?}", r);
+            assert!(r.is_ok(), "case {case}: unexpected kernel error: {r:?}");
 
             // Live object count and live frame count stay consistent:
             // every page-backed object is a frame; slab frames hold >= 1.
             let live_objs = k.objects().len();
             let live_frames = ctx.mem.live_frames();
-            prop_assert!(
+            assert!(
                 live_frames <= live_objs + k.stats().app_pages_allocated as usize + 8,
-                "frames ({live_frames}) exceed objects ({live_objs})"
+                "case {case}: frames ({live_frames}) exceed objects ({live_objs})"
             );
         }
 
@@ -184,22 +205,30 @@ proptest! {
         let live = k.objects().len();
         // Every remaining object must belong to a cached inode.
         for obj in k.objects().iter() {
-            prop_assert!(
+            assert!(
                 obj.info.inode.is_some(),
-                "orphan object {:?} after teardown",
-                obj
+                "case {case}: orphan object {obj:?} after teardown"
             );
         }
-        prop_assert!(
+        assert!(
             cached_inodes > 0 || live == 0,
-            "objects without cached inodes: {live}"
+            "case {case}: objects without cached inodes: {live}"
         );
-        prop_assert_eq!(k.dirty_pages(), 0, "dirty pages after full flush");
+        assert_eq!(
+            k.dirty_pages(),
+            0,
+            "case {case}: dirty pages after full flush"
+        );
     }
+}
 
-    /// The virtual clock is monotone across any syscall sequence.
-    #[test]
-    fn clock_monotone(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+/// The virtual clock is monotone across any syscall sequence.
+#[test]
+fn clock_monotone() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xC10C_0000 + case);
+        let ops = gen_ops(&mut rng, 1, 60);
+
         let mut mem = MemorySystem::two_tier(u64::MAX, 8);
         let mut hooks = NullHooks::fast_first();
         let mut k = Kernel::new(KernelParams::default());
@@ -229,7 +258,7 @@ proptest! {
                 _ => {}
             }
             let now = ctx.mem.now();
-            prop_assert!(now >= last);
+            assert!(now >= last, "case {case}: clock ran backwards");
             last = now;
         }
     }

@@ -1,11 +1,12 @@
-//! Model-based property tests for the kernel's core data structures:
-//! the page-cache radix tree against a `BTreeMap` model, the LRU lists
+//! Randomized model tests for the kernel's core data structures: the
+//! page-cache radix tree against a `BTreeMap` model, the LRU lists
 //! against a recency model, and the packed allocator against byte
 //! accounting.
+//!
+//! Sequences come from the in-tree seeded `SplitMix64` PRNG (fixed
+//! seeds, so failures reproduce exactly).
 
 use std::collections::{BTreeMap, HashMap};
-
-use proptest::prelude::*;
 
 use kloc_kernel::hooks::{Ctx, NullHooks};
 use kloc_kernel::lru::{List, PageLru};
@@ -13,7 +14,7 @@ use kloc_kernel::pagecache::PageCache;
 use kloc_kernel::slab::PackedAllocator;
 use kloc_kernel::vfs::InodeId;
 use kloc_kernel::{KernelObjectType, ObjectId};
-use kloc_mem::{FrameId, MemorySystem, PageKind};
+use kloc_mem::{FrameId, MemorySystem, PageKind, SplitMix64};
 
 // ---------------------------------------------------------------------
 // Page cache vs BTreeMap model
@@ -27,22 +28,26 @@ enum PcOp {
     MarkClean(u64),
 }
 
-fn pc_op() -> impl Strategy<Value = PcOp> {
-    prop_oneof![
-        (0u64..256, any::<bool>()).prop_map(|(i, d)| PcOp::Insert(i, d)),
-        (0u64..256).prop_map(PcOp::Remove),
-        (0u64..256).prop_map(PcOp::MarkDirty),
-        (0u64..256).prop_map(PcOp::MarkClean),
-    ]
+fn pc_op(rng: &mut SplitMix64) -> PcOp {
+    match rng.gen_below(4) {
+        0 => PcOp::Insert(rng.gen_below(256), rng.gen_bool()),
+        1 => PcOp::Remove(rng.gen_below(256)),
+        2 => PcOp::MarkDirty(rng.gen_below(256)),
+        _ => PcOp::MarkClean(rng.gen_below(256)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+/// The radix tree agrees with a flat map on membership, dirtiness,
+/// dirty counts, and node bookkeeping (one node per populated chunk).
+#[test]
+fn pagecache_matches_model() {
+    for case in 0..192u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x9A6E_0000 + case);
+        let fanout = rng.gen_range(1..70);
+        let ops: Vec<PcOp> = (0..rng.gen_range(1..250))
+            .map(|_| pc_op(&mut rng))
+            .collect();
 
-    /// The radix tree agrees with a flat map on membership, dirtiness,
-    /// dirty counts, and node bookkeeping (one node per populated chunk).
-    #[test]
-    fn pagecache_matches_model(fanout in 1u64..70, ops in proptest::collection::vec(pc_op(), 1..250)) {
         let mut pc = PageCache::new(fanout);
         let mut model: BTreeMap<u64, bool> = BTreeMap::new(); // idx -> dirty
         let mut next_obj = 0u64;
@@ -50,7 +55,9 @@ proptest! {
         for op in ops {
             match op {
                 PcOp::Insert(idx, dirty) => {
-                    if model.contains_key(&idx) { continue; }
+                    if model.contains_key(&idx) {
+                        continue;
+                    }
                     if pc.needs_node(idx) {
                         pc.install_node(idx, ObjectId(1_000_000 + idx / fanout));
                     }
@@ -60,42 +67,49 @@ proptest! {
                 }
                 PcOp::Remove(idx) => {
                     let removed = pc.remove(idx);
-                    prop_assert_eq!(removed.is_some(), model.remove(&idx).is_some());
+                    assert_eq!(removed.is_some(), model.remove(&idx).is_some());
                     if let Some(r) = removed {
                         // Node freed iff the chunk emptied.
                         let chunk = idx / fanout;
                         let chunk_live = model.keys().any(|k| k / fanout == chunk);
-                        prop_assert_eq!(r.freed_node.is_some(), !chunk_live);
+                        assert_eq!(r.freed_node.is_some(), !chunk_live);
                     }
                 }
                 PcOp::MarkDirty(idx) => {
                     let ok = pc.mark_dirty(idx);
-                    prop_assert_eq!(ok, model.contains_key(&idx));
-                    if let Some(d) = model.get_mut(&idx) { *d = true; }
+                    assert_eq!(ok, model.contains_key(&idx));
+                    if let Some(d) = model.get_mut(&idx) {
+                        *d = true;
+                    }
                 }
                 PcOp::MarkClean(idx) => {
                     let ok = pc.mark_clean(idx);
-                    prop_assert_eq!(ok, model.contains_key(&idx));
-                    if let Some(d) = model.get_mut(&idx) { *d = false; }
+                    assert_eq!(ok, model.contains_key(&idx));
+                    if let Some(d) = model.get_mut(&idx) {
+                        *d = false;
+                    }
                 }
             }
 
-            prop_assert_eq!(pc.len(), model.len());
-            prop_assert_eq!(
+            assert_eq!(pc.len(), model.len());
+            assert_eq!(
                 pc.dirty_pages(),
                 model.values().filter(|d| **d).count() as u64
             );
             let chunks: std::collections::BTreeSet<u64> =
                 model.keys().map(|k| k / fanout).collect();
-            prop_assert_eq!(pc.node_count(), chunks.len());
+            assert_eq!(pc.node_count(), chunks.len());
             for (&idx, &dirty) in &model {
                 let page = pc.get(idx).expect("model page present");
-                prop_assert_eq!(page.dirty, dirty);
-                prop_assert!(pc.node_for(idx).is_some());
+                assert_eq!(page.dirty, dirty);
+                assert!(pc.node_for(idx).is_some());
             }
             let listed: Vec<u64> = pc.iter().map(|(i, _)| i).collect();
             let expect: Vec<u64> = model.keys().copied().collect();
-            prop_assert_eq!(listed, expect, "iteration order is index order");
+            assert_eq!(
+                listed, expect,
+                "case {case}: iteration order is index order"
+            );
         }
     }
 }
@@ -113,30 +127,35 @@ enum LruOp {
     Age(u8),
 }
 
-fn lru_op() -> impl Strategy<Value = LruOp> {
-    prop_oneof![
-        (0u64..64, any::<bool>()).prop_map(|(f, a)| LruOp::Insert(f, a)),
-        (0u64..64).prop_map(LruOp::Access),
-        (0u64..64).prop_map(LruOp::Remove),
-        (1u8..16).prop_map(LruOp::Scan),
-        (1u8..16).prop_map(LruOp::Age),
-    ]
+fn lru_op(rng: &mut SplitMix64) -> LruOp {
+    match rng.gen_below(5) {
+        0 => LruOp::Insert(rng.gen_below(64), rng.gen_bool()),
+        1 => LruOp::Access(rng.gen_below(64)),
+        2 => LruOp::Remove(rng.gen_below(64)),
+        3 => LruOp::Scan(rng.gen_range(1..16) as u8),
+        _ => LruOp::Age(rng.gen_range(1..16) as u8),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+/// Membership never drifts, scans only evict unreferenced pages, and
+/// counts always balance.
+#[test]
+fn lru_membership_and_counts() {
+    for case in 0..192u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x12C8_0000 + case);
+        let ops: Vec<LruOp> = (0..rng.gen_range(1..300))
+            .map(|_| lru_op(&mut rng))
+            .collect();
 
-    /// Membership never drifts, scans only evict unreferenced pages, and
-    /// counts always balance.
-    #[test]
-    fn lru_membership_and_counts(ops in proptest::collection::vec(lru_op(), 1..300)) {
         let mut lru = PageLru::new();
         let mut member: HashMap<u64, ()> = HashMap::new();
 
         for op in ops {
             match op {
                 LruOp::Insert(f, active) => {
-                    if member.contains_key(&f) { continue; }
+                    if member.contains_key(&f) {
+                        continue;
+                    }
                     lru.insert(
                         FrameId(f),
                         if active { List::Active } else { List::Inactive },
@@ -147,31 +166,31 @@ proptest! {
                     lru.mark_accessed(FrameId(f)); // no-op when untracked
                 }
                 LruOp::Remove(f) => {
-                    prop_assert_eq!(lru.remove(FrameId(f)), member.remove(&f).is_some());
+                    assert_eq!(lru.remove(FrameId(f)), member.remove(&f).is_some());
                 }
                 LruOp::Scan(n) => {
                     let before_inactive = lru.inactive_len();
                     let out = lru.scan_inactive(n as usize);
-                    prop_assert!(out.scanned <= n as usize);
-                    prop_assert!(out.scanned <= before_inactive);
-                    prop_assert_eq!(out.scanned, out.evict.len() + out.promoted);
+                    assert!(out.scanned <= n as usize);
+                    assert!(out.scanned <= before_inactive);
+                    assert_eq!(out.scanned, out.evict.len() + out.promoted);
                     // Evicted frames left the structure entirely.
                     for f in &out.evict {
-                        prop_assert!(!lru.contains(*f));
+                        assert!(!lru.contains(*f));
                         member.remove(&f.0);
                     }
                 }
                 LruOp::Age(n) => {
                     let before_active = lru.active_len();
                     let moved = lru.age_active(n as usize);
-                    prop_assert!(moved <= before_active.min(n as usize));
+                    assert!(moved <= before_active.min(n as usize));
                 }
             }
 
-            prop_assert_eq!(lru.len(), member.len());
-            prop_assert_eq!(lru.active_len() + lru.inactive_len(), lru.len());
+            assert_eq!(lru.len(), member.len(), "case {case}");
+            assert_eq!(lru.active_len() + lru.inactive_len(), lru.len());
             for f in member.keys() {
-                prop_assert!(lru.contains(FrameId(*f)));
+                assert!(lru.contains(FrameId(*f)));
             }
         }
     }
@@ -187,26 +206,32 @@ enum SlabOp {
     Free(usize),
 }
 
-fn slab_op() -> impl Strategy<Value = SlabOp> {
-    prop_oneof![
-        (0u8..14, 0u8..6).prop_map(|(t, i)| SlabOp::Alloc(t, i)),
-        (0usize..128).prop_map(SlabOp::Free),
-    ]
+fn slab_op(rng: &mut SplitMix64) -> SlabOp {
+    if rng.gen_bool() {
+        SlabOp::Alloc(rng.gen_below(14) as u8, rng.gen_below(6) as u8)
+    } else {
+        SlabOp::Free(rng.gen_below(128) as usize)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Live bytes never exceed frame capacity; the allocator never leaks
+/// frames; freeing everything returns every frame.
+#[test]
+fn packed_allocator_conserves_frames() {
+    for case in 0..128u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x51AB_0000 + case);
+        let sharded = rng.gen_bool();
+        let ops: Vec<SlabOp> = (0..rng.gen_range(1..250))
+            .map(|_| slab_op(&mut rng))
+            .collect();
 
-    /// Live bytes never exceed frame capacity; the allocator never leaks
-    /// frames; freeing everything returns every frame.
-    #[test]
-    fn packed_allocator_conserves_frames(
-        sharded in any::<bool>(),
-        ops in proptest::collection::vec(slab_op(), 1..250),
-    ) {
         let mut mem = MemorySystem::two_tier(u64::MAX, 8);
         let mut hooks = NullHooks::fast_first();
-        let kind = if sharded { PageKind::KernelVma } else { PageKind::Slab };
+        let kind = if sharded {
+            PageKind::KernelVma
+        } else {
+            PageKind::Slab
+        };
         let mut alloc = PackedAllocator::new(kind, if sharded { Some(4) } else { None });
         // Live objects: (ty, inode, frame).
         let mut live: Vec<(KernelObjectType, Option<InodeId>, FrameId)> = Vec::new();
@@ -219,13 +244,19 @@ proptest! {
                     if !matches!(ty.backing(), kloc_kernel::Backing::Slab) {
                         continue;
                     }
-                    let inode = if i == 0 { None } else { Some(InodeId(i as u64)) };
+                    let inode = if i == 0 {
+                        None
+                    } else {
+                        Some(InodeId(i as u64))
+                    };
                     let f = alloc.alloc(&mut ctx, ty, inode, false).unwrap();
-                    prop_assert!(ctx.mem.is_live(f));
+                    assert!(ctx.mem.is_live(f));
                     live.push((ty, inode, f));
                 }
                 SlabOp::Free(i) => {
-                    if live.is_empty() { continue; }
+                    if live.is_empty() {
+                        continue;
+                    }
                     let (ty, inode, f) = live.remove(i % live.len());
                     alloc.free(&mut ctx, ty, inode, f).unwrap();
                 }
@@ -235,18 +266,18 @@ proptest! {
             // Frame count bounded by object count (packing can only help),
             // and bytes fit: per live frame, sum of resident object sizes
             // cannot exceed a page.
-            prop_assert!(alloc.live_frames() <= live.len());
+            assert!(alloc.live_frames() <= live.len());
             let mut per_frame: HashMap<FrameId, u64> = HashMap::new();
             for (ty, _, f) in &live {
                 *per_frame.entry(*f).or_default() += ty.size();
             }
             for (f, bytes) in &per_frame {
-                prop_assert!(
+                assert!(
                     *bytes <= kloc_mem::PAGE_SIZE,
-                    "frame {f} overpacked: {bytes} bytes"
+                    "case {case}: frame {f} overpacked: {bytes} bytes"
                 );
             }
-            prop_assert_eq!(per_frame.len(), alloc.live_frames());
+            assert_eq!(per_frame.len(), alloc.live_frames());
         }
 
         // Full teardown: no leaked frames.
@@ -254,7 +285,7 @@ proptest! {
         for (ty, inode, f) in live.drain(..) {
             alloc.free(&mut ctx, ty, inode, f).unwrap();
         }
-        prop_assert_eq!(alloc.live_frames(), 0);
-        prop_assert_eq!(ctx.mem.live_frames(), 0);
+        assert_eq!(alloc.live_frames(), 0);
+        assert_eq!(ctx.mem.live_frames(), 0);
     }
 }

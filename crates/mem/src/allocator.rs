@@ -7,13 +7,12 @@
 //! Naive policy spills to slow memory exactly when the fast tier's
 //! allocator reports it is full).
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::MemError;
 use crate::tier::{TierId, TierSpec};
 
 /// Capacity accountant for one tier.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TierAllocator {
     id: TierId,
     spec: TierSpec,
@@ -96,7 +95,11 @@ impl TierAllocator {
     /// Panics (debug builds) if no frames are reserved — that indicates a
     /// double free in the frame table.
     pub fn release(&mut self) {
-        debug_assert!(self.used_frames > 0, "release without reserve on {}", self.id);
+        debug_assert!(
+            self.used_frames > 0,
+            "release without reserve on {}",
+            self.id
+        );
         self.used_frames = self.used_frames.saturating_sub(1);
     }
 }
@@ -131,10 +134,7 @@ mod tests {
 
     #[test]
     fn unbounded_tier_never_fills() {
-        let mut a = TierAllocator::new(
-            TierId::SLOW,
-            TierSpec::fast_dram(1 << 20).slow_variant(8),
-        );
+        let mut a = TierAllocator::new(TierId::SLOW, TierSpec::fast_dram(1 << 20).slow_variant(8));
         for _ in 0..10_000 {
             a.reserve().unwrap();
         }

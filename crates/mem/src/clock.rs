@@ -9,8 +9,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A duration or instant in virtual nanoseconds.
 ///
 /// ```
@@ -19,9 +17,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_nanos(), 2_500);
 /// assert!(t < Nanos::from_millis(1));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Nanos(u64);
 
 impl Nanos {
@@ -150,7 +147,8 @@ impl fmt::Display for Nanos {
 /// clock.advance(Nanos::from_micros(5));
 /// assert_eq!(clock.now(), Nanos::from_micros(5));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Clock {
     now: Nanos,
 }

@@ -10,8 +10,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::clock::Nanos;
 use crate::tier::TierId;
 
@@ -20,10 +18,11 @@ use crate::tier::TierId;
 pub const PAGE_SIZE: u64 = 4096;
 
 /// Identifier of an allocated page frame. Ids are unique for the lifetime
-/// of a [`crate::MemorySystem`] and never reused.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+/// of a [`crate::MemorySystem`] and never reused: the value packs
+/// `generation << 32 | slot` of the backing [`crate::FrameTable`], so a
+/// recycled slot mints a fresh id and stale ids miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FrameId(pub u64);
 
 impl fmt::Display for FrameId {
@@ -37,7 +36,8 @@ impl fmt::Display for FrameId {
 /// This is the granularity at which the paper's motivation study
 /// (Fig. 2a/2b) separates memory footprint, and the granularity at which
 /// placement policies decide.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum PageKind {
     /// Anonymous application data (heap, stacks).
@@ -101,7 +101,8 @@ impl fmt::Display for PageKind {
 }
 
 /// Bookkeeping record for one allocated frame.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Frame {
     pub(crate) id: FrameId,
     pub(crate) tier: TierId,

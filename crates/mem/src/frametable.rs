@@ -1,0 +1,238 @@
+//! Slab-backed frame table.
+//!
+//! Every simulated memory access looks up its [`Frame`] record, which
+//! makes the frame table the single hottest data structure in the
+//! simulator. A `HashMap<FrameId, Frame>` pays a hash + probe on that
+//! path; this table instead stores frames in a `Vec` of slots indexed
+//! directly by the low bits of the [`FrameId`], with a free-list for slot
+//! reuse — O(1) lookup with no hashing, and allocation is a free-list pop.
+//!
+//! [`FrameId`]s stay unique for the lifetime of the table: an id packs
+//! `generation << 32 | slot`, and the generation increments each time a
+//! slot is reused, so a stale id for a reused slot misses (the stored
+//! frame's own id no longer matches).
+
+use crate::frame::{Frame, FrameId};
+
+const SLOT_BITS: u32 = 32;
+const SLOT_MASK: u64 = (1 << SLOT_BITS) - 1;
+
+/// O(1) slab of live [`Frame`] records, indexed by [`FrameId`].
+#[derive(Debug, Default, Clone)]
+pub struct FrameTable {
+    /// Slot storage; `None` marks a free slot.
+    slots: Vec<Option<Frame>>,
+    /// Generation of the *next* id handed out for each slot.
+    generations: Vec<u32>,
+    /// Free slot indices, reused LIFO.
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl FrameTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FrameTable::default()
+    }
+
+    /// Number of live frames.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no frames are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Capacity in slots (live + free; high-water mark of concurrent
+    /// liveness).
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Reserves the id the next insertion will use, without inserting.
+    /// The caller builds the [`Frame`] around the id and passes it to
+    /// [`FrameTable::insert`].
+    pub fn next_id(&self) -> FrameId {
+        match self.free.last() {
+            Some(&slot) => pack(self.generations[slot as usize], slot),
+            None => {
+                let slot = self.slots.len() as u32;
+                pack(0, slot)
+            }
+        }
+    }
+
+    /// Inserts a frame built around [`FrameTable::next_id`] and returns
+    /// its id.
+    ///
+    /// # Panics
+    /// Panics if the frame's id is not the one `next_id` promised (an
+    /// insert raced a second allocation, which a single-threaded
+    /// simulation never does).
+    pub fn insert(&mut self, frame: Frame) -> FrameId {
+        let id = frame.id();
+        assert_eq!(id, self.next_id(), "frame built for a stale id");
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(frame);
+            }
+            None => {
+                self.slots.push(Some(frame));
+                self.generations.push(1); // generation 0 handed out
+            }
+        }
+        self.live += 1;
+        id
+    }
+
+    /// Removes and returns the frame for `id`, recycling its slot.
+    pub fn remove(&mut self, id: FrameId) -> Option<Frame> {
+        let slot = slot_of(id);
+        let entry = self.slots.get_mut(slot)?;
+        if entry.as_ref().map(Frame::id) != Some(id) {
+            return None;
+        }
+        let frame = entry.take();
+        self.generations[slot] = self.generations[slot].wrapping_add(1);
+        self.free.push(slot as u32);
+        self.live -= 1;
+        frame
+    }
+
+    /// Looks up a frame.
+    #[inline]
+    pub fn get(&self, id: FrameId) -> Option<&Frame> {
+        self.slots
+            .get(slot_of(id))?
+            .as_ref()
+            .filter(|f| f.id() == id)
+    }
+
+    /// Looks up a frame mutably.
+    #[inline]
+    pub fn get_mut(&mut self, id: FrameId) -> Option<&mut Frame> {
+        self.slots
+            .get_mut(slot_of(id))?
+            .as_mut()
+            .filter(|f| f.id() == id)
+    }
+
+    /// Whether `id` names a live frame.
+    #[inline]
+    pub fn contains(&self, id: FrameId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Iterates live frames in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = &Frame> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+}
+
+#[inline]
+fn slot_of(id: FrameId) -> usize {
+    (id.0 & SLOT_MASK) as usize
+}
+
+#[inline]
+fn pack(generation: u32, slot: u32) -> FrameId {
+    FrameId((u64::from(generation) << SLOT_BITS) | u64::from(slot))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Nanos;
+    use crate::frame::PageKind;
+    use crate::tier::TierId;
+
+    fn table_with(n: usize) -> (FrameTable, Vec<FrameId>) {
+        let mut t = FrameTable::new();
+        let ids = (0..n)
+            .map(|_| {
+                let id = t.next_id();
+                t.insert(Frame::new(id, TierId::FAST, PageKind::AppData, Nanos::ZERO))
+            })
+            .collect();
+        (t, ids)
+    }
+
+    #[test]
+    fn first_generation_ids_are_sequential() {
+        let (_, ids) = table_with(4);
+        assert_eq!(ids, vec![FrameId(0), FrameId(1), FrameId(2), FrameId(3)]);
+    }
+
+    #[test]
+    fn alloc_free_realloc_reuses_slot_with_fresh_id() {
+        let (mut t, ids) = table_with(3);
+        assert_eq!(t.len(), 3);
+        let freed = t.remove(ids[1]).expect("live");
+        assert_eq!(freed.id(), ids[1]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.slot_capacity(), 3);
+
+        // Reuse occupies the freed slot but mints a distinct id.
+        let id = t.next_id();
+        let new = t.insert(Frame::new(id, TierId::SLOW, PageKind::Slab, Nanos::ZERO));
+        assert_ne!(new, ids[1], "reused slot must not reuse the id");
+        assert_eq!(new.0 & SLOT_MASK, ids[1].0 & SLOT_MASK, "slot is recycled");
+        assert_eq!(t.slot_capacity(), 3, "no new slot grown");
+        assert_eq!(t.len(), 3);
+
+        // The stale id misses; the new id hits.
+        assert!(t.get(ids[1]).is_none());
+        assert!(!t.contains(ids[1]));
+        assert_eq!(t.get(new).unwrap().kind(), PageKind::Slab);
+    }
+
+    #[test]
+    fn double_remove_is_none() {
+        let (mut t, ids) = table_with(1);
+        assert!(t.remove(ids[0]).is_some());
+        assert!(t.remove(ids[0]).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn unknown_ids_miss() {
+        let (t, _) = table_with(2);
+        assert!(t.get(FrameId(99)).is_none());
+        assert!(t.get(FrameId((1 << 32) | 5)).is_none());
+    }
+
+    #[test]
+    fn iter_visits_each_live_frame_once() {
+        let (mut t, ids) = table_with(5);
+        t.remove(ids[0]).unwrap();
+        t.remove(ids[3]).unwrap();
+        let seen: Vec<FrameId> = t.iter().map(Frame::id).collect();
+        assert_eq!(seen, vec![ids[1], ids[2], ids[4]]);
+    }
+
+    #[test]
+    fn generations_advance_per_slot() {
+        let mut t = FrameTable::new();
+        let mut last = None;
+        for _ in 0..4 {
+            let id = t.next_id();
+            t.insert(Frame::new(id, TierId::FAST, PageKind::AppData, Nanos::ZERO));
+            t.remove(id).unwrap();
+            if let Some(prev) = last {
+                assert_ne!(prev, id);
+            }
+            assert_eq!(id.0 & SLOT_MASK, 0, "same slot recycled every time");
+            last = Some(id);
+        }
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let (mut t, ids) = table_with(1);
+        t.get_mut(ids[0]).unwrap().accesses = 7;
+        assert_eq!(t.get(ids[0]).unwrap().accesses(), 7);
+    }
+}

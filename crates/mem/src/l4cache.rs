@@ -9,14 +9,13 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use serde::{Deserialize, Serialize};
-
 use crate::clock::Nanos;
 use crate::frame::{FrameId, PAGE_SIZE};
 use crate::tier::TierSpec;
 
 /// One socket's hardware-managed DRAM cache over PMEM.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct L4Cache {
     dram: TierSpec,
     pmem: TierSpec,

@@ -40,8 +40,10 @@ pub mod allocator;
 pub mod clock;
 pub mod error;
 pub mod frame;
+pub mod frametable;
 pub mod l4cache;
 pub mod migrate;
+pub mod rng;
 pub mod stats;
 pub mod system;
 pub mod tier;
@@ -49,7 +51,9 @@ pub mod tier;
 pub use clock::{Clock, Nanos};
 pub use error::MemError;
 pub use frame::{FrameId, PageKind, PAGE_SIZE};
+pub use frametable::FrameTable;
 pub use migrate::{MigrationCost, MigrationStats};
+pub use rng::SplitMix64;
 pub use stats::{MemStats, TierStats};
 pub use system::MemorySystem;
 pub use tier::{TierId, TierKind, TierSpec};

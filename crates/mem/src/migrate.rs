@@ -7,14 +7,13 @@
 //! and is used by the Nimble/Nimble++/KLOC policies (the paper's KLOC
 //! prototype reuses Nimble's parallel page copy, §6.2 Table 5).
 
-use serde::{Deserialize, Serialize};
-
 use crate::clock::Nanos;
 use crate::frame::{PageKind, PAGE_SIZE};
 use crate::tier::{TierId, TierSpec};
 
 /// Cost model for page migration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MigrationCost {
     /// Fixed per-page remap cost (unmap + TLB shootdown + remap).
     pub remap: Nanos,
@@ -68,12 +67,7 @@ impl MigrationCost {
     /// foreground clock: the bus share of the copy (scaled by
     /// `charge_pct`) plus the remap CPU work divided across
     /// `cpu_parallelism` overlapping threads.
-    pub fn foreground_cost(
-        &self,
-        src: &TierSpec,
-        dst: &TierSpec,
-        cpu_parallelism: u64,
-    ) -> Nanos {
+    pub fn foreground_cost(&self, src: &TierSpec, dst: &TierSpec, cpu_parallelism: u64) -> Nanos {
         let copy = self.copy_cost(src, dst);
         Nanos::new(copy.as_nanos() * self.charge_pct.min(100) / 100)
             + self.remap / cpu_parallelism.max(1)
@@ -87,7 +81,8 @@ impl Default for MigrationCost {
 }
 
 /// Counters for migration activity (paper Fig. 5b plots these).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MigrationStats {
     /// Pages moved from a faster tier to a slower tier (demotions).
     pub demotions: u64,
@@ -149,8 +144,18 @@ mod tests {
     #[test]
     fn stats_classify_directions() {
         let mut s = MigrationStats::default();
-        s.record(PageKind::PageCache, TierId::FAST, TierId::SLOW, Nanos::new(10));
-        s.record(PageKind::AppData, TierId::SLOW, TierId::FAST, Nanos::new(10));
+        s.record(
+            PageKind::PageCache,
+            TierId::FAST,
+            TierId::SLOW,
+            Nanos::new(10),
+        );
+        s.record(
+            PageKind::AppData,
+            TierId::SLOW,
+            TierId::FAST,
+            Nanos::new(10),
+        );
         assert_eq!(s.demotions, 1);
         assert_eq!(s.promotions, 1);
         assert_eq!(s.total(), 2);

@@ -6,12 +6,11 @@
 //! time of a workload a function of *where its pages live* — exactly the
 //! quantity the paper's tiering policies compete on.
 
-use std::collections::HashMap;
-
 use crate::allocator::TierAllocator;
 use crate::clock::{Clock, Nanos};
 use crate::error::MemError;
 use crate::frame::{Frame, FrameId, PageKind};
+use crate::frametable::FrameTable;
 use crate::l4cache::L4Cache;
 use crate::migrate::{MigrationCost, MigrationStats};
 use crate::stats::MemStats;
@@ -34,8 +33,7 @@ pub struct MemorySystem {
     l4: Vec<Option<L4Cache>>,
     /// Per-tier contention multiplier (x1000; 1000 = no contention).
     contention_milli: Vec<u64>,
-    frames: HashMap<FrameId, Frame>,
-    next_frame: u64,
+    frames: FrameTable,
     clock: Clock,
     stats: MemStats,
     migration_cost: MigrationCost,
@@ -68,8 +66,7 @@ impl MemorySystem {
             contention_milli: vec![1000; n],
             stats: MemStats::new(n),
             tiers,
-            frames: HashMap::new(),
-            next_frame: 0,
+            frames: FrameTable::new(),
             clock: Clock::new(),
             migration_cost: MigrationCost::default(),
             migration_stats: MigrationStats::default(),
@@ -212,10 +209,9 @@ impl MemorySystem {
                 return Err(e);
             }
         }
-        let id = FrameId(self.next_frame);
-        self.next_frame += 1;
+        let id = self.frames.next_id();
         let frame = Frame::new(id, tier, kind, self.clock.now());
-        self.frames.insert(id, frame);
+        self.frames.insert(frame);
         self.stats.tiers[tier.index()].on_alloc(kind);
         Ok(id)
     }
@@ -244,7 +240,7 @@ impl MemorySystem {
     /// # Errors
     /// [`MemError::BadFrame`] if the frame is not allocated.
     pub fn free(&mut self, frame: FrameId) -> Result<(), MemError> {
-        let f = self.frames.remove(&frame).ok_or(MemError::BadFrame(frame))?;
+        let f = self.frames.remove(frame).ok_or(MemError::BadFrame(frame))?;
         self.tiers[f.tier.index()].release();
         self.stats.tiers[f.tier.index()].on_free(f.kind);
         let lifetime = self.clock.now().saturating_sub(f.allocated_at);
@@ -264,7 +260,7 @@ impl MemorySystem {
     /// # Errors
     /// [`MemError::BadFrame`] if the frame is not allocated.
     pub fn frame(&self, frame: FrameId) -> Result<&Frame, MemError> {
-        self.frames.get(&frame).ok_or(MemError::BadFrame(frame))
+        self.frames.get(frame).ok_or(MemError::BadFrame(frame))
     }
 
     /// Tier a frame currently resides on.
@@ -272,12 +268,15 @@ impl MemorySystem {
     /// # Panics
     /// Panics if the frame is not allocated.
     pub fn tier_of(&self, frame: FrameId) -> TierId {
-        self.frames[&frame].tier
+        self.frames
+            .get(frame)
+            .unwrap_or_else(|| panic!("{frame} is not allocated"))
+            .tier
     }
 
     /// Whether the frame is still allocated.
     pub fn is_live(&self, frame: FrameId) -> bool {
-        self.frames.contains_key(&frame)
+        self.frames.contains(frame)
     }
 
     /// Number of live frames.
@@ -291,7 +290,7 @@ impl MemorySystem {
     pub fn mean_live_age(&self, kind: PageKind) -> Nanos {
         let now = self.clock.now();
         let (mut total, mut n) = (Nanos::ZERO, 0u64);
-        for f in self.frames.values() {
+        for f in self.frames.iter() {
             if f.kind == kind {
                 total += now.saturating_sub(f.allocated_at);
                 n += 1;
@@ -333,7 +332,7 @@ impl MemorySystem {
         from_socket: Option<u8>,
     ) -> Nanos {
         let now = self.clock.now();
-        let Some(f) = self.frames.get_mut(&frame) else {
+        let Some(f) = self.frames.get_mut(frame) else {
             // Accessing a freed frame is a simulation bug; make it loud in
             // debug builds but charge nothing in release.
             debug_assert!(false, "access to freed {frame}");
@@ -409,7 +408,7 @@ impl MemorySystem {
             return Err(MemError::BadTier(to));
         }
         let (from, kind, pinned) = {
-            let f = self.frames.get(&frame).ok_or(MemError::BadFrame(frame))?;
+            let f = self.frames.get(frame).ok_or(MemError::BadFrame(frame))?;
             (f.tier, f.kind, f.pinned)
         };
         if pinned {
@@ -441,7 +440,7 @@ impl MemorySystem {
         if let Some(l4) = self.l4[from.index()].as_mut() {
             l4.invalidate(frame);
         }
-        let f = self.frames.get_mut(&frame).expect("checked above");
+        let f = self.frames.get_mut(frame).expect("checked above");
         f.tier = to;
         f.migrations = f.migrations.saturating_add(1);
         self.migration_stats.record(kind, from, to, cost);
@@ -540,7 +539,10 @@ mod tests {
         let f = m.allocate(TierId::FAST, PageKind::Slab).unwrap();
         m.charge(Nanos::from_millis(36));
         m.free(f).unwrap();
-        assert_eq!(m.stats().mean_lifetime(PageKind::Slab), Nanos::from_millis(36));
+        assert_eq!(
+            m.stats().mean_lifetime(PageKind::Slab),
+            Nanos::from_millis(36)
+        );
         assert!(!m.is_live(f));
         assert_eq!(m.free(f), Err(MemError::BadFrame(f)));
     }

@@ -7,17 +7,14 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::clock::Nanos;
 
 /// Identifier of a memory tier within a [`crate::MemorySystem`].
 ///
 /// Tier ids are dense indices assigned in topology order; the conventional
 /// two-tier topology uses [`TierId::FAST`] and [`TierId::SLOW`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TierId(pub u8);
 
 impl TierId {
@@ -39,7 +36,8 @@ impl fmt::Display for TierId {
 }
 
 /// Technology class of a tier, used for reporting and topology queries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum TierKind {
     /// Conventional DRAM (or the fast, unthrottled socket).
@@ -77,7 +75,8 @@ impl fmt::Display for TierKind {
 /// assert_eq!(slow.read_bw_bps, fast.read_bw_bps / 8);
 /// assert!(slow.read_latency > fast.read_latency);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TierSpec {
     /// Technology class.
     pub kind: TierKind,

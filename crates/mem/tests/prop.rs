@@ -1,10 +1,12 @@
-//! Property-based tests for the memory substrate: the frame table and
+//! Randomized model tests for the memory substrate: the frame table and
 //! per-tier capacity accounting must agree under arbitrary interleavings
 //! of allocate / free / migrate / access.
+//!
+//! Sequences are generated from the in-tree seeded [`SplitMix64`] PRNG
+//! (fixed seeds, so failures reproduce exactly) instead of an external
+//! property-testing crate.
 
-use proptest::prelude::*;
-
-use kloc_mem::{FrameId, MemError, MemorySystem, PageKind, TierId, PAGE_SIZE};
+use kloc_mem::{FrameId, MemError, MemorySystem, PageKind, SplitMix64, TierId, PAGE_SIZE};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -15,30 +17,39 @@ enum Op {
     Write(usize, u16),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let kind = prop_oneof![
-        Just(PageKind::AppData),
-        Just(PageKind::PageCache),
-        Just(PageKind::Slab),
-        Just(PageKind::KernelVma),
-        Just(PageKind::Vmalloc),
-    ];
-    prop_oneof![
-        (0u8..2, kind).prop_map(|(t, k)| Op::Alloc(t, k)),
-        (0usize..64).prop_map(Op::Free),
-        (0usize..64, 0u8..2).prop_map(|(i, t)| Op::Migrate(i, t)),
-        (0usize..64, 1u16..4096).prop_map(|(i, b)| Op::Read(i, b)),
-        (0usize..64, 1u16..4096).prop_map(|(i, b)| Op::Write(i, b)),
-    ]
+const KINDS: [PageKind; 5] = [
+    PageKind::AppData,
+    PageKind::PageCache,
+    PageKind::Slab,
+    PageKind::KernelVma,
+    PageKind::Vmalloc,
+];
+
+fn gen_op(rng: &mut SplitMix64) -> Op {
+    match rng.gen_below(5) {
+        0 => Op::Alloc(
+            rng.gen_below(2) as u8,
+            KINDS[rng.gen_below(KINDS.len() as u64) as usize],
+        ),
+        1 => Op::Free(rng.gen_below(64) as usize),
+        2 => Op::Migrate(rng.gen_below(64) as usize, rng.gen_below(2) as u8),
+        3 => Op::Read(rng.gen_below(64) as usize, rng.gen_range(1..4096) as u16),
+        _ => Op::Write(rng.gen_below(64) as usize, rng.gen_range(1..4096) as u16),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn gen_ops(rng: &mut SplitMix64, min: u64, max: u64) -> Vec<Op> {
+    (0..rng.gen_range(min..max)).map(|_| gen_op(rng)).collect()
+}
 
-    /// Capacity accounting never drifts from the live-frame model, frames
-    /// are never double-freed, and pinned pages never move.
-    #[test]
-    fn frame_table_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+/// Capacity accounting never drifts from the live-frame model, frames
+/// are never double-freed, and pinned pages never move.
+#[test]
+fn frame_table_matches_model() {
+    for case in 0..128u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x000F_7A3E_0000 + case);
+        let ops = gen_ops(&mut rng, 1, 200);
+
         let fast_frames = 8u64;
         let mut mem = MemorySystem::two_tier(fast_frames * PAGE_SIZE, 8);
         // Model: (frame, tier, kind) for every live frame.
@@ -51,67 +62,82 @@ proptest! {
                     match mem.allocate(tier, kind) {
                         Ok(id) => model.push((id, tier, kind)),
                         Err(MemError::TierFull(f)) => {
-                            prop_assert_eq!(f, tier);
+                            assert_eq!(f, tier);
                             let live_on = model.iter().filter(|(_, mt, _)| *mt == tier).count();
-                            prop_assert_eq!(live_on as u64, fast_frames,
-                                "tier reported full but model disagrees");
+                            assert_eq!(
+                                live_on as u64, fast_frames,
+                                "case {case}: tier reported full but model disagrees"
+                            );
                         }
-                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                        Err(e) => panic!("case {case}: {e}"),
                     }
                 }
                 Op::Free(i) => {
-                    if model.is_empty() { continue; }
+                    if model.is_empty() {
+                        continue;
+                    }
                     let (id, _, _) = model.remove(i % model.len());
-                    prop_assert!(mem.free(id).is_ok());
-                    prop_assert_eq!(mem.free(id), Err(MemError::BadFrame(id)));
+                    assert!(mem.free(id).is_ok());
+                    assert_eq!(mem.free(id), Err(MemError::BadFrame(id)));
                 }
                 Op::Migrate(i, t) => {
-                    if model.is_empty() { continue; }
+                    if model.is_empty() {
+                        continue;
+                    }
                     let idx = i % model.len();
                     let (id, tier, kind) = model[idx];
                     let to = TierId(t);
                     match mem.migrate(id, to) {
                         Ok(_) => {
-                            prop_assert!(kind.relocatable());
-                            prop_assert_ne!(tier, to);
+                            assert!(kind.relocatable());
+                            assert_ne!(tier, to);
                             model[idx].1 = to;
                         }
-                        Err(MemError::Pinned(_)) => prop_assert!(!kind.relocatable()),
-                        Err(MemError::AlreadyResident(_, _)) => prop_assert_eq!(tier, to),
-                        Err(MemError::TierFull(_)) => prop_assert_eq!(to, TierId::FAST),
-                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                        Err(MemError::Pinned(_)) => assert!(!kind.relocatable()),
+                        Err(MemError::AlreadyResident(_, _)) => assert_eq!(tier, to),
+                        Err(MemError::TierFull(_)) => assert_eq!(to, TierId::FAST),
+                        Err(e) => panic!("case {case}: {e}"),
                     }
                 }
                 Op::Read(i, b) => {
-                    if model.is_empty() { continue; }
+                    if model.is_empty() {
+                        continue;
+                    }
                     let (id, _, _) = model[i % model.len()];
                     let before = mem.now();
                     let cost = mem.read(id, b as u64);
-                    prop_assert_eq!(mem.now(), before + cost);
+                    assert_eq!(mem.now(), before + cost);
                 }
                 Op::Write(i, b) => {
-                    if model.is_empty() { continue; }
+                    if model.is_empty() {
+                        continue;
+                    }
                     let (id, _, _) = model[i % model.len()];
                     mem.write(id, b as u64);
                 }
             }
 
             // Invariants checked after every step.
-            prop_assert_eq!(mem.live_frames(), model.len());
+            assert_eq!(mem.live_frames(), model.len());
             for &(id, tier, kind) in &model {
-                prop_assert_eq!(mem.tier_of(id), tier);
-                prop_assert_eq!(mem.frame(id).unwrap().kind(), kind);
+                assert_eq!(mem.tier_of(id), tier);
+                assert_eq!(mem.frame(id).unwrap().kind(), kind);
             }
             let fast_used = mem.tier_alloc(TierId::FAST).unwrap().used_frames();
             let model_fast = model.iter().filter(|(_, t, _)| *t == TierId::FAST).count() as u64;
-            prop_assert_eq!(fast_used, model_fast);
-            prop_assert!(fast_used <= fast_frames);
+            assert_eq!(fast_used, model_fast);
+            assert!(fast_used <= fast_frames);
         }
     }
+}
 
-    /// Residency statistics always sum to the number of live frames.
-    #[test]
-    fn residency_stats_sum_to_live(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+/// Residency statistics always sum to the number of live frames.
+#[test]
+fn residency_stats_sum_to_live() {
+    for case in 0..128u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xBEE5_0000 + case);
+        let ops = gen_ops(&mut rng, 1, 150);
+
         let mut mem = MemorySystem::two_tier(16 * PAGE_SIZE, 4);
         let mut live: Vec<FrameId> = Vec::new();
         for op in ops {
@@ -121,32 +147,34 @@ proptest! {
                         live.push(id);
                     }
                 }
-                Op::Free(i)
-                    if !live.is_empty() => {
-                        let id = live.remove(i % live.len());
-                        mem.free(id).unwrap();
-                    }
-                Op::Migrate(i, t)
-                    if !live.is_empty() => {
-                        let id = live[i % live.len()];
-                        let _ = mem.migrate(id, TierId(t));
-                    }
+                Op::Free(i) if !live.is_empty() => {
+                    let id = live.remove(i % live.len());
+                    mem.free(id).unwrap();
+                }
+                Op::Migrate(i, t) if !live.is_empty() => {
+                    let id = live[i % live.len()];
+                    let _ = mem.migrate(id, TierId(t));
+                }
                 _ => {}
             }
             let resident: u64 = (0..mem.tier_count())
                 .map(|i| mem.stats().tier(TierId(i as u8)).frames_resident)
                 .sum();
-            prop_assert_eq!(resident as usize, live.len());
+            assert_eq!(resident as usize, live.len(), "case {case}");
         }
     }
+}
 
-    /// The clock never runs backwards and costs are monotone in bytes.
-    #[test]
-    fn access_cost_monotone_in_bytes(bytes in 1u64..65536) {
+/// The clock never runs backwards and costs are monotone in bytes.
+#[test]
+fn access_cost_monotone_in_bytes() {
+    let mut rng = SplitMix64::seed_from_u64(0xC0517);
+    for _ in 0..256 {
+        let bytes = rng.gen_range(1..65536);
         let mut mem = MemorySystem::two_tier(16 * PAGE_SIZE, 8);
         let f = mem.allocate(TierId::FAST, PageKind::AppData).unwrap();
         let small = mem.read(f, bytes);
         let big = mem.read(f, bytes * 2);
-        prop_assert!(big >= small);
+        assert!(big >= small);
     }
 }

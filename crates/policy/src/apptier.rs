@@ -259,6 +259,10 @@ mod tests {
         at.on_access(demoted[0]);
         at.on_access(demoted[0]);
         at.tick(&mut mem);
-        assert_eq!(mem.tier_of(demoted[0]), TierId::FAST, "hot page promoted back");
+        assert_eq!(
+            mem.tier_of(demoted[0]),
+            TierId::FAST,
+            "hot page promoted back"
+        );
     }
 }

@@ -9,7 +9,7 @@
 //! moves the task away from an interfering co-runner. The KLOC extension
 //! walks the active knodes and migrates their members too.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use kloc_core::{KlocConfig, KlocRegistry};
 use kloc_kernel::hooks::{CpuId, KernelHooks, PageRequest, Placement};
@@ -22,7 +22,7 @@ use crate::traits::Policy;
 #[derive(Debug)]
 struct NumaCore {
     task_socket: u8,
-    app_pages: HashSet<FrameId>,
+    app_pages: BTreeSet<FrameId>,
     /// Pages migrated per tick (hint-fault rate limit).
     batch: usize,
     /// Cost per examined page (NUMA hint fault handling).
@@ -34,7 +34,7 @@ impl NumaCore {
     fn new() -> Self {
         NumaCore {
             task_socket: 0,
-            app_pages: HashSet::new(),
+            app_pages: BTreeSet::new(),
             batch: 256,
             scan_cost: Nanos::from_micros(1),
             migrated_app: 0,

@@ -437,12 +437,8 @@ impl Policy for KlocPolicy {
                     .map(|a| a.free_frames())
                     .unwrap_or(0);
                 if room > 0 {
-                    self.registry.promote_hot_members(
-                        active[idx],
-                        mem,
-                        self.member_hot,
-                        room,
-                    );
+                    self.registry
+                        .promote_hot_members(active[idx], mem, self.member_hot, room);
                 }
                 if demote_budget == 0 {
                     break;

@@ -113,9 +113,15 @@ mod tests {
         let pl = p.place_page(&req(), &mem);
         assert_eq!(pl.preference[0], TierId::FAST);
         // Fill fast; further allocations spill.
-        let a = mem.allocate_preferring(&pl.preference, PageKind::AppData).unwrap();
-        let _b = mem.allocate_preferring(&pl.preference, PageKind::AppData).unwrap();
-        let c = mem.allocate_preferring(&pl.preference, PageKind::AppData).unwrap();
+        let a = mem
+            .allocate_preferring(&pl.preference, PageKind::AppData)
+            .unwrap();
+        let _b = mem
+            .allocate_preferring(&pl.preference, PageKind::AppData)
+            .unwrap();
+        let c = mem
+            .allocate_preferring(&pl.preference, PageKind::AppData)
+            .unwrap();
         assert_eq!(mem.tier_of(a), TierId::FAST);
         assert_eq!(mem.tier_of(c), TierId::SLOW);
         // Tick does nothing.

@@ -1,12 +1,13 @@
-//! Property tests over the policies: every policy must survive arbitrary
-//! kernel activity without panicking, never corrupt capacity accounting,
-//! and never move a pinned page.
-
-use proptest::prelude::*;
+//! Randomized model tests over the policies: every policy must survive
+//! arbitrary kernel activity without panicking, never corrupt capacity
+//! accounting, and never move a pinned page.
+//!
+//! Sequences come from the in-tree seeded `SplitMix64` PRNG (fixed
+//! seeds, so failures reproduce exactly).
 
 use kloc_kernel::hooks::Ctx;
 use kloc_kernel::{Fd, Kernel, KernelError, KernelParams};
-use kloc_mem::{MemorySystem, Nanos, TierId, PAGE_SIZE};
+use kloc_mem::{MemorySystem, Nanos, SplitMix64, TierId, PAGE_SIZE};
 use kloc_policy::PolicyKind;
 
 #[derive(Debug, Clone)]
@@ -21,41 +22,48 @@ enum Op {
     Tick(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..10).prop_map(Op::Create),
-        (0usize..8, 0u8..8, 1u16..8192).prop_map(|(f, o, l)| Op::Write(f, o, l)),
-        (0usize..8, 0u8..8, 1u16..8192).prop_map(|(f, o, l)| Op::Read(f, o, l)),
-        (0u8..10).prop_map(Op::CloseReopen),
-        (0u8..10).prop_map(Op::Unlink),
-        Just(Op::Socket),
-        (0usize..8, 1u16..4096).prop_map(|(f, b)| Op::NetRoundTrip(f, b)),
-        (1u8..8).prop_map(Op::Tick),
-    ]
+fn gen_op(rng: &mut SplitMix64) -> Op {
+    match rng.gen_below(8) {
+        0 => Op::Create(rng.gen_below(10) as u8),
+        1 => Op::Write(
+            rng.gen_below(8) as usize,
+            rng.gen_below(8) as u8,
+            rng.gen_range(1..8192) as u16,
+        ),
+        2 => Op::Read(
+            rng.gen_below(8) as usize,
+            rng.gen_below(8) as u8,
+            rng.gen_range(1..8192) as u16,
+        ),
+        3 => Op::CloseReopen(rng.gen_below(10) as u8),
+        4 => Op::Unlink(rng.gen_below(10) as u8),
+        5 => Op::Socket,
+        6 => Op::NetRoundTrip(rng.gen_below(8) as usize, rng.gen_range(1..4096) as u16),
+        _ => Op::Tick(rng.gen_range(1..8) as u8),
+    }
 }
 
-fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
-    prop_oneof![
-        Just(PolicyKind::Naive),
-        Just(PolicyKind::Nimble),
-        Just(PolicyKind::NimblePlusPlus),
-        Just(PolicyKind::KlocNoMigration),
-        Just(PolicyKind::Kloc),
-        Just(PolicyKind::AllSlow),
-    ]
-}
+const POLICIES: [PolicyKind; 6] = [
+    PolicyKind::Naive,
+    PolicyKind::Nimble,
+    PolicyKind::NimblePlusPlus,
+    PolicyKind::KlocNoMigration,
+    PolicyKind::Kloc,
+    PolicyKind::AllSlow,
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Under any policy and any op sequence: capacity accounting holds,
+/// pinned pages never leave the tier they were allocated on, and the
+/// clock is monotone.
+#[test]
+fn policies_preserve_substrate_invariants() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x0009_011C_0000 + case);
+        let policy_kind = POLICIES[rng.gen_below(POLICIES.len() as u64) as usize];
+        let ops: Vec<Op> = (0..rng.gen_range(1..120))
+            .map(|_| gen_op(&mut rng))
+            .collect();
 
-    /// Under any policy and any op sequence: capacity accounting holds,
-    /// pinned pages never leave the tier they were allocated on, and the
-    /// clock is monotone.
-    #[test]
-    fn policies_preserve_substrate_invariants(
-        policy_kind in policy_strategy(),
-        ops in proptest::collection::vec(op_strategy(), 1..120),
-    ) {
         let fast_frames = 64u64;
         let mut mem = MemorySystem::two_tier(fast_frames * PAGE_SIZE, 8);
         let mut policy = policy_kind.build();
@@ -71,31 +79,31 @@ proptest! {
             {
                 let mut ctx = Ctx::new(&mut mem, policy.as_mut());
                 let r: Result<(), KernelError> = (|| {
-                    match op {
-                        Op::Create(n) => {
-                            match kernel.create(&mut ctx, &format!("/p{n}")) {
-                                Ok(fd) => fds.push((fd, false)),
-                                Err(KernelError::Exists(_)) => {}
-                                Err(e) => return Err(e),
-                            }
-                        }
+                    match &op {
+                        Op::Create(n) => match kernel.create(&mut ctx, &format!("/p{n}")) {
+                            Ok(fd) => fds.push((fd, false)),
+                            Err(KernelError::Exists(_)) => {}
+                            Err(e) => return Err(e),
+                        },
                         Op::Write(f, o, l) => {
                             if let Some(&(fd, false)) = fds.get(f % fds.len().max(1)) {
-                                kernel.write(&mut ctx, fd, o as u64 * 4096, l as u64)?;
+                                kernel.write(&mut ctx, fd, *o as u64 * 4096, *l as u64)?;
                             }
                         }
                         Op::Read(f, o, l) => {
                             if let Some(&(fd, false)) = fds.get(f % fds.len().max(1)) {
-                                kernel.read(&mut ctx, fd, o as u64 * 4096, l as u64)?;
+                                kernel.read(&mut ctx, fd, *o as u64 * 4096, *l as u64)?;
                             }
                         }
                         Op::CloseReopen(n) => {
                             let path = format!("/p{n}");
                             // Close every fd on this path, then reopen once.
                             if let Some(pos) = fds.iter().position(|&(fd, s)| {
-                                !s && kernel.vfs().fd(fd).map(|of| {
-                                    kernel.vfs().lookup_path(&path) == Some(of.inode)
-                                }).unwrap_or(false)
+                                !s && kernel
+                                    .vfs()
+                                    .fd(fd)
+                                    .map(|of| kernel.vfs().lookup_path(&path) == Some(of.inode))
+                                    .unwrap_or(false)
                             }) {
                                 let (fd, _) = fds.remove(pos);
                                 kernel.close(&mut ctx, fd)?;
@@ -104,27 +112,25 @@ proptest! {
                                 }
                             }
                         }
-                        Op::Unlink(n) => {
-                            match kernel.unlink(&mut ctx, &format!("/p{n}")) {
-                                Ok(()) | Err(KernelError::NoEntry(_)) => {}
-                                Err(e) => return Err(e),
-                            }
-                        }
+                        Op::Unlink(n) => match kernel.unlink(&mut ctx, &format!("/p{n}")) {
+                            Ok(()) | Err(KernelError::NoEntry(_)) => {}
+                            Err(e) => return Err(e),
+                        },
                         Op::Socket => {
                             fds.push((kernel.socket(&mut ctx)?, true));
                         }
                         Op::NetRoundTrip(f, b) => {
                             if let Some(&(fd, true)) = fds.get(f % fds.len().max(1)) {
-                                kernel.deliver(&mut ctx, fd, b as u64)?;
-                                kernel.recv(&mut ctx, fd, b as u64)?;
-                                kernel.send(&mut ctx, fd, b as u64)?;
+                                kernel.deliver(&mut ctx, fd, *b as u64)?;
+                                kernel.recv(&mut ctx, fd, *b as u64)?;
+                                kernel.send(&mut ctx, fd, *b as u64)?;
                             }
                         }
                         Op::Tick(_) => {}
                     }
                     Ok(())
                 })();
-                prop_assert!(r.is_ok(), "{policy_kind:?}: kernel error {r:?}");
+                assert!(r.is_ok(), "case {case} {policy_kind:?}: kernel error {r:?}");
             }
             if let Op::Tick(n) = op {
                 for _ in 0..n {
@@ -135,12 +141,12 @@ proptest! {
 
             // Invariants.
             let now = mem.now();
-            prop_assert!(now >= last_now, "clock ran backwards");
+            assert!(now >= last_now, "case {case}: clock ran backwards");
             last_now = now;
             let fast = mem.tier_alloc(TierId::FAST).unwrap();
-            prop_assert!(
+            assert!(
                 fast.used_frames() <= fast_frames,
-                "{policy_kind:?}: fast tier overcommitted"
+                "case {case} {policy_kind:?}: fast tier overcommitted"
             );
         }
     }

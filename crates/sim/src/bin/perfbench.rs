@@ -1,0 +1,149 @@
+//! `perfbench` — wall-clock benchmark of the parallel sweep runner.
+//!
+//! Times one fixed fig6-style sweep (capacity x ratio x policy x
+//! workload) executed serially and then with the parallel runner, checks
+//! the reports are identical, and writes `BENCH_sweep.json`:
+//!
+//! ```text
+//! perfbench [--scale tiny|small] [--jobs N] [--out PATH]
+//! ```
+//!
+//! Defaults: `--scale small`, `--jobs` = hardware threads, `--out
+//! BENCH_sweep.json`. Exits non-zero if the parallel reports differ from
+//! serial. Dependency-free: timing via `std::time::Instant`, JSON
+//! emitted by hand.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use kloc_policy::PolicyKind;
+use kloc_sim::engine::{Platform, RunConfig};
+use kloc_sim::Runner;
+use kloc_workloads::{Scale, WorkloadKind};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: perfbench [--scale tiny|small] [--jobs N] [--out PATH]");
+    ExitCode::FAILURE
+}
+
+/// The benchmark matrix: a small fig6-style cross product whose runs
+/// vary widely in cost — exactly the imbalance work stealing absorbs.
+fn sweep(scale: &Scale) -> Vec<RunConfig> {
+    let policies = [
+        PolicyKind::AllSlow,
+        PolicyKind::Naive,
+        PolicyKind::Nimble,
+        PolicyKind::NimblePlusPlus,
+        PolicyKind::Kloc,
+    ];
+    let workloads = [WorkloadKind::RocksDb, WorkloadKind::Redis];
+    let mut configs = Vec::new();
+    for cap_shift in [0u64, 1] {
+        for ratio in [8u64, 2] {
+            for policy in policies {
+                for w in workloads {
+                    configs.push(RunConfig {
+                        workload: w,
+                        policy,
+                        scale: scale.clone(),
+                        platform: Platform::TwoTier {
+                            fast_bytes: scale.fast_bytes >> cap_shift,
+                            bw_ratio: ratio,
+                        },
+                        kernel_params: None,
+                    });
+                }
+            }
+        }
+    }
+    configs
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::small();
+    let mut jobs = Runner::auto().jobs();
+    let mut out = String::from("BENCH_sweep.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => match args.get(i + 1).map(String::as_str) {
+                Some("tiny") => scale = Scale::tiny(),
+                Some("small") => scale = Scale::small(),
+                _ => return usage(),
+            },
+            "--jobs" => match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => return usage(),
+            },
+            "--out" => match args.get(i + 1) {
+                Some(path) => out = path.clone(),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 2;
+    }
+
+    let configs = sweep(&scale);
+    let n = configs.len();
+    eprintln!(
+        "[perfbench] {} runs at scale {}, {} worker(s)",
+        n, scale.label, jobs
+    );
+
+    // Warm-up: touch every code path once so first-run effects (lazy
+    // page faults, allocator growth) don't bias the serial leg.
+    let warm = Runner::serial()
+        .run_all(configs.clone())
+        .expect("warm-up sweep");
+
+    let t0 = Instant::now();
+    let serial = Runner::serial()
+        .run_all(configs.clone())
+        .expect("serial sweep");
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let parallel = Runner::new(jobs).run_all(configs).expect("parallel sweep");
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    if parallel != serial || warm != serial {
+        eprintln!("[perfbench] FAIL: parallel reports differ from serial");
+        return ExitCode::FAILURE;
+    }
+
+    let speedup = serial_ms / parallel_ms.max(1e-9);
+    let serial_rps = n as f64 / (serial_ms / 1e3).max(1e-9);
+    let parallel_rps = n as f64 / (parallel_ms / 1e3).max(1e-9);
+    eprintln!(
+        "[perfbench] serial {serial_ms:.1} ms ({serial_rps:.2} runs/s), \
+         parallel {parallel_ms:.1} ms ({parallel_rps:.2} runs/s), \
+         speedup {speedup:.2}x"
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"sweep\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", json_escape(&scale.label));
+    let _ = writeln!(json, "  \"runs\": {n},");
+    let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(json, "  \"serial_ms\": {serial_ms:.3},");
+    let _ = writeln!(json, "  \"parallel_ms\": {parallel_ms:.3},");
+    let _ = writeln!(json, "  \"serial_runs_per_sec\": {serial_rps:.3},");
+    let _ = writeln!(json, "  \"parallel_runs_per_sec\": {parallel_rps:.3},");
+    let _ = writeln!(json, "  \"speedup_vs_serial\": {speedup:.3},");
+    let _ = writeln!(json, "  \"reports_identical\": true");
+    let _ = writeln!(json, "}}");
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("[perfbench] cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[perfbench] wrote {out}");
+    ExitCode::SUCCESS
+}

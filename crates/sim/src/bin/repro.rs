@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment> [--scale tiny|small|large] [--seed N]
+//! repro <experiment> [--scale tiny|small|large] [--seed N] [--jobs N]
 //!
 //! experiments:
 //!   fig2a fig2b fig2c fig2d   motivation study
@@ -13,16 +13,21 @@
 //!   thp granularity           future-work extensions (5, 4.4)
 //!   all                       everything above
 //! ```
+//!
+//! `--jobs N` sets the sweep-runner thread count (default: one per
+//! hardware thread; `--jobs 1` forces serial execution). Results are
+//! identical at any job count — runs are independent and deterministic.
 
 use std::process::ExitCode;
 
 use kloc_sim::engine::Platform;
 use kloc_sim::experiments::{ablations, fig2, fig4, fig5, fig6, table6};
+use kloc_sim::Runner;
 use kloc_workloads::{Scale, WorkloadKind};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <fig2a|fig2b|fig2c|fig2d|fig4|fig5a|fig5b|fig5c|fig6|table6|percpu|prefetch|thp|granularity|all> [--scale tiny|small|large] [--seed N]"
+        "usage: repro <fig2a|fig2b|fig2c|fig2d|fig4|fig5a|fig5b|fig5c|fig6|table6|percpu|prefetch|thp|granularity|all> [--scale tiny|small|large] [--seed N] [--jobs N]"
     );
     ExitCode::FAILURE
 }
@@ -47,7 +52,14 @@ fn main() -> ExitCode {
             None => return usage(),
         }
     }
-    match run(&which, &scale) {
+    let mut runner = Runner::auto();
+    if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+        match args.get(pos + 1).and_then(|s| s.parse::<usize>().ok()) {
+            Some(jobs) if jobs >= 1 => runner = Runner::new(jobs),
+            _ => return usage(),
+        }
+    }
+    match run(&which, &runner, &scale) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -63,7 +75,7 @@ fn platform_for(scale: &Scale) -> Platform {
     }
 }
 
-fn run(which: &str, scale: &Scale) -> Result<(), Box<dyn std::error::Error>> {
+fn run(which: &str, runner: &Runner, scale: &Scale) -> Result<(), Box<dyn std::error::Error>> {
     let all = which == "all";
     let small_pair = |s: &Scale| {
         // Fig 2b needs both scales, resized to keep runtime similar.
@@ -73,14 +85,18 @@ fn run(which: &str, scale: &Scale) -> Result<(), Box<dyn std::error::Error>> {
     };
 
     if all || which.starts_with("fig2") {
-        eprintln!("[motivation runs at scale {}...]", scale.label);
-        let reports = fig2::run_all(scale)?;
+        eprintln!(
+            "[motivation runs at scale {} ({} jobs)...]",
+            scale.label,
+            runner.jobs()
+        );
+        let reports = fig2::run_all(runner, scale)?;
         if all || which == "fig2a" {
             println!("{}", fig2::fig2a_table(&fig2::fig2a(&reports)));
             println!("{}", fig2::fig2a_detailed_table(&reports));
         }
         if all || which == "fig2b" {
-            let small = fig2::run_all(&small_pair(scale))?;
+            let small = fig2::run_all(runner, &small_pair(scale))?;
             println!("{}", fig2::fig2b_table(&fig2::fig2b(&small, &reports)));
         }
         if all || which == "fig2c" {
@@ -96,7 +112,7 @@ fn run(which: &str, scale: &Scale) -> Result<(), Box<dyn std::error::Error>> {
 
     if all || which == "fig4" {
         eprintln!("[fig4: two-tier speedups...]");
-        let rows = fig4::run(scale, platform_for(scale), &WorkloadKind::ALL)?;
+        let rows = fig4::run(runner, scale, platform_for(scale), &WorkloadKind::ALL)?;
         println!("{}", fig4::table(&rows));
         if !all {
             return Ok(());
@@ -105,7 +121,7 @@ fn run(which: &str, scale: &Scale) -> Result<(), Box<dyn std::error::Error>> {
 
     if all || which == "fig5a" {
         eprintln!("[fig5a: Optane Memory Mode...]");
-        let rows = fig5::fig5a(scale, &WorkloadKind::EVALUATED)?;
+        let rows = fig5::fig5a(runner, scale, &WorkloadKind::EVALUATED)?;
         println!("{}", fig5::fig5a_table(&rows));
         if !all {
             return Ok(());
@@ -114,7 +130,7 @@ fn run(which: &str, scale: &Scale) -> Result<(), Box<dyn std::error::Error>> {
 
     if all || which == "fig5b" {
         eprintln!("[fig5b: sources of improvement (RocksDB)...]");
-        let rows = fig5::fig5b(scale, platform_for(scale))?;
+        let rows = fig5::fig5b(runner, scale, platform_for(scale))?;
         println!("{}", fig5::fig5b_table(&rows));
         if !all {
             return Ok(());
@@ -123,7 +139,7 @@ fn run(which: &str, scale: &Scale) -> Result<(), Box<dyn std::error::Error>> {
 
     if all || which == "fig5c" {
         eprintln!("[fig5c: per-object-class sensitivity...]");
-        let rows = fig5::fig5c(scale, platform_for(scale), &WorkloadKind::EVALUATED)?;
+        let rows = fig5::fig5c(runner, scale, platform_for(scale), &WorkloadKind::EVALUATED)?;
         println!("{}", fig5::fig5c_table(&rows));
         if !all {
             return Ok(());
@@ -133,6 +149,7 @@ fn run(which: &str, scale: &Scale) -> Result<(), Box<dyn std::error::Error>> {
     if all || which == "fig6" {
         eprintln!("[fig6: capacity x bandwidth sweep...]");
         let cells = fig6::run(
+            runner,
             scale,
             &WorkloadKind::EVALUATED,
             &fig6::CAPACITIES,
@@ -146,7 +163,7 @@ fn run(which: &str, scale: &Scale) -> Result<(), Box<dyn std::error::Error>> {
 
     if all || which == "table6" {
         eprintln!("[table6: KLOC metadata overhead...]");
-        let rows = table6::run(scale, &WorkloadKind::ALL)?;
+        let rows = table6::run(runner, scale, &WorkloadKind::ALL)?;
         println!("{}", table6::table(&rows));
         if !all {
             return Ok(());
@@ -155,7 +172,7 @@ fn run(which: &str, scale: &Scale) -> Result<(), Box<dyn std::error::Error>> {
 
     if all || which == "percpu" {
         eprintln!("[ablation: per-CPU knode lists...]");
-        let a = ablations::percpu(scale)?;
+        let a = ablations::percpu(runner, scale)?;
         println!("{}", ablations::percpu_table(&a));
         if !all {
             return Ok(());
@@ -164,7 +181,7 @@ fn run(which: &str, scale: &Scale) -> Result<(), Box<dyn std::error::Error>> {
 
     if all || which == "prefetch" {
         eprintln!("[ablation: KLOC-aware prefetch...]");
-        let a = ablations::prefetch(scale, WorkloadKind::Spark)?;
+        let a = ablations::prefetch(runner, scale, WorkloadKind::Spark)?;
         println!("{}", ablations::prefetch_table(&a));
         if !all {
             return Ok(());
@@ -173,7 +190,7 @@ fn run(which: &str, scale: &Scale) -> Result<(), Box<dyn std::error::Error>> {
 
     if all || which == "thp" {
         eprintln!("[ablation: transparent huge pages (paper 5 hypothesis)...]");
-        let a = ablations::thp(scale, &[WorkloadKind::RocksDb, WorkloadKind::Redis])?;
+        let a = ablations::thp(runner, scale, &[WorkloadKind::RocksDb, WorkloadKind::Redis])?;
         println!("{}", ablations::thp_table(&a));
         if !all {
             return Ok(());
@@ -182,7 +199,7 @@ fn run(which: &str, scale: &Scale) -> Result<(), Box<dyn std::error::Error>> {
 
     if all || which == "granularity" {
         eprintln!("[ablation: tracking granularity (paper 4.4 future work)...]");
-        let a = ablations::granularity(scale, &WorkloadKind::EVALUATED)?;
+        let a = ablations::granularity(runner, scale, &WorkloadKind::EVALUATED)?;
         println!("{}", ablations::granularity_table(&a));
         if !all {
             return Ok(());
@@ -192,8 +209,20 @@ fn run(which: &str, scale: &Scale) -> Result<(), Box<dyn std::error::Error>> {
     if !all
         && !matches!(
             which,
-            "fig2a" | "fig2b" | "fig2c" | "fig2d" | "fig4" | "fig5a" | "fig5b" | "fig5c"
-                | "fig6" | "table6" | "percpu" | "prefetch" | "thp" | "granularity"
+            "fig2a"
+                | "fig2b"
+                | "fig2c"
+                | "fig2d"
+                | "fig4"
+                | "fig5a"
+                | "fig5b"
+                | "fig5c"
+                | "fig6"
+                | "table6"
+                | "percpu"
+                | "prefetch"
+                | "thp"
+                | "granularity"
         )
     {
         return Err(format!("unknown experiment: {which}").into());

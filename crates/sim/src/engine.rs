@@ -1,12 +1,10 @@
 //! The run engine: one (platform, policy, workload, scale) execution.
 
-use serde::{Deserialize, Serialize};
-
 use kloc_core::overhead::{self, OverheadReport};
 use kloc_core::KlocStats;
 use kloc_kernel::hooks::Ctx;
 use kloc_kernel::{Kernel, KernelError, KernelParams, KernelStats};
-use kloc_mem::{MemorySystem, MemStats, MigrationStats, Nanos, TierId};
+use kloc_mem::{MemStats, MemorySystem, MigrationStats, Nanos, TierId};
 use kloc_policy::{Policy, PolicyKind};
 use kloc_workloads::{Scale, WorkloadKind};
 
@@ -98,7 +96,8 @@ impl RunConfig {
 }
 
 /// Everything measured in one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunReport {
     /// Workload label.
     pub workload: String,
@@ -173,7 +172,10 @@ impl RunReport {
 /// (All-Fast) an unbounded fast tier as the paper's ideal case does.
 fn build_mem(config: &RunConfig) -> MemorySystem {
     match config.platform {
-        Platform::TwoTier { fast_bytes, bw_ratio } => {
+        Platform::TwoTier {
+            fast_bytes,
+            bw_ratio,
+        } => {
             let fast = if config.policy == PolicyKind::AllFast {
                 u64::MAX
             } else {
@@ -200,18 +202,18 @@ pub fn run(config: &RunConfig) -> Result<RunReport, KernelError> {
 ///
 /// # Errors
 /// Propagates kernel errors.
-pub fn run_with(
-    config: &RunConfig,
-    mut policy: Box<dyn Policy>,
-) -> Result<RunReport, KernelError> {
+pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunReport, KernelError> {
     let mut mem = build_mem(config);
     mem.set_migration_cost(policy.migration_cost());
     mem.set_cpu_parallelism(config.scale.threads.max(1) as u64);
 
-    let params = config.kernel_params.clone().unwrap_or_else(|| KernelParams {
-        page_cache_budget: config.scale.page_cache_frames,
-        ..KernelParams::default()
-    });
+    let params = config
+        .kernel_params
+        .clone()
+        .unwrap_or_else(|| KernelParams {
+            page_cache_budget: config.scale.page_cache_frames,
+            ..KernelParams::default()
+        });
     let mut kernel = Kernel::new(params);
     let mut workload = config.workload.build(&config.scale);
 
@@ -220,9 +222,7 @@ pub fn run_with(
         Platform::Optane { scenario, .. } => match scenario {
             OptaneScenario::AllLocal => (0u8, u64::MAX, Some(scenario)),
             OptaneScenario::AllRemote => (0u8, 0, Some(scenario)),
-            OptaneScenario::Interfered { .. } => {
-                (0u8, config.scale.ops / 3, Some(scenario))
-            }
+            OptaneScenario::Interfered { .. } => (0u8, config.scale.ops / 3, Some(scenario)),
         },
         Platform::TwoTier { .. } => (0u8, u64::MAX, None),
     };

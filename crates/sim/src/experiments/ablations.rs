@@ -17,9 +17,9 @@ use kloc_kernel::{KernelError, KernelParams};
 use kloc_policy::{KlocPolicy, PolicyKind};
 use kloc_workloads::{Scale, WorkloadKind};
 
-
-use crate::engine::{self, Platform, RunConfig};
+use crate::engine::{Platform, RunConfig};
 use crate::report::{f2, pct, Table};
+use crate::runner::{Job, Runner};
 
 /// Result of the per-CPU fast-path ablation.
 #[derive(Debug, Clone)]
@@ -47,17 +47,23 @@ impl PercpuAblation {
 ///
 /// # Errors
 /// Propagates kernel errors.
-pub fn percpu(scale: &Scale) -> Result<PercpuAblation, KernelError> {
+pub fn percpu(runner: &Runner, scale: &Scale) -> Result<PercpuAblation, KernelError> {
     let cfg = RunConfig::two_tier(WorkloadKind::RocksDb, PolicyKind::Kloc, scale.clone());
-    let run_variant = |use_percpu: bool| {
-        let kc = KlocConfig {
-            use_percpu,
-            ..KlocConfig::default()
-        };
-        engine::run_with(&cfg, Box::new(KlocPolicy::with_config(kc, true)))
+    let variant = |use_percpu: bool| {
+        Job::with_policy(
+            cfg.clone(),
+            Box::new(move || {
+                let kc = KlocConfig {
+                    use_percpu,
+                    ..KlocConfig::default()
+                };
+                Box::new(KlocPolicy::with_config(kc, true))
+            }),
+        )
     };
-    let with = run_variant(true)?;
-    let without = run_variant(false)?;
+    let mut reports = runner.run_jobs(vec![variant(true), variant(false)])?;
+    let without = reports.pop().expect("two variants");
+    let with = reports.pop().expect("two variants");
     Ok(PercpuAblation {
         tree_accesses_with: with.kmap_tree_accesses.unwrap_or(0),
         tree_accesses_without: without.kmap_tree_accesses.unwrap_or(0),
@@ -125,7 +131,11 @@ impl PrefetchAblation {
 ///
 /// # Errors
 /// Propagates kernel errors.
-pub fn prefetch(scale: &Scale, workload: WorkloadKind) -> Result<PrefetchAblation, KernelError> {
+pub fn prefetch(
+    runner: &Runner,
+    scale: &Scale,
+    workload: WorkloadKind,
+) -> Result<PrefetchAblation, KernelError> {
     // Constrain the page cache to a quarter of the dataset so streaming
     // reads actually miss (the paper's testbeds page against a dataset
     // several times their fast memory; a cache that holds everything
@@ -137,24 +147,27 @@ pub fn prefetch(scale: &Scale, workload: WorkloadKind) -> Result<PrefetchAblatio
     };
     let mut base = RunConfig::two_tier(workload, PolicyKind::Kloc, scale.clone());
     base.kernel_params = Some(with_ra);
-    let with = engine::run(&base)?;
 
     let no_ra = KernelParams {
         page_cache_budget: budget,
         readahead_max: 0,
         ..KernelParams::default()
     };
-    let without = engine::run(&RunConfig {
+    let without_cfg = RunConfig {
         kernel_params: Some(no_ra),
         platform: Platform::default_two_tier(),
         ..base.clone()
-    })?;
+    };
 
     // Prefetching without the KLOC abstraction: Nimble++ lets readahead
     // pollute fast memory.
-    let mut non_kloc = base.clone();
-    non_kloc.policy = PolicyKind::NimblePlusPlus;
-    let non_kloc = engine::run(&non_kloc)?;
+    let mut non_kloc_cfg = base.clone();
+    non_kloc_cfg.policy = PolicyKind::NimblePlusPlus;
+
+    let mut reports = runner.run_all(vec![base, without_cfg, non_kloc_cfg])?;
+    let non_kloc = reports.pop().expect("three runs");
+    let without = reports.pop().expect("three runs");
+    let with = reports.pop().expect("three runs");
     Ok(PrefetchAblation {
         with_prefetch: with.throughput(),
         without_prefetch: without.throughput(),
@@ -166,10 +179,7 @@ pub fn prefetch(scale: &Scale, workload: WorkloadKind) -> Result<PrefetchAblatio
 
 /// Renders the prefetch ablation.
 pub fn prefetch_table(a: &PrefetchAblation) -> Table {
-    let mut t = Table::new(
-        "Ablation (7.3): KLOC-aware readahead",
-        &["metric", "value"],
-    );
+    let mut t = Table::new("Ablation (7.3): KLOC-aware readahead", &["metric", "value"]);
     t.row(vec![
         "throughput, KLOCs + prefetch (ops/s)".into(),
         f2(a.with_prefetch),
@@ -218,12 +228,17 @@ impl ThpAblation {
 ///
 /// # Errors
 /// Propagates kernel errors.
-pub fn thp(scale: &Scale, workloads: &[WorkloadKind]) -> Result<ThpAblation, KernelError> {
-    let mut rows = Vec::new();
+pub fn thp(
+    runner: &Runner,
+    scale: &Scale,
+    workloads: &[WorkloadKind],
+) -> Result<ThpAblation, KernelError> {
+    const POLICIES: [PolicyKind; 2] = [PolicyKind::NimblePlusPlus, PolicyKind::Kloc];
+    // Per (workload, policy): 4K then THP.
+    let mut configs = Vec::with_capacity(workloads.len() * POLICIES.len() * 2);
     for &w in workloads {
-        for policy in [PolicyKind::NimblePlusPlus, PolicyKind::Kloc] {
-            let mut tputs = [0.0f64; 2];
-            for (i, thp_on) in [false, true].into_iter().enumerate() {
+        for policy in POLICIES {
+            for thp_on in [false, true] {
                 let params = KernelParams {
                     page_cache_budget: scale.page_cache_frames,
                     thp_app: thp_on,
@@ -231,13 +246,22 @@ pub fn thp(scale: &Scale, workloads: &[WorkloadKind]) -> Result<ThpAblation, Ker
                 };
                 let mut cfg = RunConfig::two_tier(w, policy, scale.clone());
                 cfg.kernel_params = Some(params);
-                tputs[i] = engine::run(&cfg)?.throughput();
+                configs.push(cfg);
             }
+        }
+    }
+    let reports = runner.run_all(configs)?;
+
+    let mut rows = Vec::new();
+    let mut pairs = reports.chunks(2);
+    for &w in workloads {
+        for policy in POLICIES {
+            let pair = pairs.next().expect("one 4K/THP pair per cell");
             rows.push((
                 w.label().to_owned(),
                 policy.label().to_owned(),
-                tputs[0],
-                tputs[1],
+                pair[0].throughput(),
+                pair[1].throughput(),
             ));
         }
     }
@@ -248,7 +272,13 @@ pub fn thp(scale: &Scale, workloads: &[WorkloadKind]) -> Result<ThpAblation, Ker
 pub fn thp_table(a: &ThpAblation) -> Table {
     let mut t = Table::new(
         "Ablation (5): transparent huge pages for app memory (paper hypothesis)",
-        &["workload", "policy", "ops/s (4K)", "ops/s (THP)", "THP gain"],
+        &[
+            "workload",
+            "policy",
+            "ops/s (4K)",
+            "ops/s (THP)",
+            "THP gain",
+        ],
     );
     for (w, p, base, thp) in &a.rows {
         t.row(vec![
@@ -293,20 +323,36 @@ impl GranularityAblation {
 /// # Errors
 /// Propagates kernel errors.
 pub fn granularity(
+    runner: &Runner,
     scale: &Scale,
     workloads: &[WorkloadKind],
 ) -> Result<GranularityAblation, KernelError> {
-    let mut rows = Vec::new();
+    // Per workload: coarse (inode) then fine (member) granularity.
+    let mut jobs = Vec::with_capacity(workloads.len() * 2);
     for &w in workloads {
         let cfg = RunConfig::two_tier(w, PolicyKind::Kloc, scale.clone());
-        let coarse = engine::run_with(&cfg, Box::new(KlocPolicy::coarse()))?;
-        let fine = engine::run_with(&cfg, Box::new(KlocPolicy::new()))?;
-        rows.push((
-            w.label().to_owned(),
-            coarse.throughput(),
-            fine.throughput(),
+        jobs.push(Job::with_policy(
+            cfg.clone(),
+            Box::new(|| Box::new(KlocPolicy::coarse())),
+        ));
+        jobs.push(Job::with_policy(
+            cfg,
+            Box::new(|| Box::new(KlocPolicy::new())),
         ));
     }
+    let reports = runner.run_jobs(jobs)?;
+
+    let rows = workloads
+        .iter()
+        .zip(reports.chunks(2))
+        .map(|(&w, pair)| {
+            (
+                w.label().to_owned(),
+                pair[0].throughput(),
+                pair[1].throughput(),
+            )
+        })
+        .collect();
     Ok(GranularityAblation { rows })
 }
 
@@ -314,7 +360,12 @@ pub fn granularity(
 pub fn granularity_table(a: &GranularityAblation) -> Table {
     let mut t = Table::new(
         "Ablation (4.4): inode-granular (paper baseline) vs member-granular tracking",
-        &["workload", "inode-granular ops/s", "member-granular ops/s", "gain"],
+        &[
+            "workload",
+            "inode-granular ops/s",
+            "member-granular ops/s",
+            "gain",
+        ],
     );
     for (w, coarse, fine) in &a.rows {
         t.row(vec![
@@ -333,7 +384,7 @@ mod tests {
 
     #[test]
     fn percpu_lists_cut_tree_accesses_substantially() {
-        let a = percpu(&Scale::tiny()).unwrap();
+        let a = percpu(&Runner::auto(), &Scale::tiny()).unwrap();
         assert!(
             a.reduction() > 0.4,
             "per-CPU lists should cut tree accesses ~54%, got {:.1}%",
@@ -345,7 +396,7 @@ mod tests {
 
     #[test]
     fn granularity_extension_does_not_regress() {
-        let a = granularity(&Scale::tiny(), &[WorkloadKind::RocksDb]).unwrap();
+        let a = granularity(&Runner::auto(), &Scale::tiny(), &[WorkloadKind::RocksDb]).unwrap();
         assert_eq!(a.rows.len(), 1);
         assert!(
             a.mean_gain() > 0.9,
@@ -357,7 +408,7 @@ mod tests {
 
     #[test]
     fn thp_runs_and_reports() {
-        let a = thp(&Scale::tiny(), &[WorkloadKind::Redis]).unwrap();
+        let a = thp(&Runner::auto(), &Scale::tiny(), &[WorkloadKind::Redis]).unwrap();
         assert_eq!(a.rows.len(), 2);
         let (without, with) = a.kloc_margin("Redis").expect("margin");
         // The paper's hypothesis: KLOCs' advantage holds (or grows) with
@@ -371,7 +422,7 @@ mod tests {
 
     #[test]
     fn prefetch_helps_sequential_workloads() {
-        let a = prefetch(&Scale::tiny(), WorkloadKind::Spark).unwrap();
+        let a = prefetch(&Runner::auto(), &Scale::tiny(), WorkloadKind::Spark).unwrap();
         assert!(a.issued > 0, "prefetch must fire for streaming reads");
         assert!(
             a.speedup() > 0.95,

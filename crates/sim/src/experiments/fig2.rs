@@ -17,14 +17,15 @@ use kloc_mem::PageKind;
 use kloc_policy::PolicyKind;
 use kloc_workloads::{Scale, WorkloadKind};
 
-use crate::engine::{self, Platform, RunConfig, RunReport};
+use crate::engine::{Platform, RunConfig, RunReport};
 use crate::report::{pct, Table};
+use crate::runner::Runner;
 
 /// Runs the characterization for every workload at `scale`.
 ///
 /// # Errors
 /// Propagates kernel errors.
-pub fn run_all(scale: &Scale) -> Result<Vec<RunReport>, KernelError> {
+pub fn run_all(runner: &Runner, scale: &Scale) -> Result<Vec<RunReport>, KernelError> {
     // Run under realistic memory pressure: the page cache holds only a
     // third of the dataset, so cache pages are reclaimed and their
     // lifetimes (Fig. 2d) reflect churn, as on the paper's testbeds.
@@ -32,18 +33,17 @@ pub fn run_all(scale: &Scale) -> Result<Vec<RunReport>, KernelError> {
         page_cache_budget: (scale.data_pages() / 3).max(128),
         ..kloc_kernel::KernelParams::default()
     };
-    WorkloadKind::ALL
+    let configs = WorkloadKind::ALL
         .iter()
-        .map(|&w| {
-            engine::run(&RunConfig {
-                workload: w,
-                policy: PolicyKind::AllFast,
-                scale: scale.clone(),
-                platform: Platform::default_two_tier(),
-                kernel_params: Some(params.clone()),
-            })
+        .map(|&w| RunConfig {
+            workload: w,
+            policy: PolicyKind::AllFast,
+            scale: scale.clone(),
+            platform: Platform::default_two_tier(),
+            kernel_params: Some(params.clone()),
         })
-        .collect()
+        .collect();
+    runner.run_all(configs)
 }
 
 /// One bar of Fig. 2a.
@@ -93,7 +93,15 @@ pub fn fig2a(reports: &[RunReport]) -> Vec<Fig2aRow> {
 pub fn fig2a_table(rows: &[Fig2aRow]) -> Table {
     let mut t = Table::new(
         "Fig 2a: footprint breakdown (app vs kernel object categories)",
-        &["workload", "app", "page-cache", "journal", "fs-slab", "network", "total pages"],
+        &[
+            "workload",
+            "app",
+            "page-cache",
+            "journal",
+            "fs-slab",
+            "network",
+            "total pages",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -262,7 +270,7 @@ mod tests {
 
     #[test]
     fn motivation_shapes_hold_at_tiny_scale() {
-        let reports = run_all(&Scale::tiny()).unwrap();
+        let reports = run_all(&Runner::auto(), &Scale::tiny()).unwrap();
         assert_eq!(reports.len(), WorkloadKind::ALL.len());
 
         // Fig 2a: kernel objects are a significant share everywhere.
@@ -279,7 +287,11 @@ mod tests {
         }
         // Redis has a visible network share; RocksDB is page-cache heavy.
         let redis = rows.iter().find(|r| r.workload == "Redis").unwrap();
-        assert!(redis.network > 0.02, "Redis network share {:.3}", redis.network);
+        assert!(
+            redis.network > 0.02,
+            "Redis network share {:.3}",
+            redis.network
+        );
         let rocks = rows.iter().find(|r| r.workload == "RocksDB").unwrap();
         assert!(
             rocks.page_cache > rocks.network,

@@ -9,8 +9,9 @@ use kloc_kernel::KernelError;
 use kloc_policy::PolicyKind;
 use kloc_workloads::{Scale, WorkloadKind};
 
-use crate::engine::{self, Platform, RunConfig, RunReport};
+use crate::engine::{Platform, RunConfig, RunReport};
 use crate::report::{f2, Table};
+use crate::runner::Runner;
 
 /// Speedups for one workload.
 #[derive(Debug, Clone)]
@@ -37,35 +38,44 @@ impl Fig4Row {
 
 /// Runs Fig. 4 for the given workloads on a two-tier platform.
 ///
+/// All `(workload, policy)` runs — the All-Slow baselines included — are
+/// independent, so the whole figure is dispatched as one batch through
+/// `runner`.
+///
 /// # Errors
 /// Propagates kernel errors.
 pub fn run(
+    runner: &Runner,
     scale: &Scale,
     platform: Platform,
     workloads: &[WorkloadKind],
 ) -> Result<Vec<Fig4Row>, KernelError> {
-    let mut rows = Vec::new();
+    // Per workload: one All-Slow baseline followed by every policy bar.
+    let chunk = 1 + PolicyKind::TWO_TIER.len();
+    let mut configs = Vec::with_capacity(workloads.len() * chunk);
     for &w in workloads {
-        let baseline = engine::run(&RunConfig {
-            workload: w,
-            policy: PolicyKind::AllSlow,
-            scale: scale.clone(),
-            platform,
-            kernel_params: None,
-        })?;
-        let mut speedups = Vec::new();
-        let mut runs = Vec::new();
-        for policy in PolicyKind::TWO_TIER {
-            let r = engine::run(&RunConfig {
+        for policy in std::iter::once(PolicyKind::AllSlow).chain(PolicyKind::TWO_TIER) {
+            configs.push(RunConfig {
                 workload: w,
                 policy,
                 scale: scale.clone(),
                 platform,
                 kernel_params: None,
-            })?;
-            speedups.push((policy.label().to_owned(), r.speedup_over(&baseline)));
-            runs.push(r);
+            });
         }
+    }
+    let reports = runner.run_all(configs)?;
+
+    let mut rows = Vec::new();
+    for (i, &w) in workloads.iter().enumerate() {
+        let group = &reports[i * chunk..(i + 1) * chunk];
+        let baseline = group[0].clone();
+        let runs: Vec<RunReport> = group[1..].to_vec();
+        let speedups = PolicyKind::TWO_TIER
+            .iter()
+            .zip(&runs)
+            .map(|(p, r)| (p.label().to_owned(), r.speedup_over(&baseline)))
+            .collect();
         rows.push(Fig4Row {
             workload: w.label().to_owned(),
             speedups,
@@ -101,6 +111,7 @@ mod tests {
             bw_ratio: 8,
         };
         let rows = run(
+            &Runner::auto(),
             &Scale::tiny(),
             platform,
             &[WorkloadKind::RocksDb, WorkloadKind::Redis],

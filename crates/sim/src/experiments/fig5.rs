@@ -9,8 +9,9 @@ use kloc_mem::PageKind;
 use kloc_policy::{AutoNuma, KlocPolicy, Policy, PolicyKind};
 use kloc_workloads::{Scale, WorkloadKind};
 
-use crate::engine::{self, OptaneScenario, Platform, RunConfig, RunReport};
+use crate::engine::{OptaneScenario, Platform, RunConfig, RunReport};
 use crate::report::{f2, Table};
+use crate::runner::{Job, Runner};
 
 // ---------------------------------------------------------------------
 // Fig. 5a — Optane Memory Mode
@@ -85,35 +86,50 @@ fn optane_config(w: WorkloadKind, scale: &Scale, scenario: OptaneScenario) -> Ru
 ///
 /// # Errors
 /// Propagates kernel errors.
-pub fn fig5a(scale: &Scale, workloads: &[WorkloadKind]) -> Result<Vec<Fig5aRow>, KernelError> {
+pub fn fig5a(
+    runner: &Runner,
+    scale: &Scale,
+    workloads: &[WorkloadKind],
+) -> Result<Vec<Fig5aRow>, KernelError> {
     let interfered = OptaneScenario::Interfered { contention: 1.8 };
-    let mut rows = Vec::new();
+    // Per workload: the all-remote baseline, then the four strategy bars.
+    let chunk = 1 + OptaneStrategy::ALL.len();
+    let mut jobs = Vec::with_capacity(workloads.len() * chunk);
     for &w in workloads {
         // Worst-case baseline: all accesses remote.
-        let baseline = engine::run_with(
-            &optane_config(w, scale, OptaneScenario::AllRemote),
-            Box::new(AutoNuma::new()),
-        )?;
-        let mut speedups = Vec::new();
+        jobs.push(Job::with_policy(
+            optane_config(w, scale, OptaneScenario::AllRemote),
+            Box::new(|| Box::new(AutoNuma::new())),
+        ));
         for strat in OptaneStrategy::ALL {
-            let (policy, scenario): (Box<dyn Policy>, OptaneScenario) = match strat {
-                OptaneStrategy::AutoNuma => (Box::new(AutoNuma::new()), interfered),
-                OptaneStrategy::Nimble => (Box::new(AutoNuma::nimble_flavor()), interfered),
-                OptaneStrategy::Kloc => (
-                    Box::new(kloc_policy::AutoNumaKloc::new()),
-                    interfered,
-                ),
-                OptaneStrategy::AllLocal => (
-                    // Same policy stack as the KLOC bar, but with no
-                    // interference and no task movement: pure upper bound.
-                    Box::new(kloc_policy::AutoNumaKloc::new()),
-                    OptaneScenario::AllLocal,
-                ),
+            let scenario = match strat {
+                OptaneStrategy::AllLocal => OptaneScenario::AllLocal,
+                _ => interfered,
             };
-            let mut r = engine::run_with(&optane_config(w, scale, scenario), policy)?;
-            r.policy = strat.label().to_owned();
-            speedups.push((strat.label().to_owned(), r.speedup_over(&baseline)));
+            let factory: Box<dyn Fn() -> Box<dyn Policy> + Send + Sync> = match strat {
+                OptaneStrategy::AutoNuma => Box::new(|| Box::new(AutoNuma::new())),
+                OptaneStrategy::Nimble => Box::new(|| Box::new(AutoNuma::nimble_flavor())),
+                // The All-Local bar uses the same policy stack as the
+                // KLOC bar, but with no interference and no task
+                // movement: pure upper bound.
+                OptaneStrategy::Kloc | OptaneStrategy::AllLocal => {
+                    Box::new(|| Box::new(kloc_policy::AutoNumaKloc::new()))
+                }
+            };
+            jobs.push(Job::with_policy(optane_config(w, scale, scenario), factory));
         }
+    }
+    let reports = runner.run_jobs(jobs)?;
+
+    let mut rows = Vec::new();
+    for (i, &w) in workloads.iter().enumerate() {
+        let group = &reports[i * chunk..(i + 1) * chunk];
+        let baseline = &group[0];
+        let speedups = OptaneStrategy::ALL
+            .iter()
+            .zip(&group[1..])
+            .map(|(strat, r)| (strat.label().to_owned(), r.speedup_over(baseline)))
+            .collect();
         rows.push(Fig5aRow {
             workload: w.label().to_owned(),
             speedups,
@@ -126,10 +142,7 @@ pub fn fig5a(scale: &Scale, workloads: &[WorkloadKind]) -> Result<Vec<Fig5aRow>,
 pub fn fig5a_table(rows: &[Fig5aRow]) -> Table {
     let mut header = vec!["workload"];
     header.extend(OptaneStrategy::ALL.iter().map(|s| s.label()));
-    let mut t = Table::new(
-        "Fig 5a: Optane Memory Mode speedup vs all-remote",
-        &header,
-    );
+    let mut t = Table::new("Fig 5a: Optane Memory Mode speedup vs all-remote", &header);
     for r in rows {
         let mut cells = vec![r.workload.clone()];
         cells.extend(r.speedups.iter().map(|(_, s)| f2(*s)));
@@ -161,25 +174,29 @@ pub struct Fig5bRow {
 ///
 /// # Errors
 /// Propagates kernel errors.
-pub fn fig5b(scale: &Scale, platform: Platform) -> Result<Vec<Fig5bRow>, KernelError> {
+pub fn fig5b(
+    runner: &Runner,
+    scale: &Scale,
+    platform: Platform,
+) -> Result<Vec<Fig5bRow>, KernelError> {
     let policies = [
         PolicyKind::Naive,
         PolicyKind::Nimble,
         PolicyKind::NimblePlusPlus,
         PolicyKind::Kloc,
     ];
-    let mut rows = Vec::new();
-    for p in policies {
-        let r = engine::run(&RunConfig {
+    let configs = policies
+        .iter()
+        .map(|&p| RunConfig {
             workload: WorkloadKind::RocksDb,
             policy: p,
             scale: scale.clone(),
             platform,
             kernel_params: None,
-        })?;
-        rows.push(fig5b_row(&r));
-    }
-    Ok(rows)
+        })
+        .collect();
+    let reports = runner.run_all(configs)?;
+    Ok(reports.iter().map(fig5b_row).collect())
 }
 
 /// Extracts a Fig. 5b row from a run report.
@@ -199,7 +216,13 @@ pub fn fig5b_row(r: &RunReport) -> Fig5bRow {
 pub fn fig5b_table(rows: &[Fig5bRow]) -> Table {
     let mut t = Table::new(
         "Fig 5b: RocksDB slow-memory allocations and migrations",
-        &["policy", "slow cache allocs", "slow slab allocs", "demotions", "promotions"],
+        &[
+            "policy",
+            "slow cache allocs",
+            "slow slab allocs",
+            "demotions",
+            "promotions",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -229,7 +252,10 @@ pub fn inclusion_stages() -> Vec<(&'static str, Vec<KernelObjectType>)> {
         ),
         (
             "+journal",
-            vec![KernelObjectType::JournalHead, KernelObjectType::JournalBlock],
+            vec![
+                KernelObjectType::JournalHead,
+                KernelObjectType::JournalBlock,
+            ],
         ),
         (
             "+fs-slab",
@@ -271,36 +297,45 @@ pub struct Fig5cRow {
 /// # Errors
 /// Propagates kernel errors.
 pub fn fig5c(
+    runner: &Runner,
     scale: &Scale,
     platform: Platform,
     workloads: &[WorkloadKind],
 ) -> Result<Vec<Fig5cRow>, KernelError> {
     let stages = inclusion_stages();
-    let mut rows = Vec::new();
+    // Per workload, one job per cumulative inclusion stage.
+    let mut jobs = Vec::with_capacity(workloads.len() * stages.len());
     for &w in workloads {
-        let mut series = Vec::new();
         let mut included: BTreeSet<KernelObjectType> = BTreeSet::new();
-        let mut base = None;
-        for (label, group) in &stages {
+        for (_, group) in &stages {
             included.extend(group.iter().copied());
             let cfg = KlocConfig {
                 included: included.clone(),
                 ..KlocConfig::default()
             };
-            let r = engine::run_with(
-                &RunConfig {
+            jobs.push(Job::with_policy(
+                RunConfig {
                     workload: w,
                     policy: PolicyKind::Kloc,
                     scale: scale.clone(),
                     platform,
                     kernel_params: None,
                 },
-                Box::new(KlocPolicy::with_config(cfg, true)),
-            )?;
-            let tput = r.throughput();
-            let base_tput = *base.get_or_insert(tput);
-            series.push(((*label).to_owned(), tput / base_tput));
+                Box::new(move || Box::new(KlocPolicy::with_config(cfg.clone(), true))),
+            ));
         }
+    }
+    let reports = runner.run_jobs(jobs)?;
+
+    let mut rows = Vec::new();
+    for (i, &w) in workloads.iter().enumerate() {
+        let group = &reports[i * stages.len()..(i + 1) * stages.len()];
+        let base = group[0].throughput();
+        let series = stages
+            .iter()
+            .zip(group)
+            .map(|((label, _), r)| ((*label).to_owned(), r.throughput() / base))
+            .collect();
         rows.push(Fig5cRow {
             workload: w.label().to_owned(),
             series,
@@ -332,13 +367,16 @@ mod tests {
 
     #[test]
     fn fig5a_kloc_beats_autonuma_and_ideal_bounds_it() {
-        let rows = fig5a(&Scale::tiny(), &[WorkloadKind::Redis]).unwrap();
+        let rows = fig5a(&Runner::auto(), &Scale::tiny(), &[WorkloadKind::Redis]).unwrap();
         let r = &rows[0];
         let kloc = r.speedup(OptaneStrategy::Kloc).unwrap();
         let auto = r.speedup(OptaneStrategy::AutoNuma).unwrap();
         let ideal = r.speedup(OptaneStrategy::AllLocal).unwrap();
         assert!(kloc > auto, "KLOCs {kloc:.2} vs AutoNUMA {auto:.2}");
-        assert!(ideal >= kloc * 0.95, "ideal {ideal:.2} bounds KLOCs {kloc:.2}");
+        assert!(
+            ideal >= kloc * 0.95,
+            "ideal {ideal:.2} bounds KLOCs {kloc:.2}"
+        );
         assert!(auto >= 0.9, "AutoNUMA must beat the all-remote baseline");
         assert!(!fig5a_table(&rows).is_empty());
     }
@@ -349,7 +387,7 @@ mod tests {
             fast_bytes: 512 << 10,
             bw_ratio: 8,
         };
-        let rows = fig5b(&Scale::tiny(), platform).unwrap();
+        let rows = fig5b(&Runner::auto(), &Scale::tiny(), platform).unwrap();
         let by = |name: &str| rows.iter().find(|r| r.policy == name).unwrap().clone();
         let kloc = by("KLOCs");
         let nimble = by("Nimble");

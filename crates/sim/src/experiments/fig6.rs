@@ -11,8 +11,9 @@ use kloc_kernel::KernelError;
 use kloc_policy::PolicyKind;
 use kloc_workloads::{Scale, WorkloadKind};
 
-use crate::engine::{self, Platform, RunConfig};
+use crate::engine::{Platform, RunConfig};
 use crate::report::{f2, Table};
+use crate::runner::Runner;
 
 /// Capacities swept (scaled analogues of 4/8/32 GB).
 pub const CAPACITIES: [u64; 3] = [4 << 20, 8 << 20, 32 << 20];
@@ -45,44 +46,59 @@ pub struct Fig6Cell {
 
 /// Runs the sweep.
 ///
+/// The full capacity x ratio x policy x workload cross product — the
+/// All-Slow baselines included — is dispatched as one batch through
+/// `runner`; with N workloads each (capacity, ratio) point contributes
+/// `N * (1 + POLICIES)` independent runs.
+///
 /// # Errors
 /// Propagates kernel errors.
 pub fn run(
+    runner: &Runner,
     scale: &Scale,
     workloads: &[WorkloadKind],
     capacities: &[u64],
     ratios: &[u64],
 ) -> Result<Vec<Fig6Cell>, KernelError> {
-    let mut cells = Vec::new();
+    // Per (capacity, ratio): per-workload baselines, then per policy the
+    // per-workload runs.
+    let w_n = workloads.len();
+    let chunk = w_n * (1 + POLICIES.len());
+    let mut configs = Vec::with_capacity(capacities.len() * ratios.len() * chunk);
     for &cap in capacities {
         for &ratio in ratios {
             let platform = Platform::TwoTier {
                 fast_bytes: cap,
                 bw_ratio: ratio,
             };
-            // Per-workload All-Slow baselines for this ratio.
-            let mut baselines = Vec::new();
-            for &w in workloads {
-                baselines.push(engine::run(&RunConfig {
-                    workload: w,
-                    policy: PolicyKind::AllSlow,
-                    scale: scale.clone(),
-                    platform,
-                    kernel_params: None,
-                })?);
-            }
-            for policy in POLICIES {
-                let mut speedups = Vec::new();
-                for (i, &w) in workloads.iter().enumerate() {
-                    let r = engine::run(&RunConfig {
+            for policy in std::iter::once(PolicyKind::AllSlow).chain(POLICIES) {
+                for &w in workloads {
+                    configs.push(RunConfig {
                         workload: w,
                         policy,
                         scale: scale.clone(),
                         platform,
                         kernel_params: None,
-                    })?;
-                    speedups.push(r.speedup_over(&baselines[i]));
+                    });
                 }
+            }
+        }
+    }
+    let reports = runner.run_all(configs)?;
+
+    let mut cells = Vec::new();
+    let mut groups = reports.chunks(chunk);
+    for &cap in capacities {
+        for &ratio in ratios {
+            let group = groups.next().expect("one group per platform point");
+            let baselines = &group[..w_n];
+            for (p_i, policy) in POLICIES.iter().enumerate() {
+                let runs = &group[(1 + p_i) * w_n..(2 + p_i) * w_n];
+                let speedups: Vec<f64> = runs
+                    .iter()
+                    .zip(baselines)
+                    .map(|(r, b)| r.speedup_over(b))
+                    .collect();
                 let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
                 let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
                 let max = speedups.iter().cloned().fold(0.0, f64::max);
@@ -139,6 +155,7 @@ mod tests {
     fn kloc_gains_grow_with_bandwidth_differential() {
         // Small sweep at tiny scale: two ratios, one capacity.
         let cells = run(
+            &Runner::auto(),
             &Scale::tiny(),
             &[WorkloadKind::RocksDb],
             &[512 << 10],
@@ -162,6 +179,7 @@ mod tests {
     #[test]
     fn gains_shrink_as_capacity_grows() {
         let cells = run(
+            &Runner::auto(),
             &Scale::tiny(),
             &[WorkloadKind::RocksDb],
             &[256 << 10, 8 << 20],

@@ -11,8 +11,9 @@ use kloc_kernel::KernelError;
 use kloc_policy::PolicyKind;
 use kloc_workloads::{Scale, WorkloadKind};
 
-use crate::engine::{self, Platform, RunConfig};
+use crate::engine::{Platform, RunConfig};
 use crate::report::{bytes, pct, Table};
+use crate::runner::Runner;
 
 /// One workload's overhead row.
 #[derive(Debug, Clone)]
@@ -30,11 +31,15 @@ pub struct Table6Row {
 ///
 /// # Errors
 /// Propagates kernel errors.
-pub fn run(scale: &Scale, workloads: &[WorkloadKind]) -> Result<Vec<Table6Row>, KernelError> {
+pub fn run(
+    runner: &Runner,
+    scale: &Scale,
+    workloads: &[WorkloadKind],
+) -> Result<Vec<Table6Row>, KernelError> {
     let fast_bytes = scale.fast_bytes;
-    let mut rows = Vec::new();
-    for &w in workloads {
-        let r = engine::run(&RunConfig {
+    let configs = workloads
+        .iter()
+        .map(|&w| RunConfig {
             workload: w,
             policy: PolicyKind::Kloc,
             scale: scale.clone(),
@@ -43,14 +48,21 @@ pub fn run(scale: &Scale, workloads: &[WorkloadKind]) -> Result<Vec<Table6Row>, 
                 bw_ratio: 8,
             },
             kernel_params: None,
-        })?;
-        let overhead = r.overhead.expect("KLOC policy reports overhead");
-        rows.push(Table6Row {
-            workload: w.label().to_owned(),
-            fraction_of_footprint: overhead.fraction_of(scale.data_bytes),
-            overhead,
-        });
-    }
+        })
+        .collect();
+    let reports = runner.run_all(configs)?;
+    let rows = workloads
+        .iter()
+        .zip(reports)
+        .map(|(&w, r)| {
+            let overhead = r.overhead.expect("KLOC policy reports overhead");
+            Table6Row {
+                workload: w.label().to_owned(),
+                fraction_of_footprint: overhead.fraction_of(scale.data_bytes),
+                overhead,
+            }
+        })
+        .collect();
     Ok(rows)
 }
 
@@ -88,9 +100,18 @@ mod tests {
 
     #[test]
     fn overhead_is_under_one_percent() {
-        let rows = run(&Scale::tiny(), &[WorkloadKind::RocksDb, WorkloadKind::Redis]).unwrap();
+        let rows = run(
+            &Runner::auto(),
+            &Scale::tiny(),
+            &[WorkloadKind::RocksDb, WorkloadKind::Redis],
+        )
+        .unwrap();
         for r in &rows {
-            assert!(r.overhead.total() > 0, "{}: no metadata measured", r.workload);
+            assert!(
+                r.overhead.total() > 0,
+                "{}: no metadata measured",
+                r.workload
+            );
             assert!(
                 r.fraction_of_footprint < 0.01,
                 "{}: overhead {:.3}% exceeds the paper's <1% claim",

@@ -27,6 +27,8 @@
 pub mod engine;
 pub mod experiments;
 pub mod report;
+pub mod runner;
 
 pub use engine::{Platform, RunConfig, RunReport};
 pub use report::Table;
+pub use runner::{Job, Runner};

@@ -47,7 +47,10 @@ impl Table {
 
     /// Cell accessor (row, column).
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
     }
 }
 

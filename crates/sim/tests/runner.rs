@@ -1,0 +1,69 @@
+//! Determinism contract of the parallel sweep runner: for any batch,
+//! parallel execution yields exactly the reports serial execution does,
+//! in the same order.
+
+use kloc_policy::PolicyKind;
+use kloc_sim::engine::{Platform, RunConfig};
+use kloc_sim::Runner;
+use kloc_workloads::{Scale, WorkloadKind};
+
+/// A mixed fig4-style matrix: several workloads x several policies, with
+/// two platform variants thrown in so run costs differ widely.
+fn matrix() -> Vec<RunConfig> {
+    let mut configs = Vec::new();
+    for platform in [
+        Platform::TwoTier {
+            fast_bytes: 512 << 10,
+            bw_ratio: 8,
+        },
+        Platform::TwoTier {
+            fast_bytes: 256 << 10,
+            bw_ratio: 2,
+        },
+    ] {
+        for w in [
+            WorkloadKind::RocksDb,
+            WorkloadKind::Redis,
+            WorkloadKind::Filebench,
+        ] {
+            for p in [
+                PolicyKind::AllSlow,
+                PolicyKind::Naive,
+                PolicyKind::Nimble,
+                PolicyKind::Kloc,
+            ] {
+                configs.push(RunConfig {
+                    workload: w,
+                    policy: p,
+                    scale: Scale::tiny(),
+                    platform,
+                    kernel_params: None,
+                });
+            }
+        }
+    }
+    configs
+}
+
+#[test]
+fn runner_matches_serial() {
+    let configs = matrix();
+    let serial = Runner::serial().run_all(configs.clone()).expect("serial");
+
+    for jobs in [2, 4, 8] {
+        let parallel = Runner::new(jobs)
+            .run_all(configs.clone())
+            .expect("parallel");
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            // Spot-check the load-bearing fields with readable messages
+            // before the full structural comparison.
+            assert_eq!(s.workload, p.workload, "run {i}: workload");
+            assert_eq!(s.policy, p.policy, "run {i}: policy");
+            assert_eq!(s.elapsed, p.elapsed, "run {i}: virtual elapsed time");
+            assert_eq!(s.ops, p.ops, "run {i}: ops completed");
+            assert_eq!(s.migrations, p.migrations, "run {i}: migration counters");
+            assert_eq!(s, p, "run {i}: full report ({jobs} jobs)");
+        }
+    }
+}

@@ -3,6 +3,7 @@
 
 use kloc_sim::engine::Platform;
 use kloc_sim::experiments::{ablations, fig2, fig4, fig5, fig6, table6};
+use kloc_sim::Runner;
 use kloc_workloads::{Scale, WorkloadKind};
 
 fn platform(scale: &Scale) -> Platform {
@@ -14,11 +15,12 @@ fn platform(scale: &Scale) -> Platform {
 
 #[test]
 fn every_experiment_regenerates_at_tiny_scale() {
+    let runner = Runner::auto();
     let scale = Scale::tiny();
     let one = [WorkloadKind::RocksDb];
 
     // Fig 2 family.
-    let reports = fig2::run_all(&scale).expect("fig2");
+    let reports = fig2::run_all(&runner, &scale).expect("fig2");
     assert_eq!(reports.len(), WorkloadKind::ALL.len());
     assert_eq!(fig2::fig2a(&reports).len(), reports.len());
     assert_eq!(fig2::fig2b(&reports, &reports).len(), reports.len());
@@ -27,29 +29,29 @@ fn every_experiment_regenerates_at_tiny_scale() {
     assert!(fig2::fig2a_detailed_table(&reports).len() > 10);
 
     // Fig 4.
-    let rows = fig4::run(&scale, platform(&scale), &one).expect("fig4");
+    let rows = fig4::run(&runner, &scale, platform(&scale), &one).expect("fig4");
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0].speedups.len(), 6);
 
     // Fig 5a / 5b / 5c.
-    let rows = fig5::fig5a(&scale, &one).expect("fig5a");
+    let rows = fig5::fig5a(&runner, &scale, &one).expect("fig5a");
     assert_eq!(rows[0].speedups.len(), 4);
-    let rows = fig5::fig5b(&scale, platform(&scale)).expect("fig5b");
+    let rows = fig5::fig5b(&runner, &scale, platform(&scale)).expect("fig5b");
     assert_eq!(rows.len(), 4);
-    let rows = fig5::fig5c(&scale, platform(&scale), &one).expect("fig5c");
+    let rows = fig5::fig5c(&runner, &scale, platform(&scale), &one).expect("fig5c");
     assert_eq!(rows[0].series.len(), fig5::inclusion_stages().len());
 
     // Fig 6 (single cell).
-    let cells = fig6::run(&scale, &one, &[scale.fast_bytes], &[8]).expect("fig6");
+    let cells = fig6::run(&runner, &scale, &one, &[scale.fast_bytes], &[8]).expect("fig6");
     assert_eq!(cells.len(), fig6::POLICIES.len());
 
     // Table 6.
-    let rows = table6::run(&scale, &one).expect("table6");
+    let rows = table6::run(&runner, &scale, &one).expect("table6");
     assert_eq!(rows.len(), 1);
 
     // Ablations.
-    ablations::percpu(&scale).expect("percpu");
-    ablations::prefetch(&scale, WorkloadKind::Spark).expect("prefetch");
-    ablations::thp(&scale, &one).expect("thp");
-    ablations::granularity(&scale, &one).expect("granularity");
+    ablations::percpu(&runner, &scale).expect("percpu");
+    ablations::prefetch(&runner, &scale, WorkloadKind::Spark).expect("prefetch");
+    ablations::thp(&runner, &scale, &one).expect("thp");
+    ablations::granularity(&runner, &scale, &one).expect("granularity");
 }

@@ -8,8 +8,7 @@
 //! Nimble++" and benefits least even from All-Fast placement (§7.1).
 //! Java/GC overhead is modeled as extra per-op think time.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::WorkloadRng;
 
 use kloc_kernel::hooks::{CpuId, Ctx};
 use kloc_kernel::{Fd, Kernel, KernelError};
@@ -62,7 +61,7 @@ const RESPONSE_BYTES: u64 = 1024;
 pub struct Cassandra {
     scale: Scale,
     zipf: Zipfian,
-    rng: StdRng,
+    rng: WorkloadRng,
     mix: YcsbMix,
     sockets: Vec<Fd>,
     app_cache: AppMemory,
@@ -86,7 +85,7 @@ impl Cassandra {
         let n_keys = (scale.data_bytes / 2048).max(16);
         Cassandra {
             zipf: Zipfian::new(n_keys),
-            rng: StdRng::seed_from_u64(scale.seed ^ 0xCA55),
+            rng: WorkloadRng::seed_from_u64(scale.seed ^ 0xCA55),
             mix,
             sockets: Vec::new(),
             app_cache: AppMemory::default(),
@@ -146,15 +145,14 @@ impl Workload for Cassandra {
         k.recv(ctx, sock, REQUEST_BYTES)?;
         // charge() divides by the thread-parallelism factor; scaling by
         // the thread count makes this overhead effectively serial.
-        ctx.mem
-            .charge(SERIAL_OVERHEAD * self.scale.threads as u64);
+        ctx.mem.charge(SERIAL_OVERHEAD * self.scale.threads as u64);
         // Java object churn.
         self.app_cache.churn(k, ctx, 48)?;
 
-        let is_read = self.rng.gen::<f64>() < self.mix.read_fraction();
+        let is_read = self.rng.gen_f64() < self.mix.read_fraction();
         if is_read {
             self.app_cache.touch(k, ctx, key, 1024, false);
-            if self.rng.gen::<f64>() >= APP_CACHE_HIT && !self.sstables.is_empty() {
+            if self.rng.gen_f64() >= APP_CACHE_HIT && !self.sstables.is_empty() {
                 // App-cache miss: hit an SSTable (range-partitioned so
                 // key skew concentrates in a hot file subset).
                 let n = self.sstables.len() as u64;
@@ -222,7 +220,12 @@ mod tests {
         let mut w = Cassandra::new(&scale);
         let mut ctx = Ctx::new(&mut mem, &mut hooks);
         w.setup(&mut k, &mut ctx).unwrap();
-        let opens_after_setup = k.stats().syscalls.get(&kloc_kernel::stats::Syscall::Open).copied().unwrap_or(0);
+        let opens_after_setup = k
+            .stats()
+            .syscalls
+            .get(&kloc_kernel::stats::Syscall::Open)
+            .copied()
+            .unwrap_or(0);
         while !w.is_done() {
             w.step(&mut k, &mut ctx).unwrap();
         }

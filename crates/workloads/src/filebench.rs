@@ -7,8 +7,7 @@
 //! 86 % of execution time inside the OS (§3.1), making it the most
 //! kernel-object-sensitive workload.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::WorkloadRng;
 
 use kloc_kernel::hooks::{CpuId, Ctx};
 use kloc_kernel::{Kernel, KernelError};
@@ -37,7 +36,7 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
 pub struct Filebench {
     scale: Scale,
     zipf: Zipfian,
-    rng: StdRng,
+    rng: WorkloadRng,
     n_files: u64,
     /// Multiplier decorrelating file hotness from creation order.
     perm: u64,
@@ -58,7 +57,7 @@ impl Filebench {
         }
         Filebench {
             zipf: Zipfian::new(n_files),
-            rng: StdRng::seed_from_u64(scale.seed ^ 0xF17E),
+            rng: WorkloadRng::seed_from_u64(scale.seed ^ 0xF17E),
             n_files,
             perm,
             cursors: vec![0; scale.threads as usize],
@@ -107,10 +106,10 @@ impl Workload for Filebench {
         let file = (self.zipf.next_key(&mut self.rng) * self.perm) % self.n_files;
         let fd = k.open(ctx, &Self::path(file))?;
         for _ in 0..BURST {
-            let is_read = self.rng.gen::<f64>() < 0.5;
+            let is_read = self.rng.gen_f64() < 0.5;
             if is_read {
                 // Half sequential, half random (Table 3).
-                let idx = if self.rng.gen::<bool>() {
+                let idx = if self.rng.gen_bool() {
                     let c = self.cursors[t];
                     self.cursors[t] = (c + 1) % FILE_PAGES;
                     c

@@ -5,8 +5,7 @@
 //! "Quickly Generating Billion-Record Synthetic Databases" algorithm, as
 //! used by YCSB itself.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::WorkloadRng;
 
 /// Key distribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,8 +79,8 @@ impl Zipfian {
     }
 
     /// Draws the next key.
-    pub fn next_key(&self, rng: &mut StdRng) -> u64 {
-        let u: f64 = rng.gen();
+    pub fn next_key(&self, rng: &mut WorkloadRng) -> u64 {
+        let u: f64 = rng.gen_f64();
         let uz = u * self.zetan;
         if uz < 1.0 {
             return 0;
@@ -100,7 +99,7 @@ impl Zipfian {
 }
 
 /// Draws a key from the chosen distribution.
-pub fn draw(dist: KeyDist, zipf: &Zipfian, rng: &mut StdRng) -> u64 {
+pub fn draw(dist: KeyDist, zipf: &Zipfian, rng: &mut WorkloadRng) -> u64 {
     match dist {
         KeyDist::Uniform => rng.gen_range(0..zipf.n()),
         KeyDist::Zipfian => zipf.next_key(rng),
@@ -110,12 +109,11 @@ pub fn draw(dist: KeyDist, zipf: &Zipfian, rng: &mut StdRng) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn zipfian_is_skewed_toward_low_keys() {
         let z = Zipfian::new(10_000);
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = WorkloadRng::seed_from_u64(42);
         let mut head = 0u64;
         let draws = 20_000;
         for _ in 0..draws {
@@ -134,7 +132,7 @@ mod tests {
     #[test]
     fn keys_in_range() {
         let z = Zipfian::new(100);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = WorkloadRng::seed_from_u64(1);
         for _ in 0..5_000 {
             assert!(z.next_key(&mut rng) < 100);
         }
@@ -143,8 +141,8 @@ mod tests {
     #[test]
     fn deterministic_for_same_seed() {
         let z = Zipfian::new(1000);
-        let mut a = StdRng::seed_from_u64(7);
-        let mut b = StdRng::seed_from_u64(7);
+        let mut a = WorkloadRng::seed_from_u64(7);
+        let mut b = WorkloadRng::seed_from_u64(7);
         for _ in 0..100 {
             assert_eq!(z.next_key(&mut a), z.next_key(&mut b));
         }
@@ -153,7 +151,7 @@ mod tests {
     #[test]
     fn uniform_covers_space() {
         let z = Zipfian::new(16);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = WorkloadRng::seed_from_u64(3);
         let mut seen = std::collections::BTreeSet::new();
         for _ in 0..500 {
             seen.insert(draw(KeyDist::Uniform, &z, &mut rng));

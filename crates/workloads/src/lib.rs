@@ -33,6 +33,7 @@ pub mod filebench;
 pub mod interference;
 pub mod keygen;
 pub mod redis;
+pub mod rng;
 pub mod rocksdb;
 pub mod scale;
 pub mod spark;

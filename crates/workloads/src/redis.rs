@@ -8,8 +8,7 @@
 //! pages from checkpoints of *large, quickly-cold* files (which KLOCs
 //! rapidly demote — the source of the 2.2-2.7x Redis wins).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::WorkloadRng;
 
 use kloc_kernel::hooks::{CpuId, Ctx};
 use kloc_kernel::{Fd, Kernel, KernelError};
@@ -60,7 +59,7 @@ struct Instance {
 pub struct Redis {
     scale: Scale,
     zipf: Zipfian,
-    rng: StdRng,
+    rng: WorkloadRng,
     persistence: Persistence,
     instances: Vec<Instance>,
     /// Checkpoint one instance every this many global operations
@@ -83,7 +82,7 @@ impl Redis {
         let n_keys = (scale.data_bytes / 1024).max(16);
         Redis {
             zipf: Zipfian::new(n_keys),
-            rng: StdRng::seed_from_u64(scale.seed ^ 0x8ED15),
+            rng: WorkloadRng::seed_from_u64(scale.seed ^ 0x8ED15),
             persistence,
             instances: Vec::new(),
             checkpoint_every: (scale.ops / 60).max(50),
@@ -198,7 +197,7 @@ impl Workload for Redis {
         let idx = (self.ops_done % self.instances.len() as u64) as usize;
         ctx.cpu = CpuId(idx as u16);
         let key = self.zipf.next_key(&mut self.rng);
-        let is_set = self.rng.gen::<f64>() < 0.75;
+        let is_set = self.rng.gen_f64() < 0.75;
 
         // Pipelined requests arrive in bursts on the instance's socket;
         // each op consumes one, serves it from the in-memory store, and
@@ -215,12 +214,8 @@ impl Workload for Redis {
         ctx.mem.charge(THINK);
         // Heap churn (request/response objects) + hash walk + value.
         self.instances[idx].store.churn(k, ctx, 16)?;
-        self.instances[idx]
-            .store
-            .touch(k, ctx, key / 3, 64, false);
-        self.instances[idx]
-            .store
-            .touch(k, ctx, key, 1024, is_set);
+        self.instances[idx].store.touch(k, ctx, key / 3, 64, false);
+        self.instances[idx].store.touch(k, ctx, key, 1024, is_set);
         // AOF: every write appends to the instance's log.
         if is_set {
             if let Some(aof) = self.instances[idx].aof {

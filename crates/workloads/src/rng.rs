@@ -1,0 +1,13 @@
+//! Workload pseudo-randomness.
+//!
+//! The workload models draw keys, operation mixes, and offsets from the
+//! in-tree seeded [`SplitMix64`](kloc_mem::rng::SplitMix64) generator
+//! (the `rand` crate is not available to offline builds). Each workload
+//! seeds its generator from [`crate::Scale::seed`] XOR a per-workload
+//! constant, so runs are deterministic and workloads are decorrelated.
+//!
+//! Note: switching from `rand::StdRng` to SplitMix64 changed the
+//! generated key/op streams once (same seeds, different stream); every
+//! paper *shape* the tests assert is stream-invariant.
+
+pub use kloc_mem::rng::SplitMix64 as WorkloadRng;

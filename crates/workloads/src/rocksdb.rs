@@ -24,8 +24,7 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::WorkloadRng;
 
 use kloc_kernel::hooks::{CpuId, Ctx};
 use kloc_kernel::{Fd, Kernel, KernelError};
@@ -53,7 +52,7 @@ struct Slot {
 pub struct RocksDb {
     scale: Scale,
     zipf: Zipfian,
-    rng: StdRng,
+    rng: WorkloadRng,
     memtable: AppMemory,
     block_cache: AppMemory,
     block_cache_pages: u64,
@@ -94,7 +93,7 @@ impl RocksDb {
         }
         RocksDb {
             zipf: Zipfian::new(n_keys),
-            rng: StdRng::seed_from_u64(scale.seed ^ 0xDB),
+            rng: WorkloadRng::seed_from_u64(scale.seed ^ 0xDB),
             memtable: AppMemory::default(),
             block_cache: AppMemory::default(),
             block_cache_pages: (scale.data_bytes / PAGE_SIZE / 16).max(16),
@@ -256,7 +255,7 @@ impl RocksDb {
             .touch(k, ctx, key % self.block_cache_pages, 256, false);
         self.block_cache
             .touch(k, ctx, (key / 7) % self.block_cache_pages, 256, false);
-        if self.rng.gen::<f64>() < 0.35 {
+        if self.rng.gen_f64() < 0.35 {
             return Ok(());
         }
         if self.slots.is_empty() {
@@ -295,7 +294,7 @@ impl Workload for RocksDb {
         ctx.cpu = self.thread(self.ops_done);
         let key = self.zipf.next_key(&mut self.rng);
         // dbbench: 50% reads, 50% writes.
-        if self.rng.gen::<bool>() {
+        if self.rng.gen_bool() {
             self.get(k, ctx, key)?;
         } else {
             self.put(k, ctx, key)?;

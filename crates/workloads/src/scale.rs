@@ -7,10 +7,9 @@
 //! an 8 MB fast tier, preserving the data:fast-memory ratio (5:1) that
 //! drives all the contention effects.
 
-use serde::{Deserialize, Serialize};
-
 /// Sizing knobs shared by all workloads.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Scale {
     /// Display label ("Small", "Large", ...).
     pub label: String,
@@ -108,7 +107,10 @@ mod tests {
 
     #[test]
     fn builders_override() {
-        let s = Scale::tiny().with_fast_bytes(1 << 20).with_ops(10).with_seed(7);
+        let s = Scale::tiny()
+            .with_fast_bytes(1 << 20)
+            .with_ops(10)
+            .with_seed(7);
         assert_eq!(s.fast_bytes, 1 << 20);
         assert_eq!(s.ops, 10);
         assert_eq!(s.seed, 7);

@@ -82,7 +82,12 @@ impl Spark {
         let part = part % self.n_partitions;
 
         let in_fd = k.open(ctx, &Self::input(part))?;
-        k.read(ctx, in_fd, chunk * CHUNK_PAGES * PAGE_SIZE, CHUNK_PAGES * PAGE_SIZE)?;
+        k.read(
+            ctx,
+            in_fd,
+            chunk * CHUNK_PAGES * PAGE_SIZE,
+            CHUNK_PAGES * PAGE_SIZE,
+        )?;
         k.close(ctx, in_fd)?;
 
         ctx.mem.charge(THINK_PER_PAGE * CHUNK_PAGES);
@@ -123,7 +128,12 @@ impl Spark {
 
         let sh = Self::shuffle(part);
         if let Ok(sh_fd) = k.open(ctx, &sh) {
-            k.read(ctx, sh_fd, chunk * CHUNK_PAGES * PAGE_SIZE, CHUNK_PAGES * PAGE_SIZE)?;
+            k.read(
+                ctx,
+                sh_fd,
+                chunk * CHUNK_PAGES * PAGE_SIZE,
+                CHUNK_PAGES * PAGE_SIZE,
+            )?;
             k.close(ctx, sh_fd)?;
         }
 

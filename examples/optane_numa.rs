@@ -9,12 +9,13 @@
 //! ```
 
 use klocs::sim::experiments::fig5::{self, OptaneStrategy};
+use klocs::sim::Runner;
 use klocs::workloads::{Scale, WorkloadKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::large();
     eprintln!("staging interference scenarios (4 workloads x 4 strategies)...");
-    let rows = fig5::fig5a(&scale, &WorkloadKind::EVALUATED)?;
+    let rows = fig5::fig5a(&Runner::auto(), &scale, &WorkloadKind::EVALUATED)?;
     println!("{}", fig5::fig5a_table(&rows));
 
     // The paper's headline: KLOCs ~1.5x over AutoNUMA, ~1.4x over Nimble.

@@ -7,6 +7,7 @@
 
 use klocs::sim::engine::Platform;
 use klocs::sim::experiments::fig4;
+use klocs::sim::Runner;
 use klocs::workloads::{Scale, WorkloadKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         WorkloadKind::ALL.len(),
         scale.label
     );
-    let rows = fig4::run(&scale, platform, &WorkloadKind::ALL)?;
+    let rows = fig4::run(&Runner::auto(), &scale, platform, &WorkloadKind::ALL)?;
     println!("{}", fig4::table(&rows));
 
     // Highlight the headline comparisons the paper calls out.

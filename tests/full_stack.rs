@@ -132,7 +132,9 @@ fn policy_tick_is_safe_at_any_time() {
             let mut ctx = Ctx::new(&mut mem, &mut policy);
             let path = format!("/t{i}");
             let fd = kernel.create(&mut ctx, &path).unwrap();
-            kernel.write(&mut ctx, fd, 0, (1 + i % 4) * PAGE_SIZE).unwrap();
+            kernel
+                .write(&mut ctx, fd, 0, (1 + i % 4) * PAGE_SIZE)
+                .unwrap();
             if i % 3 == 0 {
                 kernel.fsync(&mut ctx, fd).unwrap();
             }

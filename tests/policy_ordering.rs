@@ -22,7 +22,11 @@ fn run(w: WorkloadKind, p: PolicyKind, scale: &Scale) -> engine::RunReport {
 #[test]
 fn kloc_beats_every_baseline_on_io_workloads() {
     let scale = Scale::tiny();
-    for w in [WorkloadKind::RocksDb, WorkloadKind::Redis, WorkloadKind::Filebench] {
+    for w in [
+        WorkloadKind::RocksDb,
+        WorkloadKind::Redis,
+        WorkloadKind::Filebench,
+    ] {
         let slow = run(w, PolicyKind::AllSlow, &scale);
         let kloc = run(w, PolicyKind::Kloc, &scale);
         let nimble = run(w, PolicyKind::Nimble, &scale);
