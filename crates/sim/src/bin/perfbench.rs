@@ -1,33 +1,47 @@
-//! `perfbench` — wall-clock benchmark of the parallel sweep runner.
+//! `perfbench` — wall-clock benchmarks of the simulator itself.
 //!
-//! Times one fixed fig6-style sweep (capacity x ratio x policy x
-//! workload) executed serially and then with the parallel runner, checks
-//! the reports are identical, and writes `BENCH_sweep.json`:
+//! Two modes, selected with `--mode` (default `sweep`):
+//!
+//! * `sweep` — times one fixed fig6-style sweep (capacity x ratio x
+//!   policy x workload) executed serially and then with the parallel
+//!   runner, checks the reports are identical, and writes
+//!   `BENCH_sweep.json`. This measures *cross-run* scaling (PR 1).
+//! * `run` — times individual `engine::run` executions per
+//!   (policy, workload, scale) and writes `BENCH_run.json`. This
+//!   measures the *per-run* hot path — policy bookkeeping, knode
+//!   aging, cold-set selection — and is the committed perf trajectory
+//!   for single-run optimizations.
 //!
 //! ```text
-//! perfbench [--scale tiny|small] [--jobs N] [--out PATH]
+//! perfbench [--mode sweep|run] [--scale tiny|small|large] [--jobs N]
+//!           [--reps N] [--out PATH]
 //! ```
 //!
-//! Defaults: `--scale small`, `--jobs` = hardware threads, `--out
-//! BENCH_sweep.json`. Exits non-zero if the parallel reports differ from
-//! serial. Dependency-free: timing via `std::time::Instant`, JSON
-//! emitted by hand.
+//! Defaults: `--mode sweep`, `--scale small` (sweep) or the small+large
+//! matrix (run), `--jobs` = hardware threads, `--reps 3`, `--out
+//! BENCH_sweep.json` / `BENCH_run.json` per mode. Exits non-zero if
+//! repeated runs are not byte-identical. Dependency-free: timing via
+//! `std::time::Instant`, JSON emitted by hand.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use kloc_policy::PolicyKind;
-use kloc_sim::engine::{Platform, RunConfig};
+use kloc_sim::engine::{self, Platform, RunConfig};
+use kloc_sim::report::{f2, Table};
 use kloc_sim::Runner;
 use kloc_workloads::{Scale, WorkloadKind};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: perfbench [--scale tiny|small] [--jobs N] [--out PATH]");
+    eprintln!(
+        "usage: perfbench [--mode sweep|run] [--scale tiny|small|large] \
+         [--jobs N] [--reps N] [--out PATH]"
+    );
     ExitCode::FAILURE
 }
 
-/// The benchmark matrix: a small fig6-style cross product whose runs
+/// The sweep-mode matrix: a small fig6-style cross product whose runs
 /// vary widely in cost — exactly the imbalance work stealing absorbs.
 fn sweep(scale: &Scale) -> Vec<RunConfig> {
     let policies = [
@@ -60,40 +74,117 @@ fn sweep(scale: &Scale) -> Vec<RunConfig> {
     configs
 }
 
+/// The run-mode matrix: policies whose per-tick bookkeeping differs
+/// (scan-based Nimble vs event-driven KLOCs) against the two most
+/// knode-heavy workloads. Filebench opens a file per operation, so it
+/// exercises knode creation, aging, and cold-set selection hardest.
+fn run_matrix(scales: &[Scale]) -> Vec<RunConfig> {
+    let policies = [
+        PolicyKind::Nimble,
+        PolicyKind::NimblePlusPlus,
+        PolicyKind::KlocNoMigration,
+        PolicyKind::Kloc,
+    ];
+    let workloads = [WorkloadKind::Filebench, WorkloadKind::RocksDb];
+    let mut configs = Vec::new();
+    for scale in scales {
+        for w in workloads {
+            for policy in policies {
+                configs.push(RunConfig {
+                    workload: w,
+                    policy,
+                    scale: scale.clone(),
+                    platform: Platform::TwoTier {
+                        fast_bytes: scale.fast_bytes,
+                        bw_ratio: 8,
+                    },
+                    kernel_params: None,
+                });
+            }
+        }
+    }
+    configs
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn main() -> ExitCode {
+struct Args {
+    mode: Mode,
+    scale: Option<Scale>,
+    jobs: usize,
+    reps: usize,
+    out: Option<String>,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Mode {
+    Sweep,
+    Run,
+}
+
+fn parse_args() -> Result<Args, ()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = Scale::small();
-    let mut jobs = Runner::auto().jobs();
-    let mut out = String::from("BENCH_sweep.json");
+    let mut parsed = Args {
+        mode: Mode::Sweep,
+        scale: None,
+        jobs: Runner::auto().jobs(),
+        reps: 3,
+        out: None,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--mode" => match args.get(i + 1).map(String::as_str) {
+                Some("sweep") => parsed.mode = Mode::Sweep,
+                Some("run") => parsed.mode = Mode::Run,
+                _ => return Err(()),
+            },
             "--scale" => match args.get(i + 1).map(String::as_str) {
-                Some("tiny") => scale = Scale::tiny(),
-                Some("small") => scale = Scale::small(),
-                _ => return usage(),
+                Some("tiny") => parsed.scale = Some(Scale::tiny()),
+                Some("small") => parsed.scale = Some(Scale::small()),
+                Some("large") => parsed.scale = Some(Scale::large()),
+                _ => return Err(()),
             },
             "--jobs" => match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => jobs = n,
-                _ => return usage(),
+                Some(n) if n >= 1 => parsed.jobs = n,
+                _ => return Err(()),
+            },
+            "--reps" => match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => parsed.reps = n,
+                _ => return Err(()),
             },
             "--out" => match args.get(i + 1) {
-                Some(path) => out = path.clone(),
-                None => return usage(),
+                Some(path) => parsed.out = Some(path.clone()),
+                None => return Err(()),
             },
-            _ => return usage(),
+            _ => return Err(()),
         }
         i += 2;
     }
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let Ok(args) = parse_args() else {
+        return usage();
+    };
+    match args.mode {
+        Mode::Sweep => bench_sweep(&args),
+        Mode::Run => bench_run(&args),
+    }
+}
+
+fn bench_sweep(args: &Args) -> ExitCode {
+    let scale = args.scale.clone().unwrap_or_else(Scale::small);
+    let jobs = args.jobs;
+    let out = args.out.clone().unwrap_or("BENCH_sweep.json".to_owned());
 
     let configs = sweep(&scale);
     let n = configs.len();
     eprintln!(
-        "[perfbench] {} runs at scale {}, {} worker(s)",
+        "[perfbench] sweep: {} runs at scale {}, {} worker(s)",
         n, scale.label, jobs
     );
 
@@ -146,4 +237,132 @@ fn main() -> ExitCode {
     }
     eprintln!("[perfbench] wrote {out}");
     ExitCode::SUCCESS
+}
+
+/// One single-run measurement: best and mean wall time over `reps`
+/// repetitions of a deterministic run.
+struct RunSample {
+    policy: String,
+    workload: String,
+    scale: String,
+    ops: u64,
+    virt_elapsed_ns: u64,
+    best_ms: f64,
+    mean_ms: f64,
+}
+
+fn bench_run(args: &Args) -> ExitCode {
+    let scales: Vec<Scale> = match &args.scale {
+        Some(s) => vec![s.clone()],
+        None => vec![Scale::small(), Scale::large()],
+    };
+    let out = args.out.clone().unwrap_or("BENCH_run.json".to_owned());
+    let configs = run_matrix(&scales);
+    eprintln!(
+        "[perfbench] run: {} configs x {} reps (scales: {})",
+        configs.len(),
+        args.reps,
+        scales
+            .iter()
+            .map(|s| s.label.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let mut samples = Vec::new();
+    for config in &configs {
+        // Warm-up rep: first-touch effects stay out of the measurement.
+        let reference = engine::run(config).expect("bench run");
+        let mut best_ms = f64::INFINITY;
+        let mut total_ms = 0.0;
+        for _ in 0..args.reps {
+            let t = Instant::now();
+            let report = engine::run(config).expect("bench run");
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            if report != reference {
+                eprintln!(
+                    "[perfbench] FAIL: nondeterministic report for {}/{}/{}",
+                    config.policy.label(),
+                    config.workload.label(),
+                    config.scale.label
+                );
+                return ExitCode::FAILURE;
+            }
+            best_ms = best_ms.min(ms);
+            total_ms += ms;
+        }
+        let sample = RunSample {
+            policy: config.policy.label().to_owned(),
+            workload: config.workload.label().to_owned(),
+            scale: config.scale.label.clone(),
+            ops: reference.ops,
+            virt_elapsed_ns: reference.elapsed.as_nanos(),
+            best_ms,
+            mean_ms: total_ms / args.reps as f64,
+        };
+        eprintln!(
+            "[perfbench]   {:>16} {:>9} {:>5}: best {:8.1} ms ({:>9.0} ops/s)",
+            sample.policy,
+            sample.workload,
+            sample.scale,
+            sample.best_ms,
+            sample.ops_per_sec()
+        );
+        samples.push(sample);
+    }
+
+    let mut table = Table::new(
+        "perfbench --mode run (wall-clock per single run)",
+        &["policy", "workload", "scale", "best ms", "kops/s"],
+    );
+    for s in &samples {
+        table.row(vec![
+            s.policy.clone(),
+            s.workload.clone(),
+            s.scale.clone(),
+            f2(s.best_ms),
+            f2(s.ops_per_sec() / 1e3),
+        ]);
+    }
+    println!("{table}");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"run\",");
+    let _ = writeln!(json, "  \"reps\": {},", args.reps);
+    let _ = writeln!(json, "  \"reports_identical\": true,");
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"policy\": \"{}\", \"workload\": \"{}\", \"scale\": \"{}\", \
+             \"ops\": {}, \"virt_elapsed_ns\": {}, \"best_ms\": {:.3}, \
+             \"mean_ms\": {:.3}, \"ops_per_sec\": {:.1}}}{}",
+            json_escape(&s.policy),
+            json_escape(&s.workload),
+            json_escape(&s.scale),
+            s.ops,
+            s.virt_elapsed_ns,
+            s.best_ms,
+            s.mean_ms,
+            s.ops_per_sec(),
+            comma
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("[perfbench] cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[perfbench] wrote {out}");
+    ExitCode::SUCCESS
+}
+
+impl RunSample {
+    /// Simulated operations executed per wall-clock second (best rep).
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / (self.best_ms / 1e3).max(1e-9)
+    }
 }
