@@ -1,11 +1,35 @@
 //! The global kmap: registry of all knodes (paper Fig. 1).
 //!
-//! The kmap is implemented as an ordered map keyed by inode (the paper
-//! uses an RCU-friendly red-black tree). The hot path avoids it via the
-//! per-CPU lists in [`crate::percpu`]; cold paths — LRU selection and
-//! teardown — traverse it here.
+//! Knodes live in a slot-addressed slab; an ordered index keyed by inode
+//! (the paper uses an RCU-friendly red-black tree) maps inodes to slots
+//! and drives every ordered traversal. The hot path avoids even the
+//! index: the per-CPU lists in [`crate::percpu`] remember each knode's
+//! slot, so a fast-path hit reaches its knode with one array access and
+//! no tree walk — the §4.3 claim ("per-CPU lists cut rbtree accesses")
+//! made literal. Cold paths — LRU selection and teardown — traverse the
+//! index here.
+//!
+//! Beyond the knode storage itself, the kmap maintains the state that
+//! makes policy bookkeeping scan-free (paper §4.3: KLOCs age "as a side
+//! effect of events", without walking active/inactive lists):
+//!
+//! * a global **epoch** counter — advancing it is the whole of an aging
+//!   pass; knode ages derive lazily from it ([`Knode::age_at`]);
+//! * an ordered **inactive index** keyed by `(inactive-since epoch,
+//!   inode)`, updated O(log n) on activate/deactivate/touch, so cold-set
+//!   selection is a range scan over candidates only;
+//! * an **active index** so scans of in-use knodes skip the (typically
+//!   much larger) inactive population.
+//!
+//! All knode mutation funnels through [`Kmap::with_knode_mut`] /
+//! [`Kmap::with_knode_mut_at`], which repair the indexes when a mutation
+//! changes the knode's activation state or inactivity stamp; no
+//! `&mut Knode` ever escapes the kmap.
 
-use std::collections::BTreeMap;
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
+
+use kloc_mem::Nanos;
 
 use kloc_kernel::vfs::InodeId;
 
@@ -14,10 +38,29 @@ use crate::knode::Knode;
 /// The global knode registry.
 #[derive(Debug, Clone, Default)]
 pub struct Kmap {
-    knodes: BTreeMap<InodeId, Knode>,
+    /// Slot-addressed knode storage. Slots are stable for a knode's
+    /// lifetime (freed and recycled only on unmap), so callers may
+    /// cache them.
+    slots: Vec<Option<Knode>>,
+    /// Recycled slot numbers.
+    free: Vec<u32>,
+    /// Inode-ordered index into `slots`.
+    index: BTreeMap<InodeId, u32>,
+    /// Global aging epoch; one unit of knode age per advance.
+    epoch: u64,
+    /// Inactive knodes ordered by how long they have been inactive:
+    /// `(inactive_stamp, inode)`, oldest first.
+    inactive_idx: BTreeSet<(u64, InodeId)>,
+    /// In-use knodes, in inode order.
+    active_idx: BTreeSet<InodeId>,
     /// Accesses that had to traverse the kmap tree (misses of the
     /// per-CPU fast path); feeds the §4.3 ablation.
     tree_accesses: u64,
+    /// Diagnostic probe: knodes examined by bulk scans (iteration, LRU
+    /// ranking, cold/active-set selection). Targeted per-inode lookups
+    /// do not count. Not part of any report — tests use it to prove the
+    /// hot paths stay scan-free.
+    examined: Cell<u64>,
 }
 
 impl Kmap {
@@ -28,12 +71,12 @@ impl Kmap {
 
     /// Number of registered knodes.
     pub fn len(&self) -> usize {
-        self.knodes.len()
+        self.index.len()
     }
 
     /// Whether no knodes are registered.
     pub fn is_empty(&self) -> bool {
-        self.knodes.is_empty()
+        self.index.is_empty()
     }
 
     /// Accesses that traversed the tree (per-CPU fast-path misses).
@@ -41,74 +84,245 @@ impl Kmap {
         self.tree_accesses
     }
 
-    /// Registers a knode (`map_knode` / `add_to_kmap` in Table 2).
+    /// The current aging epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the aging epoch: every inactive knode is now one unit
+    /// older. O(1) — ages derive lazily ([`Knode::age_at`]); nothing is
+    /// walked.
+    pub fn advance_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Knodes examined by bulk scans so far (see the field doc).
+    pub fn knodes_examined(&self) -> u64 {
+        self.examined.get()
+    }
+
+    fn note_examined(&self, n: u64) {
+        self.examined.set(self.examined.get() + n);
+    }
+
+    fn at(&self, slot: u32) -> &Knode {
+        self.slots[slot as usize]
+            .as_ref()
+            .expect("index entry has knode")
+    }
+
+    /// Registers a knode (`map_knode` / `add_to_kmap` in Table 2) and
+    /// returns its storage slot — stable until the knode is unmapped,
+    /// usable with [`Kmap::with_knode_mut_at`].
     ///
     /// # Panics
     /// Panics if the inode already has a knode.
-    pub fn map_knode(&mut self, knode: Knode) {
+    pub fn map_knode(&mut self, mut knode: Knode) -> u32 {
         let inode = knode.inode();
-        let prev = self.knodes.insert(inode, knode);
+        // Re-base the age onto this kmap's epoch domain.
+        knode.sync_age_at(self.epoch);
+        let active = knode.inuse();
+        let stamp = knode.inactive_stamp();
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(knode);
+                s
+            }
+            None => {
+                self.slots.push(Some(knode));
+                u32::try_from(self.slots.len() - 1).expect("fewer than 2^32 knodes")
+            }
+        };
+        let prev = self.index.insert(inode, slot);
         assert!(prev.is_none(), "{inode} already has a knode");
+        if active {
+            self.active_idx.insert(inode);
+        } else {
+            self.inactive_idx.insert((stamp, inode));
+        }
+        slot
     }
 
     /// Removes and returns the knode of `inode`.
     pub fn unmap(&mut self, inode: InodeId) -> Option<Knode> {
-        self.knodes.remove(&inode)
+        let slot = self.index.remove(&inode)?;
+        let knode = self.slots[slot as usize]
+            .take()
+            .expect("index entry has knode");
+        self.free.push(slot);
+        if knode.inuse() {
+            self.active_idx.remove(&inode);
+        } else {
+            self.inactive_idx.remove(&(knode.inactive_stamp(), inode));
+        }
+        Some(knode)
+    }
+
+    /// Storage slot of `inode`'s knode, for slot-addressed access.
+    pub fn slot_of(&self, inode: InodeId) -> Option<u32> {
+        self.index.get(&inode).copied()
     }
 
     /// Looks up a knode without counting a tree access (bookkeeping
     /// paths).
     pub fn get(&self, inode: InodeId) -> Option<&Knode> {
-        self.knodes.get(&inode)
+        self.index.get(&inode).map(|&slot| self.at(slot))
     }
 
-    /// Mutable lookup without counting a tree access.
-    pub fn get_mut(&mut self, inode: InodeId) -> Option<&mut Knode> {
-        self.knodes.get_mut(&inode)
+    /// LRU age of `inode`'s knode at the current epoch.
+    pub fn age_of(&self, inode: InodeId) -> Option<u32> {
+        self.get(inode).map(|k| k.age_at(self.epoch))
     }
 
-    /// Hot-path lookup that *counts* a tree traversal — used when the
-    /// per-CPU fast path missed.
-    pub fn lookup_counted(&mut self, inode: InodeId) -> Option<&mut Knode> {
+    /// Mutates `inode`'s knode through `f` (which also receives the
+    /// current epoch), repairing the activation/inactivity indexes if
+    /// the mutation changed them. This — and its slot-addressed twin
+    /// [`Kmap::with_knode_mut_at`] — is the only mutable access to a
+    /// knode, so the indexes cannot go stale. Does not count a tree
+    /// access.
+    pub fn with_knode_mut<R>(
+        &mut self,
+        inode: InodeId,
+        f: impl FnOnce(&mut Knode, u64) -> R,
+    ) -> Option<R> {
+        let slot = *self.index.get(&inode)?;
+        self.with_knode_mut_at(slot, f)
+    }
+
+    /// Mutates the knode in `slot` directly — the per-CPU fast-path hit
+    /// route, which skips the inode index entirely. Index repair is
+    /// identical to [`Kmap::with_knode_mut`]. Returns `None` for a free
+    /// slot.
+    pub fn with_knode_mut_at<R>(
+        &mut self,
+        slot: u32,
+        f: impl FnOnce(&mut Knode, u64) -> R,
+    ) -> Option<R> {
+        let epoch = self.epoch;
+        let knode = self.slots.get_mut(slot as usize)?.as_mut()?;
+        let inode = knode.inode();
+        let was_active = knode.inuse();
+        let was_stamp = knode.inactive_stamp();
+        let r = f(knode, epoch);
+        let is_active = knode.inuse();
+        let is_stamp = knode.inactive_stamp();
+        if was_active != is_active {
+            if was_active {
+                self.active_idx.remove(&inode);
+                self.inactive_idx.insert((is_stamp, inode));
+            } else {
+                self.inactive_idx.remove(&(was_stamp, inode));
+                self.active_idx.insert(inode);
+            }
+        } else if !is_active && was_stamp != is_stamp {
+            self.inactive_idx.remove(&(was_stamp, inode));
+            self.inactive_idx.insert((is_stamp, inode));
+        }
+        Some(r)
+    }
+
+    /// Like [`Kmap::with_knode_mut`] but counts a tree traversal
+    /// (whether or not the knode exists) — used when the per-CPU fast
+    /// path missed.
+    pub fn with_knode_mut_counted<R>(
+        &mut self,
+        inode: InodeId,
+        f: impl FnOnce(&mut Knode, u64) -> R,
+    ) -> Option<R> {
         self.tree_accesses += 1;
-        self.knodes.get_mut(&inode)
+        self.with_knode_mut(inode, f)
     }
 
-    /// Iterates all knodes.
+    /// Iterates all knodes in inode order.
     pub fn iter(&self) -> impl Iterator<Item = &Knode> {
-        self.knodes.values()
+        self.index.values().map(|&slot| {
+            self.note_examined(1);
+            self.at(slot)
+        })
     }
 
-    /// Iterates all knodes mutably.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Knode> {
-        self.knodes.values_mut()
+    /// Iterates the in-use knodes in inode order, via the active index —
+    /// cost is O(#active), independent of the inactive population.
+    pub fn active_knodes(&self) -> impl Iterator<Item = &Knode> + '_ {
+        self.active_idx.iter().map(|&inode| {
+            self.note_examined(1);
+            let slot = self.slot_of(inode).expect("active index entry has knode");
+            self.at(slot)
+        })
+    }
+
+    /// Appends to `out` the inodes of inactive knodes with age >=
+    /// `min_age` that still track members, ordered oldest-inactive
+    /// first. A range scan over the inactive index: cost is
+    /// O(candidates), not O(knodes).
+    pub fn cold_inodes_with_members(&self, min_age: u32, out: &mut Vec<InodeId>) {
+        // A knode is cold iff its stamp <= epoch - min_age; nothing
+        // qualifies while fewer than min_age epochs have elapsed.
+        let Some(max_stamp) = self.epoch.checked_sub(u64::from(min_age)) else {
+            return;
+        };
+        for &(_, inode) in self.inactive_idx.range(..=(max_stamp, InodeId(u64::MAX))) {
+            self.note_examined(1);
+            let slot = self.slot_of(inode).expect("index entry has knode");
+            if self.at(slot).member_count() > 0 {
+                out.push(inode);
+            }
+        }
     }
 
     /// Returns up to `n` LRU knode inodes (`get_LRU_knodes` in Table 2):
     /// inactive knodes first, oldest activity first, then the oldest
-    /// active ones.
+    /// active ones. Partial selection — O(knodes + n log n), not a full
+    /// sort.
     pub fn lru_knodes(&self, n: usize) -> Vec<InodeId> {
-        let mut all: Vec<&Knode> = self.knodes.values().collect();
-        all.sort_by_key(|k| (k.inuse(), k.last_active()));
-        all.into_iter().take(n).map(|k| k.inode()).collect()
+        if n == 0 {
+            return Vec::new();
+        }
+        self.note_examined(self.index.len() as u64);
+        // The tuple's derived order is exactly the ranking (the inode
+        // tiebreak makes it total, matching the old stable sort over
+        // inode-ordered iteration).
+        let mut all: Vec<(bool, Nanos, InodeId)> = self
+            .index
+            .values()
+            .map(|&slot| {
+                let k = self.at(slot);
+                (k.inuse(), k.last_active(), k.inode())
+            })
+            .collect();
+        if n < all.len() {
+            all.select_nth_unstable(n - 1);
+            all.truncate(n);
+        }
+        all.sort_unstable();
+        all.into_iter().map(|(_, _, inode)| inode).collect()
     }
 
-    /// Inodes of all currently inactive knodes, oldest first.
+    /// Inodes of all currently inactive knodes, oldest activity first.
     pub fn inactive_knodes(&self) -> Vec<InodeId> {
-        let mut v: Vec<&Knode> = self.knodes.values().filter(|k| !k.inuse()).collect();
-        v.sort_by_key(|k| k.last_active());
-        v.into_iter().map(|k| k.inode()).collect()
+        let mut v: Vec<(Nanos, InodeId)> = self
+            .inactive_idx
+            .iter()
+            .map(|&(_, inode)| {
+                self.note_examined(1);
+                let slot = self.slot_of(inode).expect("index entry has knode");
+                (self.at(slot).last_active(), inode)
+            })
+            .collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, inode)| inode).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kloc_kernel::hooks::CpuId;
     use kloc_mem::Nanos;
 
     fn knode_at(ino: u64, t: u64, inuse: bool) -> Knode {
         let mut k = Knode::new(InodeId(ino), Nanos::from_micros(t));
-        k.set_inuse(inuse);
+        k.set_inuse_at(inuse, 0);
         k
     }
 
@@ -133,25 +347,139 @@ mod tests {
     }
 
     #[test]
+    fn slots_are_stable_and_recycled() {
+        let mut m = Kmap::new();
+        let s1 = m.map_knode(knode_at(1, 0, true));
+        let s2 = m.map_knode(knode_at(2, 0, true));
+        assert_ne!(s1, s2);
+        assert_eq!(m.slot_of(InodeId(1)), Some(s1));
+        // Slot-addressed mutation reaches the same knode.
+        let ino = m.with_knode_mut_at(s2, |k, _| k.inode()).unwrap();
+        assert_eq!(ino, InodeId(2));
+        // Unmapping frees the slot for the next knode.
+        m.unmap(InodeId(1)).unwrap();
+        assert!(m.with_knode_mut_at(s1, |_, _| ()).is_none());
+        let s3 = m.map_knode(knode_at(3, 0, true));
+        assert_eq!(s3, s1, "freed slot recycled");
+    }
+
+    #[test]
     fn lru_prefers_inactive_then_oldest() {
         let mut m = Kmap::new();
         m.map_knode(knode_at(1, 30, true)); // active, old
         m.map_knode(knode_at(2, 20, false)); // inactive, newer
         m.map_knode(knode_at(3, 10, false)); // inactive, oldest
         assert_eq!(m.lru_knodes(3), vec![InodeId(3), InodeId(2), InodeId(1)]);
+        assert_eq!(m.lru_knodes(2), vec![InodeId(3), InodeId(2)]);
         assert_eq!(m.lru_knodes(1), vec![InodeId(3)]);
+        assert!(m.lru_knodes(0).is_empty());
         assert_eq!(m.inactive_knodes(), vec![InodeId(3), InodeId(2)]);
     }
 
     #[test]
-    fn counted_lookup_tracks_tree_accesses() {
+    fn counted_mutation_tracks_tree_accesses() {
+        let mut m = Kmap::new();
+        let slot = m.map_knode(knode_at(1, 0, true));
+        assert!(m.with_knode_mut_counted(InodeId(1), |_, _| ()).is_some());
+        assert!(m.with_knode_mut_counted(InodeId(2), |_, _| ()).is_none());
+        assert_eq!(m.tree_accesses(), 2);
+        // Uncounted paths do not count — in particular the slot-addressed
+        // fast path, which is the point of remembering slots.
+        m.get(InodeId(1));
+        m.with_knode_mut(InodeId(1), |_, _| ());
+        m.with_knode_mut_at(slot, |_, _| ());
+        assert_eq!(m.tree_accesses(), 2);
+    }
+
+    #[test]
+    fn epoch_advance_ages_inactive_knodes_only() {
         let mut m = Kmap::new();
         m.map_knode(knode_at(1, 0, true));
-        assert!(m.lookup_counted(InodeId(1)).is_some());
-        assert!(m.lookup_counted(InodeId(2)).is_none());
-        assert_eq!(m.tree_accesses(), 2);
-        // Plain get does not count.
-        m.get(InodeId(1));
-        assert_eq!(m.tree_accesses(), 2);
+        m.map_knode(knode_at(2, 0, false));
+        for _ in 0..3 {
+            m.advance_epoch();
+        }
+        assert_eq!(m.age_of(InodeId(1)), Some(0));
+        assert_eq!(m.age_of(InodeId(2)), Some(3));
+        assert_eq!(m.age_of(InodeId(9)), None);
+    }
+
+    #[test]
+    fn indexes_follow_state_transitions() {
+        let mut m = Kmap::new();
+        let slot = m.map_knode(knode_at(1, 0, true));
+        assert_eq!(m.active_knodes().count(), 1);
+        // Deactivate at epoch 2, then age 5 more epochs.
+        m.advance_epoch();
+        m.advance_epoch();
+        m.with_knode_mut(InodeId(1), |k, ep| k.set_inuse_at(false, ep));
+        for _ in 0..5 {
+            m.advance_epoch();
+        }
+        assert_eq!(m.active_knodes().count(), 0);
+        assert_eq!(m.age_of(InodeId(1)), Some(5));
+        assert_eq!(m.inactive_knodes(), vec![InodeId(1)]);
+        // A touch while inactive re-stamps the index entry — also via
+        // the slot-addressed route.
+        m.with_knode_mut_at(slot, |k, ep| {
+            k.touch_at(CpuId(0), Nanos::from_micros(9), ep);
+        });
+        assert_eq!(m.age_of(InodeId(1)), Some(0));
+        // Reactivation moves it back to the active index.
+        m.with_knode_mut_at(slot, |k, ep| k.set_inuse_at(true, ep));
+        assert_eq!(m.active_knodes().count(), 1);
+        assert!(m.inactive_knodes().is_empty());
+    }
+
+    #[test]
+    fn cold_selection_scans_candidates_only() {
+        let mut m = Kmap::new();
+        // Three inactive knodes; only 1 and 2 have members; 3 is old but
+        // empty; 4 is recent; 5 is active.
+        for ino in 1..=4 {
+            let mut k = knode_at(ino, 0, false);
+            if ino != 3 {
+                k.add_obj(
+                    kloc_kernel::ObjectId(ino),
+                    kloc_kernel::KernelObjectType::PageCache,
+                    kloc_mem::FrameId(ino),
+                );
+            }
+            m.map_knode(k);
+        }
+        m.map_knode(knode_at(5, 0, true));
+        for _ in 0..10 {
+            m.advance_epoch();
+        }
+        // Re-stamp 4 at the current epoch (age 0).
+        m.with_knode_mut(InodeId(4), |k, ep| {
+            k.touch_at(CpuId(0), Nanos::from_micros(1), ep);
+        });
+        let mut cold = Vec::new();
+        m.cold_inodes_with_members(5, &mut cold);
+        assert_eq!(cold, vec![InodeId(1), InodeId(2)]);
+        // The range scan examined the three old entries, not knode 4 or
+        // the active knode 5.
+        let before = m.knodes_examined();
+        let mut again = Vec::new();
+        m.cold_inodes_with_members(5, &mut again);
+        assert_eq!(m.knodes_examined() - before, 3);
+        // Nothing qualifies before enough epochs have elapsed.
+        let mut none = Vec::new();
+        m.cold_inodes_with_members(11, &mut none);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn advance_epoch_examines_no_knodes() {
+        let mut m = Kmap::new();
+        for ino in 1..50 {
+            m.map_knode(knode_at(ino, 0, ino % 2 == 0));
+        }
+        let before = m.knodes_examined();
+        for _ in 0..100 {
+            m.advance_epoch();
+        }
+        assert_eq!(m.knodes_examined(), before, "aging must not walk the kmap");
     }
 }

@@ -7,6 +7,14 @@
 //! millions of objects costs ~10 memory references per traversal; two
 //! smaller trees also separate page-cache pages from small slab objects
 //! organizationally.
+//!
+//! Aging is *lazy*: instead of a scan bumping a counter on every knode
+//! each epoch (O(knodes) per tick), a knode records the
+//! [`crate::Kmap`] epoch it was last synchronized at and derives its age
+//! on demand as the number of epochs it has since sat inactive. The
+//! kmap's global epoch advance is then O(1) — the paper's claim that
+//! KLOCs age "as a side effect of events" rather than by scanning
+//! (§4.3).
 
 use std::collections::BTreeMap;
 
@@ -32,8 +40,12 @@ pub struct Knode {
     inode: InodeId,
     /// Whether the inode is currently open/active.
     inuse: bool,
-    /// LRU age: reset on access, incremented by policy scans (§4.3).
-    age: u32,
+    /// Age accrued up to `synced_epoch` (materialized on activation
+    /// transitions; zero after any touch).
+    age_base: u32,
+    /// Kmap epoch at which `age_base` was last materialized. While
+    /// inactive, one age unit accrues per epoch since.
+    synced_epoch: u64,
     /// CPU that last touched this knode (`find_cpu` in Table 2).
     last_cpu: CpuId,
     /// Last access time.
@@ -42,6 +54,11 @@ pub struct Knode {
     rbtree_cache: BTreeMap<ObjectId, FrameId>,
     /// Slab-class members: object -> backing frame.
     rbtree_slab: BTreeMap<ObjectId, FrameId>,
+    /// Distinct frames backing members, refcounted (several slab
+    /// objects can share a frame). Kept incrementally so en-masse
+    /// migration walks it directly instead of collecting, sorting, and
+    /// deduplicating the member trees on every call.
+    frames: BTreeMap<FrameId, u32>,
 }
 
 impl Knode {
@@ -50,11 +67,13 @@ impl Knode {
         Knode {
             inode,
             inuse: true,
-            age: 0,
+            age_base: 0,
+            synced_epoch: 0,
             last_cpu: CpuId(0),
             last_active: now,
             rbtree_cache: BTreeMap::new(),
             rbtree_slab: BTreeMap::new(),
+            frames: BTreeMap::new(),
         }
     }
 
@@ -68,19 +87,40 @@ impl Knode {
         self.inuse
     }
 
-    /// Marks the knode active/inactive.
-    pub fn set_inuse(&mut self, inuse: bool) {
-        self.inuse = inuse;
+    /// LRU age as of `epoch`: epochs spent inactive since the last
+    /// touch. Active knodes do not accrue age.
+    pub fn age_at(&self, epoch: u64) -> u32 {
+        let accrued = if self.inuse {
+            0
+        } else {
+            epoch.saturating_sub(self.synced_epoch)
+        };
+        u32::try_from(u64::from(self.age_base).saturating_add(accrued)).unwrap_or(u32::MAX)
     }
 
-    /// Current LRU age.
-    pub fn age(&self) -> u32 {
-        self.age
+    /// The effective epoch this knode has been inactive since — the
+    /// ordering key of the kmap's inactive index (`age_at(epoch)` ==
+    /// `epoch - inactive_stamp()` whenever the age fits in a `u32`).
+    pub(crate) fn inactive_stamp(&self) -> u64 {
+        self.synced_epoch.saturating_sub(u64::from(self.age_base))
     }
 
-    /// Increments the age (called by LRU scans that skip this knode).
-    pub fn bump_age(&mut self) {
-        self.age = self.age.saturating_add(1);
+    /// Materializes the age accrued so far into `age_base` and re-bases
+    /// it on `epoch`. Called on activation transitions so the age stops
+    /// (or resumes) accruing from the right point.
+    pub(crate) fn sync_age_at(&mut self, epoch: u64) {
+        self.age_base = self.age_at(epoch);
+        self.synced_epoch = epoch;
+    }
+
+    /// Marks the knode active/inactive as of `epoch`. No-op when the
+    /// state does not change (a repeated close must not restart the
+    /// inactivity clock).
+    pub(crate) fn set_inuse_at(&mut self, inuse: bool, epoch: u64) {
+        if self.inuse != inuse {
+            self.sync_age_at(epoch);
+            self.inuse = inuse;
+        }
     }
 
     /// CPU that last accessed the knode (paper's `find_cpu`).
@@ -93,9 +133,11 @@ impl Knode {
         self.last_active
     }
 
-    /// Records an access: resets the age, stamps time and CPU.
-    pub fn touch(&mut self, cpu: CpuId, now: Nanos) {
-        self.age = 0;
+    /// Records an access as of `epoch`: resets the age, stamps time and
+    /// CPU.
+    pub(crate) fn touch_at(&mut self, cpu: CpuId, now: Nanos, epoch: u64) {
+        self.age_base = 0;
+        self.synced_epoch = epoch;
         self.last_cpu = cpu;
         self.last_active = now;
     }
@@ -103,21 +145,39 @@ impl Knode {
     /// Adds a member object (`knode_add_obj` in Table 2); routed to the
     /// cache or slab tree by the object's backing. Returns the tree used.
     pub fn add_obj(&mut self, obj: ObjectId, ty: KernelObjectType, frame: FrameId) -> MemberTree {
-        match ty.backing() {
-            Backing::Page(_) => {
-                self.rbtree_cache.insert(obj, frame);
-                MemberTree::Cache
-            }
-            Backing::Slab => {
-                self.rbtree_slab.insert(obj, frame);
-                MemberTree::Slab
-            }
+        let (tree, prev) = match ty.backing() {
+            Backing::Page(_) => (MemberTree::Cache, self.rbtree_cache.insert(obj, frame)),
+            Backing::Slab => (MemberTree::Slab, self.rbtree_slab.insert(obj, frame)),
+        };
+        if let Some(old) = prev {
+            self.unref_frame(old);
         }
+        *self.frames.entry(frame).or_insert(0) += 1;
+        tree
     }
 
     /// Removes a member. Returns whether it was tracked.
     pub fn remove_obj(&mut self, obj: ObjectId) -> bool {
-        self.rbtree_cache.remove(&obj).is_some() || self.rbtree_slab.remove(&obj).is_some()
+        let frame = self
+            .rbtree_cache
+            .remove(&obj)
+            .or_else(|| self.rbtree_slab.remove(&obj));
+        match frame {
+            Some(f) => {
+                self.unref_frame(f);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn unref_frame(&mut self, frame: FrameId) {
+        if let Some(rc) = self.frames.get_mut(&frame) {
+            *rc -= 1;
+            if *rc == 0 {
+                self.frames.remove(&frame);
+            }
+        }
     }
 
     /// Number of members across both trees.
@@ -140,19 +200,22 @@ impl Knode {
         self.rbtree_slab.iter().map(|(o, f)| (*o, *f))
     }
 
-    /// Deduplicated frames backing all members — the unit of en-masse
-    /// migration (paper §4.4: "kernel objects pointed to by a knode
-    /// subtree are migrated" together).
+    /// Iterates the deduplicated frames backing all members, ascending —
+    /// the unit of en-masse migration (paper §4.4: "kernel objects
+    /// pointed to by a knode subtree are migrated" together). Walks the
+    /// incrementally maintained frame set; no allocation.
+    pub fn iter_member_frames(&self) -> impl Iterator<Item = FrameId> + '_ {
+        self.frames.keys().copied()
+    }
+
+    /// Number of distinct frames backing members.
+    pub fn member_frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Deduplicated frames backing all members, collected.
     pub fn member_frames(&self) -> Vec<FrameId> {
-        let mut frames: Vec<FrameId> = self
-            .rbtree_cache
-            .values()
-            .chain(self.rbtree_slab.values())
-            .copied()
-            .collect();
-        frames.sort();
-        frames.dedup();
-        frames
+        self.iter_member_frames().collect()
     }
 }
 
@@ -185,6 +248,7 @@ mod tests {
         assert!(k.remove_obj(ObjectId(2)));
         assert!(!k.remove_obj(ObjectId(3)));
         assert!(k.is_empty());
+        assert_eq!(k.member_frame_count(), 0);
     }
 
     #[test]
@@ -195,34 +259,63 @@ mod tests {
         k.add_obj(ObjectId(2), KernelObjectType::Dentry, FrameId(7));
         k.add_obj(ObjectId(3), KernelObjectType::PageCache, FrameId(8));
         assert_eq!(k.member_frames(), vec![FrameId(7), FrameId(8)]);
+        assert_eq!(k.member_frame_count(), 2);
+        // Removing one sharer keeps the frame; removing both drops it.
+        assert!(k.remove_obj(ObjectId(1)));
+        assert_eq!(k.member_frames(), vec![FrameId(7), FrameId(8)]);
+        assert!(k.remove_obj(ObjectId(2)));
+        assert_eq!(k.member_frames(), vec![FrameId(8)]);
     }
 
     #[test]
-    fn age_and_touch() {
+    fn reinserted_object_moves_its_frame_ref() {
         let mut k = knode();
-        k.bump_age();
-        k.bump_age();
-        assert_eq!(k.age(), 2);
-        k.touch(CpuId(3), Nanos::from_micros(5));
-        assert_eq!(k.age(), 0);
+        k.add_obj(ObjectId(1), KernelObjectType::PageCache, FrameId(7));
+        // Same object re-added on a different frame: old ref released.
+        k.add_obj(ObjectId(1), KernelObjectType::PageCache, FrameId(9));
+        assert_eq!(k.member_frames(), vec![FrameId(9)]);
+        assert_eq!(k.member_count(), 1);
+    }
+
+    #[test]
+    fn age_accrues_only_while_inactive() {
+        let mut k = knode();
+        assert_eq!(k.age_at(5), 0, "active knodes do not age");
+        k.set_inuse_at(false, 5);
+        assert_eq!(k.age_at(5), 0);
+        assert_eq!(k.age_at(9), 4, "one unit per epoch inactive");
+        k.touch_at(CpuId(3), Nanos::from_micros(5), 9);
+        assert_eq!(k.age_at(9), 0, "touch resets the clock");
         assert_eq!(k.last_cpu(), CpuId(3));
         assert_eq!(k.last_active(), Nanos::from_micros(5));
+    }
+
+    #[test]
+    fn reactivation_freezes_age() {
+        let mut k = knode();
+        k.set_inuse_at(false, 0);
+        assert_eq!(k.age_at(7), 7);
+        k.set_inuse_at(true, 7);
+        assert_eq!(k.age_at(20), 7, "age frozen while active");
+        // Repeated close must not restart the inactivity clock.
+        k.set_inuse_at(false, 20);
+        k.set_inuse_at(false, 25);
+        assert_eq!(k.age_at(30), 17);
+        assert_eq!(k.inactive_stamp(), 13);
     }
 
     #[test]
     fn inuse_toggles() {
         let mut k = knode();
         assert!(k.inuse());
-        k.set_inuse(false);
+        k.set_inuse_at(false, 0);
         assert!(!k.inuse());
     }
 
     #[test]
     fn age_saturates() {
         let mut k = knode();
-        for _ in 0..100 {
-            k.bump_age();
-        }
-        assert_eq!(k.age(), 100);
+        k.set_inuse_at(false, 0);
+        assert_eq!(k.age_at(u64::from(u32::MAX) + 100), u32::MAX);
     }
 }

@@ -5,6 +5,11 @@
 //! spirit of other kernel fast paths — with per-entry age tracking. The
 //! paper reports these lists cut `rbtree-cache`/`rbtree-slab` accesses
 //! by 54 %; this module's hit/miss counters reproduce that ablation.
+//!
+//! Entry ages are lazy, mirroring the kmap: each entry records the list
+//! epoch at which it was last touched and its age is the difference —
+//! [`PerCpuKnodeLists::age_all`] is a counter bump, not a walk of every
+//! entry on every list.
 
 use std::collections::VecDeque;
 
@@ -15,8 +20,13 @@ use kloc_kernel::vfs::InodeId;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Entry {
     inode: InodeId,
-    /// Reset to zero on access; incremented by LRU scans (§4.3).
-    age: u32,
+    /// The knode's storage slot in the kmap: a fast-path hit hands this
+    /// back so the caller mutates the knode with one array access — no
+    /// kmap tree walk at all (the §4.3 point of these lists).
+    slot: u32,
+    /// List epoch of the last access; the entry's age is the number of
+    /// epochs since (reset-on-access, §4.3).
+    touched_epoch: u64,
 }
 
 /// Per-CPU lists of recently used knodes.
@@ -24,6 +34,8 @@ struct Entry {
 pub struct PerCpuKnodeLists {
     lists: Vec<VecDeque<Entry>>,
     capacity: usize,
+    /// Aging epoch shared by all lists; advanced by `age_all`.
+    epoch: u64,
     hits: u64,
     misses: u64,
 }
@@ -40,6 +52,7 @@ impl PerCpuKnodeLists {
         PerCpuKnodeLists {
             lists: vec![VecDeque::new(); cpus],
             capacity,
+            epoch: 0,
             hits: 0,
             misses: 0,
         }
@@ -72,39 +85,47 @@ impl PerCpuKnodeLists {
     }
 
     /// Looks up `inode` on `cpu`'s list and refreshes it on hit (moved to
-    /// front, age reset). On miss the caller consults the kmap and should
-    /// then call [`PerCpuKnodeLists::touch`]. Returns whether it hit.
-    pub fn lookup(&mut self, cpu: CpuId, inode: InodeId) -> bool {
+    /// front, age reset). Returns the knode's kmap slot on a hit; on miss
+    /// the caller consults the kmap and should then call
+    /// [`PerCpuKnodeLists::touch`].
+    pub fn lookup(&mut self, cpu: CpuId, inode: InodeId) -> Option<u32> {
+        let epoch = self.epoch;
         let list = self.list_mut(cpu);
         if let Some(pos) = list.iter().position(|e| e.inode == inode) {
             let mut e = list.remove(pos).expect("position just found");
-            e.age = 0;
+            e.touched_epoch = epoch;
             list.push_front(e);
             self.hits += 1;
-            true
+            Some(e.slot)
         } else {
             self.misses += 1;
-            false
+            None
         }
     }
 
-    /// Inserts `inode` at the front of `cpu`'s list (after a kmap
-    /// lookup), evicting the coldest entry if full. The same knode may
-    /// appear on several CPUs' lists — the paper leans on existing
-    /// per-CPU coherence APIs for that (§4.3).
-    pub fn touch(&mut self, cpu: CpuId, inode: InodeId) {
+    /// Inserts `inode` (stored in kmap slot `slot`) at the front of
+    /// `cpu`'s list (after a kmap lookup), evicting the coldest entry if
+    /// full. The same knode may appear on several CPUs' lists — the
+    /// paper leans on existing per-CPU coherence APIs for that (§4.3).
+    pub fn touch(&mut self, cpu: CpuId, inode: InodeId, slot: u32) {
         let capacity = self.capacity;
+        let epoch = self.epoch;
         let list = self.list_mut(cpu);
         if let Some(pos) = list.iter().position(|e| e.inode == inode) {
             let mut e = list.remove(pos).expect("position just found");
-            e.age = 0;
+            e.touched_epoch = epoch;
+            e.slot = slot;
             list.push_front(e);
             return;
         }
         if list.len() >= capacity {
             list.pop_back();
         }
-        list.push_front(Entry { inode, age: 0 });
+        list.push_front(Entry {
+            inode,
+            slot,
+            touched_epoch: epoch,
+        });
     }
 
     /// Removes `inode` from every CPU's list (knode destroyed).
@@ -114,13 +135,10 @@ impl PerCpuKnodeLists {
         }
     }
 
-    /// Ages every entry by one (called by policy LRU scans).
+    /// Ages every entry by one (called by policy LRU scans). O(1): the
+    /// shared epoch advances and entry ages derive lazily.
     pub fn age_all(&mut self) {
-        for list in &mut self.lists {
-            for e in list.iter_mut() {
-                e.age = e.age.saturating_add(1);
-            }
-        }
+        self.epoch += 1;
     }
 
     /// Inodes whose age on some CPU list is at least `min_age` — cold
@@ -129,7 +147,7 @@ impl PerCpuKnodeLists {
         let mut out = Vec::new();
         for list in &self.lists {
             for e in list {
-                if e.age >= min_age && !out.contains(&e.inode) {
+                if self.epoch - e.touched_epoch >= u64::from(min_age) && !out.contains(&e.inode) {
                     out.push(e.inode);
                 }
             }
@@ -150,9 +168,9 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mut p = PerCpuKnodeLists::new(2, 4);
-        assert!(!p.lookup(CpuId(0), InodeId(1)));
-        p.touch(CpuId(0), InodeId(1));
-        assert!(p.lookup(CpuId(0), InodeId(1)));
+        assert!(p.lookup(CpuId(0), InodeId(1)).is_none());
+        p.touch(CpuId(0), InodeId(1), 0);
+        assert!(p.lookup(CpuId(0), InodeId(1)).is_some());
         assert_eq!(p.hits(), 1);
         assert_eq!(p.misses(), 1);
         assert!((p.hit_ratio() - 0.5).abs() < 1e-12);
@@ -161,41 +179,55 @@ mod tests {
     #[test]
     fn lists_are_per_cpu() {
         let mut p = PerCpuKnodeLists::new(2, 4);
-        p.touch(CpuId(0), InodeId(1));
-        assert!(!p.lookup(CpuId(1), InodeId(1)), "other cpu misses");
-        assert!(p.lookup(CpuId(0), InodeId(1)));
+        p.touch(CpuId(0), InodeId(1), 0);
+        assert!(p.lookup(CpuId(1), InodeId(1)).is_none(), "other cpu misses");
+        assert!(p.lookup(CpuId(0), InodeId(1)).is_some());
     }
 
     #[test]
     fn capacity_evicts_coldest() {
         let mut p = PerCpuKnodeLists::new(1, 2);
-        p.touch(CpuId(0), InodeId(1));
-        p.touch(CpuId(0), InodeId(2));
-        p.touch(CpuId(0), InodeId(3)); // evicts 1 (back of list)
-        assert!(!p.lookup(CpuId(0), InodeId(1)));
-        assert!(p.lookup(CpuId(0), InodeId(2)));
-        assert!(p.lookup(CpuId(0), InodeId(3)));
+        p.touch(CpuId(0), InodeId(1), 0);
+        p.touch(CpuId(0), InodeId(2), 0);
+        p.touch(CpuId(0), InodeId(3), 0); // evicts 1 (back of list)
+        assert!(p.lookup(CpuId(0), InodeId(1)).is_none());
+        assert!(p.lookup(CpuId(0), InodeId(2)).is_some());
+        assert!(p.lookup(CpuId(0), InodeId(3)).is_some());
         assert_eq!(p.total_entries(), 2);
     }
 
     #[test]
     fn aging_and_cold_candidates() {
         let mut p = PerCpuKnodeLists::new(1, 4);
-        p.touch(CpuId(0), InodeId(1));
-        p.touch(CpuId(0), InodeId(2));
+        p.touch(CpuId(0), InodeId(1), 0);
+        p.touch(CpuId(0), InodeId(2), 0);
         p.age_all();
         p.age_all();
         // Access 2: its age resets.
-        assert!(p.lookup(CpuId(0), InodeId(2)));
+        assert!(p.lookup(CpuId(0), InodeId(2)).is_some());
         assert_eq!(p.cold_candidates(2), vec![InodeId(1)]);
         assert!(p.cold_candidates(3).is_empty());
     }
 
     #[test]
+    fn entries_touched_after_aging_are_young() {
+        let mut p = PerCpuKnodeLists::new(1, 4);
+        p.touch(CpuId(0), InodeId(1), 0);
+        for _ in 0..5 {
+            p.age_all();
+        }
+        p.touch(CpuId(0), InodeId(2), 0); // born at epoch 5: age 0
+        assert_eq!(p.cold_candidates(1), vec![InodeId(1)]);
+        p.age_all();
+        // MRU-first list order: 2 sits in front of 1.
+        assert_eq!(p.cold_candidates(1), vec![InodeId(2), InodeId(1)]);
+    }
+
+    #[test]
     fn purge_removes_everywhere() {
         let mut p = PerCpuKnodeLists::new(2, 4);
-        p.touch(CpuId(0), InodeId(1));
-        p.touch(CpuId(1), InodeId(1));
+        p.touch(CpuId(0), InodeId(1), 0);
+        p.touch(CpuId(1), InodeId(1), 0);
         p.purge(InodeId(1));
         assert_eq!(p.total_entries(), 0);
     }
@@ -203,7 +235,7 @@ mod tests {
     #[test]
     fn cpu_ids_wrap_onto_lists() {
         let mut p = PerCpuKnodeLists::new(2, 4);
-        p.touch(CpuId(4), InodeId(1)); // 4 % 2 == list 0
-        assert!(p.lookup(CpuId(0), InodeId(1)));
+        p.touch(CpuId(4), InodeId(1), 0); // 4 % 2 == list 0
+        assert!(p.lookup(CpuId(0), InodeId(1)).is_some());
     }
 }

@@ -7,6 +7,12 @@
 //! migrate *all* kernel objects of a cold knode in one shot, rather than
 //! discovering them via LRU scans slower than the objects' lifetimes
 //! (§3.3, §4.4).
+//!
+//! Bookkeeping is event-driven, as the paper claims for the real
+//! implementation (§4.3): [`KlocRegistry::age_epoch`] advances two
+//! counters instead of walking every knode, and the migration paths walk
+//! each knode's incrementally maintained member-frame set directly —
+//! no per-call collection or sorting.
 
 use std::collections::BTreeSet;
 
@@ -138,31 +144,33 @@ impl KlocRegistry {
             return;
         }
         let mut k = Knode::new(inode, now);
-        k.touch(cpu, now);
-        self.kmap.map_knode(k);
+        k.touch_at(cpu, now, self.kmap.epoch());
+        let slot = self.kmap.map_knode(k);
         if self.config.use_percpu {
-            self.percpu.touch(cpu, inode);
+            self.percpu.touch(cpu, inode, slot);
         }
         self.stats.knodes_created += 1;
     }
 
     /// Inode (re)opened: mark the knode active.
     pub fn inode_opened(&mut self, inode: InodeId, cpu: CpuId, now: Nanos) {
-        if let Some(k) = self.kmap.get_mut(inode) {
-            k.set_inuse(true);
-            k.touch(cpu, now);
-        }
+        let Some(slot) = self.kmap.slot_of(inode) else {
+            return;
+        };
+        self.kmap.with_knode_mut_at(slot, |k, epoch| {
+            k.set_inuse_at(true, epoch);
+            k.touch_at(cpu, now, epoch);
+        });
         if self.config.enabled && self.config.use_percpu {
-            self.percpu.touch(cpu, inode);
+            self.percpu.touch(cpu, inode, slot);
         }
     }
 
     /// Last handle closed: the knode is now inactive — the "definitely
-    /// cold" signal (§3.2).
+    /// cold" signal (§3.2). It starts aging from this epoch.
     pub fn inode_closed(&mut self, inode: InodeId) {
-        if let Some(k) = self.kmap.get_mut(inode) {
-            k.set_inuse(false);
-        }
+        self.kmap
+            .with_knode_mut(inode, |k, epoch| k.set_inuse_at(false, epoch));
     }
 
     /// Inode destroyed: tear the knode down (objects are *freed*, not
@@ -188,9 +196,10 @@ impl KlocRegistry {
             return;
         }
         let Some(inode) = info.inode else { return };
-        if let Some(k) = self.knode_fast(cpu, inode) {
+        if self.knode_event(cpu, inode, |k, epoch| {
             k.add_obj(obj, info.ty, frame);
-            k.touch(cpu, now);
+            k.touch_at(cpu, now, epoch);
+        }) {
             self.stats.objects_tracked += 1;
         }
     }
@@ -211,10 +220,12 @@ impl KlocRegistry {
     /// Object freed: drop it from its knode.
     pub fn object_freed(&mut self, obj: ObjectId, info: &ObjectInfo) {
         let Some(inode) = info.inode else { return };
-        if let Some(k) = self.kmap.get_mut(inode) {
-            if k.remove_obj(obj) {
-                self.stats.objects_untracked += 1;
-            }
+        if self
+            .kmap
+            .with_knode_mut(inode, |k, _| k.remove_obj(obj))
+            .unwrap_or(false)
+        {
+            self.stats.objects_untracked += 1;
         }
     }
 
@@ -224,26 +235,27 @@ impl KlocRegistry {
             return;
         }
         let Some(inode) = info.inode else { return };
-        if let Some(k) = self.knode_fast(cpu, inode) {
-            k.touch(cpu, now);
-        }
+        self.knode_event(cpu, inode, |k, epoch| k.touch_at(cpu, now, epoch));
     }
 
-    /// Hot-path knode lookup: per-CPU list first, then a counted kmap
+    /// Hot-path knode mutation: per-CPU list first, then a counted kmap
     /// traversal on miss (this split is what the §4.3 ablation measures).
-    fn knode_fast(&mut self, cpu: CpuId, inode: InodeId) -> Option<&mut Knode> {
+    /// A hit carries the knode's storage slot, so the mutation is one
+    /// array access — the kmap tree is never walked. Returns whether the
+    /// knode exists.
+    fn knode_event(&mut self, cpu: CpuId, inode: InodeId, f: impl FnOnce(&mut Knode, u64)) -> bool {
         if self.config.use_percpu {
-            if self.percpu.lookup(cpu, inode) {
-                return self.kmap.get_mut(inode);
+            if let Some(slot) = self.percpu.lookup(cpu, inode) {
+                return self.kmap.with_knode_mut_at(slot, f).is_some();
             }
-            let found = self.kmap.lookup_counted(inode).is_some();
+            let found = self.kmap.with_knode_mut_counted(inode, f).is_some();
             if found {
-                self.percpu.touch(cpu, inode);
-                return self.kmap.get_mut(inode);
+                let slot = self.kmap.slot_of(inode).expect("knode just mutated");
+                self.percpu.touch(cpu, inode, slot);
             }
-            None
+            found
         } else {
-            self.kmap.lookup_counted(inode)
+            self.kmap.with_knode_mut_counted(inode, f).is_some()
         }
     }
 
@@ -273,13 +285,11 @@ impl KlocRegistry {
     }
 
     /// Ages all knodes and per-CPU entries by one scan epoch (§4.3: age
-    /// increments when the LRU policy scans without evicting).
+    /// increments when the LRU policy scans without evicting). O(1) —
+    /// both structures age lazily off a shared counter; nothing is
+    /// walked.
     pub fn age_epoch(&mut self) {
-        for k in self.kmap.iter_mut() {
-            if !k.inuse() {
-                k.bump_age();
-            }
-        }
+        self.kmap.advance_epoch();
         self.percpu.age_all();
     }
 
@@ -303,10 +313,9 @@ impl KlocRegistry {
         let Some(k) = self.kmap.get(inode) else {
             return 0;
         };
-        let frames = k.member_frames();
         let demoting = to != TierId::FAST;
         let mut moved = 0;
-        for frame in frames {
+        for frame in k.iter_member_frames() {
             if moved >= max_pages {
                 break;
             }
@@ -350,9 +359,8 @@ impl KlocRegistry {
             return 0;
         };
         let now = mem.now();
-        let frames = k.member_frames();
         let mut moved = 0;
-        for frame in frames {
+        for frame in k.iter_member_frames() {
             if moved >= max_pages {
                 break;
             }
@@ -387,9 +395,8 @@ impl KlocRegistry {
             return 0;
         };
         let now = mem.now();
-        let frames = k.member_frames();
         let mut moved = 0;
-        for frame in frames {
+        for frame in k.iter_member_frames() {
             if moved >= max_pages {
                 break;
             }
@@ -414,6 +421,12 @@ impl KlocRegistry {
             .get(inode)
             .map(Knode::member_frames)
             .unwrap_or_default()
+    }
+
+    /// Number of distinct frames backing members of `inode`'s knode —
+    /// O(1), no collection.
+    pub fn member_frame_count(&self, inode: InodeId) -> usize {
+        self.kmap.get(inode).map_or(0, Knode::member_frame_count)
     }
 }
 
@@ -451,8 +464,10 @@ mod tests {
         let i = info(KernelObjectType::PageCache, 1);
         r.object_allocated(ObjectId(5), &i, FrameId(9), CpuId(0), Nanos::ZERO);
         assert_eq!(r.member_frames(InodeId(1)), vec![FrameId(9)]);
+        assert_eq!(r.member_frame_count(InodeId(1)), 1);
         r.object_freed(ObjectId(5), &i);
         assert!(r.member_frames(InodeId(1)).is_empty());
+        assert_eq!(r.member_frame_count(InodeId(1)), 0);
         assert_eq!(r.stats().objects_tracked, 1);
         assert_eq!(r.stats().objects_untracked, 1);
     }
@@ -605,7 +620,29 @@ mod tests {
         r.inode_closed(InodeId(2));
         r.age_epoch();
         r.age_epoch();
-        assert_eq!(r.kmap().get(InodeId(1)).unwrap().age(), 0);
-        assert_eq!(r.kmap().get(InodeId(2)).unwrap().age(), 2);
+        assert_eq!(r.kmap().age_of(InodeId(1)), Some(0));
+        assert_eq!(r.kmap().age_of(InodeId(2)), Some(2));
+    }
+
+    #[test]
+    fn age_epoch_walks_nothing() {
+        let mut r = KlocRegistry::new(KlocConfig::default());
+        for ino in 1..=200u64 {
+            r.inode_created(InodeId(ino), CpuId(0), Nanos::ZERO);
+            if ino % 2 == 0 {
+                r.inode_closed(InodeId(ino));
+            }
+        }
+        let before = r.kmap().knodes_examined();
+        for _ in 0..1000 {
+            r.age_epoch();
+        }
+        assert_eq!(
+            r.kmap().knodes_examined(),
+            before,
+            "age_epoch must not iterate the kmap"
+        );
+        assert_eq!(r.kmap().age_of(InodeId(2)), Some(1000));
+        assert_eq!(r.kmap().age_of(InodeId(1)), Some(0));
     }
 }

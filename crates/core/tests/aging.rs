@@ -1,0 +1,301 @@
+//! Eager-vs-lazy aging equivalence.
+//!
+//! The registry ages knodes lazily: `age_epoch` bumps a global counter
+//! and each knode derives its age on demand (paper §4.3 — KLOCs age "as
+//! a side effect of events", without scanning). These tests drive the
+//! real registry and an *eager* reference model — which walks every
+//! knode on every epoch, the implementation the rewrite replaced —
+//! through identical seeded op streams and require them to agree on
+//! every observable: per-knode age and activity, the inactive ordering,
+//! cold-set selection, and LRU ranking.
+
+use std::collections::BTreeMap;
+
+use kloc_core::{KlocConfig, KlocRegistry};
+use kloc_kernel::hooks::CpuId;
+use kloc_kernel::vfs::InodeId;
+use kloc_kernel::{KernelObjectType, ObjectId, ObjectInfo};
+use kloc_mem::rng::SplitMix64;
+use kloc_mem::{FrameId, Nanos};
+
+/// The scan-based reference: one record per knode, aged by walking the
+/// whole population on every epoch.
+#[derive(Debug, Default)]
+struct EagerModel {
+    knodes: BTreeMap<InodeId, EagerKnode>,
+    epoch: u64,
+}
+
+#[derive(Debug)]
+struct EagerKnode {
+    inuse: bool,
+    age: u32,
+    last_active: Nanos,
+    members: BTreeMap<ObjectId, FrameId>,
+}
+
+impl EagerModel {
+    fn create(&mut self, inode: InodeId, now: Nanos) {
+        self.knodes.insert(
+            inode,
+            EagerKnode {
+                inuse: true,
+                age: 0,
+                last_active: now,
+                members: BTreeMap::new(),
+            },
+        );
+    }
+
+    fn open(&mut self, inode: InodeId, now: Nanos) {
+        if let Some(k) = self.knodes.get_mut(&inode) {
+            k.inuse = true;
+            k.age = 0;
+            k.last_active = now;
+        }
+    }
+
+    fn close(&mut self, inode: InodeId) {
+        if let Some(k) = self.knodes.get_mut(&inode) {
+            k.inuse = false;
+        }
+    }
+
+    fn destroy(&mut self, inode: InodeId) {
+        self.knodes.remove(&inode);
+    }
+
+    fn touch(&mut self, inode: InodeId, now: Nanos) {
+        if let Some(k) = self.knodes.get_mut(&inode) {
+            k.age = 0;
+            k.last_active = now;
+        }
+    }
+
+    fn add_obj(&mut self, inode: InodeId, obj: ObjectId, frame: FrameId, now: Nanos) {
+        if let Some(k) = self.knodes.get_mut(&inode) {
+            k.members.insert(obj, frame);
+            k.age = 0;
+            k.last_active = now;
+        }
+    }
+
+    fn remove_obj(&mut self, inode: InodeId, obj: ObjectId) {
+        if let Some(k) = self.knodes.get_mut(&inode) {
+            k.members.remove(&obj);
+        }
+    }
+
+    /// The eager aging pass: O(knodes), the cost `age_epoch` no longer
+    /// pays.
+    fn age_epoch(&mut self) {
+        self.epoch += 1;
+        for k in self.knodes.values_mut() {
+            if !k.inuse {
+                k.age = k.age.saturating_add(1);
+            }
+        }
+    }
+
+    /// Inactive inodes ordered by last activity (the registry's
+    /// `inactive_knodes` contract).
+    fn inactive_by_activity(&self) -> Vec<InodeId> {
+        let mut v: Vec<(Nanos, InodeId)> = self
+            .knodes
+            .iter()
+            .filter(|(_, k)| !k.inuse)
+            .map(|(&i, k)| (k.last_active, i))
+            .collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// Cold candidates: inactive, age >= min_age, non-empty; stamp order.
+    fn cold_with_members(&self, min_age: u32) -> Vec<InodeId> {
+        let mut v: Vec<(u64, InodeId)> = self
+            .knodes
+            .iter()
+            .filter(|(_, k)| !k.inuse && k.age >= min_age && !k.members.is_empty())
+            .map(|(&i, k)| (self.epoch - u64::from(k.age), i))
+            .collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// LRU ranking: inactive before active, oldest activity first.
+    fn lru(&self, n: usize) -> Vec<InodeId> {
+        let mut v: Vec<(bool, Nanos, InodeId)> = self
+            .knodes
+            .iter()
+            .map(|(&i, k)| (k.inuse, k.last_active, i))
+            .collect();
+        v.sort_unstable();
+        v.truncate(n);
+        v.into_iter().map(|(_, _, i)| i).collect()
+    }
+}
+
+fn info(inode: InodeId) -> ObjectInfo {
+    ObjectInfo {
+        ty: KernelObjectType::PageCache,
+        size: KernelObjectType::PageCache.size(),
+        inode: Some(inode),
+    }
+}
+
+fn assert_equivalent(r: &KlocRegistry, m: &EagerModel, seed: u64, step: usize) {
+    let ctx = |what: &str| format!("seed {seed}, step {step}: {what}");
+    assert_eq!(r.kmap().len(), m.knodes.len(), "{}", ctx("population"));
+    for (&inode, k) in &m.knodes {
+        assert_eq!(
+            r.kmap().age_of(inode),
+            Some(k.age),
+            "{}",
+            ctx(&format!("age of {inode}"))
+        );
+        assert_eq!(
+            r.is_active(inode),
+            Some(k.inuse),
+            "{}",
+            ctx(&format!("activity of {inode}"))
+        );
+    }
+    assert_eq!(
+        r.kmap().inactive_knodes(),
+        m.inactive_by_activity(),
+        "{}",
+        ctx("inactive ordering")
+    );
+    for min_age in [0, 1, 3, 8] {
+        let mut cold = Vec::new();
+        r.kmap().cold_inodes_with_members(min_age, &mut cold);
+        assert_eq!(
+            cold,
+            m.cold_with_members(min_age),
+            "{}",
+            ctx(&format!("cold set at min_age {min_age}"))
+        );
+    }
+    for n in [1, 4, usize::MAX] {
+        assert_eq!(
+            r.kmap().lru_knodes(n.min(m.knodes.len() + 1)),
+            m.lru(n.min(m.knodes.len() + 1)),
+            "{}",
+            ctx(&format!("lru ranking at n {n}"))
+        );
+    }
+}
+
+/// Drives both models through `steps` random ops from `seed` and checks
+/// every observable after each op.
+fn run_stream(seed: u64, steps: usize) {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut r = KlocRegistry::new(KlocConfig::default());
+    let mut m = EagerModel::default();
+    let mut next_inode = 1u64;
+    let mut next_obj = 0u64;
+    let mut live: Vec<InodeId> = Vec::new();
+
+    for step in 0..steps {
+        let now = Nanos::from_micros(step as u64);
+        let cpu = CpuId(rng.gen_below(4) as u16);
+        match rng.gen_below(100) {
+            // Create a knode.
+            0..=14 => {
+                let inode = InodeId(next_inode);
+                next_inode += 1;
+                r.inode_created(inode, cpu, now);
+                m.create(inode, now);
+                live.push(inode);
+            }
+            // Reopen (possibly already open — must not reset the clock
+            // semantics differently between models).
+            15..=24 if !live.is_empty() => {
+                let inode = live[rng.gen_below(live.len() as u64) as usize];
+                r.inode_opened(inode, cpu, now);
+                m.open(inode, now);
+            }
+            // Close (possibly repeatedly — a repeated close must not
+            // restart the inactivity clock).
+            25..=44 if !live.is_empty() => {
+                let inode = live[rng.gen_below(live.len() as u64) as usize];
+                r.inode_closed(inode);
+                m.close(inode);
+            }
+            // Destroy.
+            45..=49 if !live.is_empty() => {
+                let i = rng.gen_below(live.len() as u64) as usize;
+                let inode = live.swap_remove(i);
+                r.inode_destroyed(inode);
+                m.destroy(inode);
+            }
+            // Object allocation (touches the knode).
+            50..=59 if !live.is_empty() => {
+                let inode = live[rng.gen_below(live.len() as u64) as usize];
+                let obj = ObjectId(next_obj);
+                next_obj += 1;
+                let frame = FrameId(rng.gen_below(64));
+                r.object_allocated(obj, &info(inode), frame, cpu, now);
+                m.add_obj(inode, obj, frame, now);
+            }
+            // Object free (does not touch).
+            60..=64 if !live.is_empty() => {
+                let inode = live[rng.gen_below(live.len() as u64) as usize];
+                if let Some((&obj, _)) = m.knodes[&inode].members.iter().next() {
+                    r.object_freed(obj, &info(inode));
+                    m.remove_obj(inode, obj);
+                }
+            }
+            // Access (touch via the per-CPU fast path).
+            65..=79 if !live.is_empty() => {
+                let inode = live[rng.gen_below(live.len() as u64) as usize];
+                r.object_accessed(&info(inode), cpu, now);
+                m.touch(inode, now);
+            }
+            // Aging epoch — O(1) lazy vs O(n) eager.
+            _ => {
+                r.age_epoch();
+                m.age_epoch();
+            }
+        }
+        assert_equivalent(&r, &m, seed, step);
+    }
+}
+
+#[test]
+fn lazy_aging_matches_eager_reference() {
+    for seed in [1, 42, 0xD1CE, 0xFEED_FACE] {
+        run_stream(seed, 400);
+    }
+}
+
+#[test]
+fn long_idle_stretches_match() {
+    // Heavier on epochs: knodes sit inactive across hundreds of epochs,
+    // exercising stamp arithmetic far from the create point.
+    let mut r = KlocRegistry::new(KlocConfig::default());
+    let mut m = EagerModel::default();
+    for ino in 1..=20u64 {
+        let now = Nanos::from_micros(ino);
+        r.inode_created(InodeId(ino), CpuId(0), now);
+        m.create(InodeId(ino), now);
+    }
+    let mut rng = SplitMix64::seed_from_u64(7);
+    for round in 0..50 {
+        // Close a few, run a burst of epochs, reopen a few.
+        for _ in 0..3 {
+            let ino = InodeId(rng.gen_range(1..21));
+            r.inode_closed(ino);
+            m.close(ino);
+        }
+        for _ in 0..rng.gen_below(40) {
+            r.age_epoch();
+            m.age_epoch();
+        }
+        let ino = InodeId(rng.gen_range(1..21));
+        let now = Nanos::from_micros(1000 + round);
+        r.inode_opened(ino, CpuId(1), now);
+        m.open(ino, now);
+        assert_equivalent(&r, &m, 7, round as usize);
+    }
+}

@@ -14,7 +14,7 @@
 //! the journal; socket I/O allocates socks, skbuffs, data buffers, and
 //! RX ring pages.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 
 use kloc_mem::{FrameId, PageKind};
 
@@ -49,7 +49,7 @@ pub struct Kernel {
     /// LRU of page-cache frames, for the cache-budget shrinker.
     cache_lru: PageLru,
     /// frame -> (inode, page index) for cached file pages.
-    cache_index: HashMap<FrameId, (InodeId, u64)>,
+    cache_index: CacheIndex,
     /// Live file page-cache pages (budget accounting).
     cache_pages: u64,
     /// Globally dirty pages and their flush order.
@@ -79,7 +79,7 @@ impl Kernel {
             block: BlockLayer::new(),
             readahead: Readahead::new(params.readahead_max),
             cache_lru: PageLru::new(),
-            cache_index: HashMap::new(),
+            cache_index: CacheIndex::default(),
             cache_pages: 0,
             dirty_pages: 0,
             dirty_list: VecDeque::new(),
@@ -215,7 +215,7 @@ impl Kernel {
                 }
             }
             Backing::Page(_) => {
-                if self.cache_index.remove(&kobj.frame).is_some() {
+                if self.cache_index.remove(kobj.frame) {
                     self.cache_pages -= 1;
                 }
                 self.cache_lru.remove(kobj.frame);
@@ -596,7 +596,7 @@ impl Kernel {
             .insert(idx, obj, frame, dirty);
         self.cache_lru.insert(frame, List::Inactive);
         self.cache_lru.mark_accessed(frame);
-        self.cache_index.insert(frame, (ino, idx));
+        self.cache_index.insert(frame, ino, idx);
         self.cache_pages += 1;
         if dirty {
             self.dirty_pages += 1;
@@ -871,7 +871,7 @@ impl Kernel {
                 continue;
             }
             for frame in out.evict {
-                let Some(&(ino, idx)) = self.cache_index.get(&frame) else {
+                let Some((ino, idx)) = self.cache_index.get(frame) else {
                     continue;
                 };
                 let dirty = self
@@ -1320,6 +1320,44 @@ impl Kernel {
             ctx.mem.read_from(ctx.socket, frame, bytes);
         }
         ctx.hooks.on_app_page_access(frame, ctx.cpu, ctx.mem);
+    }
+}
+
+/// frame -> (inode, page index) reverse map for cached file pages,
+/// direct-mapped by [`FrameId::slot`]. Entries store the full frame id so
+/// a slot recycled by the frame table (fresh generation) misses instead
+/// of aliasing; the kernel removes entries on page free, so stale
+/// occupants only arise transiently and are overwritten on insert.
+#[derive(Debug, Default)]
+struct CacheIndex {
+    slots: Vec<Option<(FrameId, InodeId, u64)>>,
+}
+
+impl CacheIndex {
+    fn get(&self, frame: FrameId) -> Option<(InodeId, u64)> {
+        match self.slots.get(frame.slot() as usize) {
+            Some(&Some((f, ino, idx))) if f == frame => Some((ino, idx)),
+            _ => None,
+        }
+    }
+
+    fn insert(&mut self, frame: FrameId, ino: InodeId, idx: u64) {
+        let i = frame.slot() as usize;
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, None);
+        }
+        self.slots[i] = Some((frame, ino, idx));
+    }
+
+    /// Removes `frame`'s entry; returns whether it was present.
+    fn remove(&mut self, frame: FrameId) -> bool {
+        match self.slots.get_mut(frame.slot() as usize) {
+            Some(slot @ &mut Some((f, _, _))) if f == frame => {
+                *slot = None;
+                true
+            }
+            _ => false,
+        }
     }
 }
 

@@ -17,8 +17,6 @@
 //! ordering in per-list `BTreeMap`s keyed by timestamp, paying
 //! O(log n) rebalancing on the simulator's hottest path).
 
-use std::collections::HashMap;
-
 use kloc_mem::FrameId;
 
 /// Which list a page is on.
@@ -77,7 +75,12 @@ impl Default for Ends {
 pub struct PageLru {
     nodes: Vec<Node>,
     free: Vec<u32>,
-    index: HashMap<FrameId, u32>,
+    /// Direct-mapped slot -> node table. Keyed by [`FrameId::slot`]
+    /// (dense; the full id is sparse — generation bits), verified
+    /// against the node's stored full id to reject stale generations.
+    /// `NIL` marks untracked slots.
+    index: Vec<u32>,
+    tracked: usize,
     active: Ends,
     inactive: Ends,
 }
@@ -100,17 +103,24 @@ impl PageLru {
 
     /// Total tracked pages.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.tracked
     }
 
     /// Whether no pages are tracked.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.tracked == 0
     }
 
     /// Whether `frame` is tracked.
     pub fn contains(&self, frame: FrameId) -> bool {
-        self.index.contains_key(&frame)
+        self.node_of(frame) != NIL
+    }
+
+    fn node_of(&self, frame: FrameId) -> u32 {
+        match self.index.get(frame.slot() as usize) {
+            Some(&n) if n != NIL && self.nodes[n as usize].frame == frame => n,
+            _ => NIL,
+        }
     }
 
     fn ends(&mut self, list: List) -> &mut Ends {
@@ -184,9 +194,24 @@ impl PageLru {
     }
 
     fn push(&mut self, frame: FrameId, list: List, referenced: bool) {
+        let i = frame.slot() as usize;
+        if i >= self.index.len() {
+            self.index.resize(i + 1, NIL);
+        } else {
+            let stale = self.index[i];
+            if stale != NIL {
+                // The frame table recycled this slot: the previous
+                // occupant's frame is dead (its id can never be queried
+                // again), it just was never removed. Drop it.
+                self.unlink(stale);
+                self.free.push(stale);
+                self.tracked -= 1;
+            }
+        }
         let node = self.alloc_node(frame, list, referenced);
         self.link_tail(node, list);
-        self.index.insert(frame, node);
+        self.index[i] = node;
+        self.tracked += 1;
     }
 
     /// Adds a new page to a list (most-recent end).
@@ -194,10 +219,7 @@ impl PageLru {
     /// # Panics
     /// Panics if the frame is already tracked.
     pub fn insert(&mut self, frame: FrameId, list: List) {
-        assert!(
-            !self.index.contains_key(&frame),
-            "{frame} already on an LRU list"
-        );
+        assert!(!self.contains(frame), "{frame} already on an LRU list");
         self.push(frame, list, false);
     }
 
@@ -205,9 +227,10 @@ impl PageLru {
     /// bit; a second touch on the inactive list promotes to active
     /// (Linux's two-touch promotion). Unknown frames are ignored.
     pub fn mark_accessed(&mut self, frame: FrameId) {
-        let Some(&node) = self.index.get(&frame) else {
+        let node = self.node_of(frame);
+        if node == NIL {
             return;
-        };
+        }
         let n = &mut self.nodes[node as usize];
         if n.referenced && n.list == List::Inactive {
             n.referenced = false;
@@ -221,14 +244,15 @@ impl PageLru {
     /// Stops tracking `frame` (freed or migrated away). Returns whether
     /// it was tracked.
     pub fn remove(&mut self, frame: FrameId) -> bool {
-        match self.index.remove(&frame) {
-            Some(node) => {
-                self.unlink(node);
-                self.free.push(node);
-                true
-            }
-            None => false,
+        let node = self.node_of(frame);
+        if node == NIL {
+            return false;
         }
+        self.index[frame.slot() as usize] = NIL;
+        self.tracked -= 1;
+        self.unlink(node);
+        self.free.push(node);
+        true
     }
 
     /// Scans up to `n` pages from the inactive tail (oldest first):
@@ -253,7 +277,8 @@ impl PageLru {
                 self.link_tail(node, List::Active);
                 out.promoted += 1;
             } else {
-                self.index.remove(&frame);
+                self.index[frame.slot() as usize] = NIL;
+                self.tracked -= 1;
                 self.free.push(node);
                 out.evict.push(frame);
             }
@@ -398,6 +423,28 @@ mod tests {
         let mut lru = PageLru::new();
         lru.mark_accessed(FrameId(99));
         assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn stale_generation_misses_and_is_displaced() {
+        // Slot 1, generation 0 vs generation 1 (frame table id packing:
+        // generation << 32 | slot).
+        let old = FrameId(1);
+        let new = FrameId((1 << 32) | 1);
+        let mut lru = PageLru::new();
+        lru.insert(old, List::Inactive);
+        // The recycled slot's new id does not alias the old entry.
+        assert!(!lru.contains(new));
+        lru.mark_accessed(new); // no-op
+        assert!(!lru.remove(new));
+        assert_eq!(lru.len(), 1);
+        // Inserting the new generation displaces the dead occupant.
+        lru.insert(new, List::Active);
+        assert_eq!(lru.len(), 1);
+        assert!(lru.contains(new));
+        assert!(!lru.contains(old));
+        assert_eq!(lru.active_len(), 1);
+        assert_eq!(lru.inactive_len(), 0);
     }
 
     #[test]

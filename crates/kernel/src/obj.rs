@@ -8,7 +8,6 @@
 //! discusses), with canonical Linux sizes and the allocation backing each
 //! uses — the backing determines relocatability (§3.3).
 
-use std::collections::HashMap;
 use std::fmt;
 
 use kloc_mem::{FrameId, Nanos, PageKind};
@@ -247,10 +246,16 @@ pub struct KObject {
 }
 
 /// Table of live kernel objects.
+///
+/// Ids are assigned sequentially and never reused, so the table is a
+/// plain id-indexed vector: lookup on the object-access hot path is one
+/// bounds-checked array read, no hashing. Dead slots stay `None`; the
+/// simulator's live population is bounded, so slot memory is dominated
+/// by the live high-water mark plus already-freed prefix.
 #[derive(Debug, Default, Clone)]
 pub struct ObjectTable {
-    objects: HashMap<ObjectId, KObject>,
-    next: u64,
+    slots: Vec<Option<KObject>>,
+    live: usize,
 }
 
 impl ObjectTable {
@@ -261,51 +266,52 @@ impl ObjectTable {
 
     /// Registers a new object and returns its id.
     pub fn insert(&mut self, info: ObjectInfo, frame: FrameId, now: Nanos) -> ObjectId {
-        let id = ObjectId(self.next);
-        self.next += 1;
-        self.objects.insert(
+        let id = ObjectId(self.slots.len() as u64);
+        self.slots.push(Some(KObject {
             id,
-            KObject {
-                id,
-                info,
-                frame,
-                allocated_at: now,
-            },
-        );
+            info,
+            frame,
+            allocated_at: now,
+        }));
+        self.live += 1;
         id
     }
 
     /// Removes an object, returning its record.
     pub fn remove(&mut self, id: ObjectId) -> Option<KObject> {
-        self.objects.remove(&id)
+        let obj = self.slots.get_mut(id.0 as usize)?.take();
+        if obj.is_some() {
+            self.live -= 1;
+        }
+        obj
     }
 
     /// Re-associates an object with an inode (late socket demux on the
     /// ingress path, paper §4.2.3). Returns the updated record.
     pub fn set_inode(&mut self, id: ObjectId, inode: InodeId) -> Option<&KObject> {
-        let obj = self.objects.get_mut(&id)?;
+        let obj = self.slots.get_mut(id.0 as usize)?.as_mut()?;
         obj.info.inode = Some(inode);
         Some(obj)
     }
 
     /// Looks up an object.
     pub fn get(&self, id: ObjectId) -> Option<&KObject> {
-        self.objects.get(&id)
+        self.slots.get(id.0 as usize)?.as_ref()
     }
 
     /// Number of live objects.
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.live
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.live == 0
     }
 
-    /// Iterates over all live objects.
+    /// Iterates over all live objects in id order.
     pub fn iter(&self) -> impl Iterator<Item = &KObject> {
-        self.objects.values()
+        self.slots.iter().flatten()
     }
 }
 

@@ -99,13 +99,19 @@ pub struct OpenFile {
 }
 
 /// The VFS tables: path namespace, inode table, fd table.
+///
+/// Inode and fd ids are sequential and never reused, so both tables are
+/// id-indexed vectors (destroyed entries leave `None` holes) rather than
+/// hash maps: fd resolution and inode lookup happen on every simulated
+/// syscall, and an array index beats hashing there.
 #[derive(Debug, Default)]
 pub struct Vfs {
-    inodes: HashMap<InodeId, Inode>,
+    inodes: Vec<Option<Inode>>,
+    live_inodes: usize,
     paths: HashMap<String, InodeId>,
-    fds: HashMap<Fd, OpenFile>,
+    fds: Vec<Option<OpenFile>>,
+    live_fds: usize,
     next_inode: u64,
-    next_fd: u64,
 }
 
 impl Vfs {
@@ -116,12 +122,12 @@ impl Vfs {
 
     /// Number of live inodes (open, cached, or unlinked-but-open).
     pub fn inode_count(&self) -> usize {
-        self.inodes.len()
+        self.live_inodes
     }
 
     /// Number of open file descriptors.
     pub fn open_fds(&self) -> usize {
-        self.fds.len()
+        self.live_fds
     }
 
     /// Allocates the next inode id.
@@ -137,28 +143,37 @@ impl Vfs {
     /// Panics if the id is already present.
     pub fn insert_inode(&mut self, inode: Inode) {
         let id = inode.id;
-        let prev = self.inodes.insert(id, inode);
-        assert!(prev.is_none(), "{id} already registered");
+        let i = id.0 as usize;
+        if i >= self.inodes.len() {
+            self.inodes.resize_with(i + 1, || None);
+        }
+        assert!(self.inodes[i].is_none(), "{id} already registered");
+        self.inodes[i] = Some(inode);
+        self.live_inodes += 1;
     }
 
     /// Removes an inode record.
     pub fn remove_inode(&mut self, id: InodeId) -> Option<Inode> {
-        self.inodes.remove(&id)
+        let inode = self.inodes.get_mut(id.0 as usize)?.take();
+        if inode.is_some() {
+            self.live_inodes -= 1;
+        }
+        inode
     }
 
     /// Looks up an inode.
     pub fn inode(&self, id: InodeId) -> Option<&Inode> {
-        self.inodes.get(&id)
+        self.inodes.get(id.0 as usize)?.as_ref()
     }
 
     /// Looks up an inode mutably.
     pub fn inode_mut(&mut self, id: InodeId) -> Option<&mut Inode> {
-        self.inodes.get_mut(&id)
+        self.inodes.get_mut(id.0 as usize)?.as_mut()
     }
 
-    /// Iterates all live inodes.
+    /// Iterates all live inodes in id order.
     pub fn inodes(&self) -> impl Iterator<Item = &Inode> {
-        self.inodes.values()
+        self.inodes.iter().flatten()
     }
 
     /// Resolves a path.
@@ -182,20 +197,24 @@ impl Vfs {
 
     /// Opens a new descriptor on `inode` backed by `file_obj`.
     pub fn open_fd(&mut self, inode: InodeId, file_obj: ObjectId) -> Fd {
-        let fd = Fd(self.next_fd);
-        self.next_fd += 1;
-        self.fds.insert(fd, OpenFile { inode, file_obj });
+        let fd = Fd(self.fds.len() as u64);
+        self.fds.push(Some(OpenFile { inode, file_obj }));
+        self.live_fds += 1;
         fd
     }
 
     /// Resolves a descriptor.
     pub fn fd(&self, fd: Fd) -> Option<&OpenFile> {
-        self.fds.get(&fd)
+        self.fds.get(fd.0 as usize)?.as_ref()
     }
 
     /// Closes a descriptor, returning its description.
     pub fn close_fd(&mut self, fd: Fd) -> Option<OpenFile> {
-        self.fds.remove(&fd)
+        let of = self.fds.get_mut(fd.0 as usize)?.take();
+        if of.is_some() {
+            self.live_fds -= 1;
+        }
+        of
     }
 }
 

@@ -25,6 +25,17 @@ pub const PAGE_SIZE: u64 = 4096;
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FrameId(pub u64);
 
+impl FrameId {
+    /// The frame table slot (low id bits). Slots are *dense* — the table
+    /// hands them out sequentially and recycles freed ones — so they suit
+    /// direct-mapped side tables, unlike the full id (whose generation
+    /// bits make the value space sparse). A slot alone does not identify
+    /// a frame across time: compare the full id to reject stale entries.
+    pub fn slot(self) -> u32 {
+        self.0 as u32
+    }
+}
+
 impl fmt::Display for FrameId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "frame{}", self.0)

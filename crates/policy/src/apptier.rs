@@ -41,6 +41,8 @@ pub struct AppTier {
     /// Start demoting when fast-tier utilization exceeds this (percent).
     high_watermark_pct: u64,
     stats: AppTierStats,
+    /// Reusable promotion-candidate buffer (no per-tick allocation).
+    promote_scratch: Vec<FrameId>,
 }
 
 impl Default for AppTier {
@@ -59,6 +61,7 @@ impl AppTier {
             scan_overlap_pct: 25,
             high_watermark_pct: 90,
             stats: AppTierStats::default(),
+            promote_scratch: Vec::new(),
         }
     }
 
@@ -142,15 +145,22 @@ impl AppTier {
         if room == 0 {
             return;
         }
-        let candidates: Vec<FrameId> = self
-            .lru
-            .active_iter()
-            .filter(|f| mem.is_live(*f) && mem.tier_of(*f) == TierId::SLOW)
-            .take((self.scan_batch / 4).min(room as usize))
-            .collect();
-        self.charge_scan(mem, candidates.len());
-        for frame in candidates {
-            if mem.migrate(frame, TierId::FAST).is_ok() {
+        // Collect candidates into the reusable scratch buffer first:
+        // the scan cost must hit the virtual clock before any migration
+        // is stamped.
+        let limit = (self.scan_batch / 4).min(room as usize);
+        self.promote_scratch.clear();
+        for frame in self.lru.active_iter() {
+            if self.promote_scratch.len() == limit {
+                break;
+            }
+            if mem.is_live(frame) && mem.tier_of(frame) == TierId::SLOW {
+                self.promote_scratch.push(frame);
+            }
+        }
+        self.charge_scan(mem, self.promote_scratch.len());
+        for i in 0..self.promote_scratch.len() {
+            if mem.migrate(self.promote_scratch[i], TierId::FAST).is_ok() {
                 self.stats.promoted += 1;
             }
         }

@@ -163,6 +163,9 @@ pub struct AutoNumaKloc {
     core: NumaCore,
     registry: KlocRegistry,
     migrated_kernel: u64,
+    /// Reusable active-knode buffer for the tick (no per-tick
+    /// allocation).
+    active_scratch: Vec<kloc_kernel::InodeId>,
 }
 
 impl Default for AutoNumaKloc {
@@ -178,6 +181,7 @@ impl AutoNumaKloc {
             core: NumaCore::new(),
             registry: KlocRegistry::new(KlocConfig::default()),
             migrated_kernel: 0,
+            active_scratch: Vec::new(),
         }
     }
 
@@ -287,17 +291,16 @@ impl Policy for AutoNumaKloc {
     fn tick(&mut self, _kernel: &Kernel, mem: &mut MemorySystem) {
         self.core.balance_app_pages(mem);
         // §4.5: for all active KLOCs, pull remote kernel objects local.
+        // The kmap's active index names them directly — the inactive
+        // population is never walked.
         let home = self.core.home_tier();
-        let active: Vec<_> = self
-            .registry
-            .kmap()
-            .iter()
-            .filter(|k| k.inuse())
-            .map(|k| k.inode())
-            .collect();
-        for ino in active {
+        let mut active = std::mem::take(&mut self.active_scratch);
+        active.clear();
+        active.extend(self.registry.kmap().active_knodes().map(|k| k.inode()));
+        for &ino in &active {
             self.migrated_kernel += self.registry.migrate_knode(ino, mem, home);
         }
+        self.active_scratch = active;
     }
 
     fn migration_cost(&self) -> kloc_mem::MigrationCost {

@@ -78,6 +78,9 @@ pub struct KlocPolicy {
     active_cursor: usize,
     /// Largest en-masse migration staged (Table 6 overhead accounting).
     peak_migration_batch: u64,
+    /// Reusable candidate buffer for the tick reclaim passes, held on
+    /// the policy so the per-tick paths allocate nothing.
+    scratch: Vec<kloc_kernel::InodeId>,
 }
 
 impl Default for KlocPolicy {
@@ -124,6 +127,7 @@ impl KlocPolicy {
             ticks: 0,
             active_cursor: 0,
             peak_migration_batch: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -143,9 +147,85 @@ impl KlocPolicy {
     }
 
     fn demote_knode(&mut self, inode: kloc_kernel::InodeId, mem: &mut MemorySystem) {
-        let staged = self.registry.member_frames(inode).len() as u64;
+        let staged = self.registry.member_frame_count(inode) as u64;
         self.peak_migration_batch = self.peak_migration_batch.max(staged);
         self.registry.migrate_knode(inode, mem, TierId::SLOW);
+    }
+
+    /// One pressure-driven reclaim pass (the body of [`Policy::tick`]
+    /// once pressure is confirmed). `scratch` is the policy's reusable
+    /// candidate buffer, passed in detached so the demote calls can
+    /// borrow `self` mutably.
+    fn reclaim(&mut self, scratch: &mut Vec<kloc_kernel::InodeId>, mem: &mut MemorySystem) {
+        let now = mem.now();
+
+        // Demote inactive knodes whose age confirms coldness. The
+        // inactive index hands back exactly the cold candidates — no
+        // page-table scans and no walk over the warm population (§4.4).
+        scratch.clear();
+        self.registry
+            .kmap()
+            .cold_inodes_with_members(self.cold_age, scratch);
+        // The index yields oldest-inactive first; the batch has always
+        // been the first `demote_batch` candidates in inode order.
+        scratch.sort_unstable();
+        scratch.truncate(self.demote_batch);
+        for &ino in scratch.iter() {
+            self.demote_knode(ino, mem);
+        }
+
+        // Also demote open-but-idle knodes
+        // ("periods of activity interspersed with inactivity", §4.4) and
+        // *cold members* of active knodes — old pages of an append-only
+        // log, say. The knode names the frames directly, so inferring
+        // their relative age is a pointer walk, not a page-table scan.
+        scratch.clear();
+        for k in self.registry.kmap().active_knodes() {
+            if scratch.len() == self.demote_batch {
+                break;
+            }
+            if now.saturating_sub(k.last_active()) >= self.idle_demote {
+                scratch.push(k.inode());
+            }
+        }
+        for &ino in scratch.iter() {
+            self.demote_knode(ino, mem);
+        }
+        if !self.member_granular {
+            return;
+        }
+        // Rotate over active knodes, demoting members untouched for a
+        // while (old pages of an append-only log) and promoting hot
+        // members stranded in slow memory. Demotion makes the room
+        // promotion fills: an LRU exchange driven entirely by knode
+        // pointer walks.
+        scratch.clear();
+        scratch.extend(self.registry.kmap().active_knodes().map(|k| k.inode()));
+        if !scratch.is_empty() {
+            let mut demote_budget = 128u64;
+            for i in 0..scratch.len().min(16) {
+                let idx = (self.active_cursor + i) % scratch.len();
+                let moved = self.registry.demote_cold_members(
+                    scratch[idx],
+                    mem,
+                    self.member_idle,
+                    demote_budget,
+                );
+                demote_budget = demote_budget.saturating_sub(moved);
+                let room = mem
+                    .tier_alloc(TierId::FAST)
+                    .map(|a| a.free_frames())
+                    .unwrap_or(0);
+                if room > 0 {
+                    self.registry
+                        .promote_hot_members(scratch[idx], mem, self.member_hot, room);
+                }
+                if demote_budget == 0 {
+                    break;
+                }
+            }
+            self.active_cursor = (self.active_cursor + 16) % scratch.len().max(1);
+        }
     }
 }
 
@@ -228,8 +308,8 @@ impl KernelHooks for KlocPolicy {
         let hot = self
             .registry
             .kmap()
-            .get(inode)
-            .map(|k| k.age() < self.promote_max_age)
+            .age_of(inode)
+            .map(|age| age < self.promote_max_age)
             .unwrap_or(false);
         self.registry.inode_opened(inode, cpu, mem.now());
         if self.migrate && hot {
@@ -357,12 +437,12 @@ impl Policy for KlocPolicy {
         if self.ticks.is_multiple_of(self.app_tick_divider) {
             self.app.tick(mem);
         }
-        // Knode aging (scans that skip a knode bump its age, §4.3).
+        // Knode aging (scans that skip a knode bump its age, §4.3):
+        // O(1) counter bumps, no walk of the knode population.
         self.registry.age_epoch();
         if !self.migrate {
             return;
         }
-        let now = mem.now();
 
         // All migration activity is pressure-driven: with spare fast
         // capacity there is nothing to reclaim (the paper leaves the
@@ -374,78 +454,10 @@ impl Policy for KlocPolicy {
         if !pressure {
             return;
         }
-
-        // Demote inactive knodes whose age confirms coldness. No
-        // page-table scans needed — the knode names every member
-        // directly (§4.4).
-        let cold: Vec<_> = self
-            .registry
-            .kmap()
-            .iter()
-            .filter(|k| !k.inuse() && k.age() >= self.cold_age && k.member_count() > 0)
-            .map(|k| k.inode())
-            .take(self.demote_batch)
-            .collect();
-        for ino in cold {
-            self.demote_knode(ino, mem);
-        }
-
-        // Also demote open-but-idle knodes
-        // ("periods of activity interspersed with inactivity", §4.4) and
-        // *cold members* of active knodes — old pages of an append-only
-        // log, say. The knode names the frames directly, so inferring
-        // their relative age is a pointer walk, not a page-table scan.
-        let idle: Vec<_> = self
-            .registry
-            .kmap()
-            .iter()
-            .filter(|k| k.inuse() && now.saturating_sub(k.last_active()) >= self.idle_demote)
-            .map(|k| k.inode())
-            .take(self.demote_batch)
-            .collect();
-        for ino in idle {
-            self.demote_knode(ino, mem);
-        }
-        if !self.member_granular {
-            return;
-        }
-        // Rotate over active knodes, demoting members untouched for a
-        // while (old pages of an append-only log) and promoting hot
-        // members stranded in slow memory. Demotion makes the room
-        // promotion fills: an LRU exchange driven entirely by knode
-        // pointer walks.
-        let active: Vec<_> = self
-            .registry
-            .kmap()
-            .iter()
-            .filter(|k| k.inuse())
-            .map(|k| k.inode())
-            .collect();
-        if !active.is_empty() {
-            let mut demote_budget = 128u64;
-            for i in 0..active.len().min(16) {
-                let idx = (self.active_cursor + i) % active.len();
-                let moved = self.registry.demote_cold_members(
-                    active[idx],
-                    mem,
-                    self.member_idle,
-                    demote_budget,
-                );
-                demote_budget = demote_budget.saturating_sub(moved);
-                let room = mem
-                    .tier_alloc(TierId::FAST)
-                    .map(|a| a.free_frames())
-                    .unwrap_or(0);
-                if room > 0 {
-                    self.registry
-                        .promote_hot_members(active[idx], mem, self.member_hot, room);
-                }
-                if demote_budget == 0 {
-                    break;
-                }
-            }
-            self.active_cursor = (self.active_cursor + 16) % active.len().max(1);
-        }
+        // Detach the scratch buffer so reclaim can borrow self mutably.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.reclaim(&mut scratch, mem);
+        self.scratch = scratch;
     }
 
     fn tick_interval(&self) -> Nanos {
@@ -662,6 +674,61 @@ mod tests {
         assert!(
             frames.iter().any(|f| mem.tier_of(*f) == TierId::SLOW),
             "idle open knode demoted under pressure"
+        );
+    }
+
+    #[test]
+    fn tick_cold_selection_is_scan_free() {
+        // A large warm-inactive population must not be examined by the
+        // pressure tick: cold selection is an index range scan bounded
+        // by the candidate count, and the idle/member passes walk the
+        // active index only.
+        let mut mem = MemorySystem::two_tier(64 * PAGE_SIZE, 8);
+        let kernel = Kernel::new(Default::default());
+        let mut p = KlocPolicy::new();
+        // 40 knodes with one fast member frame each, closed immediately:
+        // these become the cold candidates.
+        for ino in 1..=40u64 {
+            p.on_inode_create(InodeId(ino), CpuId(0), &mut mem);
+            let f = mem.allocate(TierId::FAST, PageKind::PageCache).unwrap();
+            let info = ObjectInfo {
+                ty: KernelObjectType::PageCache,
+                size: 4096,
+                inode: Some(InodeId(ino)),
+            };
+            p.on_object_alloc(ObjectId(ino), &info, f, CpuId(0), &mut mem);
+            p.on_inode_close(InodeId(ino), &mut mem);
+        }
+        // Age them past cold_age (12). Fast memory is only ~60% full, so
+        // these ticks stop at the pressure gate.
+        for _ in 0..16 {
+            p.tick(&kernel, &mut mem);
+        }
+        // 500 recently-closed knodes: inactive but far too young to be
+        // cold. An eager filter scan would walk all of them every tick.
+        for ino in 1000..1500u64 {
+            p.on_inode_create(InodeId(ino), CpuId(0), &mut mem);
+            p.on_inode_close(InodeId(ino), &mut mem);
+        }
+        // A couple of active knodes for the idle/member-granular passes.
+        p.on_inode_create(InodeId(2000), CpuId(0), &mut mem);
+        p.on_inode_create(InodeId(2001), CpuId(0), &mut mem);
+        // Fill the remaining fast frames so the tick sees pressure.
+        while mem.allocate(TierId::FAST, PageKind::AppData).is_ok() {}
+
+        let before = p.kloc_registry().kmap().knodes_examined();
+        p.tick(&kernel, &mut mem);
+        let examined = p.kloc_registry().kmap().knodes_examined() - before;
+        assert!(
+            p.kloc_registry().stats().knode_demotions >= 40,
+            "cold candidates were demoted"
+        );
+        // demote_batch (64) cold-range entries plus two bounded passes
+        // over the (two) active knodes — far below the 542 knodes an
+        // eager scan would have examined, repeatedly.
+        assert!(
+            examined <= 64 + 8,
+            "tick examined {examined} knodes; cold selection must be scan-free"
         );
     }
 

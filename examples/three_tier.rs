@@ -32,13 +32,10 @@ impl Waterfall {
 
     /// Cascades every sufficiently cold knode one tier down.
     fn cascade(&mut self, mem: &mut MemorySystem) {
-        let cold: Vec<InodeId> = self
-            .registry
-            .kmap()
-            .iter()
-            .filter(|k| !k.inuse() && k.age() >= 4 && k.member_count() > 0)
-            .map(|k| k.inode())
-            .collect();
+        // The kmap's inactive index yields cold knodes directly; the
+        // warm population is never examined.
+        let mut cold: Vec<InodeId> = Vec::new();
+        self.registry.kmap().cold_inodes_with_members(4, &mut cold);
         for ino in cold {
             // Demote each member one level from wherever it is.
             for frame in self.registry.member_frames(ino) {
