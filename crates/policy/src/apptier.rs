@@ -150,15 +150,19 @@ impl AppTier {
         // is stamped.
         let limit = (self.scan_batch / 4).min(room as usize);
         self.promote_scratch.clear();
+        let mut walked = 0;
         for frame in self.lru.active_iter() {
             if self.promote_scratch.len() == limit {
                 break;
             }
+            walked += 1;
             if mem.is_live(frame) && mem.tier_of(frame) == TierId::SLOW {
                 self.promote_scratch.push(frame);
             }
         }
-        self.charge_scan(mem, self.promote_scratch.len());
+        // Every entry examined costs scan time, including the dead and
+        // already-fast frames the filter skips.
+        self.charge_scan(mem, walked);
         for i in 0..self.promote_scratch.len() {
             if mem.migrate(self.promote_scratch[i], TierId::FAST).is_ok() {
                 self.stats.promoted += 1;
