@@ -314,6 +314,125 @@ impl Kmap {
     }
 }
 
+#[cfg(feature = "ksan")]
+impl Kmap {
+    /// Audits the kmap: the inode index against the slot storage, the
+    /// free list, the global epoch against every knode's synced epoch,
+    /// exact two-way membership of the activation indexes, and each
+    /// knode's internal frame refcounts. Observation only — in
+    /// particular the `examined` scan probe is never touched, so a run
+    /// audited by ksan reports the same counters as an unaudited one.
+    pub fn ksan_audit(&self, out: &mut Vec<kloc_mem::ksan::Violation>) {
+        use kloc_mem::ksan::Violation;
+        let occupied = self.slots.iter().filter(|s| s.is_some()).count();
+        if occupied != self.index.len() {
+            out.push(Violation::new(
+                "Kmap.index <-> Kmap.slots",
+                "kmap",
+                "the inode index covers exactly the occupied slots",
+                format!("{occupied} occupied slots"),
+                format!("{} index entries", self.index.len()),
+            ));
+        }
+        if self.free.len() + self.index.len() != self.slots.len() {
+            out.push(Violation::new(
+                "Kmap.free <-> Kmap.slots",
+                "kmap",
+                "free + mapped partition the slot space",
+                format!("{} slots", self.slots.len()),
+                format!("{} free + {} mapped", self.free.len(), self.index.len()),
+            ));
+        }
+        for (&inode, &slot) in &self.index {
+            let Some(knode) = self.slots.get(slot as usize).and_then(Option::as_ref) else {
+                out.push(Violation::new(
+                    "Kmap.index <-> Kmap.slots",
+                    format!("{inode}"),
+                    "every index entry names an occupied slot",
+                    format!("knode in slot {slot}"),
+                    "empty slot".to_owned(),
+                ));
+                continue;
+            };
+            if knode.inode() != inode {
+                out.push(Violation::new(
+                    "Kmap.index <-> Knode.inode",
+                    format!("{inode}"),
+                    "the indexed slot holds that inode's knode",
+                    format!("{inode}"),
+                    format!("{}", knode.inode()),
+                ));
+            }
+            if knode.synced_epoch() > self.epoch {
+                out.push(Violation::new(
+                    "Kmap.epoch <-> Knode.synced_epoch",
+                    format!("{inode}"),
+                    "the global epoch never lags a knode's synced epoch",
+                    format!("<= {}", self.epoch),
+                    format!("synced_epoch = {}", knode.synced_epoch()),
+                ));
+            }
+            let in_active = self.active_idx.contains(&inode);
+            let in_inactive = self.inactive_idx.contains(&(knode.inactive_stamp(), inode));
+            if knode.inuse() && (!in_active || in_inactive) {
+                out.push(Violation::new(
+                    "Knode.inuse <-> Kmap activation indexes",
+                    format!("{inode}"),
+                    "an in-use knode sits in the active index only",
+                    "active index".to_owned(),
+                    format!("active: {in_active}, inactive: {in_inactive}"),
+                ));
+            }
+            if !knode.inuse() && (in_active || !in_inactive) {
+                out.push(Violation::new(
+                    "Knode.inuse <-> Kmap activation indexes",
+                    format!("{inode}"),
+                    "an inactive knode sits in the inactive index, keyed by its stamp",
+                    format!("inactive index entry ({}, {inode})", knode.inactive_stamp()),
+                    format!("active: {in_active}, inactive: {in_inactive}"),
+                ));
+            }
+            knode.ksan_audit(out);
+        }
+        // Exact membership: with every knode accounted for above, equal
+        // sizes rule out entries pointing at unmapped inodes.
+        if self.active_idx.len() + self.inactive_idx.len() != self.index.len() {
+            out.push(Violation::new(
+                "Kmap activation indexes <-> Kmap.index",
+                "kmap",
+                "the activation indexes partition the mapped knodes",
+                format!("{} mapped knodes", self.index.len()),
+                format!(
+                    "{} active + {} inactive",
+                    self.active_idx.len(),
+                    self.inactive_idx.len()
+                ),
+            ));
+        }
+    }
+
+    /// Corruption hook for sanitizer self-tests: drops the oldest
+    /// inactive-index entry while its knode stays inactive.
+    #[doc(hidden)]
+    pub fn ksan_break_inactive_index(&mut self) {
+        if let Some(&entry) = self.inactive_idx.iter().next() {
+            self.inactive_idx.remove(&entry);
+        }
+    }
+
+    /// Corruption hook for sanitizer self-tests: stamps the first mapped
+    /// knode's synced epoch into the future, bypassing index repair.
+    #[doc(hidden)]
+    pub fn ksan_break_epoch(&mut self) {
+        let epoch = self.epoch + 10;
+        if let Some(&slot) = self.index.values().next() {
+            if let Some(knode) = self.slots[slot as usize].as_mut() {
+                knode.ksan_force_synced_epoch(epoch);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

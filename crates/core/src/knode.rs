@@ -219,6 +219,51 @@ impl Knode {
     }
 }
 
+#[cfg(feature = "ksan")]
+impl Knode {
+    /// The epoch this knode's age was last synchronized at (audited
+    /// against the kmap's global epoch, which must never lag it).
+    pub(crate) fn synced_epoch(&self) -> u64 {
+        self.synced_epoch
+    }
+
+    /// Recomputes the frame refcounts from both member trees and
+    /// cross-checks the incrementally maintained frame set. Observation
+    /// only.
+    pub(crate) fn ksan_audit(&self, out: &mut Vec<kloc_mem::ksan::Violation>) {
+        use kloc_mem::ksan::Violation;
+        let mut tally: BTreeMap<FrameId, u32> = BTreeMap::new();
+        for (_, frame) in self.iter_cache().chain(self.iter_slab()) {
+            *tally.entry(frame).or_insert(0) += 1;
+        }
+        if tally != self.frames {
+            out.push(Violation::new(
+                "Knode.frames <-> Knode member trees",
+                format!("{}", self.inode),
+                "frame refcounts match the members that reference them",
+                format!("{tally:?}"),
+                format!("{:?}", self.frames),
+            ));
+        }
+    }
+
+    /// Corruption hook for sanitizer self-tests: stamps the knode's
+    /// synced epoch into the future, ahead of the kmap's global epoch.
+    #[doc(hidden)]
+    pub fn ksan_force_synced_epoch(&mut self, epoch: u64) {
+        self.synced_epoch = epoch;
+    }
+
+    /// Test-only wrapper over the crate-private inuse transition so
+    /// sanitizer self-tests can stage inactive knodes from outside the
+    /// crate (via `Kmap::with_knode_mut`, which repairs the activation
+    /// indexes around the change).
+    #[doc(hidden)]
+    pub fn ksan_set_inuse_at(&mut self, inuse: bool, epoch: u64) {
+        self.set_inuse_at(inuse, epoch);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -161,6 +161,49 @@ impl PerCpuKnodeLists {
     }
 }
 
+#[cfg(feature = "ksan")]
+impl PerCpuKnodeLists {
+    /// Audits every cached entry against the kmap it shadows: the entry's
+    /// remembered slot must still hold that inode's knode (purge-on-unmap
+    /// keeps this exact), list lengths must respect the capacity bound,
+    /// and no entry may be stamped ahead of the shared epoch. Observation
+    /// only.
+    pub fn ksan_audit(&self, kmap: &crate::Kmap, out: &mut Vec<kloc_mem::ksan::Violation>) {
+        use kloc_mem::ksan::Violation;
+        for (cpu, list) in self.lists.iter().enumerate() {
+            if list.len() > self.capacity {
+                out.push(Violation::new(
+                    "PerCpuKnodeLists capacity",
+                    format!("cpu{cpu} list"),
+                    "a per-CPU list never exceeds its capacity",
+                    format!("<= {} entries", self.capacity),
+                    format!("{} entries", list.len()),
+                ));
+            }
+            for e in list {
+                if kmap.slot_of(e.inode) != Some(e.slot) {
+                    out.push(Violation::new(
+                        "PerCpuKnodeLists <-> Kmap.index",
+                        format!("{} on cpu{cpu}", e.inode),
+                        "a cached entry remembers its knode's current kmap slot",
+                        format!("{:?}", kmap.slot_of(e.inode)),
+                        format!("slot {}", e.slot),
+                    ));
+                }
+                if e.touched_epoch > self.epoch {
+                    out.push(Violation::new(
+                        "PerCpuKnodeLists.epoch <-> Entry.touched_epoch",
+                        format!("{} on cpu{cpu}", e.inode),
+                        "no entry is stamped ahead of the shared epoch",
+                        format!("<= {}", self.epoch),
+                        format!("touched_epoch = {}", e.touched_epoch),
+                    ));
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -430,6 +430,22 @@ impl KlocRegistry {
     }
 }
 
+#[cfg(feature = "ksan")]
+impl KlocRegistry {
+    /// Audits the whole KLOC engine: the kmap's internal invariants plus
+    /// every per-CPU fast-path entry against the kmap. Observation only.
+    pub fn ksan_audit(&self, out: &mut Vec<kloc_mem::ksan::Violation>) {
+        self.kmap.ksan_audit(out);
+        self.percpu.ksan_audit(&self.kmap, out);
+    }
+
+    /// Corruption hooks for sanitizer self-tests, forwarded to the kmap.
+    #[doc(hidden)]
+    pub fn ksan_kmap_mut(&mut self) -> &mut Kmap {
+        &mut self.kmap
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1323,6 +1323,143 @@ impl Kernel {
     }
 }
 
+#[cfg(feature = "ksan")]
+impl Kernel {
+    /// Audits the kernel's cross-structure invariants: the VFS tables,
+    /// both packed allocators, and — the tentpole — three-way agreement
+    /// between the per-inode page caches, the frame -> (inode, index)
+    /// reverse map, the page-cache LRU, and frame liveness in `mem`.
+    /// Observation only.
+    pub fn ksan_audit(
+        &self,
+        mem: &kloc_mem::MemorySystem,
+        out: &mut Vec<kloc_mem::ksan::Violation>,
+    ) {
+        use kloc_mem::ksan::Violation;
+        self.vfs.ksan_audit(out);
+        self.slab.ksan_audit(mem, out);
+        self.kvma.ksan_audit(mem, out);
+
+        let mut cached = 0u64;
+        let mut dirty = 0u64;
+        for inode in self.vfs.inodes() {
+            cached += inode.cache.len() as u64;
+            dirty += inode.cache.dirty_pages();
+            for (idx, page) in inode.cache.iter() {
+                let object = format!("{} page {idx} ({})", inode.id, page.frame);
+                if self.cache_index.get(page.frame) != Some((inode.id, idx)) {
+                    out.push(Violation::new(
+                        "PageCache <-> Kernel.cache_index",
+                        object.clone(),
+                        "the reverse map points every cached frame at its page",
+                        format!("({}, {idx})", inode.id),
+                        format!("{:?}", self.cache_index.get(page.frame)),
+                    ));
+                }
+                if !self.cache_lru.contains(page.frame) {
+                    out.push(Violation::new(
+                        "PageCache <-> Kernel.cache_lru",
+                        object.clone(),
+                        "every cached page is tracked by the page LRU",
+                        "tracked".to_owned(),
+                        "untracked".to_owned(),
+                    ));
+                }
+                if !mem.is_live(page.frame) {
+                    out.push(Violation::new(
+                        "PageCache <-> FrameTable",
+                        object.clone(),
+                        "every cached page's frame is live",
+                        "live".to_owned(),
+                        "freed".to_owned(),
+                    ));
+                }
+                if page.dirty && !self.dirty_list.contains(&(inode.id, idx)) {
+                    out.push(Violation::new(
+                        "PageCache.dirty <-> Kernel.dirty_list",
+                        object,
+                        "every dirty page is queued for writeback",
+                        "queued".to_owned(),
+                        "missing from dirty_list".to_owned(),
+                    ));
+                }
+            }
+        }
+        if cached != self.cache_pages {
+            out.push(Violation::new(
+                "Kernel.cache_pages <-> PageCache",
+                "page cache",
+                "the budget counter equals the pages cached across inodes",
+                format!("{cached} cached pages"),
+                format!("cache_pages = {}", self.cache_pages),
+            ));
+        }
+        if dirty != self.dirty_pages {
+            out.push(Violation::new(
+                "Kernel.dirty_pages <-> PageCache",
+                "page cache",
+                "the dirty counter equals the dirty pages across inodes",
+                format!("{dirty} dirty pages"),
+                format!("dirty_pages = {}", self.dirty_pages),
+            ));
+        }
+        if self.cache_lru.len() as u64 != cached {
+            out.push(Violation::new(
+                "Kernel.cache_lru <-> PageCache",
+                "page cache",
+                "the LRU tracks exactly the cached pages",
+                format!("{cached} cached pages"),
+                format!("{} LRU entries", self.cache_lru.len()),
+            ));
+        }
+        self.cache_lru.ksan_audit(out);
+        // Reverse direction: every reverse-map entry round-trips into
+        // the owning inode's page cache.
+        for entry in self.cache_index.slots.iter().flatten() {
+            let (frame, ino, idx) = *entry;
+            let hit = self
+                .vfs
+                .inode(ino)
+                .and_then(|inode| inode.cache.get(idx))
+                .is_some_and(|page| page.frame == frame);
+            if !hit {
+                out.push(Violation::new(
+                    "Kernel.cache_index <-> PageCache",
+                    format!("{ino} page {idx} ({frame})"),
+                    "every reverse-map entry names a cached page",
+                    format!("{frame} cached at ({ino}, {idx})"),
+                    "no such cached page".to_owned(),
+                ));
+            }
+        }
+    }
+
+    /// Corruption hook for sanitizer self-tests: drops the reverse-map
+    /// entry of the first cached frame while the page stays cached.
+    #[doc(hidden)]
+    pub fn ksan_break_cache_index(&mut self) {
+        if let Some(entry) = self.cache_index.slots.iter_mut().find(|s| s.is_some()) {
+            *entry = None;
+        }
+    }
+
+    /// Corruption hook for sanitizer self-tests: unlinks the first
+    /// cached frame from the page LRU while the page stays cached.
+    #[doc(hidden)]
+    pub fn ksan_break_cache_lru(&mut self) {
+        let frame = self
+            .cache_index
+            .slots
+            .iter()
+            .flatten()
+            .map(|&(frame, _, _)| frame)
+            .next();
+        if let Some(frame) = frame {
+            self.cache_lru.remove(frame);
+        }
+    }
+}
+
 /// frame -> (inode, page index) reverse map for cached file pages,
 /// direct-mapped by [`FrameId::slot`]. Entries store the full frame id so
 /// a slot recycled by the frame table (fresh generation) misses instead

@@ -321,6 +321,120 @@ impl PageLru {
     }
 }
 
+#[cfg(feature = "ksan")]
+impl PageLru {
+    /// Walks both intrusive lists and cross-checks them against the
+    /// slot index and the counters: list lengths, link reciprocity,
+    /// list tags, and index round-trips. Observation only.
+    pub fn ksan_audit(&self, out: &mut Vec<kloc_mem::ksan::Violation>) {
+        use kloc_mem::ksan::Violation;
+        let mut walked = 0usize;
+        for (ends, list, name) in [
+            (&self.active, List::Active, "active"),
+            (&self.inactive, List::Inactive, "inactive"),
+        ] {
+            let mut prev = NIL;
+            let mut cursor = ends.head;
+            let mut len = 0usize;
+            while cursor != NIL {
+                let n = &self.nodes[cursor as usize];
+                if n.list != list {
+                    out.push(Violation::new(
+                        "PageLru list links <-> Node.list",
+                        format!("frame {}", n.frame),
+                        "a node is linked on the list its tag names",
+                        format!("{name} (linked there)"),
+                        format!("tagged {:?}", n.list),
+                    ));
+                }
+                if n.prev != prev {
+                    out.push(Violation::new(
+                        "PageLru.next <-> PageLru.prev",
+                        format!("frame {}", n.frame),
+                        "forward and backward links are reciprocal",
+                        format!("prev = {prev}"),
+                        format!("prev = {}", n.prev),
+                    ));
+                }
+                if self.index.get(n.frame.slot() as usize) != Some(&cursor) {
+                    out.push(Violation::new(
+                        "PageLru list links <-> PageLru.index",
+                        format!("frame {}", n.frame),
+                        "every linked node is reachable through the index",
+                        format!("index[{}] = {cursor}", n.frame.slot()),
+                        format!(
+                            "index[{}] = {:?}",
+                            n.frame.slot(),
+                            self.index.get(n.frame.slot() as usize)
+                        ),
+                    ));
+                }
+                prev = cursor;
+                cursor = n.next;
+                len += 1;
+                if len > self.nodes.len() {
+                    out.push(Violation::new(
+                        "PageLru list links",
+                        format!("{name} list"),
+                        "lists are acyclic",
+                        format!("<= {} nodes", self.nodes.len()),
+                        "walk did not terminate".to_owned(),
+                    ));
+                    return;
+                }
+            }
+            if ends.tail != prev {
+                out.push(Violation::new(
+                    "PageLru.Ends.tail <-> list links",
+                    format!("{name} list"),
+                    "the tail pointer names the last linked node",
+                    format!("tail = {prev}"),
+                    format!("tail = {}", ends.tail),
+                ));
+            }
+            if ends.len != len {
+                out.push(Violation::new(
+                    "PageLru.Ends.len <-> list links",
+                    format!("{name} list"),
+                    "the cached length equals the walked length",
+                    format!("{len} walked"),
+                    format!("len = {}", ends.len),
+                ));
+            }
+            walked += len;
+        }
+        if self.tracked != walked {
+            out.push(Violation::new(
+                "PageLru.tracked <-> list links",
+                "page LRU",
+                "tracked equals the nodes linked on both lists",
+                format!("{walked} linked"),
+                format!("tracked = {}", self.tracked),
+            ));
+        }
+        let indexed = self.index.iter().filter(|&&n| n != NIL).count();
+        if indexed != self.tracked {
+            out.push(Violation::new(
+                "PageLru.index <-> PageLru.tracked",
+                "page LRU",
+                "the index holds exactly one entry per tracked frame",
+                format!("tracked = {}", self.tracked),
+                format!("{indexed} index entries"),
+            ));
+        }
+    }
+
+    /// Corruption hook for sanitizer self-tests: drops `frame`'s index
+    /// entry while leaving it linked on its list.
+    #[doc(hidden)]
+    pub fn ksan_break_index(&mut self, frame: FrameId) {
+        let i = frame.slot() as usize;
+        if i < self.index.len() {
+            self.index[i] = NIL;
+        }
+    }
+}
+
 struct ListIter<'a> {
     lru: &'a PageLru,
     cursor: u32,

@@ -15,7 +15,7 @@
 //! The allocator only manages frames and slot counts; CPU cost charging
 //! and object-table bookkeeping are done by the [`crate::Kernel`] facade.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use kloc_mem::{FrameId, PageKind};
 
@@ -30,7 +30,7 @@ use crate::vfs::InodeId;
 /// small objects share an arena of frames with at most a shard's worth
 /// of co-residents, so en-masse migration mostly moves related objects
 /// and internal fragmentation stays bounded by the shard count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct CacheKey {
     ty: Option<KernelObjectType>,
     inode: Option<InodeId>,
@@ -46,7 +46,7 @@ struct FrameUse {
 struct Cache {
     /// Frames with at least one free slot.
     partial: Vec<FrameId>,
-    frames: HashMap<FrameId, FrameUse>,
+    frames: BTreeMap<FrameId, FrameUse>,
 }
 
 /// A packed (slab-like) allocator over one [`PageKind`].
@@ -59,9 +59,9 @@ pub struct PackedAllocator {
     /// while bounding internal fragmentation to one partial frame per
     /// shard.
     inode_shards: Option<u64>,
-    caches: HashMap<CacheKey, Cache>,
+    caches: BTreeMap<CacheKey, Cache>,
     /// Reverse map frame -> cache key, for diagnostics and invariants.
-    frame_key: HashMap<FrameId, CacheKey>,
+    frame_key: BTreeMap<FrameId, CacheKey>,
     frames_allocated: u64,
     frames_freed: u64,
 }
@@ -74,8 +74,8 @@ impl PackedAllocator {
         PackedAllocator {
             kind,
             inode_shards,
-            caches: HashMap::new(),
-            frame_key: HashMap::new(),
+            caches: BTreeMap::new(),
+            frame_key: BTreeMap::new(),
             frames_allocated: 0,
             frames_freed: 0,
         }
@@ -221,6 +221,96 @@ impl PackedAllocator {
     }
 }
 
+#[cfg(feature = "ksan")]
+impl PackedAllocator {
+    /// Cross-checks the per-cache frame tables against the reverse map
+    /// and the frame table: both directions of the frame <-> cache
+    /// association, per-frame occupancy (the structured form of the
+    /// `slot underflow` debug assertion), packing bounds, the partial
+    /// lists, and liveness of every owned frame in `mem`. Observation
+    /// only.
+    pub fn ksan_audit(
+        &self,
+        mem: &kloc_mem::MemorySystem,
+        out: &mut Vec<kloc_mem::ksan::Violation>,
+    ) {
+        use kloc_mem::ksan::Violation;
+        let mut cache_frames = 0usize;
+        for (key, cache) in &self.caches {
+            cache_frames += cache.frames.len();
+            for (&frame, u) in &cache.frames {
+                if self.frame_key.get(&frame) != Some(key) {
+                    out.push(Violation::new(
+                        "PackedAllocator.caches <-> PackedAllocator.frame_key",
+                        format!("frame {frame}"),
+                        "the reverse map names the cache holding the frame",
+                        format!("{key:?}"),
+                        format!("{:?}", self.frame_key.get(&frame)),
+                    ));
+                }
+                if u.live_objects == 0 {
+                    out.push(Violation::new(
+                        "PackedAllocator FrameUse.live_objects",
+                        format!("frame {frame}"),
+                        "a tracked frame holds at least one live object",
+                        "> 0 live objects".to_owned(),
+                        "0 live objects".to_owned(),
+                    ));
+                }
+                if u.used_bytes > kloc_mem::PAGE_SIZE {
+                    out.push(Violation::new(
+                        "PackedAllocator FrameUse.used_bytes",
+                        format!("frame {frame}"),
+                        "packed objects fit in one page",
+                        format!("<= {} bytes", kloc_mem::PAGE_SIZE),
+                        format!("{} bytes", u.used_bytes),
+                    ));
+                }
+            }
+            for &frame in &cache.partial {
+                if !cache.frames.contains_key(&frame) {
+                    out.push(Violation::new(
+                        "PackedAllocator Cache.partial <-> Cache.frames",
+                        format!("frame {frame}"),
+                        "partial-list frames are tracked by their cache",
+                        "tracked".to_owned(),
+                        "untracked".to_owned(),
+                    ));
+                }
+            }
+        }
+        if cache_frames != self.frame_key.len() {
+            out.push(Violation::new(
+                "PackedAllocator.caches <-> PackedAllocator.frame_key",
+                "packed allocator",
+                "the reverse map covers exactly the frames of all caches",
+                format!("{cache_frames} cache frames"),
+                format!("{} reverse-map entries", self.frame_key.len()),
+            ));
+        }
+        for &frame in self.frame_key.keys() {
+            if !mem.is_live(frame) {
+                out.push(Violation::new(
+                    "PackedAllocator.frame_key <-> FrameTable",
+                    format!("frame {frame}"),
+                    "every owned frame is live in the memory system",
+                    "live".to_owned(),
+                    "freed".to_owned(),
+                ));
+            }
+        }
+    }
+
+    /// Corruption hook for sanitizer self-tests: drops the reverse-map
+    /// entry of the first owned frame while its cache still tracks it.
+    #[doc(hidden)]
+    pub fn ksan_break_frame_key(&mut self) {
+        if let Some(&frame) = self.frame_key.keys().next() {
+            self.frame_key.remove(&frame);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,17 +330,20 @@ mod tests {
         let mut ctx = Ctx::new(&mut mem, &mut hooks);
         let mut slab = PackedAllocator::new(PageKind::Slab, None);
         // Dentries are 192 B -> 21 per frame.
-        let frames: Vec<_> = (0..21)
+        let allocated: Vec<_> = (0..21)
             .map(|_| {
                 slab.alloc(&mut ctx, KernelObjectType::Dentry, None, false)
                     .unwrap()
             })
             .collect();
-        assert!(frames.iter().all(|&f| f == frames[0]), "all in one frame");
+        assert!(
+            allocated.iter().all(|&f| f == allocated[0]),
+            "all in one frame"
+        );
         let next = slab
             .alloc(&mut ctx, KernelObjectType::Dentry, None, false)
             .unwrap();
-        assert_ne!(next, frames[0], "22nd dentry needs a second frame");
+        assert_ne!(next, allocated[0], "22nd dentry needs a second frame");
         assert_eq!(slab.live_frames(), 2);
     }
 

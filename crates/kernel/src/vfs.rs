@@ -218,6 +218,65 @@ impl Vfs {
     }
 }
 
+#[cfg(feature = "ksan")]
+impl Vfs {
+    /// Cross-checks the VFS tables: the live counters against the inode
+    /// and fd tables, every bound path against a live inode, and every
+    /// open descriptor against a live inode. Observation only.
+    pub fn ksan_audit(&self, out: &mut Vec<kloc_mem::ksan::Violation>) {
+        use kloc_mem::ksan::Violation;
+        let live = self.inodes.iter().filter(|i| i.is_some()).count();
+        if live != self.live_inodes {
+            out.push(Violation::new(
+                "Vfs.live_inodes <-> Vfs.inodes",
+                "inode table",
+                "the live counter equals the occupied inode slots",
+                format!("{live} occupied"),
+                format!("live_inodes = {}", self.live_inodes),
+            ));
+        }
+        let open = self.fds.iter().filter(|f| f.is_some()).count();
+        if open != self.live_fds {
+            out.push(Violation::new(
+                "Vfs.live_fds <-> Vfs.fds",
+                "fd table",
+                "the fd counter equals the occupied fd slots",
+                format!("{open} occupied"),
+                format!("live_fds = {}", self.live_fds),
+            ));
+        }
+        // Sorted for deterministic reports; the path map itself is only
+        // iterated here, inside the audit.
+        let mut dangling: Vec<&str> = self
+            .paths
+            .iter() // lint: ordered-ok — violations are sorted below.
+            .filter(|(_, &ino)| self.inode(ino).is_none())
+            .map(|(p, _)| p.as_str())
+            .collect();
+        dangling.sort_unstable();
+        for path in dangling {
+            out.push(Violation::new(
+                "Vfs.paths <-> Vfs.inodes",
+                format!("path {path:?}"),
+                "every bound path names a live inode",
+                "live inode".to_owned(),
+                "dangling".to_owned(),
+            ));
+        }
+        for of in self.fds.iter().flatten() {
+            if self.inode(of.inode).is_none() {
+                out.push(Violation::new(
+                    "Vfs.fds <-> Vfs.inodes",
+                    format!("{}", of.inode),
+                    "every open descriptor names a live inode",
+                    "live inode".to_owned(),
+                    "destroyed".to_owned(),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

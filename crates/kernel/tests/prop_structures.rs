@@ -189,6 +189,7 @@ fn lru_membership_and_counts() {
 
             assert_eq!(lru.len(), member.len(), "case {case}");
             assert_eq!(lru.active_len() + lru.inactive_len(), lru.len());
+            // lint: ordered-ok — membership check only; order-insensitive.
             for f in member.keys() {
                 assert!(lru.contains(FrameId(*f)));
             }
@@ -271,6 +272,7 @@ fn packed_allocator_conserves_frames() {
             for (ty, _, f) in &live {
                 *per_frame.entry(*f).or_default() += ty.size();
             }
+            // lint: ordered-ok — per-frame bound check; order-insensitive.
             for (f, bytes) in &per_frame {
                 assert!(
                     *bytes <= kloc_mem::PAGE_SIZE,

@@ -1,0 +1,701 @@
+//! Determinism lint for the KLOCs workspace.
+//!
+//! Both seed bugs this repository has shipped were silent nondeterminism
+//! from iterating an unordered collection (`kernel.rs` `by_inode`, the
+//! AutoNUMA `app_pages` set). The simulation's contract is stronger than
+//! "mostly deterministic": identical configs must produce byte-identical
+//! reports, which forbids hash-order iteration, wall-clock time,
+//! randomness, and ambient environment reads anywhere inside the
+//! simulation crates. This crate is a dependency-free token/line scanner
+//! that enforces those rules statically, as `cargo run -p kloc-lint` and
+//! as a blocking CI job.
+//!
+//! # Rules
+//!
+//! | id    | rule |
+//! |-------|------|
+//! | KL001 | no iteration over `HashMap`/`HashSet` (hash order is unstable) |
+//! | KL002 | no wall clock / randomness / `std::env` in simulation crates |
+//! | KL003 | no thread spawning in simulation crates (`kloc-sim` is the only sanctioned concurrency site) |
+//! | KL004 | no truncating `as` casts on id/epoch-like values (use `From`/`try_from`) |
+//!
+//! KL002/KL003 apply only to the simulation crates (`mem`, `kernel`,
+//! `core`, `policy`, `workloads`); the `kloc-sim` harness legitimately
+//! reads CLI args and wall-clock time and spawns its sweep threads.
+//!
+//! # Justification comments
+//!
+//! A violation that is provably harmless is silenced with a justification
+//! comment on the same line or the line directly above:
+//!
+//! * `// lint: ordered-ok` — iteration order does not affect any report
+//!   (KL001);
+//! * `// lint: truncation-ok` — the truncation is the documented
+//!   semantics (KL004, e.g. `FrameId::slot` extracting the low bits);
+//! * `// lint: nondet-ok` — sanctioned ambient authority (KL002/KL003).
+//!
+//! Appending `(file)` (e.g. `// lint: ordered-ok(file)`) silences the
+//! rule for the whole file. The pragma `// lint: treat-as-sim-crate`
+//! opts a file into the sim-crate-only rules (used by test fixtures).
+//!
+//! The scanner strips comments and string literals before matching, so
+//! documentation may freely mention `HashMap` or `Instant::now`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// File the finding is in (as passed to the linter).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (`KL001`..`KL004`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Rule id: iteration over an unordered collection.
+pub const RULE_UNORDERED_ITER: &str = "KL001";
+/// Rule id: nondeterministic API (time, randomness, env) in a sim crate.
+pub const RULE_NONDET_API: &str = "KL002";
+/// Rule id: thread spawning in a sim crate.
+pub const RULE_THREAD_SPAWN: &str = "KL003";
+/// Rule id: truncating cast on an id/epoch-like value.
+pub const RULE_TRUNCATING_CAST: &str = "KL004";
+
+/// Iterator-yielding methods that expose hash order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// APIs that break run-to-run determinism (KL002): wall-clock time,
+/// randomness, and ambient environment reads.
+const NONDET_NEEDLES: &[&str] = &[
+    "std::time",
+    "Instant::now",
+    "SystemTime",
+    "thread_rng",
+    "rand::",
+    "getrandom",
+    "RandomState",
+    "std::env",
+];
+
+/// Concurrency entry points (KL003).
+const SPAWN_NEEDLES: &[&str] = &["std::thread", "thread::spawn", "rayon::", "crossbeam"];
+
+/// Identifier segments that mark a value as an id/epoch (KL004). A
+/// trailing `.0` tuple projection also counts: every id in this codebase
+/// is a `u64` newtype.
+const ID_SEGMENTS: &[&str] = &["epoch", "inode", "ino", "id", "fd", "obj"];
+
+/// Replaces comments and string/char literal contents with spaces,
+/// preserving line structure, so the rule matchers never fire on
+/// documentation or message text.
+pub fn strip_comments_and_strings(source: &str) -> String {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    let n = bytes.len();
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                while i < n && bytes[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                let mut depth = 1;
+                out.push(' ');
+                out.push(' ');
+                i += 2;
+                while i < n && depth > 0 {
+                    if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        depth += 1;
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                        depth -= 1;
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    } else {
+                        out.push(if bytes[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                out.push('"');
+                i += 1;
+                while i < n {
+                    if bytes[i] == '\\' && i + 1 < n {
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    } else if bytes[i] == '"' {
+                        out.push('"');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(if bytes[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            'r' | 'b' if !(i > 0 && is_ident(bytes[i - 1])) => {
+                // Possible raw/byte string: r"...", r#"..."#, br"...", b"...".
+                let mut j = i;
+                if bytes[j] == 'b' && j + 1 < n && bytes[j + 1] == 'r' {
+                    j += 1;
+                }
+                let mut hashes = 0;
+                let mut k = j + 1;
+                while k < n && bytes[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && bytes[k] == '"' && (bytes[j] == 'r' || (bytes[i] == 'b' && j == i)) {
+                    // Emit the prefix as spaces, then consume to the
+                    // matching closing quote (+ hashes).
+                    for _ in i..=k {
+                        out.push(' ');
+                    }
+                    i = k + 1;
+                    while i < n {
+                        if bytes[i] == '"' {
+                            let mut h = 0;
+                            while h < hashes && i + 1 + h < n && bytes[i + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                for _ in 0..=hashes {
+                                    out.push(' ');
+                                }
+                                i += 1 + hashes;
+                                break;
+                            }
+                        }
+                        out.push(if bytes[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal vs lifetime: 'x' or '\..' is a literal;
+                // 'ident (no closing quote right after) is a lifetime.
+                if i + 1 < n && bytes[i + 1] == '\\' {
+                    out.push(' ');
+                    i += 1;
+                    while i < n && bytes[i] != '\'' {
+                        out.push(' ');
+                        i += 1;
+                    }
+                    if i < n {
+                        out.push(' ');
+                        i += 1;
+                    }
+                } else if i + 2 < n && bytes[i + 2] == '\'' {
+                    out.push(' ');
+                    out.push(' ');
+                    out.push(' ');
+                    i += 3;
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether `text[pos..pos+len]` is a whole-word occurrence.
+fn whole_word(text: &[char], pos: usize, len: usize) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let before_ok = pos == 0 || !is_ident(text[pos - 1]);
+    let after_ok = pos + len >= text.len() || !is_ident(text[pos + len]);
+    before_ok && after_ok
+}
+
+/// Whole-word occurrences of `needle` in `line`, as char offsets.
+fn word_positions(line: &[char], needle: &str) -> Vec<usize> {
+    let nd: Vec<char> = needle.chars().collect();
+    let mut out = Vec::new();
+    if nd.is_empty() || line.len() < nd.len() {
+        return out;
+    }
+    for start in 0..=(line.len() - nd.len()) {
+        if line[start..start + nd.len()] == nd[..] && whole_word(line, start, nd.len()) {
+            out.push(start);
+        }
+    }
+    out
+}
+
+/// Identifier (dotted path allowed) ending right before `end`, skipping
+/// trailing whitespace. Returns e.g. `self.0`, `frame_key`, `k.epoch`.
+fn path_ending_at(line: &[char], end: usize) -> String {
+    let mut j = end;
+    while j > 0 && line[j - 1].is_whitespace() {
+        j -= 1;
+    }
+    let mut start = j;
+    while start > 0 {
+        let c = line[start - 1];
+        if c.is_alphanumeric() || c == '_' || c == '.' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    line[start..j].iter().collect()
+}
+
+/// Per-file allow state parsed from justification comments.
+struct Allows {
+    /// rule token -> file-wide allow.
+    file_wide: [bool; 3],
+    /// rule token -> lines (1-based) on which the rule is allowed.
+    lines: [BTreeSet<usize>; 3],
+    treat_as_sim: bool,
+}
+
+const ALLOW_TOKENS: [&str; 3] = ["ordered-ok", "nondet-ok", "truncation-ok"];
+
+fn allow_slot(rule: &str) -> usize {
+    match rule {
+        RULE_UNORDERED_ITER => 0,
+        RULE_NONDET_API | RULE_THREAD_SPAWN => 1,
+        RULE_TRUNCATING_CAST => 2,
+        _ => unreachable!("unknown rule"),
+    }
+}
+
+fn parse_allows(source: &str) -> Allows {
+    let mut allows = Allows {
+        file_wide: [false; 3],
+        lines: [BTreeSet::new(), BTreeSet::new(), BTreeSet::new()],
+        treat_as_sim: false,
+    };
+    for (idx, line) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let Some(pos) = line.find("lint:") else {
+            continue;
+        };
+        let directive = line[pos + "lint:".len()..].trim();
+        if directive.starts_with("treat-as-sim-crate") {
+            allows.treat_as_sim = true;
+            continue;
+        }
+        for (slot, token) in ALLOW_TOKENS.iter().enumerate() {
+            if let Some(rest) = directive.strip_prefix(token) {
+                if rest.trim_start().starts_with("(file)") {
+                    allows.file_wide[slot] = true;
+                } else {
+                    // The justification covers its own line and the next.
+                    allows.lines[slot].insert(lineno);
+                    allows.lines[slot].insert(lineno + 1);
+                }
+            }
+        }
+    }
+    allows
+}
+
+impl Allows {
+    fn allowed(&self, rule: &str, line: usize) -> bool {
+        let slot = allow_slot(rule);
+        self.file_wide[slot] || self.lines[slot].contains(&line)
+    }
+}
+
+/// Names bound to `HashMap`/`HashSet` in this file: struct fields,
+/// `let` bindings, and function parameters declared as `name: HashMap<..>`
+/// or assigned `= HashMap::new()`.
+fn hash_collection_names(clean_lines: &[Vec<char>]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in clean_lines {
+        for ty in ["HashMap", "HashSet"] {
+            for pos in word_positions(line, ty) {
+                // `name: [&'a mut Option<]HashMap<..>`: nearest single `:`
+                // to the left, with only type-ish characters in between.
+                let mut j = pos;
+                let mut found_colon = None;
+                while j > 0 {
+                    let c = line[j - 1];
+                    if c == ':' {
+                        if j >= 2 && line[j - 2] == ':' {
+                            // `::` path separator (e.g. collections::HashMap):
+                            // keep scanning left past the whole path.
+                            j -= 2;
+                            continue;
+                        }
+                        found_colon = Some(j - 1);
+                        break;
+                    }
+                    if c.is_alphanumeric()
+                        || c.is_whitespace()
+                        || matches!(c, '_' | '&' | '\'' | '<' | '(')
+                    {
+                        j -= 1;
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(colon) = found_colon {
+                    let name = path_ending_at(line, colon);
+                    let last = name.rsplit('.').next().unwrap_or("");
+                    if !last.is_empty() && !last.chars().next().unwrap().is_numeric() {
+                        names.insert(last.to_owned());
+                    }
+                    continue;
+                }
+                // `name = HashMap::new()` / `name = HashSet::with_capacity(..)`.
+                let mut j = pos;
+                while j > 0 && line[j - 1].is_whitespace() {
+                    j -= 1;
+                }
+                if j > 0 && line[j - 1] == '=' && !(j >= 2 && matches!(line[j - 2], '=' | '!')) {
+                    let name = path_ending_at(line, j - 1);
+                    let last = name.rsplit('.').next().unwrap_or("");
+                    if !last.is_empty() && !last.chars().next().unwrap().is_numeric() {
+                        names.insert(last.to_owned());
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Lints one file's source text. `sim_crate` enables the KL002/KL003
+/// rules (files inside `crates/{mem,kernel,core,policy,workloads}`).
+pub fn lint_source(file: &str, source: &str, sim_crate: bool) -> Vec<Diagnostic> {
+    let allows = parse_allows(source);
+    let sim_crate = sim_crate || allows.treat_as_sim;
+    let clean = strip_comments_and_strings(source);
+    let clean_lines: Vec<Vec<char>> = clean.lines().map(|l| l.chars().collect()).collect();
+    let mut out = Vec::new();
+    let mut push = |rule: &'static str, lineno: usize, message: String| {
+        if !allows.allowed(rule, lineno) {
+            out.push(Diagnostic {
+                file: file.to_owned(),
+                line: lineno,
+                rule,
+                message,
+            });
+        }
+    };
+
+    // KL001: iteration over bindings declared as HashMap/HashSet.
+    let hash_names = hash_collection_names(&clean_lines);
+    for (idx, line) in clean_lines.iter().enumerate() {
+        let lineno = idx + 1;
+        for name in &hash_names {
+            for pos in word_positions(line, name) {
+                let after = pos + name.chars().count();
+                // `name.iter()` and friends.
+                if after < line.len() && line[after] == '.' {
+                    let method: String = line[after + 1..]
+                        .iter()
+                        .take_while(|c| c.is_alphanumeric() || **c == '_')
+                        .collect();
+                    if ITER_METHODS.contains(&method.as_str()) {
+                        push(
+                            RULE_UNORDERED_ITER,
+                            lineno,
+                            format!(
+                                "iteration over unordered `{name}` via `.{method}()`; \
+                                 use a BTreeMap/BTreeSet or justify with `// lint: ordered-ok`"
+                            ),
+                        );
+                        continue;
+                    }
+                }
+                // `for x in [&[mut ]]name`.
+                let mut j = pos;
+                while j > 0 && matches!(line[j - 1], '&' | ' ' | '\t') {
+                    j -= 1;
+                }
+                let mut prefix = path_ending_at(line, j);
+                if prefix == "mut" {
+                    j -= "mut".len();
+                    while j > 0 && matches!(line[j - 1], '&' | ' ' | '\t') {
+                        j -= 1;
+                    }
+                    prefix = path_ending_at(line, j);
+                }
+                if prefix == "in" {
+                    push(
+                        RULE_UNORDERED_ITER,
+                        lineno,
+                        format!(
+                            "`for` loop over unordered `{name}`; \
+                             use a BTreeMap/BTreeSet or justify with `// lint: ordered-ok`"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // KL002/KL003: sim crates must stay free of ambient authority.
+    if sim_crate {
+        for (idx, line) in clean_lines.iter().enumerate() {
+            let lineno = idx + 1;
+            let text: String = line.iter().collect();
+            // At most one diagnostic per rule per line (several needles
+            // often overlap, e.g. `std::thread::spawn`).
+            if let Some(needle) = NONDET_NEEDLES.iter().find(|n| text.contains(*n)) {
+                push(
+                    RULE_NONDET_API,
+                    lineno,
+                    format!(
+                        "`{needle}` in a simulation crate breaks determinism; \
+                         route configuration through params/config instead"
+                    ),
+                );
+            }
+            if let Some(needle) = SPAWN_NEEDLES.iter().find(|n| text.contains(*n)) {
+                push(
+                    RULE_THREAD_SPAWN,
+                    lineno,
+                    format!(
+                        "`{needle}` in a simulation crate; \
+                         `kloc-sim` is the only sanctioned concurrency site"
+                    ),
+                );
+            }
+        }
+    }
+
+    // KL004: truncating casts on id/epoch-like values.
+    for (idx, line) in clean_lines.iter().enumerate() {
+        let lineno = idx + 1;
+        for pos in word_positions(line, "as") {
+            // Target type directly after: u8/u16/u32 truncate u64 ids.
+            let mut j = pos + 2;
+            while j < line.len() && line[j].is_whitespace() {
+                j += 1;
+            }
+            let ty: String = line[j..]
+                .iter()
+                .take_while(|c| c.is_alphanumeric() || **c == '_')
+                .collect();
+            if !matches!(ty.as_str(), "u8" | "u16" | "u32") {
+                continue;
+            }
+            let path = path_ending_at(line, pos);
+            if path.is_empty() {
+                continue; // parenthesized expression: out of scope
+            }
+            let segments: Vec<&str> = path.split('.').filter(|s| !s.is_empty()).collect();
+            let id_like = segments
+                .iter()
+                .any(|s| ID_SEGMENTS.contains(s) || s.ends_with("_id") || s.ends_with("_epoch"))
+                || segments.last() == Some(&"0");
+            if id_like {
+                push(
+                    RULE_TRUNCATING_CAST,
+                    lineno,
+                    format!(
+                        "truncating cast `{path} as {ty}` on an id/epoch-like value; \
+                         use `From`/`try_from` or justify with `// lint: truncation-ok`"
+                    ),
+                );
+            }
+        }
+    }
+
+    out.sort();
+    out
+}
+
+/// Whether a workspace-relative path belongs to a simulation crate
+/// (where the KL002/KL003 rules apply).
+pub fn is_sim_crate_path(rel: &Path) -> bool {
+    const SIM_CRATES: &[&str] = &["mem", "kernel", "core", "policy", "workloads"];
+    let mut comps = rel.components().map(|c| c.as_os_str().to_string_lossy());
+    if comps.next().as_deref() != Some("crates") {
+        return false;
+    }
+    match comps.next() {
+        Some(c) => SIM_CRATES.contains(&c.as_ref()),
+        None => false,
+    }
+}
+
+/// Collects the workspace `.rs` files to lint under `root`, skipping
+/// build output and the lint's own violation fixtures.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if name == "target" || name == "fixtures" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every workspace source file under `root`. Paths in diagnostics
+/// are workspace-relative.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for path in workspace_files(root)? {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let source = std::fs::read_to_string(&path)?;
+        out.extend(lint_source(
+            &rel.display().to_string(),
+            &source,
+            is_sim_crate_path(&rel),
+        ));
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = "let a = 1; // HashMap iter\n/* Instant::now */ let b = 2;";
+        let c = strip_comments_and_strings(s);
+        assert!(!c.contains("HashMap"));
+        assert!(!c.contains("Instant"));
+        assert!(c.contains("let a = 1;"));
+        assert!(c.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn strips_strings_and_raw_strings() {
+        let s = r####"let a = "std::env"; let b = r#"thread_rng"#; let c = 'x';"####;
+        let c = strip_comments_and_strings(s);
+        assert!(!c.contains("std::env"));
+        assert!(!c.contains("thread_rng"));
+        assert!(c.contains("let a ="));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet m: HashMap<u8, u8> = HashMap::new();\nm.keys();";
+        let d = lint_source("t.rs", s, false);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_UNORDERED_ITER);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn flags_iteration_over_hash_fields() {
+        let s = "struct S { frame_key: HashMap<u32, u32> }\nimpl S { fn f(&self) { for k in self.frame_key.keys() {} } }";
+        let d = lint_source("t.rs", s, false);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[0].rule, RULE_UNORDERED_ITER);
+    }
+
+    #[test]
+    fn ordered_ok_silences_same_and_next_line() {
+        let s = "let m: HashSet<u8> = HashSet::new();\n// lint: ordered-ok — counts only\nfor x in &m {}\nm.iter(); // lint: ordered-ok";
+        assert!(lint_source("t.rs", s, false).is_empty());
+    }
+
+    #[test]
+    fn file_wide_allow() {
+        let s = "// lint: ordered-ok(file)\nlet m: HashMap<u8,u8> = HashMap::new();\nm.keys();\nm.values();";
+        assert!(lint_source("t.rs", s, false).is_empty());
+    }
+
+    #[test]
+    fn lookups_are_not_flagged() {
+        let s = "let m: HashMap<u8,u8> = HashMap::new();\nm.get(&1); m.insert(1,2); m.remove(&1); m.contains_key(&1); m.len();";
+        assert!(lint_source("t.rs", s, false).is_empty());
+    }
+
+    #[test]
+    fn nondet_rules_only_in_sim_crates() {
+        let s = "let t = Instant::now();\nstd::thread::spawn(|| {});";
+        assert!(lint_source("t.rs", s, false).is_empty());
+        let d = lint_source("t.rs", s, true);
+        let rules: Vec<&str> = d.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&RULE_NONDET_API));
+        assert!(rules.contains(&RULE_THREAD_SPAWN));
+    }
+
+    #[test]
+    fn truncating_casts_on_ids() {
+        let s = "let a = inode.0 as u32;\nlet b = epoch as u16;\nlet c = len as u32;\nlet d = frame_id as u8;";
+        let d = lint_source("t.rs", s, false);
+        let lines: Vec<usize> = d.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![1, 2, 4], "{d:?}");
+        assert!(d.iter().all(|d| d.rule == RULE_TRUNCATING_CAST));
+    }
+
+    #[test]
+    fn widening_casts_are_fine() {
+        let s = "let a = inode.0 as u64;\nlet b = id as usize;\nlet c = x as u32;";
+        assert!(lint_source("t.rs", s, false).is_empty());
+    }
+
+    #[test]
+    fn sim_crate_paths() {
+        assert!(is_sim_crate_path(Path::new("crates/mem/src/system.rs")));
+        assert!(is_sim_crate_path(Path::new("crates/policy/src/kloc.rs")));
+        assert!(!is_sim_crate_path(Path::new("crates/sim/src/engine.rs")));
+        assert!(!is_sim_crate_path(Path::new("crates/lint/src/lib.rs")));
+        assert!(!is_sim_crate_path(Path::new("src/lib.rs")));
+    }
+}

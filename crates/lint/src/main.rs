@@ -1,0 +1,108 @@
+//! CLI for the determinism lint: `cargo run -p kloc-lint`.
+//!
+//! With no arguments, lints every `.rs` file in the workspace (found by
+//! walking up from the current directory to the `[workspace]` manifest).
+//! With path arguments, lints exactly those files/directories — used by
+//! CI helpers and to demonstrate the fixture diagnostics:
+//!
+//! ```text
+//! cargo run -p kloc-lint -- crates/lint/tests/fixtures
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when any diagnostic fired, 2 on I/O
+//! errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use kloc_lint::{is_sim_crate_path, lint_source, lint_workspace, workspace_files, Diagnostic};
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn lint_explicit(paths: &[String]) -> std::io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for arg in paths {
+        let path = Path::new(arg);
+        let files = if path.is_dir() {
+            // Explicit paths lint everything below them, fixtures included.
+            let mut v = Vec::new();
+            let mut stack = vec![path.to_path_buf()];
+            while let Some(dir) = stack.pop() {
+                let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+                    .filter_map(|e| e.ok().map(|e| e.path()))
+                    .collect();
+                entries.sort();
+                for p in entries {
+                    if p.is_dir() {
+                        stack.push(p);
+                    } else if p.extension().is_some_and(|e| e == "rs") {
+                        v.push(p);
+                    }
+                }
+            }
+            v.sort();
+            v
+        } else {
+            vec![path.to_path_buf()]
+        };
+        for file in files {
+            let source = std::fs::read_to_string(&file)?;
+            out.extend(lint_source(
+                &file.display().to_string(),
+                &source,
+                is_sim_crate_path(&file),
+            ));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = if args.is_empty() {
+        let Some(root) = find_workspace_root() else {
+            eprintln!("kloc-lint: no [workspace] Cargo.toml found above the current directory");
+            return ExitCode::from(2);
+        };
+        lint_workspace(&root).map(|d| {
+            let n = workspace_files(&root).map(|f| f.len()).unwrap_or(0);
+            (d, n)
+        })
+    } else {
+        lint_explicit(&args).map(|d| (d, 0))
+    };
+    match result {
+        Ok((diags, scanned)) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                if scanned > 0 {
+                    eprintln!("kloc-lint: {scanned} files clean");
+                }
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("kloc-lint: {} violation(s)", diags.len());
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("kloc-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: KL002/KL003 ambient-authority violations in a sim crate.
+//! Expected diagnostics (line, rule):
+//!   (6, KL002), (8, KL002), (9, KL002), (13, KL002), (17, KL002), (21, KL003).
+// lint: treat-as-sim-crate
+
+pub fn wall_clock() -> std::time::Instant {
+    // Wall-clock time differs run to run: virtual clocks only.
+    let _ = std::time::SystemTime::UNIX_EPOCH;
+    Instant::now()
+}
+
+pub fn ambient_config() -> Option<String> {
+    std::env::var("KLOC_SEED").ok()
+}
+
+pub fn randomness() -> u64 {
+    rand::random()
+}
+
+pub fn concurrency() {
+    std::thread::spawn(|| {});
+}
+
+pub fn sanctioned() {
+    // lint: nondet-ok — documented escape hatch for sanctioned sites.
+    let _ = std::env::args();
+}

@@ -1,0 +1,27 @@
+//! Fixture: KL004 truncating casts on id/epoch-like values.
+//! Expected diagnostics (line, rule): (6, KL004), (11, KL004), (16, KL004).
+
+pub fn slot_from_inode(inode: u64) -> u32 {
+    // Dropping the generation bits aliases recycled ids.
+    inode as u32
+}
+
+pub fn epoch_bucket(synced_epoch: u64) -> u16 {
+    // Epochs exceed u16 in long runs.
+    synced_epoch as u16
+}
+
+pub struct FrameId(pub u64);
+pub fn low_bits(id: FrameId) -> u8 {
+    id.0 as u8
+}
+
+pub fn fine(count: usize, ratio: u64) -> (u64, u32) {
+    // Widening and non-id casts are out of scope.
+    (count as u64, ratio as u32)
+}
+
+pub fn justified(id: FrameId) -> u32 {
+    // lint: truncation-ok — slot extraction: the low 32 bits are the slot.
+    id.0 as u32
+}

@@ -1,0 +1,33 @@
+//! Fixture: KL001 unordered-iteration violations.
+//! Expected diagnostics (line, rule): (13, KL001), (17, KL001), (22, KL001).
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Tables {
+    by_inode: HashMap<u64, u32>,
+}
+
+impl Tables {
+    pub fn sum(&self) -> u32 {
+        // Hash-order iteration leaks into whatever consumes the sum order.
+        self.by_inode.values().sum()
+    }
+
+    pub fn walk(&self) -> Vec<u64> {
+        self.by_inode.keys().copied().collect()
+    }
+}
+
+pub fn drain_all(set: &mut HashSet<u64>) -> Vec<u64> {
+    set.drain().collect()
+}
+
+pub fn counted(set: &HashSet<u64>) -> usize {
+    // Order-insensitive: length only.
+    set.len()
+}
+
+pub fn justified(map: &HashMap<u64, u32>) -> u32 {
+    // lint: ordered-ok — summation is commutative, order cannot leak.
+    map.values().sum()
+}

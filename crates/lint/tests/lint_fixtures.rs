@@ -1,0 +1,98 @@
+//! The lint's own regression suite: fixture files with known violations,
+//! asserted down to the exact (file, line, rule id) triples.
+
+use std::path::Path;
+
+use kloc_lint::{lint_source, Diagnostic};
+
+fn lint_fixture(name: &str) -> Vec<Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = std::fs::read_to_string(&path).expect("fixture readable");
+    // Fixtures opt into sim-crate rules via `// lint: treat-as-sim-crate`.
+    lint_source(name, &source, false)
+}
+
+fn triples(diags: &[Diagnostic]) -> Vec<(String, usize, &'static str)> {
+    diags
+        .iter()
+        .map(|d| (d.file.clone(), d.line, d.rule))
+        .collect()
+}
+
+#[test]
+fn unordered_iteration_fixture() {
+    let diags = lint_fixture("unordered_iter.rs");
+    assert_eq!(
+        triples(&diags),
+        vec![
+            ("unordered_iter.rs".to_owned(), 13, "KL001"),
+            ("unordered_iter.rs".to_owned(), 17, "KL001"),
+            ("unordered_iter.rs".to_owned(), 22, "KL001"),
+        ],
+        "{diags:#?}"
+    );
+    assert!(diags[0].message.contains("by_inode"));
+    assert!(diags[2].message.contains("drain"));
+}
+
+#[test]
+fn nondet_api_fixture() {
+    let diags = lint_fixture("nondet_api.rs");
+    assert_eq!(
+        triples(&diags),
+        vec![
+            ("nondet_api.rs".to_owned(), 6, "KL002"),
+            ("nondet_api.rs".to_owned(), 8, "KL002"),
+            ("nondet_api.rs".to_owned(), 9, "KL002"),
+            ("nondet_api.rs".to_owned(), 13, "KL002"),
+            ("nondet_api.rs".to_owned(), 17, "KL002"),
+            ("nondet_api.rs".to_owned(), 21, "KL003"),
+        ],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn truncating_cast_fixture() {
+    let diags = lint_fixture("truncating_cast.rs");
+    assert_eq!(
+        triples(&diags),
+        vec![
+            ("truncating_cast.rs".to_owned(), 6, "KL004"),
+            ("truncating_cast.rs".to_owned(), 11, "KL004"),
+            ("truncating_cast.rs".to_owned(), 16, "KL004"),
+        ],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let diags = lint_fixture("clean.rs");
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn diagnostics_render_as_file_line_rule() {
+    let diags = lint_fixture("truncating_cast.rs");
+    let rendered = diags[0].to_string();
+    assert!(
+        rendered.starts_with("truncating_cast.rs:6: KL004 "),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn workspace_is_clean() {
+    // The acceptance bar: the lint exits 0 on the workspace itself.
+    // CARGO_MANIFEST_DIR = crates/lint, two levels below the root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let diags = kloc_lint::lint_workspace(&root).expect("workspace readable");
+    assert!(diags.is_empty(), "workspace must lint clean: {diags:#?}");
+}

@@ -32,6 +32,8 @@ impl FrameId {
     /// bits make the value space sparse). A slot alone does not identify
     /// a frame across time: compare the full id to reject stale entries.
     pub fn slot(self) -> u32 {
+        // Slot extraction is the point here: the low 32 bits *are* the
+        // slot, the high bits the generation. lint: truncation-ok
         self.0 as u32
     }
 }

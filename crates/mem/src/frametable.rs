@@ -132,6 +132,79 @@ impl FrameTable {
     }
 }
 
+#[cfg(feature = "ksan")]
+impl FrameTable {
+    /// Cross-checks the table's internal invariants: the live counter
+    /// against the occupied slots, the free list against the empty
+    /// slots, and every stored frame's id against the slot holding it.
+    /// Promotes the ad-hoc `debug_assert!`s on the insert/release paths
+    /// into one auditable report. Observation only.
+    pub fn ksan_audit(&self, out: &mut Vec<crate::ksan::Violation>) {
+        use crate::ksan::Violation;
+        let occupied = self.slots.iter().filter(|s| s.is_some()).count();
+        if occupied != self.live {
+            out.push(Violation::new(
+                "FrameTable.live <-> FrameTable.slots",
+                "frame table",
+                "live counter equals the number of occupied slots",
+                format!("{occupied} occupied slots"),
+                format!("live = {}", self.live),
+            ));
+        }
+        if self.generations.len() != self.slots.len() {
+            out.push(Violation::new(
+                "FrameTable.generations <-> FrameTable.slots",
+                "frame table",
+                "one generation counter per slot",
+                format!("{} slots", self.slots.len()),
+                format!("{} generations", self.generations.len()),
+            ));
+        }
+        if self.free.len() + self.live != self.slots.len() {
+            out.push(Violation::new(
+                "FrameTable.free <-> FrameTable.slots",
+                "frame table",
+                "free + live partition the slot space",
+                format!("{} slots", self.slots.len()),
+                format!("{} free + {} live", self.free.len(), self.live),
+            ));
+        }
+        for &slot in &self.free {
+            if self
+                .slots
+                .get(slot as usize)
+                .is_none_or(|entry| entry.is_some())
+            {
+                out.push(Violation::new(
+                    "FrameTable.free <-> FrameTable.slots",
+                    format!("slot {slot}"),
+                    "free-list entries name empty slots",
+                    "empty slot".to_owned(),
+                    "occupied or out of range".to_owned(),
+                ));
+            }
+        }
+        for (i, frame) in self.slots.iter().enumerate() {
+            let Some(f) = frame else { continue };
+            if slot_of(f.id()) != i {
+                out.push(Violation::new(
+                    "FrameTable.slots <-> Frame.id",
+                    format!("frame {}", f.id()),
+                    "a frame lives in the slot its id names",
+                    format!("slot {}", slot_of(f.id())),
+                    format!("slot {i}"),
+                ));
+            }
+        }
+    }
+
+    /// Corruption hook for sanitizer self-tests: skews the live counter.
+    #[doc(hidden)]
+    pub fn ksan_break_live_count(&mut self) {
+        self.live += 1;
+    }
+}
+
 #[inline]
 fn slot_of(id: FrameId) -> usize {
     (id.0 & SLOT_MASK) as usize

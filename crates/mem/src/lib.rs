@@ -41,6 +41,8 @@ pub mod clock;
 pub mod error;
 pub mod frame;
 pub mod frametable;
+#[cfg(feature = "ksan")]
+pub mod ksan;
 pub mod l4cache;
 pub mod migrate;
 pub mod rng;

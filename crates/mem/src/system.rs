@@ -449,6 +449,66 @@ impl MemorySystem {
     }
 }
 
+#[cfg(feature = "ksan")]
+impl MemorySystem {
+    /// Audits the whole memory substrate: the frame table's internal
+    /// invariants, and per-tier agreement between the capacity
+    /// accounting and the frames actually resident on each tier (the
+    /// structured form of the `release without reserve` debug assertion
+    /// and the freed-frame access check). Observation only.
+    pub fn ksan_audit(&self, out: &mut Vec<crate::ksan::Violation>) {
+        use crate::ksan::Violation;
+        self.frames.ksan_audit(out);
+        let mut resident = vec![0u64; self.tiers.len()];
+        for f in self.frames.iter() {
+            match resident.get_mut(f.tier.index()) {
+                Some(n) => *n += 1,
+                None => out.push(Violation::new(
+                    "FrameTable <-> MemorySystem.tiers",
+                    format!("frame {}", f.id()),
+                    "every live frame resides on a known tier",
+                    format!("tier < {}", self.tiers.len()),
+                    format!("{}", f.tier),
+                )),
+            }
+        }
+        for (i, alloc) in self.tiers.iter().enumerate() {
+            if alloc.used_frames() != resident[i] {
+                out.push(Violation::new(
+                    "TierAllocator.used_frames <-> FrameTable",
+                    format!("{}", alloc.id()),
+                    "tier accounting equals the frames resident on the tier",
+                    format!("{} resident frames", resident[i]),
+                    format!("used_frames = {}", alloc.used_frames()),
+                ));
+            }
+            if alloc.used_frames() > alloc.frame_capacity() {
+                out.push(Violation::new(
+                    "TierAllocator.used_frames <-> TierSpec.capacity",
+                    format!("{}", alloc.id()),
+                    "a tier never exceeds its capacity",
+                    format!("<= {} frames", alloc.frame_capacity()),
+                    format!("used_frames = {}", alloc.used_frames()),
+                ));
+            }
+        }
+    }
+
+    /// Corruption hook for sanitizer self-tests: desyncs tier 0's
+    /// capacity accounting from the frame table.
+    #[doc(hidden)]
+    pub fn ksan_break_tier_accounting(&mut self) {
+        self.tiers[0].ksan_break_accounting();
+    }
+
+    /// Corruption hook for sanitizer self-tests: skews the frame table's
+    /// live counter.
+    #[doc(hidden)]
+    pub fn ksan_break_frame_live_count(&mut self) {
+        self.frames.ksan_break_live_count();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

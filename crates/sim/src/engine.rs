@@ -168,6 +168,61 @@ impl RunReport {
     }
 }
 
+/// KSAN driver state: schedules cross-structure audits at a fixed op
+/// interval during the measured phase and tracks virtual-clock
+/// monotonicity across the whole run. Compiled in only with the `ksan`
+/// feature; audits are observation-only, so run reports are
+/// byte-identical with the feature on or off.
+#[cfg(feature = "ksan")]
+struct KsanState {
+    interval: u64,
+    ops_since_audit: u64,
+    clock: kloc_mem::ksan::ClockMonitor,
+}
+
+#[cfg(feature = "ksan")]
+impl KsanState {
+    /// Default audit interval in measured-phase operations; override
+    /// with `KLOC_KSAN_INTERVAL` (the sim crate is the deterministic
+    /// harness boundary, so an env read is allowed here).
+    const DEFAULT_INTERVAL: u64 = 256;
+
+    fn new() -> Self {
+        let interval = std::env::var("KLOC_KSAN_INTERVAL")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(Self::DEFAULT_INTERVAL);
+        KsanState {
+            interval,
+            ops_since_audit: 0,
+            clock: kloc_mem::ksan::ClockMonitor::new(),
+        }
+    }
+
+    /// Runs every audit the simulation exposes and panics with the
+    /// collected report if any structure pair disagrees.
+    fn audit(&mut self, context: &str, mem: &MemorySystem, kernel: &Kernel, policy: &dyn Policy) {
+        let mut out = Vec::new();
+        mem.ksan_audit(&mut out);
+        kernel.ksan_audit(mem, &mut out);
+        if let Some(reg) = policy.registry() {
+            reg.ksan_audit(&mut out);
+        }
+        self.clock.observe(mem.now(), &mut out);
+        kloc_mem::ksan::enforce(context, &out);
+    }
+
+    /// Called once per measured-phase op; audits every `interval` ops.
+    fn step(&mut self, mem: &MemorySystem, kernel: &Kernel, policy: &dyn Policy) {
+        self.ops_since_audit += 1;
+        if self.ops_since_audit >= self.interval {
+            self.ops_since_audit = 0;
+            self.audit("measured phase", mem, kernel, policy);
+        }
+    }
+}
+
 /// Builds the memory system for a config, giving the bound policies
 /// (All-Fast) an unbounded fast tier as the paper's ideal case does.
 fn build_mem(config: &RunConfig) -> MemorySystem {
@@ -242,6 +297,10 @@ pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunRe
         workload.setup(&mut kernel, &mut ctx)?;
     }
     let setup_time = mem.now();
+    #[cfg(feature = "ksan")]
+    let mut ksan = KsanState::new();
+    #[cfg(feature = "ksan")]
+    ksan.audit("after setup", &mem, &kernel, policy.as_ref());
     let access_baseline: Vec<u64> = (0..mem.tier_count())
         .map(|i| {
             let t = mem.stats().tier(kloc_mem::TierId(i as u8));
@@ -277,7 +336,11 @@ pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunRe
             policy.tick(&kernel, &mut mem);
             next_tick = mem.now() + tick_interval;
         }
+        #[cfg(feature = "ksan")]
+        ksan.step(&mem, &kernel, policy.as_ref());
     }
+    #[cfg(feature = "ksan")]
+    ksan.audit("end of measured phase", &mem, &kernel, policy.as_ref());
     let elapsed = mem.now() - t0;
     let measured_tier_accesses: Vec<u64> = (0..mem.tier_count())
         .map(|i| {
