@@ -36,6 +36,8 @@
 //! | `find_cpu(knode)` | [`Knode::last_cpu`] |
 //! | `sys_kloc_memsize(..)` | [`KlocConfig::fast_budget_frames`] |
 
+#![warn(missing_docs)]
+
 pub mod kmap;
 pub mod knode;
 pub mod overhead;

@@ -150,6 +150,7 @@ impl KlocRegistry {
             self.percpu.touch(cpu, inode, slot);
         }
         self.stats.knodes_created += 1;
+        emit_knode_state(inode, now, "created");
     }
 
     /// Inode (re)opened: mark the knode active.
@@ -157,10 +158,15 @@ impl KlocRegistry {
         let Some(slot) = self.kmap.slot_of(inode) else {
             return;
         };
-        self.kmap.with_knode_mut_at(slot, |k, epoch| {
+        let was_inuse = self.kmap.with_knode_mut_at(slot, |k, epoch| {
+            let was = k.inuse();
             k.set_inuse_at(true, epoch);
             k.touch_at(cpu, now, epoch);
+            was
         });
+        if was_inuse == Some(false) {
+            emit_knode_state(inode, now, "active");
+        }
         if self.config.enabled && self.config.use_percpu {
             self.percpu.touch(cpu, inode, slot);
         }
@@ -168,16 +174,23 @@ impl KlocRegistry {
 
     /// Last handle closed: the knode is now inactive — the "definitely
     /// cold" signal (§3.2). It starts aging from this epoch.
-    pub fn inode_closed(&mut self, inode: InodeId) {
-        self.kmap
-            .with_knode_mut(inode, |k, epoch| k.set_inuse_at(false, epoch));
+    pub fn inode_closed(&mut self, inode: InodeId, now: Nanos) {
+        let was_inuse = self.kmap.with_knode_mut(inode, |k, epoch| {
+            let was = k.inuse();
+            k.set_inuse_at(false, epoch);
+            was
+        });
+        if was_inuse == Some(true) {
+            emit_knode_state(inode, now, "inactive");
+        }
     }
 
     /// Inode destroyed: tear the knode down (objects are *freed*, not
     /// migrated, §3.2).
-    pub fn inode_destroyed(&mut self, inode: InodeId) {
+    pub fn inode_destroyed(&mut self, inode: InodeId, now: Nanos) {
         if self.kmap.unmap(inode).is_some() {
             self.stats.knodes_destroyed += 1;
+            emit_knode_state(inode, now, "destroyed");
         }
         self.percpu.purge(inode);
     }
@@ -201,6 +214,7 @@ impl KlocRegistry {
             k.touch_at(cpu, now, epoch);
         }) {
             self.stats.objects_tracked += 1;
+            kloc_trace::with_counters(|c| c.member_adds += 1);
         }
     }
 
@@ -226,6 +240,7 @@ impl KlocRegistry {
             .unwrap_or(false)
         {
             self.stats.objects_untracked += 1;
+            kloc_trace::with_counters(|c| c.member_dels += 1);
         }
     }
 
@@ -339,6 +354,8 @@ impl KlocRegistry {
                 self.stats.knode_promotions += 1;
                 self.stats.pages_promoted += moved;
             }
+            let dir = if demoting { "demote" } else { "promote" };
+            self.emit_kloc_migrate(inode, mem, dir, "enmasse", moved);
         }
         moved
     }
@@ -376,6 +393,7 @@ impl KlocRegistry {
         }
         if moved > 0 {
             self.stats.pages_demoted += moved;
+            self.emit_kloc_migrate(inode, mem, "demote", "members", moved);
         }
         moved
     }
@@ -411,8 +429,47 @@ impl KlocRegistry {
         }
         if moved > 0 {
             self.stats.pages_promoted += moved;
+            self.emit_kloc_migrate(inode, mem, "promote", "members", moved);
         }
         moved
+    }
+
+    /// Emits a `kloc_migrate` decision event carrying the epoch evidence
+    /// and the knode's post-move tier residency. The residency walk only
+    /// happens inside the closure, i.e. when a trace recorder is active.
+    fn emit_kloc_migrate(
+        &self,
+        inode: InodeId,
+        mem: &MemorySystem,
+        dir: &'static str,
+        how: &'static str,
+        moved: u64,
+    ) {
+        kloc_trace::emit(|| {
+            let (mut fast, mut slow) = (0u64, 0u64);
+            if let Some(k) = self.kmap.get(inode) {
+                for frame in k.iter_member_frames() {
+                    if let Ok(f) = mem.frame(frame) {
+                        if f.tier() == TierId::FAST {
+                            fast += 1;
+                        } else {
+                            slow += 1;
+                        }
+                    }
+                }
+            }
+            kloc_trace::Event::KlocMigrate {
+                t: mem.now().as_nanos(),
+                ino: inode.0,
+                dir: dir.to_owned(),
+                how: how.to_owned(),
+                epoch: self.kmap.epoch(),
+                age: u64::from(self.kmap.age_of(inode).unwrap_or(0)),
+                moved,
+                fast,
+                slow,
+            }
+        });
     }
 
     /// Frames backing all members of `inode`'s knode (deduplicated).
@@ -428,6 +485,15 @@ impl KlocRegistry {
     pub fn member_frame_count(&self, inode: InodeId) -> usize {
         self.kmap.get(inode).map_or(0, Knode::member_frame_count)
     }
+}
+
+/// Emits a `knode` lifecycle event (created/active/inactive/destroyed).
+fn emit_knode_state(inode: InodeId, now: Nanos, state: &'static str) {
+    kloc_trace::emit(|| kloc_trace::Event::Knode {
+        t: now.as_nanos(),
+        ino: inode.0,
+        state: state.to_owned(),
+    });
 }
 
 #[cfg(feature = "ksan")]
@@ -465,9 +531,9 @@ mod tests {
         r.inode_created(InodeId(1), CpuId(0), Nanos::ZERO);
         assert_eq!(r.kmap().len(), 1);
         assert_eq!(r.is_active(InodeId(1)), Some(true));
-        r.inode_closed(InodeId(1));
+        r.inode_closed(InodeId(1), Nanos::ZERO);
         assert_eq!(r.is_active(InodeId(1)), Some(false));
-        r.inode_destroyed(InodeId(1));
+        r.inode_destroyed(InodeId(1), Nanos::ZERO);
         assert_eq!(r.kmap().len(), 0);
         assert_eq!(r.stats().knodes_created, 1);
         assert_eq!(r.stats().knodes_destroyed, 1);
@@ -519,8 +585,8 @@ mod tests {
         let mut r = KlocRegistry::new(KlocConfig::default());
         r.inode_created(InodeId(1), CpuId(0), Nanos::ZERO);
         r.inode_created(InodeId(2), CpuId(0), Nanos::from_millis(10));
-        r.inode_closed(InodeId(1));
-        r.inode_closed(InodeId(2));
+        r.inode_closed(InodeId(1), Nanos::ZERO);
+        r.inode_closed(InodeId(2), Nanos::ZERO);
         let now = Nanos::from_millis(11);
         // Only inode 1 has been idle >= 5ms.
         assert_eq!(r.cold_knodes(now, Nanos::from_millis(5)), vec![InodeId(1)]);
@@ -633,7 +699,7 @@ mod tests {
         let mut r = KlocRegistry::new(KlocConfig::default());
         r.inode_created(InodeId(1), CpuId(0), Nanos::ZERO);
         r.inode_created(InodeId(2), CpuId(0), Nanos::ZERO);
-        r.inode_closed(InodeId(2));
+        r.inode_closed(InodeId(2), Nanos::ZERO);
         r.age_epoch();
         r.age_epoch();
         assert_eq!(r.kmap().age_of(InodeId(1)), Some(0));
@@ -646,7 +712,7 @@ mod tests {
         for ino in 1..=200u64 {
             r.inode_created(InodeId(ino), CpuId(0), Nanos::ZERO);
             if ino % 2 == 0 {
-                r.inode_closed(InodeId(ino));
+                r.inode_closed(InodeId(ino), Nanos::ZERO);
             }
         }
         let before = r.kmap().knodes_examined();

@@ -219,14 +219,14 @@ fn run_stream(seed: u64, steps: usize) {
             // restart the inactivity clock).
             25..=44 if !live.is_empty() => {
                 let inode = live[rng.gen_below(live.len() as u64) as usize];
-                r.inode_closed(inode);
+                r.inode_closed(inode, Nanos::ZERO);
                 m.close(inode);
             }
             // Destroy.
             45..=49 if !live.is_empty() => {
                 let i = rng.gen_below(live.len() as u64) as usize;
                 let inode = live.swap_remove(i);
-                r.inode_destroyed(inode);
+                r.inode_destroyed(inode, Nanos::ZERO);
                 m.destroy(inode);
             }
             // Object allocation (touches the knode).
@@ -285,7 +285,7 @@ fn long_idle_stretches_match() {
         // Close a few, run a burst of epochs, reopen a few.
         for _ in 0..3 {
             let ino = InodeId(rng.gen_range(1..21));
-            r.inode_closed(ino);
+            r.inode_closed(ino, Nanos::ZERO);
             m.close(ino);
         }
         for _ in 0..rng.gen_below(40) {

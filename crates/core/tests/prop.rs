@@ -71,7 +71,7 @@ fn knode_members_match_live_objects() {
                 Ev::CloseInode(n) => {
                     let ino = InodeId(n as u64);
                     if inodes.contains(&ino) {
-                        r.inode_closed(ino);
+                        r.inode_closed(ino, Nanos::ZERO);
                         assert_eq!(r.is_active(ino), Some(false));
                     }
                 }
@@ -88,7 +88,7 @@ fn knode_members_match_live_objects() {
                             r.object_freed(*id, info);
                         }
                         objects.retain(|(_, i, _)| i.inode != Some(ino));
-                        r.inode_destroyed(ino);
+                        r.inode_destroyed(ino, Nanos::ZERO);
                         assert!(r.is_active(ino).is_none());
                     }
                 }

@@ -187,6 +187,9 @@ impl Kernel {
         };
         let obj = self.objects.insert(info, frame, ctx.mem.now());
         self.stats.on_alloc(ty);
+        if matches!(ty.backing(), Backing::Slab) {
+            kloc_trace::with_counters(|c| c.slab_allocs += 1);
+        }
         ctx.hooks
             .on_object_alloc(obj, &info, frame, ctx.cpu, ctx.mem);
         Ok(obj)
@@ -200,6 +203,9 @@ impl Kernel {
             .ok_or(KernelError::BadObject(obj))?;
         let lifetime = ctx.mem.now().saturating_sub(kobj.allocated_at);
         self.stats.on_free(kobj.info.ty, lifetime);
+        if matches!(kobj.info.ty.backing(), Backing::Slab) {
+            kloc_trace::with_counters(|c| c.slab_frees += 1);
+        }
         ctx.mem.charge(self.params.free_cpu);
         ctx.hooks
             .on_object_free(obj, &kobj.info, kobj.frame, ctx.mem);
@@ -285,6 +291,8 @@ impl Kernel {
         let Some(spec) = self.journal.commit() else {
             return Ok(());
         };
+        let _attrib = kloc_trace::scope("journal");
+        let head_count = spec.heads.len() as u64;
         let mut blocks = Vec::with_capacity(spec.blocks);
         for _ in 0..spec.blocks {
             let b = self.alloc_object(ctx, KernelObjectType::JournalBlock, None, false)?;
@@ -296,6 +304,12 @@ impl Kernel {
             spec.blocks as u64 * kloc_mem::PAGE_SIZE,
             IoPattern::Sequential,
         );
+        let t = ctx.mem.now().as_nanos();
+        kloc_trace::emit(|| kloc_trace::Event::JournalCommit {
+            t,
+            heads: head_count,
+            blocks: spec.blocks as u64,
+        });
         for head in spec.heads {
             self.free_object(ctx, head.obj)?;
         }
@@ -316,6 +330,7 @@ impl Kernel {
     pub fn create(&mut self, ctx: &mut Ctx<'_>, path: &str) -> Result<Fd, KernelError> {
         self.stats.on_syscall(Syscall::Create);
         ctx.mem.charge(self.params.syscall_base);
+        let _attrib = kloc_trace::scope("create");
         if self.vfs.lookup_path(path).is_some() {
             return Err(KernelError::Exists(path.to_owned()));
         }
@@ -358,6 +373,7 @@ impl Kernel {
     pub fn open(&mut self, ctx: &mut Ctx<'_>, path: &str) -> Result<Fd, KernelError> {
         self.stats.on_syscall(Syscall::Open);
         ctx.mem.charge(self.params.syscall_base);
+        let _attrib = kloc_trace::scope("open");
         let ino = self
             .vfs
             .lookup_path(path)
@@ -426,6 +442,7 @@ impl Kernel {
     ) -> Result<u64, KernelError> {
         self.stats.on_syscall(Syscall::Write);
         ctx.mem.charge(self.params.syscall_base);
+        let _attrib = kloc_trace::scope("write");
         let (ino, file_obj) = self.resolve(fd)?;
         self.access_object(ctx, file_obj, 64, false)?;
         if len == 0 {
@@ -527,6 +544,7 @@ impl Kernel {
         match cached {
             Some(page) => {
                 self.stats.cache_hits += 1;
+                kloc_trace::with_counters(|c| c.pc_hits += 1);
                 ctx.mem.write_from(ctx.socket, page.frame, bytes);
                 self.cache_lru.mark_accessed(page.frame);
                 self.note_prefetch_hit(page.frame);
@@ -546,6 +564,7 @@ impl Kernel {
             }
             None => {
                 self.stats.cache_misses += 1;
+                kloc_trace::with_counters(|c| c.pc_misses += 1);
                 self.insert_cache_page(ctx, ino, idx, true, false)?;
                 let frame = self
                     .vfs
@@ -626,6 +645,7 @@ impl Kernel {
     ) -> Result<u64, KernelError> {
         self.stats.on_syscall(Syscall::Read);
         ctx.mem.charge(self.params.syscall_base);
+        let _attrib = kloc_trace::scope("read");
         let (ino, file_obj) = self.resolve(fd)?;
         self.access_object(ctx, file_obj, 64, false)?;
         let size = {
@@ -689,6 +709,7 @@ impl Kernel {
         match cached {
             Some(page) => {
                 self.stats.cache_hits += 1;
+                kloc_trace::with_counters(|c| c.pc_hits += 1);
                 ctx.mem.read_from(ctx.socket, page.frame, bytes);
                 self.cache_lru.mark_accessed(page.frame);
                 self.note_prefetch_hit(page.frame);
@@ -702,6 +723,7 @@ impl Kernel {
             None => {
                 // Major fault: synchronous disk read.
                 self.stats.cache_misses += 1;
+                kloc_trace::with_counters(|c| c.pc_misses += 1);
                 let stall =
                     self.disk
                         .read_sync(ctx.mem.now(), kloc_mem::PAGE_SIZE, IoPattern::Random);
@@ -724,6 +746,7 @@ impl Kernel {
         window: u64,
         size: u64,
     ) -> Result<(), KernelError> {
+        let _attrib = kloc_trace::scope("readahead");
         let max_idx = if size == 0 {
             0
         } else {
@@ -749,6 +772,7 @@ impl Kernel {
         }
         if issued > 0 {
             self.readahead.record_issued(issued);
+            kloc_trace::with_counters(|c| c.readahead_pages += issued);
         }
         Ok(())
     }
@@ -758,6 +782,7 @@ impl Kernel {
     pub fn fsync(&mut self, ctx: &mut Ctx<'_>, fd: Fd) -> Result<(), KernelError> {
         self.stats.on_syscall(Syscall::Fsync);
         ctx.mem.charge(self.params.syscall_base);
+        let _attrib = kloc_trace::scope("fsync");
         let (ino, _) = self.resolve(fd)?;
         let dirty = {
             let inode = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?;
@@ -813,6 +838,7 @@ impl Kernel {
         if idxs.is_empty() {
             return Ok(());
         }
+        let _attrib = kloc_trace::scope("writeback");
         let mut flushed = 0usize;
         for chunk in idxs.chunks(self.params.pages_per_bio.max(1)) {
             let mut pages_in_bio = 0;
@@ -851,6 +877,14 @@ impl Kernel {
             flushed += pages_in_bio;
         }
         self.stats.writeback_pages += flushed as u64;
+        if flushed > 0 {
+            let t = ctx.mem.now().as_nanos();
+            kloc_trace::emit(|| kloc_trace::Event::Writeback {
+                t,
+                ino: ino.0,
+                pages: flushed as u64,
+            });
+        }
         Ok(())
     }
 
@@ -858,6 +892,7 @@ impl Kernel {
     /// (writing back dirty ones first), oldest-first, charging LRU scan
     /// costs.
     fn shrink_cache(&mut self, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
+        let _attrib = kloc_trace::scope("reclaim");
         let mut guard = 0;
         while self.cache_pages > self.params.page_cache_budget && guard < 64 {
             guard += 1;
@@ -883,6 +918,13 @@ impl Kernel {
                 if dirty {
                     self.flush_pages(ctx, ino, &[idx])?;
                 }
+                let t = ctx.mem.now().as_nanos();
+                kloc_trace::emit(|| kloc_trace::Event::PcEvict {
+                    t,
+                    ino: ino.0,
+                    idx,
+                    dirty: u64::from(dirty),
+                });
                 self.drop_cache_page(ctx, ino, idx)?;
                 self.stats.reclaimed_pages += 1;
             }
@@ -921,6 +963,7 @@ impl Kernel {
     pub fn close(&mut self, ctx: &mut Ctx<'_>, fd: Fd) -> Result<(), KernelError> {
         self.stats.on_syscall(Syscall::Close);
         ctx.mem.charge(self.params.syscall_base);
+        let _attrib = kloc_trace::scope("close");
         let of = self.vfs.close_fd(fd).ok_or(KernelError::BadFd(fd))?;
         self.free_object(ctx, of.file_obj)?;
         let ino = of.inode;
@@ -944,6 +987,7 @@ impl Kernel {
     pub fn unlink(&mut self, ctx: &mut Ctx<'_>, path: &str) -> Result<(), KernelError> {
         self.stats.on_syscall(Syscall::Unlink);
         ctx.mem.charge(self.params.syscall_base);
+        let _attrib = kloc_trace::scope("unlink");
         let ino = self
             .vfs
             .unbind_path(path)
@@ -1003,6 +1047,7 @@ impl Kernel {
     pub fn mkdir(&mut self, ctx: &mut Ctx<'_>, path: &str) -> Result<InodeId, KernelError> {
         self.stats.on_syscall(Syscall::Mkdir);
         ctx.mem.charge(self.params.syscall_base);
+        let _attrib = kloc_trace::scope("mkdir");
         if self.vfs.lookup_path(path).is_some() {
             return Err(KernelError::Exists(path.to_owned()));
         }
@@ -1050,6 +1095,7 @@ impl Kernel {
     ) -> Result<u64, KernelError> {
         self.stats.on_syscall(Syscall::Readdir);
         ctx.mem.charge(self.params.syscall_base);
+        let _attrib = kloc_trace::scope("readdir");
         let ino = self
             .vfs
             .lookup_path(path)
@@ -1089,6 +1135,7 @@ impl Kernel {
     pub fn socket(&mut self, ctx: &mut Ctx<'_>) -> Result<Fd, KernelError> {
         self.stats.on_syscall(Syscall::Socket);
         ctx.mem.charge(self.params.syscall_base);
+        let _attrib = kloc_trace::scope("socket");
         let ino = self.vfs.next_inode_id();
         ctx.hooks.on_inode_create(ino, ctx.cpu, ctx.mem);
         let inode_obj = self.alloc_object(ctx, KernelObjectType::Inode, Some(ino), false)?;
@@ -1122,6 +1169,7 @@ impl Kernel {
     pub fn send(&mut self, ctx: &mut Ctx<'_>, fd: Fd, bytes: u64) -> Result<u64, KernelError> {
         self.stats.on_syscall(Syscall::Send);
         ctx.mem.charge(self.params.syscall_base);
+        let _attrib = kloc_trace::scope("send");
         let (ino, _) = self.resolve(fd)?;
         let (kind, sock_obj) = {
             let inode = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?;
@@ -1164,6 +1212,7 @@ impl Kernel {
     /// receive path: driver RX buffer + skbuff, demuxed up the stack and
     /// queued until [`Kernel::recv`]).
     pub fn deliver(&mut self, ctx: &mut Ctx<'_>, fd: Fd, bytes: u64) -> Result<(), KernelError> {
+        let _attrib = kloc_trace::scope("deliver");
         let (ino, _) = self.resolve(fd)?;
         {
             let inode = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?;
@@ -1241,6 +1290,7 @@ impl Kernel {
     pub fn recv(&mut self, ctx: &mut Ctx<'_>, fd: Fd, max_bytes: u64) -> Result<u64, KernelError> {
         self.stats.on_syscall(Syscall::Recv);
         ctx.mem.charge(self.params.syscall_base);
+        let _attrib = kloc_trace::scope("recv");
         let (ino, _) = self.resolve(fd)?;
         {
             let inode = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?;

@@ -47,6 +47,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod block;
 pub mod disk;
 pub mod error;

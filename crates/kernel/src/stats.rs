@@ -122,6 +122,7 @@ impl KernelStats {
     /// Records a syscall.
     pub fn on_syscall(&mut self, sc: Syscall) {
         *self.syscalls.entry(sc).or_default() += 1;
+        kloc_trace::with_counters(|c| c.syscalls += 1);
     }
 
     /// Counter for one type.

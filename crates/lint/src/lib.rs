@@ -41,6 +41,8 @@
 //! The scanner strips comments and string literals before matching, so
 //! documentation may freely mention `HashMap` or `Instant::now`.
 
+#![warn(missing_docs)]
+
 use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -404,7 +406,7 @@ fn hash_collection_names(clean_lines: &[Vec<char>]) -> BTreeSet<String> {
 }
 
 /// Lints one file's source text. `sim_crate` enables the KL002/KL003
-/// rules (files inside `crates/{mem,kernel,core,policy,workloads}`).
+/// rules (files inside `crates/{trace,mem,kernel,core,policy,workloads}`).
 pub fn lint_source(file: &str, source: &str, sim_crate: bool) -> Vec<Diagnostic> {
     let allows = parse_allows(source);
     let sim_crate = sim_crate || allows.treat_as_sim;
@@ -549,7 +551,7 @@ pub fn lint_source(file: &str, source: &str, sim_crate: bool) -> Vec<Diagnostic>
 /// Whether a workspace-relative path belongs to a simulation crate
 /// (where the KL002/KL003 rules apply).
 pub fn is_sim_crate_path(rel: &Path) -> bool {
-    const SIM_CRATES: &[&str] = &["mem", "kernel", "core", "policy", "workloads"];
+    const SIM_CRATES: &[&str] = &["trace", "mem", "kernel", "core", "policy", "workloads"];
     let mut comps = rel.components().map(|c| c.as_os_str().to_string_lossy());
     if comps.next().as_deref() != Some("crates") {
         return false;
@@ -694,6 +696,7 @@ mod tests {
     fn sim_crate_paths() {
         assert!(is_sim_crate_path(Path::new("crates/mem/src/system.rs")));
         assert!(is_sim_crate_path(Path::new("crates/policy/src/kloc.rs")));
+        assert!(is_sim_crate_path(Path::new("crates/trace/src/recorder.rs")));
         assert!(!is_sim_crate_path(Path::new("crates/sim/src/engine.rs")));
         assert!(!is_sim_crate_path(Path::new("crates/lint/src/lib.rs")));
         assert!(!is_sim_crate_path(Path::new("src/lib.rs")));

@@ -36,6 +36,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod allocator;
 pub mod clock;
 pub mod error;

@@ -174,7 +174,9 @@ impl MemorySystem {
     /// `cpu_parallelism` threads this overlaps, so the shared clock
     /// advances by `dt / parallelism`.
     pub fn charge(&mut self, dt: Nanos) {
-        self.clock.advance(dt / self.cpu_parallelism);
+        let dt = dt / self.cpu_parallelism;
+        self.clock.advance(dt);
+        kloc_trace::charge(dt.as_nanos());
     }
 
     /// Substrate counters.
@@ -213,6 +215,12 @@ impl MemorySystem {
         let frame = Frame::new(id, tier, kind, self.clock.now());
         self.frames.insert(frame);
         self.stats.tiers[tier.index()].on_alloc(kind);
+        kloc_trace::with_counters(|c| {
+            c.frame_allocs += 1;
+            if tier.index() == 0 {
+                c.fast_allocs += 1;
+            }
+        });
         Ok(id)
     }
 
@@ -252,6 +260,7 @@ impl MemorySystem {
         if let Some(l4) = self.l4[f.tier.index()].as_mut() {
             l4.invalidate(frame);
         }
+        kloc_trace::with_counters(|c| c.frame_frees += 1);
         Ok(())
     }
 
@@ -392,6 +401,7 @@ impl MemorySystem {
             self.stats.kernel_accesses += 1;
         }
         self.clock.advance(cost);
+        kloc_trace::charge(cost.as_nanos());
         cost
     }
 
@@ -445,6 +455,15 @@ impl MemorySystem {
         f.migrations = f.migrations.saturating_add(1);
         self.migration_stats.record(kind, from, to, cost);
         self.clock.advance(foreground);
+        kloc_trace::charge(foreground.as_nanos());
+        kloc_trace::emit(|| kloc_trace::Event::Migrate {
+            t: self.clock.now().as_nanos(),
+            frame: frame.0,
+            from: u64::from(from.0),
+            to: u64::from(to.0),
+            kind: kind.to_string(),
+            cost: cost.as_nanos(),
+        });
         Ok(cost)
     }
 }

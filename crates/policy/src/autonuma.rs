@@ -217,12 +217,12 @@ impl KernelHooks for AutoNumaKloc {
         self.migrated_kernel += self.registry.migrate_knode(inode, mem, home);
     }
 
-    fn on_inode_close(&mut self, inode: kloc_kernel::InodeId, _mem: &mut MemorySystem) {
-        self.registry.inode_closed(inode);
+    fn on_inode_close(&mut self, inode: kloc_kernel::InodeId, mem: &mut MemorySystem) {
+        self.registry.inode_closed(inode, mem.now());
     }
 
-    fn on_inode_destroy(&mut self, inode: kloc_kernel::InodeId, _mem: &mut MemorySystem) {
-        self.registry.inode_destroyed(inode);
+    fn on_inode_destroy(&mut self, inode: kloc_kernel::InodeId, mem: &mut MemorySystem) {
+        self.registry.inode_destroyed(inode, mem.now());
     }
 
     fn on_object_alloc(

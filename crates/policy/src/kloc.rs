@@ -255,6 +255,7 @@ impl KernelHooks for KlocPolicy {
                 .map(|(_, v)| *v)
                 .sum();
             if kernel_fast >= budget {
+                kloc_trace::with_counters(|c| c.slow_diverts += 1);
                 return Placement::slow_only();
             }
         }
@@ -266,6 +267,7 @@ impl KernelHooks for KlocPolicy {
             // Speculative readahead must not pollute scarce fast memory
             // (§7.3); pages that turn out hot are retrieved by the
             // member-granular promotion path.
+            kloc_trace::with_counters(|c| c.slow_diverts += 1);
             return Placement::slow_only();
         }
         match req.inode.and_then(|i| self.registry.is_active(i)) {
@@ -278,6 +280,7 @@ impl KernelHooks for KlocPolicy {
             // can always be reclaimed en masse later).
             Some(false) => {
                 if pressure {
+                    kloc_trace::with_counters(|c| c.slow_diverts += 1);
                     Placement::slow_only()
                 } else {
                     Placement::fast_then_slow()
@@ -336,16 +339,16 @@ impl KernelHooks for KlocPolicy {
         }
     }
 
-    fn on_inode_close(&mut self, inode: kloc_kernel::InodeId, _mem: &mut MemorySystem) {
+    fn on_inode_close(&mut self, inode: kloc_kernel::InodeId, mem: &mut MemorySystem) {
         // Mark inactive immediately; en-masse migration happens within a
         // few ticks, once the knode's age confirms it is cold (files that
         // bounce between open and closed keep age zero and never churn).
-        self.registry.inode_closed(inode);
+        self.registry.inode_closed(inode, mem.now());
     }
 
-    fn on_inode_destroy(&mut self, inode: kloc_kernel::InodeId, _mem: &mut MemorySystem) {
+    fn on_inode_destroy(&mut self, inode: kloc_kernel::InodeId, mem: &mut MemorySystem) {
         // Deleted: objects are freed by the kernel, never migrated (§3.2).
-        self.registry.inode_destroyed(inode);
+        self.registry.inode_destroyed(inode, mem.now());
     }
 
     fn on_object_alloc(

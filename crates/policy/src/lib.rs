@@ -28,6 +28,8 @@
 //! * [`AutoNumaKloc`] — AutoNUMA extended to migrate the kernel objects
 //!   of active KLOCs to the task's socket (§4.5).
 
+#![warn(missing_docs)]
+
 pub mod apptier;
 pub mod autonuma;
 pub mod kloc;

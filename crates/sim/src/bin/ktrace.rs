@@ -1,0 +1,66 @@
+//! `ktrace` — analyze `kloc-trace` JSONL files.
+//!
+//! ```text
+//! ktrace summary  TRACE            # per-run overview + event counts
+//! ktrace timeline TRACE [--ino N]  # per-KLOC tier-residency timelines
+//! ktrace attrib   TRACE            # virtual-time flamegraph fold
+//! ktrace rollup   TRACE            # counter totals + log2 histograms
+//! ktrace schema                    # the event schema reference
+//! ```
+//!
+//! Collect a trace with a `trace`-enabled build:
+//! `cargo run --release --features trace --bin repro -- all --scale tiny --trace out.jsonl`.
+
+use std::process::ExitCode;
+
+use kloc_sim::ktrace;
+use kloc_trace::Event;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: ktrace <summary|timeline|attrib|rollup> TRACE [--ino N] | ktrace schema");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    if cmd == "schema" {
+        print!("{}", ktrace::render_schema());
+        return ExitCode::SUCCESS;
+    }
+    let Some(path) = args.get(1) else {
+        return usage();
+    };
+    let mut ino = None;
+    if let Some(pos) = args.iter().position(|a| a == "--ino") {
+        match args.get(pos + 1).and_then(|s| s.parse::<u64>().ok()) {
+            Some(n) => ino = Some(n),
+            None => return usage(),
+        }
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match Event::parse_all(&text) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = match cmd {
+        "summary" => ktrace::render_summary(&events),
+        "timeline" => ktrace::render_timeline(&events, ino),
+        "attrib" => ktrace::render_attrib(&events),
+        "rollup" => ktrace::render_rollup(&events),
+        _ => return usage(),
+    };
+    print!("{out}");
+    ExitCode::SUCCESS
+}

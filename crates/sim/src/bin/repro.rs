@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment> [--scale tiny|small|large] [--seed N] [--jobs N]
+//! repro <experiment> [--scale tiny|small|large] [--seed N] [--jobs N] [--trace FILE]
 //!
 //! experiments:
 //!   fig2a fig2b fig2c fig2d   motivation study
@@ -11,23 +11,30 @@
 //!   table6                    KLOC metadata overhead
 //!   percpu prefetch           ablations (4.3, 7.3)
 //!   thp granularity           future-work extensions (5, 4.4)
-//!   all                       everything above
+//!   run --workload W --policy P   one run (trace-friendly)
+//!   all                       everything above (except `run`)
 //! ```
 //!
 //! `--jobs N` sets the sweep-runner thread count (default: one per
 //! hardware thread; `--jobs 1` forces serial execution). Results are
 //! identical at any job count — runs are independent and deterministic.
+//!
+//! `--trace FILE` (builds with `--features trace` only) collects a
+//! `kloc-trace` JSONL document covering every run the invocation
+//! executes and writes it to FILE; analyze it with the `ktrace` binary.
+//! Trace bytes are byte-identical at any `--jobs` count.
 
 use std::process::ExitCode;
 
-use kloc_sim::engine::Platform;
+use kloc_policy::PolicyKind;
+use kloc_sim::engine::{Platform, RunConfig};
 use kloc_sim::experiments::{ablations, fig2, fig4, fig5, fig6, table6};
 use kloc_sim::Runner;
 use kloc_workloads::{Scale, WorkloadKind};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <fig2a|fig2b|fig2c|fig2d|fig4|fig5a|fig5b|fig5c|fig6|table6|percpu|prefetch|thp|granularity|all> [--scale tiny|small|large] [--seed N] [--jobs N]"
+        "usage: repro <fig2a|fig2b|fig2c|fig2d|fig4|fig5a|fig5b|fig5c|fig6|table6|percpu|prefetch|thp|granularity|all> [--scale tiny|small|large] [--seed N] [--jobs N] [--trace FILE]\n       repro run --workload <rocksdb|redis|filebench|cassandra|spark> --policy <naive|nimble|nimble++|kloc-nomigration|kloc|all-fast|all-slow|autonuma|autonuma-kloc> [options]"
     );
     ExitCode::FAILURE
 }
@@ -59,13 +66,77 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
-    match run(&which, &runner, &scale) {
-        Ok(()) => ExitCode::SUCCESS,
+    let mut trace_path = None;
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        match args.get(pos + 1) {
+            Some(path) => trace_path = Some(path.clone()),
+            None => return usage(),
+        }
+    }
+    if trace_path.is_some() {
+        kloc_trace::session_begin();
+        if !kloc_trace::session_active() {
+            eprintln!("error: --trace needs a trace-enabled build (cargo ... --features trace)");
+            return ExitCode::FAILURE;
+        }
+    }
+    match run(&which, &runner, &scale, &args) {
+        Ok(()) => {
+            if let Some(path) = trace_path {
+                let jsonl = kloc_trace::session_take();
+                if let Err(e) = std::fs::write(&path, jsonl) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("[trace written to {path}]");
+            }
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Parses `--workload` / `--policy` for the single-run experiment.
+fn single_run_config(args: &[String], scale: &Scale) -> Result<RunConfig, String> {
+    let value_of = |flag: &str| -> Result<String, String> {
+        let pos = args
+            .iter()
+            .position(|a| a == flag)
+            .ok_or_else(|| format!("`repro run` needs {flag}"))?;
+        args.get(pos + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let workload = match value_of("--workload")?.to_lowercase().as_str() {
+        "rocksdb" => WorkloadKind::RocksDb,
+        "redis" => WorkloadKind::Redis,
+        "filebench" => WorkloadKind::Filebench,
+        "cassandra" => WorkloadKind::Cassandra,
+        "spark" => WorkloadKind::Spark,
+        other => return Err(format!("unknown workload: {other}")),
+    };
+    let policy = match value_of("--policy")?.to_lowercase().as_str() {
+        "all-fast" => PolicyKind::AllFast,
+        "all-slow" => PolicyKind::AllSlow,
+        "naive" => PolicyKind::Naive,
+        "nimble" => PolicyKind::Nimble,
+        "nimble++" => PolicyKind::NimblePlusPlus,
+        "kloc-nomigration" => PolicyKind::KlocNoMigration,
+        "kloc" => PolicyKind::Kloc,
+        "autonuma" => PolicyKind::AutoNuma,
+        "autonuma-kloc" => PolicyKind::AutoNumaKloc,
+        other => return Err(format!("unknown policy: {other}")),
+    };
+    Ok(RunConfig {
+        workload,
+        policy,
+        scale: scale.clone(),
+        platform: platform_for(scale),
+        kernel_params: None,
+    })
 }
 
 fn platform_for(scale: &Scale) -> Platform {
@@ -75,7 +146,32 @@ fn platform_for(scale: &Scale) -> Platform {
     }
 }
 
-fn run(which: &str, runner: &Runner, scale: &Scale) -> Result<(), Box<dyn std::error::Error>> {
+fn run(
+    which: &str,
+    runner: &Runner,
+    scale: &Scale,
+    args: &[String],
+) -> Result<(), Box<dyn std::error::Error>> {
+    if which == "run" {
+        let config = single_run_config(args, scale)?;
+        eprintln!(
+            "[single run: {} / {} at scale {}...]",
+            config.workload.label(),
+            config.policy.label(),
+            scale.label
+        );
+        let report = &runner.run_all(vec![config])?[0];
+        println!(
+            "{} / {}: {} ops in {} ns virtual ({:.0} ops/s, {:.1}% fast-tier accesses)",
+            report.workload,
+            report.policy,
+            report.ops,
+            report.elapsed.as_nanos(),
+            report.throughput(),
+            100.0 * report.fast_access_fraction(),
+        );
+        return Ok(());
+    }
     let all = which == "all";
     let small_pair = |s: &Scale| {
         // Fig 2b needs both scales, resized to keep runtime similar.

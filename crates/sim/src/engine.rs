@@ -223,6 +223,31 @@ impl KsanState {
     }
 }
 
+/// Compact platform descriptor for the `run_begin` trace event.
+fn platform_label(platform: &Platform) -> String {
+    match *platform {
+        Platform::TwoTier {
+            fast_bytes,
+            bw_ratio,
+        } => format!("two_tier:fast={fast_bytes}:bw={bw_ratio}"),
+        Platform::Optane { l4_bytes, scenario } => {
+            let sc = match scenario {
+                OptaneScenario::AllLocal => "all_local".to_owned(),
+                OptaneScenario::AllRemote => "all_remote".to_owned(),
+                OptaneScenario::Interfered { contention } => {
+                    format!("interfered={}", to_milli(contention))
+                }
+            };
+            format!("optane:l4={l4_bytes}:{sc}")
+        }
+    }
+}
+
+/// Converts a contention multiplier to integer thousandths for tracing.
+fn to_milli(x: f64) -> u64 {
+    (x * 1000.0).round() as u64
+}
+
 /// Builds the memory system for a config, giving the bound policies
 /// (All-Fast) an unbounded fast tier as the paper's ideal case does.
 fn build_mem(config: &RunConfig) -> MemorySystem {
@@ -258,6 +283,21 @@ pub fn run(config: &RunConfig) -> Result<RunReport, KernelError> {
 /// # Errors
 /// Propagates kernel errors.
 pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunReport, KernelError> {
+    if kloc_trace::session_active() {
+        // Install a per-run recorder on this worker thread. The runner
+        // collects it with `kloc_trace::run_take()` after the run and
+        // appends buffers to the session in input order, which is what
+        // keeps session bytes independent of the worker count.
+        kloc_trace::run_begin();
+    }
+    kloc_trace::emit(|| kloc_trace::Event::RunBegin {
+        t: 0,
+        workload: config.workload.label().to_owned(),
+        policy: config.policy.label().to_owned(),
+        platform: platform_label(&config.platform),
+        seed: config.scale.seed,
+        ops: config.scale.ops,
+    });
     let mut mem = build_mem(config);
     mem.set_migration_cost(policy.migration_cost());
     mem.set_cpu_parallelism(config.scale.threads.max(1) as u64);
@@ -286,17 +326,28 @@ pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunRe
         // Worst case: the streamer contends on the data's socket for the
         // whole run, and the task computes from the other socket.
         mem.set_contention(TierId(0), 1.8);
+        kloc_trace::emit(|| kloc_trace::Event::Contention {
+            t: mem.now().as_nanos(),
+            tier: 0,
+            milli: to_milli(1.8),
+        });
     }
 
     // Setup (load) phase — policies tick during it too.
     let tick_interval = policy.tick_interval();
     let mut next_tick = mem.now() + tick_interval;
+    kloc_trace::emit(|| kloc_trace::Event::PhaseBegin {
+        t: mem.now().as_nanos(),
+        phase: "setup".to_owned(),
+    });
     {
+        let _phase = kloc_trace::scope("setup");
         let mut ctx = Ctx::new(&mut mem, policy.as_mut());
         ctx.socket = task_socket;
         workload.setup(&mut kernel, &mut ctx)?;
     }
     let setup_time = mem.now();
+    kloc_trace::flush(setup_time.as_nanos());
     #[cfg(feature = "ksan")]
     let mut ksan = KsanState::new();
     #[cfg(feature = "ksan")]
@@ -310,6 +361,11 @@ pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunRe
 
     // Measured phase.
     let t0 = mem.now();
+    kloc_trace::emit(|| kloc_trace::Event::PhaseBegin {
+        t: t0.as_nanos(),
+        phase: "measured".to_owned(),
+    });
+    let measured_scope = kloc_trace::scope("measured");
     let mut switched = switch_at_op == 0;
     if switched {
         // AllRemote: the task computes on the other socket from the start.
@@ -323,6 +379,11 @@ pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunRe
                 // Interference begins on socket 0; scheduler moves the
                 // task to socket 1.
                 mem.set_contention(TierId(0), contention);
+                kloc_trace::emit(|| kloc_trace::Event::Contention {
+                    t: mem.now().as_nanos(),
+                    tier: 0,
+                    milli: to_milli(contention),
+                });
                 task_socket = 1;
                 policy.set_task_socket(1);
             }
@@ -333,6 +394,7 @@ pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunRe
             workload.step(&mut kernel, &mut ctx)?;
         }
         if mem.now() >= next_tick {
+            let _tick = kloc_trace::scope("policy_tick");
             policy.tick(&kernel, &mut mem);
             next_tick = mem.now() + tick_interval;
         }
@@ -341,7 +403,9 @@ pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunRe
     }
     #[cfg(feature = "ksan")]
     ksan.audit("end of measured phase", &mem, &kernel, policy.as_ref());
+    drop(measured_scope);
     let elapsed = mem.now() - t0;
+    kloc_trace::flush(mem.now().as_nanos());
     let measured_tier_accesses: Vec<u64> = (0..mem.tier_count())
         .map(|i| {
             let t = mem.stats().tier(kloc_mem::TierId(i as u8));
@@ -368,11 +432,22 @@ pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunRe
         None => (None, None, None),
     };
 
+    kloc_trace::emit(|| kloc_trace::Event::PhaseBegin {
+        t: mem.now().as_nanos(),
+        phase: "teardown".to_owned(),
+    });
     {
+        let _phase = kloc_trace::scope("teardown");
         let mut ctx = Ctx::new(&mut mem, policy.as_mut());
         ctx.socket = task_socket;
         workload.teardown(&mut kernel, &mut ctx)?;
     }
+    let end_t = mem.now().as_nanos();
+    kloc_trace::flush(end_t);
+    kloc_trace::emit(|| kloc_trace::Event::RunEnd {
+        t: end_t,
+        ops: workload.ops_done(),
+    });
 
     Ok(RunReport {
         workload: config.workload.label().to_owned(),

@@ -24,8 +24,11 @@
 //! println!("{:.0} ops/s", report.throughput());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod experiments;
+pub mod ktrace;
 pub mod report;
 pub mod runner;
 

@@ -69,11 +69,16 @@ impl Job {
         &self.config
     }
 
-    fn execute(&self) -> Result<RunReport, KernelError> {
-        match &self.policy {
+    /// Runs the job and collects the worker thread's trace buffer (empty
+    /// unless a trace session is active). Taking the buffer here also
+    /// clears any recorder a failed run left installed, so a worker
+    /// thread never leaks trace state into its next job.
+    fn execute(&self) -> (Result<RunReport, KernelError>, String) {
+        let result = match &self.policy {
             Some(factory) => engine::run_with(&self.config, factory()),
             None => engine::run(&self.config),
-        }
+        };
+        (result, kloc_trace::run_take())
     }
 }
 
@@ -133,11 +138,17 @@ impl Runner {
         let n = jobs.len();
         let workers = self.jobs.min(n.max(1));
         if workers <= 1 {
-            return jobs.iter().map(Job::execute).collect();
+            let mut reports = Vec::with_capacity(n);
+            for job in &jobs {
+                let (result, trace) = job.execute();
+                kloc_trace::session_append(&trace);
+                reports.push(result?);
+            }
+            return Ok(reports);
         }
 
-        let mut results: Vec<Mutex<Option<Result<RunReport, KernelError>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        type Slot = Mutex<Option<(Result<RunReport, KernelError>, String)>>;
+        let mut results: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
         let completed = AtomicUsize::new(0);
 
         // Even initial split of [0, n) across workers.
@@ -184,15 +195,20 @@ impl Runner {
         });
 
         debug_assert!(results.iter().all(|m| m.lock().unwrap().is_some()));
-        results
-            .iter_mut()
-            .map(|m| {
-                m.get_mut()
-                    .expect("result lock")
-                    .take()
-                    .expect("all jobs completed")
-            })
-            .collect()
+        // Append per-run trace buffers in input order — regardless of
+        // which worker ran which job — then surface the first (by input
+        // order) error, matching serial semantics.
+        let mut reports = Vec::with_capacity(n);
+        for m in &mut results {
+            let (result, trace) = m
+                .get_mut()
+                .expect("result lock")
+                .take()
+                .expect("all jobs completed");
+            kloc_trace::session_append(&trace);
+            reports.push(result);
+        }
+        reports.into_iter().collect()
     }
 }
 

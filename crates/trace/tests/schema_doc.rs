@@ -1,0 +1,71 @@
+//! Diffs the DESIGN.md §7 event-schema table against the compiled-in
+//! [`kloc_trace::SCHEMA`], so the runtime event enum, the rustdoc, and
+//! the prose reference cannot drift apart (an ISSUE acceptance
+//! criterion: every runtime-emitted kind appears in the doc table).
+
+use kloc_trace::{Event, SCHEMA};
+
+/// Parses the fenced schema table out of DESIGN.md: one
+/// `(kind, fields, site)` tuple per row, in document order.
+#[allow(clippy::type_complexity)]
+fn doc_rows() -> Vec<(String, Vec<(String, String)>, String)> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md");
+    let text = std::fs::read_to_string(path).expect("read DESIGN.md");
+    let begin = text
+        .find("<!-- ktrace-schema:begin -->")
+        .expect("DESIGN.md must carry the ktrace-schema:begin marker");
+    let end = text
+        .find("<!-- ktrace-schema:end -->")
+        .expect("DESIGN.md must carry the ktrace-schema:end marker");
+    let mut rows = Vec::new();
+    for line in text[begin..end].lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        // Header and divider rows carry no backticked kind cell.
+        if cells.len() != 3 || !cells[0].starts_with('`') {
+            continue;
+        }
+        let unquote = |s: &str| s.trim_matches('`').to_owned();
+        let fields = cells[1]
+            .split_whitespace()
+            .map(|f| {
+                let f = f.trim_matches('`');
+                let (name, units) = f
+                    .split_once(':')
+                    .unwrap_or_else(|| panic!("field `{f}` is not `name:units`"));
+                (name.to_owned(), units.to_owned())
+            })
+            .collect();
+        rows.push((unquote(cells[0]), fields, unquote(cells[2])));
+    }
+    rows
+}
+
+#[test]
+fn design_doc_schema_matches_compiled_schema() {
+    // The compiled schema itself covers every event kind, in order...
+    let schema_kinds: Vec<&str> = SCHEMA.iter().map(|s| s.kind).collect();
+    assert_eq!(schema_kinds, Event::ALL_KINDS);
+
+    // ...and the DESIGN.md table mirrors it row-for-row,
+    // field-for-field, site-for-site.
+    let rows = doc_rows();
+    assert_eq!(
+        rows.len(),
+        SCHEMA.len(),
+        "DESIGN.md schema table row count != compiled SCHEMA"
+    );
+    for ((kind, fields, site), spec) in rows.iter().zip(SCHEMA) {
+        assert_eq!(kind, spec.kind, "kind order mismatch");
+        let want: Vec<(String, String)> = spec
+            .fields
+            .iter()
+            .map(|(n, u)| ((*n).to_owned(), (*u).to_owned()))
+            .collect();
+        assert_eq!(fields, &want, "fields of `{}` drifted", spec.kind);
+        assert_eq!(site, spec.site, "emission site of `{}` drifted", spec.kind);
+    }
+}

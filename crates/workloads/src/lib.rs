@@ -28,6 +28,8 @@
 //! (the paper's 10 GB/40 GB inputs scaled down ~1024x; shapes are
 //! scale-invariant in the model).
 
+#![warn(missing_docs)]
+
 pub mod cassandra;
 pub mod filebench;
 pub mod interference;

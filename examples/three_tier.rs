@@ -75,11 +75,11 @@ impl KernelHooks for Waterfall {
     fn on_inode_open(&mut self, inode: InodeId, cpu: CpuId, mem: &mut MemorySystem) {
         self.registry.inode_opened(inode, cpu, mem.now());
     }
-    fn on_inode_close(&mut self, inode: InodeId, _mem: &mut MemorySystem) {
-        self.registry.inode_closed(inode);
+    fn on_inode_close(&mut self, inode: InodeId, mem: &mut MemorySystem) {
+        self.registry.inode_closed(inode, mem.now());
     }
-    fn on_inode_destroy(&mut self, inode: InodeId, _mem: &mut MemorySystem) {
-        self.registry.inode_destroyed(inode);
+    fn on_inode_destroy(&mut self, inode: InodeId, mem: &mut MemorySystem) {
+        self.registry.inode_destroyed(inode, mem.now());
     }
     fn on_object_alloc(
         &mut self,

@@ -47,6 +47,8 @@
 //! cargo run --release -p kloc-sim --bin repro -- all --scale large
 //! ```
 
+#![warn(missing_docs)]
+
 pub use kloc_core as core;
 pub use kloc_kernel as kernel;
 pub use kloc_mem as mem;
