@@ -42,6 +42,7 @@ fn bench(c: &mut Criterion) {
                         scenario: OptaneScenario::Interfered { contention: 1.8 },
                     },
                     kernel_params: None,
+                    faults: None,
                 },
                 Box::new(kloc_policy::AutoNumaKloc::new()),
             )
@@ -60,6 +61,7 @@ fn bench(c: &mut Criterion) {
                         scenario: OptaneScenario::Interfered { contention: 1.8 },
                     },
                     kernel_params: None,
+                    faults: None,
                 },
                 Box::new(AutoNuma::new()),
             )

@@ -108,7 +108,7 @@ impl Kmap {
     fn at(&self, slot: u32) -> &Knode {
         self.slots[slot as usize]
             .as_ref()
-            .expect("index entry has knode")
+            .expect("index entry has knode") // lint: unwrap-ok — the index only stores occupied slots
     }
 
     /// Registers a knode (`map_knode` / `add_to_kmap` in Table 2) and
@@ -130,6 +130,7 @@ impl Kmap {
             }
             None => {
                 self.slots.push(Some(knode));
+                // lint: unwrap-ok — slot count is bounded well below 2^32
                 u32::try_from(self.slots.len() - 1).expect("fewer than 2^32 knodes")
             }
         };
@@ -148,7 +149,7 @@ impl Kmap {
         let slot = self.index.remove(&inode)?;
         let knode = self.slots[slot as usize]
             .take()
-            .expect("index entry has knode");
+            .expect("index entry has knode"); // lint: unwrap-ok — the index only stores occupied slots
         self.free.push(slot);
         if knode.inuse() {
             self.active_idx.remove(&inode);
@@ -246,7 +247,7 @@ impl Kmap {
     pub fn active_knodes(&self) -> impl Iterator<Item = &Knode> + '_ {
         self.active_idx.iter().map(|&inode| {
             self.note_examined(1);
-            let slot = self.slot_of(inode).expect("active index entry has knode");
+            let slot = self.slot_of(inode).expect("active index entry has knode"); // lint: unwrap-ok — the active index tracks live knodes
             self.at(slot)
         })
     }
@@ -263,7 +264,7 @@ impl Kmap {
         };
         for &(_, inode) in self.inactive_idx.range(..=(max_stamp, InodeId(u64::MAX))) {
             self.note_examined(1);
-            let slot = self.slot_of(inode).expect("index entry has knode");
+            let slot = self.slot_of(inode).expect("index entry has knode"); // lint: unwrap-ok — the inactive index tracks live knodes
             if self.at(slot).member_count() > 0 {
                 out.push(inode);
             }
@@ -305,7 +306,7 @@ impl Kmap {
             .iter()
             .map(|&(_, inode)| {
                 self.note_examined(1);
-                let slot = self.slot_of(inode).expect("index entry has knode");
+                let slot = self.slot_of(inode).expect("index entry has knode"); // lint: unwrap-ok — the inactive index tracks live knodes
                 (self.at(slot).last_active(), inode)
             })
             .collect();

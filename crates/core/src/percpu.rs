@@ -92,7 +92,7 @@ impl PerCpuKnodeLists {
         let epoch = self.epoch;
         let list = self.list_mut(cpu);
         if let Some(pos) = list.iter().position(|e| e.inode == inode) {
-            let mut e = list.remove(pos).expect("position just found");
+            let mut e = list.remove(pos).expect("position just found"); // lint: unwrap-ok — position() just found the entry
             e.touched_epoch = epoch;
             list.push_front(e);
             self.hits += 1;
@@ -112,7 +112,7 @@ impl PerCpuKnodeLists {
         let epoch = self.epoch;
         let list = self.list_mut(cpu);
         if let Some(pos) = list.iter().position(|e| e.inode == inode) {
-            let mut e = list.remove(pos).expect("position just found");
+            let mut e = list.remove(pos).expect("position just found"); // lint: unwrap-ok — position() just found the entry
             e.touched_epoch = epoch;
             e.slot = slot;
             list.push_front(e);

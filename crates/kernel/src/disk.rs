@@ -34,6 +34,11 @@ pub struct DiskStats {
     pub read_stall: Nanos,
     /// Total time `fsync` callers waited for the queue to drain.
     pub sync_stall: Nanos,
+    /// I/O operations that failed (kfault injection); zero on faultless
+    /// runs.
+    pub io_errors: u64,
+    /// Retries issued by the blk-mq layer after failed operations.
+    pub retries: u64,
 }
 
 /// The storage device.
@@ -80,6 +85,16 @@ impl Disk {
     /// Activity counters.
     pub fn stats(&self) -> &DiskStats {
         &self.stats
+    }
+
+    /// Records a failed I/O operation (kfault injection).
+    pub fn record_io_error(&mut self) {
+        self.stats.io_errors += 1;
+    }
+
+    /// Records a blk-mq retry after a failed operation.
+    pub fn record_retry(&mut self) {
+        self.stats.retries += 1;
     }
 
     /// Virtual time at which all queued writes complete.

@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use kloc_mem::DiskOp;
+
 use crate::obj::ObjectId;
 use crate::vfs::{Fd, InodeId};
 
@@ -26,6 +28,12 @@ pub enum KernelError {
     WouldBlock(Fd),
     /// The memory substrate failed the request.
     Mem(kloc_mem::MemError),
+    /// A disk operation failed and exhausted its retry budget
+    /// (kfault injection).
+    Io(DiskOp),
+    /// The simulated machine crashed (kfault injection): the run ends
+    /// here; recovery replays the journal from the durable store.
+    Crashed,
 }
 
 impl fmt::Display for KernelError {
@@ -39,6 +47,8 @@ impl fmt::Display for KernelError {
             KernelError::WrongKind(i) => write!(f, "operation not valid for inode {i}"),
             KernelError::WouldBlock(fd) => write!(f, "no data ready on {fd}"),
             KernelError::Mem(e) => write!(f, "memory error: {e}"),
+            KernelError::Io(op) => write!(f, "disk {op} failed after retries"),
+            KernelError::Crashed => write!(f, "machine crashed"),
         }
     }
 }

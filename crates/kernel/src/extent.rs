@@ -20,14 +20,12 @@ pub struct ExtentTree {
 }
 
 impl ExtentTree {
-    /// Creates a tree with one extent per `span` bytes.
-    ///
-    /// # Panics
-    /// Panics if `span` is zero.
+    /// Creates a tree with one extent per `span` bytes. Zero (which
+    /// would mean "an extent covers nothing") is clamped to the
+    /// documented minimum of 1 byte per extent.
     pub fn new(span: u64) -> Self {
-        assert!(span > 0, "extent span must be non-zero");
         ExtentTree {
-            span,
+            span: span.max(1),
             extents: BTreeMap::new(),
         }
     }
@@ -119,6 +117,12 @@ mod tests {
         drained.sort();
         assert_eq!(drained, vec![ObjectId(1), ObjectId(2)]);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn zero_span_clamped_to_one_byte() {
+        let t = ExtentTree::new(0);
+        assert_eq!(t.span(), 1, "documented minimum: one byte per extent");
     }
 
     #[test]

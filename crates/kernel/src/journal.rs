@@ -13,6 +13,21 @@
 use crate::obj::ObjectId;
 use crate::vfs::InodeId;
 
+/// The logical metadata effect a journal head records. Replaying the
+/// committed effects against an empty filesystem is how crash recovery
+/// reconstructs metadata (see [`crate::recovery`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaUpdate {
+    /// An inode was created (file, directory, ...).
+    Create,
+    /// The inode's size grew to this many bytes.
+    Size(u64),
+    /// The inode's last path was unlinked.
+    Unlink,
+    /// A metadata touch with no recovery-visible effect.
+    Touch,
+}
+
 /// A journal head pending in the running transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PendingHead {
@@ -20,6 +35,8 @@ pub struct PendingHead {
     pub obj: ObjectId,
     /// Inode whose metadata this head journals, when known.
     pub inode: Option<InodeId>,
+    /// The metadata effect being journaled.
+    pub update: MetaUpdate,
 }
 
 /// Description of a commit the kernel must perform: which heads to free
@@ -44,13 +61,11 @@ pub struct Journal {
 
 impl Journal {
     /// Creates a journal that forces a commit at `txn_max` pending heads.
-    ///
-    /// # Panics
-    /// Panics if `txn_max` is zero.
+    /// Zero (which would mean "commit before anything is pending") is
+    /// clamped to the documented minimum of 1, a commit per head.
     pub fn new(txn_max: usize) -> Self {
-        assert!(txn_max > 0, "transaction size must be non-zero");
         Journal {
-            txn_max,
+            txn_max: txn_max.max(1),
             ..Journal::default()
         }
     }
@@ -70,10 +85,11 @@ impl Journal {
         self.heads_journaled
     }
 
-    /// Adds a head to the running transaction. Returns `true` when the
-    /// transaction is now full and the caller must commit.
-    pub fn add(&mut self, obj: ObjectId, inode: Option<InodeId>) -> bool {
-        self.pending.push(PendingHead { obj, inode });
+    /// Adds a head recording `update` to the running transaction.
+    /// Returns `true` when the transaction is now full and the caller
+    /// must commit.
+    pub fn add(&mut self, obj: ObjectId, inode: Option<InodeId>, update: MetaUpdate) -> bool {
+        self.pending.push(PendingHead { obj, inode, update });
         self.heads_journaled += 1;
         self.pending.len() >= self.txn_max
     }
@@ -97,12 +113,16 @@ mod tests {
     #[test]
     fn commit_signals_at_txn_max() {
         let mut j = Journal::new(3);
-        assert!(!j.add(ObjectId(1), None));
-        assert!(!j.add(ObjectId(2), Some(InodeId(9))));
-        assert!(j.add(ObjectId(3), None), "third head fills the txn");
+        assert!(!j.add(ObjectId(1), None, MetaUpdate::Touch));
+        assert!(!j.add(ObjectId(2), Some(InodeId(9)), MetaUpdate::Create));
+        assert!(
+            j.add(ObjectId(3), None, MetaUpdate::Touch),
+            "third head fills the txn"
+        );
         let spec = j.commit().unwrap();
         assert_eq!(spec.heads.len(), 3);
         assert_eq!(spec.blocks, 2, "minimum two blocks");
+        assert_eq!(spec.heads[1].update, MetaUpdate::Create);
         assert_eq!(j.pending(), 0);
         assert_eq!(j.commits(), 1);
     }
@@ -118,7 +138,7 @@ mod tests {
     fn blocks_scale_with_heads() {
         let mut j = Journal::new(100);
         for i in 0..33 {
-            j.add(ObjectId(i), None);
+            j.add(ObjectId(i), None, MetaUpdate::Touch);
         }
         let spec = j.commit().unwrap();
         assert_eq!(spec.blocks, 5, "ceil(33/8) = 5");
@@ -126,8 +146,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-zero")]
-    fn zero_txn_rejected() {
-        Journal::new(0);
+    fn zero_txn_clamped_to_commit_per_head() {
+        let mut j = Journal::new(0);
+        assert!(
+            j.add(ObjectId(1), None, MetaUpdate::Touch),
+            "clamped txn_max of 1 commits after every head"
+        );
     }
 }

@@ -16,20 +16,21 @@
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
-use kloc_mem::{FrameId, PageKind};
+use kloc_mem::{DiskOp, FrameId, PageKind};
 
 use crate::block::BlockLayer;
 use crate::disk::{Disk, IoPattern};
 use crate::error::KernelError;
 use crate::extent::ExtentTree;
 use crate::hooks::{Ctx, PageRequest};
-use crate::journal::Journal;
+use crate::journal::{Journal, MetaUpdate};
 use crate::lru::{List, PageLru};
 use crate::net::{NetStats, Packet, RxQueue};
 use crate::obj::{Backing, KernelObjectType, ObjectId, ObjectInfo, ObjectTable};
 use crate::pagecache::PageCache;
 use crate::params::KernelParams;
 use crate::readahead::Readahead;
+use crate::recovery::{DurableStore, JournalRecord, Promise};
 use crate::slab::PackedAllocator;
 use crate::stats::{KernelStats, Syscall};
 use crate::vfs::{Fd, Inode, InodeId, InodeKind, Vfs};
@@ -57,6 +58,10 @@ pub struct Kernel {
     dirty_list: VecDeque<(InodeId, u64)>,
     /// Frames brought in by readahead, awaiting first real use.
     prefetched: HashSet<FrameId>,
+    /// What has actually reached the disk (crash-recovery model).
+    durable: DurableStore,
+    /// What successful `fsync` calls have promised is durable.
+    promise: Promise,
     stats: KernelStats,
     net_stats: NetStats,
 }
@@ -84,6 +89,8 @@ impl Kernel {
             dirty_pages: 0,
             dirty_list: VecDeque::new(),
             prefetched: HashSet::new(),
+            durable: DurableStore::default(),
+            promise: Promise::default(),
             stats: KernelStats::default(),
             net_stats: NetStats::default(),
             params,
@@ -143,6 +150,56 @@ impl Kernel {
     /// Globally dirty pages.
     pub fn dirty_pages(&self) -> u64 {
         self.dirty_pages
+    }
+
+    /// What has reached the disk: data-page versions and journal
+    /// records. Feed to [`crate::recovery::recover`] after a simulated
+    /// crash.
+    pub fn durable(&self) -> &DurableStore {
+        &self.durable
+    }
+
+    /// The fsync oracle: what successful `fsync` calls promised. Feed
+    /// to [`crate::recovery::check`] alongside the recovered state.
+    pub fn promise(&self) -> &Promise {
+        &self.promise
+    }
+
+    /// Aborts the syscall with [`KernelError::Crashed`] when a
+    /// time-scheduled crash fault is due (no-op without faults).
+    fn crash_check(&mut self, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
+        if ctx.mem.fault_crash_due() {
+            return Err(KernelError::Crashed);
+        }
+        Ok(())
+    }
+
+    /// blk-mq error handling: consumes any injected fault for `op`,
+    /// retrying with bounded exponential backoff charged to the virtual
+    /// clock. Errors out with [`KernelError::Io`] once
+    /// [`KernelParams::io_max_retries`] is exceeded. On the faultless
+    /// path this is a single cheap check.
+    fn disk_retry(&mut self, ctx: &mut Ctx<'_>, op: DiskOp) -> Result<(), KernelError> {
+        let mut attempt: u32 = 0;
+        while ctx.mem.fault_take_disk(op) {
+            self.disk.record_io_error();
+            attempt += 1;
+            if attempt > self.params.io_max_retries {
+                return Err(KernelError::Io(op));
+            }
+            let backoff =
+                (self.params.io_retry_base * (1u64 << (attempt - 1))).min(self.params.io_retry_cap);
+            ctx.mem.charge(backoff);
+            self.disk.record_retry();
+            let t = ctx.mem.now().as_nanos();
+            kloc_trace::emit(|| kloc_trace::Event::Retry {
+                t,
+                op: op.label().to_string(),
+                attempt: u64::from(attempt),
+                backoff: backoff.as_nanos(),
+            });
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -276,10 +333,11 @@ impl Kernel {
         &mut self,
         ctx: &mut Ctx<'_>,
         inode: Option<InodeId>,
+        update: MetaUpdate,
     ) -> Result<(), KernelError> {
         let head = self.alloc_object(ctx, KernelObjectType::JournalHead, inode, false)?;
         self.access_object(ctx, head, KernelObjectType::JournalHead.size(), true)?;
-        if self.journal.add(head, inode) {
+        if self.journal.add(head, inode, update) {
             self.commit_journal(ctx)?;
         }
         Ok(())
@@ -293,17 +351,41 @@ impl Kernel {
         };
         let _attrib = kloc_trace::scope("journal");
         let head_count = spec.heads.len() as u64;
+        let updates: Vec<(InodeId, MetaUpdate)> = spec
+            .heads
+            .iter()
+            .filter_map(|h| h.inode.map(|i| (i, h.update)))
+            .collect();
+        let blocks_total = spec.blocks as u32;
+        // Scheduled crash at this commit ordinal: only the first
+        // `after` journal blocks become durable (0 = clean boundary,
+        // more = a torn record) and the machine dies.
+        let commit_idx = self.durable.journal.len() as u64;
+        if let Some(after) = ctx.mem.fault_crash_at_commit(commit_idx) {
+            self.durable.journal.push(JournalRecord {
+                updates,
+                blocks_total,
+                blocks_written: after.min(blocks_total),
+            });
+            return Err(KernelError::Crashed);
+        }
         let mut blocks = Vec::with_capacity(spec.blocks);
         for _ in 0..spec.blocks {
             let b = self.alloc_object(ctx, KernelObjectType::JournalBlock, None, false)?;
             self.access_object(ctx, b, kloc_mem::PAGE_SIZE, true)?;
             blocks.push(b);
         }
+        self.disk_retry(ctx, DiskOp::Write)?;
         self.disk.submit_write(
             ctx.mem.now(),
             spec.blocks as u64 * kloc_mem::PAGE_SIZE,
             IoPattern::Sequential,
         );
+        self.durable.journal.push(JournalRecord {
+            updates,
+            blocks_total,
+            blocks_written: blocks_total,
+        });
         let t = ctx.mem.now().as_nanos();
         kloc_trace::emit(|| kloc_trace::Event::JournalCommit {
             t,
@@ -331,6 +413,7 @@ impl Kernel {
         self.stats.on_syscall(Syscall::Create);
         ctx.mem.charge(self.params.syscall_base);
         let _attrib = kloc_trace::scope("create");
+        self.crash_check(ctx)?;
         if self.vfs.lookup_path(path).is_some() {
             return Err(KernelError::Exists(path.to_owned()));
         }
@@ -341,7 +424,7 @@ impl Kernel {
         self.access_object(ctx, inode_obj, KernelObjectType::Inode.size(), true)?;
         let dentry_obj = self.alloc_object(ctx, KernelObjectType::Dentry, Some(ino), false)?;
         self.access_object(ctx, dentry_obj, KernelObjectType::Dentry.size(), true)?;
-        self.journal_add(ctx, Some(ino))?;
+        self.journal_add(ctx, Some(ino), MetaUpdate::Create)?;
 
         let inode = Inode {
             id: ino,
@@ -374,6 +457,7 @@ impl Kernel {
         self.stats.on_syscall(Syscall::Open);
         ctx.mem.charge(self.params.syscall_base);
         let _attrib = kloc_trace::scope("open");
+        self.crash_check(ctx)?;
         let ino = self
             .vfs
             .lookup_path(path)
@@ -393,6 +477,7 @@ impl Kernel {
             None => {
                 // Cold lookup: read the directory block, repopulate.
                 self.stats.dentry_misses += 1;
+                self.disk_retry(ctx, DiskOp::Read)?;
                 let stall =
                     self.disk
                         .read_sync(ctx.mem.now(), kloc_mem::PAGE_SIZE, IoPattern::Random);
@@ -443,6 +528,7 @@ impl Kernel {
         self.stats.on_syscall(Syscall::Write);
         ctx.mem.charge(self.params.syscall_base);
         let _attrib = kloc_trace::scope("write");
+        self.crash_check(ctx)?;
         let (ino, file_obj) = self.resolve(fd)?;
         self.access_object(ctx, file_obj, 64, false)?;
         if len == 0 {
@@ -484,7 +570,7 @@ impl Kernel {
                 .ok_or(KernelError::BadInode(ino))?
                 .inode_obj;
             self.access_object(ctx, inode_obj, KernelObjectType::Inode.size(), true)?;
-            self.journal_add(ctx, Some(ino))?;
+            self.journal_add(ctx, Some(ino), MetaUpdate::Size(new_size))?;
             self.vfs
                 .inode_mut(ino)
                 .ok_or(KernelError::BadInode(ino))?
@@ -572,7 +658,7 @@ impl Kernel {
                     .ok_or(KernelError::BadInode(ino))?
                     .cache
                     .get(idx)
-                    .expect("just inserted")
+                    .expect("just inserted") // lint: unwrap-ok — inserted into the cache just above
                     .frame;
                 ctx.mem.write_from(ctx.socket, frame, bytes);
             }
@@ -607,7 +693,7 @@ impl Kernel {
                 .install_node(idx, n);
         }
         let obj = self.alloc_object(ctx, KernelObjectType::PageCache, Some(ino), readahead)?;
-        let frame = self.objects.get(obj).expect("just allocated").frame;
+        let frame = self.objects.get(obj).expect("just allocated").frame; // lint: unwrap-ok — alloc_object just created it
         self.vfs
             .inode_mut(ino)
             .ok_or(KernelError::BadInode(ino))?
@@ -646,6 +732,7 @@ impl Kernel {
         self.stats.on_syscall(Syscall::Read);
         ctx.mem.charge(self.params.syscall_base);
         let _attrib = kloc_trace::scope("read");
+        self.crash_check(ctx)?;
         let (ino, file_obj) = self.resolve(fd)?;
         self.access_object(ctx, file_obj, 64, false)?;
         let size = {
@@ -724,6 +811,7 @@ impl Kernel {
                 // Major fault: synchronous disk read.
                 self.stats.cache_misses += 1;
                 kloc_trace::with_counters(|c| c.pc_misses += 1);
+                self.disk_retry(ctx, DiskOp::Read)?;
                 let stall =
                     self.disk
                         .read_sync(ctx.mem.now(), kloc_mem::PAGE_SIZE, IoPattern::Random);
@@ -765,6 +853,7 @@ impl Kernel {
                 continue;
             }
             let frame = self.insert_cache_page(ctx, ino, idx, false, true)?;
+            self.disk_retry(ctx, DiskOp::Read)?;
             self.disk
                 .submit_read(ctx.mem.now(), kloc_mem::PAGE_SIZE, IoPattern::Sequential);
             self.prefetched.insert(frame);
@@ -783,6 +872,7 @@ impl Kernel {
         self.stats.on_syscall(Syscall::Fsync);
         ctx.mem.charge(self.params.syscall_base);
         let _attrib = kloc_trace::scope("fsync");
+        self.crash_check(ctx)?;
         let (ino, _) = self.resolve(fd)?;
         let dirty = {
             let inode = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?;
@@ -790,8 +880,22 @@ impl Kernel {
         };
         self.flush_pages(ctx, ino, &dirty)?;
         self.commit_journal(ctx)?;
+        self.disk_retry(ctx, DiskOp::Fsync)?;
         let stall = self.disk.drain(ctx.mem.now());
         ctx.mem.charge(stall);
+        // The drain succeeded: everything this inode submitted plus
+        // every complete journal record becomes a durability promise
+        // the crash checker enforces after any later crash.
+        for (&key, &version) in self.durable.pages.range((ino, 0)..=(ino, u64::MAX)) {
+            let slot = self.promise.pages.entry(key).or_insert(0);
+            *slot = (*slot).max(version);
+        }
+        self.promise.committed_records = self
+            .durable
+            .journal
+            .iter()
+            .filter(|r| r.is_complete())
+            .count();
         Ok(())
     }
 
@@ -856,6 +960,10 @@ impl Kernel {
                 ctx.mem.read(page.frame, kloc_mem::PAGE_SIZE);
                 let inode = self.vfs.inode_mut(ino).ok_or(KernelError::BadInode(ino))?;
                 inode.cache.mark_clean(idx);
+                // Submitted pages are durable at this version (the
+                // device queue drains in bounded time; only journal
+                // commits can tear).
+                self.durable.record_page(ino, idx, page.version);
                 self.dirty_pages -= 1;
                 pages_in_bio += 1;
             }
@@ -866,6 +974,7 @@ impl Kernel {
             self.access_object(ctx, bio, KernelObjectType::Bio.size(), true)?;
             let req = self.alloc_object(ctx, KernelObjectType::BlkMqRequest, Some(ino), false)?;
             self.access_object(ctx, req, KernelObjectType::BlkMqRequest.size(), true)?;
+            self.disk_retry(ctx, DiskOp::Write)?;
             self.disk.submit_write(
                 ctx.mem.now(),
                 pages_in_bio as u64 * kloc_mem::PAGE_SIZE,
@@ -964,6 +1073,7 @@ impl Kernel {
         self.stats.on_syscall(Syscall::Close);
         ctx.mem.charge(self.params.syscall_base);
         let _attrib = kloc_trace::scope("close");
+        self.crash_check(ctx)?;
         let of = self.vfs.close_fd(fd).ok_or(KernelError::BadFd(fd))?;
         self.free_object(ctx, of.file_obj)?;
         let ino = of.inode;
@@ -988,11 +1098,12 @@ impl Kernel {
         self.stats.on_syscall(Syscall::Unlink);
         ctx.mem.charge(self.params.syscall_base);
         let _attrib = kloc_trace::scope("unlink");
+        self.crash_check(ctx)?;
         let ino = self
             .vfs
             .unbind_path(path)
             .ok_or_else(|| KernelError::NoEntry(path.to_owned()))?;
-        self.journal_add(ctx, Some(ino))?;
+        self.journal_add(ctx, Some(ino), MetaUpdate::Unlink)?;
         let open_count = {
             let inode = self.vfs.inode_mut(ino).ok_or(KernelError::BadInode(ino))?;
             inode.nlink = 0;
@@ -1048,6 +1159,7 @@ impl Kernel {
         self.stats.on_syscall(Syscall::Mkdir);
         ctx.mem.charge(self.params.syscall_base);
         let _attrib = kloc_trace::scope("mkdir");
+        self.crash_check(ctx)?;
         if self.vfs.lookup_path(path).is_some() {
             return Err(KernelError::Exists(path.to_owned()));
         }
@@ -1057,7 +1169,7 @@ impl Kernel {
         self.access_object(ctx, inode_obj, KernelObjectType::Inode.size(), true)?;
         let dentry_obj = self.alloc_object(ctx, KernelObjectType::Dentry, Some(ino), false)?;
         self.access_object(ctx, dentry_obj, KernelObjectType::Dentry.size(), true)?;
-        self.journal_add(ctx, Some(ino))?;
+        self.journal_add(ctx, Some(ino), MetaUpdate::Create)?;
         let inode = Inode {
             id: ino,
             kind: InodeKind::Directory,
@@ -1096,6 +1208,7 @@ impl Kernel {
         self.stats.on_syscall(Syscall::Readdir);
         ctx.mem.charge(self.params.syscall_base);
         let _attrib = kloc_trace::scope("readdir");
+        self.crash_check(ctx)?;
         let ino = self
             .vfs
             .lookup_path(path)
@@ -1136,6 +1249,7 @@ impl Kernel {
         self.stats.on_syscall(Syscall::Socket);
         ctx.mem.charge(self.params.syscall_base);
         let _attrib = kloc_trace::scope("socket");
+        self.crash_check(ctx)?;
         let ino = self.vfs.next_inode_id();
         ctx.hooks.on_inode_create(ino, ctx.cpu, ctx.mem);
         let inode_obj = self.alloc_object(ctx, KernelObjectType::Inode, Some(ino), false)?;
@@ -1170,6 +1284,7 @@ impl Kernel {
         self.stats.on_syscall(Syscall::Send);
         ctx.mem.charge(self.params.syscall_base);
         let _attrib = kloc_trace::scope("send");
+        self.crash_check(ctx)?;
         let (ino, _) = self.resolve(fd)?;
         let (kind, sock_obj) = {
             let inode = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?;
@@ -1236,7 +1351,7 @@ impl Kernel {
             let rx = self.alloc_object(ctx, KernelObjectType::RxBuf, alloc_inode, false)?;
             // DMA fill: the NIC writes a whole ring buffer page.
             ctx.mem.write(
-                self.objects.get(rx).expect("just allocated").frame,
+                self.objects.get(rx).expect("just allocated").frame, // lint: unwrap-ok — alloc_object just created it
                 kloc_mem::PAGE_SIZE,
             );
             let skb = self.alloc_object(ctx, KernelObjectType::SkBuff, alloc_inode, false)?;
@@ -1291,6 +1406,7 @@ impl Kernel {
         self.stats.on_syscall(Syscall::Recv);
         ctx.mem.charge(self.params.syscall_base);
         let _attrib = kloc_trace::scope("recv");
+        self.crash_check(ctx)?;
         let (ino, _) = self.resolve(fd)?;
         {
             let inode = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?;

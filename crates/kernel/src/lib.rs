@@ -62,13 +62,16 @@ pub mod obj;
 pub mod pagecache;
 pub mod params;
 pub mod readahead;
+pub mod recovery;
 pub mod slab;
 pub mod stats;
 pub mod vfs;
 
 pub use error::KernelError;
+pub use journal::MetaUpdate;
 pub use kernel::Kernel;
 pub use obj::{Backing, KernelObjectType, ObjectId, ObjectInfo};
 pub use params::KernelParams;
+pub use recovery::{check, recover, CrashViolation, DurableStore, Promise, RecoveredState};
 pub use stats::KernelStats;
 pub use vfs::{Fd, InodeId, InodeKind};

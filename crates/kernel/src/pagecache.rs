@@ -25,6 +25,11 @@ pub struct CachedPage {
     pub frame: FrameId,
     /// Whether the page has unwritten (dirty) data.
     pub dirty: bool,
+    /// Monotone content version: bumped on every dirtying write, so the
+    /// crash checker can compare what reached disk against what an
+    /// `fsync` promised (a page flushed at version 3 then promised at
+    /// version 3 must recover at version >= 3).
+    pub version: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -54,13 +59,11 @@ pub struct PageCache {
 
 impl PageCache {
     /// Creates a cache whose radix nodes each cover `fanout` page indices.
-    ///
-    /// # Panics
-    /// Panics if `fanout` is zero.
+    /// Zero (a node that covers nothing) is clamped to the documented
+    /// minimum of 1, one node per page.
     pub fn new(fanout: u64) -> Self {
-        assert!(fanout > 0, "radix fanout must be non-zero");
         PageCache {
-            fanout,
+            fanout: fanout.max(1),
             ..PageCache::default()
         }
     }
@@ -128,8 +131,16 @@ impl PageCache {
         let c = self
             .chunks
             .get_mut(&chunk)
-            .expect("insert before install_node");
-        let prev = self.pages.insert(idx, CachedPage { obj, frame, dirty });
+            .expect("insert before install_node"); // lint: unwrap-ok — install_node requires a prior insert
+        let prev = self.pages.insert(
+            idx,
+            CachedPage {
+                obj,
+                frame,
+                dirty,
+                version: u64::from(dirty),
+            },
+        );
         assert!(prev.is_none(), "page {idx} already cached");
         c.pages += 1;
         if dirty {
@@ -142,8 +153,9 @@ impl PageCache {
         self.pages.get(&idx)
     }
 
-    /// Marks a page dirty (no-op if already dirty). Returns whether the
-    /// page exists.
+    /// Marks a page dirty, advancing its content version (every call is
+    /// one more write the crash checker can account for). Returns
+    /// whether the page exists.
     pub fn mark_dirty(&mut self, idx: u64) -> bool {
         match self.pages.get_mut(&idx) {
             Some(p) => {
@@ -151,6 +163,7 @@ impl PageCache {
                     p.dirty = true;
                     self.dirty += 1;
                 }
+                p.version += 1;
                 true
             }
             None => false,
@@ -178,7 +191,7 @@ impl PageCache {
             self.dirty -= 1;
         }
         let chunk = self.chunk_of(idx);
-        let c = self.chunks.get_mut(&chunk).expect("page without chunk");
+        let c = self.chunks.get_mut(&chunk).expect("page without chunk"); // lint: unwrap-ok — every cached page has its chunk
         c.pages -= 1;
         let freed_node = if c.pages == 0 {
             let node = c.node_obj;
@@ -236,6 +249,29 @@ mod tests {
         pc.insert(0, o, f, false);
         assert_eq!(pc.node_for(0), Some(ObjectId(900)));
         assert_eq!(pc.node_count(), 1);
+    }
+
+    #[test]
+    fn zero_fanout_clamped() {
+        let pc = PageCache::new(0);
+        assert_eq!(pc.fanout(), 1, "clamped to one page per node");
+    }
+
+    #[test]
+    fn versions_advance_per_dirtying_write() {
+        let mut pc = PageCache::new(64);
+        pc.install_node(0, ObjectId(900));
+        let (o, f) = page(1);
+        pc.insert(0, o, f, false);
+        assert_eq!(pc.get(0).unwrap().version, 0, "clean fill");
+        pc.mark_dirty(0);
+        pc.mark_dirty(0);
+        assert_eq!(pc.get(0).unwrap().version, 2, "every write counts");
+        pc.mark_clean(0);
+        assert_eq!(pc.get(0).unwrap().version, 2, "flush preserves version");
+        let (o1, f1) = page(2);
+        pc.insert(1, o1, f1, true);
+        assert_eq!(pc.get(1).unwrap().version, 1, "dirty insert is write one");
     }
 
     #[test]

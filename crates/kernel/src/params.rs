@@ -56,6 +56,13 @@ pub struct KernelParams {
     pub packet_bytes: u64,
     /// Readahead: maximum prefetch window in pages.
     pub readahead_max: u64,
+    /// blk-mq: maximum retries of a failed disk operation before the
+    /// error surfaces as [`crate::KernelError::Io`].
+    pub io_max_retries: u32,
+    /// blk-mq: backoff before the first retry; doubles per attempt.
+    pub io_retry_base: Nanos,
+    /// blk-mq: ceiling on the per-attempt retry backoff.
+    pub io_retry_cap: Nanos,
     /// Back application memory with transparent huge pages (paper §5:
     /// "KLOCs should provide higher performance gains with THP, although
     /// this hypothesis needs to be tested in future studies" — the THP
@@ -84,6 +91,9 @@ impl Default for KernelParams {
             net_early_demux_saving: Nanos::new(250),
             packet_bytes: 1448,
             readahead_max: 32,
+            io_max_retries: 5,
+            io_retry_base: Nanos::from_micros(50),
+            io_retry_cap: Nanos::from_micros(400),
             thp_app: false,
         }
     }
@@ -115,6 +125,15 @@ mod tests {
         let p = KernelParams::default();
         assert!(p.kvma_alloc_cpu > p.slab_alloc_cpu);
         assert!(p.kvma_alloc_cpu.as_nanos() < 3 * p.slab_alloc_cpu.as_nanos());
+    }
+
+    #[test]
+    fn retry_backoff_stays_bounded() {
+        let p = KernelParams::default();
+        // Even the last retry's doubled backoff respects the cap.
+        let worst = p.io_retry_base * (1 << (p.io_max_retries - 1));
+        assert!(p.io_retry_cap < worst, "cap actually binds");
+        assert!(p.io_retry_cap >= p.io_retry_base);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Error-path coverage for the syscall facade: every user-facing
+//! `KernelError` variant is produced through the public API (or, where
+//! the facade guards make a variant unreachable from outside,
+//! constructed directly) and asserted — including `MemError`
+//! propagation from the memory substrate.
+
+use kloc_kernel::hooks::{Ctx, KernelHooks, NullHooks, PageRequest, Placement};
+use kloc_kernel::{Fd, InodeId, Kernel, KernelError, KernelParams};
+use kloc_mem::{MemorySystem, TierId, PAGE_SIZE};
+
+fn machine() -> (MemorySystem, NullHooks, Kernel) {
+    (
+        MemorySystem::two_tier(1024 * PAGE_SIZE, 8),
+        NullHooks::fast_first(),
+        Kernel::new(KernelParams::default()),
+    )
+}
+
+#[test]
+fn recv_on_empty_socket_would_block() {
+    let (mut mem, mut hooks, mut k) = machine();
+    let mut ctx = Ctx::new(&mut mem, &mut hooks);
+    let fd = k.socket(&mut ctx).unwrap();
+    assert_eq!(k.recv(&mut ctx, fd, 64), Err(KernelError::WouldBlock(fd)));
+    // A delivery unblocks it.
+    k.deliver(&mut ctx, fd, 100).unwrap();
+    assert_eq!(k.recv(&mut ctx, fd, 1000), Ok(100));
+}
+
+#[test]
+fn closed_and_never_opened_descriptors_are_bad_fds() {
+    let (mut mem, mut hooks, mut k) = machine();
+    let mut ctx = Ctx::new(&mut mem, &mut hooks);
+    let fd = k.create(&mut ctx, "/f").unwrap();
+    k.close(&mut ctx, fd).unwrap();
+    assert_eq!(k.write(&mut ctx, fd, 0, 16), Err(KernelError::BadFd(fd)));
+    assert_eq!(k.close(&mut ctx, fd), Err(KernelError::BadFd(fd)));
+    let never = Fd(9999);
+    assert_eq!(
+        k.read(&mut ctx, never, 0, 16),
+        Err(KernelError::BadFd(never))
+    );
+    assert_eq!(k.fsync(&mut ctx, never), Err(KernelError::BadFd(never)));
+}
+
+#[test]
+fn bad_inode_reports_the_offending_id() {
+    // The facade resolves inodes through fds and paths, so a dangling
+    // InodeId cannot be fabricated from outside; the variant itself is
+    // the kernel's internal-consistency error. Assert its shape and
+    // message directly.
+    let e = KernelError::BadInode(InodeId(42));
+    assert!(matches!(e, KernelError::BadInode(InodeId(42))));
+    assert_eq!(e.to_string(), format!("unknown inode {}", InodeId(42)));
+}
+
+#[test]
+fn kind_mismatches_are_rejected_both_ways() {
+    let (mut mem, mut hooks, mut k) = machine();
+    let mut ctx = Ctx::new(&mut mem, &mut hooks);
+    let sock = k.socket(&mut ctx).unwrap();
+    assert!(matches!(
+        k.read(&mut ctx, sock, 0, 16),
+        Err(KernelError::WrongKind(_))
+    ));
+    assert!(matches!(
+        k.write(&mut ctx, sock, 0, 16),
+        Err(KernelError::WrongKind(_))
+    ));
+    let file = k.create(&mut ctx, "/f").unwrap();
+    assert!(matches!(
+        k.send(&mut ctx, file, 16),
+        Err(KernelError::WrongKind(_))
+    ));
+    assert!(matches!(
+        k.recv(&mut ctx, file, 16),
+        Err(KernelError::WrongKind(_))
+    ));
+}
+
+/// Pins every page to the fast tier with no spill, so exhausting it
+/// surfaces the substrate's error through the syscall facade.
+struct FastOnly;
+
+impl KernelHooks for FastOnly {
+    fn place_page(&mut self, _req: &PageRequest, _mem: &MemorySystem) -> Placement {
+        Placement::only(TierId::FAST)
+    }
+}
+
+#[test]
+fn mem_errors_propagate_through_the_syscall_facade() {
+    // 8 fast frames, nothing else allowed: a large write must fail with
+    // a wrapped MemError once the tier fills.
+    let mut mem = MemorySystem::two_tier(8 * PAGE_SIZE, 8);
+    let mut hooks = FastOnly;
+    let mut k = Kernel::new(KernelParams::default());
+    let mut ctx = Ctx::new(&mut mem, &mut hooks);
+    let fd = k.create(&mut ctx, "/big").unwrap();
+    let err = k
+        .write(&mut ctx, fd, 0, 64 * PAGE_SIZE)
+        .expect_err("8-frame tier cannot hold a 64-page write");
+    assert!(matches!(err, KernelError::Mem(_)), "got {err:?}");
+    assert!(
+        std::error::Error::source(&err).is_some(),
+        "source is the MemError"
+    );
+}

@@ -18,10 +18,14 @@
 //! | KL002 | no wall clock / randomness / `std::env` in simulation crates |
 //! | KL003 | no thread spawning in simulation crates (`kloc-sim` is the only sanctioned concurrency site) |
 //! | KL004 | no truncating `as` casts on id/epoch-like values (use `From`/`try_from`) |
+//! | KL005 | no `.unwrap()`/`.expect(..)` in simulation-crate non-test code (propagate the error) |
 //!
-//! KL002/KL003 apply only to the simulation crates (`mem`, `kernel`,
-//! `core`, `policy`, `workloads`); the `kloc-sim` harness legitimately
-//! reads CLI args and wall-clock time and spawns its sweep threads.
+//! KL002/KL003/KL005 apply only to the simulation crates (`mem`,
+//! `kernel`, `core`, `policy`, `workloads`); the `kloc-sim` harness
+//! legitimately reads CLI args and wall-clock time and spawns its sweep
+//! threads. KL005 additionally exempts everything from the first
+//! `#[cfg(test)]` line to the end of the file (this workspace keeps its
+//! unit tests in a trailing `mod tests`), since tests unwrap freely.
 //!
 //! # Justification comments
 //!
@@ -32,7 +36,9 @@
 //!   (KL001);
 //! * `// lint: truncation-ok` — the truncation is the documented
 //!   semantics (KL004, e.g. `FrameId::slot` extracting the low bits);
-//! * `// lint: nondet-ok` — sanctioned ambient authority (KL002/KL003).
+//! * `// lint: nondet-ok` — sanctioned ambient authority (KL002/KL003);
+//! * `// lint: unwrap-ok` — the value is provably present at this site
+//!   (KL005, e.g. a lookup guarded by the line above; say why).
 //!
 //! Appending `(file)` (e.g. `// lint: ordered-ok(file)`) silences the
 //! rule for the whole file. The pragma `// lint: treat-as-sim-crate`
@@ -78,6 +84,8 @@ pub const RULE_NONDET_API: &str = "KL002";
 pub const RULE_THREAD_SPAWN: &str = "KL003";
 /// Rule id: truncating cast on an id/epoch-like value.
 pub const RULE_TRUNCATING_CAST: &str = "KL004";
+/// Rule id: `.unwrap()`/`.expect(..)` in sim-crate non-test code.
+pub const RULE_UNWRAP: &str = "KL005";
 
 /// Iterator-yielding methods that expose hash order.
 const ITER_METHODS: &[&str] = &[
@@ -291,27 +299,33 @@ fn path_ending_at(line: &[char], end: usize) -> String {
 /// Per-file allow state parsed from justification comments.
 struct Allows {
     /// rule token -> file-wide allow.
-    file_wide: [bool; 3],
+    file_wide: [bool; 4],
     /// rule token -> lines (1-based) on which the rule is allowed.
-    lines: [BTreeSet<usize>; 3],
+    lines: [BTreeSet<usize>; 4],
     treat_as_sim: bool,
 }
 
-const ALLOW_TOKENS: [&str; 3] = ["ordered-ok", "nondet-ok", "truncation-ok"];
+const ALLOW_TOKENS: [&str; 4] = ["ordered-ok", "nondet-ok", "truncation-ok", "unwrap-ok"];
 
 fn allow_slot(rule: &str) -> usize {
     match rule {
         RULE_UNORDERED_ITER => 0,
         RULE_NONDET_API | RULE_THREAD_SPAWN => 1,
         RULE_TRUNCATING_CAST => 2,
+        RULE_UNWRAP => 3,
         _ => unreachable!("unknown rule"),
     }
 }
 
 fn parse_allows(source: &str) -> Allows {
     let mut allows = Allows {
-        file_wide: [false; 3],
-        lines: [BTreeSet::new(), BTreeSet::new(), BTreeSet::new()],
+        file_wide: [false; 4],
+        lines: [
+            BTreeSet::new(),
+            BTreeSet::new(),
+            BTreeSet::new(),
+            BTreeSet::new(),
+        ],
         treat_as_sim: false,
     };
     for (idx, line) in source.lines().enumerate() {
@@ -382,6 +396,7 @@ fn hash_collection_names(clean_lines: &[Vec<char>]) -> BTreeSet<String> {
                 if let Some(colon) = found_colon {
                     let name = path_ending_at(line, colon);
                     let last = name.rsplit('.').next().unwrap_or("");
+                    // lint: unwrap-ok — guarded by !last.is_empty()
                     if !last.is_empty() && !last.chars().next().unwrap().is_numeric() {
                         names.insert(last.to_owned());
                     }
@@ -395,6 +410,7 @@ fn hash_collection_names(clean_lines: &[Vec<char>]) -> BTreeSet<String> {
                 if j > 0 && line[j - 1] == '=' && !(j >= 2 && matches!(line[j - 2], '=' | '!')) {
                     let name = path_ending_at(line, j - 1);
                     let last = name.rsplit('.').next().unwrap_or("");
+                    // lint: unwrap-ok — guarded by !last.is_empty()
                     if !last.is_empty() && !last.chars().next().unwrap().is_numeric() {
                         names.insert(last.to_owned());
                     }
@@ -506,6 +522,43 @@ pub fn lint_source(file: &str, source: &str, sim_crate: bool) -> Vec<Diagnostic>
         }
     }
 
+    // KL005: unwrap/expect in sim-crate non-test code. The scanner sees
+    // tokens, not types, so it flags every `.unwrap()`/`.expect(` —
+    // provably-infallible sites carry a `// lint: unwrap-ok` reason.
+    // Everything from the first `#[cfg(test)]` on is exempt (this
+    // workspace keeps unit tests in a trailing `mod tests`).
+    if sim_crate {
+        let test_boundary = clean_lines
+            .iter()
+            .position(|l| {
+                let text: String = l.iter().collect();
+                text.contains("#[cfg(test)]")
+            })
+            .unwrap_or(clean_lines.len());
+        for (idx, line) in clean_lines.iter().enumerate().take(test_boundary) {
+            let lineno = idx + 1;
+            for method in ["unwrap", "expect"] {
+                for pos in word_positions(line, method) {
+                    let after = pos + method.len();
+                    if pos == 0 || line[pos - 1] != '.' {
+                        continue; // not a method call (e.g. `fn unwrap`)
+                    }
+                    if after >= line.len() || line[after] != '(' {
+                        continue; // `.expect` split across lines: rare, skip
+                    }
+                    push(
+                        RULE_UNWRAP,
+                        lineno,
+                        format!(
+                            "`.{method}(..)` in a simulation crate can panic mid-run; \
+                             propagate the error or justify with `// lint: unwrap-ok`"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
     // KL004: truncating casts on id/epoch-like values.
     for (idx, line) in clean_lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -546,6 +599,14 @@ pub fn lint_source(file: &str, source: &str, sim_crate: bool) -> Vec<Diagnostic>
 
     out.sort();
     out
+}
+
+/// Whether a workspace-relative path is test-only code (an integration
+/// `tests/` tree or a `benches/` tree): exempt from KL005, which
+/// targets code that runs inside simulations.
+pub fn is_test_path(rel: &Path) -> bool {
+    rel.components()
+        .any(|c| matches!(c.as_os_str().to_str(), Some("tests" | "benches")))
 }
 
 /// Whether a workspace-relative path belongs to a simulation crate
@@ -598,11 +659,12 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     for path in workspace_files(root)? {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
         let source = std::fs::read_to_string(&path)?;
-        out.extend(lint_source(
-            &rel.display().to_string(),
-            &source,
-            is_sim_crate_path(&rel),
-        ));
+        let test_path = is_test_path(&rel);
+        out.extend(
+            lint_source(&rel.display().to_string(), &source, is_sim_crate_path(&rel))
+                .into_iter()
+                .filter(|d| !(test_path && d.rule == RULE_UNWRAP)),
+        );
     }
     out.sort();
     Ok(out)
@@ -690,6 +752,21 @@ mod tests {
     fn widening_casts_are_fine() {
         let s = "let a = inode.0 as u64;\nlet b = id as usize;\nlet c = x as u32;";
         assert!(lint_source("t.rs", s, false).is_empty());
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_sim_crates_outside_tests() {
+        let s = "fn f() { x.unwrap(); y.expect(\"msg\"); z.unwrap_or(3); }\n#[cfg(test)]\nmod tests { fn g() { a.unwrap(); } }";
+        assert!(lint_source("t.rs", s, false).is_empty());
+        let d = lint_source("t.rs", s, true);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == RULE_UNWRAP && d.line == 1));
+    }
+
+    #[test]
+    fn unwrap_ok_justification_silences() {
+        let s = "// lint: unwrap-ok — inserted two lines up\nx.unwrap();\ny.expect(\"present\"); // lint: unwrap-ok";
+        assert!(lint_source("t.rs", s, true).is_empty());
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! KL005 fixture: `.unwrap()`/`.expect(..)` on fallible values in
+//! model-crate non-test code. Tests (the trailing `#[cfg(test)]`
+//! module) and justified sites are exempt.
+// lint: treat-as-sim-crate
+
+use std::collections::BTreeMap;
+
+pub fn lookup(map: &BTreeMap<u32, u32>) -> u32 {
+    *map.get(&1).unwrap()
+}
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().expect("caller validated")
+}
+
+pub fn guarded(map: &BTreeMap<u32, u32>) -> u32 {
+    // lint: unwrap-ok — every caller inserts key 1 first
+    *map.get(&1).unwrap()
+}
+
+pub fn fallback(s: &str) -> u64 {
+    s.parse().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_unwrap_freely() {
+        assert_eq!(super::fallback("3"), 3);
+        let x: Option<u8> = Some(1);
+        x.unwrap();
+    }
+}

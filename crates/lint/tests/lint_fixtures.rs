@@ -69,6 +69,20 @@ fn truncating_cast_fixture() {
 }
 
 #[test]
+fn unwrap_result_fixture() {
+    let diags = lint_fixture("unwrap_result.rs");
+    assert_eq!(
+        triples(&diags),
+        vec![
+            ("unwrap_result.rs".to_owned(), 9, "KL005"),
+            ("unwrap_result.rs".to_owned(), 13, "KL005"),
+        ],
+        "{diags:#?}"
+    );
+    assert!(diags[0].message.contains("can panic mid-run"));
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     let diags = lint_fixture("clean.rs");
     assert!(diags.is_empty(), "{diags:#?}");

@@ -22,6 +22,12 @@ pub enum MemError {
     AlreadyResident(FrameId, TierId),
     /// The frame is pinned and cannot be migrated.
     Pinned(FrameId),
+    /// The tier is offline (kfault injection): no allocations or inbound
+    /// migrations until the fault window closes.
+    TierOffline(TierId),
+    /// A page migration failed mid-copy (kfault injection); the frame
+    /// stays resident on its source tier.
+    MigrationFault(FrameId),
 }
 
 impl fmt::Display for MemError {
@@ -35,6 +41,8 @@ impl fmt::Display for MemError {
                 write!(f, "frame {id} already resides on tier {t}")
             }
             MemError::Pinned(id) => write!(f, "frame {id} is pinned and cannot be migrated"),
+            MemError::TierOffline(t) => write!(f, "memory tier {t} is offline"),
+            MemError::MigrationFault(id) => write!(f, "migration of frame {id} failed"),
         }
     }
 }

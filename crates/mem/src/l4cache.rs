@@ -31,13 +31,10 @@ pub struct L4Cache {
 
 impl L4Cache {
     /// Creates a cache of `capacity_bytes` DRAM (spec `dram`) caching the
-    /// `pmem` tier.
-    ///
-    /// # Panics
-    /// Panics if the capacity is smaller than one page.
+    /// `pmem` tier. A capacity smaller than one page (a cache that could
+    /// hold nothing) is clamped to the documented minimum of one frame.
     pub fn new(capacity_bytes: u64, dram: TierSpec, pmem: TierSpec) -> Self {
-        let capacity_frames = capacity_bytes / PAGE_SIZE;
-        assert!(capacity_frames > 0, "L4 cache must hold at least one page");
+        let capacity_frames = (capacity_bytes / PAGE_SIZE).max(1);
         L4Cache {
             dram,
             pmem,
@@ -201,8 +198,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one page")]
-    fn zero_capacity_rejected() {
-        cache(0);
+    fn zero_capacity_clamped_to_one_frame() {
+        let mut c = cache(0);
+        c.access(FrameId(1), 64, false);
+        let hit = c.access(FrameId(1), 64, false);
+        assert_eq!(c.hits(), 1, "one frame still caches");
+        assert_eq!(hit, TierSpec::fast_dram(u64::MAX).read_cost(64));
+        c.access(FrameId(2), 64, false); // evicts 1
+        c.access(FrameId(1), 64, false);
+        assert_eq!(c.misses(), 3, "a one-frame cache holds exactly one frame");
     }
 }

@@ -41,6 +41,7 @@
 pub mod allocator;
 pub mod clock;
 pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod frametable;
 #[cfg(feature = "ksan")]
@@ -54,6 +55,7 @@ pub mod tier;
 
 pub use clock::{Clock, Nanos};
 pub use error::MemError;
+pub use fault::{CrashPoint, DiskOp, FaultPlan, TierFaultKind};
 pub use frame::{FrameId, PageKind, PAGE_SIZE};
 pub use frametable::FrameTable;
 pub use migrate::{MigrationCost, MigrationStats};

@@ -94,6 +94,9 @@ pub struct MigrationStats {
     pub promotions_by_kind: std::collections::BTreeMap<PageKind, u64>,
     /// Total virtual time spent migrating.
     pub time_spent: Nanos,
+    /// Migrations that failed mid-copy (kfault injection); zero unless
+    /// faults were scheduled.
+    pub failed: u64,
 }
 
 impl MigrationStats {

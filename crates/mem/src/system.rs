@@ -9,6 +9,9 @@
 use crate::allocator::TierAllocator;
 use crate::clock::{Clock, Nanos};
 use crate::error::MemError;
+use crate::fault::{DiskOp, FaultPlan};
+#[cfg(feature = "kfault")]
+use crate::fault::{FaultState, TierFaultKind};
 use crate::frame::{Frame, FrameId, PageKind};
 use crate::frametable::FrameTable;
 use crate::l4cache::L4Cache;
@@ -43,6 +46,10 @@ pub struct MemorySystem {
     /// shared (charged fully), while per-thread CPU work and I/O stalls
     /// overlap across threads (charged divided by this factor).
     cpu_parallelism: u64,
+    /// Scheduled fault injection (kfault). `None` when no plan is
+    /// installed, so faultless runs never consult it.
+    #[cfg(feature = "kfault")]
+    fault: Option<FaultState>,
 }
 
 impl MemorySystem {
@@ -71,6 +78,8 @@ impl MemorySystem {
             migration_cost: MigrationCost::default(),
             migration_stats: MigrationStats::default(),
             cpu_parallelism: 1,
+            #[cfg(feature = "kfault")]
+            fault: None,
         }
     }
 
@@ -143,10 +152,10 @@ impl MemorySystem {
 
     /// Sets a contention multiplier on a tier's access costs (1.0 = no
     /// contention). Used to model the streaming antagonist in the
-    /// AutoNUMA experiment (§6.2).
+    /// AutoNUMA experiment (§6.2). Factors below 1.0 (contention can
+    /// only slow accesses down) are clamped to 1.0.
     pub fn set_contention(&mut self, tier: TierId, factor: f64) {
-        assert!(factor >= 1.0, "contention factor must be >= 1.0");
-        self.contention_milli[tier.index()] = (factor * 1000.0) as u64;
+        self.contention_milli[tier.index()] = (factor.max(1.0) * 1000.0) as u64;
     }
 
     /// Sets the migration cost model (sequential vs Nimble-parallel).
@@ -160,13 +169,10 @@ impl MemorySystem {
     }
 
     /// Sets how many workload threads overlap CPU work (see the field
-    /// docs; 1 = fully serialized).
-    ///
-    /// # Panics
-    /// Panics if `threads` is zero.
+    /// docs; 1 = fully serialized). Zero (meaningless: some thread is
+    /// always running) is clamped to 1.
     pub fn set_cpu_parallelism(&mut self, threads: u64) {
-        assert!(threads > 0, "parallelism must be non-zero");
-        self.cpu_parallelism = threads;
+        self.cpu_parallelism = threads.max(1);
     }
 
     /// Charges per-thread CPU or I/O-stall time (computation that touches
@@ -194,16 +200,173 @@ impl MemorySystem {
         self.l4.get(tier.index()).and_then(|c| c.as_ref())
     }
 
+    /// Installs a [`FaultPlan`] (kfault). Without the `kfault` feature
+    /// this is an inline no-op and the plan is ignored, so call sites
+    /// need no `cfg`; with it, subsequent allocations, migrations, disk
+    /// I/O, and journal commits consult the plan against the virtual
+    /// clock. An empty plan installs nothing.
+    #[cfg(feature = "kfault")]
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = if plan.is_empty() {
+            None
+        } else {
+            Some(FaultState::new(plan))
+        };
+    }
+
+    /// No-op shim: fault injection is compiled out.
+    #[cfg(not(feature = "kfault"))]
+    #[inline(always)]
+    pub fn set_fault_plan(&mut self, _plan: FaultPlan) {}
+
+    /// Consumes one scheduled disk fault of class `op` due at the
+    /// current virtual time, emitting a `fault` trace event. The
+    /// kernel's blk-mq layer calls this per I/O submission and retries
+    /// with backoff when it returns `true`.
+    #[cfg(feature = "kfault")]
+    pub fn fault_take_disk(&mut self, op: DiskOp) -> bool {
+        let now = self.clock.now();
+        let fired = self.fault.as_mut().is_some_and(|s| s.take_disk(op, now));
+        if fired {
+            kloc_trace::emit(|| kloc_trace::Event::Fault {
+                t: now.as_nanos(),
+                kind: "disk".to_string(),
+                info: op.label().to_string(),
+            });
+        }
+        fired
+    }
+
+    /// No-op shim: fault injection is compiled out.
+    #[cfg(not(feature = "kfault"))]
+    #[inline(always)]
+    pub fn fault_take_disk(&mut self, _op: DiskOp) -> bool {
+        false
+    }
+
+    /// Consumes a time-scheduled crash due at the current virtual time.
+    /// The kernel checks this at syscall entry and aborts the run with
+    /// `KernelError::Crashed` when it fires.
+    #[cfg(feature = "kfault")]
+    pub fn fault_crash_due(&mut self) -> bool {
+        let now = self.clock.now();
+        let fired = self.fault.as_mut().is_some_and(|s| s.take_crash_at(now));
+        if fired {
+            kloc_trace::emit(|| kloc_trace::Event::Fault {
+                t: now.as_nanos(),
+                kind: "crash".to_string(),
+                info: "time".to_string(),
+            });
+        }
+        fired
+    }
+
+    /// No-op shim: fault injection is compiled out.
+    #[cfg(not(feature = "kfault"))]
+    #[inline(always)]
+    pub fn fault_crash_due(&mut self) -> bool {
+        false
+    }
+
+    /// Consumes a crash scheduled at journal commit ordinal `index`,
+    /// returning how many of the commit's journal blocks become durable
+    /// before the machine dies (`0` = crash at the commit boundary).
+    #[cfg(feature = "kfault")]
+    pub fn fault_crash_at_commit(&mut self, index: u64) -> Option<u32> {
+        let now = self.clock.now();
+        let blocks = self.fault.as_mut()?.take_crash_commit(index)?;
+        kloc_trace::emit(|| kloc_trace::Event::Fault {
+            t: now.as_nanos(),
+            kind: "crash".to_string(),
+            info: format!("commit {index} after {blocks} blocks"),
+        });
+        Some(blocks)
+    }
+
+    /// No-op shim: fault injection is compiled out.
+    #[cfg(not(feature = "kfault"))]
+    #[inline(always)]
+    pub fn fault_crash_at_commit(&mut self, _index: u64) -> Option<u32> {
+        None
+    }
+
+    /// Rejects placement on `tier` while a fault window covers it:
+    /// `Exhaust` behaves as capacity pressure ([`MemError::TierFull`]),
+    /// `Offline` as a lost device ([`MemError::TierOffline`]). Emits one
+    /// `fault` trace event per window, on its first application.
+    #[cfg(feature = "kfault")]
+    fn fault_check_tier(&mut self, tier: TierId) -> Result<(), MemError> {
+        let now = self.clock.now();
+        let Some(s) = self.fault.as_mut() else {
+            return Ok(());
+        };
+        match s.tier_fault(tier, now) {
+            None => Ok(()),
+            Some((kind, first)) => {
+                if first {
+                    kloc_trace::emit(|| kloc_trace::Event::Fault {
+                        t: now.as_nanos(),
+                        kind: "tier".to_string(),
+                        info: format!("{} {tier}", kind.label()),
+                    });
+                }
+                Err(match kind {
+                    TierFaultKind::Exhaust => MemError::TierFull(tier),
+                    TierFaultKind::Offline => MemError::TierOffline(tier),
+                })
+            }
+        }
+    }
+
+    /// No-op shim: fault injection is compiled out.
+    #[cfg(not(feature = "kfault"))]
+    #[inline(always)]
+    fn fault_check_tier(&mut self, _tier: TierId) -> Result<(), MemError> {
+        Ok(())
+    }
+
+    /// Consumes one scheduled migration fault due at the current
+    /// virtual time, counting it in [`MigrationStats::failed`].
+    #[cfg(feature = "kfault")]
+    fn fault_check_migrate(&mut self, frame: FrameId) -> Result<(), MemError> {
+        let now = self.clock.now();
+        if let Some(s) = self.fault.as_mut() {
+            if s.take_migration(now) {
+                self.migration_stats.failed += 1;
+                kloc_trace::emit(|| kloc_trace::Event::Fault {
+                    t: now.as_nanos(),
+                    kind: "migrate".to_string(),
+                    info: frame.to_string(),
+                });
+                return Err(MemError::MigrationFault(frame));
+            }
+        }
+        Ok(())
+    }
+
+    /// No-op shim: fault injection is compiled out.
+    #[cfg(not(feature = "kfault"))]
+    #[inline(always)]
+    fn fault_check_migrate(&mut self, _frame: FrameId) -> Result<(), MemError> {
+        Ok(())
+    }
+
     /// Allocates one frame of `kind` on `tier`.
     ///
     /// # Errors
-    /// [`MemError::TierFull`] if the tier is at capacity,
-    /// [`MemError::BadTier`] for unknown tiers.
+    /// [`MemError::TierFull`] if the tier is at capacity (or under an
+    /// injected exhaustion fault), [`MemError::TierOffline`] while an
+    /// offlining fault covers the tier, [`MemError::BadTier`] for
+    /// unknown tiers.
     pub fn allocate(&mut self, tier: TierId, kind: PageKind) -> Result<FrameId, MemError> {
-        let alloc = self
-            .tiers
-            .get_mut(tier.index())
-            .ok_or(MemError::BadTier(tier))?;
+        if tier.index() >= self.tiers.len() {
+            return Err(MemError::BadTier(tier));
+        }
+        if let Err(e) = self.fault_check_tier(tier) {
+            self.stats.tiers[tier.index()].alloc_failures += 1;
+            return Err(e);
+        }
+        let alloc = &mut self.tiers[tier.index()];
         match alloc.reserve() {
             Ok(()) => {}
             Err(e) => {
@@ -236,7 +399,9 @@ impl MemorySystem {
         for &tier in preference {
             match self.allocate(tier, kind) {
                 Ok(id) => return Ok(id),
-                Err(MemError::TierFull(_)) => continue,
+                // Divert to the next preference both on capacity pressure
+                // and when a fault window has the tier offline.
+                Err(MemError::TierFull(_) | MemError::TierOffline(_)) => continue,
                 Err(e) => return Err(e),
             }
         }
@@ -412,7 +577,11 @@ impl MemorySystem {
     /// * [`MemError::BadTier`] — unknown destination.
     /// * [`MemError::Pinned`] — the frame is not relocatable (slab page).
     /// * [`MemError::AlreadyResident`] — already on `to`.
-    /// * [`MemError::TierFull`] — no room on `to`.
+    /// * [`MemError::TierFull`] — no room on `to` (including injected
+    ///   exhaustion faults).
+    /// * [`MemError::TierOffline`] — a fault window has `to` offline.
+    /// * [`MemError::MigrationFault`] — an injected mid-copy failure;
+    ///   the frame stays on its source tier.
     pub fn migrate(&mut self, frame: FrameId, to: TierId) -> Result<Nanos, MemError> {
         if to.index() >= self.tiers.len() {
             return Err(MemError::BadTier(to));
@@ -427,6 +596,8 @@ impl MemorySystem {
         if from == to {
             return Err(MemError::AlreadyResident(frame, to));
         }
+        self.fault_check_tier(to)?;
+        self.fault_check_migrate(frame)?;
         self.tiers[to.index()].reserve()?;
         self.tiers[from.index()].release();
 
@@ -450,7 +621,7 @@ impl MemorySystem {
         if let Some(l4) = self.l4[from.index()].as_mut() {
             l4.invalidate(frame);
         }
-        let f = self.frames.get_mut(frame).expect("checked above");
+        let f = self.frames.get_mut(frame).expect("checked above"); // lint: unwrap-ok — caller checked the frame exists
         f.tier = to;
         f.migrations = f.migrations.saturating_add(1);
         self.migration_stats.record(kind, from, to, cost);
@@ -692,6 +863,103 @@ mod tests {
         assert!(miss > hit);
         assert_eq!(m.l4_cache(TierId(0)).unwrap().hits(), 1);
         assert_eq!(m.socket_of(TierId(1)), 1);
+    }
+
+    #[cfg(feature = "kfault")]
+    #[test]
+    fn tier_exhaust_fault_diverts_to_slow() {
+        use crate::fault::TierFaultKind;
+        let mut m = small();
+        m.set_fault_plan(FaultPlan::new().with_tier_fault(
+            TierId::FAST,
+            TierFaultKind::Exhaust,
+            Nanos::ZERO,
+            None,
+        ));
+        assert_eq!(
+            m.allocate(TierId::FAST, PageKind::AppData),
+            Err(MemError::TierFull(TierId::FAST))
+        );
+        assert_eq!(m.stats().tier(TierId::FAST).alloc_failures, 1);
+        let id = m
+            .allocate_preferring(&[TierId::FAST, TierId::SLOW], PageKind::AppData)
+            .unwrap();
+        assert_eq!(m.tier_of(id), TierId::SLOW);
+    }
+
+    #[cfg(feature = "kfault")]
+    #[test]
+    fn offline_tier_rejects_allocation_and_inbound_migration() {
+        use crate::fault::TierFaultKind;
+        let mut m = small();
+        let f = m.allocate(TierId::FAST, PageKind::PageCache).unwrap();
+        // Fast tier goes offline for a window; resident frames can still
+        // leave, but nothing can be placed on it.
+        m.set_fault_plan(FaultPlan::new().with_tier_fault(
+            TierId::FAST,
+            TierFaultKind::Offline,
+            Nanos::ZERO,
+            Some(Nanos::from_secs(1)),
+        ));
+        assert_eq!(
+            m.allocate(TierId::FAST, PageKind::AppData),
+            Err(MemError::TierOffline(TierId::FAST))
+        );
+        m.migrate(f, TierId::SLOW).unwrap();
+        assert_eq!(
+            m.migrate(f, TierId::FAST),
+            Err(MemError::TierOffline(TierId::FAST))
+        );
+        // Window closes with the virtual clock; the tier recovers.
+        m.charge(Nanos::from_secs(2));
+        assert!(m.migrate(f, TierId::FAST).is_ok());
+    }
+
+    #[cfg(feature = "kfault")]
+    #[test]
+    fn migration_fault_counts_and_leaves_frame_in_place() {
+        let mut m = small();
+        let f = m.allocate(TierId::FAST, PageKind::AppData).unwrap();
+        m.set_fault_plan(FaultPlan::new().with_migration_fault(Nanos::ZERO, 1));
+        assert_eq!(m.migrate(f, TierId::SLOW), Err(MemError::MigrationFault(f)));
+        assert_eq!(m.tier_of(f), TierId::FAST, "failed migration is a no-op");
+        assert_eq!(m.migration_stats().failed, 1);
+        assert_eq!(m.migration_stats().total(), 0);
+        // The fault is consumed; the retry succeeds.
+        assert!(m.migrate(f, TierId::SLOW).is_ok());
+    }
+
+    #[cfg(feature = "kfault")]
+    #[test]
+    fn disk_and_crash_hooks_consume_plan() {
+        use crate::fault::CrashPoint;
+        let mut m = small();
+        m.set_fault_plan(
+            FaultPlan::new()
+                .with_disk_fault(Nanos::ZERO, DiskOp::Write, 1)
+                .with_crash(CrashPoint::Commit {
+                    index: 2,
+                    after_blocks: 1,
+                }),
+        );
+        assert!(!m.fault_take_disk(DiskOp::Read));
+        assert!(m.fault_take_disk(DiskOp::Write));
+        assert!(!m.fault_take_disk(DiskOp::Write), "count drained");
+        assert_eq!(m.fault_crash_at_commit(1), None);
+        assert_eq!(m.fault_crash_at_commit(2), Some(1));
+        assert!(!m.fault_crash_due(), "no time crash scheduled");
+    }
+
+    #[test]
+    fn empty_fault_plan_is_inert() {
+        // Compiles with or without the kfault feature: the shim (or an
+        // empty plan) must never perturb behavior.
+        let mut m = small();
+        m.set_fault_plan(FaultPlan::new());
+        assert!(!m.fault_take_disk(DiskOp::Fsync));
+        assert!(!m.fault_crash_due());
+        assert_eq!(m.fault_crash_at_commit(0), None);
+        assert!(m.allocate(TierId::FAST, PageKind::AppData).is_ok());
     }
 
     #[test]

@@ -108,9 +108,11 @@ impl TierSpec {
 
     /// A slow variant of `self`: bandwidth divided by `ratio`, latency
     /// doubled, unbounded capacity. This mirrors the paper's
-    /// thermal-throttling emulation of a slow tier (§6.2).
+    /// thermal-throttling emulation of a slow tier (§6.2). A zero ratio
+    /// (division by zero) is clamped to the documented minimum of 1,
+    /// i.e. a slow tier with the fast tier's bandwidth.
     pub fn slow_variant(&self, ratio: u64) -> Self {
-        assert!(ratio > 0, "bandwidth ratio must be non-zero");
+        let ratio = ratio.max(1);
         TierSpec {
             kind: TierKind::ThrottledDram,
             capacity: u64::MAX,
@@ -224,9 +226,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ratio must be non-zero")]
-    fn slow_variant_rejects_zero_ratio() {
-        TierSpec::fast_dram(1 << 20).slow_variant(0);
+    fn slow_variant_clamps_zero_ratio_to_one() {
+        let fast = TierSpec::fast_dram(1 << 20);
+        let slow = fast.slow_variant(0);
+        assert_eq!(slow.read_bw_bps, fast.read_bw_bps, "clamped to ratio 1");
+        assert_eq!(slow.kind, TierKind::ThrottledDram);
     }
 
     #[test]

@@ -66,6 +66,7 @@ fn sweep(scale: &Scale) -> Vec<RunConfig> {
                             bw_ratio: ratio,
                         },
                         kernel_params: None,
+                        faults: None,
                     });
                 }
             }
@@ -99,6 +100,7 @@ fn run_matrix(scales: &[Scale]) -> Vec<RunConfig> {
                         bw_ratio: 8,
                     },
                     kernel_params: None,
+                    faults: None,
                 });
             }
         }

@@ -12,7 +12,8 @@
 //!   percpu prefetch           ablations (4.3, 7.3)
 //!   thp granularity           future-work extensions (5, 4.4)
 //!   run --workload W --policy P   one run (trace-friendly)
-//!   all                       everything above (except `run`)
+//!   crashsweep                journal crash-recovery sweep (kfault builds)
+//!   all                       everything above (except `run`/`crashsweep`)
 //! ```
 //!
 //! `--jobs N` sets the sweep-runner thread count (default: one per
@@ -23,9 +24,16 @@
 //! `kloc-trace` JSONL document covering every run the invocation
 //! executes and writes it to FILE; analyze it with the `ktrace` binary.
 //! Trace bytes are byte-identical at any `--jobs` count.
+//!
+//! kfault builds (`--features kfault`) add two things: `repro
+//! crashsweep [--crash-points N]` runs the journal crash-recovery
+//! sweep (fails if the consistency checker finds any violation), and
+//! `repro run --fault-seed N` injects a seeded disk/tier/migration
+//! fault plan into the single run.
 
 use std::process::ExitCode;
 
+use kloc_mem::{FaultPlan, Nanos};
 use kloc_policy::PolicyKind;
 use kloc_sim::engine::{Platform, RunConfig};
 use kloc_sim::experiments::{ablations, fig2, fig4, fig5, fig6, table6};
@@ -34,7 +42,7 @@ use kloc_workloads::{Scale, WorkloadKind};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <fig2a|fig2b|fig2c|fig2d|fig4|fig5a|fig5b|fig5c|fig6|table6|percpu|prefetch|thp|granularity|all> [--scale tiny|small|large] [--seed N] [--jobs N] [--trace FILE]\n       repro run --workload <rocksdb|redis|filebench|cassandra|spark> --policy <naive|nimble|nimble++|kloc-nomigration|kloc|all-fast|all-slow|autonuma|autonuma-kloc> [options]"
+        "usage: repro <fig2a|fig2b|fig2c|fig2d|fig4|fig5a|fig5b|fig5c|fig6|table6|percpu|prefetch|thp|granularity|all> [--scale tiny|small|large] [--seed N] [--jobs N] [--trace FILE]\n       repro run --workload <rocksdb|redis|filebench|cassandra|spark> --policy <naive|nimble|nimble++|kloc-nomigration|kloc|all-fast|all-slow|autonuma|autonuma-kloc> [--fault-seed N] [options]\n       repro crashsweep [--crash-points N] [options]    (kfault builds)"
     );
     ExitCode::FAILURE
 }
@@ -130,12 +138,29 @@ fn single_run_config(args: &[String], scale: &Scale) -> Result<RunConfig, String
         "autonuma-kloc" => PolicyKind::AutoNumaKloc,
         other => return Err(format!("unknown policy: {other}")),
     };
+    let mut faults = None;
+    if let Some(pos) = args.iter().position(|a| a == "--fault-seed") {
+        let seed = args
+            .get(pos + 1)
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or("--fault-seed needs a number")?;
+        if cfg!(not(feature = "kfault")) {
+            return Err(
+                "--fault-seed needs a kfault-enabled build (cargo ... --features kfault)"
+                    .to_owned(),
+            );
+        }
+        // The horizon only has to land the plan's faults inside the run;
+        // tiny/small/large runs all exceed one virtual microsecond per op.
+        faults = Some(FaultPlan::seeded(seed, Nanos::from_micros(scale.ops)));
+    }
     Ok(RunConfig {
         workload,
         policy,
         scale: scale.clone(),
         platform: platform_for(scale),
         kernel_params: None,
+        faults,
     })
 }
 
@@ -170,7 +195,41 @@ fn run(
             report.throughput(),
             100.0 * report.fast_access_fraction(),
         );
+        if report.io_errors > 0 || report.io_retries > 0 {
+            println!(
+                "  faults: {} disk I/O errors, {} blk-mq retries",
+                report.io_errors, report.io_retries
+            );
+        }
         return Ok(());
+    }
+    if which == "crashsweep" {
+        #[cfg(feature = "kfault")]
+        {
+            let mid_points = match args.iter().position(|a| a == "--crash-points") {
+                Some(pos) => args
+                    .get(pos + 1)
+                    .and_then(|s| s.parse::<u32>().ok())
+                    .ok_or("--crash-points needs a number")?,
+                None => 2,
+            };
+            eprintln!(
+                "[crashsweep at scale {} ({mid_points} mid-commit points per commit)...]",
+                scale.label
+            );
+            let mut violations = 0;
+            for w in [WorkloadKind::Filebench, WorkloadKind::RocksDb] {
+                let summary = kloc_sim::crashsweep::sweep(w, PolicyKind::Kloc, scale, mid_points)?;
+                print!("{}", summary.render());
+                violations += summary.violations();
+            }
+            if violations > 0 {
+                return Err(format!("crash-recovery checker found {violations} violations").into());
+            }
+            return Ok(());
+        }
+        #[cfg(not(feature = "kfault"))]
+        return Err("crashsweep needs a kfault-enabled build (cargo ... --features kfault)".into());
     }
     let all = which == "all";
     let small_pair = |s: &Scale| {

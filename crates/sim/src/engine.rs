@@ -4,7 +4,7 @@ use kloc_core::overhead::{self, OverheadReport};
 use kloc_core::KlocStats;
 use kloc_kernel::hooks::Ctx;
 use kloc_kernel::{Kernel, KernelError, KernelParams, KernelStats};
-use kloc_mem::{MemStats, MemorySystem, MigrationStats, Nanos, TierId};
+use kloc_mem::{FaultPlan, MemStats, MemorySystem, MigrationStats, Nanos, TierId};
 use kloc_policy::{Policy, PolicyKind};
 use kloc_workloads::{Scale, WorkloadKind};
 
@@ -80,6 +80,10 @@ pub struct RunConfig {
     pub platform: Platform,
     /// Kernel parameter override (None = derived from the scale).
     pub kernel_params: Option<KernelParams>,
+    /// Fault plan injected into the run (kfault). `None` (or an empty
+    /// plan) leaves the run fault-free; without the `kfault` feature the
+    /// plan is ignored entirely.
+    pub faults: Option<FaultPlan>,
 }
 
 impl RunConfig {
@@ -91,6 +95,7 @@ impl RunConfig {
             scale,
             platform: Platform::default_two_tier(),
             kernel_params: None,
+            faults: None,
         }
     }
 }
@@ -127,6 +132,11 @@ pub struct RunReport {
     pub readahead_issued: u64,
     /// Readahead pages that were subsequently used.
     pub readahead_useful: u64,
+    /// Disk I/O operations that failed (kfault injection; zero on
+    /// faultless runs).
+    pub io_errors: u64,
+    /// blk-mq retries issued after failed disk operations.
+    pub io_retries: u64,
     /// Accesses to each tier during the measured phase only.
     pub measured_tier_accesses: Vec<u64>,
     /// Fast-tier frames resident at the end of the measured phase.
@@ -301,6 +311,9 @@ pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunRe
     let mut mem = build_mem(config);
     mem.set_migration_cost(policy.migration_cost());
     mem.set_cpu_parallelism(config.scale.threads.max(1) as u64);
+    if let Some(plan) = &config.faults {
+        mem.set_fault_plan(plan.clone());
+    }
 
     let params = config
         .kernel_params
@@ -464,6 +477,8 @@ pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunRe
         kmap_tree_accesses,
         readahead_issued: kernel.readahead().stats().issued,
         readahead_useful: kernel.readahead().stats().useful,
+        io_errors: kernel.disk().stats().io_errors,
+        io_retries: kernel.disk().stats().retries,
         measured_tier_accesses,
         fast_resident,
         app_page_age,
@@ -484,6 +499,7 @@ mod tests {
                 bw_ratio: 8,
             },
             kernel_params: None,
+            faults: None,
         }
     }
 
@@ -536,6 +552,7 @@ mod tests {
                 scenario,
             },
             kernel_params: None,
+            faults: None,
         };
         let local = run(&mk(OptaneScenario::AllLocal)).unwrap();
         let remote = run(&mk(OptaneScenario::AllRemote)).unwrap();

@@ -155,6 +155,7 @@ pub fn prefetch(
     };
     let without_cfg = RunConfig {
         kernel_params: Some(no_ra),
+        faults: None,
         platform: Platform::default_two_tier(),
         ..base.clone()
     };

@@ -41,6 +41,7 @@ pub fn run_all(runner: &Runner, scale: &Scale) -> Result<Vec<RunReport>, KernelE
             scale: scale.clone(),
             platform: Platform::default_two_tier(),
             kernel_params: Some(params.clone()),
+            faults: None,
         })
         .collect();
     runner.run_all(configs)

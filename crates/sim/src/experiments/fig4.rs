@@ -61,6 +61,7 @@ pub fn run(
                 scale: scale.clone(),
                 platform,
                 kernel_params: None,
+                faults: None,
             });
         }
     }

@@ -79,6 +79,7 @@ fn optane_config(w: WorkloadKind, scale: &Scale, scenario: OptaneScenario) -> Ru
             scenario,
         },
         kernel_params: None,
+        faults: None,
     }
 }
 
@@ -193,6 +194,7 @@ pub fn fig5b(
             scale: scale.clone(),
             platform,
             kernel_params: None,
+            faults: None,
         })
         .collect();
     let reports = runner.run_all(configs)?;
@@ -320,6 +322,7 @@ pub fn fig5c(
                     scale: scale.clone(),
                     platform,
                     kernel_params: None,
+                    faults: None,
                 },
                 Box::new(move || Box::new(KlocPolicy::with_config(cfg.clone(), true))),
             ));

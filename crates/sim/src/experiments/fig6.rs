@@ -79,6 +79,7 @@ pub fn run(
                         scale: scale.clone(),
                         platform,
                         kernel_params: None,
+                        faults: None,
                     });
                 }
             }

@@ -48,6 +48,7 @@ pub fn run(
                 bw_ratio: 8,
             },
             kernel_params: None,
+            faults: None,
         })
         .collect();
     let reports = runner.run_all(configs)?;

@@ -258,6 +258,58 @@ pub fn render_rollup(events: &[Event]) -> String {
         _ => None,
     });
     render_hist(&mut out, "writeback batch (pages)", &log2_hist(batches));
+    out.push_str(&render_faults(events));
+    out
+}
+
+/// Renders the fault-injection rollup (kfault runs): injected faults
+/// by class, blk-mq retries with a backoff histogram, and crash
+/// recoveries with replay totals. Empty for fault-free traces, so the
+/// rollup of an ordinary run is unchanged by kfault builds.
+pub fn render_faults(events: &[Event]) -> String {
+    let mut out = String::new();
+    let mut faults: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut retries = 0u64;
+    let mut backoffs = Vec::new();
+    let (mut recoveries, mut replayed, mut torn) = (0u64, 0u64, 0u64);
+    for ev in events {
+        match ev {
+            Event::Fault { kind, .. } => *faults.entry(kind.as_str()).or_default() += 1,
+            Event::Retry { backoff, .. } => {
+                retries += 1;
+                backoffs.push(*backoff);
+            }
+            Event::Recovery {
+                replayed: r,
+                torn: tn,
+                ..
+            } => {
+                recoveries += 1;
+                replayed += r;
+                torn += tn;
+            }
+            _ => {}
+        }
+    }
+    if faults.is_empty() && retries == 0 && recoveries == 0 {
+        return out;
+    }
+    let _ = writeln!(out, "\nfault injection:");
+    for (kind, count) in &faults {
+        let label = format!("fault/{kind}");
+        let _ = writeln!(out, "  {label:<16} {count:>10}");
+    }
+    let _ = writeln!(out, "  {:<16} {retries:>10}", "retries");
+    if recoveries > 0 {
+        let _ = writeln!(
+            out,
+            "  {:<16} {recoveries:>10} (replayed {replayed}, torn {torn})",
+            "recoveries"
+        );
+    }
+    if retries > 0 {
+        render_hist(&mut out, "retry backoff (ns)", &log2_hist(backoffs));
+    }
     out
 }
 
@@ -448,5 +500,42 @@ mod tests {
         }
         assert!(render_timeline(&events, Some(3)).contains("kloc ino=3"));
         assert!(render_timeline(&events, Some(99)).contains("no knode events"));
+    }
+
+    #[test]
+    fn fault_rollup_appears_only_with_fault_events() {
+        // Fault-free traces render no fault section at all.
+        assert!(render_faults(&sample()).is_empty());
+        assert!(!render_rollup(&sample()).contains("fault injection"));
+        let events = vec![
+            Event::Fault {
+                t: 1,
+                kind: "disk".to_owned(),
+                info: "write".to_owned(),
+            },
+            Event::Fault {
+                t: 2,
+                kind: "disk".to_owned(),
+                info: "fsync".to_owned(),
+            },
+            Event::Retry {
+                t: 3,
+                op: "write".to_owned(),
+                attempt: 1,
+                backoff: 50_000,
+            },
+            Event::Recovery {
+                t: 4,
+                replayed: 4,
+                torn: 1,
+                pages: 9,
+            },
+        ];
+        let r = render_faults(&events);
+        assert!(r.contains("fault/disk"));
+        assert!(r.contains("retries"));
+        assert!(r.contains("(replayed 4, torn 1)"));
+        assert!(r.contains("retry backoff (ns)"));
+        assert!(render_rollup(&events).contains("fault injection:"));
     }
 }

@@ -26,6 +26,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "kfault")]
+pub mod crashsweep;
 pub mod engine;
 pub mod experiments;
 pub mod ktrace;

@@ -306,6 +306,7 @@ mod tests {
                 bw_ratio: 8,
             },
             kernel_params: None,
+            faults: None,
         }
     }
 

@@ -20,6 +20,7 @@ fn cfg(workload: WorkloadKind, policy: PolicyKind) -> RunConfig {
             bw_ratio: 8,
         },
         kernel_params: None,
+        faults: None,
     }
 }
 

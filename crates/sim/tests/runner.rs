@@ -38,6 +38,7 @@ fn matrix() -> Vec<RunConfig> {
                     scale: Scale::tiny(),
                     platform,
                     kernel_params: None,
+                    faults: None,
                 });
             }
         }

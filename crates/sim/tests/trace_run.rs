@@ -31,6 +31,7 @@ fn cell(workload: WorkloadKind, policy: PolicyKind) -> RunConfig {
         },
         scale,
         kernel_params: None,
+        faults: None,
     }
 }
 

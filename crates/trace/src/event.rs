@@ -183,6 +183,37 @@ pub enum Event {
         /// New bandwidth multiplier in thousandths (1000 = nominal).
         milli: u64,
     },
+    /// An injected fault fired (`kfault` feature).
+    Fault {
+        /// Virtual nanoseconds since run start.
+        t: u64,
+        /// Fault class: `disk`, `tier`, `migrate`, or `crash`.
+        kind: String,
+        /// Detail: the disk op, tier fault kind and index, etc.
+        info: String,
+    },
+    /// The blk-mq layer retried a failed I/O after backoff.
+    Retry {
+        /// Virtual nanoseconds since run start.
+        t: u64,
+        /// Disk operation being retried: `read`, `write`, or `fsync`.
+        op: String,
+        /// Retry attempt number (1-based).
+        attempt: u64,
+        /// Backoff charged to the virtual clock before this attempt.
+        backoff: u64,
+    },
+    /// Journal recovery ran after a (simulated) crash.
+    Recovery {
+        /// Virtual nanoseconds since run start (crash instant).
+        t: u64,
+        /// Committed journal records replayed.
+        replayed: u64,
+        /// Torn or uncommitted records discarded.
+        torn: u64,
+        /// Durable data pages surviving recovery.
+        pages: u64,
+    },
 }
 
 /// Schema entry for one event kind: the `k` value, the field list in
@@ -301,6 +332,21 @@ pub const SCHEMA: &[EventSpec] = &[
         fields: &[("tier", "idx"), ("milli", "milli")],
         site: "crates/sim/src/engine.rs",
     },
+    EventSpec {
+        kind: "fault",
+        fields: &[("kind", "str"), ("info", "str")],
+        site: "crates/mem/src/system.rs",
+    },
+    EventSpec {
+        kind: "retry",
+        fields: &[("op", "str"), ("attempt", "count"), ("backoff", "ns")],
+        site: "crates/kernel/src/kernel.rs",
+    },
+    EventSpec {
+        kind: "recovery",
+        fields: &[("replayed", "count"), ("torn", "count"), ("pages", "pages")],
+        site: "crates/sim/src/crashsweep.rs",
+    },
 ];
 
 impl Event {
@@ -318,6 +364,9 @@ impl Event {
         "knode",
         "kloc_migrate",
         "contention",
+        "fault",
+        "retry",
+        "recovery",
     ];
 
     /// The `k` field value for this event.
@@ -335,6 +384,9 @@ impl Event {
             Event::Knode { .. } => "knode",
             Event::KlocMigrate { .. } => "kloc_migrate",
             Event::Contention { .. } => "contention",
+            Event::Fault { .. } => "fault",
+            Event::Retry { .. } => "retry",
+            Event::Recovery { .. } => "recovery",
         }
     }
 
@@ -352,7 +404,10 @@ impl Event {
             | Event::JournalCommit { t, .. }
             | Event::Knode { t, .. }
             | Event::KlocMigrate { t, .. }
-            | Event::Contention { t, .. } => *t,
+            | Event::Contention { t, .. }
+            | Event::Fault { t, .. }
+            | Event::Retry { t, .. }
+            | Event::Recovery { t, .. } => *t,
         }
     }
 
@@ -446,6 +501,30 @@ impl Event {
             Event::Contention { tier, milli, .. } => {
                 w.num("tier", *tier);
                 w.num("milli", *milli);
+            }
+            Event::Fault { kind, info, .. } => {
+                w.str("kind", kind);
+                w.str("info", info);
+            }
+            Event::Retry {
+                op,
+                attempt,
+                backoff,
+                ..
+            } => {
+                w.str("op", op);
+                w.num("attempt", *attempt);
+                w.num("backoff", *backoff);
+            }
+            Event::Recovery {
+                replayed,
+                torn,
+                pages,
+                ..
+            } => {
+                w.num("replayed", *replayed);
+                w.num("torn", *torn);
+                w.num("pages", *pages);
             }
         }
         w.end();
@@ -552,6 +631,23 @@ impl Event {
                 t,
                 tier: num("tier")?,
                 milli: num("milli")?,
+            },
+            "fault" => Event::Fault {
+                t,
+                kind: string("kind")?,
+                info: string("info")?,
+            },
+            "retry" => Event::Retry {
+                t,
+                op: string("op")?,
+                attempt: num("attempt")?,
+                backoff: num("backoff")?,
+            },
+            "recovery" => Event::Recovery {
+                t,
+                replayed: num("replayed")?,
+                torn: num("torn")?,
+                pages: num("pages")?,
             },
             other => return Err(ParseError::new(format!("unknown event kind `{other}`"))),
         })
@@ -873,6 +969,23 @@ mod tests {
                 tier: 1,
                 milli: 400,
             },
+            Event::Fault {
+                t: 27,
+                kind: "disk".to_owned(),
+                info: "write".to_owned(),
+            },
+            Event::Retry {
+                t: 28,
+                op: "write".to_owned(),
+                attempt: 1,
+                backoff: 50_000,
+            },
+            Event::Recovery {
+                t: 29,
+                replayed: 6,
+                torn: 1,
+                pages: 40,
+            },
             Event::RunEnd { t: 30, ops: 1500 },
         ]
     }
@@ -899,7 +1012,7 @@ mod tests {
         assert_eq!(parsed, sample_events());
         let bad = format!("{doc}{{\"t\":1,\"k\":\"nope\"}}\n");
         let err = Event::parse_all(&bad).unwrap_err();
-        assert!(err.message.contains("line 13"), "{}", err.message);
+        assert!(err.message.contains("line 16"), "{}", err.message);
         assert!(err.message.contains("nope"), "{}", err.message);
     }
 

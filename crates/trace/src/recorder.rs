@@ -63,18 +63,19 @@ impl Recorder {
 /// Starts a trace session: clears the global sink and makes
 /// [`session_active`] true so the engine installs per-run recorders.
 pub fn session_begin() {
-    *SESSION.lock().unwrap() = Some(String::new());
+    *SESSION.lock().unwrap() = Some(String::new()); // lint: unwrap-ok — a poisoned lock means a run already panicked
 }
 
 /// Whether a trace session is collecting.
 pub fn session_active() -> bool {
-    SESSION.lock().unwrap().is_some()
+    SESSION.lock().unwrap().is_some() // lint: unwrap-ok — a poisoned lock means a run already panicked
 }
 
 /// Appends one run's serialized JSONL to the session sink. The caller
 /// (the sweep runner) appends runs in input order, which is what makes
 /// session bytes independent of `--jobs`.
 pub fn session_append(jsonl: &str) {
+    // lint: unwrap-ok — a poisoned lock means a run already panicked
     if let Some(buf) = SESSION.lock().unwrap().as_mut() {
         buf.push_str(jsonl);
     }
@@ -82,7 +83,7 @@ pub fn session_append(jsonl: &str) {
 
 /// Ends the session and returns everything appended so far.
 pub fn session_take() -> String {
-    SESSION.lock().unwrap().take().unwrap_or_default()
+    SESSION.lock().unwrap().take().unwrap_or_default() // lint: unwrap-ok — a poisoned lock means a run already panicked
 }
 
 /// Installs a fresh run recorder on the calling thread. Call once at

@@ -179,7 +179,7 @@ impl RocksDb {
         path: &str,
     ) -> Result<Fd, KernelError> {
         if let Some(pos) = self.table_cache.iter().position(|(p, _)| p == path) {
-            let entry = self.table_cache.remove(pos).expect("position valid");
+            let entry = self.table_cache.remove(pos).expect("position valid"); // lint: unwrap-ok — position() just found the entry
             let fd = entry.1;
             self.table_cache.push_front(entry);
             return Ok(fd);
@@ -201,7 +201,7 @@ impl RocksDb {
         path: &str,
     ) -> Result<(), KernelError> {
         if let Some(pos) = self.table_cache.iter().position(|(p, _)| p == path) {
-            let (_, fd) = self.table_cache.remove(pos).expect("position valid");
+            let (_, fd) = self.table_cache.remove(pos).expect("position valid"); // lint: unwrap-ok — position() just found the entry
             k.close(ctx, fd)?;
         }
         Ok(())

@@ -15,6 +15,7 @@ fn run(w: WorkloadKind, p: PolicyKind, scale: &Scale) -> engine::RunReport {
             bw_ratio: 8,
         },
         kernel_params: None,
+        faults: None,
     })
     .expect("run completes")
 }
