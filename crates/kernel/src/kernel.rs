@@ -14,9 +14,9 @@
 //! the journal; socket I/O allocates socks, skbuffs, data buffers, and
 //! RX ring pages.
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
-use kloc_mem::{DiskOp, FrameId, PageKind};
+use kloc_mem::{DiskOp, FrameId, FrameSet, PageKind};
 
 use crate::block::BlockLayer;
 use crate::disk::{Disk, IoPattern};
@@ -24,7 +24,7 @@ use crate::error::KernelError;
 use crate::extent::ExtentTree;
 use crate::hooks::{Ctx, PageRequest};
 use crate::journal::{Journal, MetaUpdate};
-use crate::lru::{List, PageLru};
+use crate::lru::{List, ShardedPageLru};
 use crate::net::{NetStats, Packet, RxQueue};
 use crate::obj::{Backing, KernelObjectType, ObjectId, ObjectInfo, ObjectTable};
 use crate::pagecache::PageCache;
@@ -47,8 +47,9 @@ pub struct Kernel {
     disk: Disk,
     block: BlockLayer,
     readahead: Readahead,
-    /// LRU of page-cache frames, for the cache-budget shrinker.
-    cache_lru: PageLru,
+    /// LRU of page-cache frames, for the cache-budget shrinker
+    /// (sharded; shard count from [`KernelParams::shards`]).
+    cache_lru: ShardedPageLru,
     /// frame -> (inode, page index) for cached file pages.
     cache_index: CacheIndex,
     /// Live file page-cache pages (budget accounting).
@@ -56,8 +57,9 @@ pub struct Kernel {
     /// Globally dirty pages and their flush order.
     dirty_pages: u64,
     dirty_list: VecDeque<(InodeId, u64)>,
-    /// Frames brought in by readahead, awaiting first real use.
-    prefetched: HashSet<FrameId>,
+    /// Frames brought in by readahead, awaiting first real use
+    /// (direct-mapped by frame slot — checked on every cache hit).
+    prefetched: FrameSet,
     /// What has actually reached the disk (crash-recovery model).
     durable: DurableStore,
     /// What successful `fsync` calls have promised is durable.
@@ -83,12 +85,12 @@ impl Kernel {
             disk: Disk::nvme(),
             block: BlockLayer::new(),
             readahead: Readahead::new(params.readahead_max),
-            cache_lru: PageLru::new(),
-            cache_index: CacheIndex::default(),
+            cache_lru: ShardedPageLru::new(params.shards),
+            cache_index: CacheIndex::new(params.shards),
             cache_pages: 0,
             dirty_pages: 0,
             dirty_list: VecDeque::new(),
-            prefetched: HashSet::new(),
+            prefetched: FrameSet::new(),
             durable: DurableStore::default(),
             promise: Promise::default(),
             stats: KernelStats::default(),
@@ -282,7 +284,7 @@ impl Kernel {
                     self.cache_pages -= 1;
                 }
                 self.cache_lru.remove(kobj.frame);
-                self.prefetched.remove(&kobj.frame);
+                self.prefetched.remove(kobj.frame);
                 ctx.hooks.on_page_free(kobj.frame, ctx.mem);
                 ctx.mem.free(kobj.frame)?;
             }
@@ -711,7 +713,7 @@ impl Kernel {
     }
 
     fn note_prefetch_hit(&mut self, frame: FrameId) {
-        if self.prefetched.remove(&frame) {
+        if self.prefetched.remove(frame) {
             self.readahead.record_useful();
         }
     }
@@ -1581,8 +1583,7 @@ impl Kernel {
         self.cache_lru.ksan_audit(out);
         // Reverse direction: every reverse-map entry round-trips into
         // the owning inode's page cache.
-        for entry in self.cache_index.slots.iter().flatten() {
-            let (frame, ino, idx) = *entry;
+        for (frame, ino, idx) in self.cache_index.iter() {
             let hit = self
                 .vfs
                 .inode(ino)
@@ -1604,8 +1605,9 @@ impl Kernel {
     /// entry of the first cached frame while the page stays cached.
     #[doc(hidden)]
     pub fn ksan_break_cache_index(&mut self) {
-        if let Some(entry) = self.cache_index.slots.iter_mut().find(|s| s.is_some()) {
-            *entry = None;
+        let first = self.cache_index.iter().next();
+        if let Some((frame, _, _)) = first {
+            self.cache_index.remove(frame);
         }
     }
 
@@ -1613,54 +1615,93 @@ impl Kernel {
     /// cached frame from the page LRU while the page stays cached.
     #[doc(hidden)]
     pub fn ksan_break_cache_lru(&mut self) {
-        let frame = self
-            .cache_index
-            .slots
-            .iter()
-            .flatten()
-            .map(|&(frame, _, _)| frame)
-            .next();
+        let frame = self.cache_index.iter().map(|(frame, _, _)| frame).next();
         if let Some(frame) = frame {
             self.cache_lru.remove(frame);
         }
     }
+
+    /// Corruption hook for sanitizer self-tests: relocates one cached
+    /// frame onto the wrong LRU shard.
+    #[doc(hidden)]
+    pub fn ksan_break_lru_homing(&mut self) {
+        self.cache_lru.ksan_break_homing();
+    }
 }
 
 /// frame -> (inode, page index) reverse map for cached file pages,
-/// direct-mapped by [`FrameId::slot`]. Entries store the full frame id so
-/// a slot recycled by the frame table (fresh generation) misses instead
-/// of aliasing; the kernel removes entries on page free, so stale
-/// occupants only arise transiently and are overwritten on insert.
-#[derive(Debug, Default)]
+/// direct-mapped by [`FrameId::slot`] and sharded by the slot's low bits
+/// (shard = `slot & mask`, intra-shard index = `slot >> shard_bits` — the
+/// same homing as every other sharded hot-path structure). Entries store
+/// the full frame id so a slot recycled by the frame table (fresh
+/// generation) misses instead of aliasing; the kernel removes entries on
+/// page free, so stale occupants only arise transiently and are
+/// overwritten on insert.
+#[derive(Debug)]
 struct CacheIndex {
-    slots: Vec<Option<(FrameId, InodeId, u64)>>,
+    shard_bits: u32,
+    mask: u32,
+    shards: Vec<Vec<Option<(FrameId, InodeId, u64)>>>,
 }
 
 impl CacheIndex {
+    fn new(shards: u32) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        CacheIndex {
+            shard_bits: count.trailing_zeros(),
+            mask: count - 1,
+            shards: (0..count).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    #[inline]
+    fn place(&self, frame: FrameId) -> (usize, usize) {
+        let slot = frame.slot();
+        (
+            (slot & self.mask) as usize,
+            (slot >> self.shard_bits) as usize,
+        )
+    }
+
     fn get(&self, frame: FrameId) -> Option<(InodeId, u64)> {
-        match self.slots.get(frame.slot() as usize) {
+        let (shard, i) = self.place(frame);
+        match self.shards[shard].get(i) {
             Some(&Some((f, ino, idx))) if f == frame => Some((ino, idx)),
             _ => None,
         }
     }
 
     fn insert(&mut self, frame: FrameId, ino: InodeId, idx: u64) {
-        let i = frame.slot() as usize;
-        if i >= self.slots.len() {
-            self.slots.resize(i + 1, None);
+        let (shard, i) = self.place(frame);
+        let slots = &mut self.shards[shard];
+        if i >= slots.len() {
+            slots.resize(i + 1, None);
         }
-        self.slots[i] = Some((frame, ino, idx));
+        slots[i] = Some((frame, ino, idx));
     }
 
     /// Removes `frame`'s entry; returns whether it was present.
     fn remove(&mut self, frame: FrameId) -> bool {
-        match self.slots.get_mut(frame.slot() as usize) {
+        let (shard, i) = self.place(frame);
+        match self.shards[shard].get_mut(i) {
             Some(slot @ &mut Some((f, _, _))) if f == frame => {
                 *slot = None;
                 true
             }
             _ => false,
         }
+    }
+
+    /// Iterates entries in global slot order (ascending `FrameId::slot`),
+    /// independent of the shard count.
+    #[cfg(feature = "ksan")]
+    fn iter(&self) -> impl Iterator<Item = (FrameId, InodeId, u64)> + '_ {
+        let depth = self.shards.iter().map(Vec::len).max().unwrap_or(0);
+        (0..depth).flat_map(move |i| {
+            self.shards
+                .iter()
+                .filter_map(move |slots| slots.get(i).copied().flatten())
+        })
     }
 }
 

@@ -6,11 +6,16 @@
 //! object** — those nodes are themselves kernel objects that the paper's
 //! Fig. 2a accounts for and that KLOCs tier.
 //!
+//! Storage mirrors the radix shape: a dense chunk directory indexed by
+//! `idx / fanout`, each populated chunk holding a dense slot array of
+//! `fanout` pages. Lookup is two array indexes — the previous
+//! implementation kept every page of an inode in one `BTreeMap` and paid
+//! an O(log n) descent on the simulator's hottest read path. Each chunk
+//! also counts its dirty pages so writeback scans skip clean chunks.
+//!
 //! This module is a pure data structure: the caller (the [`crate::Kernel`]
 //! facade) allocates/frees the radix-node and page objects and charges
 //! access costs; the page cache only records the mapping.
-
-use std::collections::BTreeMap;
 
 use kloc_mem::FrameId;
 
@@ -32,10 +37,26 @@ pub struct CachedPage {
     pub version: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct Chunk {
     node_obj: ObjectId,
     pages: u32,
+    /// Dirty pages within this chunk (lets dirty scans skip clean
+    /// chunks).
+    dirty: u32,
+    /// Dense page slots, indexed by `idx % fanout`.
+    slots: Box<[Option<CachedPage>]>,
+}
+
+impl Chunk {
+    fn new(node_obj: ObjectId, fanout: u64) -> Self {
+        Chunk {
+            node_obj,
+            pages: 0,
+            dirty: 0,
+            slots: vec![None; fanout as usize].into_boxed_slice(),
+        }
+    }
 }
 
 /// Outcome of removing a page: the page record, plus the radix-node
@@ -52,8 +73,11 @@ pub struct Removed {
 #[derive(Debug, Clone, Default)]
 pub struct PageCache {
     fanout: u64,
-    pages: BTreeMap<u64, CachedPage>,
-    chunks: BTreeMap<u64, Chunk>,
+    /// Chunk directory, indexed by `idx / fanout`; `None` marks an
+    /// unpopulated chunk.
+    chunks: Vec<Option<Chunk>>,
+    pages: usize,
+    nodes: usize,
     dirty: u64,
 }
 
@@ -75,12 +99,12 @@ impl PageCache {
 
     /// Number of cached pages.
     pub fn len(&self) -> usize {
-        self.pages.len()
+        self.pages
     }
 
     /// Whether no pages are cached.
     pub fn is_empty(&self) -> bool {
-        self.pages.is_empty()
+        self.pages == 0
     }
 
     /// Number of dirty pages.
@@ -90,16 +114,26 @@ impl PageCache {
 
     /// Number of live radix nodes.
     pub fn node_count(&self) -> usize {
-        self.chunks.len()
+        self.nodes
     }
 
-    fn chunk_of(&self, idx: u64) -> u64 {
-        idx / self.fanout
+    fn chunk_of(&self, idx: u64) -> usize {
+        (idx / self.fanout) as usize
+    }
+
+    #[inline]
+    fn slot_of(&self, idx: u64) -> usize {
+        (idx % self.fanout) as usize
+    }
+
+    #[inline]
+    fn chunk(&self, idx: u64) -> Option<&Chunk> {
+        self.chunks.get(self.chunk_of(idx))?.as_ref()
     }
 
     /// Whether inserting page `idx` requires a new radix node first.
     pub fn needs_node(&self, idx: u64) -> bool {
-        !self.chunks.contains_key(&self.chunk_of(idx))
+        self.chunk(idx).is_none()
     }
 
     /// The radix-node object covering page `idx`, if populated. The
@@ -107,7 +141,7 @@ impl PageCache {
     /// traversal cost, paper §4.2.3 measures ~10 references per lookup
     /// on a single big tree).
     pub fn node_for(&self, idx: u64) -> Option<ObjectId> {
-        self.chunks.get(&self.chunk_of(idx)).map(|c| c.node_obj)
+        self.chunk(idx).map(|c| c.node_obj)
     }
 
     /// Installs a freshly allocated radix node for the chunk covering
@@ -117,8 +151,13 @@ impl PageCache {
     /// Panics if the chunk already has a node.
     pub fn install_node(&mut self, idx: u64, node_obj: ObjectId) {
         let chunk = self.chunk_of(idx);
-        let prev = self.chunks.insert(chunk, Chunk { node_obj, pages: 0 });
-        assert!(prev.is_none(), "chunk {chunk} already has a radix node");
+        if chunk >= self.chunks.len() {
+            self.chunks.resize_with(chunk + 1, || None);
+        }
+        let entry = &mut self.chunks[chunk];
+        assert!(entry.is_none(), "chunk {chunk} already has a radix node");
+        *entry = Some(Chunk::new(node_obj, self.fanout));
+        self.nodes += 1;
     }
 
     /// Inserts a page.
@@ -128,39 +167,47 @@ impl PageCache {
     /// (call [`PageCache::install_node`] first).
     pub fn insert(&mut self, idx: u64, obj: ObjectId, frame: FrameId, dirty: bool) {
         let chunk = self.chunk_of(idx);
+        let slot = self.slot_of(idx);
         let c = self
             .chunks
-            .get_mut(&chunk)
+            .get_mut(chunk)
+            .and_then(Option::as_mut)
             .expect("insert before install_node"); // lint: unwrap-ok — install_node requires a prior insert
-        let prev = self.pages.insert(
-            idx,
-            CachedPage {
-                obj,
-                frame,
-                dirty,
-                version: u64::from(dirty),
-            },
-        );
+        let prev = c.slots[slot].replace(CachedPage {
+            obj,
+            frame,
+            dirty,
+            version: u64::from(dirty),
+        });
         assert!(prev.is_none(), "page {idx} already cached");
         c.pages += 1;
         if dirty {
+            c.dirty += 1;
             self.dirty += 1;
         }
+        self.pages += 1;
     }
 
     /// Looks up a page.
+    #[inline]
     pub fn get(&self, idx: u64) -> Option<&CachedPage> {
-        self.pages.get(&idx)
+        let slot = self.slot_of(idx);
+        self.chunk(idx)?.slots[slot].as_ref()
     }
 
     /// Marks a page dirty, advancing its content version (every call is
     /// one more write the crash checker can account for). Returns
     /// whether the page exists.
     pub fn mark_dirty(&mut self, idx: u64) -> bool {
-        match self.pages.get_mut(&idx) {
+        let (chunk, slot) = (self.chunk_of(idx), self.slot_of(idx));
+        let Some(c) = self.chunks.get_mut(chunk).and_then(Option::as_mut) else {
+            return false;
+        };
+        match c.slots[slot].as_mut() {
             Some(p) => {
                 if !p.dirty {
                     p.dirty = true;
+                    c.dirty += 1;
                     self.dirty += 1;
                 }
                 p.version += 1;
@@ -172,10 +219,15 @@ impl PageCache {
 
     /// Marks a page clean. Returns whether the page exists.
     pub fn mark_clean(&mut self, idx: u64) -> bool {
-        match self.pages.get_mut(&idx) {
+        let (chunk, slot) = (self.chunk_of(idx), self.slot_of(idx));
+        let Some(c) = self.chunks.get_mut(chunk).and_then(Option::as_mut) else {
+            return false;
+        };
+        match c.slots[slot].as_mut() {
             Some(p) => {
                 if p.dirty {
                     p.dirty = false;
+                    c.dirty -= 1;
                     self.dirty -= 1;
                 }
                 true
@@ -186,16 +238,19 @@ impl PageCache {
 
     /// Removes a page, reporting any radix node that must be freed.
     pub fn remove(&mut self, idx: u64) -> Option<Removed> {
-        let page = self.pages.remove(&idx)?;
+        let (chunk, slot) = (self.chunk_of(idx), self.slot_of(idx));
+        let c = self.chunks.get_mut(chunk).and_then(Option::as_mut)?;
+        let page = c.slots[slot].take()?;
         if page.dirty {
+            c.dirty -= 1;
             self.dirty -= 1;
         }
-        let chunk = self.chunk_of(idx);
-        let c = self.chunks.get_mut(&chunk).expect("page without chunk"); // lint: unwrap-ok — every cached page has its chunk
         c.pages -= 1;
+        self.pages -= 1;
         let freed_node = if c.pages == 0 {
             let node = c.node_obj;
-            self.chunks.remove(&chunk);
+            self.chunks[chunk] = None;
+            self.nodes -= 1;
             Some(node)
         } else {
             None
@@ -206,27 +261,48 @@ impl PageCache {
     /// Empties the cache, returning all pages and all radix-node objects
     /// (inode teardown). Dirty accounting is reset.
     pub fn take_all(&mut self) -> (Vec<CachedPage>, Vec<ObjectId>) {
-        let pages = std::mem::take(&mut self.pages).into_values().collect();
-        let nodes = std::mem::take(&mut self.chunks)
-            .into_values()
-            .map(|c| c.node_obj)
-            .collect();
+        let mut pages = Vec::with_capacity(self.pages);
+        let mut nodes = Vec::with_capacity(self.nodes);
+        for chunk in std::mem::take(&mut self.chunks).into_iter().flatten() {
+            nodes.push(chunk.node_obj);
+            pages.extend(chunk.slots.into_vec().into_iter().flatten());
+        }
+        self.pages = 0;
+        self.nodes = 0;
         self.dirty = 0;
         (pages, nodes)
     }
 
     /// Iterates `(index, page)` in index order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &CachedPage)> {
-        self.pages.iter().map(|(i, p)| (*i, p))
+        let fanout = self.fanout;
+        self.chunks
+            .iter()
+            .enumerate()
+            .filter_map(|(ci, c)| c.as_ref().map(|c| (ci, c)))
+            .flat_map(move |(ci, c)| {
+                c.slots.iter().enumerate().filter_map(move |(si, p)| {
+                    p.as_ref().map(|p| (ci as u64 * fanout + si as u64, p))
+                })
+            })
     }
 
-    /// Indices of all dirty pages, in order.
+    /// Indices of all dirty pages, in order. Clean chunks are skipped
+    /// via their dirty counters.
     pub fn dirty_indices(&self) -> Vec<u64> {
-        self.pages
-            .iter()
-            .filter(|(_, p)| p.dirty)
-            .map(|(i, _)| *i)
-            .collect()
+        let mut out = Vec::with_capacity(self.dirty as usize);
+        for (ci, c) in self.chunks.iter().enumerate() {
+            let Some(c) = c else { continue };
+            if c.dirty == 0 {
+                continue;
+            }
+            for (si, p) in c.slots.iter().enumerate() {
+                if p.as_ref().is_some_and(|p| p.dirty) {
+                    out.push(ci as u64 * self.fanout + si as u64);
+                }
+            }
+        }
+        out
     }
 }
 
@@ -336,5 +412,19 @@ mod tests {
         }
         let order: Vec<u64> = pc.iter().map(|(i, _)| i).collect();
         assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn reinstalling_a_freed_chunk_works() {
+        let mut pc = PageCache::new(2);
+        pc.install_node(0, ObjectId(900));
+        let (o, f) = page(0);
+        pc.insert(0, o, f, false);
+        assert!(pc.remove(0).unwrap().freed_node.is_some());
+        assert!(pc.needs_node(0), "chunk directory entry cleared");
+        pc.install_node(0, ObjectId(901));
+        pc.insert(1, o, f, true);
+        assert_eq!(pc.node_for(1), Some(ObjectId(901)));
+        assert_eq!(pc.dirty_indices(), vec![1]);
     }
 }

@@ -68,6 +68,17 @@ pub struct KernelParams {
     /// this hypothesis needs to be tested in future studies" — the THP
     /// ablation tests it).
     pub thp_app: bool,
+    /// Shard count for the sharded hot-path structures (page-cache LRU,
+    /// cache reverse map, frame free lists). Rounded up to a power of
+    /// two. Sharding is structural only: reports are byte-identical at
+    /// any value (the shards share one recency-stamp order).
+    #[cfg_attr(feature = "serde", serde(default = "default_shards"))]
+    pub shards: u32,
+}
+
+#[cfg(feature = "serde")]
+fn default_shards() -> u32 {
+    4
 }
 
 impl Default for KernelParams {
@@ -95,6 +106,7 @@ impl Default for KernelParams {
             io_retry_base: Nanos::from_micros(50),
             io_retry_cap: Nanos::from_micros(400),
             thp_app: false,
+            shards: 4,
         }
     }
 }

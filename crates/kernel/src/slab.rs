@@ -15,8 +15,6 @@
 //! The allocator only manages frames and slot counts; CPU cost charging
 //! and object-table bookkeeping are done by the [`crate::Kernel`] facade.
 
-use std::collections::BTreeMap;
-
 use kloc_mem::{FrameId, PageKind};
 
 use crate::error::KernelError;
@@ -24,32 +22,95 @@ use crate::hooks::{Ctx, PageRequest};
 use crate::obj::KernelObjectType;
 use crate::vfs::InodeId;
 
-/// Cache key. Shared (slab) mode keys by object type — classic
-/// `kmem_cache` behaviour where objects of many files pack together.
-/// Sharded (KLOC kvma) mode keys by `inode % shards` — one context's
-/// small objects share an arena of frames with at most a shard's worth
-/// of co-residents, so en-masse migration mostly moves related objects
-/// and internal fragmentation stays bounded by the shard count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct CacheKey {
-    ty: Option<KernelObjectType>,
-    inode: Option<InodeId>,
-}
-
+/// Per-frame occupancy plus the cache the frame belongs to, stored in a
+/// slot-direct table (see [`FrameMap`]).
 #[derive(Debug, Clone, Copy)]
 struct FrameUse {
+    /// Full frame id occupying this slot, [`FrameMap::VACANT`] if none.
+    id: u64,
     used_bytes: u64,
     live_objects: u32,
+    /// Dense cache index (see [`PackedAllocator::cache_index`]).
+    cache: u32,
 }
 
+/// Frame occupancy table, direct-mapped by [`FrameId::slot`]. Frame
+/// slots are dense and at most one live frame occupies a slot, so
+/// lookup is one array read against the stored full id — stale
+/// generations miss, which is what makes lazily popped `partial`
+/// entries safe.
+#[derive(Debug, Default)]
+struct FrameMap {
+    slots: Vec<FrameUse>,
+    len: usize,
+}
+
+impl FrameMap {
+    /// Vacant-slot sentinel (no real id carries generation *and* slot
+    /// `u32::MAX`).
+    const VACANT: u64 = u64::MAX;
+
+    fn get_mut(&mut self, frame: FrameId) -> Option<&mut FrameUse> {
+        self.slots
+            .get_mut(frame.slot() as usize)
+            .filter(|u| u.id == frame.0)
+    }
+
+    fn insert(&mut self, frame: FrameId, used_bytes: u64, cache: u32) {
+        let slot = frame.slot() as usize;
+        if slot >= self.slots.len() {
+            self.slots.resize(
+                slot + 1,
+                FrameUse {
+                    id: Self::VACANT,
+                    used_bytes: 0,
+                    live_objects: 0,
+                    cache: 0,
+                },
+            );
+        }
+        debug_assert_eq!(self.slots[slot].id, Self::VACANT, "slot {slot} occupied");
+        self.slots[slot] = FrameUse {
+            id: frame.0,
+            used_bytes,
+            live_objects: 1,
+            cache,
+        };
+        self.len += 1;
+    }
+
+    fn remove(&mut self, frame: FrameId) {
+        if let Some(u) = self.get_mut(frame) {
+            u.id = Self::VACANT;
+            self.len -= 1;
+        }
+    }
+
+    /// Occupied entries in slot order.
+    fn iter(&self) -> impl Iterator<Item = (FrameId, &FrameUse)> {
+        self.slots
+            .iter()
+            .filter(|u| u.id != Self::VACANT)
+            .map(|u| (FrameId(u.id), u))
+    }
+}
+
+/// Frames of one cache with at least one free slot.
 #[derive(Debug, Default)]
 struct Cache {
-    /// Frames with at least one free slot.
     partial: Vec<FrameId>,
-    frames: BTreeMap<FrameId, FrameUse>,
 }
 
 /// A packed (slab-like) allocator over one [`PageKind`].
+///
+/// Caches are keyed densely: shared (slab) mode packs by object type —
+/// classic `kmem_cache` behaviour where objects of many files pack
+/// together — while sharded (KLOC kvma) mode packs by `inode % shards`,
+/// so one context's small objects share an arena of frames with at most
+/// a shard's worth of co-residents: en-masse migration mostly moves
+/// related objects and internal fragmentation stays bounded by the
+/// shard count. Both keyings map to a small dense index, so the per
+/// alloc/free cache lookup is an array access, not a map search.
 #[derive(Debug)]
 pub struct PackedAllocator {
     kind: PageKind,
@@ -59,9 +120,12 @@ pub struct PackedAllocator {
     /// while bounding internal fragmentation to one partial frame per
     /// shard.
     inode_shards: Option<u64>,
-    caches: BTreeMap<CacheKey, Cache>,
-    /// Reverse map frame -> cache key, for diagnostics and invariants.
-    frame_key: BTreeMap<FrameId, CacheKey>,
+    /// Dense cache table: indexes `0..shards` are inode shards, the
+    /// tail indexes are per-type caches (for sharded allocators serving
+    /// inode-less allocations, and for classic slab mode throughout).
+    caches: Vec<Cache>,
+    /// Frame -> (occupancy, owning cache), slot-direct.
+    frames: FrameMap,
     frames_allocated: u64,
     frames_freed: u64,
 }
@@ -74,8 +138,8 @@ impl PackedAllocator {
         PackedAllocator {
             kind,
             inode_shards,
-            caches: BTreeMap::new(),
-            frame_key: BTreeMap::new(),
+            caches: Vec::new(),
+            frames: FrameMap::default(),
             frames_allocated: 0,
             frames_freed: 0,
         }
@@ -88,7 +152,7 @@ impl PackedAllocator {
 
     /// Number of live frames currently owned.
     pub fn live_frames(&self) -> usize {
-        self.frame_key.len()
+        self.frames.len
     }
 
     /// Cumulative frames ever allocated.
@@ -96,17 +160,20 @@ impl PackedAllocator {
         self.frames_allocated
     }
 
-    fn key(&self, ty: KernelObjectType, inode: Option<InodeId>) -> CacheKey {
-        match (self.inode_shards, inode) {
-            (Some(shards), Some(i)) => CacheKey {
-                ty: None,
-                inode: Some(InodeId(i.0 % shards.max(1))),
-            },
-            _ => CacheKey {
-                ty: Some(ty),
-                inode: None,
-            },
-        }
+    /// Dense cache index: inode shard when sharding applies, else the
+    /// per-type cache past the shard range.
+    fn cache_index(&self, ty: KernelObjectType, inode: Option<InodeId>) -> usize {
+        let shard_base = match self.inode_shards {
+            Some(shards) => {
+                let shards = shards.max(1);
+                if let Some(i) = inode {
+                    return (i.0 % shards) as usize;
+                }
+                shards as usize
+            }
+            None => 0,
+        };
+        shard_base + ty as usize
     }
 
     /// Allocates one slot for an object of `ty` (owned by `inode`),
@@ -123,13 +190,16 @@ impl PackedAllocator {
         inode: Option<InodeId>,
         readahead: bool,
     ) -> Result<FrameId, KernelError> {
-        let key = self.key(ty, inode);
+        let ci = self.cache_index(ty, inode);
         let size = ty.size().min(kloc_mem::PAGE_SIZE);
-        let cache = self.caches.entry(key).or_default();
+        if ci >= self.caches.len() {
+            self.caches.resize_with(ci + 1, Cache::default);
+        }
+        let cache = &mut self.caches[ci];
 
         // Reuse a partial frame if one has room.
         while let Some(&frame) = cache.partial.last() {
-            let Some(u) = cache.frames.get_mut(&frame) else {
+            let Some(u) = self.frames.get_mut(frame) else {
                 // Stale entry (frame emptied and freed).
                 cache.partial.pop();
                 continue;
@@ -158,17 +228,11 @@ impl PackedAllocator {
             .mem
             .allocate_preferring(&placement.preference, self.kind)?;
         self.frames_allocated += 1;
-        cache.frames.insert(
-            frame,
-            FrameUse {
-                used_bytes: size,
-                live_objects: 1,
-            },
-        );
+        // lint: truncation-ok — cache indexes are small (shards + types)
+        self.frames.insert(frame, size, ci as u32);
         if size * 2 <= kloc_mem::PAGE_SIZE {
-            cache.partial.push(frame);
+            self.caches[ci].partial.push(frame);
         }
-        self.frame_key.insert(frame, key);
         Ok(frame)
     }
 
@@ -186,26 +250,25 @@ impl PackedAllocator {
         inode: Option<InodeId>,
         frame: FrameId,
     ) -> Result<(), KernelError> {
-        let key = self.key(ty, inode);
+        let ci = self.cache_index(ty, inode);
         let size = ty.size().min(kloc_mem::PAGE_SIZE);
-        let cache = self
-            .caches
-            .get_mut(&key)
-            .ok_or(KernelError::Mem(kloc_mem::MemError::BadFrame(frame)))?;
-        let u = cache
+        // A frame freed under the wrong type/inode would resolve to a
+        // different cache: reject it like the unknown-frame case.
+        let u = self
             .frames
-            .get_mut(&frame)
+            .get_mut(frame)
+            .filter(|u| u.cache as usize == ci)
             .ok_or(KernelError::Mem(kloc_mem::MemError::BadFrame(frame)))?;
         let was_full = u.used_bytes + size > kloc_mem::PAGE_SIZE;
         debug_assert!(u.live_objects > 0, "slot underflow on {frame}");
         u.live_objects -= 1;
         u.used_bytes = u.used_bytes.saturating_sub(size);
+        let cache = &mut self.caches[ci];
         if u.live_objects == 0 {
-            cache.frames.remove(&frame);
+            self.frames.remove(frame);
             if let Some(pos) = cache.partial.iter().position(|&f| f == frame) {
                 cache.partial.swap_remove(pos);
             }
-            self.frame_key.remove(&frame);
             self.frames_freed += 1;
             ctx.hooks.on_page_free(frame, ctx.mem);
             ctx.mem.free(frame)?;
@@ -215,83 +278,57 @@ impl PackedAllocator {
         Ok(())
     }
 
-    /// Iterates the live frames owned by this allocator.
+    /// Iterates the live frames owned by this allocator, in frame-slot
+    /// order.
     pub fn frames(&self) -> impl Iterator<Item = FrameId> + '_ {
-        self.frame_key.keys().copied()
+        self.frames.iter().map(|(f, _)| f)
     }
 }
 
 #[cfg(feature = "ksan")]
 impl PackedAllocator {
-    /// Cross-checks the per-cache frame tables against the reverse map
-    /// and the frame table: both directions of the frame <-> cache
-    /// association, per-frame occupancy (the structured form of the
-    /// `slot underflow` debug assertion), packing bounds, the partial
-    /// lists, and liveness of every owned frame in `mem`. Observation
-    /// only.
+    /// Cross-checks the frame table: every frame's cache association
+    /// names an existing cache, per-frame occupancy (the structured
+    /// form of the `slot underflow` debug assertion), packing bounds,
+    /// the partial lists, and liveness of every owned frame in `mem`.
+    /// Observation only.
     pub fn ksan_audit(
         &self,
         mem: &kloc_mem::MemorySystem,
         out: &mut Vec<kloc_mem::ksan::Violation>,
     ) {
         use kloc_mem::ksan::Violation;
-        let mut cache_frames = 0usize;
-        for (key, cache) in &self.caches {
-            cache_frames += cache.frames.len();
-            for (&frame, u) in &cache.frames {
-                if self.frame_key.get(&frame) != Some(key) {
-                    out.push(Violation::new(
-                        "PackedAllocator.caches <-> PackedAllocator.frame_key",
-                        format!("frame {frame}"),
-                        "the reverse map names the cache holding the frame",
-                        format!("{key:?}"),
-                        format!("{:?}", self.frame_key.get(&frame)),
-                    ));
-                }
-                if u.live_objects == 0 {
-                    out.push(Violation::new(
-                        "PackedAllocator FrameUse.live_objects",
-                        format!("frame {frame}"),
-                        "a tracked frame holds at least one live object",
-                        "> 0 live objects".to_owned(),
-                        "0 live objects".to_owned(),
-                    ));
-                }
-                if u.used_bytes > kloc_mem::PAGE_SIZE {
-                    out.push(Violation::new(
-                        "PackedAllocator FrameUse.used_bytes",
-                        format!("frame {frame}"),
-                        "packed objects fit in one page",
-                        format!("<= {} bytes", kloc_mem::PAGE_SIZE),
-                        format!("{} bytes", u.used_bytes),
-                    ));
-                }
+        for (frame, u) in self.frames.iter() {
+            if u.cache as usize >= self.caches.len() {
+                out.push(Violation::new(
+                    "PackedAllocator.frames <-> PackedAllocator.caches",
+                    format!("frame {frame}"),
+                    "the frame's cache association names an existing cache",
+                    format!("cache < {}", self.caches.len()),
+                    format!("cache {}", u.cache),
+                ));
             }
-            for &frame in &cache.partial {
-                if !cache.frames.contains_key(&frame) {
-                    out.push(Violation::new(
-                        "PackedAllocator Cache.partial <-> Cache.frames",
-                        format!("frame {frame}"),
-                        "partial-list frames are tracked by their cache",
-                        "tracked".to_owned(),
-                        "untracked".to_owned(),
-                    ));
-                }
+            if u.live_objects == 0 {
+                out.push(Violation::new(
+                    "PackedAllocator FrameUse.live_objects",
+                    format!("frame {frame}"),
+                    "a tracked frame holds at least one live object",
+                    "> 0 live objects".to_owned(),
+                    "0 live objects".to_owned(),
+                ));
             }
-        }
-        if cache_frames != self.frame_key.len() {
-            out.push(Violation::new(
-                "PackedAllocator.caches <-> PackedAllocator.frame_key",
-                "packed allocator",
-                "the reverse map covers exactly the frames of all caches",
-                format!("{cache_frames} cache frames"),
-                format!("{} reverse-map entries", self.frame_key.len()),
-            ));
-        }
-        for &frame in self.frame_key.keys() {
+            if u.used_bytes > kloc_mem::PAGE_SIZE {
+                out.push(Violation::new(
+                    "PackedAllocator FrameUse.used_bytes",
+                    format!("frame {frame}"),
+                    "packed objects fit in one page",
+                    format!("<= {} bytes", kloc_mem::PAGE_SIZE),
+                    format!("{} bytes", u.used_bytes),
+                ));
+            }
             if !mem.is_live(frame) {
                 out.push(Violation::new(
-                    "PackedAllocator.frame_key <-> FrameTable",
+                    "PackedAllocator.frames <-> FrameTable",
                     format!("frame {frame}"),
                     "every owned frame is live in the memory system",
                     "live".to_owned(),
@@ -299,14 +336,39 @@ impl PackedAllocator {
                 ));
             }
         }
+        // Partial lists may hold stale ids of frames that emptied (they
+        // are popped lazily), but a *live* entry must belong to the
+        // cache whose list names it.
+        for (ci, cache) in self.caches.iter().enumerate() {
+            for &frame in &cache.partial {
+                let slot = frame.slot() as usize;
+                let Some(u) = self.frames.slots.get(slot).filter(|u| u.id == frame.0) else {
+                    continue;
+                };
+                if u.cache as usize != ci {
+                    out.push(Violation::new(
+                        "PackedAllocator Cache.partial <-> PackedAllocator.frames",
+                        format!("frame {frame}"),
+                        "partial-list frames belong to the cache listing them",
+                        format!("cache {ci}"),
+                        format!("cache {}", u.cache),
+                    ));
+                }
+            }
+        }
     }
 
-    /// Corruption hook for sanitizer self-tests: drops the reverse-map
-    /// entry of the first owned frame while its cache still tracks it.
+    /// Corruption hook for sanitizer self-tests: points the first owned
+    /// frame's cache association at a cache that does not exist.
     #[doc(hidden)]
     pub fn ksan_break_frame_key(&mut self) {
-        if let Some(&frame) = self.frame_key.keys().next() {
-            self.frame_key.remove(&frame);
+        if let Some(u) = self
+            .frames
+            .slots
+            .iter_mut()
+            .find(|u| u.id != FrameMap::VACANT)
+        {
+            u.cache = u32::MAX;
         }
     }
 }

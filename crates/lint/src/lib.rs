@@ -120,7 +120,7 @@ const SPAWN_NEEDLES: &[&str] = &["std::thread", "thread::spawn", "rayon::", "cro
 /// Identifier segments that mark a value as an id/epoch (KL004). A
 /// trailing `.0` tuple projection also counts: every id in this codebase
 /// is a `u64` newtype.
-const ID_SEGMENTS: &[&str] = &["epoch", "inode", "ino", "id", "fd", "obj"];
+const ID_SEGMENTS: &[&str] = &["epoch", "inode", "ino", "id", "fd", "obj", "shard"];
 
 /// Replaces comments and string/char literal contents with spaces,
 /// preserving line structure, so the rule matchers never fire on
@@ -580,10 +580,12 @@ pub fn lint_source(file: &str, source: &str, sim_crate: bool) -> Vec<Diagnostic>
                 continue; // parenthesized expression: out of scope
             }
             let segments: Vec<&str> = path.split('.').filter(|s| !s.is_empty()).collect();
-            let id_like = segments
-                .iter()
-                .any(|s| ID_SEGMENTS.contains(s) || s.ends_with("_id") || s.ends_with("_epoch"))
-                || segments.last() == Some(&"0");
+            let id_like = segments.iter().any(|s| {
+                ID_SEGMENTS.contains(s)
+                    || s.ends_with("_id")
+                    || s.ends_with("_epoch")
+                    || s.ends_with("_shard")
+            }) || segments.last() == Some(&"0");
             if id_like {
                 push(
                     RULE_TRUNCATING_CAST,

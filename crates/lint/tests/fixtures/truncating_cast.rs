@@ -1,5 +1,5 @@
 //! Fixture: KL004 truncating casts on id/epoch-like values.
-//! Expected diagnostics (line, rule): (6, KL004), (11, KL004), (16, KL004).
+//! Expected diagnostics (line, rule): (6, 11, 16, 31, 35, all KL004).
 
 pub fn slot_from_inode(inode: u64) -> u32 {
     // Dropping the generation bits aliases recycled ids.
@@ -24,4 +24,13 @@ pub fn fine(count: usize, ratio: u64) -> (u64, u32) {
 pub fn justified(id: FrameId) -> u32 {
     // lint: truncation-ok — slot extraction: the low 32 bits are the slot.
     id.0 as u32
+}
+
+pub fn shard_home(shard: u64) -> u32 {
+    // Shard indexes derive from ids; truncation aliases shards.
+    shard as u32
+}
+
+pub fn rehome(target_shard: u64) -> u16 {
+    target_shard as u16
 }

@@ -63,6 +63,8 @@ fn truncating_cast_fixture() {
             ("truncating_cast.rs".to_owned(), 6, "KL004"),
             ("truncating_cast.rs".to_owned(), 11, "KL004"),
             ("truncating_cast.rs".to_owned(), 16, "KL004"),
+            ("truncating_cast.rs".to_owned(), 31, "KL004"),
+            ("truncating_cast.rs".to_owned(), 35, "KL004"),
         ],
         "{diags:#?}"
     );

@@ -78,8 +78,15 @@ impl Nanos {
         if bytes_per_sec == 0 {
             return Nanos::ZERO;
         }
-        // ns = bytes / (bytes/s) * 1e9; do the multiply first in u128 to
-        // avoid losing sub-nanosecond precision for small transfers.
+        // ns = bytes / (bytes/s) * 1e9, multiply first to keep
+        // sub-nanosecond precision for small transfers. Every real
+        // transfer (object touch to multi-MB migration) keeps
+        // `bytes * 1e9` inside u64, where the division is a single
+        // hardware instruction; the u128 path exists only for the
+        // >18 GB tail and computes the identical value.
+        if let Some(scaled) = bytes.checked_mul(1_000_000_000) {
+            return Nanos(scaled / bytes_per_sec);
+        }
         let ns = (bytes as u128 * 1_000_000_000u128) / bytes_per_sec as u128;
         Nanos(ns as u64)
     }

@@ -44,6 +44,86 @@ impl fmt::Display for FrameId {
     }
 }
 
+/// A set of live frames, direct-mapped by [`FrameId::slot`].
+///
+/// The frame table keeps slots dense and guarantees at most one live
+/// frame per slot, so membership is one array read against the stored
+/// full id (stale generations miss automatically) — no hashing. This is
+/// the side-table shape the hot paths want for per-frame flags like
+/// "brought in by readahead".
+///
+/// ```
+/// use kloc_mem::{FrameId, FrameSet};
+/// let mut s = FrameSet::new();
+/// assert!(s.insert(FrameId(7)));
+/// assert!(s.contains(FrameId(7)));
+/// // Same slot, newer generation: a different frame.
+/// assert!(!s.contains(FrameId(1 << 32 | 7)));
+/// assert!(s.remove(FrameId(7)));
+/// assert!(s.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FrameSet {
+    /// Full frame id per slot, `EMPTY` when vacant.
+    slots: Vec<u64>,
+    len: usize,
+}
+
+impl FrameSet {
+    /// Vacant-slot sentinel: a real id would need generation `u32::MAX`
+    /// *and* slot `u32::MAX`, beyond any simulated allocation count.
+    const EMPTY: u64 = u64::MAX;
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        FrameSet::default()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `frame` is a member.
+    pub fn contains(&self, frame: FrameId) -> bool {
+        self.slots.get(frame.slot() as usize) == Some(&frame.0)
+    }
+
+    /// Adds `frame`; returns whether it was newly inserted. Replaces a
+    /// stale generation occupying the same slot (that frame is gone).
+    pub fn insert(&mut self, frame: FrameId) -> bool {
+        let slot = frame.slot() as usize;
+        if slot >= self.slots.len() {
+            self.slots.resize(slot + 1, Self::EMPTY);
+        }
+        let prev = std::mem::replace(&mut self.slots[slot], frame.0);
+        if prev == frame.0 {
+            return false;
+        }
+        if prev == Self::EMPTY {
+            self.len += 1;
+        }
+        true
+    }
+
+    /// Removes `frame`; returns whether it was a member.
+    pub fn remove(&mut self, frame: FrameId) -> bool {
+        match self.slots.get_mut(frame.slot() as usize) {
+            Some(s) if *s == frame.0 => {
+                *s = Self::EMPTY;
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
 /// What class of data occupies a frame.
 ///
 /// This is the granularity at which the paper's motivation study
@@ -114,7 +194,10 @@ impl fmt::Display for PageKind {
 }
 
 /// Bookkeeping record for one allocated frame.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Stored column-wise in the [`crate::FrameTable`] (struct-of-arrays);
+/// lookups materialize this view by value, so it is `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Frame {
     pub(crate) id: FrameId,
@@ -222,5 +305,24 @@ mod tests {
     fn display_names() {
         assert_eq!(PageKind::PageCache.to_string(), "page-cache");
         assert_eq!(FrameId(3).to_string(), "frame3");
+    }
+
+    #[test]
+    fn frame_set_tracks_membership_by_full_id() {
+        let mut s = FrameSet::new();
+        assert!(!s.remove(FrameId(3)), "empty set has no members");
+        assert!(s.insert(FrameId(3)));
+        assert!(!s.insert(FrameId(3)), "double insert is a no-op");
+        assert_eq!(s.len(), 1);
+        // A recycled slot (new generation) is a distinct frame.
+        let recycled = FrameId(1 << 32 | 3);
+        assert!(!s.contains(recycled));
+        assert!(!s.remove(recycled));
+        // Inserting the recycled id displaces the stale entry in place.
+        assert!(s.insert(recycled));
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains(FrameId(3)));
+        assert!(s.remove(recycled));
+        assert!(s.is_empty());
     }
 }

@@ -1,38 +1,99 @@
-//! Slab-backed frame table.
+//! Struct-of-arrays frame table with sharded free lists.
 //!
-//! Every simulated memory access looks up its [`Frame`] record, which
-//! makes the frame table the single hottest data structure in the
-//! simulator. A `HashMap<FrameId, Frame>` pays a hash + probe on that
-//! path; this table instead stores frames in a `Vec` of slots indexed
-//! directly by the low bits of the [`FrameId`], with a free-list for slot
-//! reuse — O(1) lookup with no hashing, and allocation is a free-list pop.
+//! Every simulated memory access looks up its frame record, which makes
+//! the frame table the single hottest data structure in the simulator.
+//! Earlier revisions stored a `Vec<Option<Frame>>` (array-of-structs);
+//! this table splits the metadata into parallel dense columns keyed by
+//! slot — identity, tier, kind, flags, migration count, access times and
+//! counts each in their own `Vec` — so the access path touches only the
+//! handful of bytes it reads and the whole table is half the footprint
+//! (no `Option` discriminant, no padding to the widest field).
 //!
 //! [`FrameId`]s stay unique for the lifetime of the table: an id packs
 //! `generation << 32 | slot`, and the generation increments each time a
-//! slot is reused, so a stale id for a reused slot misses (the stored
-//! frame's own id no longer matches).
+//! slot is reused, so a stale id for a reused slot misses (the identity
+//! column no longer matches). Free slots are reused through
+//! [`ShardedFreeLists`], whose stamp ordering reproduces the exact
+//! global LIFO of the old single free list at any shard count.
 
-use crate::frame::{Frame, FrameId};
+use crate::clock::Nanos;
+use crate::frame::{Frame, FrameId, PageKind};
+use crate::shard::{ShardConfig, ShardedFreeLists};
+use crate::tier::TierId;
 
 const SLOT_BITS: u32 = 32;
 const SLOT_MASK: u64 = (1 << SLOT_BITS) - 1;
 
-/// O(1) slab of live [`Frame`] records, indexed by [`FrameId`].
-#[derive(Debug, Default, Clone)]
+/// Flag bit: frame is pinned (non-migratable).
+const FLAG_PINNED: u8 = 1 << 0;
+
+/// O(1) slab of live frame records in struct-of-arrays layout, indexed
+/// by [`FrameId`].
+#[derive(Debug, Clone)]
 pub struct FrameTable {
-    /// Slot storage; `None` marks a free slot.
-    slots: Vec<Option<Frame>>,
+    /// Identity column: the live frame's full id, or the free sentinel
+    /// (generation `u32::MAX`) when the slot is empty. Lookups compare
+    /// against this to reject stale ids.
+    ids: Vec<FrameId>,
+    /// Tier residency column.
+    tiers: Vec<TierId>,
+    /// Page-kind column.
+    kinds: Vec<PageKind>,
+    /// Flag bits column ([`FLAG_PINNED`]).
+    flags: Vec<u8>,
+    /// Migration-count column (saturating 8-bit, paper §4.5).
+    migrations: Vec<u8>,
+    /// Allocation-time column (cold: read on free and in age reports).
+    allocated_at: Vec<Nanos>,
+    /// Last-access-time column.
+    last_access: Vec<Nanos>,
+    /// Access-count column.
+    accesses: Vec<u64>,
     /// Generation of the *next* id handed out for each slot.
     generations: Vec<u32>,
-    /// Free slot indices, reused LIFO.
-    free: Vec<u32>,
+    /// Free slots, allocated in exact global-LIFO order.
+    free: ShardedFreeLists,
     live: usize,
 }
 
+impl Default for FrameTable {
+    fn default() -> Self {
+        FrameTable::new()
+    }
+}
+
 impl FrameTable {
-    /// Creates an empty table.
+    /// Creates an empty table with the default shard config.
     pub fn new() -> Self {
-        FrameTable::default()
+        FrameTable::with_shards(ShardConfig::default())
+    }
+
+    /// Creates an empty table whose free lists use `cfg`.
+    pub fn with_shards(cfg: ShardConfig) -> Self {
+        FrameTable {
+            ids: Vec::new(),
+            tiers: Vec::new(),
+            kinds: Vec::new(),
+            flags: Vec::new(),
+            migrations: Vec::new(),
+            allocated_at: Vec::new(),
+            last_access: Vec::new(),
+            accesses: Vec::new(),
+            generations: Vec::new(),
+            free: ShardedFreeLists::new(cfg),
+            live: 0,
+        }
+    }
+
+    /// Re-shards the free lists in place (observation-equivalent; see
+    /// [`ShardedFreeLists::reshard`]).
+    pub fn reshard(&mut self, cfg: ShardConfig) {
+        self.free.reshard(cfg);
+    }
+
+    /// The free lists' current shard config.
+    pub fn shard_config(&self) -> ShardConfig {
+        self.free.config()
     }
 
     /// Number of live frames.
@@ -48,17 +109,17 @@ impl FrameTable {
     /// Capacity in slots (live + free; high-water mark of concurrent
     /// liveness).
     pub fn slot_capacity(&self) -> usize {
-        self.slots.len()
+        self.ids.len()
     }
 
     /// Reserves the id the next insertion will use, without inserting.
     /// The caller builds the [`Frame`] around the id and passes it to
     /// [`FrameTable::insert`].
     pub fn next_id(&self) -> FrameId {
-        match self.free.last() {
-            Some(&slot) => pack(self.generations[slot as usize], slot),
+        match self.free.peek() {
+            Some(slot) => pack(self.generations[slot as usize], slot),
             None => {
-                let slot = self.slots.len() as u32;
+                let slot = self.ids.len() as u32;
                 pack(0, slot)
             }
         }
@@ -74,13 +135,32 @@ impl FrameTable {
     pub fn insert(&mut self, frame: Frame) -> FrameId {
         let id = frame.id();
         assert_eq!(id, self.next_id(), "frame built for a stale id");
+        let mut flags = 0u8;
+        if frame.pinned() {
+            flags |= FLAG_PINNED;
+        }
         match self.free.pop() {
             Some(slot) => {
-                debug_assert!(self.slots[slot as usize].is_none());
-                self.slots[slot as usize] = Some(frame);
+                let slot = slot as usize;
+                debug_assert_eq!(self.ids[slot], free_sentinel(slot as u32));
+                self.ids[slot] = id;
+                self.tiers[slot] = frame.tier();
+                self.kinds[slot] = frame.kind();
+                self.flags[slot] = flags;
+                self.migrations[slot] = frame.migrations();
+                self.allocated_at[slot] = frame.allocated_at();
+                self.last_access[slot] = frame.last_access();
+                self.accesses[slot] = frame.accesses();
             }
             None => {
-                self.slots.push(Some(frame));
+                self.ids.push(id);
+                self.tiers.push(frame.tier());
+                self.kinds.push(frame.kind());
+                self.flags.push(flags);
+                self.migrations.push(frame.migrations());
+                self.allocated_at.push(frame.allocated_at());
+                self.last_access.push(frame.last_access());
+                self.accesses.push(frame.accesses());
                 self.generations.push(1); // generation 0 handed out
             }
         }
@@ -91,107 +171,211 @@ impl FrameTable {
     /// Removes and returns the frame for `id`, recycling its slot.
     pub fn remove(&mut self, id: FrameId) -> Option<Frame> {
         let slot = slot_of(id);
-        let entry = self.slots.get_mut(slot)?;
-        if entry.as_ref().map(Frame::id) != Some(id) {
+        if self.ids.get(slot) != Some(&id) {
             return None;
         }
-        let frame = entry.take();
+        let frame = self.materialize(slot);
+        self.ids[slot] = free_sentinel(slot as u32);
+        // Wrapping like the original single-list table: after 2^32
+        // reuses of one slot the generation would collide with the free
+        // sentinel, which no simulation length approaches.
         self.generations[slot] = self.generations[slot].wrapping_add(1);
         self.free.push(slot as u32);
         self.live -= 1;
-        frame
+        Some(frame)
     }
 
-    /// Looks up a frame.
+    /// Looks up a frame, materializing the record from the columns.
     #[inline]
-    pub fn get(&self, id: FrameId) -> Option<&Frame> {
-        self.slots
-            .get(slot_of(id))?
-            .as_ref()
-            .filter(|f| f.id() == id)
+    pub fn get(&self, id: FrameId) -> Option<Frame> {
+        let slot = slot_of(id);
+        if self.ids.get(slot) != Some(&id) {
+            return None;
+        }
+        Some(self.materialize(slot))
     }
 
-    /// Looks up a frame mutably.
+    /// Records an access: bumps the access count and last-access time,
+    /// returning the columns the cost model needs. This is the whole
+    /// per-touch hot path — four column reads, two column writes.
     #[inline]
-    pub fn get_mut(&mut self, id: FrameId) -> Option<&mut Frame> {
-        self.slots
-            .get_mut(slot_of(id))?
-            .as_mut()
-            .filter(|f| f.id() == id)
+    pub fn touch(&mut self, id: FrameId, now: Nanos) -> Option<(TierId, PageKind)> {
+        let slot = slot_of(id);
+        if self.ids.get(slot) != Some(&id) {
+            return None;
+        }
+        self.last_access[slot] = now;
+        self.accesses[slot] += 1;
+        Some((self.tiers[slot], self.kinds[slot]))
+    }
+
+    /// Moves a live frame to `tier` and bumps its migration counter.
+    /// Returns `false` for stale ids.
+    #[inline]
+    pub fn record_migration(&mut self, id: FrameId, tier: TierId) -> bool {
+        let slot = slot_of(id);
+        if self.ids.get(slot) != Some(&id) {
+            return false;
+        }
+        self.tiers[slot] = tier;
+        self.migrations[slot] = self.migrations[slot].saturating_add(1);
+        true
     }
 
     /// Whether `id` names a live frame.
     #[inline]
     pub fn contains(&self, id: FrameId) -> bool {
-        self.get(id).is_some()
+        self.ids.get(slot_of(id)) == Some(&id)
     }
 
-    /// Iterates live frames in slot order.
-    pub fn iter(&self) -> impl Iterator<Item = &Frame> {
-        self.slots.iter().filter_map(Option::as_ref)
+    /// Iterates live frames in slot order, materializing each record.
+    pub fn iter(&self) -> impl Iterator<Item = Frame> + '_ {
+        self.ids
+            .iter()
+            .enumerate()
+            .filter(|(slot, id)| !is_free_sentinel(**id, *slot as u32))
+            .map(|(slot, _)| self.materialize(slot))
+    }
+
+    #[inline]
+    fn materialize(&self, slot: usize) -> Frame {
+        Frame {
+            id: self.ids[slot],
+            tier: self.tiers[slot],
+            kind: self.kinds[slot],
+            pinned: self.flags[slot] & FLAG_PINNED != 0,
+            allocated_at: self.allocated_at[slot],
+            last_access: self.last_access[slot],
+            accesses: self.accesses[slot],
+            migrations: self.migrations[slot],
+        }
     }
 }
 
 #[cfg(feature = "ksan")]
 impl FrameTable {
-    /// Cross-checks the table's internal invariants: the live counter
-    /// against the occupied slots, the free list against the empty
-    /// slots, and every stored frame's id against the slot holding it.
-    /// Promotes the ad-hoc `debug_assert!`s on the insert/release paths
-    /// into one auditable report. Observation only.
+    /// Cross-checks the table's internal invariants: every SoA column
+    /// the same length, the live counter against the occupied slots, the
+    /// sharded free lists against the empty slots (disjoint entries that
+    /// partition the slot space with the live frames, local + pool
+    /// occupancy summing to the global accounting, stamps ordered within
+    /// each shard), and every identity entry against the slot holding
+    /// it. Observation only.
     pub fn ksan_audit(&self, out: &mut Vec<crate::ksan::Violation>) {
         use crate::ksan::Violation;
-        let occupied = self.slots.iter().filter(|s| s.is_some()).count();
+        let slots = self.ids.len();
+        let columns = [
+            ("tiers", self.tiers.len()),
+            ("kinds", self.kinds.len()),
+            ("flags", self.flags.len()),
+            ("migrations", self.migrations.len()),
+            ("allocated_at", self.allocated_at.len()),
+            ("last_access", self.last_access.len()),
+            ("accesses", self.accesses.len()),
+            ("generations", self.generations.len()),
+        ];
+        for (name, len) in columns {
+            if len != slots {
+                out.push(Violation::new(
+                    "FrameTable SoA columns",
+                    format!("column {name}"),
+                    "every metadata column is as long as the identity column",
+                    format!("{slots} slots"),
+                    format!("{len} entries"),
+                ));
+            }
+        }
+        let occupied = self
+            .ids
+            .iter()
+            .enumerate()
+            .filter(|(slot, id)| !is_free_sentinel(**id, *slot as u32))
+            .count();
         if occupied != self.live {
             out.push(Violation::new(
-                "FrameTable.live <-> FrameTable.slots",
+                "FrameTable.live <-> FrameTable.ids",
                 "frame table",
                 "live counter equals the number of occupied slots",
                 format!("{occupied} occupied slots"),
                 format!("live = {}", self.live),
             ));
         }
-        if self.generations.len() != self.slots.len() {
+        if self.free.len() + self.live != slots {
             out.push(Violation::new(
-                "FrameTable.generations <-> FrameTable.slots",
-                "frame table",
-                "one generation counter per slot",
-                format!("{} slots", self.slots.len()),
-                format!("{} generations", self.generations.len()),
-            ));
-        }
-        if self.free.len() + self.live != self.slots.len() {
-            out.push(Violation::new(
-                "FrameTable.free <-> FrameTable.slots",
+                "FrameTable.free <-> FrameTable.ids",
                 "frame table",
                 "free + live partition the slot space",
-                format!("{} slots", self.slots.len()),
+                format!("{slots} slots"),
                 format!("{} free + {} live", self.free.len(), self.live),
             ));
         }
-        for &slot in &self.free {
+        let (local, pool) = self.free.occupancy();
+        let held: usize = local.iter().sum::<usize>() + pool;
+        if held != self.free.len() {
+            out.push(Violation::new(
+                "ShardedFreeLists occupancy",
+                "free lists",
+                "shard local + pool entry counts sum to the free total",
+                format!("{} free", self.free.len()),
+                format!("{} local + {pool} pool", local.iter().sum::<usize>()),
+            ));
+        }
+        let mut seen = vec![false; slots];
+        let mut last_stamp = vec![0u64; local.len()];
+        for (shard, stamp, slot) in self.free.entries() {
+            if let Some(shard) = shard {
+                if stamp <= last_stamp[shard] {
+                    out.push(Violation::new(
+                        "ShardedFreeLists stamps",
+                        format!("shard {shard}"),
+                        "stamps strictly increase within a local list",
+                        format!("> {}", last_stamp[shard]),
+                        format!("{stamp}"),
+                    ));
+                }
+                last_stamp[shard] = stamp;
+            }
+            match seen.get_mut(slot as usize) {
+                Some(flag) if !*flag => *flag = true,
+                Some(_) => out.push(Violation::new(
+                    "ShardedFreeLists disjointness",
+                    format!("slot {slot}"),
+                    "a free slot appears in exactly one list",
+                    "one entry".to_owned(),
+                    "duplicate entries".to_owned(),
+                )),
+                None => out.push(Violation::new(
+                    "ShardedFreeLists <-> FrameTable.ids",
+                    format!("slot {slot}"),
+                    "free-list entries name real slots",
+                    format!("slot < {slots}"),
+                    format!("slot {slot}"),
+                )),
+            }
             if self
-                .slots
+                .ids
                 .get(slot as usize)
-                .is_none_or(|entry| entry.is_some())
+                .is_some_and(|id| !is_free_sentinel(*id, slot))
             {
                 out.push(Violation::new(
-                    "FrameTable.free <-> FrameTable.slots",
+                    "ShardedFreeLists <-> FrameTable.ids",
                     format!("slot {slot}"),
                     "free-list entries name empty slots",
-                    "empty slot".to_owned(),
-                    "occupied or out of range".to_owned(),
+                    "free sentinel".to_owned(),
+                    "occupied slot".to_owned(),
                 ));
             }
         }
-        for (i, frame) in self.slots.iter().enumerate() {
-            let Some(f) = frame else { continue };
-            if slot_of(f.id()) != i {
+        for (i, id) in self.ids.iter().enumerate() {
+            if is_free_sentinel(*id, i as u32) {
+                continue;
+            }
+            if slot_of(*id) != i {
                 out.push(Violation::new(
-                    "FrameTable.slots <-> Frame.id",
-                    format!("frame {}", f.id()),
+                    "FrameTable.ids <-> Frame.id",
+                    format!("frame {id}"),
                     "a frame lives in the slot its id names",
-                    format!("slot {}", slot_of(f.id())),
+                    format!("slot {}", slot_of(*id)),
                     format!("slot {i}"),
                 ));
             }
@@ -203,6 +387,27 @@ impl FrameTable {
     pub fn ksan_break_live_count(&mut self) {
         self.live += 1;
     }
+
+    /// Corruption hook for sanitizer self-tests: duplicates a free-list
+    /// entry across lists, breaking shard disjointness.
+    #[doc(hidden)]
+    pub fn ksan_break_shard_duplicate(&mut self) {
+        self.free.ksan_break_duplicate();
+    }
+
+    /// Corruption hook for sanitizer self-tests: drops a free-list entry
+    /// without fixing the accounting.
+    #[doc(hidden)]
+    pub fn ksan_break_shard_accounting(&mut self) {
+        self.free.ksan_break_accounting();
+    }
+
+    /// Corruption hook for sanitizer self-tests: grows one SoA column
+    /// out of step with the identity column.
+    #[doc(hidden)]
+    pub fn ksan_break_soa_column(&mut self) {
+        self.accesses.push(0);
+    }
 }
 
 #[inline]
@@ -213,6 +418,16 @@ fn slot_of(id: FrameId) -> usize {
 #[inline]
 fn pack(generation: u32, slot: u32) -> FrameId {
     FrameId((u64::from(generation) << SLOT_BITS) | u64::from(slot))
+}
+
+#[inline]
+fn free_sentinel(slot: u32) -> FrameId {
+    pack(u32::MAX, slot)
+}
+
+#[inline]
+fn is_free_sentinel(id: FrameId, slot: u32) -> bool {
+    id == free_sentinel(slot)
 }
 
 #[cfg(test)]
@@ -260,6 +475,7 @@ mod tests {
         assert!(t.get(ids[1]).is_none());
         assert!(!t.contains(ids[1]));
         assert_eq!(t.get(new).unwrap().kind(), PageKind::Slab);
+        assert!(t.get(new).unwrap().pinned(), "slab page pinned via flags");
     }
 
     #[test]
@@ -282,7 +498,7 @@ mod tests {
         let (mut t, ids) = table_with(5);
         t.remove(ids[0]).unwrap();
         t.remove(ids[3]).unwrap();
-        let seen: Vec<FrameId> = t.iter().map(Frame::id).collect();
+        let seen: Vec<FrameId> = t.iter().map(|f| f.id()).collect();
         assert_eq!(seen, vec![ids[1], ids[2], ids[4]]);
     }
 
@@ -303,9 +519,55 @@ mod tests {
     }
 
     #[test]
-    fn get_mut_updates_in_place() {
+    fn touch_updates_access_columns() {
         let (mut t, ids) = table_with(1);
-        t.get_mut(ids[0]).unwrap().accesses = 7;
-        assert_eq!(t.get(ids[0]).unwrap().accesses(), 7);
+        let got = t.touch(ids[0], Nanos::new(42)).expect("live");
+        assert_eq!(got, (TierId::FAST, PageKind::AppData));
+        t.touch(ids[0], Nanos::new(50)).unwrap();
+        let f = t.get(ids[0]).unwrap();
+        assert_eq!(f.accesses(), 2);
+        assert_eq!(f.last_access(), Nanos::new(50));
+        assert!(t.touch(FrameId(99), Nanos::ZERO).is_none());
+    }
+
+    #[test]
+    fn record_migration_moves_tier_and_counts() {
+        let (mut t, ids) = table_with(1);
+        assert!(t.record_migration(ids[0], TierId::SLOW));
+        let f = t.get(ids[0]).unwrap();
+        assert_eq!(f.tier(), TierId::SLOW);
+        assert_eq!(f.migrations(), 1);
+        assert!(!t.record_migration(FrameId(99), TierId::FAST));
+    }
+
+    #[test]
+    fn alloc_order_is_identical_at_any_shard_count() {
+        // The shard-count determinism oracle at frame-table granularity:
+        // the id sequence under churn is byte-identical for any S.
+        let run = |shards: u32| -> Vec<FrameId> {
+            let mut t = FrameTable::with_shards(ShardConfig::with_shards(shards));
+            let mut live: Vec<FrameId> = Vec::new();
+            let mut minted = Vec::new();
+            for round in 0u64..120 {
+                for _ in 0..(round % 5) + 1 {
+                    let id = t.next_id();
+                    t.insert(Frame::new(id, TierId::FAST, PageKind::AppData, Nanos::ZERO));
+                    live.push(id);
+                    minted.push(id);
+                }
+                // Deterministic churn: free from the middle.
+                for _ in 0..(round % 3) {
+                    if live.len() > 2 {
+                        let id = live.remove(live.len() / 2);
+                        t.remove(id).unwrap();
+                    }
+                }
+            }
+            minted
+        };
+        let baseline = run(1);
+        for shards in [2, 4, 8] {
+            assert_eq!(run(shards), baseline, "shards={shards}");
+        }
     }
 }

@@ -49,6 +49,7 @@ pub mod ksan;
 pub mod l4cache;
 pub mod migrate;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod system;
 pub mod tier;
@@ -56,10 +57,11 @@ pub mod tier;
 pub use clock::{Clock, Nanos};
 pub use error::MemError;
 pub use fault::{CrashPoint, DiskOp, FaultPlan, TierFaultKind};
-pub use frame::{FrameId, PageKind, PAGE_SIZE};
+pub use frame::{FrameId, FrameSet, PageKind, PAGE_SIZE};
 pub use frametable::FrameTable;
 pub use migrate::{MigrationCost, MigrationStats};
 pub use rng::SplitMix64;
+pub use shard::{ShardConfig, ShardedFreeLists};
 pub use stats::{MemStats, TierStats};
 pub use system::MemorySystem;
 pub use tier::{TierId, TierKind, TierSpec};

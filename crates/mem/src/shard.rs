@@ -1,0 +1,380 @@
+//! Sharded free-frame lists with a global overflow pool.
+//!
+//! The frame table used to keep one global LIFO free list. This module
+//! splits it into `S` per-shard local lists (shard = slot mod S, the
+//! freeing context's home shard) that evict their oldest entries to a
+//! shared pool past a threshold and repopulate from it when they run
+//! dry — the local/partial/empty block-list design of per-CPU kernel
+//! allocators, with the thresholds exposed in [`ShardConfig`].
+//!
+//! Determinism contract: every freed slot is tagged with a globally
+//! monotonic *stamp* (a free-operation counter), and allocation always
+//! pops the **maximum-stamp** entry across all local lists and the pool.
+//! The maximum stamp is by construction the most recently freed slot, so
+//! the allocation order is exactly the single global LIFO the unsharded
+//! table produced — reports are byte-identical at any shard count, which
+//! is what the shard-determinism tests pin down.
+
+/// Sizing knobs for the sharded free lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of shards; rounded up to a power of two, minimum 1.
+    pub shards: u32,
+    /// A local list longer than this evicts its oldest entries to the
+    /// global pool.
+    pub local_max: usize,
+    /// How many (newest) entries a local list keeps after an eviction.
+    pub local_keep: usize,
+    /// How many entries an empty local list pulls back from the pool.
+    pub repopulate: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 4,
+            local_max: 64,
+            local_keep: 16,
+            repopulate: 16,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Config with `shards` shards and default thresholds.
+    pub fn with_shards(shards: u32) -> Self {
+        ShardConfig {
+            shards,
+            ..ShardConfig::default()
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        (self.shards.max(1) as usize).next_power_of_two()
+    }
+}
+
+/// One free-list entry: the stamp orders frees globally, the slot is the
+/// freed frame-table slot.
+type Entry = (u64, u32);
+
+/// Per-shard free-slot lists + global pool, allocation ordered by stamp.
+#[derive(Debug, Clone)]
+pub struct ShardedFreeLists {
+    cfg: ShardConfig,
+    /// Mask for the home-shard mapping (`slot & mask`).
+    mask: u32,
+    /// Global free-operation counter; strictly increasing, never reused.
+    stamp: u64,
+    /// Per-shard stacks, stamp-ascending (top of stack = newest).
+    local: Vec<Vec<Entry>>,
+    /// Overflow pool of evicted entries, max-heap by stamp.
+    pool: std::collections::BinaryHeap<Entry>,
+    len: usize,
+}
+
+impl Default for ShardedFreeLists {
+    fn default() -> Self {
+        ShardedFreeLists::new(ShardConfig::default())
+    }
+}
+
+impl ShardedFreeLists {
+    /// Empty lists with the given config.
+    pub fn new(cfg: ShardConfig) -> Self {
+        let shards = cfg.shard_count();
+        ShardedFreeLists {
+            cfg,
+            mask: shards as u32 - 1,
+            stamp: 0,
+            local: vec![Vec::new(); shards],
+            pool: std::collections::BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// Total free entries across all lists and the pool.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slots are free.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.local.len()
+    }
+
+    /// Current config.
+    pub fn config(&self) -> ShardConfig {
+        self.cfg
+    }
+
+    /// Re-shards in place: replays every held entry, oldest first,
+    /// through the new config's push path so thresholds apply as if the
+    /// entries had been freed under it. Stamps are preserved, so the
+    /// allocation order (max stamp first) is unchanged — resharding is
+    /// observation-equivalent, merely relocating entries between lists.
+    pub fn reshard(&mut self, cfg: ShardConfig) {
+        let mut entries: Vec<Entry> = self.drain_all();
+        entries.sort_unstable();
+        let next_stamp = self.stamp;
+        *self = ShardedFreeLists::new(cfg);
+        for (stamp, slot) in entries {
+            self.push_stamped(stamp, slot);
+        }
+        self.stamp = self.stamp.max(next_stamp);
+    }
+
+    fn drain_all(&mut self) -> Vec<Entry> {
+        let mut out = Vec::with_capacity(self.len);
+        for list in &mut self.local {
+            out.append(list);
+        }
+        out.extend(self.pool.drain());
+        self.len = 0;
+        out
+    }
+
+    /// Frees `slot`: stamps it and pushes it onto its home shard's local
+    /// list, evicting the oldest local entries to the pool past
+    /// `local_max`.
+    pub fn push(&mut self, slot: u32) {
+        let stamp = self.stamp + 1;
+        self.push_stamped(stamp, slot);
+    }
+
+    fn push_stamped(&mut self, stamp: u64, slot: u32) {
+        debug_assert!(stamp > self.stamp, "stamps are strictly increasing");
+        self.stamp = stamp;
+        let shard = (slot & self.mask) as usize;
+        let list = &mut self.local[shard];
+        list.push((stamp, slot));
+        if list.len() > self.cfg.local_max {
+            let keep = self.cfg.local_keep.min(self.cfg.local_max);
+            let evict = list.len() - keep;
+            self.pool.extend(list.drain(..evict));
+        }
+        self.len += 1;
+    }
+
+    /// The slot the next [`ShardedFreeLists::pop`] will return: the
+    /// globally newest (maximum-stamp) free entry.
+    pub fn peek(&self) -> Option<u32> {
+        self.peek_entry().map(|(_, slot)| slot)
+    }
+
+    fn peek_entry(&self) -> Option<Entry> {
+        let mut best: Option<Entry> = self.pool.peek().copied();
+        for list in &self.local {
+            if let Some(&top) = list.last() {
+                if best.is_none_or(|b| top > b) {
+                    best = Some(top);
+                }
+            }
+        }
+        best
+    }
+
+    /// Pops the globally newest free slot (exact LIFO over all frees).
+    /// When the winner comes from the pool and its home shard's local
+    /// list is empty, the shard repopulates with the pool's newest
+    /// entries.
+    pub fn pop(&mut self) -> Option<u32> {
+        let best = self.peek_entry()?;
+        let shard = (best.1 & self.mask) as usize;
+        let from_local = self.local.iter().position(|l| l.last() == Some(&best));
+        match from_local {
+            Some(s) => {
+                self.local[s].pop();
+            }
+            None => {
+                self.pool.pop();
+                if self.local[shard].is_empty() && !self.pool.is_empty() {
+                    let take = self.cfg.repopulate.min(self.pool.len());
+                    let mut grabbed: Vec<Entry> =
+                        (0..take).filter_map(|_| self.pool.pop()).collect();
+                    // Heap pops newest-first; local stacks store
+                    // stamp-ascending.
+                    grabbed.reverse();
+                    self.local[shard] = grabbed;
+                }
+            }
+        }
+        self.len -= 1;
+        Some(best.1)
+    }
+
+    /// Per-shard local list lengths plus the pool length, for accounting
+    /// audits.
+    pub fn occupancy(&self) -> (Vec<usize>, usize) {
+        (self.local.iter().map(Vec::len).collect(), self.pool.len())
+    }
+
+    /// All free slots, for audits: (shard index or None for pool, stamp,
+    /// slot).
+    pub fn entries(&self) -> impl Iterator<Item = (Option<usize>, u64, u32)> + '_ {
+        self.local
+            .iter()
+            .enumerate()
+            .flat_map(|(s, list)| list.iter().map(move |&(st, sl)| (Some(s), st, sl)))
+            .chain(self.pool.iter().map(|&(st, sl)| (None, st, sl)))
+    }
+}
+
+#[cfg(feature = "ksan")]
+impl ShardedFreeLists {
+    /// Corruption hook for sanitizer self-tests: duplicates the newest
+    /// free entry into a second list, breaking shard disjointness.
+    #[doc(hidden)]
+    pub fn ksan_break_duplicate(&mut self) {
+        if let Some(entry) = self.peek_entry() {
+            self.pool.push(entry);
+        }
+    }
+
+    /// Corruption hook for sanitizer self-tests: skews the shard
+    /// accounting by dropping an entry without decrementing `len`.
+    #[doc(hidden)]
+    pub fn ksan_break_accounting(&mut self) {
+        for list in &mut self.local {
+            if list.pop().is_some() {
+                return;
+            }
+        }
+        self.pool.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference model: one global LIFO stack.
+    #[derive(Default)]
+    struct GlobalLifo(Vec<u32>);
+
+    impl GlobalLifo {
+        fn push(&mut self, slot: u32) {
+            self.0.push(slot);
+        }
+        fn pop(&mut self) -> Option<u32> {
+            self.0.pop()
+        }
+    }
+
+    #[test]
+    fn matches_global_lifo_for_any_shard_count() {
+        for shards in [1u32, 2, 4, 8] {
+            let cfg = ShardConfig {
+                shards,
+                local_max: 4,
+                local_keep: 2,
+                repopulate: 2,
+            };
+            let mut sharded = ShardedFreeLists::new(cfg);
+            let mut model = GlobalLifo::default();
+            // Deterministic interleaving of pushes and pops exercising
+            // eviction + repopulation.
+            let mut next_slot = 0u32;
+            let mut step = 0u64;
+            for round in 0..200 {
+                let pushes = (round % 7) + 1;
+                for _ in 0..pushes {
+                    sharded.push(next_slot);
+                    model.push(next_slot);
+                    next_slot += 1;
+                    step += 1;
+                }
+                let pops = (step % 5) as usize;
+                for _ in 0..pops {
+                    assert_eq!(sharded.pop(), model.pop(), "shards={shards}");
+                }
+                assert_eq!(sharded.peek(), model.0.last().copied());
+            }
+            while let Some(slot) = model.pop() {
+                assert_eq!(sharded.pop(), Some(slot));
+            }
+            assert!(sharded.is_empty());
+            assert_eq!(sharded.pop(), None);
+        }
+    }
+
+    #[test]
+    fn eviction_moves_oldest_to_pool() {
+        let cfg = ShardConfig {
+            shards: 1,
+            local_max: 3,
+            local_keep: 1,
+            repopulate: 2,
+        };
+        let mut f = ShardedFreeLists::new(cfg);
+        for slot in 0..4 {
+            f.push(slot);
+        }
+        let (local, pool) = f.occupancy();
+        assert_eq!(local, vec![1], "keeps only local_keep newest");
+        assert_eq!(pool, 3);
+        // Pops still come newest-first across both.
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), Some(2));
+    }
+
+    #[test]
+    fn repopulation_refills_empty_shard() {
+        let cfg = ShardConfig {
+            shards: 1,
+            local_max: 2,
+            local_keep: 0,
+            repopulate: 2,
+        };
+        let mut f = ShardedFreeLists::new(cfg);
+        for slot in 0..5 {
+            f.push(slot);
+        }
+        // local_keep=0: every eviction empties the local list.
+        assert_eq!(f.pop(), Some(4));
+        let (local, _) = f.occupancy();
+        assert!(
+            local[0] > 0,
+            "pool pop repopulates the empty shard: {local:?}"
+        );
+        assert_eq!(f.pop(), Some(3));
+    }
+
+    #[test]
+    fn reshard_preserves_order() {
+        let mut f = ShardedFreeLists::new(ShardConfig::with_shards(1));
+        for slot in 0..20 {
+            f.push(slot);
+        }
+        for _ in 0..5 {
+            f.pop();
+        }
+        let mut widened = f.clone();
+        widened.reshard(ShardConfig::with_shards(8));
+        assert_eq!(widened.len(), f.len());
+        loop {
+            let (a, b) = (f.pop(), widened.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(
+            ShardedFreeLists::new(ShardConfig::with_shards(3)).shards(),
+            4
+        );
+        assert_eq!(
+            ShardedFreeLists::new(ShardConfig::with_shards(0)).shards(),
+            1
+        );
+    }
+}

@@ -175,6 +175,19 @@ impl MemorySystem {
         self.cpu_parallelism = threads.max(1);
     }
 
+    /// Re-shards the frame table's free lists. Allocation order — and
+    /// therefore every report — is independent of the shard count (see
+    /// [`crate::shard`]); this only changes how the free slots are
+    /// partitioned.
+    pub fn set_shards(&mut self, cfg: crate::shard::ShardConfig) {
+        self.frames.reshard(cfg);
+    }
+
+    /// The frame table's current shard config.
+    pub fn shard_config(&self) -> crate::shard::ShardConfig {
+        self.frames.shard_config()
+    }
+
     /// Charges per-thread CPU or I/O-stall time (computation that touches
     /// no simulated memory: think time, syscall entry, disk waits). With
     /// `cpu_parallelism` threads this overlaps, so the shared clock
@@ -433,7 +446,7 @@ impl MemorySystem {
     ///
     /// # Errors
     /// [`MemError::BadFrame`] if the frame is not allocated.
-    pub fn frame(&self, frame: FrameId) -> Result<&Frame, MemError> {
+    pub fn frame(&self, frame: FrameId) -> Result<Frame, MemError> {
         self.frames.get(frame).ok_or(MemError::BadFrame(frame))
     }
 
@@ -506,16 +519,13 @@ impl MemorySystem {
         from_socket: Option<u8>,
     ) -> Nanos {
         let now = self.clock.now();
-        let Some(f) = self.frames.get_mut(frame) else {
+        let Some((tier, kind)) = self.frames.touch(frame, now) else {
             // Accessing a freed frame is a simulation bug; make it loud in
             // debug builds but charge nothing in release.
             debug_assert!(false, "access to freed {frame}");
             return Nanos::ZERO;
         };
-        f.last_access = now;
-        f.accesses += 1;
-        let tier_idx = f.tier.index();
-        let kind = f.kind;
+        let tier_idx = tier.index();
 
         let mut cost = if let Some(l4) = self.l4[tier_idx].as_mut() {
             l4.access(frame, bytes, write)
@@ -621,9 +631,8 @@ impl MemorySystem {
         if let Some(l4) = self.l4[from.index()].as_mut() {
             l4.invalidate(frame);
         }
-        let f = self.frames.get_mut(frame).expect("checked above"); // lint: unwrap-ok — caller checked the frame exists
-        f.tier = to;
-        f.migrations = f.migrations.saturating_add(1);
+        let moved = self.frames.record_migration(frame, to);
+        debug_assert!(moved, "caller checked the frame exists");
         self.migration_stats.record(kind, from, to, cost);
         self.clock.advance(foreground);
         kloc_trace::charge(foreground.as_nanos());
@@ -696,6 +705,27 @@ impl MemorySystem {
     #[doc(hidden)]
     pub fn ksan_break_frame_live_count(&mut self) {
         self.frames.ksan_break_live_count();
+    }
+
+    /// Corruption hook for sanitizer self-tests: duplicates a free-list
+    /// entry across the frame table's shards.
+    #[doc(hidden)]
+    pub fn ksan_break_shard_duplicate(&mut self) {
+        self.frames.ksan_break_shard_duplicate();
+    }
+
+    /// Corruption hook for sanitizer self-tests: drops a free-list entry
+    /// without fixing the shard accounting.
+    #[doc(hidden)]
+    pub fn ksan_break_shard_accounting(&mut self) {
+        self.frames.ksan_break_shard_accounting();
+    }
+
+    /// Corruption hook for sanitizer self-tests: grows one frame-table
+    /// SoA column out of step with the others.
+    #[doc(hidden)]
+    pub fn ksan_break_soa_column(&mut self) {
+        self.frames.ksan_break_soa_column();
     }
 }
 

@@ -35,13 +35,69 @@ fn frame_table_live_count_desync_is_caught() {
     let out = audited(&mem);
     assert!(
         out.iter()
-            .any(|v| v.structures == "FrameTable.live <-> FrameTable.slots"),
+            .any(|v| v.structures == "FrameTable.live <-> FrameTable.ids"),
         "{out:#?}"
     );
     // The skewed live counter also breaks the slot-space partition.
     assert!(
         out.iter()
-            .any(|v| v.structures == "FrameTable.free <-> FrameTable.slots"),
+            .any(|v| v.structures == "FrameTable.free <-> FrameTable.ids"),
+        "{out:#?}"
+    );
+}
+
+/// A system with free-list population: allocate then free some frames so
+/// the sharded free lists hold entries.
+fn churned() -> MemorySystem {
+    let mut mem = MemorySystem::two_tier(16 * PAGE_SIZE, 8);
+    let ids: Vec<_> = (0..8)
+        .map(|_| mem.allocate(TierId::FAST, PageKind::AppData).unwrap())
+        .collect();
+    for id in &ids[2..6] {
+        mem.free(*id).unwrap();
+    }
+    mem
+}
+
+#[test]
+fn churned_system_audits_clean() {
+    assert_eq!(audited(&churned()), vec![]);
+}
+
+#[test]
+fn shard_free_list_duplicate_is_caught() {
+    let mut mem = churned();
+    mem.ksan_break_shard_duplicate();
+    let out = audited(&mem);
+    assert!(
+        out.iter()
+            .any(|v| v.structures == "ShardedFreeLists disjointness"),
+        "{out:#?}"
+    );
+}
+
+#[test]
+fn shard_accounting_desync_is_caught() {
+    let mut mem = churned();
+    mem.ksan_break_shard_accounting();
+    let out = audited(&mem);
+    // The free total still matches the slot space (the counter was not
+    // touched), but the lists no longer hold what the counter claims.
+    assert!(
+        out.iter()
+            .any(|v| v.structures == "ShardedFreeLists occupancy"),
+        "{out:#?}"
+    );
+}
+
+#[test]
+fn soa_column_length_desync_is_caught() {
+    let mut mem = churned();
+    mem.ksan_break_soa_column();
+    let out = audited(&mem);
+    assert!(
+        out.iter()
+            .any(|v| v.structures == "FrameTable SoA columns" && v.object.contains("accesses")),
         "{out:#?}"
     );
 }

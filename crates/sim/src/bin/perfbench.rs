@@ -13,15 +13,21 @@
 //!   for single-run optimizations.
 //!
 //! ```text
-//! perfbench [--mode sweep|run] [--scale tiny|small|large] [--jobs N]
-//!           [--reps N] [--out PATH]
+//! perfbench [--mode sweep|run] [--scale tiny|small|large|huge] [--jobs N]
+//!           [--reps N] [--shards N] [--out PATH] [--check]
 //! ```
 //!
-//! Defaults: `--mode sweep`, `--scale small` (sweep) or the small+large
-//! matrix (run), `--jobs` = hardware threads, `--reps 3`, `--out
-//! BENCH_sweep.json` / `BENCH_run.json` per mode. Exits non-zero if
-//! repeated runs are not byte-identical. Dependency-free: timing via
-//! `std::time::Instant`, JSON emitted by hand.
+//! Defaults: `--mode sweep`, `--scale small` (sweep) or the
+//! small+large+huge matrix (run), `--jobs` = hardware threads, `--reps
+//! 3`, `--out BENCH_sweep.json` / `BENCH_run.json` per mode. Exits
+//! non-zero if repeated runs are not byte-identical. Dependency-free:
+//! timing via `std::time::Instant`, JSON emitted and parsed by hand.
+//!
+//! `--check` compares the fresh measurement against the committed
+//! baseline at the `--out` path instead of overwriting it, and fails if
+//! throughput regressed more than 20% (per matrix cell in `run` mode,
+//! on parallel runs/s in `sweep` mode). CI runs this to catch perf
+//! regressions the way the test suite catches behavioral ones.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -35,11 +41,14 @@ use kloc_workloads::{Scale, WorkloadKind};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: perfbench [--mode sweep|run] [--scale tiny|small|large] \
-         [--jobs N] [--reps N] [--out PATH]"
+        "usage: perfbench [--mode sweep|run] [--scale tiny|small|large|huge] \
+         [--jobs N] [--reps N] [--shards N] [--out PATH] [--check]"
     );
     ExitCode::FAILURE
 }
+
+/// Throughput loss beyond which `--check` fails the run.
+const CHECK_TOLERANCE: f64 = 0.20;
 
 /// The sweep-mode matrix: a small fig6-style cross product whose runs
 /// vary widely in cost — exactly the imbalance work stealing absorbs.
@@ -112,12 +121,72 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Extracts `"key": "value"` from one line of our own JSON output.
+/// (The benchmark files are emitted by this binary, so the line-oriented
+/// shape is stable; no general JSON parser needed.)
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Extracts `"key": <number>` from one line of our own JSON output.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Per-cell throughput baselines from a committed `BENCH_run.json`:
+/// (policy, workload, scale) -> ops_per_sec.
+fn run_baseline(json: &str) -> Vec<((String, String, String), f64)> {
+    json.lines()
+        .filter_map(|line| {
+            let policy = field_str(line, "policy")?;
+            let workload = field_str(line, "workload")?;
+            let scale = field_str(line, "scale")?;
+            let ops_per_sec = field_num(line, "ops_per_sec")?;
+            Some((
+                (policy.to_owned(), workload.to_owned(), scale.to_owned()),
+                ops_per_sec,
+            ))
+        })
+        .collect()
+}
+
+/// Fails (returns false) if `fresh` lost more than [`CHECK_TOLERANCE`]
+/// of `committed` throughput.
+fn check_cell(label: &str, committed: f64, fresh: f64) -> bool {
+    let floor = committed * (1.0 - CHECK_TOLERANCE);
+    if fresh < floor {
+        eprintln!(
+            "[perfbench] CHECK FAIL {label}: {fresh:.0} vs committed {committed:.0} \
+             (floor {floor:.0}, -{:.1}%)",
+            100.0 * (1.0 - fresh / committed)
+        );
+        false
+    } else {
+        eprintln!(
+            "[perfbench] check ok {label}: {fresh:.0} vs committed {committed:.0} \
+             ({:+.1}%)",
+            100.0 * (fresh / committed - 1.0)
+        );
+        true
+    }
+}
+
 struct Args {
     mode: Mode,
     scale: Option<Scale>,
     jobs: usize,
     reps: usize,
     out: Option<String>,
+    check: bool,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -134,6 +203,7 @@ fn parse_args() -> Result<Args, ()> {
         jobs: Runner::auto().jobs(),
         reps: 3,
         out: None,
+        check: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -147,6 +217,7 @@ fn parse_args() -> Result<Args, ()> {
                 Some("tiny") => parsed.scale = Some(Scale::tiny()),
                 Some("small") => parsed.scale = Some(Scale::small()),
                 Some("large") => parsed.scale = Some(Scale::large()),
+                Some("huge") => parsed.scale = Some(Scale::huge()),
                 _ => return Err(()),
             },
             "--jobs" => match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
@@ -157,10 +228,19 @@ fn parse_args() -> Result<Args, ()> {
                 Some(n) if n >= 1 => parsed.reps = n,
                 _ => return Err(()),
             },
+            "--shards" => match args.get(i + 1).and_then(|s| s.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => engine::set_default_shards(n),
+                _ => return Err(()),
+            },
             "--out" => match args.get(i + 1) {
                 Some(path) => parsed.out = Some(path.clone()),
                 None => return Err(()),
             },
+            "--check" => {
+                parsed.check = true;
+                i += 1;
+                continue;
+            }
             _ => return Err(()),
         }
         i += 2;
@@ -220,6 +300,25 @@ fn bench_sweep(args: &Args) -> ExitCode {
          speedup {speedup:.2}x"
     );
 
+    if args.check {
+        let Ok(baseline) = std::fs::read_to_string(&out) else {
+            eprintln!("[perfbench] CHECK FAIL: no committed baseline at {out}");
+            return ExitCode::FAILURE;
+        };
+        let Some(committed) = baseline
+            .lines()
+            .find_map(|l| field_num(l, "parallel_runs_per_sec"))
+        else {
+            eprintln!("[perfbench] CHECK FAIL: {out} has no parallel_runs_per_sec");
+            return ExitCode::FAILURE;
+        };
+        return if check_cell("sweep parallel runs/s", committed, parallel_rps) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"benchmark\": \"sweep\",");
@@ -256,7 +355,7 @@ struct RunSample {
 fn bench_run(args: &Args) -> ExitCode {
     let scales: Vec<Scale> = match &args.scale {
         Some(s) => vec![s.clone()],
-        None => vec![Scale::small(), Scale::large()],
+        None => vec![Scale::small(), Scale::large(), Scale::huge()],
     };
     let out = args.out.clone().unwrap_or("BENCH_run.json".to_owned());
     let configs = run_matrix(&scales);
@@ -311,6 +410,40 @@ fn bench_run(args: &Args) -> ExitCode {
             sample.ops_per_sec()
         );
         samples.push(sample);
+    }
+
+    if args.check {
+        let Ok(baseline) = std::fs::read_to_string(&out) else {
+            eprintln!("[perfbench] CHECK FAIL: no committed baseline at {out}");
+            return ExitCode::FAILURE;
+        };
+        let committed = run_baseline(&baseline);
+        if committed.is_empty() {
+            eprintln!("[perfbench] CHECK FAIL: {out} has no run cells");
+            return ExitCode::FAILURE;
+        }
+        let mut ok = true;
+        let mut compared = 0;
+        for s in &samples {
+            let key = (s.policy.clone(), s.workload.clone(), s.scale.clone());
+            let Some((_, base)) = committed.iter().find(|(k, _)| *k == key) else {
+                // New matrix cells (e.g. a fresh scale) have no baseline
+                // yet; they start being enforced once recorded.
+                continue;
+            };
+            compared += 1;
+            let label = format!("{}/{}/{}", s.policy, s.workload, s.scale);
+            ok &= check_cell(&label, *base, s.ops_per_sec());
+        }
+        eprintln!(
+            "[perfbench] check compared {compared}/{} cells against {out}",
+            samples.len()
+        );
+        return if ok && compared > 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
 
     let mut table = Table::new(

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment> [--scale tiny|small|large] [--seed N] [--jobs N] [--trace FILE]
+//! repro <experiment> [--scale tiny|small|large|huge] [--seed N] [--jobs N] [--shards N] [--trace FILE]
 //!
 //! experiments:
 //!   fig2a fig2b fig2c fig2d   motivation study
@@ -19,6 +19,10 @@
 //! `--jobs N` sets the sweep-runner thread count (default: one per
 //! hardware thread; `--jobs 1` forces serial execution). Results are
 //! identical at any job count — runs are independent and deterministic.
+//!
+//! `--shards N` sets the shard count of the sharded hot-path structures
+//! (frame free lists, page-cache LRU, cache reverse map). Like `--jobs`,
+//! it is observably inert: reports are byte-identical at any value.
 //!
 //! `--trace FILE` (builds with `--features trace` only) collects a
 //! `kloc-trace` JSONL document covering every run the invocation
@@ -42,7 +46,7 @@ use kloc_workloads::{Scale, WorkloadKind};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <fig2a|fig2b|fig2c|fig2d|fig4|fig5a|fig5b|fig5c|fig6|table6|percpu|prefetch|thp|granularity|all> [--scale tiny|small|large] [--seed N] [--jobs N] [--trace FILE]\n       repro run --workload <rocksdb|redis|filebench|cassandra|spark> --policy <naive|nimble|nimble++|kloc-nomigration|kloc|all-fast|all-slow|autonuma|autonuma-kloc> [--fault-seed N] [options]\n       repro crashsweep [--crash-points N] [options]    (kfault builds)"
+        "usage: repro <fig2a|fig2b|fig2c|fig2d|fig4|fig5a|fig5b|fig5c|fig6|table6|percpu|prefetch|thp|granularity|all> [--scale tiny|small|large|huge] [--seed N] [--jobs N] [--shards N] [--trace FILE]\n       repro run --workload <rocksdb|redis|filebench|cassandra|spark> --policy <naive|nimble|nimble++|kloc-nomigration|kloc|all-fast|all-slow|autonuma|autonuma-kloc> [--fault-seed N] [options]\n       repro crashsweep [--crash-points N] [options]    (kfault builds)"
     );
     ExitCode::FAILURE
 }
@@ -58,6 +62,13 @@ fn main() -> ExitCode {
             Some("tiny") => scale = Scale::tiny(),
             Some("small") => scale = Scale::small(),
             Some("large") => scale = Scale::large(),
+            Some("huge") => scale = Scale::huge(),
+            _ => return usage(),
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--shards") {
+        match args.get(pos + 1).and_then(|s| s.parse::<u32>().ok()) {
+            Some(shards) if shards >= 1 => kloc_sim::engine::set_default_shards(shards),
             _ => return usage(),
         }
     }

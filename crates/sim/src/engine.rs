@@ -67,6 +67,19 @@ impl Platform {
     }
 }
 
+/// Process-wide default shard count (0 = use [`KernelParams::default`]).
+/// Applied only to runs without an explicit `kernel_params` override, so
+/// tests pinning a shard count are unaffected. Set once at CLI startup
+/// (`repro --shards`, `perfbench --shards`); sharding is observably
+/// inert, so this cannot perturb reports — it exists to measure that.
+static DEFAULT_SHARDS: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+
+/// Overrides the shard count used for runs without explicit kernel
+/// parameters. `0` restores the built-in default.
+pub fn set_default_shards(shards: u32) {
+    DEFAULT_SHARDS.store(shards, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// One run's configuration.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -315,13 +328,20 @@ pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunRe
         mem.set_fault_plan(plan.clone());
     }
 
-    let params = config
-        .kernel_params
-        .clone()
-        .unwrap_or_else(|| KernelParams {
+    let params = config.kernel_params.clone().unwrap_or_else(|| {
+        let mut p = KernelParams {
             page_cache_budget: config.scale.page_cache_frames,
             ..KernelParams::default()
-        });
+        };
+        let shards = DEFAULT_SHARDS.load(std::sync::atomic::Ordering::Relaxed);
+        if shards != 0 {
+            p.shards = shards;
+        }
+        p
+    });
+    // One shard count drives every sharded hot-path structure (frame
+    // free lists, page-cache LRU, cache reverse map).
+    mem.set_shards(kloc_mem::ShardConfig::with_shards(params.shards));
     let mut kernel = Kernel::new(params);
     let mut workload = config.workload.build(&config.scale);
 

@@ -1,0 +1,98 @@
+//! Determinism contract of the sharded hot-path structures: the shard
+//! count (frame free lists, page-cache LRU, cache reverse map) is
+//! observably inert — for any matrix, runs at 2/4/8 shards yield exactly
+//! the reports single-shard runs do. The sharded structures share one
+//! recency/stamp order, so this holds bit-for-bit, not just
+//! statistically (the report is the determinism oracle: it folds in
+//! frame-id values, LRU eviction order, and policy observations).
+//!
+//! Mirrors `runner.rs` (worker-count inertness) for the shard dimension.
+
+use kloc_kernel::KernelParams;
+use kloc_policy::PolicyKind;
+use kloc_sim::engine::{Platform, RunConfig};
+use kloc_sim::Runner;
+use kloc_workloads::{Scale, WorkloadKind};
+
+/// The runner-test matrix, parameterized by shard count.
+fn matrix(scale: &Scale, shards: u32) -> Vec<RunConfig> {
+    let mut configs = Vec::new();
+    for platform in [
+        Platform::TwoTier {
+            fast_bytes: 512 << 10,
+            bw_ratio: 8,
+        },
+        Platform::TwoTier {
+            fast_bytes: 256 << 10,
+            bw_ratio: 2,
+        },
+    ] {
+        for w in [
+            WorkloadKind::RocksDb,
+            WorkloadKind::Redis,
+            WorkloadKind::Filebench,
+        ] {
+            for p in [
+                PolicyKind::AllSlow,
+                PolicyKind::Naive,
+                PolicyKind::Nimble,
+                PolicyKind::Kloc,
+            ] {
+                configs.push(RunConfig {
+                    workload: w,
+                    policy: p,
+                    scale: scale.clone(),
+                    platform,
+                    kernel_params: Some(KernelParams {
+                        page_cache_budget: scale.page_cache_frames,
+                        shards,
+                        ..KernelParams::default()
+                    }),
+                    faults: None,
+                });
+            }
+        }
+    }
+    configs
+}
+
+fn reports_for(scale: &Scale, shards: u32) -> Vec<kloc_sim::engine::RunReport> {
+    Runner::serial()
+        .run_all(matrix(scale, shards))
+        .expect("sharded matrix")
+}
+
+#[test]
+fn shard_count_is_observably_inert_tiny() {
+    let scale = Scale::tiny();
+    let baseline = reports_for(&scale, 1);
+    for shards in [2u32, 4, 8] {
+        let got = reports_for(&scale, shards);
+        assert_eq!(baseline.len(), got.len());
+        for (i, (b, g)) in baseline.iter().zip(&got).enumerate() {
+            assert_eq!(
+                b.elapsed, g.elapsed,
+                "run {i}: virtual time ({shards} shards)"
+            );
+            assert_eq!(
+                b.migrations, g.migrations,
+                "run {i}: migrations ({shards} shards)"
+            );
+            assert_eq!(b, g, "run {i}: full report ({shards} shards)");
+        }
+    }
+}
+
+#[test]
+#[ignore = "slow; run with --ignored or via CI's full pass"]
+fn shard_count_is_observably_inert_small() {
+    let scale = Scale::small();
+    let baseline = reports_for(&scale, 1);
+    for shards in [2u32, 4, 8] {
+        assert_eq!(baseline, reports_for(&scale, shards), "{shards} shards");
+    }
+}
+
+// The trace-bytes variant of this contract (shard count leaves the
+// `kloc-trace` session byte stream unchanged) lives in `trace_run.rs`,
+// which owns the process-global trace session mutex.

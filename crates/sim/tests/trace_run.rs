@@ -120,6 +120,35 @@ fn trace_bytes_independent_of_worker_count() {
 }
 
 #[test]
+fn trace_bytes_independent_of_shard_count() {
+    let _session = SESSION.lock().unwrap();
+    use kloc_kernel::KernelParams;
+    let scale = Scale::tiny();
+    let sharded_cell = |workload, policy, shards| {
+        let mut c = cell(workload, policy);
+        c.kernel_params = Some(KernelParams {
+            page_cache_budget: scale.page_cache_frames,
+            shards,
+            ..KernelParams::default()
+        });
+        c
+    };
+    let matrix = |shards| {
+        vec![
+            sharded_cell(WorkloadKind::RocksDb, PolicyKind::Kloc, shards),
+            sharded_cell(WorkloadKind::Filebench, PolicyKind::Nimble, shards),
+            sharded_cell(WorkloadKind::Redis, PolicyKind::Naive, shards),
+        ]
+    };
+    let baseline = collect(&Runner::serial(), matrix(1));
+    assert!(!baseline.is_empty());
+    for shards in [2, 4, 8] {
+        let got = collect(&Runner::serial(), matrix(shards));
+        assert_same_trace(&got, &baseline, &format!("--shards {shards}"));
+    }
+}
+
+#[test]
 fn no_session_produces_no_trace() {
     let _session = SESSION.lock().unwrap();
     assert!(!kloc_trace::session_active());

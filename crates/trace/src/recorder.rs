@@ -31,9 +31,13 @@ struct Recorder {
     out: String,
     /// Active scope stack (static names pushed by [`scope`]).
     stack: Vec<&'static str>,
-    /// Cached `;`-join of `stack`, rebuilt on push/pop so the hot
-    /// [`charge`] path is a single map bump.
+    /// Cached `;`-join of `stack`, rebuilt on push/pop.
     key: String,
+    /// Nanoseconds charged to `key` since the last scope transition or
+    /// flush. [`charge`] fires on every page touch, so it only bumps
+    /// this counter; the map entry is settled once per syscall burst
+    /// (scope transition), not per touch.
+    pending: u64,
     /// Virtual nanoseconds charged per scope stack since the last flush.
     attrib: BTreeMap<String, u64>,
     /// Counter deltas since the last flush.
@@ -46,6 +50,7 @@ impl Recorder {
             out: String::new(),
             stack: Vec::new(),
             key: "-".to_owned(),
+            pending: 0,
             attrib: BTreeMap::new(),
             counters: Counters::default(),
         }
@@ -57,6 +62,16 @@ impl Recorder {
         } else {
             self.stack.join(";")
         };
+    }
+
+    /// Folds the pending burst into the attribution map. Must run
+    /// before `key` changes or `attrib` is read; the per-key sums are
+    /// then exactly what per-touch bumping would have produced.
+    fn settle(&mut self) {
+        if self.pending > 0 {
+            *self.attrib.entry(self.key.clone()).or_insert(0) += self.pending;
+            self.pending = 0;
+        }
     }
 }
 
@@ -119,14 +134,17 @@ pub fn emit<F: FnOnce() -> Event>(f: F) {
 }
 
 /// Charges `ns` virtual nanoseconds to the current scope stack.
+///
+/// Batched: the charge lands in a plain per-burst counter; the map
+/// entry for the scope key is only touched when the scope changes or a
+/// flush happens (see [`Recorder::settle`]).
 pub fn charge(ns: u64) {
     if ns == 0 {
         return;
     }
     RECORDER.with(|r| {
         if let Some(rec) = r.borrow_mut().as_mut() {
-            let key = rec.key.clone();
-            *rec.attrib.entry(key).or_insert(0) += ns;
+            rec.pending += ns;
         }
     });
 }
@@ -147,6 +165,7 @@ pub fn with_counters<F: FnOnce(&mut Counters)>(f: F) {
 pub fn flush(t: u64) {
     RECORDER.with(|r| {
         if let Some(rec) = r.borrow_mut().as_mut() {
+            rec.settle();
             let attrib = std::mem::take(&mut rec.attrib);
             for (stack, ns) in attrib {
                 Event::Attrib { t, stack, ns }.write_jsonl(&mut rec.out);
@@ -171,6 +190,7 @@ pub struct Scope {
 pub fn scope(name: &'static str) -> Scope {
     let pushed = RECORDER.with(|r| {
         if let Some(rec) = r.borrow_mut().as_mut() {
+            rec.settle();
             rec.stack.push(name);
             rec.rebuild_key();
             true
@@ -186,6 +206,7 @@ impl Drop for Scope {
         if self.pushed {
             RECORDER.with(|r| {
                 if let Some(rec) = r.borrow_mut().as_mut() {
+                    rec.settle();
                     rec.stack.pop();
                     rec.rebuild_key();
                 }
@@ -271,5 +292,41 @@ mod tests {
         assert_eq!(session_take(), "a\nb\n");
         assert!(!session_active());
         assert_eq!(session_take(), "");
+    }
+
+    /// Burst batching must be invisible: re-entering a scope merges its
+    /// bursts into one attribution line, and a flush in the middle of a
+    /// scope settles the open burst under the right key.
+    #[test]
+    fn burst_batching_matches_per_touch_sums() {
+        run_begin();
+        {
+            let _s = scope("read");
+            charge(3);
+            charge(4);
+        }
+        {
+            let _s = scope("read");
+            charge(5);
+            flush(9); // mid-scope flush: the open burst settles first
+            charge(1);
+        }
+        flush(20);
+        let events = Event::parse_all(&run_take()).unwrap();
+        assert_eq!(
+            events,
+            [
+                Event::Attrib {
+                    t: 9,
+                    stack: "read".to_owned(),
+                    ns: 12
+                },
+                Event::Attrib {
+                    t: 20,
+                    stack: "read".to_owned(),
+                    ns: 1
+                },
+            ]
+        );
     }
 }

@@ -42,6 +42,24 @@ impl Scale {
         }
     }
 
+    /// A 4x-Large scale (the paper's 160 GB extrapolation): the same
+    /// 1024x spatial shrink, four times the dataset, fast tier, cache
+    /// budget, and ops of [`Scale::large`] — preserving the 5:1
+    /// data:fast-memory ratio while pushing the simulator's own data
+    /// structures (frame table, LRU shards, radix nodes) well past the
+    /// Large footprint.
+    pub fn huge() -> Self {
+        Scale {
+            label: "Huge".to_owned(),
+            data_bytes: 160 << 20,
+            ops: 120_000,
+            threads: 16,
+            fast_bytes: 32 << 20,
+            page_cache_frames: 65536,
+            seed: 0x51_0C5,
+        }
+    }
+
     /// The paper's "Small" inputs (10 GB), scaled 1024x down.
     pub fn small() -> Self {
         Scale {
@@ -119,5 +137,15 @@ mod tests {
     #[test]
     fn data_pages_math() {
         assert_eq!(Scale::large().data_pages(), (40 << 20) / 4096);
+    }
+
+    #[test]
+    fn huge_is_4x_large_same_ratio() {
+        let (h, l) = (Scale::huge(), Scale::large());
+        assert_eq!(h.data_bytes, 4 * l.data_bytes);
+        assert_eq!(h.fast_bytes, 4 * l.fast_bytes);
+        assert_eq!(h.page_cache_frames, 4 * l.page_cache_frames);
+        assert_eq!(h.ops, 4 * l.ops);
+        assert_eq!(h.data_bytes / h.fast_bytes, l.data_bytes / l.fast_bytes);
     }
 }
