@@ -1,13 +1,16 @@
 //! The global kmap: registry of all knodes (paper Fig. 1).
 //!
-//! Knodes live in a slot-addressed slab; an ordered index keyed by inode
-//! (the paper uses an RCU-friendly red-black tree) maps inodes to slots
-//! and drives every ordered traversal. The hot path avoids even the
-//! index: the per-CPU lists in [`crate::percpu`] remember each knode's
-//! slot, so a fast-path hit reaches its knode with one array access and
-//! no tree walk — the §4.3 claim ("per-CPU lists cut rbtree accesses")
-//! made literal. Cold paths — LRU selection and teardown — traverse the
-//! index here.
+//! Knodes live in a slot-addressed slab; an inode-keyed index (the
+//! paper uses an RCU-friendly red-black tree) maps inodes to slots and
+//! drives every ordered traversal. The VFS hands out inode numbers
+//! sequentially, so the index is a direct-mapped dense table — a lookup
+//! is one array access, and walking it in position order *is* inode
+//! order, which keeps every ordered traversal identical to the tree it
+//! replaces. The hot path avoids even that: the per-CPU lists in
+//! [`crate::percpu`] remember each knode's slot, so a fast-path hit
+//! reaches its knode with one array access and no index probe — the
+//! §4.3 claim ("per-CPU lists cut rbtree accesses") made literal. Cold
+//! paths — LRU selection and teardown — traverse the index here.
 //!
 //! Beyond the knode storage itself, the kmap maintains the state that
 //! makes policy bookkeeping scan-free (paper §4.3: KLOCs age "as a side
@@ -19,7 +22,12 @@
 //!   inode)`, updated O(log n) on activate/deactivate/touch, so cold-set
 //!   selection is a range scan over candidates only;
 //! * an **active index** so scans of in-use knodes skip the (typically
-//!   much larger) inactive population.
+//!   much larger) inactive population;
+//! * a **cold index** of knodes past the policy's age threshold, in
+//!   inode order — knodes enter when their stamp crosses the watermark
+//!   (at most once per cold spell) and leave on touch/reactivation, so
+//!   the per-tick demotion batch is read off the front in O(batch)
+//!   instead of re-scanning and re-sorting every cold knode each tick.
 //!
 //! All knode mutation funnels through [`Kmap::with_knode_mut`] /
 //! [`Kmap::with_knode_mut_at`], which repair the indexes when a mutation
@@ -27,13 +35,16 @@
 //! `&mut Knode` ever escapes the kmap.
 
 use std::cell::Cell;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use kloc_mem::Nanos;
 
 use kloc_kernel::vfs::InodeId;
 
 use crate::knode::Knode;
+
+/// Sentinel in the dense inode index marking an unmapped inode.
+const NO_SLOT: u32 = u32::MAX;
 
 /// The global knode registry.
 #[derive(Debug, Clone, Default)]
@@ -44,8 +55,12 @@ pub struct Kmap {
     slots: Vec<Option<Knode>>,
     /// Recycled slot numbers.
     free: Vec<u32>,
-    /// Inode-ordered index into `slots`.
-    index: BTreeMap<InodeId, u32>,
+    /// Dense inode -> slot index ([`NO_SLOT`] = unmapped). Inode numbers
+    /// are sequential VFS handles, so direct indexing replaces the
+    /// ordered tree, and position-order iteration is inode order.
+    index: Vec<u32>,
+    /// Number of mapped knodes (occupied `index` entries).
+    mapped: usize,
     /// Global aging epoch; one unit of knode age per advance.
     epoch: u64,
     /// Inactive knodes ordered by how long they have been inactive:
@@ -53,6 +68,19 @@ pub struct Kmap {
     inactive_idx: BTreeSet<(u64, InodeId)>,
     /// In-use knodes, in inode order.
     active_idx: BTreeSet<InodeId>,
+    /// The age threshold the cold index below is maintained for —
+    /// registered by the first [`Kmap::cold_inodes_with_members`] call.
+    cold_threshold: Option<u32>,
+    /// Stamps at or below this are cold (`epoch - cold_threshold` as of
+    /// the last cold query).
+    cold_watermark: u64,
+    /// Inactive knodes whose stamp is at or below the watermark, in
+    /// inode order. Maintained incrementally: a knode enters when its
+    /// stamp crosses the watermark (at most once per cold spell) and
+    /// leaves on touch/reactivation/unmap, so the per-tick cold query
+    /// reads its batch straight off the front instead of re-scanning
+    /// and re-sorting every cold knode each time.
+    cold_idx: BTreeSet<InodeId>,
     /// Accesses that had to traverse the kmap tree (misses of the
     /// per-CPU fast path); feeds the §4.3 ablation.
     tree_accesses: u64,
@@ -71,12 +99,59 @@ impl Kmap {
 
     /// Number of registered knodes.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.mapped
     }
 
     /// Whether no knodes are registered.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.mapped == 0
+    }
+
+    /// Slot mapped for `inode`, off one array probe.
+    #[inline]
+    fn index_get(&self, inode: InodeId) -> Option<u32> {
+        match self.index.get(inode.0 as usize) {
+            Some(&s) if s != NO_SLOT => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Maps `inode` to `slot`, growing the table on first sight of a new
+    /// inode number. Returns the previous slot, if any.
+    fn index_insert(&mut self, inode: InodeId, slot: u32) -> Option<u32> {
+        let i = inode.0 as usize;
+        if i >= self.index.len() {
+            self.index.resize(i + 1, NO_SLOT);
+        }
+        let prev = self.index[i];
+        self.index[i] = slot;
+        if prev == NO_SLOT {
+            self.mapped += 1;
+            None
+        } else {
+            Some(prev)
+        }
+    }
+
+    /// Unmaps `inode`, returning its slot if it was mapped.
+    fn index_remove(&mut self, inode: InodeId) -> Option<u32> {
+        let entry = self.index.get_mut(inode.0 as usize)?;
+        let prev = *entry;
+        if prev == NO_SLOT {
+            return None;
+        }
+        *entry = NO_SLOT;
+        self.mapped -= 1;
+        Some(prev)
+    }
+
+    /// Iterates `(inode, slot)` pairs of mapped knodes in inode order.
+    fn index_iter(&self) -> impl Iterator<Item = (InodeId, u32)> + '_ {
+        self.index
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s != NO_SLOT)
+            .map(|(i, &s)| (InodeId(i as u64), s))
     }
 
     /// Accesses that traversed the tree (per-CPU fast-path misses).
@@ -111,6 +186,25 @@ impl Kmap {
             .expect("index entry has knode") // lint: unwrap-ok — the index only stores occupied slots
     }
 
+    /// Adds `inode` to the cold index if its stamp is already past the
+    /// watermark (knodes usually cross it later, via the query's
+    /// incremental pull).
+    #[inline]
+    fn cold_enter(&mut self, stamp: u64, inode: InodeId) {
+        if self.cold_threshold.is_some() && stamp <= self.cold_watermark {
+            self.cold_idx.insert(inode);
+        }
+    }
+
+    /// Drops `inode` from the cold index if its (previous) stamp had it
+    /// there.
+    #[inline]
+    fn cold_leave(&mut self, stamp: u64, inode: InodeId) {
+        if self.cold_threshold.is_some() && stamp <= self.cold_watermark {
+            self.cold_idx.remove(&inode);
+        }
+    }
+
     /// Registers a knode (`map_knode` / `add_to_kmap` in Table 2) and
     /// returns its storage slot — stable until the knode is unmapped,
     /// usable with [`Kmap::with_knode_mut_at`].
@@ -134,19 +228,20 @@ impl Kmap {
                 u32::try_from(self.slots.len() - 1).expect("fewer than 2^32 knodes")
             }
         };
-        let prev = self.index.insert(inode, slot);
+        let prev = self.index_insert(inode, slot);
         assert!(prev.is_none(), "{inode} already has a knode");
         if active {
             self.active_idx.insert(inode);
         } else {
             self.inactive_idx.insert((stamp, inode));
+            self.cold_enter(stamp, inode);
         }
         slot
     }
 
     /// Removes and returns the knode of `inode`.
     pub fn unmap(&mut self, inode: InodeId) -> Option<Knode> {
-        let slot = self.index.remove(&inode)?;
+        let slot = self.index_remove(inode)?;
         let knode = self.slots[slot as usize]
             .take()
             .expect("index entry has knode"); // lint: unwrap-ok — the index only stores occupied slots
@@ -154,20 +249,24 @@ impl Kmap {
         if knode.inuse() {
             self.active_idx.remove(&inode);
         } else {
-            self.inactive_idx.remove(&(knode.inactive_stamp(), inode));
+            let stamp = knode.inactive_stamp();
+            self.inactive_idx.remove(&(stamp, inode));
+            self.cold_leave(stamp, inode);
         }
         Some(knode)
     }
 
     /// Storage slot of `inode`'s knode, for slot-addressed access.
+    #[inline]
     pub fn slot_of(&self, inode: InodeId) -> Option<u32> {
-        self.index.get(&inode).copied()
+        self.index_get(inode)
     }
 
     /// Looks up a knode without counting a tree access (bookkeeping
     /// paths).
+    #[inline]
     pub fn get(&self, inode: InodeId) -> Option<&Knode> {
-        self.index.get(&inode).map(|&slot| self.at(slot))
+        self.index_get(inode).map(|slot| self.at(slot))
     }
 
     /// LRU age of `inode`'s knode at the current epoch.
@@ -186,7 +285,7 @@ impl Kmap {
         inode: InodeId,
         f: impl FnOnce(&mut Knode, u64) -> R,
     ) -> Option<R> {
-        let slot = *self.index.get(&inode)?;
+        let slot = self.index_get(inode)?;
         self.with_knode_mut_at(slot, f)
     }
 
@@ -211,13 +310,17 @@ impl Kmap {
             if was_active {
                 self.active_idx.remove(&inode);
                 self.inactive_idx.insert((is_stamp, inode));
+                self.cold_enter(is_stamp, inode);
             } else {
                 self.inactive_idx.remove(&(was_stamp, inode));
+                self.cold_leave(was_stamp, inode);
                 self.active_idx.insert(inode);
             }
         } else if !is_active && was_stamp != is_stamp {
             self.inactive_idx.remove(&(was_stamp, inode));
+            self.cold_leave(was_stamp, inode);
             self.inactive_idx.insert((is_stamp, inode));
+            self.cold_enter(is_stamp, inode);
         }
         Some(r)
     }
@@ -236,7 +339,7 @@ impl Kmap {
 
     /// Iterates all knodes in inode order.
     pub fn iter(&self) -> impl Iterator<Item = &Knode> {
-        self.index.values().map(|&slot| {
+        self.index_iter().map(|(_, slot)| {
             self.note_examined(1);
             self.at(slot)
         })
@@ -252,19 +355,43 @@ impl Kmap {
         })
     }
 
-    /// Appends to `out` the inodes of inactive knodes with age >=
-    /// `min_age` that still track members, ordered oldest-inactive
-    /// first. A range scan over the inactive index: cost is
-    /// O(candidates), not O(knodes).
-    pub fn cold_inodes_with_members(&self, min_age: u32, out: &mut Vec<InodeId>) {
+    /// Appends to `out` the first `max` inodes, in inode order, of
+    /// inactive knodes with age >= `min_age` that still track members.
+    ///
+    /// Served from the incrementally maintained cold index: the call
+    /// pulls in knodes whose stamps crossed the cold cutoff since the
+    /// last query (each crosses at most once per cold spell), then
+    /// reads the batch off the front — O(batch), independent of how
+    /// many knodes are cold. Inode order is exactly what sorting the
+    /// full candidate range and truncating to `max` used to produce.
+    pub fn cold_inodes_with_members(&mut self, min_age: u32, max: usize, out: &mut Vec<InodeId>) {
         // A knode is cold iff its stamp <= epoch - min_age; nothing
         // qualifies while fewer than min_age epochs have elapsed.
         let Some(max_stamp) = self.epoch.checked_sub(u64::from(min_age)) else {
             return;
         };
-        for &(_, inode) in self.inactive_idx.range(..=(max_stamp, InodeId(u64::MAX))) {
+        if self.cold_threshold != Some(min_age) {
+            // First query (or a new threshold): build the index with one
+            // range scan; it stays incremental from here on.
+            self.cold_threshold = Some(min_age);
+            self.cold_idx.clear();
+            for &(_, inode) in self.inactive_idx.range(..=(max_stamp, InodeId(u64::MAX))) {
+                self.cold_idx.insert(inode);
+            }
+        } else if max_stamp > self.cold_watermark {
+            let lo = std::ops::Bound::Excluded((self.cold_watermark, InodeId(u64::MAX)));
+            let hi = std::ops::Bound::Included((max_stamp, InodeId(u64::MAX)));
+            for &(_, inode) in self.inactive_idx.range((lo, hi)) {
+                self.cold_idx.insert(inode);
+            }
+        }
+        self.cold_watermark = max_stamp;
+        for &inode in &self.cold_idx {
+            if out.len() == max {
+                break;
+            }
             self.note_examined(1);
-            let slot = self.slot_of(inode).expect("index entry has knode"); // lint: unwrap-ok — the inactive index tracks live knodes
+            let slot = self.slot_of(inode).expect("index entry has knode"); // lint: unwrap-ok — the cold index tracks live knodes
             if self.at(slot).member_count() > 0 {
                 out.push(inode);
             }
@@ -279,14 +406,13 @@ impl Kmap {
         if n == 0 {
             return Vec::new();
         }
-        self.note_examined(self.index.len() as u64);
+        self.note_examined(self.mapped as u64);
         // The tuple's derived order is exactly the ranking (the inode
         // tiebreak makes it total, matching the old stable sort over
         // inode-ordered iteration).
         let mut all: Vec<(bool, Nanos, InodeId)> = self
-            .index
-            .values()
-            .map(|&slot| {
+            .index_iter()
+            .map(|(_, slot)| {
                 let k = self.at(slot);
                 (k.inuse(), k.last_active(), k.inode())
             })
@@ -326,25 +452,35 @@ impl Kmap {
     pub fn ksan_audit(&self, out: &mut Vec<kloc_mem::ksan::Violation>) {
         use kloc_mem::ksan::Violation;
         let occupied = self.slots.iter().filter(|s| s.is_some()).count();
-        if occupied != self.index.len() {
+        if occupied != self.mapped {
             out.push(Violation::new(
                 "Kmap.index <-> Kmap.slots",
                 "kmap",
                 "the inode index covers exactly the occupied slots",
                 format!("{occupied} occupied slots"),
-                format!("{} index entries", self.index.len()),
+                format!("{} index entries", self.mapped),
             ));
         }
-        if self.free.len() + self.index.len() != self.slots.len() {
+        let dense_entries = self.index.iter().filter(|&&s| s != NO_SLOT).count();
+        if dense_entries != self.mapped {
+            out.push(Violation::new(
+                "Kmap.mapped <-> Kmap.index",
+                "kmap",
+                "the mapped count tracks the occupied dense-index entries",
+                format!("{dense_entries} occupied entries"),
+                format!("mapped = {}", self.mapped),
+            ));
+        }
+        if self.free.len() + self.mapped != self.slots.len() {
             out.push(Violation::new(
                 "Kmap.free <-> Kmap.slots",
                 "kmap",
                 "free + mapped partition the slot space",
                 format!("{} slots", self.slots.len()),
-                format!("{} free + {} mapped", self.free.len(), self.index.len()),
+                format!("{} free + {} mapped", self.free.len(), self.mapped),
             ));
         }
-        for (&inode, &slot) in &self.index {
+        for (inode, slot) in self.index_iter() {
             let Some(knode) = self.slots.get(slot as usize).and_then(Option::as_ref) else {
                 out.push(Violation::new(
                     "Kmap.index <-> Kmap.slots",
@@ -395,9 +531,41 @@ impl Kmap {
             }
             knode.ksan_audit(out);
         }
+        // Two-way membership of the cold index against the inactive
+        // index and the registered watermark.
+        if self.cold_threshold.is_some() {
+            for &(stamp, inode) in &self.inactive_idx {
+                let should = stamp <= self.cold_watermark;
+                let has = self.cold_idx.contains(&inode);
+                if should != has {
+                    out.push(Violation::new(
+                        "Kmap.cold_idx <-> Kmap.inactive_idx",
+                        format!("{inode}"),
+                        "the cold index holds exactly the inactive knodes at or past the watermark",
+                        format!("stamp {stamp} vs watermark {}: cold = {should}", self.cold_watermark),
+                        format!("cold = {has}"),
+                    ));
+                }
+            }
+            for &inode in &self.cold_idx {
+                let inactive = self
+                    .index_get(inode)
+                    .map(|s| !self.at(s).inuse())
+                    .unwrap_or(false);
+                if !inactive {
+                    out.push(Violation::new(
+                        "Kmap.cold_idx <-> Kmap.index",
+                        format!("{inode}"),
+                        "every cold index entry names a mapped, inactive knode",
+                        "mapped inactive knode".to_owned(),
+                        "missing or active".to_owned(),
+                    ));
+                }
+            }
+        }
         // Exact membership: with every knode accounted for above, equal
         // sizes rule out entries pointing at unmapped inodes.
-        if self.active_idx.len() + self.inactive_idx.len() != self.index.len() {
+        if self.active_idx.len() + self.inactive_idx.len() != self.mapped {
             out.push(Violation::new(
                 "Kmap activation indexes <-> Kmap.index",
                 "kmap",
@@ -421,12 +589,26 @@ impl Kmap {
         }
     }
 
+    /// Corruption hook for sanitizer self-tests: drops the first cold
+    /// index entry (or plants a phantom one when the index is empty),
+    /// desyncing it from the inactive index.
+    #[doc(hidden)]
+    pub fn ksan_break_cold_index(&mut self) {
+        if let Some(&inode) = self.cold_idx.iter().next() {
+            self.cold_idx.remove(&inode);
+        } else {
+            self.cold_threshold.get_or_insert(1);
+            self.cold_idx.insert(InodeId(u64::MAX - 1));
+        }
+    }
+
     /// Corruption hook for sanitizer self-tests: stamps the first mapped
     /// knode's synced epoch into the future, bypassing index repair.
     #[doc(hidden)]
     pub fn ksan_break_epoch(&mut self) {
         let epoch = self.epoch + 10;
-        if let Some(&slot) = self.index.values().next() {
+        let first = self.index_iter().next();
+        if let Some((_, slot)) = first {
             if let Some(knode) = self.slots[slot as usize].as_mut() {
                 knode.ksan_force_synced_epoch(epoch);
             }
@@ -576,17 +758,31 @@ mod tests {
             k.touch_at(CpuId(0), Nanos::from_micros(1), ep);
         });
         let mut cold = Vec::new();
-        m.cold_inodes_with_members(5, &mut cold);
+        m.cold_inodes_with_members(5, usize::MAX, &mut cold);
         assert_eq!(cold, vec![InodeId(1), InodeId(2)]);
-        // The range scan examined the three old entries, not knode 4 or
-        // the active knode 5.
+        // The cold-index read examined the three old entries, not knode
+        // 4 or the active knode 5.
         let before = m.knodes_examined();
         let mut again = Vec::new();
-        m.cold_inodes_with_members(5, &mut again);
+        m.cold_inodes_with_members(5, usize::MAX, &mut again);
         assert_eq!(m.knodes_examined() - before, 3);
+        // The batch limit stops the read early: one candidate wanted,
+        // one entry examined.
+        let before = m.knodes_examined();
+        let mut one = Vec::new();
+        m.cold_inodes_with_members(5, 1, &mut one);
+        assert_eq!(one, vec![InodeId(1)]);
+        assert_eq!(m.knodes_examined() - before, 1);
+        // A touch while cold drops the knode from the cold index.
+        m.with_knode_mut(InodeId(1), |k, ep| {
+            k.touch_at(CpuId(0), Nanos::from_micros(2), ep);
+        });
+        let mut after_touch = Vec::new();
+        m.cold_inodes_with_members(5, usize::MAX, &mut after_touch);
+        assert_eq!(after_touch, vec![InodeId(2)]);
         // Nothing qualifies before enough epochs have elapsed.
         let mut none = Vec::new();
-        m.cold_inodes_with_members(11, &mut none);
+        m.cold_inodes_with_members(11, usize::MAX, &mut none);
         assert!(none.is_empty());
     }
 

@@ -2,11 +2,15 @@
 //!
 //! Every file/socket inode gets a knode — a "table of contents" naming
 //! every kernel object associated with that inode (paper Fig. 1). The
-//! members are split across two ordered trees, mirroring the paper's
-//! `rbtree-cache` / `rbtree-slab` split (§4.2.3): a single tree over
-//! millions of objects costs ~10 memory references per traversal; two
-//! smaller trees also separate page-cache pages from small slab objects
-//! organizationally.
+//! members are split across two tables, mirroring the paper's
+//! `rbtree-cache` / `rbtree-slab` split (§4.2.3): separating page-cache
+//! pages from small slab objects keeps each table small and the split
+//! organizationally meaningful. Since PR 7 the tables are the dense
+//! open-addressed [`crate::members::MemberMap`]s rather than
+//! `BTreeMap`s: the member add/remove/touch path sits on every syscall,
+//! so it probes a flat slot array instead of chasing tree nodes, and
+//! ordered views are derived only where order is report-visible (see
+//! the `members` module docs).
 //!
 //! Aging is *lazy*: instead of a scan bumping a counter on every knode
 //! each epoch (O(knodes) per tick), a knode records the
@@ -16,13 +20,15 @@
 //! KLOCs age "as a side effect of events" rather than by scanning
 //! (§4.3).
 
-use std::collections::BTreeMap;
+use std::cell::{Cell, RefCell};
 
-use kloc_mem::{FrameId, Nanos};
+use kloc_mem::{FrameId, Nanos, TierId};
 
 use kloc_kernel::hooks::CpuId;
 use kloc_kernel::vfs::InodeId;
 use kloc_kernel::{Backing, KernelObjectType, ObjectId};
+
+use crate::members::{FrameRefs, MemberMap};
 
 /// Which member tree an object landed in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,15 +56,39 @@ pub struct Knode {
     last_cpu: CpuId,
     /// Last access time.
     last_active: Nanos,
-    /// Page-backed members: object -> backing frame.
-    rbtree_cache: BTreeMap<ObjectId, FrameId>,
-    /// Slab-class members: object -> backing frame.
-    rbtree_slab: BTreeMap<ObjectId, FrameId>,
+    /// Page-backed members: object -> backing frame (`rbtree-cache`).
+    cache: MemberMap,
+    /// Slab-class members: object -> backing frame (`rbtree-slab`).
+    slab: MemberMap,
     /// Distinct frames backing members, refcounted (several slab
     /// objects can share a frame). Kept incrementally so en-masse
-    /// migration walks it directly instead of collecting, sorting, and
-    /// deduplicating the member trees on every call.
-    frames: BTreeMap<FrameId, u32>,
+    /// migration collects it directly instead of deduplicating the
+    /// member tables on every call.
+    frames: FrameRefs,
+    /// Cached ascending view of `frames` (the report-visible migration
+    /// order). Mutations that change the distinct frame set only mark
+    /// it stale; `collect_member_frames` re-sorts at most once per
+    /// change, so repeated policy-tick walks over an unchanged knode
+    /// sort nothing.
+    sorted_frames: RefCell<Vec<FrameId>>,
+    /// Whether `sorted_frames` no longer reflects `frames`.
+    frames_stale: Cell<bool>,
+    /// Memoized outcome of a *settled* en-masse migration walk:
+    /// `(target tier, ping-pong skips the walk charges, external
+    /// migration epoch)`. While valid, a repeat walk toward the same
+    /// tier can move nothing and charges exactly the cached skip count,
+    /// so the registry answers it in O(1) instead of re-probing every
+    /// member frame. Cleared whenever the distinct frame set changes or
+    /// frames are promoted back (registry paths), and keyed to the
+    /// registry's external-migration epoch so app-LRU migrations of
+    /// member frames invalidate it too.
+    enmasse_cache: Cell<Option<(TierId, u64, u64)>>,
+    /// Earliest virtual time the member-granular demotion walk could
+    /// move anything: `(older_than key, bound, external promotion
+    /// epoch)`. Touches only push member candidacy later, so the bound
+    /// stays conservative until the member set changes or a frame is
+    /// promoted into fast memory.
+    demote_bound: Cell<Option<(Nanos, Nanos, u64)>>,
 }
 
 impl Knode {
@@ -71,9 +101,13 @@ impl Knode {
             synced_epoch: 0,
             last_cpu: CpuId(0),
             last_active: now,
-            rbtree_cache: BTreeMap::new(),
-            rbtree_slab: BTreeMap::new(),
-            frames: BTreeMap::new(),
+            cache: MemberMap::default(),
+            slab: MemberMap::default(),
+            frames: FrameRefs::default(),
+            sorted_frames: RefCell::new(Vec::new()),
+            frames_stale: Cell::new(false),
+            enmasse_cache: Cell::new(None),
+            demote_bound: Cell::new(None),
         }
     }
 
@@ -143,69 +177,124 @@ impl Knode {
     }
 
     /// Adds a member object (`knode_add_obj` in Table 2); routed to the
-    /// cache or slab tree by the object's backing. Returns the tree used.
+    /// cache or slab table by the object's backing. Returns the table
+    /// used. O(1) amortized: one dense-table probe plus a refcount bump.
     pub fn add_obj(&mut self, obj: ObjectId, ty: KernelObjectType, frame: FrameId) -> MemberTree {
         let (tree, prev) = match ty.backing() {
-            Backing::Page(_) => (MemberTree::Cache, self.rbtree_cache.insert(obj, frame)),
-            Backing::Slab => (MemberTree::Slab, self.rbtree_slab.insert(obj, frame)),
+            Backing::Page(_) => (MemberTree::Cache, self.cache.insert(obj, frame)),
+            Backing::Slab => (MemberTree::Slab, self.slab.insert(obj, frame)),
         };
+        let mut changed = false;
         if let Some(old) = prev {
-            self.unref_frame(old);
+            changed |= self.frames.unref(old);
         }
-        *self.frames.entry(frame).or_insert(0) += 1;
+        changed |= self.frames.add(frame);
+        if changed {
+            self.frames_stale.set(true);
+            self.clear_walk_caches();
+        }
         tree
     }
 
-    /// Removes a member. Returns whether it was tracked.
+    /// Removes a member. Returns whether it was tracked. O(1) amortized.
     pub fn remove_obj(&mut self, obj: ObjectId) -> bool {
-        let frame = self
-            .rbtree_cache
-            .remove(&obj)
-            .or_else(|| self.rbtree_slab.remove(&obj));
+        let frame = self.cache.remove(obj).or_else(|| self.slab.remove(obj));
         match frame {
             Some(f) => {
-                self.unref_frame(f);
+                if self.frames.unref(f) {
+                    self.frames_stale.set(true);
+                    self.clear_walk_caches();
+                }
                 true
             }
             None => false,
         }
     }
 
-    fn unref_frame(&mut self, frame: FrameId) {
-        if let Some(rc) = self.frames.get_mut(&frame) {
-            *rc -= 1;
-            if *rc == 0 {
-                self.frames.remove(&frame);
-            }
-        }
-    }
-
-    /// Number of members across both trees.
+    /// Number of members across both tables.
     pub fn member_count(&self) -> usize {
-        self.rbtree_cache.len() + self.rbtree_slab.len()
+        self.cache.len() + self.slab.len()
     }
 
     /// Whether the knode tracks no objects.
     pub fn is_empty(&self) -> bool {
-        self.rbtree_cache.is_empty() && self.rbtree_slab.is_empty()
+        self.cache.is_empty() && self.slab.is_empty()
     }
 
-    /// Iterates page-backed members (`itr_knode_cache`).
-    pub fn iter_cache(&self) -> impl Iterator<Item = (ObjectId, FrameId)> + '_ {
-        self.rbtree_cache.iter().map(|(o, f)| (*o, *f))
+    /// Page-backed members ascending by `ObjectId` (`itr_knode_cache`).
+    /// Derived on demand — the insert/remove path maintains no order.
+    pub fn cache_members(&self) -> Vec<(ObjectId, FrameId)> {
+        self.cache.sorted()
     }
 
-    /// Iterates slab-class members (`itr_knode_slab`).
-    pub fn iter_slab(&self) -> impl Iterator<Item = (ObjectId, FrameId)> + '_ {
-        self.rbtree_slab.iter().map(|(o, f)| (*o, *f))
+    /// Slab-class members ascending by `ObjectId` (`itr_knode_slab`).
+    /// Derived on demand — the insert/remove path maintains no order.
+    pub fn slab_members(&self) -> Vec<(ObjectId, FrameId)> {
+        self.slab.sorted()
     }
 
-    /// Iterates the deduplicated frames backing all members, ascending —
-    /// the unit of en-masse migration (paper §4.4: "kernel objects
-    /// pointed to by a knode subtree are migrated" together). Walks the
-    /// incrementally maintained frame set; no allocation.
-    pub fn iter_member_frames(&self) -> impl Iterator<Item = FrameId> + '_ {
-        self.frames.keys().copied()
+    /// Visits the deduplicated frames backing all members in unordered
+    /// (slot) order — deterministic, but only for order-insensitive
+    /// consumers such as residency counts.
+    pub fn for_each_member_frame(&self, mut f: impl FnMut(FrameId)) {
+        self.frames.for_each(|frame, _| f(frame));
+    }
+
+    /// Replaces `out` with the deduplicated frames backing all members,
+    /// ascending by full `FrameId` — the unit of en-masse migration
+    /// (paper §4.4: "kernel objects pointed to by a knode subtree are
+    /// migrated" together). The order is report-visible, so it is
+    /// derived (collect + sort) rather than maintained per touch — but
+    /// cached: the sort reruns only after the distinct frame set
+    /// changed, so per-tick walks over a quiescent knode cost one copy.
+    pub fn collect_member_frames(&self, out: &mut Vec<FrameId>) {
+        self.with_member_frames(|frames| {
+            out.clear();
+            out.extend_from_slice(frames);
+        });
+    }
+
+    /// Zero-copy variant of [`Knode::collect_member_frames`]: hands the
+    /// closure the same ascending deduplicated frame slice without
+    /// copying it out. The slice is borrowed from the knode's sort
+    /// cache, so the closure must not re-enter member mutation (the
+    /// migration walks only touch the memory system).
+    pub fn with_member_frames<R>(&self, f: impl FnOnce(&[FrameId]) -> R) -> R {
+        if self.frames_stale.get() {
+            self.frames.collect_sorted(&mut self.sorted_frames.borrow_mut());
+            self.frames_stale.set(false);
+        }
+        f(&self.sorted_frames.borrow())
+    }
+
+    /// Drops both migration-walk memoizations. Called whenever the
+    /// distinct frame set changes or member frames gain fast-tier
+    /// residency outside a demotion walk's own bookkeeping.
+    pub(crate) fn clear_walk_caches(&self) {
+        self.enmasse_cache.set(None);
+        self.demote_bound.set(None);
+    }
+
+    /// The memoized settled en-masse walk outcome, if any.
+    pub(crate) fn enmasse_cache(&self) -> Option<(TierId, u64, u64)> {
+        self.enmasse_cache.get()
+    }
+
+    /// Memoizes a settled en-masse walk toward `to`: nothing movable
+    /// remains and a repeat walk charges exactly `pingpong_skips`.
+    pub(crate) fn set_enmasse_cache(&self, to: TierId, pingpong_skips: u64, epoch: u64) {
+        self.enmasse_cache.set(Some((to, pingpong_skips, epoch)));
+    }
+
+    /// The memoized member-demotion candidacy bound, if any.
+    pub(crate) fn demote_bound(&self) -> Option<(Nanos, Nanos, u64)> {
+        self.demote_bound.get()
+    }
+
+    /// Memoizes the earliest time a member-granular demotion walk with
+    /// this `older_than` could move anything.
+    pub(crate) fn set_demote_bound(&self, older_than: Nanos, bound: Nanos, epoch: u64) {
+        self.demote_bound.set(Some((older_than, bound, epoch)));
     }
 
     /// Number of distinct frames backing members.
@@ -213,9 +302,11 @@ impl Knode {
         self.frames.len()
     }
 
-    /// Deduplicated frames backing all members, collected.
+    /// Deduplicated frames backing all members, collected ascending.
     pub fn member_frames(&self) -> Vec<FrameId> {
-        self.iter_member_frames().collect()
+        let mut out = Vec::new();
+        self.collect_member_frames(&mut out);
+        out
     }
 }
 
@@ -227,23 +318,60 @@ impl Knode {
         self.synced_epoch
     }
 
-    /// Recomputes the frame refcounts from both member trees and
-    /// cross-checks the incrementally maintained frame set. Observation
-    /// only.
+    /// Recomputes the frame refcounts from both member tables and
+    /// cross-checks the incrementally maintained frame set, then audits
+    /// each dense table's internal slot bookkeeping (live counter vs
+    /// occupied slots, probe-chain reachability). Observation only.
     pub(crate) fn ksan_audit(&self, out: &mut Vec<kloc_mem::ksan::Violation>) {
+        use std::collections::BTreeMap;
+
         use kloc_mem::ksan::Violation;
         let mut tally: BTreeMap<FrameId, u32> = BTreeMap::new();
-        for (_, frame) in self.iter_cache().chain(self.iter_slab()) {
+        let mut count = |_: ObjectId, frame: FrameId| {
             *tally.entry(frame).or_insert(0) += 1;
-        }
-        if tally != self.frames {
+        };
+        self.cache.for_each(&mut count);
+        self.slab.for_each(&mut count);
+        let mut refs: BTreeMap<FrameId, u32> = BTreeMap::new();
+        self.frames.for_each(|frame, rc| {
+            refs.insert(frame, rc);
+        });
+        if tally != refs {
             out.push(Violation::new(
-                "Knode.frames <-> Knode member trees",
+                "Knode.frames <-> Knode member tables",
                 format!("{}", self.inode),
                 "frame refcounts match the members that reference them",
                 format!("{tally:?}"),
-                format!("{:?}", self.frames),
+                format!("{refs:?}"),
             ));
+        }
+        if !self.frames_stale.get() {
+            let mut fresh = Vec::new();
+            self.frames.collect_sorted(&mut fresh);
+            if *self.sorted_frames.borrow() != fresh {
+                out.push(Violation::new(
+                    "Knode.sorted_frames cache <-> Knode.frames",
+                    format!("{}", self.inode),
+                    "a cache not marked stale matches a fresh collect",
+                    format!("{fresh:?}"),
+                    format!("{:?}", self.sorted_frames.borrow()),
+                ));
+            }
+        }
+        for (label, check) in [
+            ("rbtree-cache", self.cache.ksan_check()),
+            ("rbtree-slab", self.slab.ksan_check()),
+            ("frame refs", self.frames.ksan_check()),
+        ] {
+            if let Err(err) = check {
+                out.push(Violation::new(
+                    "Knode dense table slots <-> live counter",
+                    format!("{} {label}", self.inode),
+                    "stored ids are probe-reachable and counted exactly once",
+                    "consistent slot array".to_owned(),
+                    err,
+                ));
+            }
         }
     }
 
@@ -252,6 +380,28 @@ impl Knode {
     #[doc(hidden)]
     pub fn ksan_force_synced_epoch(&mut self, epoch: u64) {
         self.synced_epoch = epoch;
+    }
+
+    /// Corruption hook for sanitizer self-tests: injects a phantom
+    /// frame reference, desyncing the frame set from the member tables.
+    #[doc(hidden)]
+    pub fn ksan_break_knode_members(&mut self) {
+        self.frames.ksan_break_phantom_ref(FrameId(0xDEAD));
+    }
+
+    /// Corruption hook for sanitizer self-tests: skews the cache
+    /// table's live counter against its occupied slots.
+    #[doc(hidden)]
+    pub fn ksan_break_member_slots(&mut self) {
+        self.cache.ksan_break_live_count();
+    }
+
+    /// Corruption hook for sanitizer self-tests: plants a bogus frame
+    /// in the sorted-frame cache while leaving it marked clean.
+    #[doc(hidden)]
+    pub fn ksan_break_frame_cache(&mut self) {
+        self.sorted_frames.borrow_mut().push(FrameId(0xBAD));
+        self.frames_stale.set(false);
     }
 
     /// Test-only wrapper over the crate-private inuse transition so
@@ -279,8 +429,8 @@ mod tests {
         let t2 = k.add_obj(ObjectId(2), KernelObjectType::Dentry, FrameId(11));
         assert_eq!(t1, MemberTree::Cache);
         assert_eq!(t2, MemberTree::Slab);
-        assert_eq!(k.iter_cache().count(), 1);
-        assert_eq!(k.iter_slab().count(), 1);
+        assert_eq!(k.cache_members().len(), 1);
+        assert_eq!(k.slab_members().len(), 1);
         assert_eq!(k.member_count(), 2);
     }
 
@@ -320,6 +470,22 @@ mod tests {
         k.add_obj(ObjectId(1), KernelObjectType::PageCache, FrameId(9));
         assert_eq!(k.member_frames(), vec![FrameId(9)]);
         assert_eq!(k.member_count(), 1);
+    }
+
+    #[test]
+    fn member_views_sort_by_full_id() {
+        let mut k = knode();
+        // Insertion order deliberately disagrees with id order, and two
+        // frames share a slot (low 32 bits) across generations.
+        k.add_obj(ObjectId(9), KernelObjectType::PageCache, FrameId(5));
+        k.add_obj(ObjectId(2), KernelObjectType::PageCache, FrameId((1 << 32) | 4));
+        k.add_obj(ObjectId(5), KernelObjectType::PageCache, FrameId(4));
+        let ids: Vec<u64> = k.cache_members().iter().map(|(o, _)| o.0).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+        assert_eq!(
+            k.member_frames(),
+            vec![FrameId(4), FrameId(5), FrameId((1 << 32) | 4)]
+        );
     }
 
     #[test]

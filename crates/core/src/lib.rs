@@ -10,10 +10,11 @@
 //!
 //! Mirroring paper Figs. 1 and 3(a):
 //!
-//! * [`Knode`] — per-inode "table of contents": two ordered member trees
+//! * [`Knode`] — per-inode "table of contents": two member tables
 //!   (`rbtree-cache` for page-backed objects, `rbtree-slab` for
-//!   slab-class objects, split to halve tree depth and contention §4.2.3)
-//!   plus `inuse` and `age` tracking.
+//!   slab-class objects, split to keep each small §4.2.3; dense
+//!   open-addressed tables here, see [`members`]) plus `inuse` and
+//!   `age` tracking.
 //! * [`Kmap`] — the global registry of all knodes.
 //! * [`PerCpuKnodeLists`] — the per-CPU fast-path cache of recently used
 //!   knodes (§4.3; reduces rbtree accesses by ~54 % in the paper).
@@ -29,8 +30,8 @@
 //! | `sys_enable_kloc()` | [`KlocRegistry::new`] / [`KlocConfig::enabled`] |
 //! | `map_knode(knode, inode)` | [`Kmap::map_knode`] |
 //! | `knode_add_obj(knode, obj)` | [`Knode::add_obj`] |
-//! | `itr_knode_slab(knode)` | [`Knode::iter_slab`] |
-//! | `itr_knode_cache(knode)` | [`Knode::iter_cache`] |
+//! | `itr_knode_slab(knode)` | [`Knode::slab_members`] |
+//! | `itr_knode_cache(knode)` | [`Knode::cache_members`] |
 //! | `add_to_kmap(knode)` | [`Kmap::map_knode`] |
 //! | `get_LRU_knodes(kmap)` | [`Kmap::lru_knodes`] |
 //! | `find_cpu(knode)` | [`Knode::last_cpu`] |
@@ -40,6 +41,7 @@
 
 pub mod kmap;
 pub mod knode;
+pub mod members;
 pub mod overhead;
 pub mod percpu;
 pub mod registry;

@@ -1,0 +1,518 @@
+//! Dense member tables for knodes.
+//!
+//! PR 6 replaced tree/hash probes on the kernel touch path with
+//! direct-mapped side tables (`FrameSet`/`FrameMap` in kloc-mem),
+//! exploiting that frame *slots* are dense indices into one global
+//! table. A knode's member ids have the opposite shape: `ObjectId`s are
+//! global, sequential, and never reused, so a per-knode table indexed
+//! directly by object id would cost memory proportional to the global
+//! id space in every knode. The same idiom therefore appears here in
+//! its open-addressed form: a power-of-two slot array probed linearly
+//! from a multiplicative hash, storing the full 64-bit id so a probe
+//! rejects a recycled slot by full-id compare exactly as `FrameSet`
+//! rejects stale generations. Inserts and removes are amortized O(1),
+//! each entry is one `(key, value)` pair in a single flat allocation
+//! (one cache line covers probe and payload), and an empty table
+//! allocates nothing.
+//!
+//! Ordered views are *derived on demand* (collect + sort by full id)
+//! rather than maintained by a `BTreeMap` on every insert/remove:
+//! ordering work is paid only where order is report-visible (en-masse
+//! `kloc_migrate` evidence, `cache_members`/`slab_members`, audits).
+//! Unordered iteration walks slots in array order, which is a pure
+//! function of the insertion history and thus deterministic across
+//! identically-seeded runs — but it is only used where the consumer is
+//! order-insensitive (refcount tallies, residency counts).
+
+use kloc_kernel::ObjectId;
+use kloc_mem::FrameId;
+
+/// Slot holds nothing and never did (probe chains stop here).
+const EMPTY: u64 = u64::MAX;
+/// Slot held an entry that was removed (probe chains continue).
+const TOMBSTONE: u64 = u64::MAX - 1;
+
+/// SplitMix64-style finalizer: full-avalanche 64-bit mix, so sequential
+/// ids spread over the power-of-two slot array. Dependency-free.
+#[inline]
+fn mix(key: u64) -> u64 {
+    let mut h = key;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// The open-addressed u64 -> u64 core shared by [`MemberMap`] and
+/// [`FrameRefs`]. Linear probing, tombstone deletion, capacity kept a
+/// power of two with at least 1/8 of slots `EMPTY` so probes terminate.
+#[derive(Debug, Clone, Default)]
+struct Dense {
+    /// `(key, value)` pairs; key is [`EMPTY`] / [`TOMBSTONE`] for
+    /// vacant slots.
+    slots: Vec<(u64, u64)>,
+    live: usize,
+    tombs: usize,
+}
+
+impl Dense {
+    const MIN_CAP: usize = 8;
+
+    #[inline]
+    fn get(&self, key: u64) -> Option<u64> {
+        if self.live == 0 {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (mix(key) as usize) & mask; // lint: truncation-ok
+        loop {
+            match self.slots[i].0 {
+                EMPTY => return None,
+                k if k == key => return Some(self.slots[i].1),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Inserts or replaces; returns the previous value if the key was
+    /// present. The full key is stored, so a probe that lands on a
+    /// recycled (tombstoned, then reused) slot can never confuse two
+    /// ids that happened to hash alike.
+    fn insert(&mut self, key: u64, val: u64) -> Option<u64> {
+        debug_assert!(key < TOMBSTONE, "id collides with a table sentinel");
+        self.reserve_one();
+        let mask = self.slots.len() - 1;
+        let mut i = (mix(key) as usize) & mask; // lint: truncation-ok
+        // First tombstone seen is the insertion point, but the probe
+        // must continue to EMPTY to rule out a later duplicate.
+        let mut reuse = None;
+        loop {
+            match self.slots[i].0 {
+                EMPTY => {
+                    let slot = reuse.unwrap_or(i);
+                    if self.slots[slot].0 == TOMBSTONE {
+                        self.tombs -= 1;
+                    }
+                    self.slots[slot] = (key, val);
+                    self.live += 1;
+                    return None;
+                }
+                TOMBSTONE => {
+                    if reuse.is_none() {
+                        reuse = Some(i);
+                    }
+                    i = (i + 1) & mask;
+                }
+                k if k == key => {
+                    let old = self.slots[i].1;
+                    self.slots[i].1 = val;
+                    return Some(old);
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Removes a key; returns its value if it was present. The slot
+    /// becomes a tombstone so probe chains through it stay intact.
+    fn remove(&mut self, key: u64) -> Option<u64> {
+        if self.live == 0 {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (mix(key) as usize) & mask; // lint: truncation-ok
+        loop {
+            match self.slots[i].0 {
+                EMPTY => return None,
+                k if k == key => {
+                    let val = self.slots[i].1;
+                    self.slots[i].0 = TOMBSTONE;
+                    self.tombs += 1;
+                    self.live -= 1;
+                    return Some(val);
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Increments the value for `key`, inserting 1 when absent; returns
+    /// whether the key is newly present. One probe for the refcount
+    /// add that rides every member insert.
+    fn bump(&mut self, key: u64) -> bool {
+        debug_assert!(key < TOMBSTONE, "id collides with a table sentinel");
+        self.reserve_one();
+        let mask = self.slots.len() - 1;
+        let mut i = (mix(key) as usize) & mask; // lint: truncation-ok
+        let mut reuse = None;
+        loop {
+            match self.slots[i].0 {
+                EMPTY => {
+                    let slot = reuse.unwrap_or(i);
+                    if self.slots[slot].0 == TOMBSTONE {
+                        self.tombs -= 1;
+                    }
+                    self.slots[slot] = (key, 1);
+                    self.live += 1;
+                    return true;
+                }
+                TOMBSTONE => {
+                    if reuse.is_none() {
+                        reuse = Some(i);
+                    }
+                    i = (i + 1) & mask;
+                }
+                k if k == key => {
+                    self.slots[i].1 += 1;
+                    return false;
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Decrements the value for `key`, removing it at zero; returns
+    /// whether the key left the table. Absent keys are ignored. One
+    /// probe for the refcount drop that rides every member removal.
+    fn unbump(&mut self, key: u64) -> bool {
+        if self.live == 0 {
+            return false;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (mix(key) as usize) & mask; // lint: truncation-ok
+        loop {
+            match self.slots[i].0 {
+                EMPTY => return false,
+                k if k == key => {
+                    if self.slots[i].1 > 1 {
+                        self.slots[i].1 -= 1;
+                        return false;
+                    }
+                    self.slots[i].0 = TOMBSTONE;
+                    self.tombs += 1;
+                    self.live -= 1;
+                    return true;
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Grows (or first-allocates) when less than 1/8 of slots would
+    /// stay `EMPTY` after one more insert.
+    #[inline]
+    fn reserve_one(&mut self) {
+        if self.slots.is_empty() || (self.live + self.tombs + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+    }
+
+    /// Rehashes into a table sized for the live entries, dropping
+    /// tombstones. Also the initial allocation (tables start empty so an
+    /// idle knode costs no member-table memory at all).
+    fn grow(&mut self) {
+        let cap = ((self.live + 1) * 2)
+            .next_power_of_two()
+            .max(Self::MIN_CAP);
+        let old = std::mem::replace(&mut self.slots, vec![(EMPTY, 0); cap]);
+        self.tombs = 0;
+        let mask = cap - 1;
+        for (k, v) in old {
+            if k < TOMBSTONE {
+                let mut i = (mix(k) as usize) & mask; // lint: truncation-ok
+                while self.slots[i].0 != EMPTY {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = (k, v);
+            }
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Visits every live entry in slot order (deterministic, unordered;
+    /// see the module docs for where this is allowed).
+    fn for_each(&self, mut f: impl FnMut(u64, u64)) {
+        for &(k, v) in &self.slots {
+            if k < TOMBSTONE {
+                f(k, v);
+            }
+        }
+    }
+}
+
+#[cfg(feature = "ksan")]
+impl Dense {
+    /// Internal-consistency audit: the live counter must equal the
+    /// occupied slot count, and every stored key must be reachable by
+    /// its own probe sequence (tombstones may sit in the chain but an
+    /// EMPTY must not). Returns an error string naming the first
+    /// discrepancy. Observation only.
+    fn ksan_check(&self) -> Result<(), String> {
+        let mut occupied = 0usize;
+        for (i, &(k, _)) in self.slots.iter().enumerate() {
+            if k < TOMBSTONE {
+                occupied += 1;
+                if self.get(k).is_none() {
+                    return Err(format!("stored id {k} at slot {i} is unreachable by probe"));
+                }
+            }
+        }
+        if occupied != self.live {
+            return Err(format!(
+                "live counter {} != occupied slots {occupied}",
+                self.live
+            ));
+        }
+        Ok(())
+    }
+
+    /// Corruption hook: skews the live counter without touching slots.
+    fn ksan_break_live_count(&mut self) {
+        self.live += 1;
+    }
+}
+
+/// Dense member table for one knode tree: `ObjectId -> FrameId`
+/// (the `rbtree-cache` / `rbtree-slab` payload).
+#[derive(Debug, Clone, Default)]
+pub struct MemberMap {
+    table: Dense,
+}
+
+impl MemberMap {
+    /// Inserts or replaces a member; returns the previously mapped
+    /// frame if the object was already tracked.
+    pub fn insert(&mut self, obj: ObjectId, frame: FrameId) -> Option<FrameId> {
+        self.table.insert(obj.0, frame.0).map(FrameId)
+    }
+
+    /// Removes a member; returns the frame it mapped to.
+    pub fn remove(&mut self, obj: ObjectId) -> Option<FrameId> {
+        self.table.remove(obj.0).map(FrameId)
+    }
+
+    /// Looks up the frame backing a member.
+    pub fn get(&self, obj: ObjectId) -> Option<FrameId> {
+        self.table.get(obj.0).map(FrameId)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table tracks no members.
+    pub fn is_empty(&self) -> bool {
+        self.table.len() == 0
+    }
+
+    /// Visits every member in slot order (deterministic, unordered).
+    pub fn for_each(&self, mut f: impl FnMut(ObjectId, FrameId)) {
+        self.table.for_each(|k, v| f(ObjectId(k), FrameId(v)));
+    }
+
+    /// The ordered view, derived on demand: members ascending by
+    /// `ObjectId`, matching the old `BTreeMap` iteration order.
+    pub fn sorted(&self) -> Vec<(ObjectId, FrameId)> {
+        let mut out = Vec::with_capacity(self.table.len());
+        self.for_each(|o, f| out.push((o, f)));
+        out.sort_unstable_by_key(|(o, _)| *o);
+        out
+    }
+}
+
+#[cfg(feature = "ksan")]
+impl MemberMap {
+    pub(crate) fn ksan_check(&self) -> Result<(), String> {
+        self.table.ksan_check()
+    }
+
+    /// Corruption hook for sanitizer self-tests.
+    #[doc(hidden)]
+    pub fn ksan_break_live_count(&mut self) {
+        self.table.ksan_break_live_count();
+    }
+}
+
+/// Refcounted set of distinct frames backing a knode's members
+/// (`FrameId -> u32`; several slab objects can share one frame). Kept
+/// incrementally so en-masse migration collects it directly instead of
+/// deduplicating the member tables on every call.
+#[derive(Debug, Clone, Default)]
+pub struct FrameRefs {
+    table: Dense,
+}
+
+impl FrameRefs {
+    /// Adds one reference; returns whether the frame is newly tracked.
+    pub fn add(&mut self, frame: FrameId) -> bool {
+        self.table.bump(frame.0)
+    }
+
+    /// Drops one reference; returns whether the frame left the set.
+    /// Unreferenced frames are ignored (mirrors the old map behavior).
+    pub fn unref(&mut self, frame: FrameId) -> bool {
+        self.table.unbump(frame.0)
+    }
+
+    /// Current reference count for a frame (0 if untracked).
+    pub fn count(&self, frame: FrameId) -> u32 {
+        u32::try_from(self.table.get(frame.0).unwrap_or(0)).unwrap_or(u32::MAX)
+    }
+
+    /// Number of distinct frames.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether no frames are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.table.len() == 0
+    }
+
+    /// Visits every (frame, refcount) in slot order (deterministic,
+    /// unordered — for tallies and residency counts only).
+    pub fn for_each(&self, mut f: impl FnMut(FrameId, u32)) {
+        self.table
+            .for_each(|k, v| f(FrameId(k), u32::try_from(v).unwrap_or(u32::MAX)));
+    }
+
+    /// Replaces `out` with the frames ascending by full `FrameId` — the
+    /// order the old `BTreeMap` iterated in, which is report-visible
+    /// (en-masse migration order). Sorting by full id matters: a frame's
+    /// generation bits can invert slot order.
+    pub fn collect_sorted(&self, out: &mut Vec<FrameId>) {
+        out.clear();
+        out.reserve(self.table.len());
+        self.table.for_each(|k, _| out.push(FrameId(k)));
+        out.sort_unstable();
+    }
+}
+
+#[cfg(feature = "ksan")]
+impl FrameRefs {
+    pub(crate) fn ksan_check(&self) -> Result<(), String> {
+        self.table.ksan_check()
+    }
+
+    /// Injects one phantom reference to `frame`, desyncing the frame
+    /// set from the member tables. Corruption hook for self-tests.
+    #[doc(hidden)]
+    pub fn ksan_break_phantom_ref(&mut self, frame: FrameId) {
+        self.add(frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = MemberMap::default();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(ObjectId(1), FrameId(10)), None);
+        assert_eq!(m.insert(ObjectId(2), FrameId(20)), None);
+        assert_eq!(m.get(ObjectId(1)), Some(FrameId(10)));
+        assert_eq!(m.insert(ObjectId(1), FrameId(11)), Some(FrameId(10)));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.remove(ObjectId(1)), Some(FrameId(11)));
+        assert_eq!(m.remove(ObjectId(1)), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn tombstoned_slot_reuse_keeps_probe_chains() {
+        let mut m = MemberMap::default();
+        // Fill past one growth so chains wrap and collide.
+        for i in 0..64u64 {
+            m.insert(ObjectId(i), FrameId(i + 100));
+        }
+        for i in (0..64u64).step_by(2) {
+            assert_eq!(m.remove(ObjectId(i)), Some(FrameId(i + 100)));
+        }
+        // Ids landing on recycled slots must not shadow survivors.
+        for i in 64..96u64 {
+            m.insert(ObjectId(i), FrameId(i + 100));
+        }
+        for i in (1..64u64).step_by(2) {
+            assert_eq!(m.get(ObjectId(i)), Some(FrameId(i + 100)), "id {i}");
+        }
+        for i in (0..64u64).step_by(2) {
+            assert_eq!(m.get(ObjectId(i)), None, "removed id {i}");
+        }
+        assert_eq!(m.len(), 32 + 32);
+    }
+
+    #[test]
+    fn sorted_view_orders_by_object_id() {
+        let mut m = MemberMap::default();
+        for &i in &[5u64, 1, 9, 3] {
+            m.insert(ObjectId(i), FrameId(i));
+        }
+        let ids: Vec<u64> = m.sorted().iter().map(|(o, _)| o.0).collect();
+        assert_eq!(ids, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn frame_refs_count_and_drop() {
+        let mut r = FrameRefs::default();
+        assert!(r.add(FrameId(7)));
+        assert!(!r.add(FrameId(7)));
+        assert!(r.add(FrameId(8)));
+        assert_eq!(r.count(FrameId(7)), 2);
+        assert_eq!(r.len(), 2);
+        assert!(!r.unref(FrameId(7)));
+        assert!(r.unref(FrameId(7)));
+        assert!(!r.unref(FrameId(7)), "already dropped");
+        let mut out = Vec::new();
+        r.collect_sorted(&mut out);
+        assert_eq!(out, vec![FrameId(8)]);
+    }
+
+    #[test]
+    fn refcount_churn_through_tombstones() {
+        let mut r = FrameRefs::default();
+        // Repeated add/unref cycles leave tombstones; counts must stay
+        // exact and the table must keep terminating probes.
+        for round in 0..200u64 {
+            let f = FrameId(round % 16);
+            assert!(r.add(f) || r.count(f) > 1);
+            if round % 3 == 0 {
+                r.unref(f);
+            }
+        }
+        let mut total = 0u64;
+        r.for_each(|_, rc| total += u64::from(rc));
+        assert_eq!(total, 200 - 67);
+    }
+
+    #[test]
+    fn collect_sorted_orders_by_full_id_not_slot() {
+        let mut r = FrameRefs::default();
+        // Same slot (low 32 bits), different generations: full-id order
+        // disagrees with insertion and slot order.
+        let gen1 = FrameId((1 << 32) | 5);
+        let gen0 = FrameId(5);
+        r.add(gen1);
+        r.add(gen0);
+        let mut out = Vec::new();
+        r.collect_sorted(&mut out);
+        assert_eq!(out, vec![gen0, gen1]);
+    }
+
+    #[test]
+    fn tables_start_unallocated() {
+        let m = MemberMap::default();
+        assert_eq!(m.table.slots.capacity(), 0, "empty knodes cost nothing");
+        assert_eq!(m.get(ObjectId(3)), None);
+        let mut r = FrameRefs::default();
+        assert!(!r.unref(FrameId(3)));
+        assert_eq!(r.count(FrameId(3)), 0);
+    }
+}

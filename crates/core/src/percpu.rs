@@ -91,6 +91,19 @@ impl PerCpuKnodeLists {
     pub fn lookup(&mut self, cpu: CpuId, inode: InodeId) -> Option<u32> {
         let epoch = self.epoch;
         let list = self.list_mut(cpu);
+        // Repeated touches of the same knode hit the front entry;
+        // refreshing it in place is the move-to-front it would get.
+        let front_hit = match list.front_mut() {
+            Some(e) if e.inode == inode => {
+                e.touched_epoch = epoch;
+                Some(e.slot)
+            }
+            _ => None,
+        };
+        if let Some(slot) = front_hit {
+            self.hits += 1;
+            return Some(slot);
+        }
         if let Some(pos) = list.iter().position(|e| e.inode == inode) {
             let mut e = list.remove(pos).expect("position just found"); // lint: unwrap-ok — position() just found the entry
             e.touched_epoch = epoch;
@@ -111,6 +124,13 @@ impl PerCpuKnodeLists {
         let capacity = self.capacity;
         let epoch = self.epoch;
         let list = self.list_mut(cpu);
+        if let Some(e) = list.front_mut() {
+            if e.inode == inode {
+                e.touched_epoch = epoch;
+                e.slot = slot;
+                return;
+            }
+        }
         if let Some(pos) = list.iter().position(|e| e.inode == inode) {
             let mut e = list.remove(pos).expect("position just found"); // lint: unwrap-ok — position() just found the entry
             e.touched_epoch = epoch;

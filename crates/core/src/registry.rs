@@ -10,13 +10,15 @@
 //!
 //! Bookkeeping is event-driven, as the paper claims for the real
 //! implementation (§4.3): [`KlocRegistry::age_epoch`] advances two
-//! counters instead of walking every knode, and the migration paths walk
-//! each knode's incrementally maintained member-frame set directly —
-//! no per-call collection or sorting.
+//! counters instead of walking every knode. The migration paths walk
+//! each knode's incrementally refcounted member-frame set in place via
+//! the knode's cached sorted view (ascending full `FrameId`, since the
+//! en-masse migration order is report-visible) — the per-touch paths
+//! never pay for that ordering, and the walks copy nothing.
 
 use std::collections::BTreeSet;
 
-use kloc_mem::{FrameId, MemorySystem, Nanos, TierId};
+use kloc_mem::{FrameId, MemorySystem, Nanos, PageKind, TierId};
 
 use kloc_kernel::hooks::CpuId;
 use kloc_kernel::vfs::InodeId;
@@ -94,6 +96,17 @@ pub struct KlocRegistry {
     kmap: Kmap,
     percpu: PerCpuKnodeLists,
     stats: KlocStats,
+    /// Bumped on every promotion event — by the registry's own walks
+    /// and by [`KlocRegistry::note_external_promotions`]. Keys the knode
+    /// demotion memoizations: any promotion can hand fast-tier
+    /// residency to a frame shared with *other* knodes (slab pages), so
+    /// a per-knode invalidation would be unsound.
+    promotion_epoch: u64,
+    /// Count of foreign demotions; with `promotion_epoch` it keys the
+    /// en-masse settled cache, whose ping-pong charge a foreign tier
+    /// change can alter. (The registry's own demotions never touch
+    /// frames a settled walk could still move, so they don't key it.)
+    extern_demotions: u64,
 }
 
 impl KlocRegistry {
@@ -104,6 +117,8 @@ impl KlocRegistry {
             percpu,
             kmap: Kmap::new(),
             stats: KlocStats::default(),
+            promotion_epoch: 0,
+            extern_demotions: 0,
             config,
         }
     }
@@ -299,6 +314,14 @@ impl KlocRegistry {
             .collect()
     }
 
+    /// Appends to `out` the first `max` inodes, in inode order, of
+    /// inactive knodes aged at least `min_age` that still track members
+    /// — the per-tick demotion batch, read off the kmap's incrementally
+    /// maintained cold index in O(batch).
+    pub fn cold_member_candidates(&mut self, min_age: u32, max: usize, out: &mut Vec<InodeId>) {
+        self.kmap.cold_inodes_with_members(min_age, max, out);
+    }
+
     /// Ages all knodes and per-CPU entries by one scan epoch (§4.3: age
     /// increments when the LRU policy scans without evicting). O(1) —
     /// both structures age lazily off a shared counter; nothing is
@@ -308,12 +331,31 @@ impl KlocRegistry {
         self.percpu.age_all();
     }
 
+    /// Records that frames were promoted to fast memory by something
+    /// other than this registry's migration walks (a page-granular scan
+    /// policy, a test driving the memory system directly). Required for
+    /// correctness whenever member frames can change tier outside
+    /// [`KlocRegistry::migrate_knode`] /
+    /// [`KlocRegistry::promote_hot_members`] — it invalidates the
+    /// demotion-walk memoizations, which otherwise assume they see
+    /// every route into fast memory.
+    pub fn note_external_promotions(&mut self) {
+        self.promotion_epoch += 1;
+    }
+
+    /// Records foreign demotions (see
+    /// [`KlocRegistry::note_external_promotions`]); these can change the
+    /// ping-pong charge a settled en-masse walk memoized.
+    pub fn note_external_demotions(&mut self) {
+        self.extern_demotions += 1;
+    }
+
     /// Migrates every member frame of `inode`'s knode to `to` — the
     /// en-masse mechanism (paper §4.4). Pinned frames and frames that
     /// exceeded the anti-ping-pong counter are skipped. Returns pages
     /// moved.
     pub fn migrate_knode(&mut self, inode: InodeId, mem: &mut MemorySystem, to: TierId) -> u64 {
-        self.migrate_knode_limited(inode, mem, to, u64::MAX)
+        self.migrate_knode_inner(inode, mem, to, u64::MAX).1
     }
 
     /// Like [`KlocRegistry::migrate_knode`] but moves at most
@@ -325,27 +367,93 @@ impl KlocRegistry {
         to: TierId,
         max_pages: u64,
     ) -> u64 {
+        self.migrate_knode_inner(inode, mem, to, max_pages).1
+    }
+
+    /// En-masse demotion fused with staging accounting: returns
+    /// `(member frames staged, pages moved)` off a single knode lookup,
+    /// so the per-tick demote loop doesn't pay two index searches per
+    /// candidate (staging size, then the walk).
+    pub fn demote_knode_staged(&mut self, inode: InodeId, mem: &mut MemorySystem) -> (u64, u64) {
+        self.migrate_knode_inner(inode, mem, TierId::SLOW, u64::MAX)
+    }
+
+    fn migrate_knode_inner(
+        &mut self,
+        inode: InodeId,
+        mem: &mut MemorySystem,
+        to: TierId,
+        max_pages: u64,
+    ) -> (u64, u64) {
         let Some(k) = self.kmap.get(inode) else {
-            return 0;
+            return (0, 0);
         };
+        let staged = k.member_frame_count() as u64;
         let demoting = to != TierId::FAST;
-        let mut moved = 0;
-        for frame in k.iter_member_frames() {
-            if moved >= max_pages {
-                break;
-            }
-            let Ok(f) = mem.frame(frame) else { continue };
-            if f.tier() == to || f.pinned() {
-                continue;
-            }
-            if demoting && f.migrations() >= self.config.max_migrations {
-                self.stats.pingpong_skips += 1;
-                continue;
-            }
-            if mem.migrate(frame, to).is_ok() {
-                moved += 1;
+        let epoch = self.promotion_epoch + self.extern_demotions;
+        if demoting {
+            // A settled walk left nothing movable toward `to`; a repeat
+            // walk charges exactly the memoized ping-pong skips and
+            // moves nothing, so answer it without re-probing frames.
+            if let Some((cached_to, skips, cached_epoch)) = k.enmasse_cache() {
+                if cached_to == to && cached_epoch == epoch {
+                    self.stats.pingpong_skips += skips;
+                    return (staged, 0);
+                }
             }
         }
+        let max_migrations = self.config.max_migrations;
+        let mut pingpong_skips = 0;
+        let mut moved = 0;
+        let mut settled = true;
+        let mut promoted_shared = false;
+        k.with_member_frames(|frames| {
+            for &frame in frames {
+                if moved >= max_pages {
+                    // Budget break: movable frames may remain.
+                    settled = false;
+                    break;
+                }
+                // Tier-only probe first: frames already on the target
+                // tier (the bulk of a re-walked knode) cost one column
+                // read, not the full meta materialization.
+                match mem.tier_if_live(frame) {
+                    Some(t) if t != to => {}
+                    _ => continue,
+                }
+                let Some(f) = mem.frame_meta(frame) else {
+                    continue;
+                };
+                if f.pinned {
+                    continue;
+                }
+                if demoting && f.migrations >= max_migrations {
+                    pingpong_skips += 1;
+                    continue;
+                }
+                if mem.migrate(frame, to).is_ok() {
+                    moved += 1;
+                    promoted_shared |= !demoting && frame_is_shared(f.kind);
+                } else {
+                    // The frame stays movable; the walk is not settled.
+                    settled = false;
+                }
+            }
+        });
+        if demoting && settled {
+            k.set_enmasse_cache(to, pingpong_skips, epoch);
+        } else if !demoting && moved > 0 {
+            if promoted_shared {
+                // Packed frames are shared with other knodes, so every
+                // knode's demotion memoizations are stale.
+                self.promotion_epoch += 1;
+            } else {
+                // Single-owner frames gained fast residency: only this
+                // knode's memoizations are stale.
+                k.clear_walk_caches();
+            }
+        }
+        self.stats.pingpong_skips += pingpong_skips;
         if moved > 0 {
             if demoting {
                 self.stats.knode_demotions += 1;
@@ -357,7 +465,7 @@ impl KlocRegistry {
             let dir = if demoting { "demote" } else { "promote" };
             self.emit_kloc_migrate(inode, mem, dir, "enmasse", moved);
         }
-        moved
+        (staged, moved)
     }
 
     /// Demotes member frames of `inode` that have not been accessed for
@@ -376,20 +484,58 @@ impl KlocRegistry {
             return 0;
         };
         let now = mem.now();
+        let epoch = self.promotion_epoch;
+        // Candidacy only arises by time passing (touches push it later,
+        // demotions remove candidates), so a completed walk's bound on
+        // the next movable instant short-circuits the common re-walk of
+        // an all-hot knode.
+        if let Some((key, bound, cached_epoch)) = k.demote_bound() {
+            if key == older_than && cached_epoch == epoch && now < bound {
+                return 0;
+            }
+        }
+        let max_migrations = self.config.max_migrations;
         let mut moved = 0;
-        for frame in k.iter_member_frames() {
-            if moved >= max_pages {
-                break;
+        let mut settled = true;
+        let mut next_candidacy = u64::MAX;
+        k.with_member_frames(|frames| {
+            for &frame in frames {
+                if moved >= max_pages {
+                    settled = false;
+                    break;
+                }
+                // Recency first: most members of an active knode were
+                // touched within `older_than`, so the common reject
+                // path reads one column. Folding too-recent frames into
+                // the bound regardless of tier keeps it a (conservative)
+                // lower bound on the next movable instant.
+                let Some(last) = mem.last_access_if_live(frame) else {
+                    continue;
+                };
+                if now.saturating_sub(last) < older_than {
+                    next_candidacy = next_candidacy
+                        .min(last.as_nanos().saturating_add(older_than.as_nanos()));
+                    continue;
+                }
+                // Only fast-tier frames are demotion candidates.
+                if mem.tier_if_live(frame) != Some(TierId::FAST) {
+                    continue;
+                }
+                let Some(f) = mem.frame_meta(frame) else {
+                    continue;
+                };
+                if f.pinned || f.migrations >= max_migrations {
+                    continue;
+                }
+                if mem.migrate(frame, TierId::SLOW).is_ok() {
+                    moved += 1;
+                } else {
+                    settled = false;
+                }
             }
-            let Ok(f) = mem.frame(frame) else { continue };
-            if f.tier() == TierId::FAST
-                && !f.pinned()
-                && f.migrations() < self.config.max_migrations
-                && now.saturating_sub(f.last_access()) >= older_than
-                && mem.migrate(frame, TierId::SLOW).is_ok()
-            {
-                moved += 1;
-            }
+        });
+        if settled {
+            k.set_demote_bound(older_than, Nanos::new(next_candidacy), epoch);
         }
         if moved > 0 {
             self.stats.pages_demoted += moved;
@@ -414,20 +560,38 @@ impl KlocRegistry {
         };
         let now = mem.now();
         let mut moved = 0;
-        for frame in k.iter_member_frames() {
-            if moved >= max_pages {
-                break;
+        let mut promoted_shared = false;
+        k.with_member_frames(|frames| {
+            for &frame in frames {
+                if moved >= max_pages {
+                    break;
+                }
+                // Frames already fast (the bulk of a hot knode) are
+                // rejected on the tier-only probe.
+                match mem.tier_if_live(frame) {
+                    Some(t) if t != TierId::FAST => {}
+                    _ => continue,
+                }
+                let Some(f) = mem.frame_meta(frame) else {
+                    continue;
+                };
+                if !f.pinned
+                    && now.saturating_sub(f.last_access) <= newer_than
+                    && mem.migrate(frame, TierId::FAST).is_ok()
+                {
+                    moved += 1;
+                    promoted_shared |= frame_is_shared(f.kind);
+                }
             }
-            let Ok(f) = mem.frame(frame) else { continue };
-            if f.tier() != TierId::FAST
-                && !f.pinned()
-                && now.saturating_sub(f.last_access()) <= newer_than
-                && mem.migrate(frame, TierId::FAST).is_ok()
-            {
-                moved += 1;
-            }
-        }
+        });
         if moved > 0 {
+            if promoted_shared {
+                // Packed frames are shared with other knodes: every
+                // knode's demotion memoizations are stale.
+                self.promotion_epoch += 1;
+            } else {
+                k.clear_walk_caches();
+            }
             self.stats.pages_promoted += moved;
             self.emit_kloc_migrate(inode, mem, "promote", "members", moved);
         }
@@ -448,15 +612,17 @@ impl KlocRegistry {
         kloc_trace::emit(|| {
             let (mut fast, mut slow) = (0u64, 0u64);
             if let Some(k) = self.kmap.get(inode) {
-                for frame in k.iter_member_frames() {
-                    if let Ok(f) = mem.frame(frame) {
-                        if f.tier() == TierId::FAST {
+                // Residency is a pair of sums — order-insensitive, so
+                // the unordered frame-set walk is fine here.
+                k.for_each_member_frame(|frame| {
+                    if let Some(f) = mem.frame_meta(frame) {
+                        if f.tier == TierId::FAST {
                             fast += 1;
                         } else {
                             slow += 1;
                         }
                     }
-                }
+                });
             }
             kloc_trace::Event::KlocMigrate {
                 t: mem.now().as_nanos(),
@@ -485,6 +651,14 @@ impl KlocRegistry {
     pub fn member_frame_count(&self, inode: InodeId) -> usize {
         self.kmap.get(inode).map_or(0, Knode::member_frame_count)
     }
+}
+
+/// Whether frames of this kind pack objects of several inodes (slab
+/// caches pack by type, kvma arenas by inode shard), meaning a tier
+/// change seen through one knode can affect another knode's members.
+/// Page-backed kinds hold exactly one object, owned by one knode.
+fn frame_is_shared(kind: PageKind) -> bool {
+    matches!(kind, PageKind::Slab | PageKind::KernelVma)
 }
 
 /// Emits a `knode` lifecycle event (created/active/inactive/destroyed).

@@ -110,16 +110,14 @@ impl EagerModel {
         v.into_iter().map(|(_, i)| i).collect()
     }
 
-    /// Cold candidates: inactive, age >= min_age, non-empty; stamp order.
+    /// Cold candidates: inactive, age >= min_age, non-empty; inode
+    /// order (the registry's cold-index contract).
     fn cold_with_members(&self, min_age: u32) -> Vec<InodeId> {
-        let mut v: Vec<(u64, InodeId)> = self
-            .knodes
+        self.knodes
             .iter()
             .filter(|(_, k)| !k.inuse && k.age >= min_age && !k.members.is_empty())
-            .map(|(&i, k)| (self.epoch - u64::from(k.age), i))
-            .collect();
-        v.sort_unstable();
-        v.into_iter().map(|(_, i)| i).collect()
+            .map(|(&i, _)| i)
+            .collect()
     }
 
     /// LRU ranking: inactive before active, oldest activity first.
@@ -143,7 +141,7 @@ fn info(inode: InodeId) -> ObjectInfo {
     }
 }
 
-fn assert_equivalent(r: &KlocRegistry, m: &EagerModel, seed: u64, step: usize) {
+fn assert_equivalent(r: &mut KlocRegistry, m: &EagerModel, seed: u64, step: usize) {
     let ctx = |what: &str| format!("seed {seed}, step {step}: {what}");
     assert_eq!(r.kmap().len(), m.knodes.len(), "{}", ctx("population"));
     for (&inode, k) in &m.knodes {
@@ -167,13 +165,23 @@ fn assert_equivalent(r: &KlocRegistry, m: &EagerModel, seed: u64, step: usize) {
         ctx("inactive ordering")
     );
     for min_age in [0, 1, 3, 8] {
+        let expected = m.cold_with_members(min_age);
         let mut cold = Vec::new();
-        r.kmap().cold_inodes_with_members(min_age, &mut cold);
+        r.cold_member_candidates(min_age, usize::MAX, &mut cold);
         assert_eq!(
             cold,
-            m.cold_with_members(min_age),
+            expected,
             "{}",
             ctx(&format!("cold set at min_age {min_age}"))
+        );
+        // The batch limit takes a prefix of the same ordering.
+        let mut batch = Vec::new();
+        r.cold_member_candidates(min_age, 2, &mut batch);
+        assert_eq!(
+            batch,
+            expected[..expected.len().min(2)],
+            "{}",
+            ctx(&format!("cold batch at min_age {min_age}"))
         );
     }
     for n in [1, 4, usize::MAX] {
@@ -258,7 +266,7 @@ fn run_stream(seed: u64, steps: usize) {
                 m.age_epoch();
             }
         }
-        assert_equivalent(&r, &m, seed, step);
+        assert_equivalent(&mut r, &m, seed, step);
     }
 }
 
@@ -296,6 +304,6 @@ fn long_idle_stretches_match() {
         let now = Nanos::from_micros(1000 + round);
         r.inode_opened(ino, CpuId(1), now);
         m.open(ino, now);
-        assert_equivalent(&r, &m, 7, round as usize);
+        assert_equivalent(&mut r, &m, 7, round as usize);
     }
 }

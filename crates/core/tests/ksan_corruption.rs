@@ -92,6 +92,83 @@ fn knode_frame_refcount_desync_is_caught() {
 }
 
 #[test]
+fn phantom_frame_ref_is_caught() {
+    use kloc_kernel::{KernelObjectType, ObjectId};
+    use kloc_mem::FrameId;
+    let mut kmap = Kmap::new();
+    let mut knode = Knode::new(InodeId(3), Nanos::ZERO);
+    knode.add_obj(ObjectId(1), KernelObjectType::Dentry, FrameId(7));
+    kmap.map_knode(knode);
+    assert_eq!(audited(&kmap), vec![]);
+    kmap.with_knode_mut(InodeId(3), |k, _| k.ksan_break_knode_members());
+    let out = audited(&kmap);
+    assert!(
+        out.iter()
+            .any(|v| v.structures == "Knode.frames <-> Knode member tables"
+                && v.object == "inode3"),
+        "{out:#?}"
+    );
+}
+
+#[test]
+fn member_table_live_count_skew_is_caught() {
+    use kloc_kernel::{KernelObjectType, ObjectId};
+    use kloc_mem::FrameId;
+    let mut kmap = Kmap::new();
+    let mut knode = Knode::new(InodeId(4), Nanos::ZERO);
+    knode.add_obj(ObjectId(9), KernelObjectType::PageCache, FrameId(2));
+    kmap.map_knode(knode);
+    assert_eq!(audited(&kmap), vec![]);
+    kmap.with_knode_mut(InodeId(4), |k, _| k.ksan_break_member_slots());
+    let out = audited(&kmap);
+    assert!(
+        out.iter()
+            .any(|v| v.structures == "Knode dense table slots <-> live counter"
+                && v.object.contains("rbtree-cache")),
+        "{out:#?}"
+    );
+}
+
+#[test]
+fn stale_sorted_frame_cache_is_caught() {
+    use kloc_kernel::{KernelObjectType, ObjectId};
+    use kloc_mem::FrameId;
+    let mut kmap = Kmap::new();
+    let mut knode = Knode::new(InodeId(8), Nanos::ZERO);
+    knode.add_obj(ObjectId(1), KernelObjectType::Dentry, FrameId(5));
+    // Populate the lazily derived sorted-frame view so the planted
+    // entry desyncs an otherwise-clean cache.
+    knode.member_frames();
+    kmap.map_knode(knode);
+    assert_eq!(audited(&kmap), vec![]);
+    kmap.with_knode_mut(InodeId(8), |k, _| k.ksan_break_frame_cache());
+    let out = audited(&kmap);
+    assert!(
+        out.iter()
+            .any(|v| v.structures == "Knode.sorted_frames cache <-> Knode.frames"
+                && v.object == "inode8"),
+        "{out:#?}"
+    );
+}
+
+#[test]
+fn cold_index_desync_is_caught() {
+    let mut kmap = kmap_with(&[], &[5]);
+    kmap.advance_epoch();
+    kmap.advance_epoch();
+    // Pull inode5 past the watermark into the cold index.
+    let mut out_inodes = Vec::new();
+    kmap.cold_inodes_with_members(1, 8, &mut out_inodes);
+    kmap.ksan_break_cold_index();
+    let out = audited(&kmap);
+    assert!(
+        out.iter()
+            .any(|v| v.structures == "Kmap.cold_idx <-> Kmap.inactive_idx"),
+        "{out:#?}"
+    );
+}
+
+#[test]
 fn percpu_entries_are_validated_against_kmap() {
     use kloc_core::{KlocConfig, KlocRegistry};
     use kloc_kernel::hooks::CpuId;

@@ -1,0 +1,100 @@
+//! Seeded model tests for the dense member tables: `MemberMap` and
+//! `FrameRefs` must behave exactly like the `BTreeMap`s they replaced —
+//! including around recycled slots, where a stale `ObjectId` probing a
+//! reused slot must miss on the full-id compare rather than false-hit.
+//!
+//! Sequences come from the in-tree seeded `SplitMix64` PRNG (fixed
+//! seeds, so failures reproduce exactly).
+
+use std::collections::BTreeMap;
+
+use kloc_core::members::{FrameRefs, MemberMap};
+use kloc_kernel::ObjectId;
+use kloc_mem::{FrameId, SplitMix64};
+
+/// Draws an `ObjectId` from a pool sized to force heavy slot reuse:
+/// low bits collide across ids whose high bits differ, so recycled
+/// slots see lookups by both the old and new full id.
+fn gen_obj(rng: &mut SplitMix64) -> ObjectId {
+    let low = rng.gen_below(32);
+    let high = rng.gen_below(4) << 40;
+    ObjectId(high | low)
+}
+
+#[test]
+fn member_map_matches_btreemap_model() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xD0_5E00 + case);
+        let mut dense = MemberMap::default();
+        let mut model: BTreeMap<ObjectId, FrameId> = BTreeMap::new();
+
+        for step in 0..400 {
+            let obj = gen_obj(&mut rng);
+            match rng.gen_below(3) {
+                0 | 1 => {
+                    let frame = FrameId(rng.gen_below(64));
+                    assert_eq!(
+                        dense.insert(obj, frame),
+                        model.insert(obj, frame),
+                        "case {case} step {step}: insert({obj}, {frame})"
+                    );
+                }
+                _ => {
+                    assert_eq!(
+                        dense.remove(obj),
+                        model.remove(&obj),
+                        "case {case} step {step}: remove({obj})"
+                    );
+                }
+            }
+            // A probe by an id that may share a (recycled) slot with a
+            // live entry must agree with the model — full-id compare.
+            let probe = gen_obj(&mut rng);
+            assert_eq!(dense.get(probe), model.get(&probe).copied());
+            assert_eq!(dense.len(), model.len());
+            assert_eq!(dense.is_empty(), model.is_empty());
+        }
+        // The ordered view is exactly the BTreeMap's iteration order.
+        let want: Vec<(ObjectId, FrameId)> = model.iter().map(|(&o, &f)| (o, f)).collect();
+        assert_eq!(dense.sorted(), want, "case {case}: iteration order");
+    }
+}
+
+#[test]
+fn frame_refs_match_refcount_model() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xF8_4E00 + case);
+        let mut dense = FrameRefs::default();
+        let mut model: BTreeMap<FrameId, u32> = BTreeMap::new();
+
+        for step in 0..400 {
+            let frame = FrameId(rng.gen_below(48));
+            if rng.gen_below(2) == 0 {
+                let newly = dense.add(frame);
+                let rc = model.entry(frame).or_insert(0);
+                *rc += 1;
+                assert_eq!(newly, *rc == 1, "case {case} step {step}: add({frame})");
+            } else {
+                let left = dense.unref(frame);
+                let mut gone = false;
+                if let Some(rc) = model.get_mut(&frame) {
+                    *rc -= 1;
+                    if *rc == 0 {
+                        model.remove(&frame);
+                        gone = true;
+                    }
+                }
+                assert_eq!(left, gone, "case {case} step {step}: unref({frame})");
+            }
+            let probe = FrameId(rng.gen_below(48));
+            assert_eq!(dense.count(probe), model.get(&probe).copied().unwrap_or(0));
+            assert_eq!(dense.len(), model.len());
+            assert_eq!(dense.is_empty(), model.is_empty());
+        }
+        // Sorted collection matches the model's key order.
+        let mut got = Vec::new();
+        dense.collect_sorted(&mut got);
+        let want: Vec<FrameId> = model.keys().copied().collect();
+        assert_eq!(got, want, "case {case}: sorted frames");
+    }
+}

@@ -819,8 +819,20 @@ impl Kernel {
                         .read_sync(ctx.mem.now(), kloc_mem::PAGE_SIZE, IoPattern::Random);
                 ctx.mem.charge(stall);
                 let frame = self.insert_cache_page(ctx, ino, idx, false, false)?;
-                ctx.mem.write_from(ctx.socket, frame, kloc_mem::PAGE_SIZE); // fill
-                ctx.mem.read_from(ctx.socket, frame, bytes);
+                if self.params.batch_accesses {
+                    // Fill + read back-to-back with no hook in between:
+                    // one batched charge, identical cost sum.
+                    ctx.mem.access_batch(
+                        Some(ctx.socket),
+                        &[
+                            kloc_mem::AccessOp::write(frame, kloc_mem::PAGE_SIZE),
+                            kloc_mem::AccessOp::read(frame, bytes),
+                        ],
+                    );
+                } else {
+                    ctx.mem.write_from(ctx.socket, frame, kloc_mem::PAGE_SIZE); // fill
+                    ctx.mem.read_from(ctx.socket, frame, bytes);
+                }
             }
         }
         Ok(())
@@ -946,8 +958,10 @@ impl Kernel {
         }
         let _attrib = kloc_trace::scope("writeback");
         let mut flushed = 0usize;
+        let mut dma = Vec::new();
         for chunk in idxs.chunks(self.params.pages_per_bio.max(1)) {
             let mut pages_in_bio = 0;
+            dma.clear();
             for &idx in chunk {
                 let page = {
                     let inode = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?;
@@ -958,8 +972,14 @@ impl Kernel {
                     continue;
                 }
                 // DMA read of the page from wherever it lives: this is
-                // where dirty pages stranded in slow memory hurt.
-                ctx.mem.read(page.frame, kloc_mem::PAGE_SIZE);
+                // where dirty pages stranded in slow memory hurt. No KLOC
+                // hook fires between the pages of one bio, so the reads
+                // of a chunk form one batchable run.
+                if self.params.batch_accesses {
+                    dma.push(kloc_mem::AccessOp::read(page.frame, kloc_mem::PAGE_SIZE));
+                } else {
+                    ctx.mem.read(page.frame, kloc_mem::PAGE_SIZE);
+                }
                 let inode = self.vfs.inode_mut(ino).ok_or(KernelError::BadInode(ino))?;
                 inode.cache.mark_clean(idx);
                 // Submitted pages are durable at this version (the
@@ -971,6 +991,9 @@ impl Kernel {
             }
             if pages_in_bio == 0 {
                 continue;
+            }
+            if !dma.is_empty() {
+                ctx.mem.access_batch(None, &dma);
             }
             let bio = self.alloc_object(ctx, KernelObjectType::Bio, Some(ino), false)?;
             self.access_object(ctx, bio, KernelObjectType::Bio.size(), true)?;

@@ -74,11 +74,23 @@ pub struct KernelParams {
     /// any value (the shards share one recency-stamp order).
     #[cfg_attr(feature = "serde", serde(default = "default_shards"))]
     pub shards: u32,
+    /// Charge runs of accesses with no intervening KLOC hook through
+    /// [`kloc_mem::MemorySystem::access_batch`] (one clock advance, one
+    /// trace charge per run) instead of one call per page. Structural
+    /// only: the batched cost is the exact sum of the per-access costs,
+    /// so reports and traces are byte-identical either way.
+    #[cfg_attr(feature = "serde", serde(default = "default_batch_accesses"))]
+    pub batch_accesses: bool,
 }
 
 #[cfg(feature = "serde")]
 fn default_shards() -> u32 {
     4
+}
+
+#[cfg(feature = "serde")]
+fn default_batch_accesses() -> bool {
+    true
 }
 
 impl Default for KernelParams {
@@ -107,6 +119,7 @@ impl Default for KernelParams {
             io_retry_cap: Nanos::from_micros(400),
             thp_app: false,
             shards: 4,
+            batch_accesses: true,
         }
     }
 }

@@ -27,6 +27,23 @@ const SLOT_MASK: u64 = (1 << SLOT_BITS) - 1;
 /// Flag bit: frame is pinned (non-migratable).
 const FLAG_PINNED: u8 = 1 << 0;
 
+/// The subset of a frame record migration policies filter on. Returned
+/// by [`FrameTable::meta`] so candidate walks read five columns instead
+/// of materializing a full [`Frame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Tier the frame resides on.
+    pub tier: TierId,
+    /// What the frame backs.
+    pub kind: PageKind,
+    /// Whether the frame is pinned (non-migratable).
+    pub pinned: bool,
+    /// Saturating migration count (paper §4.5 anti-ping-pong).
+    pub migrations: u8,
+    /// Time of the most recent access.
+    pub last_access: Nanos,
+}
+
 /// O(1) slab of live frame records in struct-of-arrays layout, indexed
 /// by [`FrameId`].
 #[derive(Debug, Clone)]
@@ -193,6 +210,50 @@ impl FrameTable {
             return None;
         }
         Some(self.materialize(slot))
+    }
+
+    /// Looks up just the columns migration policies filter on, without
+    /// materializing a full [`Frame`] record. Policy candidate walks
+    /// probe thousands of frames per tick and read only these fields.
+    #[inline]
+    pub fn meta(&self, id: FrameId) -> Option<FrameMeta> {
+        let slot = slot_of(id);
+        if self.ids.get(slot) != Some(&id) {
+            return None;
+        }
+        Some(FrameMeta {
+            tier: self.tiers[slot],
+            kind: self.kinds[slot],
+            pinned: self.flags[slot] & FLAG_PINNED != 0,
+            migrations: self.migrations[slot],
+            last_access: self.last_access[slot],
+        })
+    }
+
+    /// Looks up just the tier column; `None` for stale ids. The
+    /// cheapest liveness-plus-residency probe — migration walks use it
+    /// to reject frames already on the target tier before paying for
+    /// the full [`FrameMeta`] read.
+    #[inline]
+    pub fn tier_of_live(&self, id: FrameId) -> Option<TierId> {
+        let slot = slot_of(id);
+        if self.ids.get(slot) != Some(&id) {
+            return None;
+        }
+        Some(self.tiers[slot])
+    }
+
+    /// Looks up just the last-access column; `None` for stale ids.
+    /// Recency-filtered walks (member-granular demotion) probe this
+    /// first: most members of an active knode were touched recently, so
+    /// the reject path reads one column.
+    #[inline]
+    pub fn last_access_of_live(&self, id: FrameId) -> Option<Nanos> {
+        let slot = slot_of(id);
+        if self.ids.get(slot) != Some(&id) {
+            return None;
+        }
+        Some(self.last_access[slot])
     }
 
     /// Records an access: bumps the access count and last-access time,

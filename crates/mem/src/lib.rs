@@ -58,10 +58,10 @@ pub use clock::{Clock, Nanos};
 pub use error::MemError;
 pub use fault::{CrashPoint, DiskOp, FaultPlan, TierFaultKind};
 pub use frame::{FrameId, FrameSet, PageKind, PAGE_SIZE};
-pub use frametable::FrameTable;
+pub use frametable::{FrameMeta, FrameTable};
 pub use migrate::{MigrationCost, MigrationStats};
 pub use rng::SplitMix64;
 pub use shard::{ShardConfig, ShardedFreeLists};
 pub use stats::{MemStats, TierStats};
-pub use system::MemorySystem;
+pub use system::{AccessOp, MemorySystem};
 pub use tier::{TierId, TierKind, TierSpec};

@@ -23,6 +23,37 @@ use crate::tier::{TierId, TierSpec};
 /// topologies (QPI/UPI hop).
 pub const REMOTE_ACCESS_PENALTY: Nanos = Nanos::new(60);
 
+/// One access in a batched run; see [`MemorySystem::access_batch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessOp {
+    /// Frame touched.
+    pub frame: FrameId,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Write (`true`) or read (`false`).
+    pub write: bool,
+}
+
+impl AccessOp {
+    /// A read of `bytes` from `frame`.
+    pub fn read(frame: FrameId, bytes: u64) -> Self {
+        AccessOp {
+            frame,
+            bytes,
+            write: false,
+        }
+    }
+
+    /// A write of `bytes` to `frame`.
+    pub fn write(frame: FrameId, bytes: u64) -> Self {
+        AccessOp {
+            frame,
+            bytes,
+            write: true,
+        }
+    }
+}
+
 /// A complete tiered memory system: tiers + frames + clock + migration.
 ///
 /// See the [crate-level documentation](crate) for an example.
@@ -461,6 +492,29 @@ impl MemorySystem {
             .tier
     }
 
+    /// Looks up the policy-relevant subset of a frame record without
+    /// materializing a full [`Frame`]; `None` for freed frames. One
+    /// probe replaces the `is_live` + `tier_of`/`frame` double lookup
+    /// on policy candidate walks.
+    #[inline]
+    pub fn frame_meta(&self, frame: FrameId) -> Option<crate::frametable::FrameMeta> {
+        self.frames.meta(frame)
+    }
+
+    /// Tier a frame resides on, or `None` if it has been freed — the
+    /// single-probe form of `is_live` + `tier_of`.
+    #[inline]
+    pub fn tier_if_live(&self, frame: FrameId) -> Option<TierId> {
+        self.frames.tier_of_live(frame)
+    }
+
+    /// Last access time of a frame, or `None` if it has been freed —
+    /// the single-column probe recency-filtered walks reject on.
+    #[inline]
+    pub fn last_access_if_live(&self, frame: FrameId) -> Option<Nanos> {
+        self.frames.last_access_of_live(frame)
+    }
+
     /// Whether the frame is still allocated.
     pub fn is_live(&self, frame: FrameId) -> bool {
         self.frames.contains(frame)
@@ -526,7 +580,76 @@ impl MemorySystem {
             return Nanos::ZERO;
         };
         let tier_idx = tier.index();
+        let cost = self.access_cost(frame, bytes, write, from_socket, tier_idx, kind);
+        self.record_access(tier_idx, kind, bytes, write);
+        self.clock.advance(cost);
+        kloc_trace::charge(cost.as_nanos());
+        cost
+    }
 
+    /// Charges a run of accesses with one clock advance and one trace
+    /// charge at the end, instead of one of each per page. Each op's
+    /// `last_access` stamp is taken at *batch start + cost of the
+    /// preceding ops* — the instant the op would start if issued one at
+    /// a time — and its cost runs through the same pipeline as
+    /// [`MemorySystem::read`]/[`MemorySystem::write`], so the clock,
+    /// every statistic, every frame column, and the trace-attributed
+    /// nanoseconds land identical to the unbatched sequence (the clock
+    /// advance and the trace charge are both additive).
+    ///
+    /// On tiers without an L4 cache the per-op cost is a pure function
+    /// of (tier, kind, bytes, write), so a run with a common profile
+    /// pays one cost computation for the whole group. With an L4 the
+    /// cache is stateful per frame and every op is priced individually.
+    pub fn access_batch(&mut self, from_socket: Option<u8>, ops: &[AccessOp]) -> Nanos {
+        let base = self.clock.now();
+        let mut total = Nanos::ZERO;
+        // Memoized cost of the current (tier, kind, bytes, write) group.
+        let mut group: Option<(usize, PageKind, u64, bool, Nanos)> = None;
+        for op in ops {
+            let Some((tier, kind)) = self.frames.touch(op.frame, base + total) else {
+                debug_assert!(false, "access to freed {}", op.frame);
+                continue;
+            };
+            let tier_idx = tier.index();
+            let cost = match group {
+                Some((t, k, b, w, c))
+                    if t == tier_idx && k == kind && b == op.bytes && w == op.write =>
+                {
+                    c
+                }
+                _ => {
+                    let c =
+                        self.access_cost(op.frame, op.bytes, op.write, from_socket, tier_idx, kind);
+                    group = if self.l4[tier_idx].is_some() {
+                        // The L4 is stateful per frame: never reuse.
+                        None
+                    } else {
+                        Some((tier_idx, kind, op.bytes, op.write, c))
+                    };
+                    c
+                }
+            };
+            self.record_access(tier_idx, kind, op.bytes, op.write);
+            total += cost;
+        }
+        self.clock.advance(total);
+        kloc_trace::charge(total.as_nanos());
+        total
+    }
+
+    /// Virtual cost of one access with the frame already resolved to
+    /// (`tier_idx`, `kind`): L4 or tier spec, THP discount, cross-socket
+    /// penalty, contention multiplier, in that order.
+    fn access_cost(
+        &mut self,
+        frame: FrameId,
+        bytes: u64,
+        write: bool,
+        from_socket: Option<u8>,
+        tier_idx: usize,
+        kind: PageKind,
+    ) -> Nanos {
         let mut cost = if let Some(l4) = self.l4[tier_idx].as_mut() {
             l4.access(frame, bytes, write)
         } else {
@@ -562,7 +685,11 @@ impl MemorySystem {
         if milli != 1000 {
             cost = Nanos::new(cost.as_nanos() * milli / 1000);
         }
+        cost
+    }
 
+    #[inline]
+    fn record_access(&mut self, tier_idx: usize, kind: PageKind, bytes: u64, write: bool) {
         let ts = &mut self.stats.tiers[tier_idx];
         if write {
             ts.writes += 1;
@@ -575,9 +702,6 @@ impl MemorySystem {
         if kind.is_kernel() {
             self.stats.kernel_accesses += 1;
         }
-        self.clock.advance(cost);
-        kloc_trace::charge(cost.as_nanos());
-        cost
     }
 
     /// Migrates a frame to `to`, charging the migration cost model.
@@ -1002,5 +1126,74 @@ mod tests {
         let f2 = m2.allocate(TierId::FAST, PageKind::PageCache).unwrap();
         let seq = m2.migrate(f2, TierId::SLOW).unwrap();
         assert!(par < seq);
+    }
+
+    /// Runs `ops` through one system a call at a time and through a
+    /// twin in one `access_batch`, then asserts total cost, clock,
+    /// stats, and every frame's `last_access` stamp agree exactly.
+    fn assert_batch_identical(mut a: MemorySystem, mut b: MemorySystem, ops: &[AccessOp]) {
+        let mut serial = Nanos::ZERO;
+        for op in ops {
+            serial += if op.write {
+                a.write_from(0, op.frame, op.bytes)
+            } else {
+                a.read_from(0, op.frame, op.bytes)
+            };
+        }
+        let batched = b.access_batch(Some(0), ops);
+        assert_eq!(serial, batched, "total cost");
+        assert_eq!(a.now(), b.now(), "clock");
+        assert_eq!(a.stats(), b.stats(), "stats");
+        for op in ops {
+            assert_eq!(
+                a.last_access_if_live(op.frame),
+                b.last_access_if_live(op.frame),
+                "{} last_access",
+                op.frame
+            );
+        }
+    }
+
+    #[test]
+    fn access_batch_matches_serial_accesses() {
+        let setup = || {
+            let mut m = small();
+            let f0 = m.allocate(TierId::FAST, PageKind::PageCache).unwrap();
+            let f1 = m.allocate(TierId::SLOW, PageKind::PageCache).unwrap();
+            let f2 = m.allocate(TierId::SLOW, PageKind::Slab).unwrap();
+            m.set_contention(TierId::SLOW, 1.5);
+            (m, [f0, f1, f2])
+        };
+        let (a, [f0, f1, f2]) = setup();
+        let (b, _) = setup();
+        let ops = [
+            AccessOp::read(f1, 4096),
+            AccessOp::read(f1, 4096), // same profile: memoized group
+            AccessOp::write(f0, 4096),
+            AccessOp::read(f2, 64),
+            AccessOp::read(f1, 4096), // profile changed back: re-priced
+        ];
+        assert_batch_identical(a, b, &ops);
+    }
+
+    #[test]
+    fn access_batch_matches_serial_with_l4() {
+        // The Optane L4 is stateful per frame, so the batch must price
+        // every op individually — including repeated same-frame hits.
+        let setup = || {
+            let mut m = MemorySystem::optane_memory_mode(2 * crate::frame::PAGE_SIZE);
+            let f0 = m.allocate(TierId(0), PageKind::PageCache).unwrap();
+            let f1 = m.allocate(TierId(0), PageKind::PageCache).unwrap();
+            (m, [f0, f1])
+        };
+        let (a, [f0, f1]) = setup();
+        let (b, _) = setup();
+        let ops = [
+            AccessOp::read(f0, 4096),
+            AccessOp::read(f0, 4096),
+            AccessOp::write(f1, 4096),
+            AccessOp::read(f0, 4096),
+        ];
+        assert_batch_identical(a, b, &ops);
     }
 }

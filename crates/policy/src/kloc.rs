@@ -147,9 +147,10 @@ impl KlocPolicy {
     }
 
     fn demote_knode(&mut self, inode: kloc_kernel::InodeId, mem: &mut MemorySystem) {
-        let staged = self.registry.member_frame_count(inode) as u64;
+        // Fused call: one knode lookup yields both the staging size
+        // (tracked for peak_migration_batch) and the demotion walk.
+        let (staged, _moved) = self.registry.demote_knode_staged(inode, mem);
         self.peak_migration_batch = self.peak_migration_batch.max(staged);
-        self.registry.migrate_knode(inode, mem, TierId::SLOW);
     }
 
     /// One pressure-driven reclaim pass (the body of [`Policy::tick`]
@@ -163,13 +164,11 @@ impl KlocPolicy {
         // inactive index hands back exactly the cold candidates — no
         // page-table scans and no walk over the warm population (§4.4).
         scratch.clear();
+        // The cold index yields candidates in inode order — the batch
+        // has always been the first `demote_batch` candidates in inode
+        // order, previously produced by sorting the full range.
         self.registry
-            .kmap()
-            .cold_inodes_with_members(self.cold_age, scratch);
-        // The index yields oldest-inactive first; the batch has always
-        // been the first `demote_batch` candidates in inode order.
-        scratch.sort_unstable();
-        scratch.truncate(self.demote_batch);
+            .cold_member_candidates(self.cold_age, self.demote_batch, scratch);
         for &ino in scratch.iter() {
             self.demote_knode(ino, mem);
         }
@@ -438,7 +437,19 @@ impl Policy for KlocPolicy {
         // at Nimble's scan cadence.
         self.ticks = self.ticks.wrapping_add(1);
         if self.ticks.is_multiple_of(self.app_tick_divider) {
+            let before_promoted = self.app.stats().promoted;
+            let before_demoted = self.app.stats().demoted;
             self.app.tick(mem);
+            // Page-backed kernel objects share the Nimble scan
+            // machinery, so its migrations move member frames behind
+            // the registry's back — tell it, so the knode demotion
+            // memoizations are re-derived.
+            if self.app.stats().promoted != before_promoted {
+                self.registry.note_external_promotions();
+            }
+            if self.app.stats().demoted != before_demoted {
+                self.registry.note_external_demotions();
+            }
         }
         // Knode aging (scans that skip a knode bump its age, §4.3):
         // O(1) counter bumps, no walk of the knode population.

@@ -328,7 +328,7 @@ pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunRe
         mem.set_fault_plan(plan.clone());
     }
 
-    let params = config.kernel_params.clone().unwrap_or_else(|| {
+    let mut params = config.kernel_params.clone().unwrap_or_else(|| {
         let mut p = KernelParams {
             page_cache_budget: config.scale.page_cache_frames,
             ..KernelParams::default()
@@ -339,6 +339,13 @@ pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunRe
         }
         p
     });
+    // `KLOC_BATCH=0` forces the per-access charge path — an A/B switch
+    // for verifying that batching is report-inert (the sim crate is the
+    // deterministic boundary, so env reads live here, not in the model
+    // crates).
+    if std::env::var("KLOC_BATCH").as_deref() == Ok("0") {
+        params.batch_accesses = false;
+    }
     // One shard count drives every sharded hot-path structure (frame
     // free lists, page-cache LRU, cache reverse map).
     mem.set_shards(kloc_mem::ShardConfig::with_shards(params.shards));

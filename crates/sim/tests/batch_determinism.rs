@@ -1,0 +1,84 @@
+//! Determinism contract of the batched access-cost path: charging a
+//! run of accesses through `MemorySystem::access_batch` (one clock
+//! advance, one trace charge) instead of one call per page is
+//! observably inert — the batched cost is the exact sum of the
+//! per-access costs, so reports are bit-for-bit identical with the
+//! batching on or off. The report is the determinism oracle: it folds
+//! in virtual time, per-tier access counts, migration order, and
+//! policy observations.
+//!
+//! Mirrors `shard_determinism.rs` for the batch dimension.
+
+use kloc_kernel::KernelParams;
+use kloc_policy::PolicyKind;
+use kloc_sim::engine::{Platform, RunConfig};
+use kloc_sim::Runner;
+use kloc_workloads::{Scale, WorkloadKind};
+
+/// The runner-test matrix, parameterized by the batch toggle.
+fn matrix(scale: &Scale, batch_accesses: bool) -> Vec<RunConfig> {
+    let mut configs = Vec::new();
+    for platform in [
+        Platform::TwoTier {
+            fast_bytes: 512 << 10,
+            bw_ratio: 8,
+        },
+        Platform::TwoTier {
+            fast_bytes: 256 << 10,
+            bw_ratio: 2,
+        },
+    ] {
+        for w in [
+            WorkloadKind::RocksDb,
+            WorkloadKind::Redis,
+            WorkloadKind::Filebench,
+        ] {
+            for p in [
+                PolicyKind::AllSlow,
+                PolicyKind::Naive,
+                PolicyKind::Nimble,
+                PolicyKind::Kloc,
+            ] {
+                configs.push(RunConfig {
+                    workload: w,
+                    policy: p,
+                    scale: scale.clone(),
+                    platform,
+                    kernel_params: Some(KernelParams {
+                        page_cache_budget: scale.page_cache_frames,
+                        batch_accesses,
+                        ..KernelParams::default()
+                    }),
+                    faults: None,
+                });
+            }
+        }
+    }
+    configs
+}
+
+fn reports_for(scale: &Scale, batch: bool) -> Vec<kloc_sim::engine::RunReport> {
+    Runner::serial()
+        .run_all(matrix(scale, batch))
+        .expect("batch matrix")
+}
+
+#[test]
+fn batched_access_path_is_observably_inert_tiny() {
+    let scale = Scale::tiny();
+    let batched = reports_for(&scale, true);
+    let unbatched = reports_for(&scale, false);
+    assert_eq!(batched.len(), unbatched.len());
+    for (i, (b, u)) in batched.iter().zip(&unbatched).enumerate() {
+        assert_eq!(b.elapsed, u.elapsed, "run {i}: virtual time");
+        assert_eq!(b.migrations, u.migrations, "run {i}: migrations");
+        assert_eq!(b, u, "run {i}: full report");
+    }
+}
+
+#[test]
+#[ignore = "slow; run with --ignored or via CI's full pass"]
+fn batched_access_path_is_observably_inert_small() {
+    let scale = Scale::small();
+    assert_eq!(reports_for(&scale, true), reports_for(&scale, false));
+}

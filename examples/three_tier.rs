@@ -35,7 +35,8 @@ impl Waterfall {
         // The kmap's inactive index yields cold knodes directly; the
         // warm population is never examined.
         let mut cold: Vec<InodeId> = Vec::new();
-        self.registry.kmap().cold_inodes_with_members(4, &mut cold);
+        self.registry
+            .cold_member_candidates(4, usize::MAX, &mut cold);
         for ino in cold {
             // Demote each member one level from wherever it is.
             for frame in self.registry.member_frames(ino) {
