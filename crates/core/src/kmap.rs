@@ -542,7 +542,10 @@ impl Kmap {
                         "Kmap.cold_idx <-> Kmap.inactive_idx",
                         format!("{inode}"),
                         "the cold index holds exactly the inactive knodes at or past the watermark",
-                        format!("stamp {stamp} vs watermark {}: cold = {should}", self.cold_watermark),
+                        format!(
+                            "stamp {stamp} vs watermark {}: cold = {should}",
+                            self.cold_watermark
+                        ),
                         format!("cold = {has}"),
                     ));
                 }

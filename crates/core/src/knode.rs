@@ -261,7 +261,8 @@ impl Knode {
     /// migration walks only touch the memory system).
     pub fn with_member_frames<R>(&self, f: impl FnOnce(&[FrameId]) -> R) -> R {
         if self.frames_stale.get() {
-            self.frames.collect_sorted(&mut self.sorted_frames.borrow_mut());
+            self.frames
+                .collect_sorted(&mut self.sorted_frames.borrow_mut());
             self.frames_stale.set(false);
         }
         f(&self.sorted_frames.borrow())
@@ -478,7 +479,11 @@ mod tests {
         // Insertion order deliberately disagrees with id order, and two
         // frames share a slot (low 32 bits) across generations.
         k.add_obj(ObjectId(9), KernelObjectType::PageCache, FrameId(5));
-        k.add_obj(ObjectId(2), KernelObjectType::PageCache, FrameId((1 << 32) | 4));
+        k.add_obj(
+            ObjectId(2),
+            KernelObjectType::PageCache,
+            FrameId((1 << 32) | 4),
+        );
         k.add_obj(ObjectId(5), KernelObjectType::PageCache, FrameId(4));
         let ids: Vec<u64> = k.cache_members().iter().map(|(o, _)| o.0).collect();
         assert_eq!(ids, vec![2, 5, 9]);

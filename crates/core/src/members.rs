@@ -83,7 +83,8 @@ impl Dense {
         debug_assert!(key < TOMBSTONE, "id collides with a table sentinel");
         self.reserve_one();
         let mask = self.slots.len() - 1;
-        let mut i = (mix(key) as usize) & mask; // lint: truncation-ok
+        // lint: truncation-ok — masked into the power-of-two table index
+        let mut i = (mix(key) as usize) & mask;
         // First tombstone seen is the insertion point, but the probe
         // must continue to EMPTY to rule out a later duplicate.
         let mut reuse = None;
@@ -212,9 +213,7 @@ impl Dense {
     /// tombstones. Also the initial allocation (tables start empty so an
     /// idle knode costs no member-table memory at all).
     fn grow(&mut self) {
-        let cap = ((self.live + 1) * 2)
-            .next_power_of_two()
-            .max(Self::MIN_CAP);
+        let cap = ((self.live + 1) * 2).next_power_of_two().max(Self::MIN_CAP);
         let old = std::mem::replace(&mut self.slots, vec![(EMPTY, 0); cap]);
         self.tombs = 0;
         let mask = cap - 1;

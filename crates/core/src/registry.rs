@@ -513,8 +513,8 @@ impl KlocRegistry {
                     continue;
                 };
                 if now.saturating_sub(last) < older_than {
-                    next_candidacy = next_candidacy
-                        .min(last.as_nanos().saturating_add(older_than.as_nanos()));
+                    next_candidacy =
+                        next_candidacy.min(last.as_nanos().saturating_add(older_than.as_nanos()));
                     continue;
                 }
                 // Only fast-tier frames are demotion candidates.

@@ -122,9 +122,10 @@ fn member_table_live_count_skew_is_caught() {
     kmap.with_knode_mut(InodeId(4), |k, _| k.ksan_break_member_slots());
     let out = audited(&kmap);
     assert!(
-        out.iter()
-            .any(|v| v.structures == "Knode dense table slots <-> live counter"
-                && v.object.contains("rbtree-cache")),
+        out.iter().any(
+            |v| v.structures == "Knode dense table slots <-> live counter"
+                && v.object.contains("rbtree-cache")
+        ),
         "{out:#?}"
     );
 }
@@ -144,9 +145,10 @@ fn stale_sorted_frame_cache_is_caught() {
     kmap.with_knode_mut(InodeId(8), |k, _| k.ksan_break_frame_cache());
     let out = audited(&kmap);
     assert!(
-        out.iter()
-            .any(|v| v.structures == "Knode.sorted_frames cache <-> Knode.frames"
-                && v.object == "inode8"),
+        out.iter().any(
+            |v| v.structures == "Knode.sorted_frames cache <-> Knode.frames"
+                && v.object == "inode8"
+        ),
         "{out:#?}"
     );
 }

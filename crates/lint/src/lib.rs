@@ -1,4 +1,4 @@
-//! Determinism lint for the KLOCs workspace.
+//! Structural determinism lint for the KLOCs workspace.
 //!
 //! Both seed bugs this repository has shipped were silent nondeterminism
 //! from iterating an unordered collection (`kernel.rs` `by_inode`, the
@@ -6,9 +6,15 @@
 //! "mostly deterministic": identical configs must produce byte-identical
 //! reports, which forbids hash-order iteration, wall-clock time,
 //! randomness, and ambient environment reads anywhere inside the
-//! simulation crates. This crate is a dependency-free token/line scanner
-//! that enforces those rules statically, as `cargo run -p kloc-lint` and
-//! as a blocking CI job.
+//! simulation crates — and, since PR 7, requires every frame touch and
+//! disk submission to run through the exactly-charged clock APIs.
+//!
+//! v2 replaces the original token/line scanner with a structural
+//! analyzer: a lossless lexer ([`lex`]), an item-level parser
+//! ([`items`]) recovering `fn` signatures, bodies, and `#[cfg]` atoms,
+//! and on top of them per-file token rules, an intra-procedural taint
+//! pass, and two workspace-level rules that read every file of a crate
+//! (and its `Cargo.toml`) at once.
 //!
 //! # Rules
 //!
@@ -19,39 +25,82 @@
 //! | KL003 | no thread spawning in simulation crates (`kloc-sim` is the only sanctioned concurrency site) |
 //! | KL004 | no truncating `as` casts on id/epoch-like values (use `From`/`try_from`) |
 //! | KL005 | no `.unwrap()`/`.expect(..)` in simulation-crate non-test code (propagate the error) |
+//! | KL006 | `#[cfg(feature = "X")]` / `#[cfg(not(feature = "X"))]` item pairs must expose identical signatures (feature-shim conformance) |
+//! | KL007 | every feature referenced in `cfg`/`cfg_attr` must be declared in the crate's `Cargo.toml` and forwarded to declaring dependencies |
+//! | KL008 | no dataflow from nondeterministic sources (hash iteration, pointer identity) into report-visible sinks (report fields, trace emits, sort keys) |
+//! | KL009 | in `crates/kernel`/`crates/mem`, frame touches and `DiskOp` submissions must flow through a charged API (`access`, `access_batch`, `disk_retry`) |
 //!
-//! KL002/KL003/KL005 apply only to the simulation crates (`mem`,
-//! `kernel`, `core`, `policy`, `workloads`); the `kloc-sim` harness
-//! legitimately reads CLI args and wall-clock time and spawns its sweep
-//! threads. KL005 additionally exempts everything from the first
-//! `#[cfg(test)]` line to the end of the file (this workspace keeps its
-//! unit tests in a trailing `mod tests`), since tests unwrap freely.
+//! KL002/KL003/KL005 apply only to the simulation crates (`trace`,
+//! `mem`, `kernel`, `core`, `policy`, `workloads`); the `kloc-sim`
+//! harness legitimately reads CLI args and wall-clock time and spawns
+//! its sweep threads. KL005 exempts everything from the first
+//! `#[cfg(test)]` on (this workspace keeps unit tests in a trailing
+//! `mod tests`). KL009 applies only to `crates/kernel` and
+//! `crates/mem` non-test code.
 //!
 //! # Justification comments
 //!
-//! A violation that is provably harmless is silenced with a justification
-//! comment on the same line or the line directly above:
+//! A violation that is provably harmless is silenced with a
+//! justification comment on the same line or the line directly above:
 //!
 //! * `// lint: ordered-ok` — iteration order does not affect any report
 //!   (KL001);
-//! * `// lint: truncation-ok` — the truncation is the documented
-//!   semantics (KL004, e.g. `FrameId::slot` extracting the low bits);
 //! * `// lint: nondet-ok` — sanctioned ambient authority (KL002/KL003);
-//! * `// lint: unwrap-ok` — the value is provably present at this site
-//!   (KL005, e.g. a lookup guarded by the line above; say why).
+//! * `// lint: truncation-ok` — the truncation is the documented
+//!   semantics (KL004);
+//! * `// lint: unwrap-ok` — the value is provably present (KL005);
+//! * `// lint: shim-ok` — an intentional real/noop signature divergence
+//!   (KL006);
+//! * `// lint: feature-ok` — a deliberately undeclared/unforwarded
+//!   feature reference (KL007);
+//! * `// lint: taint-ok` — the flow is order-insensitive, e.g. a
+//!   commutative reduction (KL008);
+//! * `// lint: charge-ok` — the site charges the clock through its own
+//!   sanctioned path (KL009, e.g. the migration cost path).
 //!
 //! Appending `(file)` (e.g. `// lint: ordered-ok(file)`) silences the
-//! rule for the whole file. The pragma `// lint: treat-as-sim-crate`
-//! opts a file into the sim-crate-only rules (used by test fixtures).
+//! rule for the whole file. `// lint: treat-as-sim-crate` opts a file
+//! into the sim-crate rules and `// lint: treat-as-charged-crate` into
+//! KL009 (both used by test fixtures).
 //!
-//! The scanner strips comments and string literals before matching, so
-//! documentation may freely mention `HashMap` or `Instant::now`.
+//! # Fixes and explanations
+//!
+//! Some diagnostics carry a machine-applicable [`Suggestion`]
+//! (KL006 noop-shim signature drift, KL007 undeclared features);
+//! `kloc-lint --fix` applies them. `kloc-lint --explain KL006` prints a
+//! rule's rationale, its justification pragma, and a minimal violating
+//! example sourced from the fixture suite.
 
 #![warn(missing_docs)]
+
+pub mod explain;
+pub mod items;
+pub mod lex;
+
+mod conformance;
+mod hygiene;
+mod rules;
+mod taint;
 
 use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+use items::ParsedFile;
+
+/// A machine-applicable replacement attached to a [`Diagnostic`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Suggestion {
+    /// File the replacement applies to (may differ from the diagnostic
+    /// file, e.g. a `Cargo.toml` fix for a source-level finding).
+    pub file: String,
+    /// Byte offset where the replaced range starts.
+    pub start: usize,
+    /// Byte offset one past the replaced range (`start == end` inserts).
+    pub end: usize,
+    /// Replacement text.
+    pub replacement: String,
+}
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -60,10 +109,29 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule id (`KL001`..`KL004`).
+    /// Rule id (`KL001`..`KL009`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// Secondary spans and context, rendered as `note:` lines (e.g.
+    /// the other half of a shim pair, a taint source).
+    pub notes: Vec<String>,
+    /// Machine-applicable fix, when one exists.
+    pub suggestion: Option<Suggestion>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no notes and no suggestion.
+    pub fn new(file: &str, line: usize, rule: &'static str, message: String) -> Diagnostic {
+        Diagnostic {
+            file: file.to_owned(),
+            line,
+            rule,
+            message,
+            notes: Vec::new(),
+            suggestion: None,
+        }
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -72,7 +140,14 @@ impl fmt::Display for Diagnostic {
             f,
             "{}:{}: {} {}",
             self.file, self.line, self.rule, self.message
-        )
+        )?;
+        for note in &self.notes {
+            write!(f, "\n  note: {note}")?;
+        }
+        if self.suggestion.is_some() {
+            write!(f, "\n  fix: available (run `kloc-lint --fix`)")?;
+        }
+        Ok(())
     }
 }
 
@@ -86,226 +161,33 @@ pub const RULE_THREAD_SPAWN: &str = "KL003";
 pub const RULE_TRUNCATING_CAST: &str = "KL004";
 /// Rule id: `.unwrap()`/`.expect(..)` in sim-crate non-test code.
 pub const RULE_UNWRAP: &str = "KL005";
-
-/// Iterator-yielding methods that expose hash order.
-const ITER_METHODS: &[&str] = &[
-    "iter",
-    "iter_mut",
-    "keys",
-    "values",
-    "values_mut",
-    "drain",
-    "into_iter",
-    "into_keys",
-    "into_values",
-    "retain",
-];
-
-/// APIs that break run-to-run determinism (KL002): wall-clock time,
-/// randomness, and ambient environment reads.
-const NONDET_NEEDLES: &[&str] = &[
-    "std::time",
-    "Instant::now",
-    "SystemTime",
-    "thread_rng",
-    "rand::",
-    "getrandom",
-    "RandomState",
-    "std::env",
-];
-
-/// Concurrency entry points (KL003).
-const SPAWN_NEEDLES: &[&str] = &["std::thread", "thread::spawn", "rayon::", "crossbeam"];
-
-/// Identifier segments that mark a value as an id/epoch (KL004). A
-/// trailing `.0` tuple projection also counts: every id in this codebase
-/// is a `u64` newtype.
-const ID_SEGMENTS: &[&str] = &["epoch", "inode", "ino", "id", "fd", "obj", "shard"];
-
-/// Replaces comments and string/char literal contents with spaces,
-/// preserving line structure, so the rule matchers never fire on
-/// documentation or message text.
-pub fn strip_comments_and_strings(source: &str) -> String {
-    let bytes: Vec<char> = source.chars().collect();
-    let mut out = String::with_capacity(source.len());
-    let mut i = 0;
-    let n = bytes.len();
-    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
-    while i < n {
-        let c = bytes[i];
-        match c {
-            '/' if i + 1 < n && bytes[i + 1] == '/' => {
-                while i < n && bytes[i] != '\n' {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-            '/' if i + 1 < n && bytes[i + 1] == '*' => {
-                let mut depth = 1;
-                out.push(' ');
-                out.push(' ');
-                i += 2;
-                while i < n && depth > 0 {
-                    if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
-                        depth += 1;
-                        out.push(' ');
-                        out.push(' ');
-                        i += 2;
-                    } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
-                        depth -= 1;
-                        out.push(' ');
-                        out.push(' ');
-                        i += 2;
-                    } else {
-                        out.push(if bytes[i] == '\n' { '\n' } else { ' ' });
-                        i += 1;
-                    }
-                }
-            }
-            '"' => {
-                out.push('"');
-                i += 1;
-                while i < n {
-                    if bytes[i] == '\\' && i + 1 < n {
-                        out.push(' ');
-                        out.push(' ');
-                        i += 2;
-                    } else if bytes[i] == '"' {
-                        out.push('"');
-                        i += 1;
-                        break;
-                    } else {
-                        out.push(if bytes[i] == '\n' { '\n' } else { ' ' });
-                        i += 1;
-                    }
-                }
-            }
-            'r' | 'b' if !(i > 0 && is_ident(bytes[i - 1])) => {
-                // Possible raw/byte string: r"...", r#"..."#, br"...", b"...".
-                let mut j = i;
-                if bytes[j] == 'b' && j + 1 < n && bytes[j + 1] == 'r' {
-                    j += 1;
-                }
-                let mut hashes = 0;
-                let mut k = j + 1;
-                while k < n && bytes[k] == '#' {
-                    hashes += 1;
-                    k += 1;
-                }
-                if k < n && bytes[k] == '"' && (bytes[j] == 'r' || (bytes[i] == 'b' && j == i)) {
-                    // Emit the prefix as spaces, then consume to the
-                    // matching closing quote (+ hashes).
-                    for _ in i..=k {
-                        out.push(' ');
-                    }
-                    i = k + 1;
-                    while i < n {
-                        if bytes[i] == '"' {
-                            let mut h = 0;
-                            while h < hashes && i + 1 + h < n && bytes[i + 1 + h] == '#' {
-                                h += 1;
-                            }
-                            if h == hashes {
-                                for _ in 0..=hashes {
-                                    out.push(' ');
-                                }
-                                i += 1 + hashes;
-                                break;
-                            }
-                        }
-                        out.push(if bytes[i] == '\n' { '\n' } else { ' ' });
-                        i += 1;
-                    }
-                } else {
-                    out.push(c);
-                    i += 1;
-                }
-            }
-            '\'' => {
-                // Char literal vs lifetime: 'x' or '\..' is a literal;
-                // 'ident (no closing quote right after) is a lifetime.
-                if i + 1 < n && bytes[i + 1] == '\\' {
-                    out.push(' ');
-                    i += 1;
-                    while i < n && bytes[i] != '\'' {
-                        out.push(' ');
-                        i += 1;
-                    }
-                    if i < n {
-                        out.push(' ');
-                        i += 1;
-                    }
-                } else if i + 2 < n && bytes[i + 2] == '\'' {
-                    out.push(' ');
-                    out.push(' ');
-                    out.push(' ');
-                    i += 3;
-                } else {
-                    out.push(c);
-                    i += 1;
-                }
-            }
-            _ => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    out
-}
-
-/// Whether `text[pos..pos+len]` is a whole-word occurrence.
-fn whole_word(text: &[char], pos: usize, len: usize) -> bool {
-    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
-    let before_ok = pos == 0 || !is_ident(text[pos - 1]);
-    let after_ok = pos + len >= text.len() || !is_ident(text[pos + len]);
-    before_ok && after_ok
-}
-
-/// Whole-word occurrences of `needle` in `line`, as char offsets.
-fn word_positions(line: &[char], needle: &str) -> Vec<usize> {
-    let nd: Vec<char> = needle.chars().collect();
-    let mut out = Vec::new();
-    if nd.is_empty() || line.len() < nd.len() {
-        return out;
-    }
-    for start in 0..=(line.len() - nd.len()) {
-        if line[start..start + nd.len()] == nd[..] && whole_word(line, start, nd.len()) {
-            out.push(start);
-        }
-    }
-    out
-}
-
-/// Identifier (dotted path allowed) ending right before `end`, skipping
-/// trailing whitespace. Returns e.g. `self.0`, `frame_key`, `k.epoch`.
-fn path_ending_at(line: &[char], end: usize) -> String {
-    let mut j = end;
-    while j > 0 && line[j - 1].is_whitespace() {
-        j -= 1;
-    }
-    let mut start = j;
-    while start > 0 {
-        let c = line[start - 1];
-        if c.is_alphanumeric() || c == '_' || c == '.' {
-            start -= 1;
-        } else {
-            break;
-        }
-    }
-    line[start..j].iter().collect()
-}
+/// Rule id: feature-shim signature drift between `cfg` polarities.
+pub const RULE_SHIM_CONFORMANCE: &str = "KL006";
+/// Rule id: cfg feature hygiene (undeclared or unforwarded features).
+pub const RULE_CFG_HYGIENE: &str = "KL007";
+/// Rule id: determinism taint reaching a report-visible sink.
+pub const RULE_DETERMINISM_TAINT: &str = "KL008";
+/// Rule id: uncharged frame touch / disk submission.
+pub const RULE_CLOCK_CHARGE: &str = "KL009";
 
 /// Per-file allow state parsed from justification comments.
-struct Allows {
-    /// rule token -> file-wide allow.
-    file_wide: [bool; 4],
-    /// rule token -> lines (1-based) on which the rule is allowed.
-    lines: [BTreeSet<usize>; 4],
+pub(crate) struct Allows {
+    file_wide: [bool; 8],
+    lines: [BTreeSet<usize>; 8],
     treat_as_sim: bool,
+    treat_as_charged: bool,
 }
 
-const ALLOW_TOKENS: [&str; 4] = ["ordered-ok", "nondet-ok", "truncation-ok", "unwrap-ok"];
+const ALLOW_TOKENS: [&str; 8] = [
+    "ordered-ok",
+    "nondet-ok",
+    "truncation-ok",
+    "unwrap-ok",
+    "shim-ok",
+    "feature-ok",
+    "taint-ok",
+    "charge-ok",
+];
 
 fn allow_slot(rule: &str) -> usize {
     match rule {
@@ -313,20 +195,20 @@ fn allow_slot(rule: &str) -> usize {
         RULE_NONDET_API | RULE_THREAD_SPAWN => 1,
         RULE_TRUNCATING_CAST => 2,
         RULE_UNWRAP => 3,
+        RULE_SHIM_CONFORMANCE => 4,
+        RULE_CFG_HYGIENE => 5,
+        RULE_DETERMINISM_TAINT => 6,
+        RULE_CLOCK_CHARGE => 7,
         _ => unreachable!("unknown rule"),
     }
 }
 
-fn parse_allows(source: &str) -> Allows {
+pub(crate) fn parse_allows(source: &str) -> Allows {
     let mut allows = Allows {
-        file_wide: [false; 4],
-        lines: [
-            BTreeSet::new(),
-            BTreeSet::new(),
-            BTreeSet::new(),
-            BTreeSet::new(),
-        ],
+        file_wide: [false; 8],
+        lines: Default::default(),
         treat_as_sim: false,
+        treat_as_charged: false,
     };
     for (idx, line) in source.lines().enumerate() {
         let lineno = idx + 1;
@@ -336,6 +218,10 @@ fn parse_allows(source: &str) -> Allows {
         let directive = line[pos + "lint:".len()..].trim();
         if directive.starts_with("treat-as-sim-crate") {
             allows.treat_as_sim = true;
+            continue;
+        }
+        if directive.starts_with("treat-as-charged-crate") {
+            allows.treat_as_charged = true;
             continue;
         }
         for (slot, token) in ALLOW_TOKENS.iter().enumerate() {
@@ -354,275 +240,165 @@ fn parse_allows(source: &str) -> Allows {
 }
 
 impl Allows {
-    fn allowed(&self, rule: &str, line: usize) -> bool {
+    pub(crate) fn allowed(&self, rule: &str, line: usize) -> bool {
         let slot = allow_slot(rule);
         self.file_wide[slot] || self.lines[slot].contains(&line)
     }
 }
 
-/// Names bound to `HashMap`/`HashSet` in this file: struct fields,
-/// `let` bindings, and function parameters declared as `name: HashMap<..>`
-/// or assigned `= HashMap::new()`.
-fn hash_collection_names(clean_lines: &[Vec<char>]) -> BTreeSet<String> {
-    let mut names = BTreeSet::new();
-    for line in clean_lines {
-        for ty in ["HashMap", "HashSet"] {
-            for pos in word_positions(line, ty) {
-                // `name: [&'a mut Option<]HashMap<..>`: nearest single `:`
-                // to the left, with only type-ish characters in between.
-                let mut j = pos;
-                let mut found_colon = None;
-                while j > 0 {
-                    let c = line[j - 1];
-                    if c == ':' {
-                        if j >= 2 && line[j - 2] == ':' {
-                            // `::` path separator (e.g. collections::HashMap):
-                            // keep scanning left past the whole path.
-                            j -= 2;
-                            continue;
-                        }
-                        found_colon = Some(j - 1);
-                        break;
-                    }
-                    if c.is_alphanumeric()
-                        || c.is_whitespace()
-                        || matches!(c, '_' | '&' | '\'' | '<' | '(')
-                    {
-                        j -= 1;
-                    } else {
-                        break;
-                    }
-                }
-                if let Some(colon) = found_colon {
-                    let name = path_ending_at(line, colon);
-                    let last = name.rsplit('.').next().unwrap_or("");
-                    // lint: unwrap-ok — guarded by !last.is_empty()
-                    if !last.is_empty() && !last.chars().next().unwrap().is_numeric() {
-                        names.insert(last.to_owned());
-                    }
-                    continue;
-                }
-                // `name = HashMap::new()` / `name = HashSet::with_capacity(..)`.
-                let mut j = pos;
-                while j > 0 && line[j - 1].is_whitespace() {
-                    j -= 1;
-                }
-                if j > 0 && line[j - 1] == '=' && !(j >= 2 && matches!(line[j - 2], '=' | '!')) {
-                    let name = path_ending_at(line, j - 1);
-                    let last = name.rsplit('.').next().unwrap_or("");
-                    // lint: unwrap-ok — guarded by !last.is_empty()
-                    if !last.is_empty() && !last.chars().next().unwrap().is_numeric() {
-                        names.insert(last.to_owned());
-                    }
+/// Replaces comments and string/char literal contents with spaces,
+/// preserving line structure. Retained from the v1 scanner as a public
+/// utility (external callers greped through it); the rules themselves
+/// now work on the token stream.
+pub fn strip_comments_and_strings(source: &str) -> String {
+    let tokens = lex::lex(source);
+    let mut out = String::with_capacity(source.len());
+    for tok in &tokens {
+        let text = tok.text(source);
+        match tok.kind {
+            lex::TokenKind::LineComment | lex::TokenKind::BlockComment => {
+                for c in text.chars() {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
                 }
             }
+            lex::TokenKind::Str | lex::TokenKind::Char => {
+                // Keep the delimiting quotes of plain literals so the
+                // output still reads as code; blank the contents.
+                let chars: Vec<char> = text.chars().collect();
+                for (i, c) in chars.iter().enumerate() {
+                    let keep = *c == '"' && (i == 0 || i == chars.len() - 1);
+                    out.push(if keep {
+                        '"'
+                    } else if *c == '\n' {
+                        '\n'
+                    } else {
+                        ' '
+                    });
+                }
+            }
+            _ => out.push_str(text),
         }
     }
-    names
+    out
 }
 
-/// Lints one file's source text. `sim_crate` enables the KL002/KL003
-/// rules (files inside `crates/{trace,mem,kernel,core,policy,workloads}`).
+/// Lints one file's source text. `sim_crate` enables the
+/// KL002/KL003/KL005 rules (files inside
+/// `crates/{trace,mem,kernel,core,policy,workloads}`). KL009 arms for
+/// files under `crates/kernel`/`crates/mem` (or the
+/// `treat-as-charged-crate` pragma). KL006 pairs within the single
+/// file; cross-file pairs need [`lint_workspace`].
 pub fn lint_source(file: &str, source: &str, sim_crate: bool) -> Vec<Diagnostic> {
     let allows = parse_allows(source);
     let sim_crate = sim_crate || allows.treat_as_sim;
-    let clean = strip_comments_and_strings(source);
-    let clean_lines: Vec<Vec<char>> = clean.lines().map(|l| l.chars().collect()).collect();
-    let mut out = Vec::new();
-    let mut push = |rule: &'static str, lineno: usize, message: String| {
-        if !allows.allowed(rule, lineno) {
-            out.push(Diagnostic {
-                file: file.to_owned(),
-                line: lineno,
-                rule,
-                message,
-            });
-        }
-    };
+    let charged_crate = is_charged_crate_path(Path::new(file)) || allows.treat_as_charged;
+    let parsed = ParsedFile::parse(source);
 
-    // KL001: iteration over bindings declared as HashMap/HashSet.
-    let hash_names = hash_collection_names(&clean_lines);
-    for (idx, line) in clean_lines.iter().enumerate() {
-        let lineno = idx + 1;
-        for name in &hash_names {
-            for pos in word_positions(line, name) {
-                let after = pos + name.chars().count();
-                // `name.iter()` and friends.
-                if after < line.len() && line[after] == '.' {
-                    let method: String = line[after + 1..]
-                        .iter()
-                        .take_while(|c| c.is_alphanumeric() || **c == '_')
-                        .collect();
-                    if ITER_METHODS.contains(&method.as_str()) {
-                        push(
-                            RULE_UNORDERED_ITER,
-                            lineno,
-                            format!(
-                                "iteration over unordered `{name}` via `.{method}()`; \
-                                 use a BTreeMap/BTreeSet or justify with `// lint: ordered-ok`"
-                            ),
-                        );
-                        continue;
-                    }
-                }
-                // `for x in [&[mut ]]name`.
-                let mut j = pos;
-                while j > 0 && matches!(line[j - 1], '&' | ' ' | '\t') {
-                    j -= 1;
-                }
-                let mut prefix = path_ending_at(line, j);
-                if prefix == "mut" {
-                    j -= "mut".len();
-                    while j > 0 && matches!(line[j - 1], '&' | ' ' | '\t') {
-                        j -= 1;
-                    }
-                    prefix = path_ending_at(line, j);
-                }
-                if prefix == "in" {
-                    push(
-                        RULE_UNORDERED_ITER,
-                        lineno,
-                        format!(
-                            "`for` loop over unordered `{name}`; \
-                             use a BTreeMap/BTreeSet or justify with `// lint: ordered-ok`"
-                        ),
-                    );
-                }
-            }
-        }
-    }
-
-    // KL002/KL003: sim crates must stay free of ambient authority.
-    if sim_crate {
-        for (idx, line) in clean_lines.iter().enumerate() {
-            let lineno = idx + 1;
-            let text: String = line.iter().collect();
-            // At most one diagnostic per rule per line (several needles
-            // often overlap, e.g. `std::thread::spawn`).
-            if let Some(needle) = NONDET_NEEDLES.iter().find(|n| text.contains(*n)) {
-                push(
-                    RULE_NONDET_API,
-                    lineno,
-                    format!(
-                        "`{needle}` in a simulation crate breaks determinism; \
-                         route configuration through params/config instead"
-                    ),
-                );
-            }
-            if let Some(needle) = SPAWN_NEEDLES.iter().find(|n| text.contains(*n)) {
-                push(
-                    RULE_THREAD_SPAWN,
-                    lineno,
-                    format!(
-                        "`{needle}` in a simulation crate; \
-                         `kloc-sim` is the only sanctioned concurrency site"
-                    ),
-                );
-            }
-        }
-    }
-
-    // KL005: unwrap/expect in sim-crate non-test code. The scanner sees
-    // tokens, not types, so it flags every `.unwrap()`/`.expect(` —
-    // provably-infallible sites carry a `// lint: unwrap-ok` reason.
-    // Everything from the first `#[cfg(test)]` on is exempt (this
-    // workspace keeps unit tests in a trailing `mod tests`).
-    if sim_crate {
-        let test_boundary = clean_lines
-            .iter()
-            .position(|l| {
-                let text: String = l.iter().collect();
-                text.contains("#[cfg(test)]")
-            })
-            .unwrap_or(clean_lines.len());
-        for (idx, line) in clean_lines.iter().enumerate().take(test_boundary) {
-            let lineno = idx + 1;
-            for method in ["unwrap", "expect"] {
-                for pos in word_positions(line, method) {
-                    let after = pos + method.len();
-                    if pos == 0 || line[pos - 1] != '.' {
-                        continue; // not a method call (e.g. `fn unwrap`)
-                    }
-                    if after >= line.len() || line[after] != '(' {
-                        continue; // `.expect` split across lines: rare, skip
-                    }
-                    push(
-                        RULE_UNWRAP,
-                        lineno,
-                        format!(
-                            "`.{method}(..)` in a simulation crate can panic mid-run; \
-                             propagate the error or justify with `// lint: unwrap-ok`"
-                        ),
-                    );
-                }
-            }
-        }
-    }
-
-    // KL004: truncating casts on id/epoch-like values.
-    for (idx, line) in clean_lines.iter().enumerate() {
-        let lineno = idx + 1;
-        for pos in word_positions(line, "as") {
-            // Target type directly after: u8/u16/u32 truncate u64 ids.
-            let mut j = pos + 2;
-            while j < line.len() && line[j].is_whitespace() {
-                j += 1;
-            }
-            let ty: String = line[j..]
-                .iter()
-                .take_while(|c| c.is_alphanumeric() || **c == '_')
-                .collect();
-            if !matches!(ty.as_str(), "u8" | "u16" | "u32") {
-                continue;
-            }
-            let path = path_ending_at(line, pos);
-            if path.is_empty() {
-                continue; // parenthesized expression: out of scope
-            }
-            let segments: Vec<&str> = path.split('.').filter(|s| !s.is_empty()).collect();
-            let id_like = segments.iter().any(|s| {
-                ID_SEGMENTS.contains(s)
-                    || s.ends_with("_id")
-                    || s.ends_with("_epoch")
-                    || s.ends_with("_shard")
-            }) || segments.last() == Some(&"0");
-            if id_like {
-                push(
-                    RULE_TRUNCATING_CAST,
-                    lineno,
-                    format!(
-                        "truncating cast `{path} as {ty}` on an id/epoch-like value; \
-                         use `From`/`try_from` or justify with `// lint: truncation-ok`"
-                    ),
-                );
-            }
-        }
-    }
-
+    let mut out = rules::check_file(file, &parsed, sim_crate, charged_crate, &allows);
+    out.extend(taint::check_file(file, &parsed, &allows));
+    out.extend(conformance::check_crate(
+        &[(file.to_owned(), &parsed)],
+        &|f, line| {
+            debug_assert_eq!(f, file);
+            allows.allowed(RULE_SHIM_CONFORMANCE, line)
+        },
+    ));
     out.sort();
+    out.dedup();
+    out
+}
+
+/// Lints a set of in-memory files as one crate against an in-memory
+/// `Cargo.toml`: per-file rules plus crate-level KL006 pairing and
+/// KL007 hygiene. Entry point for fixtures, `--explain` self-tests,
+/// and external tooling that wants crate-level checks without a
+/// workspace on disk.
+pub fn lint_crate(
+    manifest_rel: &str,
+    manifest_text: &str,
+    files: &[(&str, &str)],
+) -> Vec<Diagnostic> {
+    let parsed: Vec<(String, ParsedFile, Allows)> = files
+        .iter()
+        .map(|(name, source)| {
+            (
+                (*name).to_owned(),
+                ParsedFile::parse(source),
+                parse_allows(source),
+            )
+        })
+        .collect();
+    let mut out = Vec::new();
+    for (name, pf, allows) in &parsed {
+        let rel = Path::new(name);
+        let test_path = is_test_path(rel);
+        let sim = is_sim_crate_path(rel) || allows.treat_as_sim;
+        let charged = (is_charged_crate_path(rel) && !test_path) || allows.treat_as_charged;
+        let mut diags = rules::check_file(name, pf, sim, charged, allows);
+        diags.extend(taint::check_file(name, pf, allows));
+        out.extend(
+            diags
+                .into_iter()
+                .filter(|d| !(test_path && d.rule == RULE_UNWRAP)),
+        );
+    }
+    let refs: Vec<(String, &ParsedFile)> =
+        parsed.iter().map(|(n, pf, _)| (n.clone(), pf)).collect();
+    let allowed_for = |rule: &'static str, file: &str, line: usize| {
+        parsed
+            .iter()
+            .find(|(n, _, _)| n == file)
+            .is_some_and(|(_, _, a)| a.allowed(rule, line))
+    };
+    out.extend(conformance::check_crate(&refs, &|file, line| {
+        allowed_for(RULE_SHIM_CONFORMANCE, file, line)
+    }));
+    let manifest = hygiene::Manifest::parse(manifest_rel, manifest_text);
+    let mut all = std::collections::BTreeMap::new();
+    if !manifest.package_name.is_empty() {
+        all.insert(
+            manifest.package_name.clone(),
+            hygiene::Manifest::parse(manifest_rel, manifest_text),
+        );
+    }
+    out.extend(hygiene::check_crate(
+        &manifest,
+        &refs,
+        &all,
+        &|file, line| allowed_for(RULE_CFG_HYGIENE, file, line),
+    ));
+    out.sort();
+    out.dedup();
     out
 }
 
 /// Whether a workspace-relative path is test-only code (an integration
-/// `tests/` tree or a `benches/` tree): exempt from KL005, which
-/// targets code that runs inside simulations.
+/// `tests/` tree or a `benches/` tree): exempt from KL005/KL009, which
+/// target code that runs inside simulations.
 pub fn is_test_path(rel: &Path) -> bool {
     rel.components()
         .any(|c| matches!(c.as_os_str().to_str(), Some("tests" | "benches")))
 }
 
 /// Whether a workspace-relative path belongs to a simulation crate
-/// (where the KL002/KL003 rules apply).
+/// (where the KL002/KL003/KL005 rules apply).
 pub fn is_sim_crate_path(rel: &Path) -> bool {
     const SIM_CRATES: &[&str] = &["trace", "mem", "kernel", "core", "policy", "workloads"];
+    crate_component(rel).is_some_and(|c| SIM_CRATES.contains(&c.as_str()))
+}
+
+/// Whether a workspace-relative path belongs to a crate under the
+/// KL009 clock-charge discipline (`crates/kernel`, `crates/mem`).
+pub fn is_charged_crate_path(rel: &Path) -> bool {
+    crate_component(rel).is_some_and(|c| c == "kernel" || c == "mem")
+}
+
+fn crate_component(rel: &Path) -> Option<String> {
     let mut comps = rel.components().map(|c| c.as_os_str().to_string_lossy());
     if comps.next().as_deref() != Some("crates") {
-        return false;
+        return None;
     }
-    match comps.next() {
-        Some(c) => SIM_CRATES.contains(&c.as_ref()),
-        None => false,
-    }
+    comps.next().map(|c| c.into_owned())
 }
 
 /// Collects the workspace `.rs` files to lint under `root`, skipping
@@ -654,22 +430,149 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Lints every workspace source file under `root`. Paths in diagnostics
-/// are workspace-relative.
+/// Lints every workspace source file under `root`, then runs the
+/// crate-level rules (KL006 across each crate's files, KL007 against
+/// each crate's `Cargo.toml`). Paths in diagnostics are
+/// workspace-relative.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     let mut out = Vec::new();
+    // Crate name -> [(rel path, source, parsed, allows)].
+    let mut by_crate: std::collections::BTreeMap<String, Vec<(String, ParsedFile, Allows)>> =
+        std::collections::BTreeMap::new();
     for path in workspace_files(root)? {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let rel_str = rel.display().to_string();
         let source = std::fs::read_to_string(&path)?;
+        let allows = parse_allows(&source);
+        let parsed = ParsedFile::parse(&source);
         let test_path = is_test_path(&rel);
+        let sim = is_sim_crate_path(&rel) || allows.treat_as_sim;
+        let charged = (is_charged_crate_path(&rel) && !test_path) || allows.treat_as_charged;
+
+        let mut diags = rules::check_file(&rel_str, &parsed, sim, charged, &allows);
+        diags.extend(taint::check_file(&rel_str, &parsed, &allows));
         out.extend(
-            lint_source(&rel.display().to_string(), &source, is_sim_crate_path(&rel))
+            diags
                 .into_iter()
                 .filter(|d| !(test_path && d.rule == RULE_UNWRAP)),
         );
+
+        let crate_name = crate_component(&rel).unwrap_or_else(|| "klocs".to_owned());
+        by_crate
+            .entry(crate_name)
+            .or_default()
+            .push((rel_str, parsed, allows));
+    }
+    for (crate_name, files) in &by_crate {
+        let refs: Vec<(String, &ParsedFile)> =
+            files.iter().map(|(p, f, _)| (p.clone(), f)).collect();
+        let allowed = |file: &str, line: usize| {
+            files
+                .iter()
+                .find(|(p, _, _)| p == file)
+                .is_some_and(|(_, _, a)| a.allowed(RULE_SHIM_CONFORMANCE, line))
+        };
+        out.extend(conformance::check_crate(&refs, &allowed));
+
+        let manifest_rel = if crate_name == "klocs" {
+            "Cargo.toml".to_owned()
+        } else {
+            format!("crates/{crate_name}/Cargo.toml")
+        };
+        let manifest_path = root.join(&manifest_rel);
+        if let Ok(text) = std::fs::read_to_string(&manifest_path) {
+            let manifest = hygiene::Manifest::parse(&manifest_rel, &text);
+            let all = workspace_manifests(root)?;
+            let hygiene_allowed = |file: &str, line: usize| {
+                files
+                    .iter()
+                    .find(|(p, _, _)| p == file)
+                    .is_some_and(|(_, _, a)| a.allowed(RULE_CFG_HYGIENE, line))
+            };
+            out.extend(hygiene::check_crate(
+                &manifest,
+                &refs,
+                &all,
+                &hygiene_allowed,
+            ));
+        }
     }
     out.sort();
+    out.dedup();
     Ok(out)
+}
+
+/// Parses every crate manifest in the workspace (the root `Cargo.toml`
+/// plus `crates/*/Cargo.toml`), keyed by package name.
+pub(crate) fn workspace_manifests(
+    root: &Path,
+) -> std::io::Result<std::collections::BTreeMap<String, hygiene::Manifest>> {
+    let mut out = std::collections::BTreeMap::new();
+    let mut paths = vec![("Cargo.toml".to_owned(), root.join("Cargo.toml"))];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for dir in entries {
+            let manifest = dir.join("Cargo.toml");
+            if manifest.is_file() {
+                let rel = manifest
+                    .strip_prefix(root)
+                    .unwrap_or(&manifest)
+                    .display()
+                    .to_string();
+                paths.push((rel, manifest));
+            }
+        }
+    }
+    for (rel, path) in paths {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            let m = hygiene::Manifest::parse(&rel, &text);
+            if !m.package_name.is_empty() {
+                out.insert(m.package_name.clone(), m);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Applies every machine-applicable suggestion in `diags` to the files
+/// under `root`. Returns the list of files changed. Overlapping
+/// suggestions are applied first-wins (later overlapping ones are
+/// skipped); running the lint again converges because applied fixes
+/// remove their diagnostics.
+pub fn apply_fixes(root: &Path, diags: &[Diagnostic]) -> std::io::Result<Vec<String>> {
+    let mut by_file: std::collections::BTreeMap<String, Vec<&Suggestion>> =
+        std::collections::BTreeMap::new();
+    for d in diags {
+        if let Some(s) = &d.suggestion {
+            by_file.entry(s.file.clone()).or_default().push(s);
+        }
+    }
+    let mut changed = Vec::new();
+    for (file, mut suggestions) in by_file {
+        let path = root.join(&file);
+        let mut text = std::fs::read_to_string(&path)?;
+        suggestions.sort_by_key(|s| (s.start, s.end));
+        // Apply back-to-front so earlier offsets stay valid; skip
+        // overlaps (first in offset order wins).
+        let mut kept: Vec<&Suggestion> = Vec::new();
+        let mut last_end = 0usize;
+        for s in &suggestions {
+            if s.start >= last_end && s.end <= text.len() {
+                kept.push(s);
+                last_end = s.end.max(s.start + 1);
+            }
+        }
+        for s in kept.iter().rev() {
+            text.replace_range(s.start..s.end, &s.replacement);
+        }
+        std::fs::write(&path, &text)?;
+        changed.push(file);
+    }
+    Ok(changed)
 }
 
 #[cfg(test)]
@@ -715,7 +618,7 @@ mod tests {
 
     #[test]
     fn ordered_ok_silences_same_and_next_line() {
-        let s = "let m: HashSet<u8> = HashSet::new();\n// lint: ordered-ok — counts only\nfor x in &m {}\nm.iter(); // lint: ordered-ok";
+        let s = "fn f() {\nlet m: HashSet<u8> = HashSet::new();\n// lint: ordered-ok — counts only\nfor x in &m {}\nm.iter(); // lint: ordered-ok\n}";
         assert!(lint_source("t.rs", s, false).is_empty());
     }
 
@@ -733,12 +636,12 @@ mod tests {
 
     #[test]
     fn nondet_rules_only_in_sim_crates() {
-        let s = "let t = Instant::now();\nstd::thread::spawn(|| {});";
+        let s = "fn f() {\nlet t = Instant::now();\nstd::thread::spawn(|| {});\n}";
         assert!(lint_source("t.rs", s, false).is_empty());
         let d = lint_source("t.rs", s, true);
         let rules: Vec<&str> = d.iter().map(|d| d.rule).collect();
-        assert!(rules.contains(&RULE_NONDET_API));
-        assert!(rules.contains(&RULE_THREAD_SPAWN));
+        assert!(rules.contains(&RULE_NONDET_API), "{d:?}");
+        assert!(rules.contains(&RULE_THREAD_SPAWN), "{d:?}");
     }
 
     #[test]
@@ -766,8 +669,25 @@ mod tests {
     }
 
     #[test]
+    fn multiline_expect_is_caught() {
+        // The v1 line scanner missed `.expect(` split across lines.
+        let s = "fn f() {\n    y\n        .expect(\n            \"msg\",\n        );\n}";
+        let d = lint_source("t.rs", s, true);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_UNWRAP);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn patterns_inside_strings_do_not_fire() {
+        let s =
+            "fn f() { let msg = \"call Instant::now or x.unwrap() on a HashMap\"; let _ = msg; }";
+        assert!(lint_source("t.rs", s, true).is_empty());
+    }
+
+    #[test]
     fn unwrap_ok_justification_silences() {
-        let s = "// lint: unwrap-ok — inserted two lines up\nx.unwrap();\ny.expect(\"present\"); // lint: unwrap-ok";
+        let s = "fn f() {\n// lint: unwrap-ok — inserted two lines up\nx.unwrap();\ny.expect(\"present\"); // lint: unwrap-ok\n}";
         assert!(lint_source("t.rs", s, true).is_empty());
     }
 
@@ -779,5 +699,19 @@ mod tests {
         assert!(!is_sim_crate_path(Path::new("crates/sim/src/engine.rs")));
         assert!(!is_sim_crate_path(Path::new("crates/lint/src/lib.rs")));
         assert!(!is_sim_crate_path(Path::new("src/lib.rs")));
+    }
+
+    #[test]
+    fn charged_crate_paths() {
+        assert!(is_charged_crate_path(Path::new("crates/mem/src/system.rs")));
+        assert!(is_charged_crate_path(Path::new(
+            "crates/kernel/src/kernel.rs"
+        )));
+        assert!(!is_charged_crate_path(Path::new(
+            "crates/core/src/knode.rs"
+        )));
+        assert!(!is_charged_crate_path(Path::new(
+            "crates/sim/src/engine.rs"
+        )));
     }
 }

@@ -1,21 +1,28 @@
-//! CLI for the determinism lint: `cargo run -p kloc-lint`.
+//! CLI for the structural determinism lint: `cargo run -p kloc-lint`.
 //!
 //! With no arguments, lints every `.rs` file in the workspace (found by
-//! walking up from the current directory to the `[workspace]` manifest).
-//! With path arguments, lints exactly those files/directories — used by
-//! CI helpers and to demonstrate the fixture diagnostics:
+//! walking up from the current directory to the `[workspace]` manifest)
+//! plus every crate `Cargo.toml`. With path arguments, lints exactly
+//! those files/directories — used by CI helpers and to demonstrate the
+//! fixture diagnostics:
 //!
 //! ```text
 //! cargo run -p kloc-lint -- crates/lint/tests/fixtures
+//! cargo run -p kloc-lint -- --fix          # apply machine-applicable fixes
+//! cargo run -p kloc-lint -- --explain KL006
 //! ```
 //!
-//! Exit status: 0 when clean, 1 when any diagnostic fired, 2 on I/O
-//! errors.
+//! Exit status: 0 when clean (or when `--fix` repaired everything),
+//! 1 when any diagnostic fired (after fixes, under `--fix`), 2 on I/O
+//! or usage errors.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use kloc_lint::{is_sim_crate_path, lint_source, lint_workspace, workspace_files, Diagnostic};
+use kloc_lint::{
+    apply_fixes, explain, is_sim_crate_path, lint_source, lint_workspace, workspace_files,
+    Diagnostic,
+};
 
 fn find_workspace_root() -> Option<PathBuf> {
     let mut dir = std::env::current_dir().ok()?;
@@ -71,35 +78,81 @@ fn lint_explicit(paths: &[String]) -> std::io::Result<Vec<Diagnostic>> {
     Ok(out)
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = if args.is_empty() {
-        let Some(root) = find_workspace_root() else {
-            eprintln!("kloc-lint: no [workspace] Cargo.toml found above the current directory");
-            return ExitCode::from(2);
+fn run() -> Result<ExitCode, std::io::Error> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    if let Some(pos) = args.iter().position(|a| a == "--explain") {
+        let Some(id) = args.get(pos + 1) else {
+            eprintln!("kloc-lint: --explain needs a rule id (KL001..KL009)");
+            return Ok(ExitCode::from(2));
         };
-        lint_workspace(&root).map(|d| {
-            let n = workspace_files(&root).map(|f| f.len()).unwrap_or(0);
-            (d, n)
-        })
-    } else {
-        lint_explicit(&args).map(|d| (d, 0))
-    };
-    match result {
-        Ok((diags, scanned)) => {
-            for d in &diags {
-                println!("{d}");
-            }
-            if diags.is_empty() {
-                if scanned > 0 {
-                    eprintln!("kloc-lint: {scanned} files clean");
-                }
+        return Ok(match explain::explain(id) {
+            Some(text) => {
+                print!("{text}");
                 ExitCode::SUCCESS
-            } else {
-                eprintln!("kloc-lint: {} violation(s)", diags.len());
-                ExitCode::from(1)
             }
+            None => {
+                eprintln!("kloc-lint: unknown rule `{id}` (known: KL001..KL009)");
+                ExitCode::from(2)
+            }
+        });
+    }
+
+    let fix = if let Some(pos) = args.iter().position(|a| a == "--fix") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+
+    if !args.is_empty() {
+        if fix {
+            eprintln!("kloc-lint: --fix only works on the whole workspace (no path arguments)");
+            return Ok(ExitCode::from(2));
         }
+        let diags = lint_explicit(&args)?;
+        return Ok(report(&diags, 0));
+    }
+
+    let Some(root) = find_workspace_root() else {
+        eprintln!("kloc-lint: no [workspace] Cargo.toml found above the current directory");
+        return Ok(ExitCode::from(2));
+    };
+    let mut diags = lint_workspace(&root)?;
+    if fix {
+        let fixable = diags.iter().filter(|d| d.suggestion.is_some()).count();
+        if fixable > 0 {
+            let changed = apply_fixes(&root, &diags)?;
+            for file in &changed {
+                eprintln!("kloc-lint: fixed {file}");
+            }
+            // Re-lint: remaining diagnostics (and any the fixes could
+            // not address) determine the exit code.
+            diags = lint_workspace(&root)?;
+        }
+    }
+    let scanned = workspace_files(&root).map(|f| f.len()).unwrap_or(0);
+    Ok(report(&diags, scanned))
+}
+
+fn report(diags: &[Diagnostic], scanned: usize) -> ExitCode {
+    for d in diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        if scanned > 0 {
+            eprintln!("kloc-lint: {scanned} files clean");
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("kloc-lint: {} violation(s)", diags.len());
+        ExitCode::from(1)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
         Err(e) => {
             eprintln!("kloc-lint: {e}");
             ExitCode::from(2)

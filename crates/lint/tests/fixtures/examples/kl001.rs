@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+fn order(m: &HashMap<u64, u64>) -> Vec<u64> {
+    m.keys().copied().collect() // KL001: hash order differs run to run
+}

@@ -1,0 +1,5 @@
+// lint: treat-as-sim-crate
+fn stamp() -> u64 {
+    let t = std::time::Instant::now(); // KL002: wall clock in a sim crate
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,4 @@
+// lint: treat-as-sim-crate
+fn fan_out(work: Vec<Job>) {
+    std::thread::spawn(move || run(work)); // KL003: kloc-sim owns concurrency
+}

@@ -1,0 +1,3 @@
+fn pack(inode: InodeId) -> u32 {
+    inode.0 as u32 // KL004: silently truncates a 64-bit inode number
+}

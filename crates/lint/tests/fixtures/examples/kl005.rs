@@ -1,0 +1,4 @@
+// lint: treat-as-sim-crate
+fn lookup(frames: &FrameTable, id: FrameId) -> Frame {
+    frames.get(id).unwrap() // KL005: propagate the error instead
+}

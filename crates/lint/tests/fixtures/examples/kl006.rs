@@ -1,0 +1,9 @@
+#[cfg(feature = "kfault")]
+pub fn set_fault_plan(plan: FaultPlan, seed: u64) {
+    PLAN.with(|p| p.set(Some((plan, seed))));
+}
+
+// KL006: the noop shim lost the `seed` parameter — every
+// non-kfault build now has a different API.
+#[cfg(not(feature = "kfault"))]
+pub fn set_fault_plan(_plan: FaultPlan) {}

@@ -1,0 +1,4 @@
+fn summarize(obj: &Knode) -> RunReport {
+    let key = obj as *const Knode as usize; // machine address: varies per run
+    RunReport { order: key } // KL008: pointer identity reaches the report
+}

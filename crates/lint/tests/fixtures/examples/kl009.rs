@@ -1,0 +1,5 @@
+// lint: treat-as-charged-crate
+fn migrate(&mut self, frame: FrameId) {
+    self.frames.touch(frame); // KL009: frame touched without charging
+    self.clock.advance(COPY_COST); // KL009: raw advance outside a charged API
+}

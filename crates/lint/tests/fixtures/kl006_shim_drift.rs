@@ -1,0 +1,27 @@
+//! KL006 fixture: a feature shim whose noop half drifted.
+//! Pinned: the noop `set_fault_plan` lost the `seed` parameter, and
+//! `fault_count` has no noop counterpart at all.
+
+pub struct FaultPlan;
+
+#[cfg(feature = "kfault")]
+pub fn set_fault_plan(plan: FaultPlan, seed: u64) {
+    let _ = (plan, seed);
+}
+
+#[cfg(not(feature = "kfault"))]
+pub fn set_fault_plan(_plan: FaultPlan) {}
+
+#[cfg(feature = "kfault")]
+pub fn fault_count() -> u64 {
+    7
+}
+
+// A conforming pair: must stay silent.
+#[cfg(feature = "kfault")]
+pub fn clear_plan(slot: usize) {
+    let _ = slot;
+}
+
+#[cfg(not(feature = "kfault"))]
+pub fn clear_plan(_slot: usize) {}

@@ -1,0 +1,21 @@
+//! KL008 fixture: nondeterministic values reaching report output.
+//! Pinned: a pointer-identity key written into a report field, and a
+//! hash-iteration binding used as a sort key.
+
+pub struct RunReport {
+    pub order: usize,
+}
+
+pub fn summarize(obj: &u64) -> RunReport {
+    let key = obj as *const u64 as usize;
+    RunReport { order: key }
+}
+
+pub fn first_key(index: &std::collections::HashMap<u64, u64>) -> Vec<u64> {
+    let mut out: Vec<u64> = Vec::new();
+    // lint: ordered-ok — KL008 is the rule under test here.
+    for k in index.keys() {
+        out.sort_by_key(|_| *k);
+    }
+    out
+}

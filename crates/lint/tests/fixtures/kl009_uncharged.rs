@@ -1,0 +1,26 @@
+//! KL009 fixture: clock/charge discipline violations.
+//! Pinned: a raw frame touch, a raw clock advance, and a DiskOp
+//! submitted outside disk_retry/fault_take_disk.
+// lint: treat-as-charged-crate
+
+pub fn migrate(frames: &mut FrameTable, clock: &mut Clock, frame: u64) {
+    frames.touch(frame);
+    clock.advance(100);
+}
+
+pub fn submit(dev: &mut Disk) {
+    dev.submit(DiskOp::Read);
+}
+
+pub fn classify(op: DiskOp) -> bool {
+    // Pattern positions are match arms, not submissions: stay silent.
+    match op {
+        DiskOp::Read | DiskOp::Write => true,
+        DiskOp::Fsync => false,
+    }
+}
+
+pub fn disk_retry(dev: &mut Disk) {
+    // Inside a charged API body: exempt.
+    dev.submit(DiskOp::Fsync);
+}

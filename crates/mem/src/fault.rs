@@ -210,6 +210,9 @@ impl FaultPlan {
             Nanos::new(rng.gen_range(lo..hi))
         }
         let mut plan = FaultPlan::new();
+        // These DiskOps parameterize a fault plan; they are never
+        // submitted to the device model from here.
+        // lint: charge-ok
         for op in [DiskOp::Read, DiskOp::Write, DiskOp::Fsync] {
             for window in [(0, 4), (4, 8)] {
                 let t = at(&mut rng, h, window.0, window.1);

@@ -211,7 +211,7 @@ fn check_cell(label: &str, committed: f64, fresh: f64) -> CellCheck {
 /// distinct stale-baseline notice when improvements (and no
 /// regressions) tripped the check.
 fn check_verdict(outcomes: &[CellCheck]) -> ExitCode {
-    if outcomes.iter().any(|&c| c == CellCheck::Regressed) {
+    if outcomes.contains(&CellCheck::Regressed) {
         return ExitCode::FAILURE;
     }
     let stale = outcomes.iter().filter(|&&c| c == CellCheck::Stale).count();
