@@ -18,7 +18,7 @@
 
 use std::collections::BTreeSet;
 
-use kloc_mem::{FrameId, MemorySystem, Nanos, PageKind, TierId};
+use kloc_mem::{FrameId, MemorySystem, Nanos, PageKind, TenantId, TierId};
 
 use kloc_kernel::hooks::CpuId;
 use kloc_kernel::vfs::InodeId;
@@ -107,6 +107,15 @@ pub struct KlocRegistry {
     /// change can alter. (The registry's own demotions never touch
     /// frames a settled walk could still move, so they don't key it.)
     extern_demotions: u64,
+    /// Knode owner tenants, dense by inode id (inode ids are sequential
+    /// and never reused). Kept outside [`KlocStats`] so single-tenant
+    /// reports are unchanged.
+    owners: Vec<TenantId>,
+    /// Per-tenant count of knode accesses that crossed a tenant
+    /// boundary (accessor != knode owner), dense by the *accessor's*
+    /// [`TenantId::index`] — the shared-inode / shared-socket
+    /// attribution signal of the multi-tenant model.
+    shared_accesses: Vec<u64>,
 }
 
 impl KlocRegistry {
@@ -119,6 +128,8 @@ impl KlocRegistry {
             stats: KlocStats::default(),
             promotion_epoch: 0,
             extern_demotions: 0,
+            owners: Vec::new(),
+            shared_accesses: Vec::new(),
             config,
         }
     }
@@ -166,6 +177,39 @@ impl KlocRegistry {
         }
         self.stats.knodes_created += 1;
         emit_knode_state(inode, now, "created");
+    }
+
+    /// [`KlocRegistry::inode_created`] with an explicit owner tenant:
+    /// the creating tenant becomes the knode's owner for shared-access
+    /// attribution. The tenant-less variant owns to
+    /// [`TenantId::DEFAULT`].
+    pub fn inode_created_by(&mut self, inode: InodeId, cpu: CpuId, tenant: TenantId, now: Nanos) {
+        if self.config.enabled && tenant != TenantId::DEFAULT {
+            let i = inode.0 as usize;
+            if i >= self.owners.len() {
+                self.owners.resize(i + 1, TenantId::DEFAULT);
+            }
+            self.owners[i] = tenant;
+        }
+        self.inode_created(inode, cpu, now);
+    }
+
+    /// The owner tenant of `inode`'s knode ([`TenantId::DEFAULT`] when
+    /// it was created without one).
+    pub fn knode_owner(&self, inode: InodeId) -> TenantId {
+        self.owners
+            .get(inode.0 as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Knode accesses by `tenant` that touched another tenant's knode
+    /// (shared files and shared sockets).
+    pub fn shared_accesses_of(&self, tenant: TenantId) -> u64 {
+        self.shared_accesses
+            .get(tenant.index())
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Inode (re)opened: mark the knode active.
@@ -266,6 +310,30 @@ impl KlocRegistry {
         }
         let Some(inode) = info.inode else { return };
         self.knode_event(cpu, inode, |k, epoch| k.touch_at(cpu, now, epoch));
+    }
+
+    /// [`KlocRegistry::object_accessed`] with the accessing tenant: when
+    /// the accessor differs from the knode's owner, the access is
+    /// counted as shared (cross-tenant) against the accessor.
+    pub fn object_accessed_by(
+        &mut self,
+        info: &ObjectInfo,
+        cpu: CpuId,
+        tenant: TenantId,
+        now: Nanos,
+    ) {
+        if self.config.enabled && self.includes(info.ty) {
+            if let Some(inode) = info.inode {
+                if self.knode_owner(inode) != tenant {
+                    let i = tenant.index();
+                    if i >= self.shared_accesses.len() {
+                        self.shared_accesses.resize(i + 1, 0);
+                    }
+                    self.shared_accesses[i] += 1;
+                }
+            }
+        }
+        self.object_accessed(info, cpu, now);
     }
 
     /// Hot-path knode mutation: per-CPU list first, then a counted kmap

@@ -11,7 +11,7 @@
 //! All kernel entry points take a [`Ctx`], which bundles the memory
 //! system, the hooks, and the CPU performing the operation.
 
-use kloc_mem::{FrameId, MemorySystem, PageKind, TierId};
+use kloc_mem::{FrameId, MemorySystem, PageKind, TenantId, TierId};
 
 use crate::obj::{KernelObjectType, ObjectId, ObjectInfo};
 use crate::vfs::InodeId;
@@ -40,6 +40,11 @@ pub struct PageRequest {
     pub readahead: bool,
     /// CPU performing the allocation.
     pub cpu: CpuId,
+    /// Tenant on whose behalf the allocation is made
+    /// ([`TenantId::DEFAULT`] in single-tenant runs). Budget-aware
+    /// policies compare the tenant's fast-tier residency against its
+    /// budget when choosing the placement.
+    pub tenant: TenantId,
 }
 
 /// Tier preference order for a new page. The kernel tries tiers in order
@@ -97,8 +102,16 @@ pub trait KernelHooks {
         false
     }
 
-    /// An inode (file or socket) was created.
-    fn on_inode_create(&mut self, _inode: InodeId, _cpu: CpuId, _mem: &mut MemorySystem) {}
+    /// An inode (file or socket) was created by `tenant`. The tenant
+    /// becomes the knode's owner for shared-object attribution (§12).
+    fn on_inode_create(
+        &mut self,
+        _inode: InodeId,
+        _cpu: CpuId,
+        _tenant: TenantId,
+        _mem: &mut MemorySystem,
+    ) {
+    }
 
     /// An inode was opened (open count 0 -> 1 marks it active).
     fn on_inode_open(&mut self, _inode: InodeId, _cpu: CpuId, _mem: &mut MemorySystem) {}
@@ -132,13 +145,16 @@ pub trait KernelHooks {
     ) {
     }
 
-    /// A kernel object was accessed.
+    /// A kernel object was accessed by `tenant`. When the accessor is
+    /// not the owning knode's tenant, KLOC attribution records a shared
+    /// access (shared-inode/shared-socket case, §12).
     fn on_object_access(
         &mut self,
         _obj: ObjectId,
         _info: &ObjectInfo,
         _frame: FrameId,
         _cpu: CpuId,
+        _tenant: TenantId,
         _mem: &mut MemorySystem,
     ) {
     }
@@ -178,6 +194,10 @@ pub struct Ctx<'a> {
     pub cpu: CpuId,
     /// NUMA socket of `cpu` (0 in non-NUMA topologies).
     pub socket: u8,
+    /// Tenant on whose behalf the operation runs
+    /// ([`TenantId::DEFAULT`] in single-tenant runs). Multi-tenant
+    /// workloads set this per session step, exactly like `cpu`.
+    pub tenant: TenantId,
 }
 
 impl<'a> Ctx<'a> {
@@ -188,6 +208,7 @@ impl<'a> Ctx<'a> {
             hooks,
             cpu: CpuId(0),
             socket: 0,
+            tenant: TenantId::DEFAULT,
         }
     }
 
@@ -203,6 +224,7 @@ impl<'a> Ctx<'a> {
             hooks,
             cpu,
             socket,
+            tenant: TenantId::DEFAULT,
         }
     }
 }
@@ -268,6 +290,7 @@ mod tests {
             inode: None,
             readahead: false,
             cpu: CpuId(0),
+            tenant: TenantId::DEFAULT,
         };
         assert_eq!(h.place_page(&req, &mem), Placement::slow_only());
         assert!(!h.relocatable_kernel_alloc());

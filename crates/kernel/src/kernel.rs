@@ -16,7 +16,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use kloc_mem::{DiskOp, FrameId, FrameSet, PageKind};
+use kloc_mem::{DiskOp, FrameId, FrameSet, PageKind, TenantId};
 
 use crate::block::BlockLayer;
 use crate::disk::{Disk, IoPattern};
@@ -33,6 +33,7 @@ use crate::readahead::Readahead;
 use crate::recovery::{DurableStore, JournalRecord, Promise};
 use crate::slab::PackedAllocator;
 use crate::stats::{KernelStats, Syscall};
+use crate::tenant::{TenantSpec, TenantStats, TenantTable};
 use crate::vfs::{Fd, Inode, InodeId, InodeKind, Vfs};
 
 /// The simulated kernel.
@@ -66,6 +67,8 @@ pub struct Kernel {
     promise: Promise,
     stats: KernelStats,
     net_stats: NetStats,
+    /// Tenant registry: specs, per-tenant counters, self-eviction FIFO.
+    tenants: TenantTable,
 }
 
 impl Kernel {
@@ -95,6 +98,7 @@ impl Kernel {
             promise: Promise::default(),
             stats: KernelStats::default(),
             net_stats: NetStats::default(),
+            tenants: TenantTable::new(),
             params,
         }
     }
@@ -112,6 +116,22 @@ impl Kernel {
     /// Network statistics.
     pub fn net_stats(&self) -> &NetStats {
         &self.net_stats
+    }
+
+    /// Registers (or replaces) a tenant. Budgets take effect on the
+    /// tenant's next allocation; nothing is reclaimed retroactively.
+    pub fn register_tenant(&mut self, spec: TenantSpec) {
+        self.tenants.register(spec);
+    }
+
+    /// The tenant registry (specs + per-tenant counters).
+    pub fn tenants(&self) -> &TenantTable {
+        &self.tenants
+    }
+
+    /// A copy of one tenant's counters (zeros if it never acted).
+    pub fn tenant_stats(&self, id: TenantId) -> TenantStats {
+        self.tenants.stats(id)
     }
 
     /// The storage device.
@@ -234,9 +254,17 @@ impl Kernel {
                     inode,
                     readahead,
                     cpu: ctx.cpu,
+                    tenant: ctx.tenant,
                 };
                 let placement = ctx.hooks.place_page(&req, ctx.mem);
-                ctx.mem.allocate_preferring(&placement.preference, kind)?
+                let frame = ctx.mem.allocate_preferring(&placement.preference, kind)?;
+                // Page-backed kernel frames are owned by the allocating
+                // tenant; slab frames stay on TenantId::DEFAULT because
+                // a packed slab page can host objects of many tenants.
+                if ctx.tenant != TenantId::DEFAULT {
+                    ctx.mem.set_frame_tenant(frame, ctx.tenant)?;
+                }
+                frame
             }
         };
         let info = ObjectInfo {
@@ -308,7 +336,7 @@ impl Kernel {
         }
         self.cache_lru.mark_accessed(kobj.frame);
         ctx.hooks
-            .on_object_access(obj, &kobj.info, kobj.frame, ctx.cpu, ctx.mem);
+            .on_object_access(obj, &kobj.info, kobj.frame, ctx.cpu, ctx.tenant, ctx.mem);
         Ok(())
     }
 
@@ -420,7 +448,7 @@ impl Kernel {
             return Err(KernelError::Exists(path.to_owned()));
         }
         let ino = self.vfs.next_inode_id();
-        ctx.hooks.on_inode_create(ino, ctx.cpu, ctx.mem);
+        ctx.hooks.on_inode_create(ino, ctx.cpu, ctx.tenant, ctx.mem);
 
         let inode_obj = self.alloc_object(ctx, KernelObjectType::Inode, Some(ino), false)?;
         self.access_object(ctx, inode_obj, KernelObjectType::Inode.size(), true)?;
@@ -431,6 +459,7 @@ impl Kernel {
         let inode = Inode {
             id: ino,
             kind: InodeKind::RegularFile,
+            owner: ctx.tenant,
             size: 0,
             nlink: 1,
             open_count: 1,
@@ -647,7 +676,7 @@ impl Kernel {
                     let info = kobj.info;
                     let frame = kobj.frame;
                     ctx.hooks
-                        .on_object_access(page.obj, &info, frame, ctx.cpu, ctx.mem);
+                        .on_object_access(page.obj, &info, frame, ctx.cpu, ctx.tenant, ctx.mem);
                 }
             }
             None => {
@@ -679,6 +708,14 @@ impl Kernel {
         dirty: bool,
         readahead: bool,
     ) -> Result<FrameId, KernelError> {
+        // Per-tenant cache cap: the page's *owner* (the inode's creator,
+        // not the faulting tenant) self-evicts before this insert, so a
+        // capped tenant can never exceed its budget — and never reclaims
+        // a neighbour's page doing so.
+        let owner = self.vfs.inode(ino).ok_or(KernelError::BadInode(ino))?.owner;
+        if let Some(cap) = self.tenants.pc_budget(owner) {
+            self.enforce_tenant_pc_cap(ctx, owner, cap)?;
+        }
         let needs_node = self
             .vfs
             .inode(ino)
@@ -705,11 +742,45 @@ impl Kernel {
         self.cache_lru.mark_accessed(frame);
         self.cache_index.insert(frame, ino, idx);
         self.cache_pages += 1;
+        self.tenants.note_pc_insert(owner, ino, idx);
         if dirty {
             self.dirty_pages += 1;
             self.dirty_list.push_back((ino, idx));
         }
         Ok(frame)
+    }
+
+    /// Self-eviction for a tenant at or over its page-cache cap: reclaim
+    /// the tenant's own oldest cached page (flushing it first when
+    /// dirty), skipping ledger entries already removed by the global
+    /// shrinker or an unlink. Runs before an insert, so the incoming
+    /// page is never its own victim.
+    fn enforce_tenant_pc_cap(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        owner: TenantId,
+        cap: u64,
+    ) -> Result<(), KernelError> {
+        while self.tenants.stats(owner).pc_resident >= cap {
+            let Some((vino, vidx)) = self.tenants.pop_oldest(owner) else {
+                break;
+            };
+            let dirty = self
+                .vfs
+                .inode(vino)
+                .and_then(|i| i.cache.get(vidx))
+                .map(|p| p.dirty);
+            let Some(dirty) = dirty else {
+                continue; // stale ledger entry
+            };
+            if dirty {
+                self.flush_pages(ctx, vino, &[vidx])?;
+            }
+            self.drop_cache_page(ctx, vino, vidx)?;
+            self.tenants.stats_mut(owner).pc_self_evicted += 1;
+            self.stats.reclaimed_pages += 1;
+        }
+        Ok(())
     }
 
     fn note_prefetch_hit(&mut self, frame: FrameId) {
@@ -806,7 +877,7 @@ impl Kernel {
                     let info = kobj.info;
                     let frame = kobj.frame;
                     ctx.hooks
-                        .on_object_access(page.obj, &info, frame, ctx.cpu, ctx.mem);
+                        .on_object_access(page.obj, &info, frame, ctx.cpu, ctx.tenant, ctx.mem);
                 }
             }
             None => {
@@ -1059,6 +1130,22 @@ impl Kernel {
                     idx,
                     dirty: u64::from(dirty),
                 });
+                // Cross-tenant attribution: the tenant driving this
+                // allocation evicted a page owned by another tenant.
+                // Never fires in single-tenant runs (both sides are
+                // TenantId::DEFAULT), so existing traces are unchanged.
+                let victim = self.vfs.inode(ino).map(|i| i.owner).unwrap_or_default();
+                if victim != ctx.tenant {
+                    self.tenants.stats_mut(ctx.tenant).cross_evictions_caused += 1;
+                    self.tenants.stats_mut(victim).cross_evictions_suffered += 1;
+                    kloc_trace::emit(|| kloc_trace::Event::TenantEvict {
+                        t,
+                        evictor: u64::from(ctx.tenant.0),
+                        victim: u64::from(victim.0),
+                        ino: ino.0,
+                        idx,
+                    });
+                }
                 self.drop_cache_page(ctx, ino, idx)?;
                 self.stats.reclaimed_pages += 1;
             }
@@ -1074,17 +1161,18 @@ impl Kernel {
         ino: InodeId,
         idx: u64,
     ) -> Result<(), KernelError> {
-        let removed = {
+        let (removed, owner) = {
             let inode = self.vfs.inode_mut(ino).ok_or(KernelError::BadInode(ino))?;
             let was_dirty = inode.cache.get(idx).map(|p| p.dirty).unwrap_or(false);
             if was_dirty {
                 self.dirty_pages -= 1;
             }
-            inode.cache.remove(idx)
+            (inode.cache.remove(idx), inode.owner)
         };
         let Some(removed) = removed else {
             return Ok(());
         };
+        self.tenants.note_pc_removed(owner, 1);
         self.free_object(ctx, removed.page.obj)?;
         if let Some(node) = removed.freed_node {
             self.free_object(ctx, node)?;
@@ -1149,6 +1237,10 @@ impl Kernel {
             .remove_inode(ino)
             .ok_or(KernelError::BadInode(ino))?;
         self.dirty_pages -= inode.cache.dirty_pages();
+        let cached = inode.cache.len() as u64;
+        if cached > 0 {
+            self.tenants.note_pc_removed(inode.owner, cached);
+        }
         let (pages, nodes) = inode.cache.take_all();
         for p in pages {
             self.free_object(ctx, p.obj)?;
@@ -1189,7 +1281,7 @@ impl Kernel {
             return Err(KernelError::Exists(path.to_owned()));
         }
         let ino = self.vfs.next_inode_id();
-        ctx.hooks.on_inode_create(ino, ctx.cpu, ctx.mem);
+        ctx.hooks.on_inode_create(ino, ctx.cpu, ctx.tenant, ctx.mem);
         let inode_obj = self.alloc_object(ctx, KernelObjectType::Inode, Some(ino), false)?;
         self.access_object(ctx, inode_obj, KernelObjectType::Inode.size(), true)?;
         let dentry_obj = self.alloc_object(ctx, KernelObjectType::Dentry, Some(ino), false)?;
@@ -1198,6 +1290,7 @@ impl Kernel {
         let inode = Inode {
             id: ino,
             kind: InodeKind::Directory,
+            owner: ctx.tenant,
             size: 0,
             nlink: 1,
             open_count: 0,
@@ -1276,7 +1369,7 @@ impl Kernel {
         let _attrib = kloc_trace::scope("socket");
         self.crash_check(ctx)?;
         let ino = self.vfs.next_inode_id();
-        ctx.hooks.on_inode_create(ino, ctx.cpu, ctx.mem);
+        ctx.hooks.on_inode_create(ino, ctx.cpu, ctx.tenant, ctx.mem);
         let inode_obj = self.alloc_object(ctx, KernelObjectType::Inode, Some(ino), false)?;
         self.access_object(ctx, inode_obj, KernelObjectType::Inode.size(), true)?;
         let sock_obj = self.alloc_object(ctx, KernelObjectType::Sock, Some(ino), false)?;
@@ -1284,6 +1377,7 @@ impl Kernel {
         let inode = Inode {
             id: ino,
             kind: InodeKind::Socket,
+            owner: ctx.tenant,
             size: 0,
             nlink: 1,
             open_count: 1,
@@ -1341,6 +1435,7 @@ impl Kernel {
             self.net_stats.tx_packets += 1;
         }
         self.net_stats.tx_bytes += bytes;
+        self.tenants.stats_mut(ctx.tenant).tx_bytes += bytes;
         self.vfs
             .inode_mut(ino)
             .ok_or(KernelError::BadInode(ino))?
@@ -1460,6 +1555,7 @@ impl Kernel {
                 self.free_object(ctx, d)?;
             }
         }
+        self.tenants.stats_mut(ctx.tenant).rx_bytes += got;
         self.vfs
             .inode_mut(ino)
             .ok_or(KernelError::BadInode(ino))?
@@ -1486,9 +1582,13 @@ impl Kernel {
             inode: None,
             readahead: false,
             cpu: ctx.cpu,
+            tenant: ctx.tenant,
         };
         let placement = ctx.hooks.place_page(&req, ctx.mem);
         let frame = ctx.mem.allocate_preferring(&placement.preference, kind)?;
+        if ctx.tenant != TenantId::DEFAULT {
+            ctx.mem.set_frame_tenant(frame, ctx.tenant)?;
+        }
         self.stats.app_pages_allocated += 1;
         ctx.hooks.on_app_page_alloc(frame, ctx.cpu, ctx.mem);
         Ok(frame)
@@ -1533,9 +1633,15 @@ impl Kernel {
 
         let mut cached = 0u64;
         let mut dirty = 0u64;
+        let mut by_owner: Vec<u64> = Vec::new();
         for inode in self.vfs.inodes() {
             cached += inode.cache.len() as u64;
             dirty += inode.cache.dirty_pages();
+            let o = inode.owner.index();
+            if o >= by_owner.len() {
+                by_owner.resize(o + 1, 0);
+            }
+            by_owner[o] += inode.cache.len() as u64;
             for (idx, page) in inode.cache.iter() {
                 let object = format!("{} page {idx} ({})", inode.id, page.frame);
                 if self.cache_index.get(page.frame) != Some((inode.id, idx)) {
@@ -1604,6 +1710,22 @@ impl Kernel {
             ));
         }
         self.cache_lru.ksan_audit(out);
+        // Per-tenant residency: each tenant's pc_resident counter equals
+        // the cached pages of the inodes it owns.
+        for i in 0..by_owner.len().max(self.tenants.stats_len()) {
+            let id = TenantId(i as u16);
+            let counted = by_owner.get(i).copied().unwrap_or(0);
+            let stored = self.tenants.stats(id).pc_resident;
+            if counted != stored {
+                out.push(Violation::new(
+                    "TenantTable.pc_resident <-> PageCache",
+                    format!("{id}"),
+                    "per-tenant residency equals the cached pages of owned inodes",
+                    format!("{counted} cached pages"),
+                    format!("pc_resident = {stored}"),
+                ));
+            }
+        }
         // Reverse direction: every reverse-map entry round-trips into
         // the owning inode's page cache.
         for (frame, ino, idx) in self.cache_index.iter() {
@@ -2072,6 +2194,105 @@ mod tests {
         assert!(early_cost < late_cost, "early demux must be cheaper");
         assert_eq!(k1.net_stats().early_demuxed, 1);
         assert_eq!(k2.net_stats().early_demuxed, 0);
+    }
+
+    fn tenant_spec(id: u16, pc_budget: Option<u64>) -> crate::tenant::TenantSpec {
+        crate::tenant::TenantSpec {
+            id: TenantId(id),
+            name: format!("t{id}"),
+            qos: crate::tenant::QosClass::Burstable,
+            fast_budget_frames: None,
+            pc_budget,
+        }
+    }
+
+    #[test]
+    fn tenant_pc_cap_self_evicts() {
+        let (mut mem, mut hooks, mut k) = setup();
+        k.register_tenant(tenant_spec(1, Some(4)));
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        ctx.tenant = TenantId(1);
+        let fd = k.create(&mut ctx, "/f").unwrap();
+        k.write(&mut ctx, fd, 0, 16 * 4096).unwrap();
+        let s = k.tenant_stats(TenantId(1));
+        assert_eq!(s.pc_inserted, 16);
+        assert!(s.pc_resident <= 4, "cap enforced, got {}", s.pc_resident);
+        assert!(s.pc_self_evicted >= 12);
+        assert_eq!(
+            k.tenant_stats(TenantId::DEFAULT).pc_resident,
+            0,
+            "nothing charged to the shared kernel"
+        );
+        assert_eq!(s.cross_evictions_caused, 0);
+        assert_eq!(s.cross_evictions_suffered, 0);
+    }
+
+    #[test]
+    fn cross_tenant_evictions_are_attributed() {
+        let (mut mem, mut hooks, mut k) = setup();
+        // Small global budget, no per-tenant caps: the churner spills
+        // into the shared shrinker and evicts the neighbour's pages.
+        k.params.page_cache_budget = 8;
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        ctx.tenant = TenantId(1);
+        let hot = k.create(&mut ctx, "/hot").unwrap();
+        k.write(&mut ctx, hot, 0, 6 * 4096).unwrap();
+        ctx.tenant = TenantId(2);
+        let churn = k.create(&mut ctx, "/churn").unwrap();
+        k.write(&mut ctx, churn, 0, 32 * 4096).unwrap();
+        let t2 = k.tenant_stats(TenantId(2));
+        assert!(t2.cross_evictions_caused > 0, "churn evicted the neighbour");
+        assert_eq!(
+            k.tenant_stats(TenantId(1)).cross_evictions_suffered,
+            t2.cross_evictions_caused
+        );
+    }
+
+    #[test]
+    fn tenant_budgets_prevent_cross_eviction() {
+        let (mut mem, mut hooks, mut k) = setup();
+        // Per-tenant caps sum (12) below the global budget (16): the
+        // global shrinker never runs, so the churner can only reclaim
+        // from itself and the hot set stays intact.
+        k.params.page_cache_budget = 16;
+        k.register_tenant(tenant_spec(1, Some(6)));
+        k.register_tenant(tenant_spec(2, Some(6)));
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        ctx.tenant = TenantId(1);
+        let hot = k.create(&mut ctx, "/hot").unwrap();
+        k.write(&mut ctx, hot, 0, 6 * 4096).unwrap();
+        ctx.tenant = TenantId(2);
+        let churn = k.create(&mut ctx, "/churn").unwrap();
+        k.write(&mut ctx, churn, 0, 64 * 4096).unwrap();
+        let t1 = k.tenant_stats(TenantId(1));
+        let t2 = k.tenant_stats(TenantId(2));
+        assert_eq!(t2.cross_evictions_caused, 0);
+        assert_eq!(t1.cross_evictions_suffered, 0);
+        assert_eq!(t1.pc_resident, 6, "hot set intact");
+        assert_eq!(t1.pc_self_evicted, 0);
+        assert!(t2.pc_self_evicted >= 58);
+        assert!(k.cache_pages() <= 16);
+    }
+
+    #[test]
+    fn socket_bytes_are_attributed_to_tenants() {
+        let (mut mem, mut hooks, mut k) = setup();
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        ctx.tenant = TenantId(3);
+        let fd = k.socket(&mut ctx).unwrap();
+        k.send(&mut ctx, fd, 3000).unwrap();
+        k.deliver(&mut ctx, fd, 2000).unwrap();
+        // A different tenant drains the shared socket: rx lands on the
+        // reader, not the socket's owner.
+        ctx.tenant = TenantId(4);
+        k.recv(&mut ctx, fd, 10_000).unwrap();
+        assert_eq!(k.tenant_stats(TenantId(3)).tx_bytes, 3000);
+        assert_eq!(k.tenant_stats(TenantId(3)).rx_bytes, 0);
+        assert_eq!(k.tenant_stats(TenantId(4)).rx_bytes, 2000);
+        assert_eq!(
+            k.vfs().inode(k.vfs().fd(fd).unwrap().inode).unwrap().owner,
+            TenantId(3)
+        );
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod readahead;
 pub mod recovery;
 pub mod slab;
 pub mod stats;
+pub mod tenant;
 pub mod vfs;
 
 pub use error::KernelError;
@@ -74,4 +75,5 @@ pub use obj::{Backing, KernelObjectType, ObjectId, ObjectInfo};
 pub use params::KernelParams;
 pub use recovery::{check, recover, CrashViolation, DurableStore, Promise, RecoveredState};
 pub use stats::KernelStats;
+pub use tenant::{QosClass, TenantSpec, TenantStats, TenantTable};
 pub use vfs::{Fd, InodeId, InodeKind};

@@ -215,13 +215,17 @@ impl PackedAllocator {
             cache.partial.pop();
         }
 
-        // Grab a new frame, placed by the policy.
+        // Grab a new frame, placed by the policy. Slab frames are shared
+        // infrastructure — one packed page can host many tenants'
+        // objects — so the request (and the frame) stays on
+        // `TenantId::DEFAULT` and per-tenant fast budgets do not apply.
         let req = PageRequest {
             kind: self.kind,
             ty: Some(ty),
             inode,
             readahead,
             cpu: ctx.cpu,
+            tenant: kloc_mem::TenantId::DEFAULT,
         };
         let placement = ctx.hooks.place_page(&req, ctx.mem);
         let frame = ctx

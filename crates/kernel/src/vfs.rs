@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use kloc_mem::Nanos;
+use kloc_mem::{Nanos, TenantId};
 
 use crate::extent::ExtentTree;
 use crate::net::RxQueue;
@@ -58,6 +58,10 @@ pub struct Inode {
     pub id: InodeId,
     /// File or socket.
     pub kind: InodeKind,
+    /// Tenant that created the inode — the attribution anchor for the
+    /// knode's page-cache residency and cross-tenant eviction accounting
+    /// ([`TenantId::DEFAULT`] in single-tenant runs).
+    pub owner: TenantId,
     /// File size in bytes (0 for sockets).
     pub size: u64,
     /// Link count; 0 means unlinked (destroyed when last handle closes).
@@ -286,6 +290,7 @@ mod tests {
         Inode {
             id,
             kind,
+            owner: TenantId::DEFAULT,
             size: 0,
             nlink: 1,
             open_count: 0,

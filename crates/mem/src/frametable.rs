@@ -19,6 +19,7 @@
 use crate::clock::Nanos;
 use crate::frame::{Frame, FrameId, PageKind};
 use crate::shard::{ShardConfig, ShardedFreeLists};
+use crate::tenant::TenantId;
 use crate::tier::TierId;
 
 const SLOT_BITS: u32 = 32;
@@ -66,6 +67,10 @@ pub struct FrameTable {
     last_access: Vec<Nanos>,
     /// Access-count column.
     accesses: Vec<u64>,
+    /// Owning-tenant column. Frames are born owned by
+    /// [`TenantId::DEFAULT`]; the kernel restamps them when an
+    /// allocation is attributable to a specific tenant.
+    tenants: Vec<TenantId>,
     /// Generation of the *next* id handed out for each slot.
     generations: Vec<u32>,
     /// Free slots, allocated in exact global-LIFO order.
@@ -96,6 +101,7 @@ impl FrameTable {
             allocated_at: Vec::new(),
             last_access: Vec::new(),
             accesses: Vec::new(),
+            tenants: Vec::new(),
             generations: Vec::new(),
             free: ShardedFreeLists::new(cfg),
             live: 0,
@@ -168,6 +174,7 @@ impl FrameTable {
                 self.allocated_at[slot] = frame.allocated_at();
                 self.last_access[slot] = frame.last_access();
                 self.accesses[slot] = frame.accesses();
+                self.tenants[slot] = TenantId::DEFAULT;
             }
             None => {
                 self.ids.push(id);
@@ -178,6 +185,7 @@ impl FrameTable {
                 self.allocated_at.push(frame.allocated_at());
                 self.last_access.push(frame.last_access());
                 self.accesses.push(frame.accesses());
+                self.tenants.push(TenantId::DEFAULT);
                 self.generations.push(1); // generation 0 handed out
             }
         }
@@ -241,6 +249,29 @@ impl FrameTable {
             return None;
         }
         Some(self.tiers[slot])
+    }
+
+    /// Looks up just the owning-tenant column; `None` for stale ids.
+    /// Budget checks and eviction attribution read only this field, so
+    /// the probe stays a single column access.
+    #[inline]
+    pub fn tenant_of_live(&self, id: FrameId) -> Option<TenantId> {
+        let slot = slot_of(id);
+        if self.ids.get(slot) != Some(&id) {
+            return None;
+        }
+        Some(self.tenants[slot])
+    }
+
+    /// Restamps a live frame's owning tenant, returning the previous
+    /// owner; `None` for stale ids.
+    #[inline]
+    pub fn set_tenant(&mut self, id: FrameId, tenant: TenantId) -> Option<TenantId> {
+        let slot = slot_of(id);
+        if self.ids.get(slot) != Some(&id) {
+            return None;
+        }
+        Some(std::mem::replace(&mut self.tenants[slot], tenant))
     }
 
     /// Looks up just the last-access column; `None` for stale ids.
@@ -333,6 +364,7 @@ impl FrameTable {
             ("allocated_at", self.allocated_at.len()),
             ("last_access", self.last_access.len()),
             ("accesses", self.accesses.len()),
+            ("tenants", self.tenants.len()),
             ("generations", self.generations.len()),
         ];
         for (name, len) in columns {
@@ -599,6 +631,24 @@ mod tests {
         assert_eq!(f.tier(), TierId::SLOW);
         assert_eq!(f.migrations(), 1);
         assert!(!t.record_migration(FrameId(99), TierId::FAST));
+    }
+
+    #[test]
+    fn tenant_stamp_survives_until_slot_reuse() {
+        let (mut t, ids) = table_with(2);
+        assert_eq!(t.tenant_of_live(ids[0]), Some(TenantId::DEFAULT));
+        assert_eq!(t.set_tenant(ids[0], TenantId(7)), Some(TenantId::DEFAULT));
+        assert_eq!(t.tenant_of_live(ids[0]), Some(TenantId(7)));
+        assert_eq!(t.tenant_of_live(ids[1]), Some(TenantId::DEFAULT));
+
+        // Recycling the slot resets ownership to the default tenant.
+        t.remove(ids[0]).unwrap();
+        assert_eq!(t.tenant_of_live(ids[0]), None);
+        assert_eq!(t.set_tenant(ids[0], TenantId(9)), None, "stale id misses");
+        let id = t.next_id();
+        t.insert(Frame::new(id, TierId::FAST, PageKind::AppData, Nanos::ZERO));
+        assert_eq!(id.0 & SLOT_MASK, ids[0].0 & SLOT_MASK, "slot recycled");
+        assert_eq!(t.tenant_of_live(id), Some(TenantId::DEFAULT));
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod rng;
 pub mod shard;
 pub mod stats;
 pub mod system;
+pub mod tenant;
 pub mod tier;
 
 pub use clock::{Clock, Nanos};
@@ -64,4 +65,5 @@ pub use rng::SplitMix64;
 pub use shard::{ShardConfig, ShardedFreeLists};
 pub use stats::{MemStats, TierStats};
 pub use system::{AccessOp, MemorySystem};
+pub use tenant::TenantId;
 pub use tier::{TierId, TierKind, TierSpec};

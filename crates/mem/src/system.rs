@@ -17,6 +17,7 @@ use crate::frametable::FrameTable;
 use crate::l4cache::L4Cache;
 use crate::migrate::{MigrationCost, MigrationStats};
 use crate::stats::MemStats;
+use crate::tenant::TenantId;
 use crate::tier::{TierId, TierSpec};
 
 /// Interconnect latency added to cross-socket accesses in NUMA
@@ -72,6 +73,12 @@ pub struct MemorySystem {
     stats: MemStats,
     migration_cost: MigrationCost,
     migration_stats: MigrationStats,
+    /// Per-tenant count of kernel-kind frames resident on the fast tier
+    /// (tier 0), dense by [`TenantId::index`] and grown on demand.
+    /// Maintained incrementally at allocate/free/migrate/restamp so
+    /// per-tenant budget checks are O(1) reads, exactly like the global
+    /// `fast_budget_frames` check over [`MemStats`].
+    tenant_fast_kernel: Vec<u64>,
     /// Number of workload threads whose CPU time overlaps. The virtual
     /// clock models the bottleneck-resource timeline: memory-bus time is
     /// shared (charged fully), while per-thread CPU work and I/O stalls
@@ -108,6 +115,7 @@ impl MemorySystem {
             clock: Clock::new(),
             migration_cost: MigrationCost::default(),
             migration_stats: MigrationStats::default(),
+            tenant_fast_kernel: Vec::new(),
             cpu_parallelism: 1,
             #[cfg(feature = "kfault")]
             fault: None,
@@ -422,6 +430,11 @@ impl MemorySystem {
         let frame = Frame::new(id, tier, kind, self.clock.now());
         self.frames.insert(frame);
         self.stats.tiers[tier.index()].on_alloc(kind);
+        if kind.is_kernel() && tier.index() == 0 {
+            // Born owned by the default tenant; restamped via
+            // `set_frame_tenant` when the kernel attributes it.
+            self.fast_kernel_inc(TenantId::DEFAULT);
+        }
         kloc_trace::with_counters(|c| {
             c.frame_allocs += 1;
             if tier.index() == 0 {
@@ -457,7 +470,11 @@ impl MemorySystem {
     /// # Errors
     /// [`MemError::BadFrame`] if the frame is not allocated.
     pub fn free(&mut self, frame: FrameId) -> Result<(), MemError> {
+        let tenant = self.frames.tenant_of_live(frame);
         let f = self.frames.remove(frame).ok_or(MemError::BadFrame(frame))?;
+        if f.kind.is_kernel() && f.tier.index() == 0 {
+            self.fast_kernel_dec(tenant.unwrap_or_default());
+        }
         self.tiers[f.tier.index()].release();
         self.stats.tiers[f.tier.index()].on_free(f.kind);
         let lifetime = self.clock.now().saturating_sub(f.allocated_at);
@@ -513,6 +530,63 @@ impl MemorySystem {
     #[inline]
     pub fn last_access_if_live(&self, frame: FrameId) -> Option<Nanos> {
         self.frames.last_access_of_live(frame)
+    }
+
+    /// Tenant a frame is attributed to, or `None` if it has been freed.
+    #[inline]
+    pub fn frame_tenant(&self, frame: FrameId) -> Option<TenantId> {
+        self.frames.tenant_of_live(frame)
+    }
+
+    /// Restamps a frame's owning tenant, keeping the per-tenant
+    /// fast-kernel residency counters square. The kernel calls this
+    /// right after allocating a frame on behalf of a specific tenant
+    /// (frames are born owned by [`TenantId::DEFAULT`]).
+    ///
+    /// # Errors
+    /// [`MemError::BadFrame`] if the frame is not allocated.
+    pub fn set_frame_tenant(&mut self, frame: FrameId, tenant: TenantId) -> Result<(), MemError> {
+        let meta = self.frames.meta(frame).ok_or(MemError::BadFrame(frame))?;
+        let old = self
+            .frames
+            .set_tenant(frame, tenant)
+            .ok_or(MemError::BadFrame(frame))?;
+        if old != tenant && meta.kind.is_kernel() && meta.tier.index() == 0 {
+            self.fast_kernel_dec(old);
+            self.fast_kernel_inc(tenant);
+        }
+        Ok(())
+    }
+
+    /// Number of kernel-kind frames `tenant` currently holds on the
+    /// fast tier — the quantity per-tenant budget checks compare
+    /// against a tenant's `fast_budget_frames`. O(1).
+    pub fn tenant_fast_kernel(&self, tenant: TenantId) -> u64 {
+        self.tenant_fast_kernel
+            .get(tenant.index())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    #[inline]
+    fn fast_kernel_inc(&mut self, tenant: TenantId) {
+        let i = tenant.index();
+        if self.tenant_fast_kernel.len() <= i {
+            self.tenant_fast_kernel.resize(i + 1, 0);
+        }
+        self.tenant_fast_kernel[i] += 1;
+    }
+
+    #[inline]
+    fn fast_kernel_dec(&mut self, tenant: TenantId) {
+        let i = tenant.index();
+        debug_assert!(
+            self.tenant_fast_kernel.get(i).is_some_and(|n| *n > 0),
+            "fast-kernel counter underflow for {tenant}"
+        );
+        if let Some(n) = self.tenant_fast_kernel.get_mut(i) {
+            *n = n.saturating_sub(1);
+        }
     }
 
     /// Whether the frame is still allocated.
@@ -757,6 +831,16 @@ impl MemorySystem {
         }
         let moved = self.frames.record_migration(frame, to);
         debug_assert!(moved, "caller checked the frame exists");
+        if kind.is_kernel() {
+            // `from != to` was rejected above, so at most one arm fires.
+            let tenant = self.frames.tenant_of_live(frame).unwrap_or_default();
+            if from.index() == 0 {
+                self.fast_kernel_dec(tenant);
+            }
+            if to.index() == 0 {
+                self.fast_kernel_inc(tenant);
+            }
+        }
         self.migration_stats.record(kind, from, to, cost);
         // Migration's foreground stall is itself the charge; the
         // kloc_trace::charge below keeps the audit ledger square.
@@ -815,6 +899,31 @@ impl MemorySystem {
                     "a tier never exceeds its capacity",
                     format!("<= {} frames", alloc.frame_capacity()),
                     format!("used_frames = {}", alloc.used_frames()),
+                ));
+            }
+        }
+        // Per-tenant fast-kernel residency: the incremental counters
+        // must agree with a recount over the live frames.
+        let mut by_tenant = vec![0u64; self.tenant_fast_kernel.len()];
+        for f in self.frames.iter() {
+            if !f.kind.is_kernel() || f.tier.index() != 0 {
+                continue;
+            }
+            let t = self.frames.tenant_of_live(f.id()).unwrap_or_default();
+            if by_tenant.len() <= t.index() {
+                by_tenant.resize(t.index() + 1, 0);
+            }
+            by_tenant[t.index()] += 1;
+        }
+        for (i, &counted) in by_tenant.iter().enumerate() {
+            let stored = self.tenant_fast_kernel.get(i).copied().unwrap_or(0);
+            if stored != counted {
+                out.push(Violation::new(
+                    "MemorySystem.tenant_fast_kernel <-> FrameTable",
+                    format!("tenant{i}"),
+                    "per-tenant fast-kernel counter equals the resident recount",
+                    format!("{counted} resident kernel frames on tier 0"),
+                    format!("counter = {stored}"),
                 ));
             }
         }
@@ -1117,6 +1226,37 @@ mod tests {
         assert!(!m.fault_crash_due());
         assert_eq!(m.fault_crash_at_commit(0), None);
         assert!(m.allocate(TierId::FAST, PageKind::AppData).is_ok());
+    }
+
+    #[test]
+    fn tenant_counters_track_alloc_restamp_migrate_free() {
+        let mut m = small();
+        let t1 = TenantId(1);
+        // Kernel page on fast: born attributed to the default tenant.
+        let f = m.allocate(TierId::FAST, PageKind::PageCache).unwrap();
+        assert_eq!(m.tenant_fast_kernel(TenantId::DEFAULT), 1);
+        assert_eq!(m.frame_tenant(f), Some(TenantId::DEFAULT));
+        // Restamp moves the residency between counters.
+        m.set_frame_tenant(f, t1).unwrap();
+        assert_eq!(m.frame_tenant(f), Some(t1));
+        assert_eq!(m.tenant_fast_kernel(TenantId::DEFAULT), 0);
+        assert_eq!(m.tenant_fast_kernel(t1), 1);
+        // Demotion leaves the fast tier; promotion returns.
+        m.migrate(f, TierId::SLOW).unwrap();
+        assert_eq!(m.tenant_fast_kernel(t1), 0);
+        m.migrate(f, TierId::FAST).unwrap();
+        assert_eq!(m.tenant_fast_kernel(t1), 1);
+        // Free releases the residency.
+        m.free(f).unwrap();
+        assert_eq!(m.tenant_fast_kernel(t1), 0);
+        // App pages never count toward the kernel-object budget.
+        let app = m.allocate(TierId::FAST, PageKind::AppData).unwrap();
+        m.set_frame_tenant(app, t1).unwrap();
+        assert_eq!(m.tenant_fast_kernel(t1), 0);
+        // Unknown tenants read as zero; stale frames are rejected.
+        assert_eq!(m.tenant_fast_kernel(TenantId(99)), 0);
+        assert_eq!(m.set_frame_tenant(f, t1), Err(MemError::BadFrame(f)));
+        assert_eq!(m.frame_tenant(f), None);
     }
 
     #[test]

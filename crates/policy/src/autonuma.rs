@@ -14,7 +14,7 @@ use std::collections::BTreeSet;
 use kloc_core::{KlocConfig, KlocRegistry};
 use kloc_kernel::hooks::{CpuId, KernelHooks, PageRequest, Placement};
 use kloc_kernel::{Kernel, ObjectId, ObjectInfo};
-use kloc_mem::{FrameId, MemorySystem, Nanos, TierId};
+use kloc_mem::{FrameId, MemorySystem, Nanos, TenantId, TierId};
 
 use crate::traits::Policy;
 
@@ -204,8 +204,15 @@ impl KernelHooks for AutoNumaKloc {
         true
     }
 
-    fn on_inode_create(&mut self, inode: kloc_kernel::InodeId, cpu: CpuId, mem: &mut MemorySystem) {
-        self.registry.inode_created(inode, cpu, mem.now());
+    fn on_inode_create(
+        &mut self,
+        inode: kloc_kernel::InodeId,
+        cpu: CpuId,
+        tenant: TenantId,
+        mem: &mut MemorySystem,
+    ) {
+        self.registry
+            .inode_created_by(inode, cpu, tenant, mem.now());
     }
 
     fn on_inode_open(&mut self, inode: kloc_kernel::InodeId, cpu: CpuId, mem: &mut MemorySystem) {
@@ -265,9 +272,11 @@ impl KernelHooks for AutoNumaKloc {
         info: &ObjectInfo,
         _frame: FrameId,
         cpu: CpuId,
+        tenant: TenantId,
         mem: &mut MemorySystem,
     ) {
-        self.registry.object_accessed(info, cpu, mem.now());
+        self.registry
+            .object_accessed_by(info, cpu, tenant, mem.now());
     }
 
     fn on_app_page_alloc(&mut self, frame: FrameId, _cpu: CpuId, _mem: &mut MemorySystem) {
@@ -337,6 +346,7 @@ mod tests {
             inode: None,
             readahead: false,
             cpu: CpuId(0),
+            tenant: TenantId::DEFAULT,
         };
         assert_eq!(p.place_page(&req, &mem).preference[0], TierId(0));
         p.set_task_socket(1);
@@ -364,7 +374,7 @@ mod tests {
         let mut mem = numa();
         let kernel = Kernel::new(Default::default());
         let mut p = AutoNumaKloc::new();
-        p.on_inode_create(InodeId(1), CpuId(0), &mut mem);
+        p.on_inode_create(InodeId(1), CpuId(0), TenantId::DEFAULT, &mut mem);
         let f = mem.allocate(TierId(0), PageKind::PageCache).unwrap();
         let info = ObjectInfo {
             ty: KernelObjectType::PageCache,
@@ -383,7 +393,7 @@ mod tests {
         let mut mem = numa();
         let kernel = Kernel::new(Default::default());
         let mut p = AutoNumaKloc::new();
-        p.on_inode_create(InodeId(1), CpuId(0), &mut mem);
+        p.on_inode_create(InodeId(1), CpuId(0), TenantId::DEFAULT, &mut mem);
         let f = mem.allocate(TierId(0), PageKind::PageCache).unwrap();
         let info = ObjectInfo {
             ty: KernelObjectType::PageCache,

@@ -28,7 +28,7 @@
 use kloc_core::{KlocConfig, KlocRegistry};
 use kloc_kernel::hooks::{CpuId, KernelHooks, PageRequest, Placement};
 use kloc_kernel::{Kernel, ObjectId, ObjectInfo};
-use kloc_mem::{FrameId, MemorySystem, MigrationCost, Nanos, PageKind, TierId};
+use kloc_mem::{FrameId, MemorySystem, MigrationCost, Nanos, PageKind, TenantId, TierId};
 
 use crate::apptier::AppTier;
 use crate::traits::Policy;
@@ -81,6 +81,10 @@ pub struct KlocPolicy {
     /// Reusable candidate buffer for the tick reclaim passes, held on
     /// the policy so the per-tick paths allocate nothing.
     scratch: Vec<kloc_kernel::InodeId>,
+    /// Per-tenant fast-memory caps for kernel pages, dense by
+    /// [`TenantId::index`] (`None` = uncapped). Installed by
+    /// [`Policy::configure_tenants`]; empty in single-tenant runs.
+    tenant_budgets: Vec<Option<u64>>,
 }
 
 impl Default for KlocPolicy {
@@ -128,6 +132,7 @@ impl KlocPolicy {
             active_cursor: 0,
             peak_migration_batch: 0,
             scratch: Vec::new(),
+            tenant_budgets: Vec::new(),
         }
     }
 
@@ -242,6 +247,17 @@ impl KernelHooks for KlocPolicy {
             // KLOC abstraction are always kept in fast memory.
             return Placement::fast_then_slow();
         }
+        // Per-tenant sys_kloc_memsize: a tenant at its fast-memory cap
+        // has its kernel pages diverted to slow memory, regardless of
+        // global headroom — the budget that keeps one tenant's churn out
+        // of its neighbours' fast tier. O(1): the memory system keeps
+        // per-tenant fast-resident kernel-page counters.
+        if let Some(&Some(budget)) = self.tenant_budgets.get(req.tenant.index()) {
+            if mem.tenant_fast_kernel(req.tenant) >= budget {
+                kloc_trace::with_counters(|c| c.slow_diverts += 1);
+                return Placement::slow_only();
+            }
+        }
         // sys_kloc_memsize (Table 2): an administrator cap on the fast
         // memory KLOC-managed kernel objects may occupy.
         if let Some(budget) = self.registry.config().fast_budget_frames {
@@ -302,8 +318,15 @@ impl KernelHooks for KlocPolicy {
         true
     }
 
-    fn on_inode_create(&mut self, inode: kloc_kernel::InodeId, cpu: CpuId, mem: &mut MemorySystem) {
-        self.registry.inode_created(inode, cpu, mem.now());
+    fn on_inode_create(
+        &mut self,
+        inode: kloc_kernel::InodeId,
+        cpu: CpuId,
+        tenant: TenantId,
+        mem: &mut MemorySystem,
+    ) {
+        self.registry
+            .inode_created_by(inode, cpu, tenant, mem.now());
     }
 
     fn on_inode_open(&mut self, inode: kloc_kernel::InodeId, cpu: CpuId, mem: &mut MemorySystem) {
@@ -404,9 +427,11 @@ impl KernelHooks for KlocPolicy {
         info: &ObjectInfo,
         frame: FrameId,
         cpu: CpuId,
+        tenant: TenantId,
         mem: &mut MemorySystem,
     ) {
-        self.registry.object_accessed(info, cpu, mem.now());
+        self.registry
+            .object_accessed_by(info, cpu, tenant, mem.now());
         self.app.on_access(frame);
     }
 
@@ -492,6 +517,16 @@ impl Policy for KlocPolicy {
     fn peak_migration_batch(&self) -> u64 {
         self.peak_migration_batch
     }
+
+    fn configure_tenants(&mut self, specs: &[kloc_kernel::TenantSpec]) {
+        for spec in specs {
+            let i = spec.id.index();
+            if i >= self.tenant_budgets.len() {
+                self.tenant_budgets.resize(i + 1, None);
+            }
+            self.tenant_budgets[i] = spec.fast_budget_frames;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -511,6 +546,7 @@ mod tests {
             inode,
             readahead: false,
             cpu: CpuId(0),
+            tenant: TenantId::DEFAULT,
         }
     }
 
@@ -522,7 +558,7 @@ mod tests {
             mem.allocate(TierId::FAST, PageKind::AppData).unwrap();
         }
         let mut p = KlocPolicy::new();
-        p.on_inode_create(InodeId(1), CpuId(0), &mut mem);
+        p.on_inode_create(InodeId(1), CpuId(0), TenantId::DEFAULT, &mut mem);
         let pl = p.place_page(&req(KernelObjectType::PageCache, Some(InodeId(1))), &mem);
         assert_eq!(pl.preference[0], TierId::FAST, "active knode: fast first");
         p.on_inode_close(InodeId(1), &mut mem);
@@ -539,7 +575,7 @@ mod tests {
         // With a near-empty fast tier there is no reason to divert.
         let mut mem = MemorySystem::two_tier(64 * PAGE_SIZE, 8);
         let mut p = KlocPolicy::new();
-        p.on_inode_create(InodeId(1), CpuId(0), &mut mem);
+        p.on_inode_create(InodeId(1), CpuId(0), TenantId::DEFAULT, &mut mem);
         p.on_inode_close(InodeId(1), &mut mem);
         let pl = p.place_page(&req(KernelObjectType::PageCache, Some(InodeId(1))), &mem);
         assert_eq!(pl.preference[0], TierId::FAST);
@@ -554,7 +590,7 @@ mod tests {
         for _ in 0..4 {
             mem.allocate(TierId::FAST, PageKind::AppData).unwrap();
         }
-        p.on_inode_create(InodeId(1), CpuId(0), &mut mem);
+        p.on_inode_create(InodeId(1), CpuId(0), TenantId::DEFAULT, &mut mem);
         let mut frames = Vec::new();
         let info = ObjectInfo {
             ty: KernelObjectType::PageCache,
@@ -566,8 +602,8 @@ mod tests {
             p.on_object_alloc(ObjectId(i), &info, f, CpuId(0), &mut mem);
             // Two touches: the pages are hot in the page-granular LRU, so
             // only the knode path can demote them.
-            p.on_object_access(ObjectId(i), &info, f, CpuId(0), &mut mem);
-            p.on_object_access(ObjectId(i), &info, f, CpuId(0), &mut mem);
+            p.on_object_access(ObjectId(i), &info, f, CpuId(0), TenantId::DEFAULT, &mut mem);
+            p.on_object_access(ObjectId(i), &info, f, CpuId(0), TenantId::DEFAULT, &mut mem);
             frames.push(f);
         }
         p.on_inode_close(InodeId(1), &mut mem);
@@ -585,7 +621,14 @@ mod tests {
         // Access one member (marks it hot) and reopen: the hot member is
         // retrieved into fast memory.
         mem.read(frames[0], 4096);
-        p.on_object_access(ObjectId(0), &info, frames[0], CpuId(0), &mut mem);
+        p.on_object_access(
+            ObjectId(0),
+            &info,
+            frames[0],
+            CpuId(0),
+            TenantId::DEFAULT,
+            &mut mem,
+        );
         p.on_inode_open(InodeId(1), CpuId(0), &mut mem);
         assert_eq!(mem.tier_of(frames[0]), TierId::FAST, "hot member promoted");
         assert_eq!(
@@ -599,7 +642,7 @@ mod tests {
     fn nomigration_variant_places_but_never_moves() {
         let mut mem = MemorySystem::two_tier(64 * PAGE_SIZE, 8);
         let mut p = KlocPolicy::without_migration();
-        p.on_inode_create(InodeId(1), CpuId(0), &mut mem);
+        p.on_inode_create(InodeId(1), CpuId(0), TenantId::DEFAULT, &mut mem);
         let f = mem.allocate(TierId::FAST, PageKind::PageCache).unwrap();
         let info = ObjectInfo {
             ty: KernelObjectType::PageCache,
@@ -619,7 +662,7 @@ mod tests {
         cfg.included.remove(&KernelObjectType::SkBuff);
         let mut mem = MemorySystem::two_tier(1 << 20, 8);
         let mut p = KlocPolicy::with_config(cfg, true);
-        p.on_inode_create(InodeId(1), CpuId(0), &mut mem);
+        p.on_inode_create(InodeId(1), CpuId(0), TenantId::DEFAULT, &mut mem);
         p.on_inode_close(InodeId(1), &mut mem);
         // Inactive inode, but SkBuff is excluded -> fast placement.
         let pl = p.place_page(&req(KernelObjectType::SkBuff, Some(InodeId(1))), &mem);
@@ -636,7 +679,7 @@ mod tests {
         };
         let mut mem = MemorySystem::two_tier(64 * PAGE_SIZE, 8);
         let mut p = KlocPolicy::with_config(cfg, true);
-        p.on_inode_create(InodeId(1), CpuId(0), &mut mem);
+        p.on_inode_create(InodeId(1), CpuId(0), TenantId::DEFAULT, &mut mem);
         for _ in 0..2 {
             let pl = p.place_page(&req(KernelObjectType::PageCache, Some(InodeId(1))), &mem);
             assert_eq!(pl.preference[0], TierId::FAST);
@@ -651,8 +694,57 @@ mod tests {
             inode: None,
             readahead: false,
             cpu: CpuId(0),
+            tenant: TenantId::DEFAULT,
         };
         assert_eq!(p.place_page(&app, &mem).preference[0], TierId::FAST);
+    }
+
+    #[test]
+    fn tenant_budget_diverts_only_the_capped_tenant() {
+        // Per-tenant sys_kloc_memsize: tenant 1 has a 2-frame fast cap,
+        // tenant 2 is uncapped. Once tenant 1's kernel pages fill its
+        // budget, *its* next page diverts to slow while tenant 2 (and
+        // the shared kernel) still place fast.
+        let mut mem = MemorySystem::two_tier(64 * PAGE_SIZE, 8);
+        let mut p = KlocPolicy::new();
+        p.configure_tenants(&[
+            kloc_kernel::TenantSpec {
+                id: TenantId(1),
+                name: "capped".into(),
+                qos: kloc_kernel::QosClass::Burstable,
+                fast_budget_frames: Some(2),
+                pc_budget: None,
+            },
+            kloc_kernel::TenantSpec {
+                id: TenantId(2),
+                name: "free".into(),
+                qos: kloc_kernel::QosClass::Guaranteed,
+                fast_budget_frames: None,
+                pc_budget: None,
+            },
+        ]);
+        p.on_inode_create(InodeId(1), CpuId(0), TenantId(1), &mut mem);
+        let by = |t: u16| PageRequest {
+            tenant: TenantId(t),
+            ..req(KernelObjectType::PageCache, Some(InodeId(1)))
+        };
+        for _ in 0..2 {
+            let pl = p.place_page(&by(1), &mem);
+            assert_eq!(pl.preference[0], TierId::FAST, "under budget");
+            let f = mem.allocate(TierId::FAST, PageKind::PageCache).unwrap();
+            mem.set_frame_tenant(f, TenantId(1)).unwrap();
+        }
+        assert_eq!(mem.tenant_fast_kernel(TenantId(1)), 2);
+        let pl = p.place_page(&by(1), &mem);
+        assert_eq!(pl.preference, vec![TierId::SLOW], "tenant 1 at its cap");
+        // Neighbours are unaffected by tenant 1's cap.
+        assert_eq!(p.place_page(&by(2), &mem).preference[0], TierId::FAST);
+        assert_eq!(
+            p.place_page(&req(KernelObjectType::PageCache, Some(InodeId(1))), &mem)
+                .preference[0],
+            TierId::FAST,
+            "the shared kernel (tenant 0) is never capped"
+        );
     }
 
     #[test]
@@ -669,7 +761,7 @@ mod tests {
         let mut mem = MemorySystem::two_tier(8 * PAGE_SIZE, 8);
         let kernel = Kernel::new(Default::default());
         let mut p = KlocPolicy::new();
-        p.on_inode_create(InodeId(1), CpuId(0), &mut mem);
+        p.on_inode_create(InodeId(1), CpuId(0), TenantId::DEFAULT, &mut mem);
         // Fill fast memory with this knode's pages (stays open = active).
         let mut frames = Vec::new();
         for i in 0..8u64 {
@@ -703,7 +795,7 @@ mod tests {
         // 40 knodes with one fast member frame each, closed immediately:
         // these become the cold candidates.
         for ino in 1..=40u64 {
-            p.on_inode_create(InodeId(ino), CpuId(0), &mut mem);
+            p.on_inode_create(InodeId(ino), CpuId(0), TenantId::DEFAULT, &mut mem);
             let f = mem.allocate(TierId::FAST, PageKind::PageCache).unwrap();
             let info = ObjectInfo {
                 ty: KernelObjectType::PageCache,
@@ -721,12 +813,12 @@ mod tests {
         // 500 recently-closed knodes: inactive but far too young to be
         // cold. An eager filter scan would walk all of them every tick.
         for ino in 1000..1500u64 {
-            p.on_inode_create(InodeId(ino), CpuId(0), &mut mem);
+            p.on_inode_create(InodeId(ino), CpuId(0), TenantId::DEFAULT, &mut mem);
             p.on_inode_close(InodeId(ino), &mut mem);
         }
         // A couple of active knodes for the idle/member-granular passes.
-        p.on_inode_create(InodeId(2000), CpuId(0), &mut mem);
-        p.on_inode_create(InodeId(2001), CpuId(0), &mut mem);
+        p.on_inode_create(InodeId(2000), CpuId(0), TenantId::DEFAULT, &mut mem);
+        p.on_inode_create(InodeId(2001), CpuId(0), TenantId::DEFAULT, &mut mem);
         // Fill the remaining fast frames so the tick sees pressure.
         while mem.allocate(TierId::FAST, PageKind::AppData).is_ok() {}
 

@@ -137,6 +137,7 @@ impl KernelHooks for NimblePlusPlus {
         _info: &ObjectInfo,
         frame: FrameId,
         _cpu: CpuId,
+        _tenant: kloc_mem::TenantId,
         _mem: &mut MemorySystem,
     ) {
         self.tier.on_access(frame);
@@ -178,6 +179,7 @@ mod tests {
             inode: None,
             readahead: false,
             cpu: CpuId(0),
+            tenant: kloc_mem::TenantId::DEFAULT,
         }
     }
 

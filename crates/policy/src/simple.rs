@@ -96,6 +96,7 @@ mod tests {
             inode: None,
             readahead: false,
             cpu: CpuId(0),
+            tenant: kloc_mem::TenantId::DEFAULT,
         }
     }
 

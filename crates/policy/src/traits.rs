@@ -47,6 +47,12 @@ pub trait Policy: KernelHooks {
 
     /// Updates the task's home socket (NUMA policies; no-op otherwise).
     fn set_task_socket(&mut self, _socket: u8) {}
+
+    /// Installs the run's tenant specs (multi-tenant runs only).
+    /// Budget-aware policies pick up each tenant's
+    /// [`kloc_kernel::TenantSpec::fast_budget_frames`] for per-tenant
+    /// placement decisions; the default ignores tenancy.
+    fn configure_tenants(&mut self, _specs: &[kloc_kernel::TenantSpec]) {}
 }
 
 /// Identifiers for every evaluated strategy (paper Table 5), with a

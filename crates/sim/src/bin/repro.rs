@@ -11,9 +11,10 @@
 //!   table6                    KLOC metadata overhead
 //!   percpu prefetch           ablations (4.3, 7.3)
 //!   thp granularity           future-work extensions (5, 4.4)
+//!   tenants                   tenant isolation (budgets off vs on)
 //!   run --workload W --policy P   one run (trace-friendly)
 //!   crashsweep                journal crash-recovery sweep (kfault builds)
-//!   all                       everything above (except `run`/`crashsweep`)
+//!   all                       everything above (except `run`/`crashsweep`/`tenants`)
 //! ```
 //!
 //! `--jobs N` sets the sweep-runner thread count (default: one per
@@ -40,13 +41,13 @@ use std::process::ExitCode;
 use kloc_mem::{FaultPlan, Nanos};
 use kloc_policy::PolicyKind;
 use kloc_sim::engine::{Platform, RunConfig};
-use kloc_sim::experiments::{ablations, fig2, fig4, fig5, fig6, table6};
+use kloc_sim::experiments::{ablations, fig2, fig4, fig5, fig6, table6, tenants};
 use kloc_sim::Runner;
 use kloc_workloads::{Scale, WorkloadKind};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <fig2a|fig2b|fig2c|fig2d|fig4|fig5a|fig5b|fig5c|fig6|table6|percpu|prefetch|thp|granularity|all> [--scale tiny|small|large|huge] [--seed N] [--jobs N] [--shards N] [--trace FILE]\n       repro run --workload <rocksdb|redis|filebench|cassandra|spark> --policy <naive|nimble|nimble++|kloc-nomigration|kloc|all-fast|all-slow|autonuma|autonuma-kloc> [--fault-seed N] [options]\n       repro crashsweep [--crash-points N] [options]    (kfault builds)"
+        "usage: repro <fig2a|fig2b|fig2c|fig2d|fig4|fig5a|fig5b|fig5c|fig6|table6|percpu|prefetch|thp|granularity|tenants|all> [--scale tiny|small|large|huge] [--seed N] [--jobs N] [--shards N] [--trace FILE]\n       repro run --workload <rocksdb|redis|filebench|cassandra|spark|tenants|tenants-nobudget> --policy <naive|nimble|nimble++|kloc-nomigration|kloc|all-fast|all-slow|autonuma|autonuma-kloc> [--fault-seed N] [options]\n       repro crashsweep [--crash-points N] [options]    (kfault builds)"
     );
     ExitCode::FAILURE
 }
@@ -135,6 +136,8 @@ fn single_run_config(args: &[String], scale: &Scale) -> Result<RunConfig, String
         "filebench" => WorkloadKind::Filebench,
         "cassandra" => WorkloadKind::Cassandra,
         "spark" => WorkloadKind::Spark,
+        "tenants" => WorkloadKind::Tenants { budgeted: true },
+        "tenants-nobudget" => WorkloadKind::Tenants { budgeted: false },
         other => return Err(format!("unknown workload: {other}")),
     };
     let policy = match value_of("--policy")?.to_lowercase().as_str() {
@@ -211,6 +214,19 @@ fn run(
                 "  faults: {} disk I/O errors, {} blk-mq retries",
                 report.io_errors, report.io_retries
             );
+        }
+        return Ok(());
+    }
+    if which == "tenants" {
+        eprintln!(
+            "[tenant isolation at scale {} (budgets off vs on)...]",
+            scale.label
+        );
+        let iso = tenants::run(runner, scale, platform_for(scale))?;
+        println!("{}", tenants::table(&iso));
+        println!("{}", iso.verdict());
+        if !iso.isolated() {
+            return Err("per-tenant budgets failed to isolate the tenants".into());
         }
         return Ok(());
     }

@@ -113,6 +113,30 @@ impl RunConfig {
     }
 }
 
+/// Per-tenant breakdown of one multi-tenant run (empty for
+/// single-tenant runs). Counters are snapshotted with the rest of the
+/// report, before teardown.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TenantReport {
+    /// Tenant id (`TenantId.0`).
+    pub id: u16,
+    /// Tenant name from its spec.
+    pub name: String,
+    /// QoS class label ("guaranteed", "burstable", "best-effort").
+    pub qos: String,
+    /// The tenant's page-cache cap, if budgeted.
+    pub pc_budget: Option<u64>,
+    /// The tenant's fast-tier cap for kernel pages, if budgeted.
+    pub fast_budget_frames: Option<u64>,
+    /// Kernel-side per-tenant counters.
+    pub stats: kloc_kernel::TenantStats,
+    /// Accesses this tenant made to knodes owned by *other* tenants
+    /// (shared-inode/shared-socket attribution; `None` when the policy
+    /// has no KLOC registry).
+    pub shared_accesses: Option<u64>,
+}
+
 /// Everything measured in one run.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -157,6 +181,9 @@ pub struct RunReport {
     /// Mean age of live application pages at the end of the measured
     /// phase (app pages outlive the run; Fig. 2d needs their lifetime).
     pub app_page_age: Nanos,
+    /// Per-tenant breakdown, in tenant-id order (empty unless the
+    /// workload declared tenants).
+    pub tenants: Vec<TenantReport>,
 }
 
 impl RunReport {
@@ -352,6 +379,17 @@ pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunRe
     let mut kernel = Kernel::new(params);
     let mut workload = config.workload.build(&config.scale);
 
+    // Multi-tenant runs: install the workload's tenant specs in the
+    // kernel (budget enforcement, stat attribution) and the policy
+    // (per-tenant placement budgets) before any allocation happens.
+    let tenant_specs = workload.tenant_specs();
+    for spec in &tenant_specs {
+        kernel.register_tenant(spec.clone());
+    }
+    if !tenant_specs.is_empty() {
+        policy.configure_tenants(&tenant_specs);
+    }
+
     // Optane staging.
     let (mut task_socket, switch_at_op, scenario) = match config.platform {
         Platform::Optane { scenario, .. } => match scenario {
@@ -460,6 +498,21 @@ pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunRe
     let kernel_stats = kernel.stats().clone();
     let migrations = mem.migration_stats().clone();
 
+    // Per-tenant breakdown, snapshotted with the other counters (the
+    // teardown below drops cached pages and would zero pc_resident).
+    let tenants: Vec<TenantReport> = tenant_specs
+        .iter()
+        .map(|spec| TenantReport {
+            id: spec.id.0,
+            name: spec.name.clone(),
+            qos: spec.qos.to_string(),
+            pc_budget: spec.pc_budget,
+            fast_budget_frames: spec.fast_budget_frames,
+            stats: kernel.tenant_stats(spec.id),
+            shared_accesses: policy.registry().map(|r| r.shared_accesses_of(spec.id)),
+        })
+        .collect();
+
     // Capture KLOC state before teardown destroys knodes.
     let kloc = policy.kloc_stats();
     let peak_batch = policy.peak_migration_batch();
@@ -509,6 +562,7 @@ pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunRe
         measured_tier_accesses,
         fast_resident,
         app_page_age,
+        tenants,
     })
 }
 

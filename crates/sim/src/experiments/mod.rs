@@ -8,6 +8,7 @@
 //! | [`fig6`] | Fig. 6 (capacity x bandwidth sweep) |
 //! | [`table6`] | Table 6 (KLOC metadata memory) |
 //! | [`ablations`] | §4.3 per-CPU lists, §7.3 KLOC-aware prefetch |
+//! | [`tenants`] | Tenant isolation (consolidated servers, §5 / DESIGN.md §12) |
 
 pub mod ablations;
 pub mod fig2;
@@ -15,3 +16,4 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod table6;
+pub mod tenants;

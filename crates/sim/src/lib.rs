@@ -34,6 +34,6 @@ pub mod ktrace;
 pub mod report;
 pub mod runner;
 
-pub use engine::{Platform, RunConfig, RunReport};
+pub use engine::{Platform, RunConfig, RunReport, TenantReport};
 pub use report::Table;
 pub use runner::{Job, Runner};

@@ -149,6 +149,63 @@ fn trace_bytes_independent_of_shard_count() {
 }
 
 #[test]
+fn tenant_trace_bytes_independent_of_workers_and_shards() {
+    let _session = SESSION.lock().unwrap();
+    use kloc_kernel::KernelParams;
+    let scale = Scale::tiny();
+    let tenant_cell = |budgeted, shards| {
+        let mut c = cell(WorkloadKind::Tenants { budgeted }, PolicyKind::Kloc);
+        if let Some(shards) = shards {
+            c.kernel_params = Some(KernelParams {
+                page_cache_budget: scale.page_cache_frames,
+                shards,
+                ..KernelParams::default()
+            });
+        }
+        c
+    };
+    let matrix = |shards| vec![tenant_cell(false, shards), tenant_cell(true, shards)];
+    let baseline = collect(&Runner::new(1), matrix(None));
+    assert!(!baseline.is_empty());
+    // Budgets-off runs cross tenant boundaries, so the stream must carry
+    // tenant_evict events; budgets-on runs must carry none (budgeted
+    // tenants only ever self-evict).
+    let events = kloc_trace::Event::parse_all(&baseline).expect("tenant trace parses");
+    let mut evictions_per_run = vec![0u64];
+    for ev in &events {
+        if matches!(ev, kloc_trace::Event::RunEnd { .. }) {
+            evictions_per_run.push(0);
+        }
+        if matches!(ev, kloc_trace::Event::TenantEvict { .. }) {
+            if let Some(last) = evictions_per_run.last_mut() {
+                *last += 1;
+            }
+        }
+    }
+    assert!(
+        evictions_per_run[0] > 0,
+        "budgets-off run must emit tenant_evict events"
+    );
+    assert_eq!(
+        evictions_per_run[1], 0,
+        "budgets-on run must emit no tenant_evict events"
+    );
+    for jobs in [2usize, 8] {
+        let got = collect(&Runner::new(jobs), matrix(None));
+        assert_same_trace(&got, &baseline, &format!("tenants --jobs {jobs}"));
+    }
+    let sharded_baseline = collect(&Runner::serial(), matrix(Some(1)));
+    for shards in [2u32, 4, 8] {
+        let got = collect(&Runner::serial(), matrix(Some(shards)));
+        assert_same_trace(
+            &got,
+            &sharded_baseline,
+            &format!("tenants --shards {shards}"),
+        );
+    }
+}
+
+#[test]
 fn no_session_produces_no_trace() {
     let _session = SESSION.lock().unwrap();
     assert!(!kloc_trace::session_active());

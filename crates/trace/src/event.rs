@@ -125,6 +125,22 @@ pub enum Event {
         /// 1 if the page was dirty (forced a writeback), else 0.
         dirty: u64,
     },
+    /// The page-cache shrinker evicted a page across a tenant boundary:
+    /// the tenant running the allocation that triggered reclaim is not
+    /// the tenant owning the evicted page's inode. Never emitted in
+    /// single-tenant runs, so existing traces are unaffected.
+    TenantEvict {
+        /// Virtual nanoseconds since run start.
+        t: u64,
+        /// Tenant whose allocation triggered the eviction.
+        evictor: u64,
+        /// Tenant owning the evicted page's inode.
+        victim: u64,
+        /// Owning inode number.
+        ino: u64,
+        /// Page index within the file.
+        idx: u64,
+    },
     /// Writeback flushed dirty pages of one inode.
     Writeback {
         /// Virtual nanoseconds since run start.
@@ -299,6 +315,16 @@ pub const SCHEMA: &[EventSpec] = &[
         site: "crates/kernel/src/kernel.rs",
     },
     EventSpec {
+        kind: "tenant_evict",
+        fields: &[
+            ("evictor", "id"),
+            ("victim", "id"),
+            ("ino", "id"),
+            ("idx", "idx"),
+        ],
+        site: "crates/kernel/src/kernel.rs",
+    },
+    EventSpec {
         kind: "writeback",
         fields: &[("ino", "id"), ("pages", "pages")],
         site: "crates/kernel/src/kernel.rs",
@@ -359,6 +385,7 @@ impl Event {
         "counters",
         "migrate",
         "pc_evict",
+        "tenant_evict",
         "writeback",
         "journal_commit",
         "knode",
@@ -379,6 +406,7 @@ impl Event {
             Event::Counters { .. } => "counters",
             Event::Migrate { .. } => "migrate",
             Event::PcEvict { .. } => "pc_evict",
+            Event::TenantEvict { .. } => "tenant_evict",
             Event::Writeback { .. } => "writeback",
             Event::JournalCommit { .. } => "journal_commit",
             Event::Knode { .. } => "knode",
@@ -400,6 +428,7 @@ impl Event {
             | Event::Counters { t, .. }
             | Event::Migrate { t, .. }
             | Event::PcEvict { t, .. }
+            | Event::TenantEvict { t, .. }
             | Event::Writeback { t, .. }
             | Event::JournalCommit { t, .. }
             | Event::Knode { t, .. }
@@ -465,6 +494,18 @@ impl Event {
                 w.num("ino", *ino);
                 w.num("idx", *idx);
                 w.num("dirty", *dirty);
+            }
+            Event::TenantEvict {
+                evictor,
+                victim,
+                ino,
+                idx,
+                ..
+            } => {
+                w.num("evictor", *evictor);
+                w.num("victim", *victim);
+                w.num("ino", *ino);
+                w.num("idx", *idx);
             }
             Event::Writeback { ino, pages, .. } => {
                 w.num("ino", *ino);
@@ -600,6 +641,13 @@ impl Event {
                 ino: num("ino")?,
                 idx: num("idx")?,
                 dirty: num("dirty")?,
+            },
+            "tenant_evict" => Event::TenantEvict {
+                t,
+                evictor: num("evictor")?,
+                victim: num("victim")?,
+                ino: num("ino")?,
+                idx: num("idx")?,
             },
             "writeback" => Event::Writeback {
                 t,
@@ -938,6 +986,13 @@ mod tests {
                 idx: 9,
                 dirty: 1,
             },
+            Event::TenantEvict {
+                t: 21,
+                evictor: 2,
+                victim: 0,
+                ino: 4,
+                idx: 9,
+            },
             Event::Writeback {
                 t: 22,
                 ino: 4,
@@ -1012,7 +1067,7 @@ mod tests {
         assert_eq!(parsed, sample_events());
         let bad = format!("{doc}{{\"t\":1,\"k\":\"nope\"}}\n");
         let err = Event::parse_all(&bad).unwrap_err();
-        assert!(err.message.contains("line 16"), "{}", err.message);
+        assert!(err.message.contains("line 17"), "{}", err.message);
         assert!(err.message.contains("nope"), "{}", err.message);
     }
 

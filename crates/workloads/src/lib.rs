@@ -23,6 +23,10 @@
 //!   sorted output; streaming file I/O.
 //! * [`Interference`] — the memory-streaming antagonist used in the
 //!   Optane/AutoNUMA experiment (§6.2).
+//! * [`MultiTenant`] — three consolidated-server tenants (frontend,
+//!   analytics, file churn) multiplexed over one kernel with optional
+//!   per-tenant KLOC budgets (DESIGN.md §12); driven by `repro tenants`
+//!   rather than the paper-figure experiments.
 //!
 //! All models implement [`Workload`] and are sized by a [`Scale`]
 //! (the paper's 10 GB/40 GB inputs scaled down ~1024x; shapes are
@@ -40,6 +44,7 @@ pub mod rocksdb;
 pub mod scale;
 pub mod spark;
 pub mod spec;
+pub mod tenants;
 
 pub use cassandra::Cassandra;
 pub use filebench::Filebench;
@@ -50,3 +55,4 @@ pub use rocksdb::RocksDb;
 pub use scale::Scale;
 pub use spark::Spark;
 pub use spec::{Workload, WorkloadKind};
+pub use tenants::MultiTenant;

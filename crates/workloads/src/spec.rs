@@ -46,6 +46,13 @@ pub trait Workload {
     /// # Errors
     /// Propagates kernel errors.
     fn teardown(&mut self, kernel: &mut Kernel, ctx: &mut Ctx<'_>) -> Result<(), KernelError>;
+
+    /// Tenant specs this workload runs under. The engine registers them
+    /// with the kernel and hands them to the policy before setup; the
+    /// default (empty) leaves the run single-tenant.
+    fn tenant_specs(&self) -> Vec<kloc_kernel::TenantSpec> {
+        Vec::new()
+    }
 }
 
 /// The paper's evaluation workloads (Table 3).
@@ -62,6 +69,12 @@ pub enum WorkloadKind {
     Cassandra,
     /// TeraSort over a distributed-FS model.
     Spark,
+    /// Consolidated-server tenants sharing one kernel (DESIGN.md §12).
+    /// Not part of [`WorkloadKind::ALL`] — driven by `repro tenants`.
+    Tenants {
+        /// Whether the tenant specs carry per-tenant budgets.
+        budgeted: bool,
+    },
 }
 
 impl WorkloadKind {
@@ -92,6 +105,9 @@ impl WorkloadKind {
             WorkloadKind::Filebench => Box::new(crate::filebench::Filebench::new(scale)),
             WorkloadKind::Cassandra => Box::new(crate::cassandra::Cassandra::new(scale)),
             WorkloadKind::Spark => Box::new(crate::spark::Spark::new(scale)),
+            WorkloadKind::Tenants { budgeted } => {
+                Box::new(crate::tenants::MultiTenant::new(scale, budgeted))
+            }
         }
     }
 
@@ -103,6 +119,8 @@ impl WorkloadKind {
             WorkloadKind::Filebench => "Filebench",
             WorkloadKind::Cassandra => "Cassandra",
             WorkloadKind::Spark => "Spark",
+            WorkloadKind::Tenants { budgeted: true } => "Multi-tenant (budgeted)",
+            WorkloadKind::Tenants { budgeted: false } => "Multi-tenant (no budgets)",
         }
     }
 }

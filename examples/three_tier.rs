@@ -12,7 +12,7 @@
 use klocs::core::{KlocConfig, KlocRegistry};
 use klocs::kernel::hooks::{CpuId, Ctx, KernelHooks, PageRequest, Placement};
 use klocs::kernel::{InodeId, Kernel, KernelParams, ObjectId, ObjectInfo};
-use klocs::mem::{FrameId, MemorySystem, Nanos, PageKind, TierId};
+use klocs::mem::{FrameId, MemorySystem, Nanos, PageKind, TenantId, TierId};
 use klocs::workloads::{RocksDb, Scale, Workload};
 
 /// A minimal three-tier KLOC policy: allocation prefers the fastest tier
@@ -70,7 +70,13 @@ impl KernelHooks for Waterfall {
         true
     }
 
-    fn on_inode_create(&mut self, inode: InodeId, cpu: CpuId, mem: &mut MemorySystem) {
+    fn on_inode_create(
+        &mut self,
+        inode: InodeId,
+        cpu: CpuId,
+        _tenant: TenantId,
+        mem: &mut MemorySystem,
+    ) {
         self.registry.inode_created(inode, cpu, mem.now());
     }
     fn on_inode_open(&mut self, inode: InodeId, cpu: CpuId, mem: &mut MemorySystem) {
@@ -108,6 +114,7 @@ impl KernelHooks for Waterfall {
         info: &ObjectInfo,
         _frame: FrameId,
         cpu: CpuId,
+        _tenant: TenantId,
         mem: &mut MemorySystem,
     ) {
         self.registry.object_accessed(info, cpu, mem.now());
