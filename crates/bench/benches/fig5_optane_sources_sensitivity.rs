@@ -43,6 +43,7 @@ fn bench(c: &mut Criterion) {
                     },
                     kernel_params: None,
                     faults: None,
+                    budgets: Vec::new(),
                 },
                 Box::new(kloc_policy::AutoNumaKloc::new()),
             )
@@ -62,6 +63,7 @@ fn bench(c: &mut Criterion) {
                     },
                     kernel_params: None,
                     faults: None,
+                    budgets: Vec::new(),
                 },
                 Box::new(AutoNuma::new()),
             )

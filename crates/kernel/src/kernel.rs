@@ -33,7 +33,7 @@ use crate::readahead::Readahead;
 use crate::recovery::{DurableStore, JournalRecord, Promise};
 use crate::slab::PackedAllocator;
 use crate::stats::{KernelStats, Syscall};
-use crate::tenant::{TenantSpec, TenantStats, TenantTable};
+use crate::tenant::{QosClass, TenantSpec, TenantStats, TenantTable};
 use crate::vfs::{Fd, Inode, InodeId, InodeKind, Vfs};
 
 /// The simulated kernel.
@@ -132,6 +132,65 @@ impl Kernel {
     /// A copy of one tenant's counters (zeros if it never acted).
     pub fn tenant_stats(&self, id: TenantId) -> TenantStats {
         self.tenants.stats(id)
+    }
+
+    /// QoS class a tenant is scheduled under. Unregistered principals
+    /// (including the shared-kernel default tenant) are scavengers:
+    /// anything that never declared a class yields first.
+    fn qos_of(&self, id: TenantId) -> QosClass {
+        self.tenants.spec(id).map_or(QosClass::BestEffort, |s| s.qos)
+    }
+
+    /// The QoS class that pays reclaim next — the most-scavenger class
+    /// among tenants currently holding page-cache residency — plus
+    /// whether more than one distinct class holds residency (plain LRU
+    /// reclaim applies when only one does; there is nobody to protect).
+    fn reclaim_floor(&self) -> (Option<QosClass>, bool) {
+        let mut seen = [false; 3];
+        for i in 0..self.tenants.stats_len() {
+            let id = TenantId(i as u16);
+            if self.tenants.stats(id).pc_resident > 0 {
+                seen[self.qos_of(id) as usize] = true;
+            }
+        }
+        let floor = [QosClass::BestEffort, QosClass::Burstable, QosClass::Guaranteed]
+            .into_iter()
+            .find(|q| seen[*q as usize]);
+        (floor, seen.iter().filter(|s| **s).count() > 1)
+    }
+
+    /// Applies a `sys_kloc_memsize`-style mid-run budget resize
+    /// (DESIGN.md §13). Returns `Ok(false)` when `id` was never
+    /// registered. A page-cache shrink is enforced by *gradual*
+    /// self-eviction: at most [`KernelParams::resize_evict_step`] pages
+    /// (clamped to at least 1) are reclaimed here, and the insert-time
+    /// cap works off the remainder — a large shrink degrades the tenant
+    /// over time instead of stalling the run on one giant reclaim. Fast
+    /// budgets take effect at the policy's next placement decision.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from flushing dirty victim pages.
+    pub fn resize_tenant_budget(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: TenantId,
+        pc_budget: Option<u64>,
+        fast_budget_frames: Option<u64>,
+    ) -> Result<bool, KernelError> {
+        if !self.tenants.resize_budget(id, pc_budget, fast_budget_frames) {
+            return Ok(false);
+        }
+        if let Some(cap) = pc_budget {
+            let step = self.params.resize_evict_step.max(1);
+            let mut evicted = 0;
+            while evicted < step && self.tenants.stats(id).pc_resident > cap {
+                if !self.self_evict_one(ctx, id, Some("resize"))? {
+                    break;
+                }
+                evicted += 1;
+            }
+        }
+        Ok(true)
     }
 
     /// The storage device.
@@ -762,8 +821,29 @@ impl Kernel {
         cap: u64,
     ) -> Result<(), KernelError> {
         while self.tenants.stats(owner).pc_resident >= cap {
-            let Some((vino, vidx)) = self.tenants.pop_oldest(owner) else {
+            if !self.self_evict_one(ctx, owner, None)? {
                 break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reclaims one of `owner`'s own cached pages, oldest first
+    /// (flushing it when dirty), skipping ledger entries already
+    /// removed by the global shrinker or an unlink. Returns `Ok(false)`
+    /// when the ledger is exhausted. `degrade_action` labels the
+    /// eviction as QoS degradation (a `degrade` trace event plus the
+    /// tenant's `preempted` counter); `None` keeps the steady-state cap
+    /// enforcement event-silent, exactly as before resize existed.
+    fn self_evict_one(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        owner: TenantId,
+        degrade_action: Option<&'static str>,
+    ) -> Result<bool, KernelError> {
+        loop {
+            let Some((vino, vidx)) = self.tenants.pop_oldest(owner) else {
+                return Ok(false);
             };
             let dirty = self
                 .vfs
@@ -779,8 +859,20 @@ impl Kernel {
             self.drop_cache_page(ctx, vino, vidx)?;
             self.tenants.stats_mut(owner).pc_self_evicted += 1;
             self.stats.reclaimed_pages += 1;
+            if let Some(action) = degrade_action {
+                self.tenants.stats_mut(owner).preempted += 1;
+                let qos = self.qos_of(owner);
+                let t = ctx.mem.now().as_nanos();
+                kloc_trace::emit(|| kloc_trace::Event::Degrade {
+                    t,
+                    tenant: u64::from(owner.0),
+                    qos: qos.to_string(),
+                    action: action.to_string(),
+                    pages: 1,
+                });
+            }
+            return Ok(true);
         }
-        Ok(())
     }
 
     fn note_prefetch_hit(&mut self, frame: FrameId) {
@@ -1096,8 +1188,19 @@ impl Kernel {
     /// Enforces the page-cache budget: reclaims clean cold pages
     /// (writing back dirty ones first), oldest-first, charging LRU scan
     /// costs.
+    ///
+    /// While QoS-ordered reclaim is active
+    /// ([`KernelParams::qos_reclaim`], or any tier fault window open)
+    /// and more than one QoS class holds cached pages, reclaim preempts
+    /// the most-scavenger class first: candidates owned by a stricter
+    /// class are rescued back to the active list untouched, so a
+    /// Guaranteed tenant's hot set survives as long as any lower class
+    /// still holds pages (DESIGN.md §13). The `guard` bound holds
+    /// either way — degraded reclaim may leave the cache over budget
+    /// for a pass rather than touch protected pages.
     fn shrink_cache(&mut self, ctx: &mut Ctx<'_>) -> Result<(), KernelError> {
         let _attrib = kloc_trace::scope("reclaim");
+        let qos_gate = self.params.qos_reclaim || ctx.mem.tier_fault_active();
         let mut guard = 0;
         while self.cache_pages > self.params.page_cache_budget && guard < 64 {
             guard += 1;
@@ -1114,6 +1217,22 @@ impl Kernel {
                 let Some((ino, idx)) = self.cache_index.get(frame) else {
                     continue;
                 };
+                let owner = self.vfs.inode(ino).map(|i| i.owner).unwrap_or_default();
+                let mut preemption = None;
+                if qos_gate {
+                    // Recomputed per eviction: draining one class can
+                    // move the floor to the next.
+                    let (floor, multi) = self.reclaim_floor();
+                    if multi {
+                        if floor != Some(self.qos_of(owner)) {
+                            // Protected: a lower class still holds
+                            // pages. Rescue, never evict.
+                            self.cache_lru.insert(frame, List::Active);
+                            continue;
+                        }
+                        preemption = Some(self.qos_of(owner));
+                    }
+                }
                 let dirty = self
                     .vfs
                     .inode(ino)
@@ -1134,16 +1253,27 @@ impl Kernel {
                 // allocation evicted a page owned by another tenant.
                 // Never fires in single-tenant runs (both sides are
                 // TenantId::DEFAULT), so existing traces are unchanged.
-                let victim = self.vfs.inode(ino).map(|i| i.owner).unwrap_or_default();
-                if victim != ctx.tenant {
+                if owner != ctx.tenant {
                     self.tenants.stats_mut(ctx.tenant).cross_evictions_caused += 1;
-                    self.tenants.stats_mut(victim).cross_evictions_suffered += 1;
+                    self.tenants.stats_mut(owner).cross_evictions_suffered += 1;
                     kloc_trace::emit(|| kloc_trace::Event::TenantEvict {
                         t,
                         evictor: u64::from(ctx.tenant.0),
-                        victim: u64::from(victim.0),
+                        victim: u64::from(owner.0),
                         ino: ino.0,
                         idx,
+                    });
+                }
+                if let Some(qos) = preemption {
+                    // QoS-ordered reclaim chose this page because its
+                    // owner is the current floor class.
+                    self.tenants.stats_mut(owner).preempted += 1;
+                    kloc_trace::emit(|| kloc_trace::Event::Degrade {
+                        t,
+                        tenant: u64::from(owner.0),
+                        qos: qos.to_string(),
+                        action: "reclaim".to_string(),
+                        pages: 1,
                     });
                 }
                 self.drop_cache_page(ctx, ino, idx)?;

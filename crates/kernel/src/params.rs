@@ -81,6 +81,31 @@ pub struct KernelParams {
     /// so reports and traces are byte-identical either way.
     #[cfg_attr(feature = "serde", serde(default = "default_batch_accesses"))]
     pub batch_accesses: bool,
+    /// Tier drain: maximum frames live-migrated off an offlining tier
+    /// per engine tick (DESIGN.md §13). Clamped to at least 1 at the
+    /// drain site — a zero budget would stall the drain forever.
+    #[cfg_attr(feature = "serde", serde(default = "default_drain_budget_frames"))]
+    pub drain_budget_frames: u64,
+    /// Tier drain: backoff before the first retry of a faulted drain
+    /// migration; doubles per attempt. Clamped to at least 1 ns.
+    #[cfg_attr(feature = "serde", serde(default = "default_drain_retry_base"))]
+    pub drain_retry_base: Nanos,
+    /// Tier drain: ceiling on the per-attempt drain retry backoff.
+    /// Clamped to at least the base.
+    #[cfg_attr(feature = "serde", serde(default = "default_drain_retry_cap"))]
+    pub drain_retry_cap: Nanos,
+    /// Budget resize: maximum pages self-evicted immediately when a
+    /// `sys_kloc_memsize`-style shrink lands; the remainder is enforced
+    /// gradually at insert time rather than stalling the run. Clamped
+    /// to at least 1.
+    #[cfg_attr(feature = "serde", serde(default = "default_resize_evict_step"))]
+    pub resize_evict_step: u64,
+    /// Always use QoS-ordered reclaim and divert-to-slow (BestEffort
+    /// preempted first, Guaranteed last), not just while a tier fault
+    /// window is open. Off by default: single-tenant runs and the §12
+    /// isolation experiment rely on plain self-then-LRU reclaim.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub qos_reclaim: bool,
 }
 
 #[cfg(feature = "serde")]
@@ -91,6 +116,26 @@ fn default_shards() -> u32 {
 #[cfg(feature = "serde")]
 fn default_batch_accesses() -> bool {
     true
+}
+
+#[cfg(feature = "serde")]
+fn default_drain_budget_frames() -> u64 {
+    128
+}
+
+#[cfg(feature = "serde")]
+fn default_drain_retry_base() -> Nanos {
+    Nanos::from_micros(20)
+}
+
+#[cfg(feature = "serde")]
+fn default_drain_retry_cap() -> Nanos {
+    Nanos::from_micros(160)
+}
+
+#[cfg(feature = "serde")]
+fn default_resize_evict_step() -> u64 {
+    64
 }
 
 impl Default for KernelParams {
@@ -120,6 +165,11 @@ impl Default for KernelParams {
             thp_app: false,
             shards: 4,
             batch_accesses: true,
+            drain_budget_frames: 128,
+            drain_retry_base: Nanos::from_micros(20),
+            drain_retry_cap: Nanos::from_micros(160),
+            resize_evict_step: 64,
+            qos_reclaim: false,
         }
     }
 }
@@ -166,5 +216,18 @@ mod tests {
         let p = KernelParams::default().scaled(4);
         assert_eq!(p.page_cache_budget, 4 * 4096);
         assert_eq!(p.writeback_threshold, 4 * 256);
+    }
+
+    #[test]
+    fn drain_backoff_defaults_stay_bounded() {
+        let p = KernelParams::default();
+        // Same shape as the blk-mq retry knobs: the cap binds before
+        // the doubled backoff runs away.
+        let worst = p.drain_retry_base * (1 << 4);
+        assert!(p.drain_retry_cap < worst, "cap actually binds");
+        assert!(p.drain_retry_cap >= p.drain_retry_base);
+        assert!(p.drain_budget_frames >= 1);
+        assert!(p.resize_evict_step >= 1);
+        assert!(!p.qos_reclaim, "QoS reclaim is fault-gated by default");
     }
 }

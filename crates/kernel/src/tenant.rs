@@ -95,6 +95,12 @@ pub struct TenantStats {
     pub tx_bytes: u64,
     /// Bytes this tenant received from sockets.
     pub rx_bytes: u64,
+    /// Pages evicted from this tenant by QoS-aware degradation: either
+    /// preempted by QoS-ordered reclaim (lower classes pay first while
+    /// a tier fault is active, DESIGN.md §13) or self-evicted to honor
+    /// a mid-run budget shrink. Stays 0 outside degraded operation.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub preempted: u64,
 }
 
 /// Dense tenant registry: specs, stats, and the per-tenant page FIFO.
@@ -216,6 +222,31 @@ impl TenantTable {
     pub fn pop_oldest(&mut self, owner: TenantId) -> Option<(InodeId, u64)> {
         self.ledgers.get_mut(owner.index())?.pop_front()
     }
+
+    /// Applies a `sys_kloc_memsize`-style mid-run resize to `id`'s
+    /// budgets (`None` = uncapped). Returns `false` when `id` was never
+    /// registered — resizing an unknown tenant is a configuration
+    /// error, not a registration.
+    ///
+    /// Only the caps change here; enforcement is the caller's job
+    /// (the kernel self-evicts gradually, DESIGN.md §13). One
+    /// consequence of the capped-only ledger: a tenant resized from
+    /// uncapped to capped has no insert history, so its pre-resize
+    /// pages can only leave through the global shrinker or unlink —
+    /// inserts from the resize onward are ledgered and enforced.
+    pub fn resize_budget(
+        &mut self,
+        id: TenantId,
+        pc_budget: Option<u64>,
+        fast_budget_frames: Option<u64>,
+    ) -> bool {
+        let Some(spec) = self.specs.get_mut(id.index()).and_then(Option::as_mut) else {
+            return false;
+        };
+        spec.pc_budget = pc_budget;
+        spec.fast_budget_frames = fast_budget_frames;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -283,5 +314,32 @@ mod tests {
     fn qos_display() {
         assert_eq!(QosClass::Guaranteed.to_string(), "guaranteed");
         assert_eq!(QosClass::BestEffort.to_string(), "best-effort");
+    }
+
+    #[test]
+    fn resize_budget_updates_caps_and_rejects_unknown() {
+        let mut t = TenantTable::new();
+        t.register(spec(2, Some(8)));
+        assert!(t.resize_budget(TenantId(2), Some(4), Some(16)));
+        assert_eq!(t.pc_budget(TenantId(2)), Some(4));
+        assert_eq!(t.spec(TenantId(2)).unwrap().fast_budget_frames, Some(16));
+        // Growing back to uncapped.
+        assert!(t.resize_budget(TenantId(2), None, None));
+        assert_eq!(t.pc_budget(TenantId(2)), None);
+        // Unknown tenants are a configuration error, not a registration.
+        assert!(!t.resize_budget(TenantId(5), Some(1), None));
+        assert_eq!(t.spec(TenantId(5)), None);
+    }
+
+    #[test]
+    fn uncapped_to_capped_resize_ledgers_only_new_inserts() {
+        let mut t = TenantTable::new();
+        let id = TenantId(1);
+        t.register(spec(1, None));
+        t.note_pc_insert(id, InodeId(2), 0);
+        assert!(t.resize_budget(id, Some(1), None));
+        assert_eq!(t.pop_oldest(id), None, "pre-resize pages unledgered");
+        t.note_pc_insert(id, InodeId(2), 1);
+        assert_eq!(t.pop_oldest(id), Some((InodeId(2), 1)));
     }
 }

@@ -88,6 +88,93 @@ impl KernelHooks for FastOnly {
     }
 }
 
+/// TierOffline propagation through the syscall facade (kfault builds):
+/// an `Offline` fault window must surface as the degradation cause —
+/// never masked as plain capacity pressure — on every allocating
+/// syscall path, spill placements must degrade to the slow tier instead
+/// of erroring, and allocations must recover once the window closes.
+#[cfg(feature = "kfault")]
+mod tier_offline {
+    use super::*;
+    use kloc_mem::{FaultPlan, MemError, Nanos, TierFaultKind};
+
+    /// Offlines the fast tier from `t = 0`, optionally until `until`.
+    fn offline_fast(mem: &mut MemorySystem, until: Option<Nanos>) {
+        mem.set_fault_plan(FaultPlan::new().with_tier_fault(
+            TierId::FAST,
+            TierFaultKind::Offline,
+            Nanos::ZERO,
+            until,
+        ));
+    }
+
+    fn assert_offline(err: KernelError) {
+        match err {
+            KernelError::Mem(MemError::TierOffline(t)) => assert_eq!(t, TierId::FAST),
+            other => panic!("want TierOffline(fast), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_surfaces_tier_offline_not_out_of_memory() {
+        let mut mem = MemorySystem::two_tier(1024 * PAGE_SIZE, 8);
+        let mut hooks = FastOnly;
+        let mut k = Kernel::new(KernelParams::default());
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        // Set up the file before the window opens so create's slab
+        // allocations succeed; the plan is installed afterwards.
+        let fd = k.create(&mut ctx, "/f").unwrap();
+        offline_fast(ctx.mem, None);
+        let err = k.write(&mut ctx, fd, 0, 4 * PAGE_SIZE).unwrap_err();
+        assert_offline(err);
+    }
+
+    #[test]
+    fn app_alloc_and_socket_delivery_surface_tier_offline() {
+        let mut mem = MemorySystem::two_tier(1024 * PAGE_SIZE, 8);
+        let mut hooks = FastOnly;
+        let mut k = Kernel::new(KernelParams::default());
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let sock = k.socket(&mut ctx).unwrap();
+        offline_fast(ctx.mem, None);
+        assert_offline(k.alloc_app_page(&mut ctx).unwrap_err());
+        // A delivery needs receive-buffer pages; same propagation.
+        assert_offline(k.deliver(&mut ctx, sock, 4 * PAGE_SIZE).unwrap_err());
+    }
+
+    #[test]
+    fn fast_first_placement_degrades_to_slow_during_the_window() {
+        let mut mem = MemorySystem::two_tier(1024 * PAGE_SIZE, 8);
+        let mut hooks = NullHooks::fast_first();
+        let mut k = Kernel::new(KernelParams::default());
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let fd = k.create(&mut ctx, "/f").unwrap();
+        offline_fast(ctx.mem, None);
+        // A fast-preferring placement with a slow fallback keeps
+        // working: the window diverts it instead of failing it.
+        k.write(&mut ctx, fd, 0, 4 * PAGE_SIZE).unwrap();
+        let frame = k.alloc_app_page(&mut ctx).unwrap();
+        assert_eq!(ctx.mem.tier_of(frame), TierId::SLOW);
+    }
+
+    #[test]
+    fn allocations_recover_when_the_window_closes() {
+        let mut mem = MemorySystem::two_tier(1024 * PAGE_SIZE, 8);
+        let mut hooks = FastOnly;
+        let mut k = Kernel::new(KernelParams::default());
+        let mut ctx = Ctx::new(&mut mem, &mut hooks);
+        let fd = k.create(&mut ctx, "/f").unwrap();
+        offline_fast(ctx.mem, Some(Nanos::from_micros(50)));
+        assert_offline(k.write(&mut ctx, fd, 0, PAGE_SIZE).unwrap_err());
+        // Sit out the window on the virtual clock; the same write
+        // then lands on the recovered fast tier.
+        ctx.mem.charge(Nanos::from_micros(60)); // lint: charge-ok
+        k.write(&mut ctx, fd, 0, PAGE_SIZE).unwrap();
+        let frame = k.alloc_app_page(&mut ctx).unwrap();
+        assert_eq!(ctx.mem.tier_of(frame), TierId::FAST);
+    }
+}
+
 #[test]
 fn mem_errors_propagate_through_the_syscall_facade() {
     // 8 fast frames, nothing else allowed: a large write must fail with

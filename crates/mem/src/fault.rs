@@ -198,8 +198,9 @@ impl FaultPlan {
     /// Generates a representative seeded plan over a virtual-time
     /// `horizon`: two faults per disk-op class (1-2 consecutive errors
     /// each, always recoverable within the kernel's default retry
-    /// budget), two migration faults, and one fast-tier exhaustion
-    /// window in the middle third of the horizon. Identical
+    /// budget), two migration faults, one fast-tier exhaustion window
+    /// in the middle third of the horizon, and one fast-tier offlining
+    /// window in the last third (exercising the drain path). Identical
     /// `(seed, horizon)` pairs yield identical plans.
     pub fn seeded(seed: u64, horizon: Nanos) -> Self {
         let mut rng = SplitMix64::seed_from_u64(seed ^ 0xFA_017);
@@ -226,7 +227,10 @@ impl FaultPlan {
         }
         let start = at(&mut rng, h, 2, 4);
         let end = start + Nanos::new(h / 6);
-        plan.with_tier_fault(TierId::FAST, TierFaultKind::Exhaust, start, Some(end))
+        plan = plan.with_tier_fault(TierId::FAST, TierFaultKind::Exhaust, start, Some(end));
+        let off = at(&mut rng, h, 5, 6);
+        let off_end = off + Nanos::new(h / 8);
+        plan.with_tier_fault(TierId::FAST, TierFaultKind::Offline, off, Some(off_end))
     }
 }
 
@@ -292,6 +296,32 @@ impl FaultState {
             }
         }
         None
+    }
+
+    /// Tiers with an active [`TierFaultKind::Offline`] window at `now`,
+    /// in schedule order with duplicates removed. Read-only (does not
+    /// mark windows announced); the drain path polls this each tick to
+    /// discover tiers that need their resident frames migrated away.
+    pub fn offline_tiers(&self, now: Nanos) -> Vec<TierId> {
+        let mut out: Vec<TierId> = Vec::new();
+        for w in &self.tiers {
+            let active = w.kind == TierFaultKind::Offline
+                && w.at <= now
+                && w.until.is_none_or(|u| now < u);
+            if active && !out.contains(&w.tier) {
+                out.push(w.tier);
+            }
+        }
+        out
+    }
+
+    /// Whether any tier fault window (exhaustion or offlining) is
+    /// active at `now`. Read-only; QoS-aware reclaim and placement use
+    /// this to decide when degradation ordering applies.
+    pub fn tier_fault_active(&self, now: Nanos) -> bool {
+        self.tiers
+            .iter()
+            .any(|w| w.at <= now && w.until.is_none_or(|u| now < u))
     }
 
     /// Consumes one pending migration fault armed at/before `now`.
@@ -402,6 +432,31 @@ mod tests {
     }
 
     #[test]
+    fn offline_tiers_is_read_only_and_windowed() {
+        let plan = FaultPlan::new()
+            .with_tier_fault(
+                TierId::FAST,
+                TierFaultKind::Offline,
+                Nanos::new(10),
+                Some(Nanos::new(20)),
+            )
+            .with_tier_fault(TierId::SLOW, TierFaultKind::Exhaust, Nanos::ZERO, None);
+        let mut s = FaultState::new(plan);
+        assert!(s.offline_tiers(Nanos::new(5)).is_empty(), "not open yet");
+        assert_eq!(s.offline_tiers(Nanos::new(10)), vec![TierId::FAST]);
+        assert!(
+            s.offline_tiers(Nanos::new(20)).is_empty(),
+            "window closed (exhaust windows never drain)"
+        );
+        assert!(s.tier_fault_active(Nanos::new(5)), "exhaust window counts");
+        // Read-only: polling must not consume the one-shot announce.
+        assert_eq!(
+            s.tier_fault(TierId::FAST, Nanos::new(12)),
+            Some((TierFaultKind::Offline, true))
+        );
+    }
+
+    #[test]
     fn crash_points_are_one_shot() {
         let mut s = FaultState::new(FaultPlan::new().with_crash(CrashPoint::At(Nanos::new(50))));
         assert!(!s.take_crash_at(Nanos::new(49)));
@@ -426,7 +481,9 @@ mod tests {
         assert_ne!(a, FaultPlan::seeded(43, h));
         assert_eq!(a.disk.len(), 6, "two faults per disk-op class");
         assert_eq!(a.migrations.len(), 2);
-        assert_eq!(a.tiers.len(), 1);
+        assert_eq!(a.tiers.len(), 2, "one exhaust + one offline window");
+        assert_eq!(a.tiers[0].kind, TierFaultKind::Exhaust);
+        assert_eq!(a.tiers[1].kind, TierFaultKind::Offline);
         assert!(a.crash.is_none(), "seeded plans never crash");
         for f in &a.disk {
             assert!(f.count >= 1 && f.count <= 2, "recoverable within retries");

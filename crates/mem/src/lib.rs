@@ -64,6 +64,6 @@ pub use migrate::{MigrationCost, MigrationStats};
 pub use rng::SplitMix64;
 pub use shard::{ShardConfig, ShardedFreeLists};
 pub use stats::{MemStats, TierStats};
-pub use system::{AccessOp, MemorySystem};
+pub use system::{AccessOp, DrainStats, MemorySystem};
 pub use tenant::TenantId;
 pub use tier::{TierId, TierKind, TierSpec};

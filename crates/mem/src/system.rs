@@ -24,6 +24,28 @@ use crate::tier::{TierId, TierSpec};
 /// topologies (QPI/UPI hop).
 pub const REMOTE_ACCESS_PENALTY: Nanos = Nanos::new(60);
 
+/// Retry budget per frame inside one drain pass; mirrors the blk-mq
+/// layer's default `io_max_retries`.
+#[cfg(feature = "kfault")]
+const DRAIN_MAX_RETRIES: u32 = 5;
+
+/// Counters for the tier-drain path: when a kfault `Offline` window
+/// opens, [`MemorySystem::drain_offline`] live-migrates resident
+/// relocatable frames off the tier instead of leaving them stranded on
+/// a degraded device. All zeros without the `kfault` feature.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DrainStats {
+    /// Frames successfully migrated off offlining tiers.
+    pub drained: u64,
+    /// Migration-fault retries absorbed (each charged a backoff).
+    pub retries: u64,
+    /// Frames abandoned after the per-frame retry budget ran out.
+    pub failed: u64,
+    /// Drain passes that did any work (moved a frame or retried).
+    pub passes: u64,
+}
+
 /// One access in a batched run; see [`MemorySystem::access_batch`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AccessOp {
@@ -73,6 +95,7 @@ pub struct MemorySystem {
     stats: MemStats,
     migration_cost: MigrationCost,
     migration_stats: MigrationStats,
+    drain_stats: DrainStats,
     /// Per-tenant count of kernel-kind frames resident on the fast tier
     /// (tier 0), dense by [`TenantId::index`] and grown on demand.
     /// Maintained incrementally at allocate/free/migrate/restamp so
@@ -115,6 +138,7 @@ impl MemorySystem {
             clock: Clock::new(),
             migration_cost: MigrationCost::default(),
             migration_stats: MigrationStats::default(),
+            drain_stats: DrainStats::default(),
             tenant_fast_kernel: Vec::new(),
             cpu_parallelism: 1,
             #[cfg(feature = "kfault")]
@@ -245,6 +269,11 @@ impl MemorySystem {
     /// Migration counters.
     pub fn migration_stats(&self) -> &MigrationStats {
         &self.migration_stats
+    }
+
+    /// Tier-drain counters (all zeros without `kfault`).
+    pub fn drain_stats(&self) -> &DrainStats {
+        &self.drain_stats
     }
 
     /// L4 cache attached to `tier`, if any.
@@ -447,22 +476,29 @@ impl MemorySystem {
     /// Allocates on the first tier in `preference` with room.
     ///
     /// # Errors
-    /// [`MemError::OutOfMemory`] if no listed tier has room.
+    /// [`MemError::TierOffline`] if every listed tier failed and at
+    /// least one was offlined by a fault window (the degradation cause
+    /// outranks plain capacity pressure for diagnostics), otherwise
+    /// [`MemError::OutOfMemory`].
     pub fn allocate_preferring(
         &mut self,
         preference: &[TierId],
         kind: PageKind,
     ) -> Result<FrameId, MemError> {
+        let mut offline: Option<MemError> = None;
         for &tier in preference {
             match self.allocate(tier, kind) {
                 Ok(id) => return Ok(id),
                 // Divert to the next preference both on capacity pressure
                 // and when a fault window has the tier offline.
-                Err(MemError::TierFull(_) | MemError::TierOffline(_)) => continue,
+                Err(MemError::TierFull(_)) => continue,
+                Err(e @ MemError::TierOffline(_)) => {
+                    offline.get_or_insert(e);
+                }
                 Err(e) => return Err(e),
             }
         }
-        Err(MemError::OutOfMemory)
+        Err(offline.unwrap_or(MemError::OutOfMemory))
     }
 
     /// Frees a frame, recording its lifetime (paper Fig. 2d).
@@ -857,6 +893,160 @@ impl MemorySystem {
         });
         Ok(cost)
     }
+
+    /// Whether any tier fault window (`Exhaust` or `Offline`) is open
+    /// at the current virtual time. The kernel and policy consult this
+    /// to switch reclaim and placement into QoS-ordered degraded mode
+    /// (DESIGN.md §13); read-only, never consumes fault state.
+    #[cfg(feature = "kfault")]
+    pub fn tier_fault_active(&self) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|s| s.tier_fault_active(self.clock.now()))
+    }
+
+    /// No-op shim: fault injection is compiled out.
+    #[cfg(not(feature = "kfault"))]
+    #[inline(always)]
+    pub fn tier_fault_active(&self) -> bool {
+        false
+    }
+
+    /// Live-migrates resident frames off tiers covered by an active
+    /// `Offline` fault window — the graceful-degradation path that
+    /// turns a lost device into bounded migration traffic instead of
+    /// stranding its frames behind [`MemError::TierOffline`] for the
+    /// rest of the window (DESIGN.md §13).
+    ///
+    /// At most `budget_frames` frames move per call (clamped to at
+    /// least 1, the usual panic→clamp convention); victims are taken
+    /// in frame-table slot order so the pass is deterministic.
+    /// Injected migration faults are retried with exponential backoff
+    /// starting at `backoff_base` (clamped to at least 1 ns) and
+    /// capped at `backoff_cap` (clamped to at least the base), each
+    /// wait charged through [`MemorySystem::charge`], for up to
+    /// `DRAIN_MAX_RETRIES` attempts per frame. The destination is the
+    /// highest-index tier not itself offline; capacity pressure there
+    /// ends the tier's pass early. Pinned frames (slab pages) are not
+    /// relocatable and are skipped — resident accesses never consult
+    /// the fault plan, so they stay readable in place.
+    ///
+    /// Returns the number of frames moved and emits one `drain` trace
+    /// event per tier that did any work (moved a frame or absorbed a
+    /// retry), so a faultless run's trace stays byte-identical.
+    #[cfg(feature = "kfault")]
+    pub fn drain_offline(
+        &mut self,
+        budget_frames: u64,
+        backoff_base: Nanos,
+        backoff_cap: Nanos,
+    ) -> u64 {
+        let mut budget = budget_frames.max(1);
+        let base = Nanos::new(backoff_base.as_nanos().max(1));
+        let cap = Nanos::new(backoff_cap.as_nanos().max(base.as_nanos()));
+        let offline = match &self.fault {
+            Some(s) => s.offline_tiers(self.clock.now()),
+            None => return 0,
+        };
+        if offline.is_empty() {
+            return 0;
+        }
+        let mut total_moved = 0u64;
+        let mut total_retries = 0u64;
+        for &tier in &offline {
+            if budget == 0 {
+                break;
+            }
+            // Highest-index healthy tier hosts the refugees (the slow
+            // tier in the standard topology).
+            let Some(dest) = (0..self.tiers.len())
+                .rev()
+                .map(|i| TierId(i as u8))
+                .find(|t| !offline.contains(t))
+            else {
+                // Every tier is offline: nowhere to drain to.
+                continue;
+            };
+            let started = self.clock.now();
+            let victims: Vec<FrameId> = self
+                .frames
+                .iter()
+                .filter(|f| f.tier == tier && !f.pinned)
+                .map(|f| f.id())
+                .take(usize::try_from(budget).unwrap_or(usize::MAX))
+                .collect();
+            let mut moved = 0u64;
+            let mut retries = 0u64;
+            'frames: for frame in victims {
+                let mut attempt: u32 = 0;
+                loop {
+                    match self.migrate(frame, dest) {
+                        Ok(_) => {
+                            moved += 1;
+                            budget -= 1;
+                            break;
+                        }
+                        Err(MemError::MigrationFault(_)) if attempt + 1 < DRAIN_MAX_RETRIES => {
+                            attempt += 1;
+                            retries += 1;
+                            let backoff = Nanos::new(
+                                base.as_nanos()
+                                    .saturating_mul(1 << (attempt - 1).min(32))
+                                    .min(cap.as_nanos()),
+                            );
+                            self.charge(backoff);
+                        }
+                        Err(MemError::MigrationFault(_)) => {
+                            self.drain_stats.failed += 1;
+                            break;
+                        }
+                        // Destination full or itself faulted: this
+                        // tier's pass cannot make progress.
+                        Err(MemError::TierFull(_) | MemError::TierOffline(_)) => break 'frames,
+                        // Pinned/freed races cannot occur within one
+                        // pass; skip rather than wedge the drain.
+                        Err(_) => break,
+                    }
+                }
+            }
+            if moved + retries > 0 {
+                let left = self
+                    .frames
+                    .iter()
+                    .filter(|f| f.tier == tier && !f.pinned)
+                    .count() as u64;
+                let cost = self.clock.now().saturating_sub(started);
+                kloc_trace::emit(|| kloc_trace::Event::Drain {
+                    t: self.clock.now().as_nanos(),
+                    tier: u64::from(tier.0),
+                    moved,
+                    left,
+                    retries,
+                    cost: cost.as_nanos(),
+                });
+            }
+            total_moved += moved;
+            total_retries += retries;
+        }
+        self.drain_stats.drained += total_moved;
+        self.drain_stats.retries += total_retries;
+        if total_moved + total_retries > 0 {
+            self.drain_stats.passes += 1;
+        }
+        total_moved
+    }
+
+    /// No-op shim: fault injection is compiled out.
+    #[cfg(not(feature = "kfault"))]
+    #[inline(always)]
+    pub fn drain_offline(
+        &mut self,
+        _budget_frames: u64,
+        _backoff_base: Nanos,
+        _backoff_cap: Nanos,
+    ) -> u64 {
+        0
+    }
 }
 
 #[cfg(feature = "ksan")]
@@ -1193,6 +1383,125 @@ mod tests {
         assert_eq!(m.migration_stats().total(), 0);
         // The fault is consumed; the retry succeeds.
         assert!(m.migrate(f, TierId::SLOW).is_ok());
+    }
+
+    #[cfg(feature = "kfault")]
+    #[test]
+    fn drain_offline_moves_relocatable_frames_and_skips_pinned() {
+        use crate::fault::TierFaultKind;
+        let mut m = small();
+        let a = m.allocate(TierId::FAST, PageKind::AppData).unwrap();
+        let b = m.allocate(TierId::FAST, PageKind::PageCache).unwrap();
+        let s = m.allocate(TierId::FAST, PageKind::Slab).unwrap();
+        m.set_fault_plan(FaultPlan::new().with_tier_fault(
+            TierId::FAST,
+            TierFaultKind::Offline,
+            Nanos::ZERO,
+            Some(Nanos::from_secs(1)),
+        ));
+        let moved = m.drain_offline(128, Nanos::new(1_000), Nanos::new(8_000));
+        assert_eq!(moved, 2, "both relocatable frames leave the tier");
+        assert_eq!(m.tier_of(a), TierId::SLOW);
+        assert_eq!(m.tier_of(b), TierId::SLOW);
+        assert_eq!(m.tier_of(s), TierId::FAST, "pinned slab page stays");
+        assert_eq!(m.drain_stats().drained, 2);
+        assert_eq!(m.drain_stats().passes, 1);
+        // The drained frames stay readable from their new home.
+        assert!(m.read(a, 64) > Nanos::ZERO);
+        // Nothing left to drain: further passes are no-ops.
+        assert_eq!(m.drain_offline(128, Nanos::new(1_000), Nanos::new(8_000)), 0);
+        assert_eq!(m.drain_stats().passes, 1);
+    }
+
+    #[cfg(feature = "kfault")]
+    #[test]
+    fn drain_retries_migration_faults_with_charged_backoff() {
+        use crate::fault::TierFaultKind;
+        let mut m = small();
+        let f = m.allocate(TierId::FAST, PageKind::AppData).unwrap();
+        m.set_fault_plan(
+            FaultPlan::new()
+                .with_tier_fault(
+                    TierId::FAST,
+                    TierFaultKind::Offline,
+                    Nanos::ZERO,
+                    Some(Nanos::from_secs(1)),
+                )
+                .with_migration_fault(Nanos::ZERO, 2),
+        );
+        let before = m.now();
+        let moved = m.drain_offline(128, Nanos::new(1_000), Nanos::new(8_000));
+        assert_eq!(moved, 1, "frame lands on slow after two retries");
+        assert_eq!(m.tier_of(f), TierId::SLOW);
+        assert_eq!(m.drain_stats().retries, 2);
+        assert_eq!(m.drain_stats().failed, 0);
+        // Backoffs (1µs then 2µs) were charged to the virtual clock.
+        assert!(
+            m.now().saturating_sub(before) >= Nanos::new(3_000),
+            "backoff waits must advance virtual time"
+        );
+    }
+
+    #[cfg(feature = "kfault")]
+    #[test]
+    fn drain_budget_clamps_to_one_and_bounds_a_pass() {
+        use crate::fault::TierFaultKind;
+        let mut m = small();
+        let a = m.allocate(TierId::FAST, PageKind::AppData).unwrap();
+        let b = m.allocate(TierId::FAST, PageKind::AppData).unwrap();
+        m.set_fault_plan(FaultPlan::new().with_tier_fault(
+            TierId::FAST,
+            TierFaultKind::Offline,
+            Nanos::ZERO,
+            Some(Nanos::from_secs(1)),
+        ));
+        // Zero budget clamps to 1 (panic→clamp convention): exactly one
+        // frame moves per pass, in frame-table order.
+        assert_eq!(m.drain_offline(0, Nanos::ZERO, Nanos::ZERO), 1);
+        assert_eq!(m.tier_of(a), TierId::SLOW);
+        assert_eq!(m.tier_of(b), TierId::FAST);
+        assert_eq!(m.drain_offline(1, Nanos::ZERO, Nanos::ZERO), 1);
+        assert_eq!(m.tier_of(b), TierId::SLOW);
+    }
+
+    #[cfg(feature = "kfault")]
+    #[test]
+    fn drain_without_offline_window_is_inert() {
+        use crate::fault::TierFaultKind;
+        let mut m = small();
+        let f = m.allocate(TierId::FAST, PageKind::AppData).unwrap();
+        // No plan at all.
+        assert_eq!(m.drain_offline(128, Nanos::ZERO, Nanos::ZERO), 0);
+        // Exhaust windows do not drain — the tier still holds its data.
+        m.set_fault_plan(FaultPlan::new().with_tier_fault(
+            TierId::FAST,
+            TierFaultKind::Exhaust,
+            Nanos::ZERO,
+            None,
+        ));
+        assert_eq!(m.drain_offline(128, Nanos::ZERO, Nanos::ZERO), 0);
+        assert_eq!(m.tier_of(f), TierId::FAST);
+        assert_eq!(*m.drain_stats(), DrainStats::default());
+        assert!(m.tier_fault_active(), "exhaust still reads as a fault");
+    }
+
+    #[cfg(feature = "kfault")]
+    #[test]
+    fn all_tiers_offline_surfaces_tier_offline_not_oom() {
+        use crate::fault::TierFaultKind;
+        let mut m = small();
+        m.set_fault_plan(
+            FaultPlan::new()
+                .with_tier_fault(TierId::FAST, TierFaultKind::Offline, Nanos::ZERO, None)
+                .with_tier_fault(TierId::SLOW, TierFaultKind::Offline, Nanos::ZERO, None),
+        );
+        // The degradation cause outranks plain capacity pressure.
+        assert_eq!(
+            m.allocate_preferring(&[TierId::FAST, TierId::SLOW], PageKind::AppData),
+            Err(MemError::TierOffline(TierId::FAST))
+        );
+        // Nowhere to drain to either: the pass is a no-op.
+        assert_eq!(m.drain_offline(128, Nanos::ZERO, Nanos::ZERO), 0);
     }
 
     #[cfg(feature = "kfault")]

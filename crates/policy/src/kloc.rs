@@ -85,6 +85,11 @@ pub struct KlocPolicy {
     /// [`TenantId::index`] (`None` = uncapped). Installed by
     /// [`Policy::configure_tenants`]; empty in single-tenant runs.
     tenant_budgets: Vec<Option<u64>>,
+    /// Per-tenant QoS classes, dense by [`TenantId::index`] (`None` =
+    /// unregistered). Installed by [`Policy::configure_tenants`];
+    /// drives the QoS-ordered divert under pressure or an active tier
+    /// fault (DESIGN.md §13).
+    tenant_qos: Vec<Option<kloc_kernel::QosClass>>,
 }
 
 impl Default for KlocPolicy {
@@ -133,7 +138,30 @@ impl KlocPolicy {
             peak_migration_batch: 0,
             scratch: Vec::new(),
             tenant_budgets: Vec::new(),
+            tenant_qos: Vec::new(),
         }
+    }
+
+    /// The most-scavenger QoS class currently holding fast-tier kernel
+    /// pages, or `None` unless at least two distinct classes hold some
+    /// — with a single class there is nobody to protect, so plain
+    /// placement applies. Only registered tenants participate; the
+    /// shared default tenant's infrastructure pages are not a class.
+    fn qos_divert_floor(&self, mem: &MemorySystem) -> Option<kloc_kernel::QosClass> {
+        use kloc_kernel::QosClass;
+        let mut seen = [false; 3];
+        for (i, q) in self.tenant_qos.iter().enumerate() {
+            let Some(q) = q else { continue };
+            if mem.tenant_fast_kernel(TenantId(i as u16)) > 0 {
+                seen[*q as usize] = true;
+            }
+        }
+        if seen.iter().filter(|s| **s).count() < 2 {
+            return None;
+        }
+        [QosClass::BestEffort, QosClass::Burstable, QosClass::Guaranteed]
+            .into_iter()
+            .find(|q| seen[*q as usize])
     }
 
     /// The KLOC registry.
@@ -258,6 +286,24 @@ impl KernelHooks for KlocPolicy {
                 return Placement::slow_only();
             }
         }
+        let pressure = mem
+            .tier_alloc(TierId::FAST)
+            .map(|a| a.utilization() >= 0.85)
+            .unwrap_or(false);
+        // QoS-ordered divert (DESIGN.md §13): while fast memory is
+        // under pressure or a tier fault window is open, kernel
+        // allocations from the most-scavenger class holding fast pages
+        // go to slow memory, preserving stricter classes' headroom. A
+        // Guaranteed tenant is never diverted here while a lower class
+        // holds fast kernel pages.
+        if pressure || mem.tier_fault_active() {
+            if let Some(floor) = self.qos_divert_floor(mem) {
+                if self.tenant_qos.get(req.tenant.index()).copied().flatten() == Some(floor) {
+                    kloc_trace::with_counters(|c| c.slow_diverts += 1);
+                    return Placement::slow_only();
+                }
+            }
+        }
         // sys_kloc_memsize (Table 2): an administrator cap on the fast
         // memory KLOC-managed kernel objects may occupy.
         if let Some(budget) = self.registry.config().fast_budget_frames {
@@ -274,10 +320,6 @@ impl KernelHooks for KlocPolicy {
                 return Placement::slow_only();
             }
         }
-        let pressure = mem
-            .tier_alloc(TierId::FAST)
-            .map(|a| a.utilization() >= 0.85)
-            .unwrap_or(false);
         if req.readahead && pressure {
             // Speculative readahead must not pollute scarce fast memory
             // (§7.3); pages that turn out hot are retrieved by the
@@ -523,8 +565,10 @@ impl Policy for KlocPolicy {
             let i = spec.id.index();
             if i >= self.tenant_budgets.len() {
                 self.tenant_budgets.resize(i + 1, None);
+                self.tenant_qos.resize(i + 1, None);
             }
             self.tenant_budgets[i] = spec.fast_budget_frames;
+            self.tenant_qos[i] = Some(spec.qos);
         }
     }
 }

@@ -94,6 +94,7 @@ fn sweep(scale: &Scale) -> Vec<RunConfig> {
                         },
                         kernel_params: None,
                         faults: None,
+                        budgets: Vec::new(),
                     });
                 }
             }
@@ -128,6 +129,7 @@ fn run_matrix(scales: &[Scale]) -> Vec<RunConfig> {
                     },
                     kernel_params: None,
                     faults: None,
+                    budgets: Vec::new(),
                 });
             }
         }

@@ -14,7 +14,8 @@
 //!   tenants                   tenant isolation (budgets off vs on)
 //!   run --workload W --policy P   one run (trace-friendly)
 //!   crashsweep                journal crash-recovery sweep (kfault builds)
-//!   all                       everything above (except `run`/`crashsweep`/`tenants`)
+//!   chaos                     QoS graceful-degradation soak (kfault builds)
+//!   all                       everything above (except `run`/`crashsweep`/`chaos`/`tenants`)
 //! ```
 //!
 //! `--jobs N` sets the sweep-runner thread count (default: one per
@@ -30,11 +31,13 @@
 //! executes and writes it to FILE; analyze it with the `ktrace` binary.
 //! Trace bytes are byte-identical at any `--jobs` count.
 //!
-//! kfault builds (`--features kfault`) add two things: `repro
+//! kfault builds (`--features kfault`) add three things: `repro
 //! crashsweep [--crash-points N]` runs the journal crash-recovery
-//! sweep (fails if the consistency checker finds any violation), and
-//! `repro run --fault-seed N` injects a seeded disk/tier/migration
-//! fault plan into the single run.
+//! sweep (fails if the consistency checker finds any violation),
+//! `repro chaos` runs the QoS graceful-degradation soak (fails on any
+//! SLO breach; its report is byte-identical at any `--jobs`/`--shards`
+//! setting), and `repro run --fault-seed N` injects a seeded
+//! disk/tier/migration fault plan into the single run.
 
 use std::process::ExitCode;
 
@@ -47,7 +50,7 @@ use kloc_workloads::{Scale, WorkloadKind};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <fig2a|fig2b|fig2c|fig2d|fig4|fig5a|fig5b|fig5c|fig6|table6|percpu|prefetch|thp|granularity|tenants|all> [--scale tiny|small|large|huge] [--seed N] [--jobs N] [--shards N] [--trace FILE]\n       repro run --workload <rocksdb|redis|filebench|cassandra|spark|tenants|tenants-nobudget> --policy <naive|nimble|nimble++|kloc-nomigration|kloc|all-fast|all-slow|autonuma|autonuma-kloc> [--fault-seed N] [options]\n       repro crashsweep [--crash-points N] [options]    (kfault builds)"
+        "usage: repro <fig2a|fig2b|fig2c|fig2d|fig4|fig5a|fig5b|fig5c|fig6|table6|percpu|prefetch|thp|granularity|tenants|all> [--scale tiny|small|large|huge] [--seed N] [--jobs N] [--shards N] [--trace FILE]\n       repro run --workload <rocksdb|redis|filebench|cassandra|spark|tenants|tenants-nobudget> --policy <naive|nimble|nimble++|kloc-nomigration|kloc|all-fast|all-slow|autonuma|autonuma-kloc> [--fault-seed N] [options]\n       repro crashsweep [--crash-points N] [options]    (kfault builds)\n       repro chaos [options]                             (kfault builds)"
     );
     ExitCode::FAILURE
 }
@@ -175,6 +178,7 @@ fn single_run_config(args: &[String], scale: &Scale) -> Result<RunConfig, String
         platform: platform_for(scale),
         kernel_params: None,
         faults,
+        budgets: Vec::new(),
     })
 }
 
@@ -230,6 +234,20 @@ fn run(
         }
         return Ok(());
     }
+    if which == "chaos" {
+        #[cfg(feature = "kfault")]
+        {
+            eprintln!("[chaos soak at scale {} (drain + faults + resize)...]", scale.label);
+            let report = kloc_sim::chaos::run(scale)?;
+            print!("{}", report.render());
+            if report.breaches() > 0 {
+                return Err(format!("chaos soak found {} SLO breach(es)", report.breaches()).into());
+            }
+            return Ok(());
+        }
+        #[cfg(not(feature = "kfault"))]
+        return Err("chaos needs a kfault-enabled build (cargo ... --features kfault)".into());
+    }
     if which == "crashsweep" {
         #[cfg(feature = "kfault")]
         {
@@ -249,6 +267,16 @@ fn run(
                 let summary = kloc_sim::crashsweep::sweep(w, PolicyKind::Kloc, scale, mid_points)?;
                 print!("{}", summary.render());
                 violations += summary.violations();
+                // Crashes planted inside an active tier-drain window:
+                // the drain is journal-free, so recovery must stay clean.
+                let drains = kloc_sim::crashsweep::sweep_drain_window(
+                    w,
+                    PolicyKind::Kloc,
+                    scale,
+                    mid_points.max(1),
+                )?;
+                print!("{}", drains.render());
+                violations += drains.violations();
             }
             if violations > 0 {
                 return Err(format!("crash-recovery checker found {violations} violations").into());

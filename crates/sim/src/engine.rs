@@ -4,7 +4,7 @@ use kloc_core::overhead::{self, OverheadReport};
 use kloc_core::KlocStats;
 use kloc_kernel::hooks::Ctx;
 use kloc_kernel::{Kernel, KernelError, KernelParams, KernelStats};
-use kloc_mem::{FaultPlan, MemStats, MemorySystem, MigrationStats, Nanos, TierId};
+use kloc_mem::{FaultPlan, MemStats, MemorySystem, MigrationStats, Nanos, TenantId, TierId};
 use kloc_policy::{Policy, PolicyKind};
 use kloc_workloads::{Scale, WorkloadKind};
 
@@ -80,6 +80,31 @@ pub fn set_default_shards(shards: u32) {
     DEFAULT_SHARDS.store(shards, std::sync::atomic::Ordering::Relaxed);
 }
 
+/// The process-wide default shard count (0 = built-in default). Lets
+/// the non-engine harnesses (chaos soak) honor `repro --shards` so
+/// their reports can be byte-compared across shard counts too.
+#[cfg(feature = "kfault")]
+pub(crate) fn default_shards() -> u32 {
+    DEFAULT_SHARDS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// One scheduled mid-run budget reconfiguration — the engine-level
+/// `sys_kloc_memsize` schedule (DESIGN.md §13). Applied during the
+/// measured phase at the first op boundary where the virtual clock has
+/// reached [`BudgetEvent::at`]; a shrink is enforced by gradual
+/// self-eviction, never a stall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetEvent {
+    /// Virtual time at (or after) which the resize applies.
+    pub at: Nanos,
+    /// Tenant being resized (must be registered by the workload).
+    pub tenant: TenantId,
+    /// New page-cache cap (`None` = uncapped).
+    pub pc_budget: Option<u64>,
+    /// New fast-tier cap for kernel pages (`None` = uncapped).
+    pub fast_budget_frames: Option<u64>,
+}
+
 /// One run's configuration.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -97,6 +122,9 @@ pub struct RunConfig {
     /// plan) leaves the run fault-free; without the `kfault` feature the
     /// plan is ignored entirely.
     pub faults: Option<FaultPlan>,
+    /// Mid-run budget resizes, applied in (time, tenant) order during
+    /// the measured phase. Empty for steady-state runs.
+    pub budgets: Vec<BudgetEvent>,
 }
 
 impl RunConfig {
@@ -109,6 +137,7 @@ impl RunConfig {
             platform: Platform::default_two_tier(),
             kernel_params: None,
             faults: None,
+            budgets: Vec::new(),
         }
     }
 }
@@ -444,6 +473,12 @@ pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunRe
         phase: "measured".to_owned(),
     });
     let measured_scope = kloc_trace::scope("measured");
+    // Budget-resize schedule, in (time, tenant) order regardless of how
+    // the config listed it — the application order is part of the
+    // deterministic contract.
+    let mut budgets = config.budgets.clone();
+    budgets.sort_by_key(|b| (b.at, b.tenant.0));
+    let mut next_budget = 0usize;
     let mut switched = switch_at_op == 0;
     if switched {
         // AllRemote: the task computes on the other socket from the start.
@@ -471,8 +506,57 @@ pub fn run_with(config: &RunConfig, mut policy: Box<dyn Policy>) -> Result<RunRe
             ctx.socket = task_socket;
             workload.step(&mut kernel, &mut ctx)?;
         }
+        // Apply every budget resize the virtual clock has reached. The
+        // kernel shrinks gradually; the policy sees the new fast caps
+        // on its next placement decision.
+        while next_budget < budgets.len() && mem.now() >= budgets[next_budget].at {
+            let ev = budgets[next_budget].clone();
+            next_budget += 1;
+            let before = kernel
+                .tenants()
+                .spec(ev.tenant)
+                .map(|s| (s.pc_budget, s.fast_budget_frames));
+            let applied = {
+                let mut ctx = Ctx::new(&mut mem, policy.as_mut());
+                ctx.socket = task_socket;
+                kernel.resize_tenant_budget(&mut ctx, ev.tenant, ev.pc_budget, ev.fast_budget_frames)?
+            };
+            if applied {
+                let (old_pc, old_fast) = before.unwrap_or((None, None));
+                let t = mem.now().as_nanos();
+                if old_pc != ev.pc_budget {
+                    kloc_trace::emit(|| kloc_trace::Event::BudgetResize {
+                        t,
+                        tenant: u64::from(ev.tenant.0),
+                        kind: "pc".to_owned(),
+                        from: old_pc.unwrap_or(0),
+                        to: ev.pc_budget.unwrap_or(0),
+                    });
+                }
+                if old_fast != ev.fast_budget_frames {
+                    kloc_trace::emit(|| kloc_trace::Event::BudgetResize {
+                        t,
+                        tenant: u64::from(ev.tenant.0),
+                        kind: "fast".to_owned(),
+                        from: old_fast.unwrap_or(0),
+                        to: ev.fast_budget_frames.unwrap_or(0),
+                    });
+                }
+                if let Some(spec) = kernel.tenants().spec(ev.tenant) {
+                    policy.configure_tenants(std::slice::from_ref(&spec.clone()));
+                }
+            }
+        }
         if mem.now() >= next_tick {
             let _tick = kloc_trace::scope("policy_tick");
+            // Tier drain rides the tick cadence: while an offlining
+            // window is open, migrate resident frames off the tier
+            // within the per-tick budget (no-op shim without kfault).
+            let (db, rb, rc) = {
+                let p = kernel.params();
+                (p.drain_budget_frames, p.drain_retry_base, p.drain_retry_cap)
+            };
+            mem.drain_offline(db, rb, rc);
             policy.tick(&kernel, &mut mem);
             next_tick = mem.now() + tick_interval;
         }
@@ -581,6 +665,7 @@ mod tests {
             },
             kernel_params: None,
             faults: None,
+            budgets: Vec::new(),
         }
     }
 
@@ -634,6 +719,7 @@ mod tests {
             },
             kernel_params: None,
             faults: None,
+            budgets: Vec::new(),
         };
         let local = run(&mk(OptaneScenario::AllLocal)).unwrap();
         let remote = run(&mk(OptaneScenario::AllRemote)).unwrap();

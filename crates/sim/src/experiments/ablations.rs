@@ -156,6 +156,7 @@ pub fn prefetch(
     let without_cfg = RunConfig {
         kernel_params: Some(no_ra),
         faults: None,
+        budgets: Vec::new(),
         platform: Platform::default_two_tier(),
         ..base.clone()
     };

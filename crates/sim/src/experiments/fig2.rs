@@ -42,6 +42,7 @@ pub fn run_all(runner: &Runner, scale: &Scale) -> Result<Vec<RunReport>, KernelE
             platform: Platform::default_two_tier(),
             kernel_params: Some(params.clone()),
             faults: None,
+            budgets: Vec::new(),
         })
         .collect();
     runner.run_all(configs)

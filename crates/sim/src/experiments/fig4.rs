@@ -62,6 +62,7 @@ pub fn run(
                 platform,
                 kernel_params: None,
                 faults: None,
+                budgets: Vec::new(),
             });
         }
     }

@@ -80,6 +80,7 @@ fn optane_config(w: WorkloadKind, scale: &Scale, scenario: OptaneScenario) -> Ru
         },
         kernel_params: None,
         faults: None,
+        budgets: Vec::new(),
     }
 }
 
@@ -195,6 +196,7 @@ pub fn fig5b(
             platform,
             kernel_params: None,
             faults: None,
+            budgets: Vec::new(),
         })
         .collect();
     let reports = runner.run_all(configs)?;
@@ -323,6 +325,7 @@ pub fn fig5c(
                     platform,
                     kernel_params: None,
                     faults: None,
+                    budgets: Vec::new(),
                 },
                 Box::new(move || Box::new(KlocPolicy::with_config(cfg.clone(), true))),
             ));

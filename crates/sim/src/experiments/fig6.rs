@@ -80,6 +80,7 @@ pub fn run(
                         platform,
                         kernel_params: None,
                         faults: None,
+                        budgets: Vec::new(),
                     });
                 }
             }

@@ -49,6 +49,7 @@ pub fn run(
             },
             kernel_params: None,
             faults: None,
+            budgets: Vec::new(),
         })
         .collect();
     let reports = runner.run_all(configs)?;

@@ -76,6 +76,7 @@ pub fn run(
         platform,
         kernel_params: None,
         faults: None,
+        budgets: Vec::new(),
     };
     let mut reports = runner.run_all(vec![cfg(false), cfg(true)])?;
     let on = reports.pop().expect("two configs in, two reports out"); // lint: unwrap-ok — run_all preserves arity

@@ -259,6 +259,7 @@ pub fn render_rollup(events: &[Event]) -> String {
     });
     render_hist(&mut out, "writeback batch (pages)", &log2_hist(batches));
     out.push_str(&render_faults(events));
+    out.push_str(&render_degradation(events));
     out
 }
 
@@ -309,6 +310,83 @@ pub fn render_faults(events: &[Event]) -> String {
     }
     if retries > 0 {
         render_hist(&mut out, "retry backoff (ns)", &log2_hist(backoffs));
+    }
+    out
+}
+
+/// Renders the graceful-degradation rollup (DESIGN.md §13): tier-drain
+/// volume per tier, QoS preemptions per class and action, and the
+/// budget-resize timeline. Empty when the trace carries none of the
+/// three event kinds, so faultless resize-free rollups are unchanged.
+pub fn render_degradation(events: &[Event]) -> String {
+    let mut out = String::new();
+    // tier -> (passes, moved, retries, cost ns).
+    let mut drains: BTreeMap<u64, (u64, u64, u64, u64)> = BTreeMap::new();
+    // (qos, action) -> (events, pages).
+    let mut preempts: BTreeMap<(&str, &str), (u64, u64)> = BTreeMap::new();
+    let mut resizes: Vec<String> = Vec::new();
+    for ev in events {
+        match ev {
+            Event::Drain {
+                tier,
+                moved,
+                retries,
+                cost,
+                ..
+            } => {
+                let e = drains.entry(*tier).or_default();
+                e.0 += 1;
+                e.1 += moved;
+                e.2 += retries;
+                e.3 += cost;
+            }
+            Event::Degrade {
+                qos, action, pages, ..
+            } => {
+                let e = preempts.entry((qos.as_str(), action.as_str())).or_default();
+                e.0 += 1;
+                e.1 += pages;
+            }
+            Event::BudgetResize {
+                t,
+                tenant,
+                kind,
+                from,
+                to,
+            } => {
+                let cap = |v: u64| match v {
+                    0 => "uncapped".to_owned(),
+                    _ => v.to_string(),
+                };
+                resizes.push(format!(
+                    "  t={t:<14} tenant {tenant} {kind}: {} -> {}",
+                    cap(*from),
+                    cap(*to)
+                ));
+            }
+            _ => {}
+        }
+    }
+    if drains.is_empty() && preempts.is_empty() && resizes.is_empty() {
+        return out;
+    }
+    let _ = writeln!(out, "\ngraceful degradation:");
+    for (tier, (passes, moved, retries, cost)) in &drains {
+        let label = format!("drain/tier{tier}");
+        let _ = writeln!(
+            out,
+            "  {label:<16} {moved:>10} frame(s) in {passes} pass(es), {retries} retries, {cost} ns"
+        );
+    }
+    for ((qos, action), (events, pages)) in &preempts {
+        let label = format!("{qos}/{action}");
+        let _ = writeln!(out, "  {label:<22} {events:>6} preemption(s), {pages} page(s)");
+    }
+    if !resizes.is_empty() {
+        let _ = writeln!(out, "  budget resizes:");
+        for line in &resizes {
+            let _ = writeln!(out, "  {line}");
+        }
     }
     out
 }
@@ -537,5 +615,71 @@ mod tests {
         assert!(r.contains("(replayed 4, torn 1)"));
         assert!(r.contains("retry backoff (ns)"));
         assert!(render_rollup(&events).contains("fault injection:"));
+    }
+
+    #[test]
+    fn degradation_rollup_appears_only_with_degradation_events() {
+        // Faultless resize-free traces render no degradation section.
+        assert!(render_degradation(&sample()).is_empty());
+        assert!(!render_rollup(&sample()).contains("graceful degradation"));
+        let events = vec![
+            Event::Drain {
+                t: 10,
+                tier: 0,
+                moved: 5,
+                left: 2,
+                retries: 1,
+                cost: 3200,
+            },
+            Event::Drain {
+                t: 20,
+                tier: 0,
+                moved: 2,
+                left: 0,
+                retries: 0,
+                cost: 1280,
+            },
+            Event::Degrade {
+                t: 12,
+                tenant: 3,
+                qos: "best-effort".to_owned(),
+                action: "reclaim".to_owned(),
+                pages: 1,
+            },
+            Event::Degrade {
+                t: 14,
+                tenant: 3,
+                qos: "best-effort".to_owned(),
+                action: "resize".to_owned(),
+                pages: 1,
+            },
+            Event::BudgetResize {
+                t: 11,
+                tenant: 3,
+                kind: "pc".to_owned(),
+                from: 64,
+                to: 32,
+            },
+            Event::BudgetResize {
+                t: 30,
+                tenant: 3,
+                kind: "pc".to_owned(),
+                from: 32,
+                to: 0,
+            },
+        ];
+        let r = render_degradation(&events);
+        // Drain volume accumulates per tier across passes.
+        assert!(r.contains("drain/tier0"), "{r}");
+        assert!(r.contains("7 frame(s) in 2 pass(es), 1 retries"), "{r}");
+        // Preemptions split by (class, action).
+        assert!(r.contains("best-effort/reclaim"), "{r}");
+        assert!(r.contains("best-effort/resize"), "{r}");
+        // The resize timeline is chronological and renders 0 as uncapped.
+        assert!(r.contains("tenant 3 pc: 64 -> 32"), "{r}");
+        assert!(r.contains("tenant 3 pc: 32 -> uncapped"), "{r}");
+        assert!(render_rollup(&events).contains("graceful degradation:"));
+        // Deterministic: same events, same bytes.
+        assert_eq!(r, render_degradation(&events));
     }
 }

@@ -307,6 +307,7 @@ mod tests {
             },
             kernel_params: None,
             faults: None,
+            budgets: Vec::new(),
         }
     }
 

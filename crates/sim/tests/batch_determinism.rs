@@ -50,6 +50,7 @@ fn matrix(scale: &Scale, batch_accesses: bool) -> Vec<RunConfig> {
                         ..KernelParams::default()
                     }),
                     faults: None,
+                    budgets: Vec::new(),
                 });
             }
         }

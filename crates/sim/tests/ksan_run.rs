@@ -21,6 +21,7 @@ fn cfg(workload: WorkloadKind, policy: PolicyKind) -> RunConfig {
         },
         kernel_params: None,
         faults: None,
+        budgets: Vec::new(),
     }
 }
 

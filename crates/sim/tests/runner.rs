@@ -39,6 +39,7 @@ fn matrix() -> Vec<RunConfig> {
                     platform,
                     kernel_params: None,
                     faults: None,
+                    budgets: Vec::new(),
                 });
             }
         }

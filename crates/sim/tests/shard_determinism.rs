@@ -49,6 +49,7 @@ fn matrix(scale: &Scale, shards: u32) -> Vec<RunConfig> {
                         ..KernelParams::default()
                     }),
                     faults: None,
+                    budgets: Vec::new(),
                 });
             }
         }

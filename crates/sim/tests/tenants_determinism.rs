@@ -32,6 +32,7 @@ fn matrix(scale: &Scale, shards: Option<u32>) -> Vec<RunConfig> {
                     ..KernelParams::default()
                 }),
                 faults: None,
+                budgets: Vec::new(),
             });
         }
     }

@@ -32,6 +32,7 @@ fn cell(workload: WorkloadKind, policy: PolicyKind) -> RunConfig {
         scale,
         kernel_params: None,
         faults: None,
+        budgets: Vec::new(),
     }
 }
 

@@ -230,6 +230,52 @@ pub enum Event {
         /// Durable data pages surviving recovery.
         pages: u64,
     },
+    /// One tier-drain pass live-migrated resident frames off an
+    /// offlining tier (`kfault` feature).
+    Drain {
+        /// Virtual nanoseconds since run start (end of the pass).
+        t: u64,
+        /// Tier index being drained.
+        tier: u64,
+        /// Frames migrated off the tier in this pass.
+        moved: u64,
+        /// Frames still resident on the tier after the pass.
+        left: u64,
+        /// Migration-fault retries absorbed during the pass.
+        retries: u64,
+        /// Foreground virtual-time cost charged by the pass, ns.
+        cost: u64,
+    },
+    /// A QoS-ordered degradation action hit one tenant: the reclaim or
+    /// resize machinery preempted this tenant because its class was the
+    /// lowest-priority class still holding pages.
+    Degrade {
+        /// Virtual nanoseconds since run start.
+        t: u64,
+        /// Tenant that was degraded.
+        tenant: u64,
+        /// The tenant's QoS class (`guaranteed`/`burstable`/`best-effort`).
+        qos: String,
+        /// What happened: `reclaim` (QoS-ordered shrinker eviction) or
+        /// `resize` (gradual self-eviction after a budget shrink).
+        action: String,
+        /// Pages taken from the tenant by this action.
+        pages: u64,
+    },
+    /// A tenant budget was resized mid-run (`sys_kloc_memsize` analog).
+    BudgetResize {
+        /// Virtual nanoseconds since run start.
+        t: u64,
+        /// Tenant whose budget changed.
+        tenant: u64,
+        /// Which budget: `pc` (page-cache pages) or `fast` (fast-tier
+        /// kernel frames).
+        kind: String,
+        /// Previous cap (0 = uncapped).
+        from: u64,
+        /// New cap (0 = uncapped).
+        to: u64,
+    },
 }
 
 /// Schema entry for one event kind: the `k` value, the field list in
@@ -373,6 +419,37 @@ pub const SCHEMA: &[EventSpec] = &[
         fields: &[("replayed", "count"), ("torn", "count"), ("pages", "pages")],
         site: "crates/sim/src/crashsweep.rs",
     },
+    EventSpec {
+        kind: "drain",
+        fields: &[
+            ("tier", "idx"),
+            ("moved", "pages"),
+            ("left", "pages"),
+            ("retries", "count"),
+            ("cost", "ns"),
+        ],
+        site: "crates/mem/src/system.rs",
+    },
+    EventSpec {
+        kind: "degrade",
+        fields: &[
+            ("tenant", "id"),
+            ("qos", "str"),
+            ("action", "str"),
+            ("pages", "pages"),
+        ],
+        site: "crates/kernel/src/kernel.rs",
+    },
+    EventSpec {
+        kind: "budget_resize",
+        fields: &[
+            ("tenant", "id"),
+            ("kind", "str"),
+            ("from", "count"),
+            ("to", "count"),
+        ],
+        site: "crates/sim/src/engine.rs",
+    },
 ];
 
 impl Event {
@@ -394,6 +471,9 @@ impl Event {
         "fault",
         "retry",
         "recovery",
+        "drain",
+        "degrade",
+        "budget_resize",
     ];
 
     /// The `k` field value for this event.
@@ -415,6 +495,9 @@ impl Event {
             Event::Fault { .. } => "fault",
             Event::Retry { .. } => "retry",
             Event::Recovery { .. } => "recovery",
+            Event::Drain { .. } => "drain",
+            Event::Degrade { .. } => "degrade",
+            Event::BudgetResize { .. } => "budget_resize",
         }
     }
 
@@ -436,7 +519,10 @@ impl Event {
             | Event::Contention { t, .. }
             | Event::Fault { t, .. }
             | Event::Retry { t, .. }
-            | Event::Recovery { t, .. } => *t,
+            | Event::Recovery { t, .. }
+            | Event::Drain { t, .. }
+            | Event::Degrade { t, .. }
+            | Event::BudgetResize { t, .. } => *t,
         }
     }
 
@@ -567,6 +653,44 @@ impl Event {
                 w.num("torn", *torn);
                 w.num("pages", *pages);
             }
+            Event::Drain {
+                tier,
+                moved,
+                left,
+                retries,
+                cost,
+                ..
+            } => {
+                w.num("tier", *tier);
+                w.num("moved", *moved);
+                w.num("left", *left);
+                w.num("retries", *retries);
+                w.num("cost", *cost);
+            }
+            Event::Degrade {
+                tenant,
+                qos,
+                action,
+                pages,
+                ..
+            } => {
+                w.num("tenant", *tenant);
+                w.str("qos", qos);
+                w.str("action", action);
+                w.num("pages", *pages);
+            }
+            Event::BudgetResize {
+                tenant,
+                kind,
+                from,
+                to,
+                ..
+            } => {
+                w.num("tenant", *tenant);
+                w.str("kind", kind);
+                w.num("from", *from);
+                w.num("to", *to);
+            }
         }
         w.end();
     }
@@ -696,6 +820,28 @@ impl Event {
                 replayed: num("replayed")?,
                 torn: num("torn")?,
                 pages: num("pages")?,
+            },
+            "drain" => Event::Drain {
+                t,
+                tier: num("tier")?,
+                moved: num("moved")?,
+                left: num("left")?,
+                retries: num("retries")?,
+                cost: num("cost")?,
+            },
+            "degrade" => Event::Degrade {
+                t,
+                tenant: num("tenant")?,
+                qos: string("qos")?,
+                action: string("action")?,
+                pages: num("pages")?,
+            },
+            "budget_resize" => Event::BudgetResize {
+                t,
+                tenant: num("tenant")?,
+                kind: string("kind")?,
+                from: num("from")?,
+                to: num("to")?,
             },
             other => return Err(ParseError::new(format!("unknown event kind `{other}`"))),
         })
@@ -1041,7 +1187,29 @@ mod tests {
                 torn: 1,
                 pages: 40,
             },
-            Event::RunEnd { t: 30, ops: 1500 },
+            Event::Drain {
+                t: 30,
+                tier: 0,
+                moved: 48,
+                left: 16,
+                retries: 2,
+                cost: 96_000,
+            },
+            Event::Degrade {
+                t: 31,
+                tenant: 3,
+                qos: "best-effort".to_owned(),
+                action: "reclaim".to_owned(),
+                pages: 1,
+            },
+            Event::BudgetResize {
+                t: 32,
+                tenant: 3,
+                kind: "pc".to_owned(),
+                from: 64,
+                to: 32,
+            },
+            Event::RunEnd { t: 33, ops: 1500 },
         ]
     }
 
@@ -1067,7 +1235,7 @@ mod tests {
         assert_eq!(parsed, sample_events());
         let bad = format!("{doc}{{\"t\":1,\"k\":\"nope\"}}\n");
         let err = Event::parse_all(&bad).unwrap_err();
-        assert!(err.message.contains("line 17"), "{}", err.message);
+        assert!(err.message.contains("line 20"), "{}", err.message);
         assert!(err.message.contains("nope"), "{}", err.message);
     }
 

@@ -16,6 +16,7 @@ fn run(w: WorkloadKind, p: PolicyKind, scale: &Scale) -> engine::RunReport {
         },
         kernel_params: None,
         faults: None,
+        budgets: Vec::new(),
     })
     .expect("run completes")
 }
